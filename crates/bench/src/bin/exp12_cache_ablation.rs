@@ -1,0 +1,64 @@
+//! E12 (extension) — block cache ablation.
+//!
+//! Not a paper claim, but a production-relevant knob the engine ships
+//! with: how page-cache capacity translates into hit rate and lookup
+//! latency under a Zipfian read workload.
+
+use std::time::Instant;
+
+use acheron_bench::{base_opts, f2, f3, grouped, open_db, print_table};
+use acheron_workload::{key_bytes, KeyDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: u64 = 30_000;
+const READS: u64 = 60_000;
+
+fn run(cache_bytes: usize) -> Vec<String> {
+    let mut opts = base_opts();
+    opts.block_cache_bytes = cache_bytes;
+    let (_fs, db) = open_db(opts);
+    for i in 0..N {
+        db.put(&key_bytes(i), &[b'v'; 64]).unwrap();
+    }
+    db.compact_all().unwrap();
+
+    let mut dist = KeyDistribution::zipfian(N, 0.99);
+    let mut rng = StdRng::seed_from_u64(99);
+    let start = Instant::now();
+    for _ in 0..READS {
+        let id = dist.sample(&mut rng);
+        db.get(&key_bytes(id)).unwrap();
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / READS as f64;
+    let (hits, misses) = db.cache_stats().unwrap_or((0, 0));
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    vec![
+        if cache_bytes == 0 { "off".into() } else { grouped(cache_bytes as u64) },
+        f3(us),
+        f2(hit_rate * 100.0),
+        grouped(hits),
+        grouped(misses),
+    ]
+}
+
+fn main() {
+    let rows: Vec<Vec<String>> = [0usize, 64 << 10, 256 << 10, 1 << 20, 8 << 20]
+        .iter()
+        .map(|&c| run(c))
+        .collect();
+    print_table(
+        "E12: block cache ablation (zipf 0.99 reads over 30k keys)",
+        &["cache bytes", "lookup us", "hit rate %", "hits", "misses"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: hit rate climbs with capacity (the Zipfian head fits\n\
+         early), and lookup latency drops correspondingly; a cache larger than the\n\
+         working set saturates near 100%."
+    );
+}

@@ -1,0 +1,62 @@
+//! E13 (extension) — ingestion cost vs data sortedness.
+//!
+//! A nod to the group's BoDS/SWARE line (also in the supplied source
+//! text): LSM ingestion should get *cheaper* as incoming data approaches
+//! sorted order, because flushed files stop overlapping and leveled
+//! compactions degenerate into trivial moves. We sweep the
+//! (K, L)-sortedness of the ingest stream and report write
+//! amplification and throughput.
+
+use std::time::Instant;
+
+use acheron_bench::{base_opts, f2, grouped, open_db, print_table};
+use acheron_workload::{key_bytes, measure_sortedness, near_sorted_stream};
+
+const N: u64 = 30_000;
+
+fn run(k: f64, l: u64) -> Vec<String> {
+    let stream = near_sorted_stream(N, k, l, 1234);
+    let (k_measured, l_measured) = measure_sortedness(&stream);
+    let (_fs, db) = open_db(base_opts());
+    let start = Instant::now();
+    for id in &stream {
+        db.put(&key_bytes(*id), &[b'v'; 64]).unwrap();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    use std::sync::atomic::Ordering::Relaxed;
+    vec![
+        format!("K={k:.2} L={l}"),
+        f2(k_measured),
+        grouped(l_measured),
+        f2(db.stats().write_amplification()),
+        grouped(db.stats().compactions.load(Relaxed)),
+        grouped((N as f64 / elapsed) as u64),
+    ]
+}
+
+fn main() {
+    let rows = vec![
+        run(0.0, 0),        // fully sorted
+        run(0.05, 100),     // nearly sorted
+        run(0.25, 1_000),   // moderately scrambled
+        run(0.50, 10_000),  // heavily scrambled
+        run(1.00, N),       // ~random
+    ];
+    print_table(
+        "E13: ingestion vs (K, L)-sortedness of the input stream",
+        &[
+            "stream",
+            "measured K",
+            "measured L",
+            "write amp",
+            "compactions",
+            "inserts/s",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: write amplification grows monotonically with disorder;\n\
+         sorted ingest produces non-overlapping files whose deeper migrations are\n\
+         trivial moves, cutting write amplification by several x vs random."
+    );
+}

@@ -1,0 +1,63 @@
+//! E2 — Write amplification vs. the persistence threshold `D_th`.
+//!
+//! Claim checked (Lethe abstract): FADE's timely persistence costs a
+//! *modest* write-amplification increase — "between 4% and 25%" at the
+//! thresholds they evaluate — and the cost grows as `D_th` shrinks
+//! (tighter deadlines force more eager compaction).
+
+use acheron_bench::{base_opts, f2, grouped, open_db, print_table};
+use acheron_workload::{run_ops, KeyDistribution, OpMix, WorkloadGen, WorkloadSpec};
+
+const OPS: usize = 40_000;
+
+fn workload() -> Vec<acheron_workload::Op> {
+    let spec = WorkloadSpec::new(OpMix::write_heavy(10), KeyDistribution::uniform(30_000));
+    WorkloadGen::new(spec).take(OPS)
+}
+
+fn run(d_th: Option<u64>, ops: &[acheron_workload::Op]) -> (f64, u64, u64) {
+    let opts = match d_th {
+        Some(d) => base_opts().with_fade(d),
+        None => base_opts(),
+    };
+    let (_fs, db) = open_db(opts);
+    run_ops(&db, ops).unwrap();
+    db.maintain().unwrap();
+    use std::sync::atomic::Ordering::Relaxed;
+    (
+        db.stats().write_amplification(),
+        db.stats().compactions.load(Relaxed),
+        db.stats().ttl_compactions.load(Relaxed),
+    )
+}
+
+fn main() {
+    let ops = workload();
+    let (base_wa, base_comp, _) = run(None, &ops);
+    let mut rows = vec![vec![
+        "baseline".to_string(),
+        f2(base_wa),
+        "-".to_string(),
+        grouped(base_comp),
+        "0".to_string(),
+    ]];
+    for d_th in [2_000u64, 8_000, 32_000, 128_000] {
+        let (wa, comp, ttl) = run(Some(d_th), &ops);
+        rows.push(vec![
+            format!("FADE D_th={}", grouped(d_th)),
+            f2(wa),
+            format!("{:+.1}%", (wa / base_wa - 1.0) * 100.0),
+            grouped(comp),
+            grouped(ttl),
+        ]);
+    }
+    print_table(
+        "E2: write amplification vs delete persistence threshold",
+        &["engine", "write amp", "vs baseline", "compactions", "ttl-triggered"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: WA increases as D_th tightens; at relaxed thresholds the\n\
+         overhead sits in the single-digit-to-low-tens percent band (Lethe: +4%..25%)."
+    );
+}

@@ -1,0 +1,72 @@
+//! E3 — Space amplification vs. delete fraction.
+//!
+//! Claim checked (Lethe abstract): timely tombstone persistence lowers
+//! space amplification by **2.1x–9.8x** on delete-heavy workloads,
+//! because the baseline retains both the tombstones and the invalidated
+//! versions they logically removed.
+//!
+//! Space amplification here is `table bytes / live logical bytes`, with
+//! live logical bytes computed from a full scan (ground truth).
+
+use acheron_bench::{base_opts, f2, open_db, print_table, settle};
+use acheron_workload::key_bytes;
+
+const POPULATION: u64 = 10_000;
+const VALUE: usize = 64;
+
+fn run(delete_pct: u64, fade: bool) -> (f64, u64) {
+    let opts = if fade { base_opts().with_fade(8_000) } else { base_opts() };
+    let (_fs, db) = open_db(opts);
+    for i in 0..POPULATION {
+        db.put(&key_bytes(i), &[b'v'; VALUE]).unwrap();
+    }
+    // Delete a stride so tombstones spread over every file.
+    let deletes = POPULATION * delete_pct / 100;
+    if let Some(stride) = POPULATION.checked_div(deletes) {
+        let stride = stride.max(1);
+        for i in 0..deletes {
+            db.delete(&key_bytes(i * stride)).unwrap();
+        }
+    }
+    db.flush().unwrap();
+    // A cooling-off period lets FADE act; the baseline gets the same
+    // opportunities (maintain is trigger-driven for both).
+    settle(&db, 50_000, 250);
+    let live_rows = db.scan(&key_bytes(0), &key_bytes(POPULATION)).unwrap();
+    let logical: u64 = live_rows.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+    let physical = db.table_bytes();
+    let amp = if logical == 0 { f64::NAN } else { physical as f64 / logical as f64 };
+    (amp, db.live_tombstones())
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for delete_pct in [5u64, 15, 25, 35, 50, 70, 90] {
+        let (base_amp, base_ts) = run(delete_pct, false);
+        let (fade_amp, fade_ts) = run(delete_pct, true);
+        rows.push(vec![
+            format!("{delete_pct}%"),
+            f2(base_amp),
+            f2(fade_amp),
+            f2(base_amp / fade_amp),
+            base_ts.to_string(),
+            fade_ts.to_string(),
+        ]);
+    }
+    print_table(
+        "E3: space amplification vs delete fraction",
+        &[
+            "deletes",
+            "baseline amp",
+            "FADE amp",
+            "improvement",
+            "baseline tombstones",
+            "FADE tombstones",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: improvement grows with the delete fraction (more dead bytes\n\
+         for FADE to reclaim); Lethe reports 2.1x-9.8x across its sweep."
+    );
+}

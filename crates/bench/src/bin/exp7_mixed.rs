@@ -1,0 +1,57 @@
+//! E7 — End-to-end throughput on mixed workloads.
+//!
+//! Claim checked: FADE's persistence guarantee costs only a small
+//! end-to-end throughput hit on realistic mixes (its extra compactions
+//! are the price), while coming out ahead once the mix reads keys whose
+//! history contains deletes.
+
+use acheron_bench::{base_opts, f2, grouped, open_db, print_table};
+use acheron_workload::{run_ops, KeyDistribution, OpMix, WorkloadGen, WorkloadSpec};
+
+const OPS: usize = 30_000;
+const KEYSPACE: u64 = 20_000;
+
+fn run(mix: OpMix, label: &str, fade: bool, zipf: bool) -> Vec<String> {
+    let opts = if fade { base_opts().with_fade(20_000) } else { base_opts() };
+    let (_fs, db) = open_db(opts);
+    let dist = if zipf {
+        KeyDistribution::zipfian(KEYSPACE, 0.99)
+    } else {
+        KeyDistribution::uniform(KEYSPACE)
+    };
+    let ops = WorkloadGen::new(WorkloadSpec::new(mix, dist)).take(OPS);
+    let report = run_ops(&db, &ops).unwrap();
+    vec![
+        label.to_string(),
+        if fade { "FADE".into() } else { "baseline".into() },
+        grouped(report.ops_per_sec() as u64),
+        f2(db.stats().write_amplification()),
+        grouped(report.get_hits),
+        grouped(db.live_tombstones()),
+    ]
+}
+
+fn main() {
+    let mixes: Vec<(&str, OpMix, bool)> = vec![
+        ("insert-only (uniform)", OpMix::insert_only(), false),
+        ("write-heavy 25% del (uniform)", OpMix::write_heavy(25), false),
+        ("balanced 40/10/40/10 (uniform)", OpMix::mixed(40, 10, 40, 10), false),
+        ("balanced 40/10/40/10 (zipf .99)", OpMix::mixed(40, 10, 40, 10), true),
+        ("read-heavy 15/5/70/10 (uniform)", OpMix::mixed(15, 5, 70, 10), false),
+    ];
+    let mut rows = Vec::new();
+    for (label, mix, zipf) in mixes {
+        rows.push(run(mix, label, false, zipf));
+        rows.push(run(mix, label, true, zipf));
+    }
+    print_table(
+        "E7: mixed-workload throughput, baseline vs FADE",
+        &["workload", "engine", "ops/s", "write amp", "get hits", "live tombstones"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: on write-dominated mixes FADE trails by a few percent (extra\n\
+         compactions); on read-containing mixes the gap closes or reverses as purged\n\
+         tombstones make lookups cheaper. Hit counts must match between engines."
+    );
+}

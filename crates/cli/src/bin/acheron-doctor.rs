@@ -1,0 +1,47 @@
+//! `acheron-doctor` — offline integrity check of a database directory.
+//!
+//! ```text
+//! $ acheron-doctor /path/to/db
+//! checked 12 tables (48,201 entries, 301 tombstones), 1 WAL (17 records)
+//! warnings: none
+//! ```
+//!
+//! Read-only: unlike opening the database, the doctor never rewrites the
+//! manifest or collects files, so it is safe to run against a directory
+//! another process might recover later.
+
+use acheron::check_db;
+use acheron_vfs::StdFs;
+
+fn main() {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: acheron-doctor <db-directory>");
+        std::process::exit(2);
+    };
+    let fs = StdFs::new(false);
+    match check_db(&fs, &dir) {
+        Ok(report) => {
+            println!(
+                "checked {} tables ({} entries, {} tombstones, {} range tombstones), \
+                 {} WAL segments ({} records)",
+                report.tables_checked,
+                report.entries,
+                report.tombstones,
+                report.range_tombstones,
+                report.wals_checked,
+                report.wal_records
+            );
+            if report.warnings.is_empty() {
+                println!("warnings: none");
+            } else {
+                for w in &report.warnings {
+                    println!("warning: {w}");
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Command interpreter behind the `acheron` demo binary.
+//!
+//! The Acheron paper is a SIGMOD *demonstration*: its interface lets an
+//! operator issue writes and deletes, turn the FADE/KiWi knobs, advance
+//! time, and watch tombstones age and get purged. This module is that
+//! demo as a deterministic, scriptable interpreter (the binary wraps it
+//! around stdin); being a plain function of `&str -> String` it is fully
+//! unit-testable.
+
+use std::sync::Arc;
+
+use acheron::{CompactionLayout, Db, DbOptions};
+use acheron_vfs::MemFs;
+use acheron_workload::{run_ops, KeyDistribution, OpMix, WorkloadGen, WorkloadSpec};
+
+/// Interpreter state: one open database plus its configuration.
+pub struct Session {
+    db: Db,
+    opts: DbOptions,
+}
+
+/// What the interpreter did with a line.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Output to print (may be multi-line or empty).
+    Text(String),
+    /// The user asked to leave.
+    Quit,
+}
+
+fn help_text() -> String {
+    "\
+commands:
+  put <key> <value> [dkey]     insert/update (dkey = secondary delete key)
+  get <key>                    point lookup
+  del <key>                    point delete (inserts a tombstone)
+  rdel <lo> <hi>               secondary range delete over delete keys
+  scan <lo> <hi>               range scan over sort keys (inclusive)
+  workload <n> <put%> <del%> <get%> <scan%>   run n generated ops
+  tick <n>                     advance the logical clock n ticks
+  maintain                     run pending compactions (FADE enforcement)
+  compact                      full manual compaction
+  flush                        flush the memtable
+  tree                         show level occupancy
+  tombstones                   show tombstone population and ages
+  stats                        show engine counters
+  reopen [fade <D_th>] [tile <h>] [tiering|leveling|lazy]
+                               restart with fresh options (data is kept)
+  help                         this text
+  quit                         exit"
+        .to_string()
+}
+
+impl Session {
+    /// A fresh in-memory session with the given options.
+    pub fn new(opts: DbOptions) -> Session {
+        let db = Db::open(Arc::new(MemFs::new()), "demo", opts.clone()).expect("open demo db");
+        Session { db, opts }
+    }
+
+    /// A session with demo-friendly defaults (small buffers, FADE on).
+    pub fn demo() -> Session {
+        Session::new(DbOptions::small().with_fade(50_000))
+    }
+
+    /// Access the underlying database (tests).
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// Execute one command line.
+    pub fn execute(&mut self, line: &str) -> Outcome {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            return Outcome::Text(String::new());
+        };
+        let args: Vec<&str> = parts.collect();
+        let result = match cmd {
+            "help" => Ok(help_text()),
+            "quit" | "exit" => return Outcome::Quit,
+            "put" => self.cmd_put(&args),
+            "get" => self.cmd_get(&args),
+            "del" => self.cmd_del(&args),
+            "rdel" => self.cmd_rdel(&args),
+            "scan" => self.cmd_scan(&args),
+            "workload" => self.cmd_workload(&args),
+            "tick" => self.cmd_tick(&args),
+            "maintain" => self.db.maintain().map(|_| "ok".to_string()).map_err(|e| e.to_string()),
+            "compact" => self.db.compact_all().map(|_| "ok".to_string()).map_err(|e| e.to_string()),
+            "flush" => self.db.flush().map(|_| "ok".to_string()).map_err(|e| e.to_string()),
+            "tree" => Ok(self.render_tree()),
+            "tombstones" => Ok(self.render_tombstones()),
+            "stats" => Ok(self.render_stats()),
+            "reopen" => self.cmd_reopen(&args),
+            other => Err(format!("unknown command {other:?}; try `help`")),
+        };
+        Outcome::Text(match result {
+            Ok(s) => s,
+            Err(e) => format!("error: {e}"),
+        })
+    }
+
+    fn cmd_put(&mut self, args: &[&str]) -> Result<String, String> {
+        match args {
+            [key, value] => {
+                self.db.put(key.as_bytes(), value.as_bytes()).map_err(|e| e.to_string())?;
+                Ok("ok".into())
+            }
+            [key, value, dkey] => {
+                let d: u64 = dkey.parse().map_err(|_| "dkey must be a number".to_string())?;
+                self.db
+                    .put_with_dkey(key.as_bytes(), value.as_bytes(), d)
+                    .map_err(|e| e.to_string())?;
+                Ok("ok".into())
+            }
+            _ => Err("usage: put <key> <value> [dkey]".into()),
+        }
+    }
+
+    fn cmd_get(&mut self, args: &[&str]) -> Result<String, String> {
+        let [key] = args else { return Err("usage: get <key>".into()) };
+        match self.db.get(key.as_bytes()).map_err(|e| e.to_string())? {
+            Some(v) => Ok(String::from_utf8_lossy(&v).into_owned()),
+            None => Ok("(not found)".into()),
+        }
+    }
+
+    fn cmd_del(&mut self, args: &[&str]) -> Result<String, String> {
+        let [key] = args else { return Err("usage: del <key>".into()) };
+        self.db.delete(key.as_bytes()).map_err(|e| e.to_string())?;
+        Ok(format!("tombstone inserted at tick {}", self.db.now()))
+    }
+
+    fn cmd_rdel(&mut self, args: &[&str]) -> Result<String, String> {
+        let [lo, hi] = args else { return Err("usage: rdel <lo> <hi>".into()) };
+        let lo: u64 = lo.parse().map_err(|_| "lo must be a number".to_string())?;
+        let hi: u64 = hi.parse().map_err(|_| "hi must be a number".to_string())?;
+        self.db.range_delete_secondary(lo, hi).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "range tombstone registered; {} live",
+            self.db.live_range_tombstones().len()
+        ))
+    }
+
+    fn cmd_scan(&mut self, args: &[&str]) -> Result<String, String> {
+        let [lo, hi] = args else { return Err("usage: scan <lo> <hi>".into()) };
+        let rows = self.db.scan(lo.as_bytes(), hi.as_bytes()).map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for (k, v) in &rows {
+            out.push_str(&format!(
+                "{} = {}\n",
+                String::from_utf8_lossy(k),
+                String::from_utf8_lossy(v)
+            ));
+        }
+        out.push_str(&format!("({} rows)", rows.len()));
+        Ok(out)
+    }
+
+    fn cmd_workload(&mut self, args: &[&str]) -> Result<String, String> {
+        let [n, put, del, get, scan] = args else {
+            return Err("usage: workload <n> <put%> <del%> <get%> <scan%>".into());
+        };
+        let n: usize = n.parse().map_err(|_| "n must be a number".to_string())?;
+        let pct = |s: &str| s.parse::<u32>().map_err(|_| "percentages must be numbers".to_string());
+        let (p, d, g, sc) = (pct(put)?, pct(del)?, pct(get)?, pct(scan)?);
+        if p + d + g + sc != 100 {
+            return Err("percentages must sum to 100".into());
+        }
+        let mix = OpMix { put_pct: p, delete_pct: d, get_pct: g, scan_pct: sc };
+        let spec = WorkloadSpec::new(mix, KeyDistribution::uniform(50_000));
+        let ops = WorkloadGen::new(spec).take(n);
+        let report = run_ops(&self.db, &ops).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "ran {} ops in {:.2}ms ({:.0} ops/s); {} hits, {} misses, {} scan rows",
+            report.ops,
+            report.elapsed_secs * 1e3,
+            report.ops_per_sec(),
+            report.get_hits,
+            report.get_misses,
+            report.scan_rows
+        ))
+    }
+
+    fn cmd_tick(&mut self, args: &[&str]) -> Result<String, String> {
+        let [n] = args else { return Err("usage: tick <n>".into()) };
+        let n: u64 = n.parse().map_err(|_| "n must be a number".to_string())?;
+        self.db.advance_clock(n);
+        Ok(format!("clock now at {}", self.db.now()))
+    }
+
+    fn cmd_reopen(&mut self, args: &[&str]) -> Result<String, String> {
+        let mut opts = self.opts.clone();
+        opts.fade = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i] {
+                "fade" => {
+                    let d = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or("fade needs a numeric D_th")?;
+                    opts = opts.with_fade(d);
+                    i += 2;
+                }
+                "tile" => {
+                    let h = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .ok_or("tile needs a numeric h")?;
+                    opts = opts.with_tile(h);
+                    i += 2;
+                }
+                "tiering" => {
+                    opts.layout = CompactionLayout::Tiering;
+                    i += 1;
+                }
+                "leveling" => {
+                    opts.layout = CompactionLayout::Leveling;
+                    i += 1;
+                }
+                "lazy" => {
+                    opts.layout = CompactionLayout::LazyLeveling;
+                    i += 1;
+                }
+                other => return Err(format!("unknown reopen option {other:?}")),
+            }
+        }
+        // Reopen over the same filesystem keeps the data.
+        let fs = self.db.vfs();
+        let db = Db::open(fs, "demo", opts.clone()).map_err(|e| e.to_string())?;
+        self.db = db;
+        self.opts = opts;
+        Ok(format!("reopened with {:?}", self.opts))
+    }
+
+    fn render_tree(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("clock tick: {}\n", self.db.now()));
+        for level in self.db.level_summary() {
+            if level.files == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((level.bytes / 4096) as usize).clamp(1, 50));
+            out.push_str(&format!(
+                "L{} {:<50} {:>4} files {:>2} runs {:>9} B {:>7} entries {:>6} tombstones\n",
+                level.level, bar, level.files, level.runs, level.bytes, level.entries,
+                level.tombstones
+            ));
+        }
+        if out.lines().count() <= 1 {
+            out.push_str("(tree is empty)\n");
+        }
+        out.pop();
+        out
+    }
+
+    fn render_tombstones(&self) -> String {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = self.db.stats();
+        let mut out = String::new();
+        out.push_str(&format!("live point tombstones: {}\n", self.db.live_tombstones()));
+        match self.db.oldest_live_tombstone_age() {
+            Some(age) => out.push_str(&format!("oldest live tombstone age: {age} ticks\n")),
+            None => out.push_str("oldest live tombstone age: -\n"),
+        }
+        if let Some(f) = &self.db.options().fade {
+            out.push_str(&format!(
+                "FADE threshold D_th: {} ticks\n",
+                f.delete_persistence_threshold
+            ));
+        } else {
+            out.push_str("FADE: off (tombstones live until saturation reaches them)\n");
+        }
+        out.push_str(&format!(
+            "purged: {} (max latency {}, p99 {}, mean {:.1})\n",
+            s.tombstones_purged.load(Relaxed),
+            s.persistence_latency.max(),
+            s.persistence_latency.quantile(0.99),
+            s.persistence_latency.mean(),
+        ));
+        out.push_str(&format!(
+            "live range tombstones: {}",
+            self.db.live_range_tombstones().len()
+        ));
+        out
+    }
+
+    fn render_stats(&self) -> String {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = self.db.stats();
+        format!(
+            "puts {} | deletes {} | range-deletes {} | gets {} | scans {}\n\
+             flushes {} | compactions {} (ttl {}) | write-amp {:.2}\n\
+             shadowed {} | range-purged {} | pages dropped {} | table bytes {}",
+            s.puts.load(Relaxed),
+            s.deletes.load(Relaxed),
+            s.range_deletes.load(Relaxed),
+            s.gets.load(Relaxed),
+            s.scans.load(Relaxed),
+            s.flushes.load(Relaxed),
+            s.compactions.load(Relaxed),
+            s.ttl_compactions.load(Relaxed),
+            s.write_amplification(),
+            s.entries_shadowed.load(Relaxed),
+            s.entries_range_purged.load(Relaxed),
+            s.pages_dropped.load(Relaxed),
+            self.db.table_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(outcome: Outcome) -> String {
+        match outcome {
+            Outcome::Text(s) => s,
+            Outcome::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn put_get_del_cycle() {
+        let mut s = Session::demo();
+        assert_eq!(text(s.execute("put k hello")), "ok");
+        assert_eq!(text(s.execute("get k")), "hello");
+        assert!(text(s.execute("del k")).contains("tombstone inserted"));
+        assert_eq!(text(s.execute("get k")), "(not found)");
+    }
+
+    #[test]
+    fn scan_renders_rows() {
+        let mut s = Session::demo();
+        s.execute("put a 1");
+        s.execute("put b 2");
+        s.execute("put c 3");
+        let out = text(s.execute("scan a b"));
+        assert!(out.contains("a = 1"));
+        assert!(out.contains("b = 2"));
+        assert!(!out.contains("c = 3"));
+        assert!(out.contains("(2 rows)"));
+    }
+
+    #[test]
+    fn rdel_by_dkey() {
+        let mut s = Session::demo();
+        s.execute("put a v1 10");
+        s.execute("put b v2 20");
+        assert!(text(s.execute("rdel 15 25")).contains("1 live"));
+        assert_eq!(text(s.execute("get a")), "v1");
+        assert_eq!(text(s.execute("get b")), "(not found)");
+    }
+
+    #[test]
+    fn workload_and_views_run() {
+        let mut s = Session::demo();
+        let out = text(s.execute("workload 2000 70 10 15 5"));
+        assert!(out.contains("ran 2000 ops"), "{out}");
+        let tree = text(s.execute("tree"));
+        assert!(tree.contains("files"), "{tree}");
+        let ts = text(s.execute("tombstones"));
+        assert!(ts.contains("live point tombstones"), "{ts}");
+        let st = text(s.execute("stats"));
+        assert!(st.contains("write-amp"), "{st}");
+    }
+
+    #[test]
+    fn tick_and_maintain_purge_tombstones() {
+        let mut s = Session::demo();
+        s.execute("workload 3000 60 40 0 0");
+        s.execute("flush");
+        // Step time past the FADE threshold with maintenance.
+        for _ in 0..40 {
+            s.execute("tick 2000");
+            s.execute("maintain");
+        }
+        assert_eq!(s.db().live_tombstones(), 0);
+    }
+
+    #[test]
+    fn reopen_switches_configuration_and_keeps_data() {
+        let mut s = Session::demo();
+        s.execute("put survivor here");
+        let out = text(s.execute("reopen tiering tile 4 fade 1000"));
+        assert!(out.contains("Tiering"), "{out}");
+        assert_eq!(text(s.execute("get survivor")), "here");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = Session::demo();
+        assert!(text(s.execute("bogus")).contains("unknown command"));
+        assert!(text(s.execute("put onlykey")).contains("usage"));
+        assert!(text(s.execute("rdel 5 x")).contains("number"));
+        assert!(text(s.execute("workload 10 50 50 50 50")).contains("sum to 100"));
+        assert!(text(s.execute("tick abc")).contains("number"));
+        // Still usable afterwards.
+        assert_eq!(text(s.execute("put k v")), "ok");
+    }
+
+    #[test]
+    fn quit_and_empty_lines() {
+        let mut s = Session::demo();
+        assert_eq!(s.execute(""), Outcome::Text(String::new()));
+        assert_eq!(s.execute("quit"), Outcome::Quit);
+    }
+
+    #[test]
+    fn help_lists_every_command() {
+        let mut s = Session::demo();
+        let h = text(s.execute("help"));
+        for cmd in ["put", "get", "del", "rdel", "scan", "workload", "tick", "tree", "stats"] {
+            assert!(h.contains(cmd), "help missing {cmd}");
+        }
+    }
+}

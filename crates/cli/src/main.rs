@@ -1,0 +1,52 @@
+//! `acheron` — interactive terminal demo of the delete-aware LSM engine.
+//!
+//! ```text
+//! $ cargo run -p acheron-cli
+//! acheron demo (FADE D_th=50000, in-memory). `help` for commands.
+//! > put user:1 alice
+//! ok
+//! > del user:1
+//! tombstone inserted at tick 2
+//! > tombstones
+//! live point tombstones: 1
+//! ...
+//! ```
+//!
+//! Also scriptable: `echo "put a 1\nget a" | cargo run -p acheron-cli`.
+
+use std::io::{BufRead, Write};
+
+use acheron_cli::{Outcome, Session};
+
+fn main() {
+    let mut session = Session::demo();
+    let interactive = std::env::args().all(|a| a != "--quiet");
+    if interactive {
+        println!("acheron demo (FADE D_th=50000, in-memory). `help` for commands.");
+    }
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        if interactive {
+            print!("> ");
+            let _ = stdout.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match session.execute(line.trim()) {
+            Outcome::Quit => break,
+            Outcome::Text(t) => {
+                if !t.is_empty() {
+                    println!("{t}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1784 @@
+//! The Acheron database: a delete-aware LSM engine.
+//!
+//! # Concurrency model
+//!
+//! One writer at a time; readers share a `RwLock` over the mutable state
+//! (active memtable + current version pointer). Flushes and compactions
+//! run synchronously inside the write path — this keeps every experiment
+//! deterministic (a given op sequence always produces the same tree),
+//! which is what the reproduction needs; a background-compaction
+//! scheduler would change throughput numbers but not the shapes the
+//! paper's claims are about.
+//!
+//! # Secondary range-delete semantics
+//!
+//! `range_delete_secondary(lo, hi)` erases every entry whose delete key
+//! lies in `[lo, hi]` as of the call, under **newest-version-decides**
+//! visibility: a key whose newest visible version is erased reads as
+//! deleted (older versions do *not* resurface — their visibility is
+//! decided once, independent of when compaction physically removes
+//! bytes). Physical reclamation happens at bottommost compactions,
+//! which purge covered entries and — under KiWi — drop fully covered
+//! pages without reading them.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use acheron_memtable::Memtable;
+use acheron_types::{
+    Clock, DeleteKeyRange, Error, RangeTombstone, Result, SeqNo, Tick, MAX_SEQNO,
+};
+use acheron_vfs::Vfs;
+use acheron_wal::{LogReader, LogWriter, ReadOutcome, WalBatch, WalOp};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+use crate::compaction::{run_compaction, write_l0_table};
+use crate::filenames::{manifest_name, parse_file_name, sst_path, wal_path, FileKind};
+use crate::manifest::{
+    read_current, read_manifest, write_current, EditBatch, ManifestWriter, VersionEdit,
+};
+use crate::options::DbOptions;
+use crate::picker::{CompactionReason, Picker};
+use crate::stats::DbStats;
+use crate::version::{FileMeta, Version};
+
+
+/// Upper bound on back-to-back compactions per maintenance pass; a
+/// correctly converging picker never reaches it.
+const MAX_COMPACTIONS_PER_PASS: usize = 10_000;
+
+struct State {
+    mem: Memtable,
+    wal: LogWriter,
+    /// WAL segments that may still hold unflushed data (the active one
+    /// last).
+    live_wals: Vec<u64>,
+    version: Arc<Version>,
+    last_seqno: SeqNo,
+    persisted_seqno: SeqNo,
+    next_file_id: u64,
+    manifest: ManifestWriter,
+    /// Earliest tick at which a FADE TTL expires somewhere in the tree
+    /// (None = nothing expires / FADE off). Maintained incrementally so
+    /// the write path checks it in O(1).
+    ttl_deadline: Option<Tick>,
+}
+
+struct DbInner {
+    fs: Arc<dyn Vfs>,
+    dir: String,
+    opts: DbOptions,
+    picker: Picker,
+    stats: DbStats,
+    cache: Option<Arc<acheron_sstable::BlockCache>>,
+    snapshots: Mutex<BTreeMap<SeqNo, usize>>,
+    state: RwLock<State>,
+}
+
+/// Handle to an open database. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Db {
+    inner: Arc<DbInner>,
+}
+
+/// A consistent read point. Readers holding a snapshot see exactly the
+/// data visible at its sequence number; compactions preserve the
+/// versions it needs. Unregisters itself on drop.
+pub struct Snapshot {
+    inner: Arc<DbInner>,
+    seqno: SeqNo,
+}
+
+impl Snapshot {
+    /// The snapshot's sequence number.
+    pub fn seqno(&self) -> SeqNo {
+        self.seqno
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let mut snaps = self.inner.snapshots.lock();
+        if let Some(count) = snaps.get_mut(&self.seqno) {
+            *count -= 1;
+            if *count == 0 {
+                snaps.remove(&self.seqno);
+            }
+        }
+    }
+}
+
+/// A group of writes applied atomically via [`Db::write_batch`]: they
+/// become durable (one WAL record) and visible (consecutive sequence
+/// numbers committed together) as a unit.
+///
+/// ```
+/// # use acheron::{Db, DbOptions, db::WriteBatch};
+/// # use acheron_vfs::MemFs;
+/// # use std::sync::Arc;
+/// # let db = Db::open(Arc::new(MemFs::new()), "db", DbOptions::small()).unwrap();
+/// let mut batch = WriteBatch::new();
+/// batch.put(b"debit:alice", b"-10");
+/// batch.put(b"credit:bob", b"+10");
+/// batch.delete(b"pending:tx17");
+/// db.write_batch(batch).unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct WriteBatch {
+    ops: Vec<WalOp>,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// Queue an insert/update (delete key = 0; use
+    /// [`WriteBatch::put_with_dkey`] to tag one).
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
+        self.ops.push(WalOp::Put {
+            key: Bytes::copy_from_slice(key),
+            value: Bytes::copy_from_slice(value),
+            dkey: acheron_types::DELETE_KEY_NONE,
+        });
+        self
+    }
+
+    /// Queue an insert/update with an explicit secondary delete key.
+    pub fn put_with_dkey(&mut self, key: &[u8], value: &[u8], dkey: u64) -> &mut Self {
+        self.ops.push(WalOp::Put {
+            key: Bytes::copy_from_slice(key),
+            value: Bytes::copy_from_slice(value),
+            dkey,
+        });
+        self
+    }
+
+    /// Queue a point delete. The tombstone's age starts at the tick the
+    /// batch commits.
+    pub fn delete(&mut self, key: &[u8]) -> &mut Self {
+        // Tick 0 placeholder; stamped at commit time below.
+        self.ops.push(WalOp::Delete { key: Bytes::copy_from_slice(key), tick: u64::MAX });
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A streaming range scan (see [`Db::range_iter`]): yields live
+/// key/value pairs in sort-key order without materializing the range.
+pub struct RangeIter {
+    merge: crate::merge::MergeIterator,
+    hi: Vec<u8>,
+    snapshot: SeqNo,
+    rts: Vec<RangeTombstone>,
+    decided_key: Option<Bytes>,
+}
+
+impl RangeIter {
+    /// The next live key/value pair, or `None` at the end of the range.
+    ///
+    /// (A fallible, streaming cursor — not `std::iter::Iterator` —
+    /// because each step can hit I/O errors.)
+    pub fn next_entry(&mut self) -> Result<Option<(Bytes, Bytes)>> {
+        while self.merge.valid() {
+            let e = self.merge.entry()?;
+            if e.key[..] > self.hi[..] {
+                return Ok(None);
+            }
+            if self.decided_key.as_deref() == Some(&e.key[..]) || e.seqno > self.snapshot {
+                self.merge.advance()?;
+                continue;
+            }
+            // Newest visible version decides the key: a put that is not
+            // range-erased yields the value; anything else hides the key.
+            self.decided_key = Some(e.key.clone());
+            let live = e.kind == acheron_types::ValueKind::Put
+                && !self.rts.iter().any(|rt| rt.shadows(e.seqno, e.dkey));
+            self.merge.advance()?;
+            if live {
+                return Ok(Some((e.key, e.value)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Summary of one level for stats displays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelInfo {
+    /// Level index.
+    pub level: usize,
+    /// Live files.
+    pub files: usize,
+    /// Distinct runs.
+    pub runs: usize,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Live entries.
+    pub entries: u64,
+    /// Live point tombstones.
+    pub tombstones: u64,
+}
+
+impl Db {
+    /// Open (creating or recovering) a database under `dir`.
+    pub fn open(fs: Arc<dyn Vfs>, dir: &str, opts: DbOptions) -> Result<Db> {
+        opts.validate()?;
+        fs.mkdir_all(dir)?;
+        let cache = (opts.block_cache_bytes > 0)
+            .then(|| Arc::new(acheron_sstable::BlockCache::new(opts.block_cache_bytes)));
+        let state = match read_current(fs.as_ref(), dir)? {
+            None => Self::initialize(&fs, dir, &opts)?,
+            Some(manifest) => Self::recover(&fs, dir, &opts, &manifest, cache.as_ref())?,
+        };
+        let inner = Arc::new(DbInner {
+            picker: Picker::new(&opts),
+            fs,
+            dir: dir.to_string(),
+            opts,
+            stats: DbStats::default(),
+            cache,
+            snapshots: Mutex::new(BTreeMap::new()),
+            state: RwLock::new(state),
+        });
+        let db = Db { inner };
+        // Recovery may leave the tree over its triggers.
+        db.maintain()?;
+        Ok(db)
+    }
+
+    /// Create a fresh database directory layout.
+    fn initialize(fs: &Arc<dyn Vfs>, dir: &str, opts: &DbOptions) -> Result<State> {
+        let mut next_file_id = 1u64;
+        let manifest_number = next_file_id;
+        next_file_id += 1;
+        let wal_number = next_file_id;
+        next_file_id += 1;
+
+        let name = manifest_name(manifest_number);
+        let mut manifest = ManifestWriter::create(fs.as_ref(), &acheron_vfs::join(dir, &name))?;
+        manifest.append(&EditBatch {
+            edits: vec![
+                VersionEdit::NextFileId { id: next_file_id },
+                VersionEdit::LogNumber { number: wal_number },
+            ],
+        })?;
+        write_current(fs.as_ref(), dir, &name)?;
+        let wal = LogWriter::new(fs.create(&wal_path(dir, wal_number))?);
+        Ok(State {
+            mem: Memtable::new(),
+            wal,
+            live_wals: vec![wal_number],
+            version: Arc::new(Version::empty(opts.max_levels)),
+            last_seqno: 0,
+            persisted_seqno: 0,
+            next_file_id,
+            manifest,
+            ttl_deadline: None,
+        })
+    }
+
+    /// Recover from an existing manifest + WAL set.
+    fn recover(
+        fs: &Arc<dyn Vfs>,
+        dir: &str,
+        opts: &DbOptions,
+        manifest: &str,
+        cache: Option<&Arc<acheron_sstable::BlockCache>>,
+    ) -> Result<State> {
+        let batches = read_manifest(fs.as_ref(), &acheron_vfs::join(dir, manifest))?;
+        // Fold edits into the recovered metadata state.
+        struct RecFile {
+            level: u64,
+            run: u64,
+            size: u64,
+            created_tick: u64,
+        }
+        let mut files: BTreeMap<u64, RecFile> = BTreeMap::new();
+        let mut rts: Vec<RangeTombstone> = Vec::new();
+        let mut persisted_seqno = 0u64;
+        let mut log_number = 0u64;
+        let mut next_file_id = 1u64;
+        for batch in &batches {
+            for edit in &batch.edits {
+                match edit {
+                    VersionEdit::AddFile { level, run, id, size, created_tick } => {
+                        files.insert(
+                            *id,
+                            RecFile {
+                                level: *level,
+                                run: *run,
+                                size: *size,
+                                created_tick: *created_tick,
+                            },
+                        );
+                    }
+                    VersionEdit::DeleteFile { id } => {
+                        files.remove(id);
+                    }
+                    VersionEdit::AddRangeTombstone { seqno, range } => {
+                        rts.push(RangeTombstone { seqno: *seqno, range: *range });
+                    }
+                    VersionEdit::DropRangeTombstone { seqno } => {
+                        rts.retain(|rt| rt.seqno != *seqno);
+                    }
+                    VersionEdit::PersistedSeqno { seqno } => {
+                        persisted_seqno = persisted_seqno.max(*seqno);
+                    }
+                    VersionEdit::LogNumber { number } => log_number = log_number.max(*number),
+                    VersionEdit::NextFileId { id } => next_file_id = next_file_id.max(*id),
+                }
+            }
+        }
+
+        // Open every live table.
+        let mut version = Version::empty(opts.max_levels);
+        let mut metas = Vec::with_capacity(files.len());
+        for (id, rec) in &files {
+            let path = sst_path(dir, *id);
+            let table = acheron_sstable::Table::open_with_cache(fs.open(&path)?, cache.cloned())?;
+            let stats = table.stats().clone();
+            metas.push(Arc::new(FileMeta {
+                id: *id,
+                level: rec.level as usize,
+                run: rec.run,
+                size_bytes: rec.size,
+                stats,
+                created_tick: rec.created_tick,
+                table,
+            }));
+        }
+        version = version.apply(metas, &[], &rts, &[]);
+
+        // Scan the directory for WALs to replay and to bound file ids.
+        let mut wal_numbers: Vec<u64> = Vec::new();
+        for name in fs.list(dir)? {
+            match parse_file_name(&name) {
+                FileKind::Wal(n) => {
+                    next_file_id = next_file_id.max(n + 1);
+                    if n >= log_number {
+                        wal_numbers.push(n);
+                    }
+                }
+                FileKind::Table(n) | FileKind::Manifest(n) => {
+                    next_file_id = next_file_id.max(n + 1);
+                }
+                _ => {}
+            }
+        }
+        wal_numbers.sort_unstable();
+
+        // Replay surviving WAL records into a fresh memtable.
+        let mut mem = Memtable::new();
+        let mut last_seqno = persisted_seqno.max(rts.iter().map(|rt| rt.seqno).max().unwrap_or(0));
+        for n in &wal_numbers {
+            let data = fs.read_all(&wal_path(dir, *n))?;
+            let mut reader = LogReader::new(data);
+            loop {
+                match reader.next_record() {
+                    ReadOutcome::Record(rec) => {
+                        let batch = WalBatch::decode(&rec)?;
+                        let (entries, _ranges) = batch.entries();
+                        for e in entries {
+                            if e.seqno > persisted_seqno {
+                                last_seqno = last_seqno.max(e.seqno);
+                                mem.insert(e);
+                            }
+                        }
+                    }
+                    ReadOutcome::Eof => break,
+                    // Torn tail: stop replay of this (and, by seqno
+                    // ordering, every later) segment.
+                    ReadOutcome::Corrupt { .. } => break,
+                }
+            }
+        }
+
+        // Start a new manifest containing a snapshot of the recovered
+        // state (keeps manifests from growing without bound and lets the
+        // old one be collected).
+        let manifest_number = next_file_id;
+        next_file_id += 1;
+        let wal_number = next_file_id;
+        next_file_id += 1;
+        let name = manifest_name(manifest_number);
+        let mut manifest = ManifestWriter::create(fs.as_ref(), &acheron_vfs::join(dir, &name))?;
+        let mut snapshot_edits = vec![
+            VersionEdit::NextFileId { id: next_file_id },
+            VersionEdit::PersistedSeqno { seqno: persisted_seqno },
+        ];
+        // Old WALs must still replay next time if we crash before the
+        // next flush, so the log number keeps pointing at the oldest
+        // live segment.
+        let oldest_live_wal = wal_numbers.first().copied().unwrap_or(wal_number);
+        snapshot_edits.push(VersionEdit::LogNumber { number: oldest_live_wal.min(wal_number) });
+        for f in version.all_files() {
+            snapshot_edits.push(VersionEdit::AddFile {
+                level: f.level as u64,
+                run: f.run,
+                id: f.id,
+                size: f.size_bytes,
+                created_tick: f.created_tick,
+            });
+        }
+        for rt in &version.range_tombstones {
+            snapshot_edits
+                .push(VersionEdit::AddRangeTombstone { seqno: rt.seqno, range: rt.range });
+        }
+        manifest.append(&EditBatch { edits: snapshot_edits })?;
+        write_current(fs.as_ref(), dir, &name)?;
+
+        let wal = LogWriter::new(fs.create(&wal_path(dir, wal_number))?);
+        let mut live_wals = wal_numbers;
+        live_wals.push(wal_number);
+
+        // Keep the clock ahead of every recovered tombstone tick so ages
+        // stay meaningful after restart.
+        let max_tick = version
+            .all_files()
+            .map(|f| f.created_tick)
+            .chain(mem.stats().max_dkey)
+            .max()
+            .unwrap_or(0);
+        opts.clock_advance_to(max_tick);
+
+        Ok(State {
+            mem,
+            wal,
+            live_wals,
+            version: Arc::new(version),
+            last_seqno,
+            persisted_seqno,
+            next_file_id,
+            manifest,
+            ttl_deadline: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Insert or update `key`, tagging it with the current tick as its
+    /// secondary delete key.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let dkey = self.inner.opts.clock.now();
+        self.put_with_dkey(key, value, dkey)
+    }
+
+    /// Insert or update `key` with an explicit secondary delete key.
+    pub fn put_with_dkey(&self, key: &[u8], value: &[u8], dkey: u64) -> Result<()> {
+        self.write(WalOp::Put {
+            key: Bytes::copy_from_slice(key),
+            value: Bytes::copy_from_slice(value),
+            dkey,
+        })
+    }
+
+    /// Point-delete `key` (inserts a tombstone; physical erasure follows
+    /// within the persistence threshold when FADE is enabled).
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        let tick = self.inner.opts.clock.now();
+        self.write(WalOp::Delete { key: Bytes::copy_from_slice(key), tick })
+    }
+
+    /// Apply a [`WriteBatch`] atomically: all of its operations become
+    /// durable and visible together (one WAL record, consecutive
+    /// sequence numbers), or none do.
+    pub fn write_batch(&self, batch: WriteBatch) -> Result<()> {
+        if batch.ops.is_empty() {
+            return Ok(());
+        }
+        // Stamp queued deletes with the commit tick (their FADE age
+        // starts now, not when they were queued).
+        let now = self.inner.opts.clock.now();
+        let ops = batch
+            .ops
+            .into_iter()
+            .map(|op| match op {
+                WalOp::Delete { key, tick } if tick == u64::MAX => {
+                    WalOp::Delete { key, tick: now }
+                }
+                other => other,
+            })
+            .collect();
+        self.write_ops(ops)
+    }
+
+    fn write(&self, op: WalOp) -> Result<()> {
+        self.write_ops(vec![op])
+    }
+
+    fn write_ops(&self, ops: Vec<WalOp>) -> Result<()> {
+        let inner = &self.inner;
+        let mut st = inner.state.write();
+        let base = st.last_seqno + 1;
+        if base > MAX_SEQNO {
+            return Err(Error::Internal("sequence number space exhausted".into()));
+        }
+        let batch = WalBatch { base_seqno: base, ops };
+        st.wal.add_record(&batch.encode())?;
+        if inner.opts.wal_sync {
+            st.wal.sync()?;
+        }
+        let (entries, _ranges) = batch.entries();
+        for e in entries {
+            match e.kind {
+                acheron_types::ValueKind::Put => {
+                    inner.stats.puts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                acheron_types::ValueKind::Tombstone => {
+                    inner.stats.deletes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                acheron_types::ValueKind::RangeTombstone => {}
+            }
+            inner
+                .stats
+                .user_bytes
+                .fetch_add((e.key.len() + e.value.len()) as u64, std::sync::atomic::Ordering::Relaxed);
+            st.mem.insert(e);
+        }
+        st.last_seqno = batch.last_seqno();
+        if inner.opts.auto_advance_clock {
+            inner.opts.clock_advance(batch.ops.len() as u64);
+        }
+
+        // Tighten the cached TTL deadline when a tombstone enters the
+        // buffer (the buffer's oldest tombstone only gets older, so the
+        // first one fixes the buffer deadline until the next flush).
+        if let (Some(ttl), Some(t0)) =
+            (inner.picker.ttl_schedule(), st.mem.stats().oldest_tombstone_tick)
+        {
+            let mem_deadline = t0.saturating_add(ttl.buffer_ttl());
+            st.ttl_deadline = Some(st.ttl_deadline.map_or(mem_deadline, |d| d.min(mem_deadline)));
+        }
+
+        if st.mem.approximate_bytes() >= inner.opts.write_buffer_bytes {
+            self.flush_locked(&mut st)?;
+            self.maintain_locked(&mut st)?;
+        } else if let Some(deadline) = st.ttl_deadline {
+            // Exact FADE trigger: something's residency budget ran out.
+            if inner.opts.clock.now() > deadline {
+                if let Some(ttl) = inner.picker.ttl_schedule() {
+                    if ttl.buffer_expired(&st.mem, inner.opts.clock.now()) {
+                        self.flush_locked(&mut st)?;
+                    }
+                }
+                self.maintain_locked(&mut st)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Secondary range delete: physically erase every entry whose delete
+    /// key falls in `[lo, hi]` (inclusive). Takes effect immediately for
+    /// reads; storage is reclaimed by compactions (which drop fully
+    /// covered KiWi pages without reading them).
+    pub fn range_delete_secondary(&self, lo: u64, hi: u64) -> Result<()> {
+        let range = DeleteKeyRange::new(lo, hi);
+        if range.is_empty() {
+            return Err(Error::invalid_argument("range_delete_secondary: lo > hi"));
+        }
+        let inner = &self.inner;
+        let mut st = inner.state.write();
+        let seqno = st.last_seqno + 1;
+        st.last_seqno = seqno;
+        let rt = RangeTombstone { seqno, range };
+        st.manifest.append(&EditBatch {
+            edits: vec![VersionEdit::AddRangeTombstone { seqno, range }],
+        })?;
+        st.version = Arc::new(st.version.apply(vec![], &[], &[rt], &[]));
+        inner
+            .stats
+            .range_deletes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if inner.opts.auto_advance_clock {
+            inner.opts.clock_advance(1);
+        }
+        Ok(())
+    }
+
+    /// Force-flush the memtable to L0 (no-op when empty).
+    pub fn flush(&self) -> Result<()> {
+        let mut st = self.inner.state.write();
+        self.flush_locked(&mut st)
+    }
+
+    /// Full manual compaction: flush, then merge every level down until
+    /// all data rests in a single bottom-level run. (The manual
+    /// counterpart of RocksDB's full `CompactRange`.)
+    pub fn compact_all(&self) -> Result<()> {
+        let mut st = self.inner.state.write();
+        self.flush_locked(&mut st)?;
+        self.maintain_locked(&mut st)?;
+        let bottom = self.inner.opts.max_levels - 1;
+        for level in 0..bottom {
+            loop {
+                let inputs = st.version.levels[level].clone();
+                if inputs.is_empty() {
+                    break;
+                }
+                let next = {
+                    let mut lo: Option<Bytes> = None;
+                    let mut hi: Option<Bytes> = None;
+                    for f in inputs.iter().filter(|f| f.stats.entry_count > 0) {
+                        lo = Some(lo.map_or(f.min_key().clone(), |c: Bytes| {
+                            c.min(f.min_key().clone())
+                        }));
+                        hi = Some(hi.map_or(f.max_key().clone(), |c: Bytes| {
+                            c.max(f.max_key().clone())
+                        }));
+                    }
+                    match (lo, hi) {
+                        (Some(lo), Some(hi)) => {
+                            st.version.overlapping_files(level + 1, &lo, &hi)
+                        }
+                        _ => Vec::new(),
+                    }
+                };
+                let task = crate::picker::CompactionTask {
+                    level,
+                    inputs,
+                    next_level_inputs: next,
+                    output_level: level + 1,
+                    output_run: 0,
+                    reason: CompactionReason::Manual,
+                };
+                self.run_task_locked(&mut st, &task)?;
+            }
+        }
+        // Reclaim pass: bottom-level files still overlapping a live
+        // range tombstone are rewritten in place so the erased entries
+        // (and, under KiWi, whole covered pages) are physically dropped
+        // and the tombstone can retire.
+        // Bounded passes: snapshots may legitimately pin covered entries,
+        // leaving the tombstone live; don't spin on it.
+        for _ in 0..4 {
+            let rts = st.version.range_tombstones.clone();
+            if rts.is_empty() {
+                break;
+            }
+            let victims: Vec<_> = st.version.levels[bottom]
+                .iter()
+                .filter(|f| {
+                    f.stats.entry_count > 0
+                        && rts.iter().any(|rt| {
+                            f.stats.min_seqno < rt.seqno
+                                && rt.range.overlaps(f.stats.min_dkey, f.stats.max_dkey)
+                        })
+                })
+                .cloned()
+                .collect();
+            if victims.is_empty() {
+                break;
+            }
+            let task = crate::picker::CompactionTask {
+                level: bottom,
+                inputs: victims,
+                next_level_inputs: Vec::new(),
+                output_level: bottom,
+                output_run: 0,
+                reason: CompactionReason::Manual,
+            };
+            self.run_task_locked(&mut st, &task)?;
+        }
+        self.maintain_locked(&mut st)
+    }
+
+    /// Advance the engine's logical clock by `n` ticks (no-op when the
+    /// configured clock is not a [`acheron_types::LogicalClock`]).
+    /// Experiments use this to age tombstones without issuing writes.
+    pub fn advance_clock(&self, n: u64) {
+        self.inner.opts.clock_advance(n);
+    }
+
+    /// Run pending compactions (FADE TTL expirations, saturations) until
+    /// quiescent. Call after advancing an external clock.
+    pub fn maintain(&self) -> Result<()> {
+        let mut st = self.inner.state.write();
+        if let Some(ttl) = self.inner.picker.ttl_schedule() {
+            if ttl.buffer_expired(&st.mem, self.inner.opts.clock.now()) {
+                self.flush_locked(&mut st)?;
+            }
+        }
+        self.maintain_locked(&mut st)
+    }
+
+    fn flush_locked(&self, st: &mut State) -> Result<()> {
+        let inner = &self.inner;
+        if st.mem.is_empty() {
+            return Ok(());
+        }
+        let now = inner.opts.clock.now();
+
+        let id = st.next_file_id;
+        st.next_file_id += 1;
+        // Entries are flushed as-is; range-erased versions are purged at
+        // bottommost compactions (purging here could let older, deeper
+        // versions decide reads).
+        let file = write_l0_table(
+            &inner.fs,
+            &inner.dir,
+            &inner.opts,
+            inner.cache.as_ref(),
+            st.mem.entries(),
+            id,
+            id,
+            now,
+        )?;
+
+        let persisted = st.mem.max_seqno().expect("non-empty memtable");
+        let new_wal_number = st.next_file_id;
+        st.next_file_id += 1;
+
+        let mut edits = vec![
+            VersionEdit::PersistedSeqno { seqno: persisted },
+            VersionEdit::LogNumber { number: new_wal_number },
+            VersionEdit::NextFileId { id: st.next_file_id },
+        ];
+        if let Some(f) = &file {
+            edits.insert(
+                0,
+                VersionEdit::AddFile {
+                    level: 0,
+                    run: f.run,
+                    id: f.id,
+                    size: f.size_bytes,
+                    created_tick: now,
+                },
+            );
+            inner
+                .stats
+                .compaction_bytes_out
+                .fetch_add(f.size_bytes, std::sync::atomic::Ordering::Relaxed);
+        }
+        st.manifest.append(&EditBatch { edits })?;
+
+        // Swap in the new WAL, then retire old segments.
+        st.wal = LogWriter::new(inner.fs.create(&wal_path(&inner.dir, new_wal_number))?);
+        for old in std::mem::take(&mut st.live_wals) {
+            let path = wal_path(&inner.dir, old);
+            if inner.fs.exists(&path) {
+                inner.fs.delete(&path)?;
+            }
+        }
+        st.live_wals = vec![new_wal_number];
+
+        if let Some(f) = file {
+            st.version = Arc::new(st.version.apply(vec![f], &[], &[], &[]));
+        }
+        st.persisted_seqno = persisted;
+        st.mem = Memtable::new();
+        self.recompute_ttl_deadline(st);
+        inner.stats.flushes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn maintain_locked(&self, st: &mut State) -> Result<()> {
+        for _ in 0..MAX_COMPACTIONS_PER_PASS {
+            let now = self.inner.opts.clock.now();
+            let Some(task) = self.inner.picker.pick(&st.version, now) else {
+                return Ok(());
+            };
+            self.run_task_locked(st, &task)?;
+        }
+        Err(Error::Internal(
+            "compaction did not converge within the per-pass bound".into(),
+        ))
+    }
+
+    /// Execute one compaction task: run it, apply the outcome to the
+    /// version, log the manifest record, delete replaced files, update
+    /// statistics.
+    fn run_task_locked(&self, st: &mut State, task: &crate::picker::CompactionTask) -> Result<()> {
+        let inner = &self.inner;
+        let now = inner.opts.clock.now();
+        let snapshots = self.snapshot_list();
+        let mut next_id = st.next_file_id;
+        let outcome = run_compaction(
+            &inner.fs,
+            &inner.dir,
+            &inner.opts,
+            inner.cache.as_ref(),
+            &st.version,
+            task,
+            &snapshots,
+            now,
+            || {
+                let id = next_id;
+                next_id += 1;
+                id
+            },
+        )?;
+        st.next_file_id = next_id;
+
+        // Apply to the version first so range-tombstone retirement sees
+        // the post-compaction file set. A tombstone is retirable only if
+        // the *memtable* holds nothing it could still shadow either —
+        // un-flushed covered entries must remain shadowed once they
+        // reach disk.
+        let mut new_version =
+            st.version.apply(outcome.added.clone(), &outcome.deleted_ids, &[], &[]);
+        let mut retirable = new_version.retirable_range_tombstones();
+        if let (Some(mem_min_seq), Some(lo), Some(hi)) = (
+            st.mem.min_seqno(),
+            st.mem.stats().min_dkey,
+            st.mem.stats().max_dkey,
+        ) {
+            let rts = st.version.range_tombstones.clone();
+            retirable.retain(|seqno| {
+                !rts.iter().any(|rt| {
+                    rt.seqno == *seqno && mem_min_seq < rt.seqno && rt.range.overlaps(lo, hi)
+                })
+            });
+        }
+        if !retirable.is_empty() {
+            new_version = new_version.apply(vec![], &[], &[], &retirable);
+        }
+
+        // Manifest record (deletes first so trivial moves replay
+        // correctly).
+        let mut edits: Vec<VersionEdit> = outcome
+            .deleted_ids
+            .iter()
+            .map(|id| VersionEdit::DeleteFile { id: *id })
+            .collect();
+        for f in &outcome.added {
+            edits.push(VersionEdit::AddFile {
+                level: f.level as u64,
+                run: f.run,
+                id: f.id,
+                size: f.size_bytes,
+                created_tick: f.created_tick,
+            });
+        }
+        for seqno in &retirable {
+            edits.push(VersionEdit::DropRangeTombstone { seqno: *seqno });
+        }
+        edits.push(VersionEdit::NextFileId { id: st.next_file_id });
+        st.manifest.append(&EditBatch { edits })?;
+
+        // Physically remove replaced files (not those merely moved).
+        let kept: Vec<u64> = outcome.added.iter().map(|f| f.id).collect();
+        for id in &outcome.deleted_ids {
+            if !kept.contains(id) {
+                let path = sst_path(&inner.dir, *id);
+                if inner.fs.exists(&path) {
+                    inner.fs.delete(&path)?;
+                }
+            }
+        }
+        st.version = Arc::new(new_version);
+
+        // Statistics.
+        use std::sync::atomic::Ordering::Relaxed;
+        inner.stats.compactions.fetch_add(1, Relaxed);
+        if task.reason == CompactionReason::TtlExpired {
+            inner.stats.ttl_compactions.fetch_add(1, Relaxed);
+        }
+        inner.stats.compaction_bytes_in.fetch_add(outcome.bytes_in, Relaxed);
+        inner.stats.compaction_bytes_out.fetch_add(outcome.bytes_out, Relaxed);
+        inner.stats.entries_shadowed.fetch_add(outcome.shadowed, Relaxed);
+        inner.stats.entries_range_purged.fetch_add(outcome.range_purged, Relaxed);
+        inner.stats.pages_dropped.fetch_add(outcome.pages_dropped, Relaxed);
+        let d_th = inner
+            .opts
+            .fade
+            .as_ref()
+            .map(|f| f.delete_persistence_threshold);
+        for (delete_tick, _seqno) in &outcome.tombstones_dropped {
+            if std::env::var_os("ACHERON_DEBUG_PURGE").is_some() {
+                if let Some(d) = d_th {
+                    let lat = now.saturating_sub(*delete_tick);
+                    if lat > d {
+                        eprintln!(
+                            "VIOLATION lat={lat} d_th={d} now={now} t0={delete_tick} reason={:?} level={} out={} inputs={:?}",
+                            task.reason, task.level, task.output_level,
+                            task.all_inputs().map(|f| (f.id, f.level, f.stats.oldest_tombstone_tick)).collect::<Vec<_>>()
+                        );
+                    }
+                }
+            }
+            inner.stats.record_tombstone_purge(*delete_tick, now, d_th);
+        }
+        *inner.stats.last_compaction_reason.lock() = Some(format!("{:?}", task.reason));
+        self.recompute_ttl_deadline(st);
+        Ok(())
+    }
+
+    /// Recompute the cached earliest-TTL-expiry tick from the current
+    /// tree and buffer.
+    fn recompute_ttl_deadline(&self, st: &mut State) {
+        st.ttl_deadline = self
+            .inner
+            .picker
+            .ttl_schedule()
+            .and_then(|ttl| ttl.next_deadline(st.version.all_files().map(|f| f.as_ref()), &st.mem));
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Point lookup at the latest state.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
+        let snapshot = self.inner.state.read().last_seqno;
+        self.get_at_seqno(key, snapshot)
+    }
+
+    /// Point lookup at a snapshot.
+    pub fn get_at(&self, snap: &Snapshot, key: &[u8]) -> Result<Option<Bytes>> {
+        self.get_at_seqno(key, snap.seqno)
+    }
+
+    fn get_at_seqno(&self, key: &[u8], snapshot: SeqNo) -> Result<Option<Bytes>> {
+        let inner = &self.inner;
+        inner.stats.gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let st = inner.state.read();
+        let visible_rts: Vec<RangeTombstone> = st
+            .version
+            .range_tombstones
+            .iter()
+            .filter(|rt| rt.seqno <= snapshot)
+            .copied()
+            .collect();
+
+        let mut candidates = st.mem.versions(key, snapshot);
+        for f in st.version.all_files() {
+            if f.contains_key(key) {
+                // Read-path page skipping is disabled (`&[]`): the newest
+                // version must be seen even when range-erased, because it
+                // is what decides the key's visibility.
+                candidates.extend(f.table.get_versions(key, snapshot, &[])?);
+            }
+        }
+        // Newest-version-decides: the single newest visible version
+        // determines the outcome.
+        let Some(newest) = candidates.into_iter().max_by_key(|c| c.seqno) else {
+            return Ok(None);
+        };
+        if visible_rts.iter().any(|rt| rt.shadows(newest.seqno, newest.dkey)) {
+            return Ok(None); // range-erased
+        }
+        Ok(match newest.kind {
+            acheron_types::ValueKind::Put => Some(newest.value),
+            _ => None,
+        })
+    }
+
+    /// Register a read snapshot at the current sequence number.
+    pub fn snapshot(&self) -> Snapshot {
+        let seqno = self.inner.state.read().last_seqno;
+        *self.inner.snapshots.lock().entry(seqno).or_insert(0) += 1;
+        Snapshot { inner: Arc::clone(&self.inner), seqno }
+    }
+
+    fn snapshot_list(&self) -> Vec<SeqNo> {
+        self.inner.snapshots.lock().keys().copied().collect()
+    }
+
+    /// Range scan over user keys `[lo, hi]` (inclusive) at the latest
+    /// state. Returns key/value pairs in order.
+    pub fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>> {
+        let snapshot = self.inner.state.read().last_seqno;
+        self.scan_at_seqno(lo, hi, snapshot)
+    }
+
+    /// Range scan at a snapshot.
+    pub fn scan_at(&self, snap: &Snapshot, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>> {
+        self.scan_at_seqno(lo, hi, snap.seqno)
+    }
+
+    fn scan_at_seqno(&self, lo: &[u8], hi: &[u8], snapshot: SeqNo) -> Result<Vec<(Bytes, Bytes)>> {
+        let mut it = self.range_iter_at_seqno(lo, hi, snapshot)?;
+        let mut out = Vec::new();
+        while let Some(kv) = it.next_entry()? {
+            out.push(kv);
+        }
+        Ok(out)
+    }
+
+    /// A streaming iterator over user keys `[lo, hi]` (inclusive) at the
+    /// latest state — use instead of [`Db::scan`] when the range may be
+    /// large and you want to stop early or avoid materializing it.
+    ///
+    /// The iterator reads from the version current at creation; writes
+    /// issued afterwards are not visible to it.
+    pub fn range_iter(&self, lo: &[u8], hi: &[u8]) -> Result<RangeIter> {
+        let snapshot = self.inner.state.read().last_seqno;
+        self.range_iter_at_seqno(lo, hi, snapshot)
+    }
+
+    /// A streaming range iterator at a snapshot.
+    pub fn range_iter_at(&self, snap: &Snapshot, lo: &[u8], hi: &[u8]) -> Result<RangeIter> {
+        self.range_iter_at_seqno(lo, hi, snap.seqno)
+    }
+
+    fn range_iter_at_seqno(&self, lo: &[u8], hi: &[u8], snapshot: SeqNo) -> Result<RangeIter> {
+        use crate::merge::{KvSource, MergeIterator, VecSource};
+        let inner = &self.inner;
+        inner.stats.scans.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let st = inner.state.read();
+        let visible_rts: Vec<RangeTombstone> = st
+            .version
+            .range_tombstones
+            .iter()
+            .filter(|rt| rt.seqno <= snapshot)
+            .copied()
+            .collect();
+
+        let seek_key = acheron_types::InternalKey::for_seek(lo, MAX_SEQNO);
+        let mut sources: Vec<Box<dyn KvSource>> = Vec::new();
+
+        // Memtable: materialize the range (all versions; filtered below).
+        // Bounded by the write-buffer size, so this is cheap even for
+        // huge on-disk ranges.
+        {
+            let mut it = st.mem.iter();
+            it.seek(seek_key.encoded());
+            let mut buf = Vec::new();
+            while it.valid() {
+                let e = it.entry();
+                if &e.key[..] > hi {
+                    break;
+                }
+                buf.push(e.clone());
+                it.next();
+            }
+            if !buf.is_empty() {
+                sources.push(Box::new(VecSource::new(buf)));
+            }
+        }
+        for f in st.version.all_files() {
+            if f.overlaps_keys(lo, hi) {
+                // No page skipping on reads: chain heads must be seen
+                // (newest-version-decides).
+                let mut it = f.table.iter(Vec::new());
+                it.seek(seek_key.encoded())?;
+                if acheron_sstable::TableIterator::valid(&it) {
+                    sources.push(Box::new(it));
+                }
+            }
+        }
+        // The iterator holds Arc'd tables and owned entries, so it stays
+        // valid after the state lock is released; compactions cannot
+        // delete the files out from under it (Arc<Table> pins them, and
+        // MemFs/StdFs handles stay readable after unlink).
+        Ok(RangeIter {
+            merge: MergeIterator::new(sources),
+            hi: hi.to_vec(),
+            snapshot,
+            rts: visible_rts,
+            decided_key: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Engine statistics counters.
+    pub fn stats(&self) -> &DbStats {
+        &self.inner.stats
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &DbOptions {
+        &self.inner.opts
+    }
+
+    /// The filesystem the database lives on (for I/O accounting).
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.inner.fs)
+    }
+
+    /// Current clock tick.
+    pub fn now(&self) -> Tick {
+        self.inner.opts.clock.now()
+    }
+
+    /// Page-cache hit/miss counters, if a cache is configured.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.inner.cache.as_ref().map(|c| (c.hits(), c.misses()))
+    }
+
+    /// Per-level summary of the current tree.
+    pub fn level_summary(&self) -> Vec<LevelInfo> {
+        let st = self.inner.state.read();
+        (0..st.version.levels.len())
+            .map(|level| LevelInfo {
+                level,
+                files: st.version.level_files(level),
+                runs: st.version.level_runs(level),
+                bytes: st.version.level_bytes(level),
+                entries: st.version.levels[level].iter().map(|f| f.stats.entry_count).sum(),
+                tombstones: st.version.levels[level]
+                    .iter()
+                    .map(|f| f.stats.tombstone_count)
+                    .sum(),
+            })
+            .collect()
+    }
+
+    /// Point tombstones currently alive anywhere (memtable + tree).
+    pub fn live_tombstones(&self) -> u64 {
+        let st = self.inner.state.read();
+        st.version.live_tombstones() + st.mem.stats().tombstones as u64
+    }
+
+    /// Total table bytes on storage.
+    pub fn table_bytes(&self) -> u64 {
+        self.inner.state.read().version.total_bytes()
+    }
+
+    /// Live secondary range tombstones.
+    pub fn live_range_tombstones(&self) -> Vec<RangeTombstone> {
+        self.inner.state.read().version.range_tombstones.clone()
+    }
+
+    /// Age (at `now`) of the oldest live point tombstone, if any — the
+    /// quantity FADE bounds by `D_th`.
+    pub fn oldest_live_tombstone_age(&self) -> Option<Tick> {
+        let st = self.inner.state.read();
+        let now = self.inner.opts.clock.now();
+        let file_oldest = st
+            .version
+            .all_files()
+            .filter_map(|f| f.stats.oldest_tombstone_tick)
+            .min();
+        let mem_oldest = st.mem.stats().oldest_tombstone_tick;
+        file_oldest
+            .into_iter()
+            .chain(mem_oldest)
+            .min()
+            .map(|t| now.saturating_sub(t))
+    }
+
+    /// Check structural invariants of the current tree (I1/I6): level
+    /// ordering, per-file metadata consistency with actual contents.
+    pub fn verify_integrity(&self) -> Result<()> {
+        let st = self.inner.state.read();
+        st.version.check_invariants()?;
+        for f in st.version.all_files() {
+            let mut it = f.table.iter(vec![]);
+            it.seek_to_first()?;
+            let mut entries = 0u64;
+            let mut tombstones = 0u64;
+            let mut last: Option<Vec<u8>> = None;
+            while acheron_sstable::TableIterator::valid(&it) {
+                if let Some(prev) = &last {
+                    if acheron_types::key::compare_internal(prev, it.key())
+                        != std::cmp::Ordering::Less
+                    {
+                        return Err(Error::Internal(format!(
+                            "file {}: entries out of order",
+                            f.id
+                        )));
+                    }
+                }
+                last = Some(it.key().to_vec());
+                let e = it.entry()?;
+                entries += 1;
+                if e.is_tombstone() {
+                    tombstones += 1;
+                }
+                acheron_sstable::TableIterator::next(&mut it)?;
+            }
+            if entries != f.stats.entry_count || tombstones != f.stats.tombstone_count {
+                return Err(Error::Internal(format!(
+                    "file {}: stats mismatch (entries {entries} vs {}, tombstones {tombstones} vs {})",
+                    f.id, f.stats.entry_count, f.stats.tombstone_count
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DbOptions {
+    fn clock_advance(&self, n: u64) {
+        if let Some(lc) = self.logical_clock() {
+            lc.advance(n);
+        }
+    }
+
+    fn clock_advance_to(&self, t: Tick) {
+        if let Some(lc) = self.logical_clock() {
+            lc.advance_to(t);
+        }
+    }
+
+    /// Downcast the clock to a logical clock, if that is what it is.
+    fn logical_clock(&self) -> Option<&acheron_types::LogicalClock> {
+        // Clock is object-safe without Any; use the concrete default.
+        // DbOptions users driving a custom clock advance it themselves.
+        let clock: &dyn Clock = self.clock.as_ref();
+        // SAFETY-free downcast via trait object comparison is not
+        // possible without `Any`; instead LogicalClock is detected by a
+        // vtable-free helper on the trait.
+        clock.as_logical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::CompactionLayout;
+    use acheron_vfs::MemFs;
+
+    fn open_mem(opts: DbOptions) -> (Arc<MemFs>, Db) {
+        let fs = Arc::new(MemFs::new());
+        let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts).unwrap();
+        (fs, db)
+    }
+
+    fn small() -> DbOptions {
+        DbOptions::small()
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let (_fs, db) = open_mem(small());
+        db.put(b"a", b"1").unwrap();
+        db.put(b"b", b"2").unwrap();
+        assert_eq!(db.get(b"a").unwrap().unwrap().as_ref(), b"1");
+        db.put(b"a", b"1bis").unwrap();
+        assert_eq!(db.get(b"a").unwrap().unwrap().as_ref(), b"1bis");
+        db.delete(b"a").unwrap();
+        assert_eq!(db.get(b"a").unwrap(), None);
+        assert_eq!(db.get(b"b").unwrap().unwrap().as_ref(), b"2");
+        assert_eq!(db.get(b"missing").unwrap(), None);
+    }
+
+    #[test]
+    fn reads_span_memtable_and_levels() {
+        let (_fs, db) = open_mem(small());
+        for i in 0..2000u32 {
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64]).unwrap();
+        }
+        // The tree must have flushed at least once by now.
+        assert!(db.stats().flushes.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        for i in (0..2000u32).step_by(97) {
+            let got = db.get(format!("key{i:05}").as_bytes()).unwrap();
+            assert!(got.is_some(), "key{i:05} lost");
+        }
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn overwrites_survive_compaction() {
+        let (_fs, db) = open_mem(small());
+        for round in 0..5u32 {
+            for i in 0..500u32 {
+                db.put(
+                    format!("key{i:04}").as_bytes(),
+                    format!("r{round}-{i}").as_bytes(),
+                )
+                .unwrap();
+            }
+        }
+        db.compact_all().unwrap();
+        for i in (0..500u32).step_by(13) {
+            let got = db.get(format!("key{i:04}").as_bytes()).unwrap().unwrap();
+            assert_eq!(got.as_ref(), format!("r4-{i}").as_bytes());
+        }
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn deletes_survive_flush_and_compaction() {
+        let (_fs, db) = open_mem(small());
+        for i in 0..1000u32 {
+            db.put(format!("key{i:04}").as_bytes(), &[b'x'; 32]).unwrap();
+        }
+        db.compact_all().unwrap();
+        for i in 0..1000u32 {
+            if i % 3 == 0 {
+                db.delete(format!("key{i:04}").as_bytes()).unwrap();
+            }
+        }
+        db.compact_all().unwrap();
+        for i in 0..1000u32 {
+            let got = db.get(format!("key{i:04}").as_bytes()).unwrap();
+            assert_eq!(got.is_none(), i % 3 == 0, "key{i:04}");
+        }
+    }
+
+    #[test]
+    fn scan_merges_all_sources() {
+        let (_fs, db) = open_mem(small());
+        for i in 0..300u32 {
+            db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+        // Updates and deletes land in the memtable.
+        db.put(b"key0010", b"updated").unwrap();
+        db.delete(b"key0011").unwrap();
+        let got = db.scan(b"key0009", b"key0013").unwrap();
+        let rendered: Vec<(String, String)> = got
+            .iter()
+            .map(|(k, v)| {
+                (
+                    String::from_utf8_lossy(k).into_owned(),
+                    String::from_utf8_lossy(v).into_owned(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                ("key0009".into(), "v9".into()),
+                ("key0010".into(), "updated".into()),
+                ("key0012".into(), "v12".into()),
+                ("key0013".into(), "v13".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_bounds_are_inclusive() {
+        let (_fs, db) = open_mem(small());
+        for k in ["a", "b", "c", "d"] {
+            db.put(k.as_bytes(), b"v").unwrap();
+        }
+        let got = db.scan(b"b", b"c").unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0.as_ref(), b"b");
+        assert_eq!(got[1].0.as_ref(), b"c");
+        assert!(db.scan(b"x", b"z").unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_isolation_for_gets() {
+        let (_fs, db) = open_mem(small());
+        db.put(b"k", b"old").unwrap();
+        let snap = db.snapshot();
+        db.put(b"k", b"new").unwrap();
+        db.delete(b"j").unwrap();
+        assert_eq!(db.get_at(&snap, b"k").unwrap().unwrap().as_ref(), b"old");
+        assert_eq!(db.get(b"k").unwrap().unwrap().as_ref(), b"new");
+        drop(snap);
+    }
+
+    #[test]
+    fn snapshot_survives_compaction() {
+        let (_fs, db) = open_mem(small());
+        db.put(b"pinned", b"v1").unwrap();
+        let snap = db.snapshot();
+        for i in 0..3000u32 {
+            db.put(format!("fill{i:05}").as_bytes(), &[b'f'; 64]).unwrap();
+        }
+        db.put(b"pinned", b"v2").unwrap();
+        db.compact_all().unwrap();
+        assert_eq!(db.get_at(&snap, b"pinned").unwrap().unwrap().as_ref(), b"v1");
+        assert_eq!(db.get(b"pinned").unwrap().unwrap().as_ref(), b"v2");
+    }
+
+    #[test]
+    fn range_delete_secondary_erases_by_dkey() {
+        let (_fs, db) = open_mem(small());
+        for i in 0..100u32 {
+            db.put_with_dkey(format!("key{i:03}").as_bytes(), b"v", u64::from(i)).unwrap();
+        }
+        db.range_delete_secondary(10, 19).unwrap();
+        for i in 0..100u32 {
+            let got = db.get(format!("key{i:03}").as_bytes()).unwrap();
+            assert_eq!(got.is_none(), (10..20).contains(&i), "key{i:03}");
+        }
+        // Scans agree.
+        let got = db.scan(b"key000", b"key099").unwrap();
+        assert_eq!(got.len(), 90);
+        // And the erasure persists through compaction.
+        db.compact_all().unwrap();
+        for i in 0..100u32 {
+            let got = db.get(format!("key{i:03}").as_bytes()).unwrap();
+            assert_eq!(got.is_none(), (10..20).contains(&i), "key{i:03} after compact");
+        }
+    }
+
+    #[test]
+    fn range_delete_on_newest_version_hides_the_key() {
+        // Newest-version-decides semantics: erasing the newest version
+        // deletes the key; older versions do not resurface, no matter
+        // when compaction physically reclaims the bytes.
+        let (_fs, db) = open_mem(small());
+        db.put_with_dkey(b"k", b"v-old", 5).unwrap();
+        db.put_with_dkey(b"k", b"v-new", 50).unwrap();
+        db.range_delete_secondary(40, 60).unwrap();
+        assert_eq!(db.get(b"k").unwrap(), None);
+        db.compact_all().unwrap();
+        assert_eq!(db.get(b"k").unwrap(), None);
+        // An older version *is* still readable through a range that does
+        // not cover the newest one.
+        db.put_with_dkey(b"j", b"j-old", 5).unwrap();
+        db.put_with_dkey(b"j", b"j-new", 100).unwrap();
+        db.range_delete_secondary(0, 10).unwrap();
+        assert_eq!(db.get(b"j").unwrap().unwrap().as_ref(), b"j-new");
+    }
+
+    #[test]
+    fn range_delete_rejects_inverted_range() {
+        let (_fs, db) = open_mem(small());
+        assert!(db.range_delete_secondary(10, 5).is_err());
+    }
+
+    #[test]
+    fn range_tombstones_retire_once_applied() {
+        let (_fs, db) = open_mem(small());
+        for i in 0..500u32 {
+            db.put_with_dkey(format!("key{i:04}").as_bytes(), &[b'v'; 32], u64::from(i))
+                .unwrap();
+        }
+        db.range_delete_secondary(0, 100).unwrap();
+        assert_eq!(db.live_range_tombstones().len(), 1);
+        db.compact_all().unwrap();
+        assert!(
+            db.live_range_tombstones().is_empty(),
+            "fully applied range tombstone must retire"
+        );
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn fade_bounds_tombstone_age() {
+        let d_th = 2_000u64;
+        let (_fs, db) = open_mem(small().with_fade(d_th));
+        for i in 0..800u32 {
+            db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32]).unwrap();
+        }
+        for i in 0..400u32 {
+            db.delete(format!("key{i:04}").as_bytes()).unwrap();
+        }
+        // Drive the clock well past the threshold with unrelated writes.
+        for i in 0..6000u32 {
+            db.put(format!("other{i:05}").as_bytes(), &[b'w'; 32]).unwrap();
+        }
+        db.maintain().unwrap();
+        let age = db.oldest_live_tombstone_age();
+        assert!(
+            age.is_none_or(|a| a <= d_th),
+            "oldest tombstone age {age:?} exceeds D_th {d_th}"
+        );
+        assert_eq!(
+            db.stats().persistence_violations.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "FADE must never violate the threshold"
+        );
+        assert!(
+            db.stats().ttl_compactions.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "TTL trigger should have fired"
+        );
+    }
+
+    #[test]
+    fn baseline_accumulates_tombstones_fade_purges_them() {
+        // The scenario the paper motivates: a cold key range is deleted
+        // and then the workload goes quiet. The baseline has no trigger
+        // left, so its tombstones linger forever; FADE's TTL trigger
+        // purges them as the clock advances.
+        let d_th = 3_000u64;
+        let run = |fade: bool| -> u64 {
+            let opts = if fade { small().with_fade(d_th) } else { small() };
+            let (_fs, db) = open_mem(opts);
+            for i in 0..1000u32 {
+                db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32]).unwrap();
+            }
+            for i in 0..1000u32 {
+                db.delete(format!("key{i:04}").as_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+            // Quiet period: time passes, no writes.
+            db.advance_clock(10 * d_th);
+            db.maintain().unwrap();
+            db.live_tombstones()
+        };
+        let baseline = run(false);
+        let fade = run(true);
+        assert_eq!(fade, 0, "FADE must purge every expired tombstone");
+        assert!(
+            baseline > 0,
+            "delete-blind baseline has no reason to purge: {baseline}"
+        );
+    }
+
+    #[test]
+    fn crash_recovery_restores_acknowledged_writes() {
+        let fs = Arc::new(MemFs::new());
+        {
+            let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
+            for i in 0..1500u32 {
+                db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            }
+            db.delete(b"key00007").unwrap();
+            db.range_delete_secondary(1, 2).unwrap();
+            // No clean shutdown: just drop the handle.
+        }
+        let db = Db::open(fs as Arc<dyn Vfs>, "db", small()).unwrap();
+        assert_eq!(db.get(b"key00007").unwrap(), None);
+        for i in (0..1500u32).step_by(119) {
+            if i == 7 {
+                continue;
+            }
+            let got = db.get(format!("key{i:05}").as_bytes()).unwrap();
+            assert_eq!(got.unwrap().as_ref(), format!("v{i}").as_bytes(), "key{i:05}");
+        }
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn recovery_is_idempotent_across_restarts() {
+        let fs = Arc::new(MemFs::new());
+        for restart in 0..3 {
+            let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
+            db.put(format!("round{restart}").as_bytes(), b"done").unwrap();
+            for r in 0..=restart {
+                assert_eq!(
+                    db.get(format!("round{r}").as_bytes()).unwrap().unwrap().as_ref(),
+                    b"done",
+                    "restart {restart}, round {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiering_layout_works_end_to_end() {
+        let opts = DbOptions { layout: CompactionLayout::Tiering, ..small() };
+        let (_fs, db) = open_mem(opts);
+        for i in 0..4000u32 {
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48]).unwrap();
+        }
+        db.compact_all().unwrap();
+        for i in (0..4000u32).step_by(211) {
+            assert!(db.get(format!("key{i:05}").as_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn lazy_leveling_layout_works_end_to_end() {
+        let opts = DbOptions { layout: CompactionLayout::LazyLeveling, ..small() };
+        let (_fs, db) = open_mem(opts);
+        for i in 0..4000u32 {
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48]).unwrap();
+        }
+        db.compact_all().unwrap();
+        for i in (0..4000u32).step_by(211) {
+            assert!(db.get(format!("key{i:05}").as_bytes()).unwrap().is_some());
+        }
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn kiwi_tiles_preserve_correctness() {
+        let opts = small().with_tile(8);
+        let (_fs, db) = open_mem(opts);
+        for i in 0..3000u32 {
+            db.put_with_dkey(
+                format!("key{i:05}").as_bytes(),
+                format!("v{i}").as_bytes(),
+                u64::from(i % 256),
+            )
+            .unwrap();
+        }
+        db.compact_all().unwrap();
+        for i in (0..3000u32).step_by(173) {
+            let got = db.get(format!("key{i:05}").as_bytes()).unwrap().unwrap();
+            assert_eq!(got.as_ref(), format!("v{i}").as_bytes());
+        }
+        let scanned = db.scan(b"key00100", b"key00200").unwrap();
+        assert_eq!(scanned.len(), 101);
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let (_fs, db) = open_mem(small());
+        db.put(b"a", b"1").unwrap();
+        db.delete(b"a").unwrap();
+        db.get(b"a").unwrap();
+        db.scan(b"a", b"z").unwrap();
+        db.range_delete_secondary(0, 1).unwrap();
+        use std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(db.stats().puts.load(Relaxed), 1);
+        assert_eq!(db.stats().deletes.load(Relaxed), 1);
+        assert_eq!(db.stats().gets.load(Relaxed), 1);
+        assert_eq!(db.stats().scans.load(Relaxed), 1);
+        assert_eq!(db.stats().range_deletes.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn level_summary_shape() {
+        let (_fs, db) = open_mem(small());
+        for i in 0..2000u32 {
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64]).unwrap();
+        }
+        db.compact_all().unwrap();
+        let summary = db.level_summary();
+        assert_eq!(summary.len(), db.options().max_levels);
+        let total: u64 = summary.iter().map(|l| l.entries).sum();
+        assert!(total > 0);
+        assert!(summary.iter().any(|l| l.level > 0 && l.files > 0), "data should reach L1+");
+    }
+
+    #[test]
+    fn write_batch_is_atomic_and_visible_together() {
+        let (_fs, db) = open_mem(small());
+        db.put(b"victim", b"old").unwrap();
+        let mut batch = WriteBatch::new();
+        batch.put(b"a", b"1");
+        batch.put_with_dkey(b"b", b"2", 77);
+        batch.delete(b"victim");
+        assert_eq!(batch.len(), 3);
+        db.write_batch(batch).unwrap();
+        assert_eq!(db.get(b"a").unwrap().unwrap().as_ref(), b"1");
+        assert_eq!(db.get(b"b").unwrap().unwrap().as_ref(), b"2");
+        assert_eq!(db.get(b"victim").unwrap(), None);
+        // Empty batches are a no-op.
+        db.write_batch(WriteBatch::new()).unwrap();
+        // dkey-tagged member is range-deletable.
+        db.range_delete_secondary(77, 77).unwrap();
+        assert_eq!(db.get(b"b").unwrap(), None);
+        assert_eq!(db.get(b"a").unwrap().unwrap().as_ref(), b"1");
+    }
+
+    #[test]
+    fn batched_delete_age_starts_at_commit() {
+        let (_fs, db) = open_mem(small().with_fade(5_000));
+        db.put(b"k", b"v").unwrap();
+        let mut batch = WriteBatch::new();
+        batch.delete(b"k");
+        db.write_batch(batch).unwrap();
+        // The tombstone's tick must be a real clock value (not the
+        // u64::MAX placeholder), or FADE aging breaks.
+        let age = db.oldest_live_tombstone_age().expect("tombstone live");
+        assert!(age < 1_000, "tombstone age {age} implies a bad commit tick");
+    }
+
+    #[test]
+    fn block_cache_serves_repeated_reads() {
+        let mut opts = small();
+        opts.block_cache_bytes = 4 << 20;
+        let (_fs, db) = open_mem(opts);
+        for i in 0..3000u32 {
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64]).unwrap();
+        }
+        db.compact_all().unwrap();
+        let (h0, m0) = db.cache_stats().expect("cache configured");
+        for _round in 0..3 {
+            for i in (0..3000u32).step_by(17) {
+                assert!(db.get(format!("key{i:05}").as_bytes()).unwrap().is_some());
+            }
+        }
+        let (h1, m1) = db.cache_stats().expect("cache configured");
+        let (hits, misses) = (h1 - h0, m1 - m0);
+        assert!(
+            hits > misses,
+            "repeated reads should hit the cache: {hits} hits / {misses} misses"
+        );
+        // Without a cache the stats accessor reports None.
+        let (_fs2, db2) = open_mem(small());
+        assert!(db2.cache_stats().is_none());
+    }
+
+    #[test]
+    fn results_identical_with_and_without_cache() {
+        let run = |cache: usize| -> Vec<(Vec<u8>, Vec<u8>)> {
+            let mut opts = small();
+            opts.block_cache_bytes = cache;
+            let (_fs, db) = open_mem(opts);
+            for i in 0..2000u32 {
+                db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+                if i % 3 == 0 {
+                    db.delete(format!("key{:05}", i / 2).as_bytes()).unwrap();
+                }
+            }
+            db.compact_all().unwrap();
+            db.scan(b"key00000", b"key99999")
+                .unwrap()
+                .into_iter()
+                .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                .collect()
+        };
+        assert_eq!(run(0), run(1 << 20));
+        // A pathologically tiny cache must also be correct.
+        assert_eq!(run(0), run(64));
+    }
+
+    #[test]
+    fn range_iter_streams_and_stops_early() {
+        let (_fs, db) = open_mem(small());
+        for i in 0..1000u32 {
+            db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        db.delete(b"key0003").unwrap();
+        db.flush().unwrap();
+        // Stream only the first five live rows of a huge range.
+        let mut it = db.range_iter(b"key0000", b"key9999").unwrap();
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            got.push(it.next_entry().unwrap().expect("more rows"));
+        }
+        let keys: Vec<String> = got
+            .iter()
+            .map(|(k, _)| String::from_utf8_lossy(k).into_owned())
+            .collect();
+        assert_eq!(keys, vec!["key0000", "key0001", "key0002", "key0004", "key0005"]);
+        drop(it);
+        // The streaming result equals the materialized scan.
+        let mut it = db.range_iter(b"key0100", b"key0110").unwrap();
+        let mut streamed = Vec::new();
+        while let Some(kv) = it.next_entry().unwrap() {
+            streamed.push(kv);
+        }
+        assert_eq!(streamed, db.scan(b"key0100", b"key0110").unwrap());
+        // End-of-range is stable.
+        assert!(it.next_entry().unwrap().is_none());
+        assert!(it.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn range_iter_survives_concurrent_compaction() {
+        let (_fs, db) = open_mem(small());
+        for i in 0..500u32 {
+            db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32]).unwrap();
+        }
+        db.flush().unwrap();
+        let mut it = db.range_iter(b"key0000", b"key9999").unwrap();
+        // Pull a few rows, then compact everything underneath it.
+        for _ in 0..10 {
+            it.next_entry().unwrap().unwrap();
+        }
+        db.compact_all().unwrap();
+        for i in 0..200u32 {
+            db.put(format!("new{i:04}").as_bytes(), &[b'w'; 32]).unwrap();
+        }
+        // The iterator keeps serving its frozen view.
+        let mut remaining = 10;
+        while let Some((k, _)) = it.next_entry().unwrap() {
+            assert!(k.starts_with(b"key"), "iterator view must not see new writes");
+            remaining += 1;
+        }
+        assert_eq!(remaining, 500);
+    }
+
+    #[test]
+    fn empty_db_operations() {
+        let (_fs, db) = open_mem(small());
+        assert_eq!(db.get(b"nothing").unwrap(), None);
+        assert!(db.scan(b"a", b"z").unwrap().is_empty());
+        db.flush().unwrap();
+        db.compact_all().unwrap();
+        db.verify_integrity().unwrap();
+        assert_eq!(db.live_tombstones(), 0);
+    }
+}

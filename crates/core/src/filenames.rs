@@ -1,0 +1,86 @@
+//! File naming conventions inside a database directory.
+
+use acheron_vfs::join;
+
+/// Path of table file `id`.
+pub fn sst_path(dir: &str, id: u64) -> String {
+    join(dir, &format!("{id:06}.sst"))
+}
+
+/// Path of WAL segment `number`.
+pub fn wal_path(dir: &str, number: u64) -> String {
+    join(dir, &format!("{number:06}.log"))
+}
+
+/// Name (not path) of manifest `number`.
+pub fn manifest_name(number: u64) -> String {
+    format!("MANIFEST-{number:06}")
+}
+
+/// Parse a directory entry name into its kind.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// `NNNNNN.sst`
+    Table(u64),
+    /// `NNNNNN.log`
+    Wal(u64),
+    /// `MANIFEST-NNNNNN`
+    Manifest(u64),
+    /// `CURRENT`
+    Current,
+    /// Anything else.
+    Unknown,
+}
+
+/// Classify a file name.
+pub fn parse_file_name(name: &str) -> FileKind {
+    if name == "CURRENT" {
+        return FileKind::Current;
+    }
+    if let Some(num) = name.strip_prefix("MANIFEST-") {
+        if let Ok(n) = num.parse::<u64>() {
+            return FileKind::Manifest(n);
+        }
+    }
+    if let Some(stem) = name.strip_suffix(".sst") {
+        if let Ok(n) = stem.parse::<u64>() {
+            return FileKind::Table(n);
+        }
+    }
+    if let Some(stem) = name.strip_suffix(".log") {
+        if let Ok(n) = stem.parse::<u64>() {
+            return FileKind::Wal(n);
+        }
+    }
+    FileKind::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_stable() {
+        assert_eq!(sst_path("db", 7), "db/000007.sst");
+        assert_eq!(wal_path("db", 123456), "db/123456.log");
+        assert_eq!(manifest_name(3), "MANIFEST-000003");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(parse_file_name("000007.sst"), FileKind::Table(7));
+        assert_eq!(parse_file_name("000009.log"), FileKind::Wal(9));
+        assert_eq!(parse_file_name("MANIFEST-000003"), FileKind::Manifest(3));
+        assert_eq!(parse_file_name("CURRENT"), FileKind::Current);
+        assert_eq!(parse_file_name("CURRENT.tmp"), FileKind::Unknown);
+        assert_eq!(parse_file_name("junk.sst2"), FileKind::Unknown);
+        assert_eq!(parse_file_name("abc.sst"), FileKind::Unknown);
+        assert_eq!(parse_file_name("MANIFEST-xyz"), FileKind::Unknown);
+    }
+
+    #[test]
+    fn large_ids_widen_gracefully() {
+        assert_eq!(sst_path("d", 1_000_000), "d/1000000.sst");
+        assert_eq!(parse_file_name("1000000.sst"), FileKind::Table(1_000_000));
+    }
+}

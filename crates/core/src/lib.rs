@@ -1,0 +1,57 @@
+//! # Acheron: a delete-aware LSM storage engine
+//!
+//! Acheron reproduces the system demonstrated in *"Acheron: Persisting
+//! Tombstones in LSM Engines"* (SIGMOD 2023): an LSM key-value engine in
+//! which deletes are first-class —
+//!
+//! * **FADE** bounds *delete persistence latency*: every point tombstone
+//!   is guaranteed to be physically purged within a user-chosen
+//!   threshold `D_th` of its insertion, enforced by per-level tombstone
+//!   TTLs that trigger compactions ([`options::FadeOptions`]).
+//! * **KiWi** (key-weaving delete tiles) makes *secondary range deletes*
+//!   cheap: SSTables interleave sort-key and delete-key order so a
+//!   "delete everything with timestamp in `[a, b]`" drops whole pages
+//!   without reading them ([`options::DbOptions::pages_per_tile`]).
+//! * The compaction framework is factored along the four design
+//!   primitives of the LSM compaction design space — trigger, layout,
+//!   granularity, data movement — so the delete-blind baselines
+//!   (leveling / tiering / lazy-leveling with min-overlap picks) and the
+//!   delete-aware policies are points in one space ([`picker`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use acheron::{Db, DbOptions};
+//! use acheron_vfs::MemFs;
+//! use std::sync::Arc;
+//!
+//! let fs = Arc::new(MemFs::new());
+//! let db = Db::open(fs, "demo-db", DbOptions::small().with_fade(10_000)).unwrap();
+//! db.put(b"user:7", b"alice").unwrap();
+//! assert_eq!(db.get(b"user:7").unwrap().unwrap().as_ref(), b"alice");
+//! db.delete(b"user:7").unwrap();
+//! assert_eq!(db.get(b"user:7").unwrap(), None);
+//! ```
+
+pub mod compaction;
+pub mod db;
+pub mod doctor;
+pub mod fade;
+pub mod filenames;
+pub mod manifest;
+pub mod merge;
+pub mod options;
+pub mod picker;
+pub mod stats;
+#[cfg(test)]
+pub(crate) mod testutil;
+pub mod version;
+
+pub use db::{Db, LevelInfo, RangeIter, Snapshot, WriteBatch};
+pub use options::{CompactionLayout, DbOptions, FadeOptions, FilePickPolicy, TtlAllocation};
+pub use doctor::{check_db, DoctorReport};
+pub use stats::DbStats;
+
+// Re-export the commonly needed foundation types so downstream users
+// depend on one crate.
+pub use acheron_types::{Clock, DeleteKeyRange, LogicalClock, RangeTombstone, SystemClock};

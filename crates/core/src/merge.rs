@@ -1,0 +1,467 @@
+//! K-way merging of heterogeneous entry sources in internal-key order.
+//!
+//! Sources implement [`KvSource`]; the engine merges table iterators and
+//! materialized memtable ranges. The merge picks the minimum by linear
+//! scan — source counts are tens at most, and keys are compared without
+//! copying, which beats a heap that would have to own key copies.
+
+use acheron_types::key::compare_internal;
+use acheron_types::{Entry, RangeTombstone, Result, SeqNo, ValueKind};
+use acheron_sstable::TableIterator;
+use bytes::Bytes;
+
+/// A positioned stream of entries in internal-key order.
+pub trait KvSource {
+    /// True if positioned at an entry.
+    fn valid(&self) -> bool;
+    /// The current encoded internal key.
+    fn key(&self) -> &[u8];
+    /// The current secondary delete key.
+    fn dkey(&self) -> u64;
+    /// The current value.
+    fn value(&self) -> &Bytes;
+    /// Advance past the current entry.
+    fn next(&mut self) -> Result<()>;
+}
+
+impl KvSource for TableIterator {
+    fn valid(&self) -> bool {
+        TableIterator::valid(self)
+    }
+    fn key(&self) -> &[u8] {
+        TableIterator::key(self)
+    }
+    fn dkey(&self) -> u64 {
+        TableIterator::dkey(self)
+    }
+    fn value(&self) -> &Bytes {
+        TableIterator::value(self)
+    }
+    fn next(&mut self) -> Result<()> {
+        TableIterator::next(self)
+    }
+}
+
+/// A source over owned, already-sorted entries (materialized memtable
+/// ranges, test fixtures).
+pub struct VecSource {
+    entries: Vec<Entry>,
+    /// Cached encodings, parallel to `entries`.
+    keys: Vec<Vec<u8>>,
+    pos: usize,
+}
+
+impl VecSource {
+    /// Wrap entries that are already in internal-key order.
+    pub fn new(entries: Vec<Entry>) -> VecSource {
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| w[0].internal_key() < w[1].internal_key()));
+        let keys = entries
+            .iter()
+            .map(|e| e.internal_key().encoded().to_vec())
+            .collect();
+        VecSource { entries, keys, pos: 0 }
+    }
+}
+
+impl KvSource for VecSource {
+    fn valid(&self) -> bool {
+        self.pos < self.entries.len()
+    }
+    fn key(&self) -> &[u8] {
+        &self.keys[self.pos]
+    }
+    fn dkey(&self) -> u64 {
+        self.entries[self.pos].dkey
+    }
+    fn value(&self) -> &Bytes {
+        &self.entries[self.pos].value
+    }
+    fn next(&mut self) -> Result<()> {
+        self.pos += 1;
+        Ok(())
+    }
+}
+
+/// Merges multiple sources into one internal-key-ordered stream.
+///
+/// Ties cannot occur between *distinct* mutations (sequence numbers are
+/// unique); if two sources present the identical internal key (e.g. an
+/// entry visible both in an immutable memtable and an L0 file during a
+/// race-free handoff, which the engine never produces), the
+/// lower-indexed source wins and the other copy is skipped.
+pub struct MergeIterator {
+    sources: Vec<Box<dyn KvSource>>,
+    current: Option<usize>,
+}
+
+impl MergeIterator {
+    /// Merge the given sources (each already positioned at its start).
+    pub fn new(sources: Vec<Box<dyn KvSource>>) -> MergeIterator {
+        let mut m = MergeIterator { sources, current: None };
+        m.pick();
+        m
+    }
+
+    fn pick(&mut self) {
+        self.current = self
+            .sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid())
+            .min_by(|(_, a), (_, b)| compare_internal(a.key(), b.key()))
+            .map(|(i, _)| i);
+    }
+
+    /// True if positioned at an entry.
+    pub fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Current encoded internal key.
+    pub fn key(&self) -> &[u8] {
+        self.sources[self.current.expect("key() on exhausted merge")].key()
+    }
+
+    /// Current delete key.
+    pub fn dkey(&self) -> u64 {
+        self.sources[self.current.expect("dkey() on exhausted merge")].dkey()
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Bytes {
+        self.sources[self.current.expect("value() on exhausted merge")].value()
+    }
+
+    /// Materialize the current entry.
+    pub fn entry(&self) -> Result<Entry> {
+        let key = acheron_types::key::InternalKeyRef::decode(self.key())
+            .ok_or_else(|| acheron_types::Error::corruption("short key in merge"))?;
+        let kind = ValueKind::from_u8(key.kind_byte()).ok_or_else(|| {
+            acheron_types::Error::corruption(format!("bad kind byte {:#x}", key.kind_byte()))
+        })?;
+        Ok(Entry {
+            key: Bytes::copy_from_slice(key.user_key()),
+            seqno: key.seqno(),
+            kind,
+            dkey: self.dkey(),
+            value: self.value().clone(),
+        })
+    }
+
+    /// Advance past the current entry (and past any identical duplicate
+    /// keys in other sources).
+    pub fn advance(&mut self) -> Result<()> {
+        let cur = self.current.expect("advance() on exhausted merge");
+        let key = self.sources[cur].key().to_vec();
+        for (i, s) in self.sources.iter_mut().enumerate() {
+            if i != cur && s.valid() && s.key() == key.as_slice() {
+                s.next()?;
+            }
+        }
+        self.sources[cur].next()?;
+        self.pick();
+        Ok(())
+    }
+}
+
+/// A deduplicated, garbage-collecting view over a [`MergeIterator`]:
+/// yields the surviving entries of a compaction, applying
+///
+/// * **version dedup** — for each user key, keep the newest version plus
+///   any versions still visible to a live snapshot,
+/// * **range-tombstone purge** — drop entries shadowed by a live
+///   secondary range tombstone (unless a snapshot still needs them),
+/// * **tombstone drop** — at the bottommost level, point tombstones that
+///   no snapshot needs are dropped and reported through `on_purge`.
+pub struct CompactionStream<'a> {
+    merge: MergeIterator,
+    rts: &'a [RangeTombstone],
+    snapshots: &'a [SeqNo],
+    bottommost: bool,
+    /// Survivors of the current user key's chain not yet handed out
+    /// (non-empty only while snapshots force multiple versions).
+    pending: std::collections::VecDeque<Entry>,
+    /// Entries dropped because a newer kept version shadowed them.
+    pub shadowed: u64,
+    /// Entries purged by a secondary range tombstone.
+    pub range_purged: u64,
+    /// `(delete tick, seqno)` of each point tombstone physically dropped.
+    pub tombstones_dropped: Vec<(u64, SeqNo)>,
+}
+
+impl<'a> CompactionStream<'a> {
+    /// Wrap a merge with compaction semantics.
+    pub fn new(
+        merge: MergeIterator,
+        rts: &'a [RangeTombstone],
+        snapshots: &'a [SeqNo],
+        bottommost: bool,
+    ) -> CompactionStream<'a> {
+        CompactionStream {
+            merge,
+            rts,
+            snapshots,
+            bottommost,
+            pending: std::collections::VecDeque::new(),
+            shadowed: 0,
+            range_purged: 0,
+            tombstones_dropped: Vec::new(),
+        }
+    }
+
+    /// True if `newer` and `older` fall in the same snapshot stratum (no
+    /// snapshot separates them), meaning the older version is invisible
+    /// to every reader once the newer exists.
+    fn same_stratum(&self, newer: SeqNo, older: SeqNo) -> bool {
+        !self.snapshots.iter().any(|&s| older <= s && s < newer)
+    }
+
+    /// True if some snapshot can still observe an entry with `seqno`.
+    fn visible_to_snapshot(&self, seqno: SeqNo) -> bool {
+        self.snapshots.iter().any(|&s| seqno <= s)
+    }
+
+    /// Produce the next surviving entry, or `None` at end of input.
+    ///
+    /// Per user key, candidates are processed newest → oldest under the
+    /// engine's *newest-version-decides* semantics:
+    ///
+    /// 1. an entry in the same snapshot stratum as the last surviving
+    ///    chain head is dropped as shadowed (no reader can see it);
+    /// 2. a chain head shadowed by a live range tombstone is **purged
+    ///    only at the bottommost level** (purging higher up would let an
+    ///    older, deeper version resurface) — it still ends its stratum;
+    /// 3. a point tombstone at the bottommost level with no snapshot
+    ///    pinning it is dropped — the delete is now persisted; it too
+    ///    still ends its stratum.
+    pub fn next_surviving(&mut self) -> Result<Option<Entry>> {
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                return Ok(Some(e));
+            }
+            if !self.merge.valid() {
+                return Ok(None);
+            }
+            // Collect the whole version chain for the next user key.
+            let first = self.merge.entry()?;
+            self.merge.advance()?;
+            let mut chain = vec![first];
+            while self.merge.valid() {
+                let nk = acheron_types::key::InternalKeyRef::decode(self.merge.key())
+                    .ok_or_else(|| acheron_types::Error::corruption("short key in merge"))?;
+                if nk.user_key() != &chain[0].key[..] {
+                    break;
+                }
+                chain.push(self.merge.entry()?);
+                self.merge.advance()?;
+            }
+
+            // `last_head` = seqno of the newest candidate that survived
+            // stratum dedup (whether emitted, purged, or dropped): the
+            // version that *decides* reads in its stratum.
+            let mut last_head: Option<SeqNo> = None;
+            for candidate in chain {
+                if let Some(head) = last_head {
+                    if self.same_stratum(head, candidate.seqno) {
+                        self.shadowed += 1;
+                        continue;
+                    }
+                }
+                last_head = Some(candidate.seqno);
+                let rt_shadow = self
+                    .rts
+                    .iter()
+                    .any(|rt| rt.shadows(candidate.seqno, candidate.dkey));
+                if rt_shadow && self.bottommost && !self.visible_to_snapshot(candidate.seqno) {
+                    self.range_purged += 1;
+                    continue;
+                }
+                if candidate.is_tombstone()
+                    && self.bottommost
+                    && !self.visible_to_snapshot(candidate.seqno)
+                {
+                    self.tombstones_dropped.push((candidate.dkey, candidate.seqno));
+                    continue;
+                }
+                self.pending.push_back(candidate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acheron_types::DeleteKeyRange;
+
+    fn put(k: &str, seq: SeqNo, dkey: u64) -> Entry {
+        Entry::put(k.as_bytes().to_vec(), format!("v{seq}").into_bytes(), seq, dkey)
+    }
+
+    fn del(k: &str, seq: SeqNo, tick: u64) -> Entry {
+        Entry::tombstone(k.as_bytes().to_vec(), seq, tick)
+    }
+
+    fn sorted(mut v: Vec<Entry>) -> Vec<Entry> {
+        v.sort_by_key(|a| a.internal_key());
+        v
+    }
+
+    fn merge_of(sources: Vec<Vec<Entry>>) -> MergeIterator {
+        MergeIterator::new(
+            sources
+                .into_iter()
+                .map(|v| Box::new(VecSource::new(sorted(v))) as Box<dyn KvSource>)
+                .collect(),
+        )
+    }
+
+    fn drain_merge(mut m: MergeIterator) -> Vec<Entry> {
+        let mut out = Vec::new();
+        while m.valid() {
+            out.push(m.entry().unwrap());
+            m.advance().unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn merge_interleaves_in_order() {
+        let m = merge_of(vec![
+            vec![put("a", 1, 0), put("c", 3, 0)],
+            vec![put("b", 2, 0), put("d", 4, 0)],
+        ]);
+        let keys: Vec<Vec<u8>> = drain_merge(m).into_iter().map(|e| e.key.to_vec()).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn merge_orders_same_key_newest_first() {
+        let m = merge_of(vec![vec![put("k", 5, 0)], vec![put("k", 9, 0)], vec![del("k", 7, 0)]]);
+        let seqs: Vec<SeqNo> = drain_merge(m).into_iter().map(|e| e.seqno).collect();
+        assert_eq!(seqs, vec![9, 7, 5]);
+    }
+
+    #[test]
+    fn merge_empty_sources() {
+        let m = merge_of(vec![vec![], vec![], vec![]]);
+        assert!(!m.valid());
+        let m = merge_of(vec![]);
+        assert!(!m.valid());
+    }
+
+    fn drain_stream(mut s: CompactionStream<'_>) -> (Vec<Entry>, u64, u64, usize) {
+        let mut out = Vec::new();
+        while let Some(e) = s.next_surviving().unwrap() {
+            out.push(e);
+        }
+        (out, s.shadowed, s.range_purged, s.tombstones_dropped.len())
+    }
+
+    #[test]
+    fn dedup_keeps_only_newest_without_snapshots() {
+        let m = merge_of(vec![
+            vec![put("k", 1, 0), put("k", 5, 0)],
+            vec![put("k", 3, 0), put("other", 2, 0)],
+        ]);
+        let s = CompactionStream::new(m, &[], &[], false);
+        let (out, shadowed, _, _) = drain_stream(s);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].seqno, 5);
+        assert_eq!(&out[1].key[..], b"other");
+        assert_eq!(shadowed, 2);
+    }
+
+    #[test]
+    fn tombstone_kept_above_bottom_dropped_at_bottom() {
+        let make = || merge_of(vec![vec![del("k", 9, 42), put("k", 3, 0)]]);
+        // Above the bottom the tombstone must survive (something below
+        // may still hold an older version).
+        let s = CompactionStream::new(make(), &[], &[], false);
+        let (out, ..) = drain_stream(s);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_tombstone());
+        // At the bottom it is dropped and reported.
+        let s = CompactionStream::new(make(), &[], &[], true);
+        let (out, _, _, dropped) = drain_stream(s);
+        assert!(out.is_empty());
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_older_version() {
+        let m = merge_of(vec![vec![put("k", 2, 0), put("k", 8, 0)]]);
+        let snaps = [5u64];
+        let s = CompactionStream::new(m, &[], &snaps, false);
+        let (out, ..) = drain_stream(s);
+        // Both versions survive: seqno 8 is newest, seqno 2 is what
+        // snapshot 5 sees.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].seqno, 8);
+        assert_eq!(out[1].seqno, 2);
+    }
+
+    #[test]
+    fn snapshot_protects_tombstone_at_bottom() {
+        let m = merge_of(vec![vec![del("k", 9, 0)]]);
+        let snaps = [10u64];
+        let s = CompactionStream::new(m, &[], &snaps, true);
+        let (out, _, _, dropped) = drain_stream(s);
+        assert_eq!(out.len(), 1, "tombstone visible to snapshot must survive");
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn range_tombstone_purges_covered_entries_at_bottom_only() {
+        let rts = [RangeTombstone { seqno: 100, range: DeleteKeyRange::new(10, 20) }];
+        let make = || merge_of(vec![vec![
+            put("a", 1, 15),   // covered
+            put("b", 2, 25),   // outside range: kept
+            put("c", 150, 15), // newer than rt: kept
+        ]]);
+        // At the bottom, the covered entry is purged.
+        let s = CompactionStream::new(make(), &rts, &[], true);
+        let (out, _, purged, _) = drain_stream(s);
+        let keys: Vec<Vec<u8>> = out.iter().map(|e| e.key.to_vec()).collect();
+        assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
+        assert_eq!(purged, 1);
+        // Above the bottom it must survive (an older version of "a" may
+        // exist deeper, and the covered head decides reads).
+        let s = CompactionStream::new(make(), &rts, &[], false);
+        let (out, _, purged, _) = drain_stream(s);
+        assert_eq!(out.len(), 3);
+        assert_eq!(purged, 0);
+    }
+
+    #[test]
+    fn covered_chain_head_still_shadows_older_strata() {
+        // Even when the head is purged at the bottom, an older version in
+        // the same stratum must not be emitted (it never decided reads).
+        let rts = [RangeTombstone { seqno: 100, range: DeleteKeyRange::new(10, 20) }];
+        let m = merge_of(vec![vec![put("k", 9, 15), put("k", 3, 99)]]);
+        let s = CompactionStream::new(m, &rts, &[], true);
+        let (out, shadowed, purged, _) = drain_stream(s);
+        assert!(out.is_empty(), "older uncovered version must not resurface: {out:?}");
+        assert_eq!(purged, 1);
+        assert_eq!(shadowed, 1);
+    }
+
+    #[test]
+    fn range_purge_resurfaces_nothing_when_chain_fully_covered() {
+        let rts = [RangeTombstone { seqno: 100, range: DeleteKeyRange::all() }];
+        let m = merge_of(vec![vec![put("k", 5, 1), put("k", 7, 2)]]);
+        let s = CompactionStream::new(m, &rts, &[], true);
+        let (out, ..) = drain_stream(s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn duplicate_identical_keys_across_sources_yield_once() {
+        let e = put("k", 5, 0);
+        let m = merge_of(vec![vec![e.clone()], vec![e.clone()]]);
+        let out = drain_merge(m);
+        assert_eq!(out.len(), 1);
+    }
+}

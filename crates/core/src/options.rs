@@ -1,0 +1,258 @@
+//! Engine configuration.
+//!
+//! The options mirror the knobs the Acheron demo exposes: the LSM shape
+//! (buffer size, size ratio `T`, level count), the compaction strategy
+//! (the *data layout* primitive), FADE's delete-persistence threshold
+//! `D_th` with its TTL-allocation and file-picking policies, and KiWi's
+//! delete-tile granularity `h`.
+
+use std::sync::Arc;
+
+use acheron_types::{Clock, Error, LogicalClock, Result, Tick};
+
+/// Data-layout primitive: how runs are organized per level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompactionLayout {
+    /// One sorted run per level; saturated levels push one file down
+    /// (partial compaction). Read-optimized.
+    Leveling,
+    /// Up to `T` runs per level; a full level merges into one run of the
+    /// next. Write-optimized.
+    Tiering,
+    /// Tiering on upper levels, leveling on the last level
+    /// (Dostoevsky-style hybrid).
+    LazyLeveling,
+}
+
+/// Data-movement primitive: which file a saturated level compacts first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilePickPolicy {
+    /// The file overlapping the fewest bytes in the next level
+    /// (write-amplification-optimal; the delete-blind baseline).
+    MinOverlap,
+    /// The file with the highest point-tombstone density.
+    TombstoneDensity,
+    /// The file with the oldest tombstone (most urgent for persistence).
+    OldestTombstone,
+    /// Round-robin over the level's key space.
+    RoundRobin,
+}
+
+/// How FADE splits the persistence threshold `D_th` into per-level TTLs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TtlAllocation {
+    /// `d_i = D_th / (L-1)` for every level.
+    Uniform,
+    /// `d_i ∝ T^i` (levels hold exponentially more data, so tombstones
+    /// get exponentially more time in deeper levels); Lethe's choice.
+    Exponential,
+}
+
+/// FADE configuration: bounded tombstone persistence.
+#[derive(Debug, Clone)]
+pub struct FadeOptions {
+    /// The delete persistence threshold `D_th`, in clock ticks: every
+    /// point tombstone must be purged (reach and leave the last level)
+    /// within this many ticks of its insertion.
+    pub delete_persistence_threshold: Tick,
+    /// TTL split across levels.
+    pub ttl_allocation: TtlAllocation,
+    /// File choice when a level is saturated but nothing has expired.
+    pub saturation_pick: FilePickPolicy,
+}
+
+impl Default for FadeOptions {
+    fn default() -> Self {
+        FadeOptions {
+            delete_persistence_threshold: 100_000,
+            ttl_allocation: TtlAllocation::Exponential,
+            // Lethe's default FADE mode keeps the write-optimized
+            // min-overlap pick for saturation compactions; the TTL
+            // trigger alone provides the persistence bound. Density-
+            // driven picking is an ablation variant (see E9).
+            saturation_pick: FilePickPolicy::MinOverlap,
+        }
+    }
+}
+
+/// Top-level engine options.
+#[derive(Clone)]
+pub struct DbOptions {
+    /// Memtable flush threshold in bytes.
+    pub write_buffer_bytes: usize,
+    /// LSM size ratio `T` between adjacent levels.
+    pub size_ratio: u64,
+    /// Number of L0 files that triggers an L0→L1 compaction.
+    pub level0_file_limit: usize,
+    /// Maximum number of levels (level `max_levels - 1` is the bottom).
+    pub max_levels: usize,
+    /// Byte budget of level 1; level `i` targets `base * T^(i-1)`.
+    pub level1_target_bytes: u64,
+    /// Target size of an individual output file during compaction.
+    pub target_file_bytes: u64,
+    /// Data layout across levels.
+    pub layout: CompactionLayout,
+    /// Delete-blind file pick for the non-FADE baseline.
+    pub baseline_pick: FilePickPolicy,
+    /// FADE (bounded delete persistence); `None` = delete-blind baseline.
+    pub fade: Option<FadeOptions>,
+    /// SSTable page size in bytes.
+    pub page_size: usize,
+    /// KiWi delete-tile granularity `h` (pages per tile); 1 = classic.
+    pub pages_per_tile: usize,
+    /// Bloom bits per key (0 disables filters).
+    pub bloom_bits_per_key: usize,
+    /// Shared page-cache capacity in bytes (0 disables caching).
+    /// Experiments default to 0 so measured I/O reflects the layout, not
+    /// cache luck.
+    pub block_cache_bytes: usize,
+    /// Sync the WAL on every commit.
+    pub wal_sync: bool,
+    /// Clock used for tombstone aging; defaults to a logical clock that
+    /// the engine advances once per write operation.
+    pub clock: Arc<dyn Clock>,
+    /// Advance the logical clock by one tick per write operation.
+    /// (No effect on externally driven clocks.)
+    pub auto_advance_clock: bool,
+}
+
+impl std::fmt::Debug for DbOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbOptions")
+            .field("write_buffer_bytes", &self.write_buffer_bytes)
+            .field("size_ratio", &self.size_ratio)
+            .field("level0_file_limit", &self.level0_file_limit)
+            .field("max_levels", &self.max_levels)
+            .field("layout", &self.layout)
+            .field("fade", &self.fade)
+            .field("pages_per_tile", &self.pages_per_tile)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            write_buffer_bytes: 4 << 20,
+            size_ratio: 4,
+            level0_file_limit: 4,
+            max_levels: 5,
+            level1_target_bytes: 16 << 20,
+            target_file_bytes: 4 << 20,
+            layout: CompactionLayout::Leveling,
+            baseline_pick: FilePickPolicy::MinOverlap,
+            fade: None,
+            page_size: 4096,
+            pages_per_tile: 1,
+            bloom_bits_per_key: 10,
+            block_cache_bytes: 0,
+            wal_sync: false,
+            clock: Arc::new(LogicalClock::new()),
+            auto_advance_clock: true,
+        }
+    }
+}
+
+impl DbOptions {
+    /// A small-scale configuration convenient for tests and experiments:
+    /// kilobyte-sized buffers so trees grow deep quickly.
+    pub fn small() -> DbOptions {
+        DbOptions {
+            write_buffer_bytes: 16 << 10,
+            level1_target_bytes: 64 << 10,
+            target_file_bytes: 16 << 10,
+            page_size: 1024,
+            ..DbOptions::default()
+        }
+    }
+
+    /// Enable FADE with threshold `d_th` (keeping other FADE defaults).
+    pub fn with_fade(mut self, d_th: Tick) -> DbOptions {
+        self.fade = Some(FadeOptions {
+            delete_persistence_threshold: d_th,
+            ..FadeOptions::default()
+        });
+        self
+    }
+
+    /// Set the KiWi tile granularity.
+    pub fn with_tile(mut self, h: usize) -> DbOptions {
+        self.pages_per_tile = h;
+        self
+    }
+
+    /// Validate option consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.size_ratio < 2 {
+            return Err(Error::invalid_argument("size_ratio must be >= 2"));
+        }
+        if self.max_levels < 2 {
+            return Err(Error::invalid_argument("max_levels must be >= 2"));
+        }
+        if self.max_levels > 16 {
+            return Err(Error::invalid_argument("max_levels must be <= 16"));
+        }
+        if self.write_buffer_bytes < 1024 {
+            return Err(Error::invalid_argument("write_buffer_bytes must be >= 1024"));
+        }
+        if self.level0_file_limit == 0 {
+            return Err(Error::invalid_argument("level0_file_limit must be >= 1"));
+        }
+        if self.target_file_bytes == 0 {
+            return Err(Error::invalid_argument("target_file_bytes must be >= 1"));
+        }
+        if let Some(fade) = &self.fade {
+            if fade.delete_persistence_threshold == 0 {
+                return Err(Error::invalid_argument(
+                    "delete_persistence_threshold must be >= 1 tick",
+                ));
+            }
+        }
+        if self.pages_per_tile == 0 {
+            return Err(Error::invalid_argument("pages_per_tile must be >= 1"));
+        }
+        Ok(())
+    }
+
+    /// Byte budget for level `level` (levels >= 1).
+    pub fn level_target_bytes(&self, level: usize) -> u64 {
+        debug_assert!(level >= 1);
+        self.level1_target_bytes
+            .saturating_mul(self.size_ratio.saturating_pow(level as u32 - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_validate() {
+        DbOptions::default().validate().unwrap();
+        DbOptions::small().validate().unwrap();
+        DbOptions::small().with_fade(1000).with_tile(8).validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_combinations_rejected() {
+        assert!(DbOptions { size_ratio: 1, ..DbOptions::default() }.validate().is_err());
+        assert!(DbOptions { max_levels: 1, ..DbOptions::default() }.validate().is_err());
+        assert!(DbOptions { max_levels: 17, ..DbOptions::default() }.validate().is_err());
+        assert!(
+            DbOptions { write_buffer_bytes: 10, ..DbOptions::default() }.validate().is_err()
+        );
+        assert!(
+            DbOptions { level0_file_limit: 0, ..DbOptions::default() }.validate().is_err()
+        );
+        assert!(DbOptions::default().with_fade(0).validate().is_err());
+        assert!(DbOptions { pages_per_tile: 0, ..DbOptions::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn level_targets_grow_by_size_ratio() {
+        let opts = DbOptions { level1_target_bytes: 100, size_ratio: 10, ..DbOptions::default() };
+        assert_eq!(opts.level_target_bytes(1), 100);
+        assert_eq!(opts.level_target_bytes(2), 1000);
+        assert_eq!(opts.level_target_bytes(3), 10_000);
+    }
+}

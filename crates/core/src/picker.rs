@@ -1,0 +1,536 @@
+//! Compaction picking: the *trigger* and *data movement* primitives.
+//!
+//! Following the group's compaction taxonomy, a strategy is the product
+//! of a trigger (level saturation, L0 file count, FADE TTL expiry), a
+//! layout (leveling / tiering / lazy-leveling), a granularity (whole
+//! level for tiering, single file + overlap for leveling), and a
+//! data-movement policy (which file moves first). [`Picker::pick`]
+//! inspects a [`Version`] and produces at most one [`CompactionTask`].
+
+use std::sync::Arc;
+
+use acheron_types::Tick;
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::fade::TtlSchedule;
+use crate::options::{CompactionLayout, DbOptions, FilePickPolicy};
+use crate::version::{FileMeta, Version};
+
+/// Why a compaction was scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionReason {
+    /// L0 accumulated too many files.
+    L0Saturation,
+    /// A level exceeded its byte budget.
+    LevelSaturation,
+    /// FADE: a file's oldest tombstone outlived its level TTL.
+    TtlExpired,
+    /// Explicit request (tests, `Db::compact_all`).
+    Manual,
+}
+
+/// A unit of compaction work.
+#[derive(Debug, Clone)]
+pub struct CompactionTask {
+    /// Input level.
+    pub level: usize,
+    /// Files taken from `level`.
+    pub inputs: Vec<Arc<FileMeta>>,
+    /// Overlapping files taken from the output level (empty for tiering,
+    /// which stacks a new run instead of merging).
+    pub next_level_inputs: Vec<Arc<FileMeta>>,
+    /// Level the merged output lands in.
+    pub output_level: usize,
+    /// Run id for the output files.
+    pub output_run: u64,
+    /// Trigger that scheduled this task.
+    pub reason: CompactionReason,
+}
+
+impl CompactionTask {
+    /// All input files (both levels).
+    pub fn all_inputs(&self) -> impl Iterator<Item = &Arc<FileMeta>> {
+        self.inputs.iter().chain(self.next_level_inputs.iter())
+    }
+
+    /// The union user-key range of all inputs, `None` if inputs are all
+    /// empty tables.
+    pub fn key_range(&self) -> Option<(Bytes, Bytes)> {
+        let mut lo: Option<Bytes> = None;
+        let mut hi: Option<Bytes> = None;
+        for f in self.all_inputs().filter(|f| f.stats.entry_count > 0) {
+            lo = Some(match lo {
+                Some(cur) => cur.min(f.min_key().clone()),
+                None => f.min_key().clone(),
+            });
+            hi = Some(match hi {
+                Some(cur) => cur.max(f.max_key().clone()),
+                None => f.max_key().clone(),
+            });
+        }
+        Some((lo?, hi?))
+    }
+
+    /// Total input bytes.
+    pub fn input_bytes(&self) -> u64 {
+        self.all_inputs().map(|f| f.size_bytes).sum()
+    }
+}
+
+/// Stateful compaction picker (per-DB; holds round-robin cursors and the
+/// FADE TTL schedule).
+pub struct Picker {
+    opts: DbOptions,
+    ttl: Option<TtlSchedule>,
+    /// Round-robin cursor per level: the max user key compacted last.
+    cursors: Mutex<Vec<Option<Bytes>>>,
+}
+
+impl Picker {
+    /// Build a picker for the given options.
+    pub fn new(opts: &DbOptions) -> Picker {
+        let ttl = opts.fade.as_ref().map(|_| TtlSchedule::new(opts));
+        Picker {
+            opts: opts.clone(),
+            ttl,
+            cursors: Mutex::new(vec![None; opts.max_levels]),
+        }
+    }
+
+    /// The TTL schedule, if FADE is enabled.
+    pub fn ttl_schedule(&self) -> Option<&TtlSchedule> {
+        self.ttl.as_ref()
+    }
+
+    /// Pick the most urgent compaction, if any.
+    pub fn pick(&self, version: &Version, now: Tick) -> Option<CompactionTask> {
+        // FADE's TTL trigger outranks saturation: persistence is a
+        // correctness deadline, saturation only a performance one.
+        if let Some(task) = self.pick_ttl_expired(version, now) {
+            return Some(task);
+        }
+        match self.opts.layout {
+            CompactionLayout::Leveling => self.pick_leveling(version),
+            CompactionLayout::Tiering => self.pick_tiering(version, false),
+            CompactionLayout::LazyLeveling => self.pick_tiering(version, true),
+        }
+    }
+
+    /// FADE trigger: the most overdue expired file, if any.
+    fn pick_ttl_expired(&self, version: &Version, now: Tick) -> Option<CompactionTask> {
+        let ttl = self.ttl.as_ref()?;
+        let expired = version
+            .all_files()
+            .filter(|f| ttl.file_expired(f, now))
+            .max_by_key(|f| ttl.overdue_by(f, now))?
+            .clone();
+        let level = expired.level;
+        let bottom = self.opts.max_levels - 1;
+        if level == 0 {
+            // L0 files overlap in both keys and seqnos: take them all so
+            // newer versions never sink below older ones.
+            let inputs = version.levels[0].clone();
+            let (lo, hi) = key_span(&inputs)?;
+            let next = version.overlapping_files(1, &lo, &hi);
+            return Some(CompactionTask {
+                level: 0,
+                inputs,
+                next_level_inputs: next,
+                output_level: 1,
+                output_run: 0,
+                reason: CompactionReason::TtlExpired,
+            });
+        }
+        let output_level = (level + 1).min(bottom);
+        let next = if level == bottom {
+            // Within-bottom rewrite purges the overdue tombstones.
+            Vec::new()
+        } else {
+            version.overlapping_files(output_level, expired.min_key(), expired.max_key())
+        };
+        Some(CompactionTask {
+            level,
+            inputs: vec![expired],
+            next_level_inputs: next,
+            output_level,
+            output_run: 0,
+            reason: CompactionReason::TtlExpired,
+        })
+    }
+
+    /// Classic leveled compaction: L0 by file count, deeper levels by
+    /// byte budget, one file at a time chosen by the pick policy.
+    fn pick_leveling(&self, version: &Version) -> Option<CompactionTask> {
+        // L0 first.
+        if version.level_files(0) >= self.opts.level0_file_limit {
+            let inputs = version.levels[0].clone();
+            let (lo, hi) = key_span(&inputs)?;
+            let next = version.overlapping_files(1, &lo, &hi);
+            return Some(CompactionTask {
+                level: 0,
+                inputs,
+                next_level_inputs: next,
+                output_level: 1,
+                output_run: 0,
+                reason: CompactionReason::L0Saturation,
+            });
+        }
+        // Deeper levels: highest fill ratio first.
+        let bottom = self.opts.max_levels - 1;
+        let mut worst: Option<(f64, usize)> = None;
+        for level in 1..bottom {
+            let bytes = version.level_bytes(level);
+            let target = self.opts.level_target_bytes(level);
+            if bytes > target {
+                let ratio = bytes as f64 / target as f64;
+                if worst.is_none_or(|(r, _)| ratio > r) {
+                    worst = Some((ratio, level));
+                }
+            }
+        }
+        let (_, level) = worst?;
+        let policy = self
+            .opts
+            .fade
+            .as_ref()
+            .map(|f| f.saturation_pick)
+            .unwrap_or(self.opts.baseline_pick);
+        let file = self.choose_file(version, level, policy)?;
+        {
+            let mut cursors = self.cursors.lock();
+            cursors[level] = Some(file.max_key().clone());
+        }
+        let next = version.overlapping_files(level + 1, file.min_key(), file.max_key());
+        Some(CompactionTask {
+            level,
+            inputs: vec![file],
+            next_level_inputs: next,
+            output_level: level + 1,
+            output_run: 0,
+            reason: CompactionReason::LevelSaturation,
+        })
+    }
+
+    /// Apply the data-movement policy at `level`.
+    fn choose_file(
+        &self,
+        version: &Version,
+        level: usize,
+        policy: FilePickPolicy,
+    ) -> Option<Arc<FileMeta>> {
+        let files = version.levels.get(level)?;
+        if files.is_empty() {
+            return None;
+        }
+        let overlap_bytes = |f: &Arc<FileMeta>| -> u64 {
+            version
+                .overlapping_files(level + 1, f.min_key(), f.max_key())
+                .iter()
+                .map(|g| g.size_bytes)
+                .sum()
+        };
+        match policy {
+            FilePickPolicy::MinOverlap => {
+                files.iter().min_by_key(|f| (overlap_bytes(f), f.id)).cloned()
+            }
+            FilePickPolicy::TombstoneDensity => files
+                .iter()
+                .max_by(|a, b| {
+                    a.stats
+                        .tombstone_density()
+                        .partial_cmp(&b.stats.tombstone_density())
+                        .expect("densities are finite")
+                        // Ties: cheaper file first.
+                        .then(overlap_bytes(b).cmp(&overlap_bytes(a)))
+                })
+                .cloned(),
+            FilePickPolicy::OldestTombstone => files
+                .iter()
+                .min_by_key(|f| {
+                    (
+                        f.stats.oldest_tombstone_tick.unwrap_or(u64::MAX),
+                        overlap_bytes(f),
+                    )
+                })
+                .cloned(),
+            FilePickPolicy::RoundRobin => {
+                let cursors = self.cursors.lock();
+                let cursor = cursors[level].clone();
+                drop(cursors);
+                match cursor {
+                    Some(c) => files
+                        .iter()
+                        .find(|f| f.min_key() > &c)
+                        .or_else(|| files.first())
+                        .cloned(),
+                    None => files.first().cloned(),
+                }
+            }
+        }
+    }
+
+    /// Tiering: a level with `T` runs spills them all into one new run of
+    /// the next level. With `lazy` (lazy leveling), the bottom level is
+    /// kept as a single leveled run.
+    fn pick_tiering(&self, version: &Version, lazy: bool) -> Option<CompactionTask> {
+        let bottom = self.opts.max_levels - 1;
+        let t = self.opts.size_ratio as usize;
+        for level in 0..=bottom {
+            let trigger = if level == 0 {
+                version.level_files(0) >= self.opts.level0_file_limit.max(t)
+            } else {
+                version.level_runs(level) >= t
+            };
+            if !trigger {
+                continue;
+            }
+            let inputs = version.levels[level].clone();
+            if inputs.is_empty() {
+                continue;
+            }
+            let output_level = (level + 1).min(bottom);
+            let merge_into_leveled_bottom = output_level == bottom && (lazy || level == bottom);
+            let (next, output_run) = if merge_into_leveled_bottom {
+                let (lo, hi) = key_span(&inputs)?;
+                let next = if level == bottom {
+                    Vec::new() // already the inputs
+                } else {
+                    version.overlapping_files(bottom, &lo, &hi)
+                };
+                (next, 0)
+            } else {
+                // Stack a fresh run on the target level.
+                let next_run = version.levels[output_level]
+                    .iter()
+                    .map(|f| f.run + 1)
+                    .max()
+                    .unwrap_or(0);
+                (Vec::new(), next_run)
+            };
+            return Some(CompactionTask {
+                level,
+                inputs,
+                next_level_inputs: next,
+                output_level,
+                output_run,
+                reason: if level == 0 {
+                    CompactionReason::L0Saturation
+                } else {
+                    CompactionReason::LevelSaturation
+                },
+            });
+        }
+        None
+    }
+}
+
+/// The min/max user keys across `files` (ignoring empty tables).
+fn key_span(files: &[Arc<FileMeta>]) -> Option<(Bytes, Bytes)> {
+    let mut lo: Option<Bytes> = None;
+    let mut hi: Option<Bytes> = None;
+    for f in files.iter().filter(|f| f.stats.entry_count > 0) {
+        lo = Some(lo.map_or(f.min_key().clone(), |c: Bytes| c.min(f.min_key().clone())));
+        hi = Some(hi.map_or(f.max_key().clone(), |c: Bytes| c.max(f.max_key().clone())));
+    }
+    Some((lo?, hi?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{CompactionLayout, FadeOptions, TtlAllocation};
+    use crate::testutil::{make_file, make_file_with};
+    use acheron_vfs::MemFs;
+
+    fn opts(layout: CompactionLayout) -> DbOptions {
+        DbOptions {
+            layout,
+            level0_file_limit: 4,
+            size_ratio: 4,
+            max_levels: 4,
+            level1_target_bytes: 3_000,
+            ..DbOptions::default()
+        }
+    }
+
+    #[test]
+    fn no_compaction_when_under_triggers() {
+        let fs = MemFs::new();
+        let picker = Picker::new(&opts(CompactionLayout::Leveling));
+        let v = Version::empty(4).apply(
+            vec![make_file(&fs, 1, 0, 0..10, 100)],
+            &[],
+            &[],
+            &[],
+        );
+        assert!(picker.pick(&v, 0).is_none());
+    }
+
+    #[test]
+    fn l0_file_count_triggers_full_l0_merge() {
+        let fs = MemFs::new();
+        let picker = Picker::new(&opts(CompactionLayout::Leveling));
+        let files: Vec<_> = (0..4)
+            .map(|i| make_file(&fs, i + 1, 0, 0..20, 100 * (i + 1)))
+            .collect();
+        let l1 = make_file(&fs, 9, 1, 5..15, 50);
+        let mut all = files.clone();
+        all.push(l1);
+        let v = Version::empty(4).apply(all, &[], &[], &[]);
+        let task = picker.pick(&v, 0).expect("L0 saturated");
+        assert_eq!(task.reason, CompactionReason::L0Saturation);
+        assert_eq!(task.level, 0);
+        assert_eq!(task.inputs.len(), 4, "all L0 files move together");
+        assert_eq!(task.next_level_inputs.len(), 1, "overlapping L1 file joins");
+        assert_eq!(task.output_level, 1);
+    }
+
+    #[test]
+    fn saturated_level_picks_min_overlap_file() {
+        let fs = MemFs::new();
+        let picker = Picker::new(&opts(CompactionLayout::Leveling));
+        // L1 over budget (10k): two files; one overlaps a fat L2 file,
+        // the other overlaps nothing.
+        let costly = make_file(&fs, 1, 1, 0..200, 1000);
+        let free = make_file(&fs, 2, 1, 500..700, 2000);
+        let l2 = make_file(&fs, 3, 2, 0..200, 100);
+        let v = Version::empty(4).apply(vec![costly, free, l2], &[], &[], &[]);
+        assert!(v.level_bytes(1) > 3_000, "setup must saturate L1");
+        let task = picker.pick(&v, 0).expect("saturation");
+        assert_eq!(task.reason, CompactionReason::LevelSaturation);
+        assert_eq!(task.inputs.len(), 1);
+        assert_eq!(task.inputs[0].id, 2, "zero-overlap file is cheapest");
+        assert!(task.next_level_inputs.is_empty());
+    }
+
+    #[test]
+    fn tombstone_density_pick_prefers_delete_heavy_file() {
+        let mut o = opts(CompactionLayout::Leveling);
+        o.fade = Some(FadeOptions {
+            delete_persistence_threshold: 1_000_000, // never expires in test
+            ttl_allocation: TtlAllocation::Uniform,
+            saturation_pick: FilePickPolicy::TombstoneDensity,
+        });
+        let fs = MemFs::new();
+        let picker = Picker::new(&o);
+        let clean = make_file_with(&fs, 1, 1, 0, 0..200, 1000, 0, 0);
+        let dirty = make_file_with(&fs, 2, 1, 0, 300..500, 2000, 2, 0);
+        let v = Version::empty(4).apply(vec![clean, dirty], &[], &[], &[]);
+        let task = picker.pick(&v, 10).expect("saturation");
+        assert_eq!(task.inputs[0].id, 2, "delete-dense file first");
+    }
+
+    #[test]
+    fn ttl_expiry_outranks_saturation_and_targets_the_overdue_file() {
+        let mut o = opts(CompactionLayout::Leveling);
+        o.fade = Some(FadeOptions {
+            delete_persistence_threshold: 1_000,
+            ttl_allocation: TtlAllocation::Uniform,
+            saturation_pick: FilePickPolicy::MinOverlap,
+        });
+        let fs = MemFs::new();
+        let picker = Picker::new(&o);
+        // A tombstone born at tick 10 in an L1 file.
+        let expired = make_file_with(&fs, 1, 1, 0, 0..50, 1000, 5, 10);
+        let v = Version::empty(4).apply(vec![expired], &[], &[], &[]);
+        // Before the deadline: nothing to do (level not saturated).
+        assert!(picker.pick(&v, 11).is_none());
+        // Long past it: the TTL trigger fires.
+        let task = picker.pick(&v, 5_000).expect("expired file");
+        assert_eq!(task.reason, CompactionReason::TtlExpired);
+        assert_eq!(task.inputs[0].id, 1);
+        assert_eq!(task.output_level, 2);
+    }
+
+    #[test]
+    fn ttl_expiry_at_l0_takes_all_l0_files() {
+        let mut o = opts(CompactionLayout::Leveling);
+        o.fade = Some(FadeOptions {
+            delete_persistence_threshold: 100,
+            ttl_allocation: TtlAllocation::Uniform,
+            saturation_pick: FilePickPolicy::MinOverlap,
+        });
+        let fs = MemFs::new();
+        let picker = Picker::new(&o);
+        let old = make_file_with(&fs, 1, 0, 1, 0..20, 100, 2, 0);
+        let newer = make_file(&fs, 2, 0, 10..30, 500);
+        let v = Version::empty(4).apply(vec![old, newer], &[], &[], &[]);
+        let task = picker.pick(&v, 10_000).expect("expired");
+        assert_eq!(task.reason, CompactionReason::TtlExpired);
+        assert_eq!(
+            task.inputs.len(),
+            2,
+            "L0 expiry must take every L0 file to preserve seqno ordering"
+        );
+    }
+
+    #[test]
+    fn tiering_trigger_fires_on_run_count() {
+        let fs = MemFs::new();
+        let picker = Picker::new(&opts(CompactionLayout::Tiering));
+        // Four runs at L1 (T = 4).
+        let files: Vec<_> = (0..4)
+            .map(|i| make_file_with(&fs, i + 1, 1, i, 0..20, 100 * (i + 1), 0, 0))
+            .collect();
+        let v = Version::empty(4).apply(files, &[], &[], &[]);
+        assert_eq!(v.level_runs(1), 4);
+        let task = picker.pick(&v, 0).expect("run count reached T");
+        assert_eq!(task.level, 1);
+        assert_eq!(task.inputs.len(), 4);
+        assert!(
+            task.next_level_inputs.is_empty(),
+            "tiering stacks a new run instead of merging into the target"
+        );
+        assert_eq!(task.output_level, 2);
+    }
+
+    #[test]
+    fn tiering_under_trigger_is_quiescent() {
+        let fs = MemFs::new();
+        let picker = Picker::new(&opts(CompactionLayout::Tiering));
+        let files: Vec<_> = (0..3)
+            .map(|i| make_file_with(&fs, i + 1, 1, i, 0..20, 100 * (i + 1), 0, 0))
+            .collect();
+        let v = Version::empty(4).apply(files, &[], &[], &[]);
+        assert!(picker.pick(&v, 0).is_none());
+    }
+
+    #[test]
+    fn lazy_leveling_merges_into_leveled_bottom() {
+        let fs = MemFs::new();
+        let picker = Picker::new(&opts(CompactionLayout::LazyLeveling));
+        // Four runs at level 2 (bottom is 3).
+        let files: Vec<_> = (0..4)
+            .map(|i| make_file_with(&fs, i + 1, 2, i, 0..20, 100 * (i + 1), 0, 0))
+            .collect();
+        let bottom = make_file(&fs, 9, 3, 5..25, 50);
+        let mut all = files;
+        all.push(bottom);
+        let v = Version::empty(4).apply(all, &[], &[], &[]);
+        let task = picker.pick(&v, 0).expect("runs at level 2");
+        assert_eq!(task.output_level, 3);
+        assert_eq!(task.output_run, 0, "bottom stays a single leveled run");
+        assert_eq!(task.next_level_inputs.len(), 1, "merges with the bottom run");
+    }
+
+    #[test]
+    fn task_helpers_compute_span_and_bytes() {
+        let fs = MemFs::new();
+        let a = make_file(&fs, 1, 1, 0..10, 100);
+        let b = make_file(&fs, 2, 2, 5..20, 200);
+        let bytes = a.size_bytes + b.size_bytes;
+        let task = CompactionTask {
+            level: 1,
+            inputs: vec![a],
+            next_level_inputs: vec![b],
+            output_level: 2,
+            output_run: 0,
+            reason: CompactionReason::Manual,
+        };
+        let (lo, hi) = task.key_range().expect("non-empty");
+        assert_eq!(&lo[..], b"key000000");
+        assert_eq!(&hi[..], b"key000019");
+        assert_eq!(task.input_bytes(), bytes);
+    }
+}

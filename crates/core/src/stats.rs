@@ -1,0 +1,208 @@
+//! Engine-wide statistics, including the delete-persistence histogram —
+//! the headline measurement of the reproduction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use acheron_types::Tick;
+use parking_lot::Mutex;
+
+/// Number of power-of-two latency buckets.
+const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A histogram over `u64` samples with power-of-two buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let bucket = (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile from the bucket boundaries (upper bound of
+    /// the bucket containing the q-th sample).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i holds values in [2^(i-1), 2^i).
+                return if i >= 63 { u64::MAX } else { (1u64 << i).saturating_sub(1) };
+            }
+        }
+        self.max()
+    }
+}
+
+/// Monotone counters describing everything the engine has done.
+#[derive(Debug, Default)]
+pub struct DbStats {
+    /// Put operations accepted.
+    pub puts: AtomicU64,
+    /// Point deletes accepted.
+    pub deletes: AtomicU64,
+    /// Secondary range deletes accepted.
+    pub range_deletes: AtomicU64,
+    /// Point lookups served.
+    pub gets: AtomicU64,
+    /// Range scans served.
+    pub scans: AtomicU64,
+    /// User payload bytes (key+value) accepted.
+    pub user_bytes: AtomicU64,
+    /// Memtable flushes performed.
+    pub flushes: AtomicU64,
+    /// Compactions performed.
+    pub compactions: AtomicU64,
+    /// Compactions triggered by FADE TTL expiry rather than saturation.
+    pub ttl_compactions: AtomicU64,
+    /// Bytes read by compactions.
+    pub compaction_bytes_in: AtomicU64,
+    /// Bytes written by compactions and flushes (table files only).
+    pub compaction_bytes_out: AtomicU64,
+    /// Entries dropped because a newer version/tombstone shadowed them.
+    pub entries_shadowed: AtomicU64,
+    /// Entries dropped because a secondary range tombstone covered them.
+    pub entries_range_purged: AtomicU64,
+    /// Point tombstones physically dropped at the bottom level.
+    pub tombstones_purged: AtomicU64,
+    /// KiWi pages dropped wholesale (never read) during compactions.
+    pub pages_dropped: AtomicU64,
+    /// Delete persistence latency: recorded for each purged tombstone as
+    /// (purge tick - delete tick).
+    pub persistence_latency: LatencyHistogram,
+    /// Persistence-threshold violations observed (FADE should keep this
+    /// at zero; the baseline will not).
+    pub persistence_violations: AtomicU64,
+    /// Ticks of the most recent compaction per reason, for debugging.
+    pub last_compaction_reason: Mutex<Option<String>>,
+}
+
+impl DbStats {
+    /// Record a purged tombstone against the persistence threshold.
+    pub fn record_tombstone_purge(&self, delete_tick: Tick, purge_tick: Tick, d_th: Option<Tick>) {
+        let latency = purge_tick.saturating_sub(delete_tick);
+        self.tombstones_purged.fetch_add(1, Ordering::Relaxed);
+        self.persistence_latency.record(latency);
+        if let Some(d) = d_th {
+            if latency > d {
+                self.persistence_violations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Write amplification so far: table bytes written / user bytes.
+    pub fn write_amplification(&self) -> f64 {
+        let user = self.user_bytes.load(Ordering::Relaxed);
+        if user == 0 {
+            return 0.0;
+        }
+        self.compaction_bytes_out.load(Ordering::Relaxed) as f64 / user as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basics() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        // Median is 500; the bucket upper bound containing it is 511.
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(1.0) >= 999);
+        // The q=0 rank clamps to the first sample, which is 0 here.
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn histogram_zero_sample() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn purge_recording_flags_violations() {
+        let s = DbStats::default();
+        s.record_tombstone_purge(100, 150, Some(60));
+        s.record_tombstone_purge(100, 180, Some(60));
+        assert_eq!(s.tombstones_purged.load(Ordering::Relaxed), 2);
+        assert_eq!(s.persistence_violations.load(Ordering::Relaxed), 1);
+        // Without a threshold nothing is a violation.
+        s.record_tombstone_purge(0, 1_000_000, None);
+        assert_eq!(s.persistence_violations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn write_amplification_ratio() {
+        let s = DbStats::default();
+        assert_eq!(s.write_amplification(), 0.0);
+        s.user_bytes.store(100, Ordering::Relaxed);
+        s.compaction_bytes_out.store(450, Ordering::Relaxed);
+        assert!((s.write_amplification() - 4.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared fixtures for the engine's unit tests.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use acheron_sstable::{Table, TableBuilder, TableOptions};
+use acheron_types::Entry;
+use acheron_vfs::{MemFs, Vfs};
+
+use crate::version::FileMeta;
+
+/// Build a real table file on `fs` and wrap it in a [`FileMeta`].
+///
+/// Keys are `key{NNNNNN}` over `key_ids`; seqnos start at `base_seq`;
+/// dkeys equal the key id. `tombstone_every` (if nonzero) turns every
+/// n-th entry into a tombstone whose tick equals its dkey.
+#[allow(clippy::too_many_arguments)]
+pub fn make_file_with(
+    fs: &MemFs,
+    id: u64,
+    level: usize,
+    run: u64,
+    key_ids: Range<u32>,
+    base_seq: u64,
+    tombstone_every: u32,
+    created_tick: u64,
+) -> Arc<FileMeta> {
+    let path = crate::filenames::sst_path("", id);
+    let mut b = TableBuilder::new(fs.create(&path).unwrap(), TableOptions::default()).unwrap();
+    for (i, k) in key_ids.enumerate() {
+        let e = if tombstone_every != 0 && k % tombstone_every == 0 {
+            Entry::tombstone(
+                format!("key{k:06}").into_bytes(),
+                base_seq + i as u64,
+                u64::from(k),
+            )
+        } else {
+            Entry::put(
+                format!("key{k:06}").into_bytes(),
+                b"v".to_vec(),
+                base_seq + i as u64,
+                u64::from(k),
+            )
+        };
+        b.add(&e).unwrap();
+    }
+    let stats = b.finish().unwrap();
+    let table = Table::open(fs.open(&path).unwrap()).unwrap();
+    Arc::new(FileMeta {
+        id,
+        level,
+        run,
+        size_bytes: fs.file_size(&path).unwrap(),
+        stats,
+        created_tick,
+        table,
+    })
+}
+
+/// Plain puts-only file.
+pub fn make_file(
+    fs: &MemFs,
+    id: u64,
+    level: usize,
+    key_ids: Range<u32>,
+    base_seq: u64,
+) -> Arc<FileMeta> {
+    make_file_with(fs, id, level, 0, key_ids, base_seq, 0, 0)
+}

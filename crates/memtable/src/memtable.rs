@@ -1,0 +1,320 @@
+//! The memtable: a skiplist plus the delete-aware statistics Acheron
+//! threads through the write path.
+//!
+//! Besides entries, the memtable tracks — at O(1) per write — the
+//! tombstone count, the *earliest tombstone tick* (the age seed FADE
+//! uses once the memtable is flushed into a file), and the min/max of
+//! the secondary delete key over all entries (the file's delete-key
+//! fence, which lets secondary range deletes skip non-overlapping
+//! files/tiles entirely).
+
+use acheron_types::{Entry, InternalKey, SeqNo, Tick, ValueKind};
+use bytes::Bytes;
+
+use crate::skiplist::{SkipIter, SkipList};
+
+/// Outcome of a memtable point lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupResult {
+    /// A put visible at the snapshot; holds the value.
+    Found(Bytes),
+    /// A point tombstone visible at the snapshot: the key is deleted and
+    /// lower levels must NOT be consulted.
+    Deleted,
+    /// No entry for the key at this snapshot; consult older data.
+    NotFound,
+}
+
+/// Aggregate statistics maintained incrementally by the memtable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemtableStats {
+    /// Number of entries (puts + tombstones).
+    pub entries: usize,
+    /// Number of point tombstones.
+    pub tombstones: usize,
+    /// Tick of the oldest (earliest-issued) tombstone, if any.
+    pub oldest_tombstone_tick: Option<Tick>,
+    /// Minimum secondary delete key across all entries, if non-empty.
+    pub min_dkey: Option<u64>,
+    /// Maximum secondary delete key across all entries, if non-empty.
+    pub max_dkey: Option<u64>,
+}
+
+/// An in-memory write buffer ordered by internal key.
+pub struct Memtable {
+    list: SkipList,
+    tombstones: usize,
+    oldest_tombstone_tick: Option<Tick>,
+    min_dkey: Option<u64>,
+    max_dkey: Option<u64>,
+    /// Smallest and largest seqno buffered, for WAL truncation decisions.
+    min_seqno: Option<SeqNo>,
+    max_seqno: Option<SeqNo>,
+    user_bytes: u64,
+}
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Memtable {
+        Memtable {
+            list: SkipList::new(),
+            tombstones: 0,
+            oldest_tombstone_tick: None,
+            min_dkey: None,
+            max_dkey: None,
+            min_seqno: None,
+            max_seqno: None,
+            user_bytes: 0,
+        }
+    }
+
+    /// Insert a put or point tombstone.
+    ///
+    /// For tombstones, `entry.dkey` must be the tick the delete was
+    /// issued at (the engine guarantees this); it seeds FADE's aging.
+    pub fn insert(&mut self, entry: Entry) {
+        debug_assert!(
+            entry.kind != ValueKind::RangeTombstone,
+            "secondary range tombstones are tracked in the version, not the memtable"
+        );
+        if entry.is_tombstone() {
+            self.tombstones += 1;
+            self.oldest_tombstone_tick = Some(match self.oldest_tombstone_tick {
+                Some(t) => t.min(entry.dkey),
+                None => entry.dkey,
+            });
+        }
+        self.min_dkey = Some(self.min_dkey.map_or(entry.dkey, |d| d.min(entry.dkey)));
+        self.max_dkey = Some(self.max_dkey.map_or(entry.dkey, |d| d.max(entry.dkey)));
+        self.min_seqno = Some(self.min_seqno.map_or(entry.seqno, |s| s.min(entry.seqno)));
+        self.max_seqno = Some(self.max_seqno.map_or(entry.seqno, |s| s.max(entry.seqno)));
+        self.user_bytes += (entry.key.len() + entry.value.len()) as u64;
+        self.list.insert(entry);
+    }
+
+    /// Point lookup at snapshot `snapshot` (visible seqnos are `<= snapshot`).
+    pub fn get(&self, user_key: &[u8], snapshot: SeqNo) -> LookupResult {
+        let seek_key = InternalKey::for_seek(user_key, snapshot);
+        let mut it = self.list.iter();
+        it.seek(seek_key.encoded());
+        if !it.valid() {
+            return LookupResult::NotFound;
+        }
+        let entry = it.entry();
+        if entry.key != user_key {
+            return LookupResult::NotFound;
+        }
+        debug_assert!(entry.seqno <= snapshot);
+        match entry.kind {
+            ValueKind::Put => LookupResult::Found(entry.value.clone()),
+            ValueKind::Tombstone => LookupResult::Deleted,
+            ValueKind::RangeTombstone => LookupResult::NotFound,
+        }
+    }
+
+    /// All versions of `user_key` visible at `snapshot`, newest first.
+    ///
+    /// The engine gathers full chains from every source and picks the
+    /// globally newest (newest-version-decides semantics); a chain from
+    /// one source alone cannot decide, since a newer version may live in
+    /// another source.
+    pub fn versions(&self, user_key: &[u8], snapshot: SeqNo) -> Vec<Entry> {
+        let seek_key = InternalKey::for_seek(user_key, snapshot);
+        let mut it = self.list.iter();
+        it.seek(seek_key.encoded());
+        let mut out = Vec::new();
+        while it.valid() {
+            let entry = it.entry();
+            if entry.key != user_key {
+                break;
+            }
+            debug_assert!(entry.seqno <= snapshot);
+            out.push(entry.clone());
+            it.next();
+        }
+        out
+    }
+
+    /// A cursor over the memtable in internal-key order.
+    pub fn iter(&self) -> SkipIter<'_> {
+        self.list.iter()
+    }
+
+    /// Entries in internal-key order (used by flush).
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> + '_ {
+        self.list.entries()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes; the engine flushes when this
+    /// exceeds the configured write-buffer size.
+    pub fn approximate_bytes(&self) -> usize {
+        self.list.approximate_bytes()
+    }
+
+    /// Total user payload bytes (key+value) accepted, for
+    /// write-amplification denominators.
+    pub fn user_bytes(&self) -> u64 {
+        self.user_bytes
+    }
+
+    /// Smallest seqno buffered.
+    pub fn min_seqno(&self) -> Option<SeqNo> {
+        self.min_seqno
+    }
+
+    /// Largest seqno buffered.
+    pub fn max_seqno(&self) -> Option<SeqNo> {
+        self.max_seqno
+    }
+
+    /// The incremental statistics.
+    pub fn stats(&self) -> MemtableStats {
+        MemtableStats {
+            entries: self.list.len(),
+            tombstones: self.tombstones,
+            oldest_tombstone_tick: self.oldest_tombstone_tick,
+            min_dkey: self.min_dkey,
+            max_dkey: self.max_dkey,
+        }
+    }
+}
+
+impl Default for Memtable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(m: &mut Memtable, k: &str, v: &str, seq: SeqNo, dkey: u64) {
+        m.insert(Entry::put(k.as_bytes().to_vec(), v.as_bytes().to_vec(), seq, dkey));
+    }
+
+    fn del(m: &mut Memtable, k: &str, seq: SeqNo, tick: Tick) {
+        m.insert(Entry::tombstone(k.as_bytes().to_vec(), seq, tick));
+    }
+
+    #[test]
+    fn get_returns_latest_visible_version() {
+        let mut m = Memtable::new();
+        put(&mut m, "k", "v1", 1, 0);
+        put(&mut m, "k", "v2", 5, 0);
+        assert_eq!(m.get(b"k", 10), LookupResult::Found(Bytes::from_static(b"v2")));
+        assert_eq!(m.get(b"k", 4), LookupResult::Found(Bytes::from_static(b"v1")));
+        assert_eq!(m.get(b"k", 5), LookupResult::Found(Bytes::from_static(b"v2")));
+    }
+
+    #[test]
+    fn get_sees_tombstone_as_deleted() {
+        let mut m = Memtable::new();
+        put(&mut m, "k", "v1", 1, 0);
+        del(&mut m, "k", 2, 100);
+        assert_eq!(m.get(b"k", 10), LookupResult::Deleted);
+        // The old version is still visible to an older snapshot.
+        assert_eq!(m.get(b"k", 1), LookupResult::Found(Bytes::from_static(b"v1")));
+    }
+
+    #[test]
+    fn get_missing_key() {
+        let mut m = Memtable::new();
+        put(&mut m, "a", "v", 1, 0);
+        put(&mut m, "c", "v", 2, 0);
+        assert_eq!(m.get(b"b", 10), LookupResult::NotFound);
+        assert_eq!(m.get(b"", 10), LookupResult::NotFound);
+        assert_eq!(m.get(b"zzz", 10), LookupResult::NotFound);
+    }
+
+    #[test]
+    fn snapshot_older_than_all_writes_sees_nothing() {
+        let mut m = Memtable::new();
+        put(&mut m, "k", "v", 5, 0);
+        assert_eq!(m.get(b"k", 4), LookupResult::NotFound);
+    }
+
+    #[test]
+    fn versions_returns_full_visible_chain_newest_first() {
+        let mut m = Memtable::new();
+        put(&mut m, "k", "v1", 1, 10);
+        put(&mut m, "k", "v2", 3, 20);
+        del(&mut m, "k", 5, 30);
+        put(&mut m, "j", "x", 2, 0);
+        let vs = m.versions(b"k", 10);
+        let seqs: Vec<SeqNo> = vs.iter().map(|e| e.seqno).collect();
+        assert_eq!(seqs, vec![5, 3, 1]);
+        assert!(vs[0].is_tombstone());
+        // Snapshot cuts the chain.
+        let vs = m.versions(b"k", 3);
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].seqno, 3);
+        // Missing key.
+        assert!(m.versions(b"zz", 10).is_empty());
+    }
+
+    #[test]
+    fn tombstone_statistics() {
+        let mut m = Memtable::new();
+        assert_eq!(m.stats().tombstones, 0);
+        assert_eq!(m.stats().oldest_tombstone_tick, None);
+        put(&mut m, "a", "v", 1, 10);
+        del(&mut m, "b", 2, 300);
+        del(&mut m, "c", 3, 200);
+        let s = m.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.tombstones, 2);
+        assert_eq!(s.oldest_tombstone_tick, Some(200));
+    }
+
+    #[test]
+    fn delete_key_fences() {
+        let mut m = Memtable::new();
+        put(&mut m, "a", "v", 1, 50);
+        put(&mut m, "b", "v", 2, 10);
+        put(&mut m, "c", "v", 3, 99);
+        let s = m.stats();
+        assert_eq!(s.min_dkey, Some(10));
+        assert_eq!(s.max_dkey, Some(99));
+    }
+
+    #[test]
+    fn seqno_range_tracked() {
+        let mut m = Memtable::new();
+        assert_eq!(m.min_seqno(), None);
+        put(&mut m, "a", "v", 7, 0);
+        put(&mut m, "b", "v", 3, 0);
+        put(&mut m, "c", "v", 9, 0);
+        assert_eq!(m.min_seqno(), Some(3));
+        assert_eq!(m.max_seqno(), Some(9));
+    }
+
+    #[test]
+    fn user_bytes_counts_keys_and_values_only() {
+        let mut m = Memtable::new();
+        put(&mut m, "ab", "xyz", 1, 0); // 2 + 3
+        del(&mut m, "cd", 2, 0); // 2 + 0
+        assert_eq!(m.user_bytes(), 7);
+    }
+
+    #[test]
+    fn entries_iterate_in_internal_key_order() {
+        let mut m = Memtable::new();
+        put(&mut m, "b", "v1", 1, 0);
+        put(&mut m, "a", "v2", 2, 0);
+        del(&mut m, "a", 3, 0);
+        let got: Vec<(Vec<u8>, SeqNo)> =
+            m.entries().map(|e| (e.key.to_vec(), e.seqno)).collect();
+        assert_eq!(got, vec![(b"a".to_vec(), 3), (b"a".to_vec(), 2), (b"b".to_vec(), 1)]);
+    }
+}

@@ -1,0 +1,391 @@
+//! An arena-backed skiplist ordered by internal key.
+//!
+//! This is the in-memory sorted structure behind the memtable. Nodes
+//! live in a `Vec` arena and link by index, which keeps the structure in
+//! safe Rust, cache-friendly, and trivially droppable in one free.
+//!
+//! Concurrency model: single writer, readers excluded by the caller
+//! (the engine wraps the active memtable in a `RwLock`; immutable
+//! memtables are read freely without locking since they no longer
+//! change). Heights are drawn from a deterministic xorshift generator so
+//! test runs are reproducible.
+//!
+//! Ordering invariant: nodes are strictly increasing in
+//! [`acheron_types::key::compare_internal`] order. Since sequence numbers
+//! are unique per mutation, no two nodes ever compare equal.
+
+use std::cmp::Ordering;
+
+use acheron_types::key::compare_internal;
+use acheron_types::Entry;
+
+const MAX_HEIGHT: usize = 12;
+/// Probability 1/4 of growing a tower by one level, as in LevelDB.
+const BRANCHING: u64 = 4;
+
+/// Index of the sentinel head node.
+const HEAD: u32 = 0;
+/// Null link.
+const NIL: u32 = u32::MAX;
+
+struct Node {
+    /// `None` only for the head sentinel.
+    entry: Option<Entry>,
+    /// Encoded internal key, cached to avoid re-encoding on every compare.
+    ikey: Vec<u8>,
+    /// `tower[h]` is the next node at height `h`.
+    tower: Vec<u32>,
+}
+
+/// A skiplist of [`Entry`] values ordered by internal key.
+pub struct SkipList {
+    arena: Vec<Node>,
+    height: usize,
+    len: usize,
+    approx_bytes: usize,
+    rng_state: u64,
+}
+
+impl SkipList {
+    /// An empty list.
+    pub fn new() -> SkipList {
+        SkipList::with_seed(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// An empty list with an explicit height-RNG seed (tests use this to
+    /// exercise degenerate tower shapes).
+    pub fn with_seed(seed: u64) -> SkipList {
+        let head = Node { entry: None, ikey: Vec::new(), tower: vec![NIL; MAX_HEIGHT] };
+        SkipList {
+            arena: vec![head],
+            height: 1,
+            len: 0,
+            approx_bytes: 0,
+            rng_state: seed | 1,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate memory footprint of stored entries in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    fn random_height(&mut self) -> usize {
+        // xorshift64*
+        let mut h = 1;
+        while h < MAX_HEIGHT {
+            self.rng_state ^= self.rng_state << 13;
+            self.rng_state ^= self.rng_state >> 7;
+            self.rng_state ^= self.rng_state << 17;
+            if !self.rng_state.is_multiple_of(BRANCHING) {
+                break;
+            }
+            h += 1;
+        }
+        h
+    }
+
+    #[inline]
+    fn node(&self, idx: u32) -> &Node {
+        &self.arena[idx as usize]
+    }
+
+    /// Compare the node at `idx` against `key` (encoded internal key).
+    /// The head sentinel compares less than everything.
+    #[inline]
+    fn cmp_node(&self, idx: u32, key: &[u8]) -> Ordering {
+        if idx == HEAD {
+            return Ordering::Less;
+        }
+        compare_internal(&self.node(idx).ikey, key)
+    }
+
+    /// Find, for every level, the rightmost node strictly less than `key`.
+    #[allow(clippy::needless_range_loop)] // descending level walk carries state between levels
+    fn find_predecessors(&self, key: &[u8]) -> [u32; MAX_HEIGHT] {
+        let mut preds = [HEAD; MAX_HEIGHT];
+        let mut current = HEAD;
+        for level in (0..self.height).rev() {
+            loop {
+                let next = self.node(current).tower[level];
+                if next != NIL && self.cmp_node(next, key) == Ordering::Less {
+                    current = next;
+                } else {
+                    break;
+                }
+            }
+            preds[level] = current;
+        }
+        preds
+    }
+
+    /// Insert an entry.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if an entry with an identical internal key
+    /// is already present (sequence numbers must be unique).
+    pub fn insert(&mut self, entry: Entry) {
+        let ikey = entry.internal_key().encoded().to_vec();
+        let preds = self.find_predecessors(&ikey);
+        debug_assert!(
+            {
+                let next = self.node(preds[0]).tower[0];
+                next == NIL || self.cmp_node(next, &ikey) != Ordering::Equal
+            },
+            "duplicate internal key inserted into skiplist"
+        );
+
+        let height = self.random_height();
+        if height > self.height {
+            self.height = height;
+        }
+
+        self.approx_bytes += entry.encoded_size() + ikey.len();
+        let new_idx = self.arena.len() as u32;
+        let mut tower = vec![NIL; height];
+        for (level, link) in tower.iter_mut().enumerate() {
+            *link = self.node(preds[level]).tower[level];
+        }
+        self.arena.push(Node { entry: Some(entry), ikey, tower });
+        for (level, &pred) in preds.iter().enumerate().take(height) {
+            self.arena[pred as usize].tower[level] = new_idx;
+        }
+        self.len += 1;
+    }
+
+    /// The first node whose internal key is `>= key`, as an arena index.
+    fn lower_bound(&self, key: &[u8]) -> u32 {
+        let preds = self.find_predecessors(key);
+        self.node(preds[0]).tower[0]
+    }
+
+    /// An iterator positioned before the first entry.
+    pub fn iter(&self) -> SkipIter<'_> {
+        SkipIter { list: self, current: NIL, initialized: false }
+    }
+
+    /// Entries in order (convenience for flush paths and tests).
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> + '_ {
+        let mut idx = self.node(HEAD).tower[0];
+        std::iter::from_fn(move || {
+            if idx == NIL {
+                return None;
+            }
+            let entry = self.node(idx).entry.as_ref();
+            idx = self.node(idx).tower[0];
+            entry
+        })
+    }
+}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A cursor over a [`SkipList`] in internal-key order.
+pub struct SkipIter<'a> {
+    list: &'a SkipList,
+    current: u32,
+    initialized: bool,
+}
+
+impl<'a> SkipIter<'a> {
+    /// True if positioned at an entry.
+    pub fn valid(&self) -> bool {
+        self.initialized && self.current != NIL
+    }
+
+    /// Position at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.current = self.list.node(HEAD).tower[0];
+        self.initialized = true;
+    }
+
+    /// Position at the first entry with internal key `>= key`.
+    pub fn seek(&mut self, key: &[u8]) {
+        self.current = self.list.lower_bound(key);
+        self.initialized = true;
+    }
+
+    /// Advance to the next entry. Must be valid.
+    pub fn next(&mut self) {
+        debug_assert!(self.valid());
+        self.current = self.list.node(self.current).tower[0];
+    }
+
+    /// The entry at the cursor. Must be valid.
+    pub fn entry(&self) -> &'a Entry {
+        debug_assert!(self.valid());
+        self.list.node(self.current).entry.as_ref().expect("non-head node has entry")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acheron_types::{InternalKey, ValueKind};
+
+    fn put(k: &str, seq: u64) -> Entry {
+        Entry::put(k.as_bytes().to_vec(), format!("v{seq}").into_bytes(), seq, 0)
+    }
+
+    #[test]
+    fn empty_list() {
+        let l = SkipList::new();
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+        let mut it = l.iter();
+        it.seek_to_first();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn insert_and_scan_in_order() {
+        let mut l = SkipList::new();
+        for (i, k) in ["m", "a", "z", "c", "q"].iter().enumerate() {
+            l.insert(put(k, i as u64 + 1));
+        }
+        let keys: Vec<&[u8]> = l.entries().map(|e| &e.key[..]).collect();
+        assert_eq!(keys, vec![&b"a"[..], b"c", b"m", b"q", b"z"]);
+        assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn same_user_key_newest_first() {
+        let mut l = SkipList::new();
+        l.insert(put("k", 1));
+        l.insert(put("k", 3));
+        l.insert(Entry::tombstone(&b"k"[..], 2, 0));
+        let seqs: Vec<u64> = l.entries().map(|e| e.seqno).collect();
+        assert_eq!(seqs, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn seek_finds_lower_bound() {
+        let mut l = SkipList::new();
+        for (i, k) in ["b", "d", "f"].iter().enumerate() {
+            l.insert(put(k, i as u64 + 1));
+        }
+        let mut it = l.iter();
+
+        it.seek(InternalKey::for_seek(b"c", u64::MAX >> 8).encoded());
+        assert!(it.valid());
+        assert_eq!(&it.entry().key[..], b"d");
+
+        it.seek(InternalKey::for_seek(b"d", u64::MAX >> 8).encoded());
+        assert!(it.valid());
+        assert_eq!(&it.entry().key[..], b"d");
+
+        it.seek(InternalKey::for_seek(b"g", u64::MAX >> 8).encoded());
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn seek_respects_snapshot_seqno() {
+        let mut l = SkipList::new();
+        l.insert(put("k", 5));
+        l.insert(put("k", 10));
+        // Seeking at snapshot 7 must land on seqno 5, skipping seqno 10.
+        let mut it = l.iter();
+        it.seek(InternalKey::for_seek(b"k", 7).encoded());
+        assert!(it.valid());
+        assert_eq!(it.entry().seqno, 5);
+        // Seeking at snapshot 10 lands on seqno 10.
+        it.seek(InternalKey::for_seek(b"k", 10).encoded());
+        assert_eq!(it.entry().seqno, 10);
+    }
+
+    #[test]
+    fn iteration_via_cursor_matches_entries() {
+        let mut l = SkipList::new();
+        for i in 0..100u64 {
+            l.insert(put(&format!("key{i:03}"), i + 1));
+        }
+        let mut it = l.iter();
+        it.seek_to_first();
+        let mut count = 0;
+        let mut last: Option<InternalKey> = None;
+        while it.valid() {
+            let ik = it.entry().internal_key();
+            if let Some(prev) = &last {
+                assert!(prev < &ik, "order violated");
+            }
+            last = Some(ik);
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn large_random_insert_stays_sorted() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut l = SkipList::new();
+        let mut n = 0u64;
+        for _ in 0..5000 {
+            n += 1;
+            let k: u32 = rng.gen_range(0..100_000);
+            l.insert(put(&format!("{k:08}"), n));
+        }
+        let mut prev: Option<InternalKey> = None;
+        for e in l.entries() {
+            let ik = e.internal_key();
+            if let Some(p) = &prev {
+                assert!(p < &ik);
+            }
+            prev = Some(ik);
+        }
+        assert_eq!(l.len(), 5000);
+    }
+
+    #[test]
+    fn approximate_bytes_grows_with_content() {
+        let mut l = SkipList::new();
+        assert_eq!(l.approximate_bytes(), 0);
+        l.insert(put("abc", 1));
+        let after_one = l.approximate_bytes();
+        assert!(after_one > 0);
+        l.insert(put("defghij", 2));
+        assert!(l.approximate_bytes() > after_one);
+    }
+
+    #[test]
+    fn tombstones_coexist_with_puts() {
+        let mut l = SkipList::new();
+        l.insert(put("a", 1));
+        l.insert(Entry::tombstone(&b"a"[..], 2, 99));
+        let entries: Vec<&Entry> = l.entries().collect();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].kind, ValueKind::Tombstone);
+        assert_eq!(entries[0].dkey, 99);
+        assert_eq!(entries[1].kind, ValueKind::Put);
+    }
+
+    #[test]
+    fn different_seeds_same_contents() {
+        let mut a = SkipList::with_seed(1);
+        let mut b = SkipList::with_seed(999_999);
+        for i in 0..200u64 {
+            let e = put(&format!("{:04}", (i * 7919) % 1000), i + 1);
+            a.insert(e.clone());
+            b.insert(e);
+        }
+        let ka: Vec<_> = a.entries().map(|e| e.internal_key()).collect();
+        let kb: Vec<_> = b.entries().map(|e| e.internal_key()).collect();
+        assert_eq!(ka, kb);
+    }
+}

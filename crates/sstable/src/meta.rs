@@ -1,0 +1,409 @@
+//! Table metadata: per-page descriptors, tile fences, and table-wide
+//! statistics (the tombstone bookkeeping FADE consumes).
+
+use acheron_types::codec::{
+    put_length_prefixed, put_varint64, require_length_prefixed, require_varint64,
+};
+use acheron_types::{Error, Result, SeqNo, Tick};
+use bytes::Bytes;
+
+use crate::format::BlockHandle;
+
+/// Descriptor of one page (data block) inside a tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Where the page's data block lives.
+    pub handle: BlockHandle,
+    /// Smallest secondary delete key in the page.
+    pub dkey_min: u64,
+    /// Largest secondary delete key in the page.
+    pub dkey_max: u64,
+    /// Largest sequence number in the page (for range-tombstone
+    /// dominance tests).
+    pub max_seqno: SeqNo,
+    /// Number of entries.
+    pub entry_count: u64,
+    /// Number of point tombstones in the page.
+    pub tombstone_count: u64,
+    /// This page's Bloom filter: byte range inside the filter block.
+    pub filter_offset: u64,
+    /// Length of the Bloom filter bytes (0 = no filter).
+    pub filter_len: u64,
+}
+
+/// Descriptor of one delete tile: a fence key plus its pages, which are
+/// ordered by `dkey_min` (the key-weaving order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileMeta {
+    /// The largest internal key in the tile (the fence pointer).
+    pub last_ikey: Bytes,
+    /// The tile's pages in delete-key order.
+    pub pages: Vec<PageMeta>,
+    /// True if any user key in the tile has more than one version.
+    /// Single-version tiles permit *page-level* range-tombstone drops;
+    /// multi-version tiles only permit tile-atomic drops (dropping one
+    /// page could remove a key's newest version while an older one
+    /// survives in a sibling page).
+    pub multi_version: bool,
+}
+
+impl TileMeta {
+    /// Smallest delete key across the tile's pages.
+    pub fn dkey_min(&self) -> u64 {
+        self.pages.iter().map(|p| p.dkey_min).min().unwrap_or(u64::MAX)
+    }
+
+    /// Largest delete key across the tile's pages.
+    pub fn dkey_max(&self) -> u64 {
+        self.pages.iter().map(|p| p.dkey_max).max().unwrap_or(0)
+    }
+}
+
+/// Encode the tile-meta block.
+pub fn encode_tiles(tiles: &[TileMeta]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * tiles.len());
+    put_varint64(&mut out, tiles.len() as u64);
+    for tile in tiles {
+        put_length_prefixed(&mut out, &tile.last_ikey);
+        out.push(u8::from(tile.multi_version));
+        put_varint64(&mut out, tile.pages.len() as u64);
+        for p in &tile.pages {
+            p.handle.encode_to(&mut out);
+            put_varint64(&mut out, p.dkey_min);
+            put_varint64(&mut out, p.dkey_max);
+            put_varint64(&mut out, p.max_seqno);
+            put_varint64(&mut out, p.entry_count);
+            put_varint64(&mut out, p.tombstone_count);
+            put_varint64(&mut out, p.filter_offset);
+            put_varint64(&mut out, p.filter_len);
+        }
+    }
+    out
+}
+
+/// Decode the tile-meta block.
+pub fn decode_tiles(mut src: &[u8]) -> Result<Vec<TileMeta>> {
+    let (n_tiles, rest) = require_varint64(src, "tile meta: tile count")?;
+    src = rest;
+    let mut tiles = Vec::with_capacity(n_tiles.min(1 << 20) as usize);
+    for t in 0..n_tiles {
+        let (last_ikey, rest) = require_length_prefixed(src, "tile meta: fence key")?;
+        src = rest;
+        let (&mv_byte, rest) = src
+            .split_first()
+            .ok_or_else(|| Error::corruption("tile meta: truncated multi-version flag"))?;
+        src = rest;
+        let multi_version = match mv_byte {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(Error::corruption(format!(
+                    "tile meta: bad multi-version flag {other}"
+                )))
+            }
+        };
+        let (n_pages, rest) = require_varint64(src, "tile meta: page count")?;
+        src = rest;
+        if n_pages == 0 {
+            return Err(Error::corruption(format!("tile {t} has zero pages")));
+        }
+        let mut pages = Vec::with_capacity(n_pages.min(1 << 16) as usize);
+        for _ in 0..n_pages {
+            let (handle, rest) = BlockHandle::decode_from(src)
+                .ok_or_else(|| Error::corruption("tile meta: bad page handle"))?;
+            src = rest;
+            let mut fields = [0u64; 7];
+            for f in fields.iter_mut() {
+                let (v, rest) = require_varint64(src, "tile meta: page field")?;
+                *f = v;
+                src = rest;
+            }
+            pages.push(PageMeta {
+                handle,
+                dkey_min: fields[0],
+                dkey_max: fields[1],
+                max_seqno: fields[2],
+                entry_count: fields[3],
+                tombstone_count: fields[4],
+                filter_offset: fields[5],
+                filter_len: fields[6],
+            });
+        }
+        tiles.push(TileMeta {
+            last_ikey: Bytes::copy_from_slice(last_ikey),
+            pages,
+            multi_version,
+        });
+    }
+    if !src.is_empty() {
+        return Err(Error::corruption("tile meta: trailing bytes"));
+    }
+    Ok(tiles)
+}
+
+/// Table-wide statistics, persisted in the stats block and mirrored into
+/// the engine's manifest. These are the O(1)-per-file metadata
+/// Acheron/Lethe attach to make compaction delete-aware.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TableStats {
+    /// Total entries (puts + tombstones).
+    pub entry_count: u64,
+    /// Point tombstones in the table.
+    pub tombstone_count: u64,
+    /// Tick of the oldest tombstone (None if tombstone-free).
+    pub oldest_tombstone_tick: Option<Tick>,
+    /// Delete-key fence across all entries.
+    pub min_dkey: u64,
+    /// Delete-key fence across all entries.
+    pub max_dkey: u64,
+    /// Sum of key+value payload bytes.
+    pub user_bytes: u64,
+    /// The `h` the table was built with.
+    pub pages_per_tile: u64,
+    /// Largest seqno in the table.
+    pub max_seqno: SeqNo,
+    /// Smallest seqno in the table (u64::MAX for an empty table); used
+    /// to decide when a range tombstone can be retired.
+    pub min_seqno: SeqNo,
+    /// Smallest user key.
+    pub min_user_key: Bytes,
+    /// Largest user key.
+    pub max_user_key: Bytes,
+    /// Number of pages.
+    pub page_count: u64,
+    /// Number of tiles.
+    pub tile_count: u64,
+}
+
+impl TableStats {
+    /// Tombstones as a fraction of entries (0 for an empty table).
+    pub fn tombstone_density(&self) -> f64 {
+        if self.entry_count == 0 {
+            0.0
+        } else {
+            self.tombstone_count as f64 / self.entry_count as f64
+        }
+    }
+
+    /// Serialize the stats block.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        put_varint64(&mut out, self.entry_count);
+        put_varint64(&mut out, self.tombstone_count);
+        match self.oldest_tombstone_tick {
+            Some(t) => {
+                out.push(1);
+                put_varint64(&mut out, t);
+            }
+            None => out.push(0),
+        }
+        put_varint64(&mut out, self.min_dkey);
+        put_varint64(&mut out, self.max_dkey);
+        put_varint64(&mut out, self.user_bytes);
+        put_varint64(&mut out, self.pages_per_tile);
+        put_varint64(&mut out, self.max_seqno);
+        put_varint64(&mut out, self.min_seqno);
+        put_length_prefixed(&mut out, &self.min_user_key);
+        put_length_prefixed(&mut out, &self.max_user_key);
+        put_varint64(&mut out, self.page_count);
+        put_varint64(&mut out, self.tile_count);
+        out
+    }
+
+    /// Deserialize the stats block.
+    pub fn decode(mut src: &[u8]) -> Result<TableStats> {
+        let mut next = |what: &str| -> Result<u64> {
+            let (v, rest) = require_varint64(src, what)?;
+            src = rest;
+            Ok(v)
+        };
+        let entry_count = next("stats: entry count")?;
+        let tombstone_count = next("stats: tombstone count")?;
+        let (&flag, rest) = src
+            .split_first()
+            .ok_or_else(|| Error::corruption("stats: truncated tombstone-tick flag"))?;
+        src = rest;
+        let oldest_tombstone_tick = match flag {
+            0 => None,
+            1 => {
+                let (v, rest) = require_varint64(src, "stats: oldest tombstone tick")?;
+                src = rest;
+                Some(v)
+            }
+            other => {
+                return Err(Error::corruption(format!("stats: bad flag byte {other}")));
+            }
+        };
+        let mut next = |what: &str| -> Result<u64> {
+            let (v, rest) = require_varint64(src, what)?;
+            src = rest;
+            Ok(v)
+        };
+        let min_dkey = next("stats: min dkey")?;
+        let max_dkey = next("stats: max dkey")?;
+        let user_bytes = next("stats: user bytes")?;
+        let pages_per_tile = next("stats: pages per tile")?;
+        let max_seqno = next("stats: max seqno")?;
+        let min_seqno = next("stats: min seqno")?;
+        let (min_user_key, rest) = require_length_prefixed(src, "stats: min user key")?;
+        let (max_user_key, rest) = require_length_prefixed(rest, "stats: max user key")?;
+        src = rest;
+        let mut next = |what: &str| -> Result<u64> {
+            let (v, rest) = require_varint64(src, what)?;
+            src = rest;
+            Ok(v)
+        };
+        let page_count = next("stats: page count")?;
+        let tile_count = next("stats: tile count")?;
+        if !src.is_empty() {
+            return Err(Error::corruption("stats: trailing bytes"));
+        }
+        Ok(TableStats {
+            entry_count,
+            tombstone_count,
+            oldest_tombstone_tick,
+            min_dkey,
+            max_dkey,
+            user_bytes,
+            pages_per_tile,
+            max_seqno,
+            min_seqno,
+            min_user_key: Bytes::copy_from_slice(min_user_key),
+            max_user_key: Bytes::copy_from_slice(max_user_key),
+            page_count,
+            tile_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tiles() -> Vec<TileMeta> {
+        vec![
+            TileMeta {
+                last_ikey: Bytes::from_static(b"fence-one\0\0\0\0\0\0\0\0"),
+                multi_version: true,
+                pages: vec![
+                    PageMeta {
+                        handle: BlockHandle { offset: 0, size: 4000 },
+                        dkey_min: 5,
+                        dkey_max: 40,
+                        max_seqno: 99,
+                        entry_count: 120,
+                        tombstone_count: 3,
+                        filter_offset: 0,
+                        filter_len: 150,
+                    },
+                    PageMeta {
+                        handle: BlockHandle { offset: 4005, size: 3990 },
+                        dkey_min: 41,
+                        dkey_max: 90,
+                        max_seqno: 104,
+                        entry_count: 118,
+                        tombstone_count: 0,
+                        filter_offset: 150,
+                        filter_len: 149,
+                    },
+                ],
+            },
+            TileMeta {
+                last_ikey: Bytes::from_static(b"fence-two\0\0\0\0\0\0\0\0"),
+                multi_version: false,
+                pages: vec![PageMeta {
+                    handle: BlockHandle { offset: 8000, size: 1234 },
+                    dkey_min: 0,
+                    dkey_max: u64::MAX,
+                    max_seqno: 77,
+                    entry_count: 10,
+                    tombstone_count: 10,
+                    filter_offset: 299,
+                    filter_len: 20,
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn tiles_round_trip() {
+        let tiles = sample_tiles();
+        let decoded = decode_tiles(&encode_tiles(&tiles)).unwrap();
+        assert_eq!(decoded, tiles);
+    }
+
+    #[test]
+    fn empty_tile_list_round_trips() {
+        assert_eq!(decode_tiles(&encode_tiles(&[])).unwrap(), Vec::<TileMeta>::new());
+    }
+
+    #[test]
+    fn tiles_reject_truncation() {
+        let enc = encode_tiles(&sample_tiles());
+        for cut in 0..enc.len() {
+            assert!(decode_tiles(&enc[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn tiles_reject_trailing_bytes() {
+        let mut enc = encode_tiles(&sample_tiles());
+        enc.push(0);
+        assert!(decode_tiles(&enc).is_err());
+    }
+
+    #[test]
+    fn tile_dkey_bounds() {
+        let tiles = sample_tiles();
+        assert_eq!(tiles[0].dkey_min(), 5);
+        assert_eq!(tiles[0].dkey_max(), 90);
+    }
+
+    fn sample_stats() -> TableStats {
+        TableStats {
+            entry_count: 1000,
+            tombstone_count: 50,
+            oldest_tombstone_tick: Some(12345),
+            min_dkey: 3,
+            max_dkey: 900,
+            user_bytes: 64_000,
+            pages_per_tile: 4,
+            max_seqno: 777,
+            min_seqno: 12,
+            min_user_key: Bytes::from_static(b"aaa"),
+            max_user_key: Bytes::from_static(b"zzz"),
+            page_count: 16,
+            tile_count: 4,
+        }
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let s = sample_stats();
+        assert_eq!(TableStats::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn stats_without_tombstones_round_trip() {
+        let s = TableStats { oldest_tombstone_tick: None, tombstone_count: 0, ..sample_stats() };
+        assert_eq!(TableStats::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn stats_reject_truncation_and_trailing() {
+        let enc = sample_stats().encode();
+        for cut in 0..enc.len() {
+            assert!(TableStats::decode(&enc[..cut]).is_err(), "cut={cut}");
+        }
+        let mut padded = enc;
+        padded.push(7);
+        assert!(TableStats::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn tombstone_density() {
+        let s = sample_stats();
+        assert!((s.tombstone_density() - 0.05).abs() < 1e-9);
+        assert_eq!(TableStats::default().tombstone_density(), 0.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! Table builder: buffers a tile's worth of sorted entries, *weaves*
+//! them (re-orders the tile's pages by delete key), and streams pages to
+//! the file.
+//!
+//! Input contract: entries arrive in strictly increasing internal-key
+//! order (the order every flush/compaction source produces). The builder
+//! cuts the stream into tiles of ~`pages_per_tile * page_size` bytes;
+//! within a tile it sorts entries by delete key, packs them into pages,
+//! and restores sort-key order *inside* each page. With
+//! `pages_per_tile == 1` the weave is the identity and the output is a
+//! classic SSTable.
+
+use acheron_types::checksum;
+use acheron_types::key::compare_internal;
+use acheron_types::{Entry, Error, InternalKey, Result};
+use acheron_vfs::WritableFile;
+use bytes::Bytes;
+
+use crate::block::BlockBuilder;
+use crate::bloom::BloomFilter;
+use crate::format::{BlockHandle, Footer, TableOptions, FORMAT_VERSION};
+use crate::meta::{encode_tiles, PageMeta, TableStats, TileMeta};
+
+struct PendingEntry {
+    ikey: Vec<u8>,
+    dkey: u64,
+    value: Bytes,
+    is_tombstone: bool,
+}
+
+impl PendingEntry {
+    fn payload_size(&self) -> usize {
+        self.ikey.len() + self.value.len() + 16
+    }
+}
+
+/// Streams sorted entries into an Acheron table file.
+pub struct TableBuilder {
+    file: Box<dyn WritableFile>,
+    opts: TableOptions,
+    tile_buffer: Vec<PendingEntry>,
+    tile_buffer_bytes: usize,
+    tiles: Vec<TileMeta>,
+    filter_buf: Vec<u8>,
+    stats: TableStats,
+    last_ikey: Vec<u8>,
+    offset: u64,
+    finished: bool,
+}
+
+impl TableBuilder {
+    /// Start building into `file` with the given options.
+    pub fn new(file: Box<dyn WritableFile>, opts: TableOptions) -> Result<TableBuilder> {
+        opts.validate()?;
+        let stats = TableStats {
+            min_dkey: u64::MAX,
+            max_dkey: 0,
+            min_seqno: u64::MAX,
+            pages_per_tile: opts.pages_per_tile as u64,
+            ..TableStats::default()
+        };
+        Ok(TableBuilder {
+            file,
+            opts,
+            tile_buffer: Vec::new(),
+            tile_buffer_bytes: 0,
+            tiles: Vec::new(),
+            filter_buf: Vec::new(),
+            stats,
+            last_ikey: Vec::new(),
+            offset: 0,
+            finished: false,
+        })
+    }
+
+    /// Append an entry. Must be called in strictly increasing
+    /// internal-key order.
+    pub fn add(&mut self, entry: &Entry) -> Result<()> {
+        debug_assert!(!self.finished);
+        let ikey = entry.internal_key().encoded().to_vec();
+        if !self.last_ikey.is_empty()
+            && compare_internal(&self.last_ikey, &ikey) != std::cmp::Ordering::Less
+        {
+            return Err(Error::invalid_argument(format!(
+                "table entries out of order: {:?} then {:?}",
+                InternalKey::decode(Bytes::copy_from_slice(&self.last_ikey)),
+                entry.internal_key(),
+            )));
+        }
+        self.last_ikey.clone_from(&ikey);
+
+        // Table-wide stats.
+        if self.stats.entry_count == 0 {
+            self.stats.min_user_key = entry.key.clone();
+        }
+        self.stats.max_user_key = entry.key.clone();
+        self.stats.entry_count += 1;
+        if entry.is_tombstone() {
+            self.stats.tombstone_count += 1;
+            self.stats.oldest_tombstone_tick = Some(match self.stats.oldest_tombstone_tick {
+                Some(t) => t.min(entry.dkey),
+                None => entry.dkey,
+            });
+        }
+        self.stats.min_dkey = self.stats.min_dkey.min(entry.dkey);
+        self.stats.max_dkey = self.stats.max_dkey.max(entry.dkey);
+        self.stats.user_bytes += (entry.key.len() + entry.value.len()) as u64;
+        self.stats.max_seqno = self.stats.max_seqno.max(entry.seqno);
+        self.stats.min_seqno = self.stats.min_seqno.min(entry.seqno);
+
+        let pending = PendingEntry {
+            ikey,
+            dkey: entry.dkey,
+            value: entry.value.clone(),
+            is_tombstone: entry.is_tombstone(),
+        };
+        // Flush *before* the tile would exceed its budget, so a finished
+        // tile never packs into more than `pages_per_tile` pages (modulo
+        // single entries larger than a page). Tiles are additionally cut
+        // only at user-key boundaries: a key's version chain never spans
+        // tiles, which is what makes whole-tile drops sound.
+        let budget = self.opts.page_size * self.opts.pages_per_tile;
+        let user_key_boundary = self
+            .tile_buffer
+            .last()
+            .is_none_or(|last| last.ikey[..last.ikey.len() - 8] != entry.key[..]);
+        if !self.tile_buffer.is_empty()
+            && user_key_boundary
+            && self.tile_buffer_bytes + pending.payload_size() > budget
+        {
+            self.flush_tile()?;
+        }
+        self.tile_buffer_bytes += pending.payload_size();
+        self.tile_buffer.push(pending);
+        Ok(())
+    }
+
+    /// Entries added so far.
+    pub fn entry_count(&self) -> u64 {
+        self.stats.entry_count
+    }
+
+    /// Bytes written to the file so far (data pages only until finish).
+    pub fn file_bytes(&self) -> u64 {
+        self.offset + self.tile_buffer_bytes as u64
+    }
+
+    /// Weave and write out the buffered tile.
+    fn flush_tile(&mut self) -> Result<()> {
+        if self.tile_buffer.is_empty() {
+            return Ok(());
+        }
+        // The fence is the largest internal key in the tile; entries
+        // arrived sorted, so it is the last one buffered.
+        let last_ikey = Bytes::copy_from_slice(&self.tile_buffer.last().expect("non-empty").ikey);
+
+        let mut entries = std::mem::take(&mut self.tile_buffer);
+        self.tile_buffer_bytes = 0;
+
+        // Entries arrive in internal-key order, so multiple versions of a
+        // user key are adjacent.
+        let multi_version = entries
+            .windows(2)
+            .any(|w| w[0].ikey[..w[0].ikey.len() - 8] == w[1].ikey[..w[1].ikey.len() - 8]);
+
+        // The weave: order the tile's entries by delete key so each page
+        // covers a contiguous dkey band. Stable sort keeps the sort-key
+        // order within equal dkeys, and is skipped entirely for h = 1
+        // (one page — the band is the whole tile).
+        if self.opts.pages_per_tile > 1 {
+            entries.sort_by(|a, b| {
+                a.dkey.cmp(&b.dkey).then_with(|| compare_internal(&a.ikey, &b.ikey))
+            });
+        }
+
+        // Greedily pack dkey-ordered entries into pages of ~page_size.
+        let mut pages: Vec<Vec<PendingEntry>> = Vec::with_capacity(self.opts.pages_per_tile);
+        let mut current: Vec<PendingEntry> = Vec::new();
+        let mut current_bytes = 0usize;
+        for e in entries {
+            let sz = e.payload_size();
+            if !current.is_empty() && current_bytes + sz > self.opts.page_size {
+                pages.push(std::mem::take(&mut current));
+                current_bytes = 0;
+            }
+            current_bytes += sz;
+            current.push(e);
+        }
+        if !current.is_empty() {
+            pages.push(current);
+        }
+
+        let mut page_metas = Vec::with_capacity(pages.len());
+        for mut page in pages {
+            // Restore sort-key order inside the page.
+            page.sort_by(|a, b| compare_internal(&a.ikey, &b.ikey));
+
+            let dkey_min = page.iter().map(|e| e.dkey).min().expect("non-empty page");
+            let dkey_max = page.iter().map(|e| e.dkey).max().expect("non-empty page");
+            let max_seqno = page
+                .iter()
+                .map(|e| {
+                    InternalKey::decode(Bytes::copy_from_slice(&e.ikey))
+                        .expect("valid ikey")
+                        .seqno()
+                })
+                .max()
+                .expect("non-empty page");
+            let tombstone_count = page.iter().filter(|e| e.is_tombstone).count() as u64;
+
+            let mut block = BlockBuilder::new(self.opts.restart_interval);
+            for e in &page {
+                block.add(&e.ikey, e.dkey, &e.value);
+            }
+            let handle = self.write_block(&block.finish())?;
+
+            // Per-page Bloom filter over user keys.
+            let (filter_offset, filter_len) = if self.opts.bloom_bits_per_key > 0 {
+                let user_keys: Vec<&[u8]> =
+                    page.iter().map(|e| &e.ikey[..e.ikey.len() - 8]).collect();
+                let filter = BloomFilter::build(
+                    user_keys.iter().copied(),
+                    self.opts.bloom_bits_per_key,
+                );
+                let off = self.filter_buf.len() as u64;
+                self.filter_buf.extend_from_slice(&filter.encode());
+                (off, self.filter_buf.len() as u64 - off)
+            } else {
+                (0, 0)
+            };
+
+            page_metas.push(PageMeta {
+                handle,
+                dkey_min,
+                dkey_max,
+                max_seqno,
+                entry_count: page.len() as u64,
+                tombstone_count,
+                filter_offset,
+                filter_len,
+            });
+            self.stats.page_count += 1;
+        }
+
+        self.tiles.push(TileMeta { last_ikey, pages: page_metas, multi_version });
+        self.stats.tile_count += 1;
+        Ok(())
+    }
+
+    /// Write raw block contents plus the `type | crc` trailer.
+    fn write_block(&mut self, contents: &[u8]) -> Result<BlockHandle> {
+        let handle = BlockHandle { offset: self.offset, size: contents.len() as u64 };
+        self.file.append(contents)?;
+        let mut trailer = [0u8; 5];
+        trailer[0] = 0; // compression: none
+        let crc = checksum::mask(checksum::extend(checksum::crc32c(contents), &trailer[..1]));
+        trailer[1..].copy_from_slice(&crc.to_le_bytes());
+        self.file.append(&trailer)?;
+        self.offset += contents.len() as u64 + trailer.len() as u64;
+        Ok(handle)
+    }
+
+    /// Flush the final tile, write filter/meta/stats/footer, and finish
+    /// the file. Returns the table's statistics.
+    pub fn finish(mut self) -> Result<TableStats> {
+        self.flush_tile()?;
+        self.finished = true;
+        if self.stats.entry_count == 0 {
+            // Normalize sentinel fences for an empty table.
+            self.stats.min_dkey = 0;
+        }
+        let filter = std::mem::take(&mut self.filter_buf);
+        let filter_handle = self.write_block(&filter)?;
+        let tile_meta = encode_tiles(&self.tiles);
+        let tile_meta_handle = self.write_block(&tile_meta)?;
+        let stats_block = self.stats.encode();
+        let stats_handle = self.write_block(&stats_block)?;
+        let footer = Footer {
+            filter: filter_handle,
+            tile_meta: tile_meta_handle,
+            stats: stats_handle,
+            version: FORMAT_VERSION,
+        };
+        self.file.append(&footer.encode())?;
+        self.file.sync()?;
+        self.file.finish()?;
+        Ok(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acheron_vfs::{MemFs, Vfs};
+
+    fn build_table(entries: &[Entry], opts: TableOptions) -> (MemFs, TableStats) {
+        let fs = MemFs::new();
+        let file = fs.create("t.sst").unwrap();
+        let mut b = TableBuilder::new(file, opts).unwrap();
+        for e in entries {
+            b.add(e).unwrap();
+        }
+        let stats = b.finish().unwrap();
+        (fs, stats)
+    }
+
+    fn puts(n: usize) -> Vec<Entry> {
+        (0..n)
+            .map(|i| {
+                Entry::put(
+                    format!("key{i:05}").into_bytes(),
+                    vec![b'v'; 20],
+                    (n + i) as u64,
+                    (i % 97) as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let mut entries = puts(500);
+        entries[100] = Entry::tombstone(entries[100].key.clone(), entries[100].seqno, 7);
+        entries[200] = Entry::tombstone(entries[200].key.clone(), entries[200].seqno, 3);
+        let (_fs, stats) = build_table(&entries, TableOptions::default());
+        assert_eq!(stats.entry_count, 500);
+        assert_eq!(stats.tombstone_count, 2);
+        assert_eq!(stats.oldest_tombstone_tick, Some(3));
+        assert_eq!(&stats.min_user_key[..], b"key00000");
+        assert_eq!(&stats.max_user_key[..], b"key00499");
+        assert!(stats.page_count >= 2, "500 entries should span pages");
+        assert_eq!(stats.tile_count, stats.page_count, "h = 1 means one page per tile");
+    }
+
+    #[test]
+    fn weave_produces_multi_page_tiles() {
+        let opts = TableOptions { pages_per_tile: 4, page_size: 512, ..Default::default() };
+        let (_fs, stats) = build_table(&puts(500), opts);
+        assert!(stats.tile_count < stats.page_count, "tiles should contain multiple pages");
+        assert!(
+            stats.page_count <= stats.tile_count * 5,
+            "pages per tile should be near h: {} tiles, {} pages",
+            stats.tile_count,
+            stats.page_count
+        );
+    }
+
+    #[test]
+    fn out_of_order_input_rejected() {
+        let fs = MemFs::new();
+        let file = fs.create("t.sst").unwrap();
+        let mut b = TableBuilder::new(file, TableOptions::default()).unwrap();
+        b.add(&Entry::put(&b"b"[..], &b"v"[..], 1, 0)).unwrap();
+        let err = b.add(&Entry::put(&b"a"[..], &b"v"[..], 2, 0)).unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn duplicate_internal_key_rejected() {
+        let fs = MemFs::new();
+        let file = fs.create("t.sst").unwrap();
+        let mut b = TableBuilder::new(file, TableOptions::default()).unwrap();
+        let e = Entry::put(&b"a"[..], &b"v"[..], 1, 0);
+        b.add(&e).unwrap();
+        assert!(b.add(&e).is_err());
+    }
+
+    #[test]
+    fn same_user_key_versions_in_descending_seqno_accepted() {
+        let fs = MemFs::new();
+        let file = fs.create("t.sst").unwrap();
+        let mut b = TableBuilder::new(file, TableOptions::default()).unwrap();
+        b.add(&Entry::put(&b"a"[..], &b"v3"[..], 3, 0)).unwrap();
+        b.add(&Entry::put(&b"a"[..], &b"v2"[..], 2, 0)).unwrap();
+        b.add(&Entry::tombstone(&b"a"[..], 1, 0)).unwrap();
+        let stats = b.finish().unwrap();
+        assert_eq!(stats.entry_count, 3);
+        assert_eq!(stats.max_seqno, 3);
+        assert_eq!(stats.min_seqno, 1);
+    }
+
+    #[test]
+    fn empty_table_finishes() {
+        let fs = MemFs::new();
+        let file = fs.create("t.sst").unwrap();
+        let b = TableBuilder::new(file, TableOptions::default()).unwrap();
+        let stats = b.finish().unwrap();
+        assert_eq!(stats.entry_count, 0);
+        assert_eq!(stats.tile_count, 0);
+        assert!(fs.file_size("t.sst").unwrap() > 0, "footer still written");
+    }
+
+    #[test]
+    fn invalid_options_rejected_at_construction() {
+        let fs = MemFs::new();
+        let file = fs.create("t.sst").unwrap();
+        let opts = TableOptions { page_size: 1, ..Default::default() };
+        assert!(TableBuilder::new(file, opts).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Binary encoding primitives: little-endian fixed integers, LEB128
+//! varints, and length-prefixed slices.
+//!
+//! These are the building blocks of every on-disk format in the engine
+//! (WAL records, SSTable blocks, the manifest). All decoders are
+//! *total*: they never panic on malformed input, returning `None`
+//! instead, so corruption surfaces as a recoverable error at the caller.
+
+use crate::error::{Error, Result};
+
+/// Append a `u32` in little-endian order.
+#[inline]
+pub fn put_u32_le(dst: &mut Vec<u8>, v: u32) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` in little-endian order.
+#[inline]
+pub fn put_u64_le(dst: &mut Vec<u8>, v: u64) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Decode a little-endian `u32` from the front of `src`.
+#[inline]
+pub fn get_u32_le(src: &[u8]) -> Option<(u32, &[u8])> {
+    let bytes = src.get(..4)?;
+    Some((u32::from_le_bytes(bytes.try_into().unwrap()), &src[4..]))
+}
+
+/// Decode a little-endian `u64` from the front of `src`.
+#[inline]
+pub fn get_u64_le(src: &[u8]) -> Option<(u64, &[u8])> {
+    let bytes = src.get(..8)?;
+    Some((u64::from_le_bytes(bytes.try_into().unwrap()), &src[8..]))
+}
+
+/// Maximum encoded size of a `u64` varint.
+pub const MAX_VARINT64_LEN: usize = 10;
+
+/// Append a LEB128-encoded `u64`.
+#[inline]
+pub fn put_varint64(dst: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            dst.push(byte);
+            return;
+        }
+        dst.push(byte | 0x80);
+    }
+}
+
+/// Append a LEB128-encoded `u32`.
+#[inline]
+pub fn put_varint32(dst: &mut Vec<u8>, v: u32) {
+    put_varint64(dst, u64::from(v));
+}
+
+/// Decode a LEB128 `u64` from the front of `src`.
+///
+/// Returns `None` on truncation or on encodings longer than
+/// [`MAX_VARINT64_LEN`] bytes (which cannot arise from `put_varint64`).
+#[inline]
+pub fn get_varint64(src: &[u8]) -> Option<(u64, &[u8])> {
+    let mut result: u64 = 0;
+    for (i, &byte) in src.iter().enumerate().take(MAX_VARINT64_LEN) {
+        let payload = u64::from(byte & 0x7f);
+        // The 10th byte may only contribute a single bit.
+        if i == MAX_VARINT64_LEN - 1 && byte > 1 {
+            return None;
+        }
+        result |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some((result, &src[i + 1..]));
+        }
+    }
+    None
+}
+
+/// Decode a LEB128 `u32` from the front of `src`.
+#[inline]
+pub fn get_varint32(src: &[u8]) -> Option<(u32, &[u8])> {
+    let (v, rest) = get_varint64(src)?;
+    if v > u64::from(u32::MAX) {
+        return None;
+    }
+    Some((v as u32, rest))
+}
+
+/// Number of bytes `put_varint64` will emit for `v`.
+#[inline]
+pub fn varint64_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (64 - v.leading_zeros() as usize).div_ceil(7)
+}
+
+/// Append a varint length prefix followed by the slice bytes.
+#[inline]
+pub fn put_length_prefixed(dst: &mut Vec<u8>, slice: &[u8]) {
+    put_varint64(dst, slice.len() as u64);
+    dst.extend_from_slice(slice);
+}
+
+/// Decode a length-prefixed slice from the front of `src`.
+#[inline]
+pub fn get_length_prefixed(src: &[u8]) -> Option<(&[u8], &[u8])> {
+    let (len, rest) = get_varint64(src)?;
+    let len = usize::try_from(len).ok()?;
+    if rest.len() < len {
+        return None;
+    }
+    Some((&rest[..len], &rest[len..]))
+}
+
+/// `get_varint64` lifted into a [`Result`], for decode paths that report
+/// corruption with context.
+#[inline]
+pub fn require_varint64<'a>(src: &'a [u8], what: &str) -> Result<(u64, &'a [u8])> {
+    get_varint64(src).ok_or_else(|| Error::corruption(format!("truncated varint in {what}")))
+}
+
+/// `get_length_prefixed` lifted into a [`Result`].
+#[inline]
+pub fn require_length_prefixed<'a>(src: &'a [u8], what: &str) -> Result<(&'a [u8], &'a [u8])> {
+    get_length_prefixed(src)
+        .ok_or_else(|| Error::corruption(format!("truncated length-prefixed slice in {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ints_round_trip() {
+        let mut buf = Vec::new();
+        put_u32_le(&mut buf, 0xdead_beef);
+        put_u64_le(&mut buf, 0x0123_4567_89ab_cdef);
+        let (a, rest) = get_u32_le(&buf).unwrap();
+        let (b, rest) = get_u64_le(rest).unwrap();
+        assert_eq!(a, 0xdead_beef);
+        assert_eq!(b, 0x0123_4567_89ab_cdef);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn fixed_ints_reject_truncation() {
+        assert!(get_u32_le(&[1, 2, 3]).is_none());
+        assert!(get_u64_le(&[1, 2, 3, 4, 5, 6, 7]).is_none());
+    }
+
+    #[test]
+    fn varint_round_trip_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            assert_eq!(buf.len(), varint64_len(v), "len mismatch for {v}");
+            let (decoded, rest) = get_varint64(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(get_varint64(&buf[..cut]).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_encoding() {
+        // Eleven continuation bytes can never be valid.
+        let bad = [0x80u8; 11];
+        assert!(get_varint64(&bad).is_none());
+        // A 10-byte encoding whose final byte has more than the top bit set
+        // would overflow u64.
+        let mut overflow = vec![0xffu8; 9];
+        overflow.push(0x02);
+        assert!(get_varint64(&overflow).is_none());
+    }
+
+    #[test]
+    fn varint32_rejects_out_of_range() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::from(u32::MAX) + 1);
+        assert!(get_varint32(&buf).is_none());
+    }
+
+    #[test]
+    fn length_prefixed_round_trip() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"hello");
+        put_length_prefixed(&mut buf, b"");
+        put_length_prefixed(&mut buf, &[0u8; 300]);
+        let (a, rest) = get_length_prefixed(&buf).unwrap();
+        let (b, rest) = get_length_prefixed(rest).unwrap();
+        let (c, rest) = get_length_prefixed(rest).unwrap();
+        assert_eq!(a, b"hello");
+        assert_eq!(b, b"");
+        assert_eq!(c.len(), 300);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn length_prefixed_rejects_short_payload() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, 10);
+        buf.extend_from_slice(b"short");
+        assert!(get_length_prefixed(&buf).is_none());
+    }
+
+    #[test]
+    fn require_helpers_surface_context() {
+        let err = require_varint64(&[0x80], "manifest header").unwrap_err();
+        assert!(err.to_string().contains("manifest header"));
+        let err = require_length_prefixed(&[5, b'a'], "wal record").unwrap_err();
+        assert!(err.to_string().contains("wal record"));
+    }
+
+    #[test]
+    fn varint64_len_matches_encoding_for_all_bit_widths() {
+        for bits in 0..64 {
+            let v = 1u64 << bits;
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            assert_eq!(buf.len(), varint64_len(v), "bits={bits}");
+        }
+    }
+}

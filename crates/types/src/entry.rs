@@ -1,0 +1,264 @@
+//! The fully-decoded mutation record that flows between layers, and the
+//! secondary *delete key* domain on which Acheron's range deletes operate.
+//!
+//! Every entry carries, besides its sort key / value / seqno / kind, a
+//! 64-bit **delete key** — the secondary attribute (canonically a
+//! timestamp) that `range_delete_secondary` predicates select on. Puts
+//! carry an application-supplied delete key; point tombstones carry the
+//! logical tick at which they were issued (used by FADE to age them).
+
+use bytes::Bytes;
+
+use crate::key::{InternalKey, UserKey};
+use crate::seq::{SeqNo, ValueKind};
+
+/// Sentinel delete key for entries whose application did not supply one.
+/// Chosen as 0 so "no delete key" entries are only matched by ranges that
+/// explicitly include 0.
+pub const DELETE_KEY_NONE: u64 = 0;
+
+/// A fully decoded mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The LSM sort key.
+    pub key: UserKey,
+    /// Mutation sequence number.
+    pub seqno: SeqNo,
+    /// Put / tombstone / secondary-range-tombstone.
+    pub kind: ValueKind,
+    /// The secondary delete-key attribute (e.g. a timestamp).
+    pub dkey: u64,
+    /// Value payload. Empty for tombstones. For
+    /// [`ValueKind::RangeTombstone`] entries in the WAL, holds the encoded
+    /// [`DeleteKeyRange`].
+    pub value: Bytes,
+}
+
+impl Entry {
+    /// Build a put.
+    pub fn put(key: impl Into<UserKey>, value: impl Into<Bytes>, seqno: SeqNo, dkey: u64) -> Entry {
+        Entry { key: key.into(), seqno, kind: ValueKind::Put, dkey, value: value.into() }
+    }
+
+    /// Build a point tombstone. `dkey` is the tick the delete was issued
+    /// at, used by FADE to age the tombstone.
+    pub fn tombstone(key: impl Into<UserKey>, seqno: SeqNo, dkey: u64) -> Entry {
+        Entry { key: key.into(), seqno, kind: ValueKind::Tombstone, dkey, value: Bytes::new() }
+    }
+
+    /// The internal key for this entry.
+    pub fn internal_key(&self) -> InternalKey {
+        InternalKey::new(&self.key, self.seqno, self.kind)
+    }
+
+    /// True for point tombstones.
+    #[inline]
+    pub fn is_tombstone(&self) -> bool {
+        self.kind.is_tombstone()
+    }
+
+    /// Approximate in-memory / on-disk payload size in bytes (key +
+    /// value + trailer + delete key). Used for memtable sizing and
+    /// write-amplification accounting.
+    #[inline]
+    pub fn encoded_size(&self) -> usize {
+        self.key.len() + self.value.len() + 8 /* tag */ + 8 /* dkey */
+    }
+}
+
+/// A committed secondary range delete: shadows every entry whose `dkey`
+/// lies in `range` and whose seqno is **less than** `seqno`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RangeTombstone {
+    /// Sequence number the range delete was committed at.
+    pub seqno: SeqNo,
+    /// The delete-key interval it erases.
+    pub range: DeleteKeyRange,
+}
+
+impl RangeTombstone {
+    /// True if this tombstone erases an entry with the given seqno/dkey.
+    #[inline]
+    pub fn shadows(&self, entry_seqno: SeqNo, dkey: u64) -> bool {
+        entry_seqno < self.seqno && self.range.contains(dkey)
+    }
+
+    /// True if this tombstone erases *every* entry in a region whose
+    /// delete keys span `[dkey_lo, dkey_hi]` and whose largest seqno is
+    /// `max_seqno` — the page-drop test KiWi uses.
+    #[inline]
+    pub fn covers_region(&self, dkey_lo: u64, dkey_hi: u64, max_seqno: SeqNo) -> bool {
+        max_seqno < self.seqno && self.range.covers(dkey_lo, dkey_hi)
+    }
+}
+
+/// An inclusive range over the secondary delete-key domain.
+///
+/// `DeleteKeyRange { lo: 0, hi: u64::MAX }` covers every entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeleteKeyRange {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl DeleteKeyRange {
+    /// Construct, normalizing an inverted pair into an empty range.
+    pub fn new(lo: u64, hi: u64) -> DeleteKeyRange {
+        DeleteKeyRange { lo, hi }
+    }
+
+    /// The full domain.
+    pub fn all() -> DeleteKeyRange {
+        DeleteKeyRange { lo: 0, hi: u64::MAX }
+    }
+
+    /// True if the range contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, dkey: u64) -> bool {
+        self.lo <= dkey && dkey <= self.hi
+    }
+
+    /// True if `self` fully covers `[lo, hi]`.
+    #[inline]
+    pub fn covers(&self, lo: u64, hi: u64) -> bool {
+        !self.is_empty() && self.lo <= lo && hi <= self.hi
+    }
+
+    /// True if `self` intersects `[lo, hi]`.
+    #[inline]
+    pub fn overlaps(&self, lo: u64, hi: u64) -> bool {
+        !self.is_empty() && self.lo <= hi && lo <= self.hi
+    }
+
+    /// Encode as 16 little-endian bytes (for WAL payloads).
+    pub fn encode(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.lo.to_le_bytes());
+        out[8..].copy_from_slice(&self.hi.to_le_bytes());
+        out
+    }
+
+    /// Decode from the 16-byte encoding.
+    pub fn decode(src: &[u8]) -> Option<DeleteKeyRange> {
+        if src.len() != 16 {
+            return None;
+        }
+        Some(DeleteKeyRange {
+            lo: u64::from_le_bytes(src[..8].try_into().unwrap()),
+            hi: u64::from_le_bytes(src[8..].try_into().unwrap()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_tombstone_constructors() {
+        let p = Entry::put(&b"k"[..], &b"v"[..], 5, 100);
+        assert_eq!(p.kind, ValueKind::Put);
+        assert!(!p.is_tombstone());
+        assert_eq!(p.dkey, 100);
+
+        let t = Entry::tombstone(&b"k"[..], 6, 101);
+        assert!(t.is_tombstone());
+        assert!(t.value.is_empty());
+    }
+
+    #[test]
+    fn internal_key_reflects_entry() {
+        let e = Entry::put(&b"abc"[..], &b"v"[..], 9, 0);
+        let ik = e.internal_key();
+        assert_eq!(ik.user_key(), b"abc");
+        assert_eq!(ik.seqno(), 9);
+        assert_eq!(ik.kind(), Some(ValueKind::Put));
+    }
+
+    #[test]
+    fn encoded_size_counts_key_value_and_trailers() {
+        let e = Entry::put(&b"ab"[..], &b"xyz"[..], 1, 0);
+        assert_eq!(e.encoded_size(), 2 + 3 + 16);
+    }
+
+    #[test]
+    fn range_contains_and_bounds_are_inclusive() {
+        let r = DeleteKeyRange::new(10, 20);
+        assert!(r.contains(10));
+        assert!(r.contains(20));
+        assert!(!r.contains(9));
+        assert!(!r.contains(21));
+    }
+
+    #[test]
+    fn empty_range_contains_nothing() {
+        let r = DeleteKeyRange::new(20, 10);
+        assert!(r.is_empty());
+        assert!(!r.contains(15));
+        assert!(!r.overlaps(0, u64::MAX));
+        assert!(!r.covers(15, 15));
+    }
+
+    #[test]
+    fn covers_and_overlaps() {
+        let r = DeleteKeyRange::new(10, 20);
+        assert!(r.covers(10, 20));
+        assert!(r.covers(12, 18));
+        assert!(!r.covers(9, 20));
+        assert!(!r.covers(10, 21));
+        assert!(r.overlaps(0, 10));
+        assert!(r.overlaps(20, 30));
+        assert!(r.overlaps(15, 16));
+        assert!(!r.overlaps(0, 9));
+        assert!(!r.overlaps(21, 30));
+    }
+
+    #[test]
+    fn full_domain_range() {
+        let r = DeleteKeyRange::all();
+        assert!(r.contains(0));
+        assert!(r.contains(u64::MAX));
+        assert!(r.covers(0, u64::MAX));
+    }
+
+    #[test]
+    fn range_tombstone_shadowing() {
+        let rt = RangeTombstone { seqno: 100, range: DeleteKeyRange::new(10, 20) };
+        assert!(rt.shadows(99, 15));
+        assert!(!rt.shadows(100, 15), "equal seqno is not shadowed");
+        assert!(!rt.shadows(101, 15), "newer entries are not shadowed");
+        assert!(!rt.shadows(99, 9), "dkey outside range is not shadowed");
+        assert!(rt.shadows(0, 10) && rt.shadows(0, 20), "bounds inclusive");
+    }
+
+    #[test]
+    fn range_tombstone_region_cover() {
+        let rt = RangeTombstone { seqno: 100, range: DeleteKeyRange::new(10, 20) };
+        assert!(rt.covers_region(12, 18, 99));
+        assert!(rt.covers_region(10, 20, 0));
+        assert!(!rt.covers_region(12, 18, 100), "region with equal max seqno survives");
+        assert!(!rt.covers_region(9, 18, 50), "region poking below lo survives");
+        assert!(!rt.covers_region(12, 21, 50), "region poking above hi survives");
+    }
+
+    #[test]
+    fn range_encoding_round_trip() {
+        for r in [
+            DeleteKeyRange::new(0, 0),
+            DeleteKeyRange::new(1, u64::MAX),
+            DeleteKeyRange::new(0xdead, 0xbeef_0000),
+        ] {
+            assert_eq!(DeleteKeyRange::decode(&r.encode()), Some(r));
+        }
+        assert_eq!(DeleteKeyRange::decode(&[0u8; 15]), None);
+        assert_eq!(DeleteKeyRange::decode(&[0u8; 17]), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! The error type shared across all Acheron crates.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Unified error type for the engine.
+///
+/// The variants deliberately mirror the failure classes a storage engine
+/// must distinguish: environmental I/O failures, on-disk corruption
+/// (checksum/format violations), caller mistakes, and lifecycle errors.
+#[derive(Debug)]
+pub enum Error {
+    /// An operating-system I/O error, tagged with the operation context.
+    Io {
+        /// Human-readable description of what the engine was doing.
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// Data read back from storage failed validation (bad checksum, short
+    /// read, malformed encoding, ordering violation).
+    Corruption(String),
+    /// The caller violated an API precondition.
+    InvalidArgument(String),
+    /// The database is shut down or the resource was already closed.
+    Closed(String),
+    /// An internal invariant was violated; indicates a bug in the engine.
+    Internal(String),
+}
+
+impl Error {
+    /// Wrap an [`std::io::Error`] with a context string.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        Error::Io { context: context.into(), source }
+    }
+
+    /// Construct a corruption error.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Construct an invalid-argument error.
+    pub fn invalid_argument(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+
+    /// True if this error indicates on-disk corruption.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corruption(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { context, source } => write!(f, "io error during {context}: {source}"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Closed(m) => write!(f, "closed: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io { context: "unspecified".to_string(), source: e }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::io("flush", std::io::Error::other("disk full"));
+        let s = e.to_string();
+        assert!(s.contains("flush"), "{s}");
+        assert!(s.contains("disk full"), "{s}");
+    }
+
+    #[test]
+    fn corruption_classification() {
+        assert!(Error::corruption("bad crc").is_corruption());
+        assert!(!Error::invalid_argument("x").is_corruption());
+    }
+
+    #[test]
+    fn io_error_round_trip_via_from() {
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        match e {
+            Error::Io { source, .. } => assert_eq!(source.kind(), std::io::ErrorKind::NotFound),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_source_chain() {
+        use std::error::Error as _;
+        let e = Error::io("read", std::io::Error::other("x"));
+        assert!(e.source().is_some());
+        assert!(Error::corruption("y").source().is_none());
+    }
+}

@@ -1,0 +1,25 @@
+//! Core types shared by every layer of the Acheron LSM engine.
+//!
+//! This crate is dependency-light on purpose: it defines the vocabulary of
+//! the engine — user and internal keys, sequence numbers, value kinds
+//! (puts, point tombstones, secondary-range tombstones), the secondary
+//! *delete key* attribute that Acheron/Lethe range-deletes operate on,
+//! binary codecs, CRC32C checksums, and the clock abstraction used to
+//! measure delete-persistence latency deterministically.
+//!
+//! Everything above (memtable, WAL, SSTables, the engine) speaks in these
+//! types; nothing here performs I/O.
+
+pub mod checksum;
+pub mod clock;
+pub mod codec;
+pub mod entry;
+pub mod error;
+pub mod key;
+pub mod seq;
+
+pub use clock::{Clock, LogicalClock, SystemClock, Tick};
+pub use entry::{DeleteKeyRange, Entry, RangeTombstone, DELETE_KEY_NONE};
+pub use error::{Error, Result};
+pub use key::{InternalKey, InternalKeyRef, UserKey};
+pub use seq::{SeqNo, ValueKind, MAX_SEQNO};

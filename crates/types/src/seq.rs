@@ -1,0 +1,115 @@
+//! Sequence numbers and value kinds.
+//!
+//! Every mutation is stamped with a monotonically increasing [`SeqNo`].
+//! Together with a [`ValueKind`], the pair is packed into a 64-bit *tag*
+//! (`seqno << 8 | kind`) that forms the trailer of an internal key.
+//! Internal keys with equal user keys sort by tag **descending**, so the
+//! newest version of a key is encountered first during iteration.
+
+/// A monotonically increasing logical timestamp assigned to each mutation.
+pub type SeqNo = u64;
+
+/// The largest representable sequence number (56 bits, since the tag
+/// reserves the low 8 bits for the [`ValueKind`]).
+pub const MAX_SEQNO: SeqNo = (1 << 56) - 1;
+
+/// The kind of a logged/stored entry.
+///
+/// The numeric values are part of the on-disk format; do not renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum ValueKind {
+    /// A point tombstone: logically deletes all older versions of its key.
+    Tombstone = 0,
+    /// A regular key/value insertion (or update).
+    Put = 1,
+    /// A range tombstone over the *secondary delete key* domain
+    /// (Acheron/Lethe's secondary range delete). Appears in the WAL and
+    /// version metadata but is never woven into SSTable data blocks.
+    RangeTombstone = 2,
+}
+
+impl ValueKind {
+    /// Decode from the low byte of a tag.
+    pub fn from_u8(v: u8) -> Option<ValueKind> {
+        match v {
+            0 => Some(ValueKind::Tombstone),
+            1 => Some(ValueKind::Put),
+            2 => Some(ValueKind::RangeTombstone),
+            _ => None,
+        }
+    }
+
+    /// True for point tombstones.
+    #[inline]
+    pub fn is_tombstone(self) -> bool {
+        matches!(self, ValueKind::Tombstone)
+    }
+}
+
+/// Kind byte used when *seeking*: sorts before every real kind at the same
+/// sequence number under descending-tag order, i.e. a seek tag built with
+/// this kind positions at the first entry with `seqno <= snapshot`.
+pub const SEEK_KIND: u8 = 0xff;
+
+/// Pack a sequence number and kind byte into an internal-key tag.
+#[inline]
+pub fn pack_tag(seq: SeqNo, kind: u8) -> u64 {
+    debug_assert!(seq <= MAX_SEQNO, "seqno {seq} exceeds 56 bits");
+    (seq << 8) | u64::from(kind)
+}
+
+/// Unpack a tag into `(seqno, kind_byte)`.
+#[inline]
+pub fn unpack_tag(tag: u64) -> (SeqNo, u8) {
+    (tag >> 8, (tag & 0xff) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_round_trip() {
+        for seq in [0u64, 1, 42, MAX_SEQNO] {
+            for kind in [ValueKind::Tombstone, ValueKind::Put, ValueKind::RangeTombstone] {
+                let tag = pack_tag(seq, kind as u8);
+                let (s, k) = unpack_tag(tag);
+                assert_eq!(s, seq);
+                assert_eq!(ValueKind::from_u8(k), Some(kind));
+            }
+        }
+    }
+
+    #[test]
+    fn kind_from_u8_rejects_unknown() {
+        assert_eq!(ValueKind::from_u8(3), None);
+        assert_eq!(ValueKind::from_u8(0xff), None);
+    }
+
+    #[test]
+    fn newer_seqno_has_larger_tag() {
+        // Descending-tag iteration order must put newer entries first.
+        let older = pack_tag(10, ValueKind::Put as u8);
+        let newer = pack_tag(11, ValueKind::Tombstone as u8);
+        assert!(newer > older);
+    }
+
+    #[test]
+    fn seek_tag_sorts_after_real_tags_at_same_seqno() {
+        // With descending comparison, a larger tag sorts *earlier*; the
+        // seek kind must therefore produce the largest tag for a seqno so
+        // the seek positions at-or-before every real entry of that seqno.
+        let seek = pack_tag(10, SEEK_KIND);
+        let put = pack_tag(10, ValueKind::Put as u8);
+        let del = pack_tag(10, ValueKind::Tombstone as u8);
+        assert!(seek > put && seek > del);
+    }
+
+    #[test]
+    fn tombstone_classification() {
+        assert!(ValueKind::Tombstone.is_tombstone());
+        assert!(!ValueKind::Put.is_tombstone());
+        assert!(!ValueKind::RangeTombstone.is_tombstone());
+    }
+}

@@ -1,0 +1,288 @@
+//! In-memory filesystem.
+//!
+//! Deterministic, fast, and fully accounted — the default substrate for
+//! tests and for the experiment harness. Files are byte vectors behind a
+//! lock; directories are implicit (a path "exists" as a directory if it
+//! was created with `mkdir_all` or is a prefix of a file path).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use acheron_types::{Error, Result};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+use crate::stats::IoStats;
+use crate::{RandomAccessFile, Vfs, WritableFile};
+
+type FileData = Arc<RwLock<Vec<u8>>>;
+
+#[derive(Default)]
+struct State {
+    files: BTreeMap<String, FileData>,
+    dirs: BTreeSet<String>,
+}
+
+/// An in-memory [`Vfs`].
+pub struct MemFs {
+    state: Arc<Mutex<State>>,
+    stats: Arc<IoStats>,
+}
+
+impl MemFs {
+    /// An empty filesystem with fresh counters.
+    pub fn new() -> MemFs {
+        MemFs { state: Arc::new(Mutex::new(State::default())), stats: Arc::new(IoStats::new()) }
+    }
+
+    /// Total bytes currently stored across all live files — the engine's
+    /// *device space footprint*, used for space-amplification measurements.
+    pub fn total_file_bytes(&self) -> u64 {
+        let state = self.state.lock();
+        state.files.values().map(|f| f.read().len() as u64).sum()
+    }
+
+    /// Number of live files.
+    pub fn file_count(&self) -> usize {
+        self.state.lock().files.len()
+    }
+
+    fn not_found(path: &str) -> Error {
+        Error::io(
+            format!("memfs access to {path}"),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "no such file"),
+        )
+    }
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for MemFs {
+    /// Clones share the same underlying state and counters (like two
+    /// handles to one disk).
+    fn clone(&self) -> Self {
+        MemFs { state: Arc::clone(&self.state), stats: Arc::clone(&self.stats) }
+    }
+}
+
+struct MemWritable {
+    data: FileData,
+    stats: Arc<IoStats>,
+}
+
+impl WritableFile for MemWritable {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.data.write().extend_from_slice(bytes);
+        self.stats.record_write(bytes.len() as u64);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.stats.record_sync();
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.data.read().len() as u64
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+struct MemReadable {
+    data: FileData,
+    stats: Arc<IoStats>,
+    path: String,
+}
+
+impl RandomAccessFile for MemReadable {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Bytes> {
+        let data = self.data.read();
+        let start = usize::try_from(offset)
+            .map_err(|_| Error::corruption(format!("offset {offset} overflows usize")))?;
+        let end = start.checked_add(len).ok_or_else(|| {
+            Error::corruption(format!("read range overflow at {offset}+{len} in {}", self.path))
+        })?;
+        if end > data.len() {
+            return Err(Error::corruption(format!(
+                "read past EOF in {}: want [{start}, {end}), file has {} bytes",
+                self.path,
+                data.len()
+            )));
+        }
+        self.stats.record_read(len as u64);
+        Ok(Bytes::copy_from_slice(&data[start..end]))
+    }
+
+    fn size(&self) -> u64 {
+        self.data.read().len() as u64
+    }
+}
+
+impl Vfs for MemFs {
+    fn create(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        let data: FileData = Arc::new(RwLock::new(Vec::new()));
+        self.state.lock().files.insert(path.to_string(), Arc::clone(&data));
+        self.stats.record_create();
+        Ok(Box::new(MemWritable { data, stats: Arc::clone(&self.stats) }))
+    }
+
+    fn open(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        let state = self.state.lock();
+        let data = state.files.get(path).cloned().ok_or_else(|| Self::not_found(path))?;
+        Ok(Arc::new(MemReadable {
+            data,
+            stats: Arc::clone(&self.stats),
+            path: path.to_string(),
+        }))
+    }
+
+    fn read_all(&self, path: &str) -> Result<Bytes> {
+        let data = {
+            let state = self.state.lock();
+            state.files.get(path).cloned().ok_or_else(|| Self::not_found(path))?
+        };
+        let guard = data.read();
+        self.stats.record_read(guard.len() as u64);
+        Ok(Bytes::copy_from_slice(&guard))
+    }
+
+    fn write_all(&self, path: &str, data: &[u8]) -> Result<()> {
+        self.state
+            .lock()
+            .files
+            .insert(path.to_string(), Arc::new(RwLock::new(data.to_vec())));
+        self.stats.record_create();
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        let removed = self.state.lock().files.remove(path);
+        if removed.is_none() {
+            return Err(Self::not_found(path));
+        }
+        self.stats.record_delete();
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut state = self.state.lock();
+        let data = state.files.remove(from).ok_or_else(|| Self::not_found(from))?;
+        state.files.insert(to.to_string(), data);
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.state.lock().files.contains_key(path)
+    }
+
+    fn list(&self, dir: &str) -> Result<Vec<String>> {
+        let prefix = if dir.is_empty() || dir.ends_with('/') {
+            dir.to_string()
+        } else {
+            format!("{dir}/")
+        };
+        let state = self.state.lock();
+        Ok(state
+            .files
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .filter_map(|(k, _)| {
+                let rest = &k[prefix.len()..];
+                // Direct children only.
+                if rest.is_empty() || rest.contains('/') {
+                    None
+                } else {
+                    Some(rest.to_string())
+                }
+            })
+            .collect())
+    }
+
+    fn mkdir_all(&self, path: &str) -> Result<()> {
+        self.state.lock().dirs.insert(path.to_string());
+        Ok(())
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        let state = self.state.lock();
+        state
+            .files
+            .get(path)
+            .map(|f| f.read().len() as u64)
+            .ok_or_else(|| Self::not_found(path))
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_non_recursive() {
+        let fs = MemFs::new();
+        fs.write_all("db/a", b"1").unwrap();
+        fs.write_all("db/sub/b", b"2").unwrap();
+        fs.write_all("dbx/c", b"3").unwrap();
+        let mut names = fs.list("db").unwrap();
+        names.sort();
+        assert_eq!(names, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let fs = MemFs::new();
+        let fs2 = fs.clone();
+        fs.write_all("x", b"abc").unwrap();
+        assert!(fs2.exists("x"));
+        assert_eq!(fs2.io_stats().bytes_written(), 3);
+    }
+
+    #[test]
+    fn total_file_bytes_tracks_live_footprint() {
+        let fs = MemFs::new();
+        fs.write_all("a", &[0u8; 100]).unwrap();
+        fs.write_all("b", &[0u8; 50]).unwrap();
+        assert_eq!(fs.total_file_bytes(), 150);
+        assert_eq!(fs.file_count(), 2);
+        fs.delete("a").unwrap();
+        assert_eq!(fs.total_file_bytes(), 50);
+        assert_eq!(fs.file_count(), 1);
+    }
+
+    #[test]
+    fn writes_visible_through_open_handle() {
+        // An SSTable is written then opened; data must round-trip even if
+        // the reader opened the path while the writer object still exists.
+        let fs = MemFs::new();
+        let mut w = fs.create("t").unwrap();
+        w.append(b"abc").unwrap();
+        let r = fs.open("t").unwrap();
+        w.append(b"def").unwrap();
+        assert_eq!(&r.read_at(0, 6).unwrap()[..], b"abcdef");
+    }
+
+    #[test]
+    fn read_accounting_counts_bytes() {
+        let fs = MemFs::new();
+        fs.write_all("t", &[7u8; 64]).unwrap();
+        let before = fs.io_stats().snapshot();
+        let r = fs.open("t").unwrap();
+        r.read_at(0, 10).unwrap();
+        r.read_at(10, 20).unwrap();
+        let delta = fs.io_stats().snapshot() - before;
+        assert_eq!(delta.bytes_read, 30);
+        assert_eq!(delta.read_ops, 2);
+    }
+}

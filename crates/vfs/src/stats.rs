@@ -1,0 +1,149 @@
+//! Byte-level I/O accounting.
+//!
+//! Write amplification in the experiments is computed as
+//! `bytes_written / user payload bytes`, with the numerator read from
+//! these counters — the filesystem is the single choke point through
+//! which every flush, compaction, WAL append, and manifest write passes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone I/O counters shared by all files of a filesystem.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    write_ops: AtomicU64,
+    read_ops: AtomicU64,
+    syncs: AtomicU64,
+    files_created: AtomicU64,
+    files_deleted: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh counters, all zero.
+    pub fn new() -> IoStats {
+        IoStats::default()
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64) {
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_read(&self, bytes: u64) {
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_create(&self) {
+        self.files_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_delete(&self) {
+        self.files_deleted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes appended/written across all files.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read across all files.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Number of fsync-equivalent operations.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy of all counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            files_created: self.files_created.load(Ordering::Relaxed),
+            files_deleted: self.files_deleted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of [`IoStats`] at a point in time; supports `-` for
+/// computing deltas over a measurement window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub write_ops: u64,
+    pub read_ops: u64,
+    pub syncs: u64,
+    pub files_created: u64,
+    pub files_deleted: u64,
+}
+
+impl std::ops::Sub for IoStatsSnapshot {
+    type Output = IoStatsSnapshot;
+    fn sub(self, rhs: IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            bytes_written: self.bytes_written.saturating_sub(rhs.bytes_written),
+            bytes_read: self.bytes_read.saturating_sub(rhs.bytes_read),
+            write_ops: self.write_ops.saturating_sub(rhs.write_ops),
+            read_ops: self.read_ops.saturating_sub(rhs.read_ops),
+            syncs: self.syncs.saturating_sub(rhs.syncs),
+            files_created: self.files_created.saturating_sub(rhs.files_created),
+            files_deleted: self.files_deleted.saturating_sub(rhs.files_deleted),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_write(100);
+        s.record_write(50);
+        s.record_read(7);
+        s.record_sync();
+        s.record_create();
+        s.record_delete();
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_written, 150);
+        assert_eq!(snap.write_ops, 2);
+        assert_eq!(snap.bytes_read, 7);
+        assert_eq!(snap.read_ops, 1);
+        assert_eq!(snap.syncs, 1);
+        assert_eq!(snap.files_created, 1);
+        assert_eq!(snap.files_deleted, 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = IoStats::new();
+        s.record_write(10);
+        let before = s.snapshot();
+        s.record_write(32);
+        s.record_read(4);
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.bytes_written, 32);
+        assert_eq!(delta.bytes_read, 4);
+        assert_eq!(delta.write_ops, 1);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_underflowing() {
+        let a = IoStatsSnapshot { bytes_written: 5, ..Default::default() };
+        let b = IoStatsSnapshot { bytes_written: 9, ..Default::default() };
+        assert_eq!((a - b).bytes_written, 0);
+    }
+}

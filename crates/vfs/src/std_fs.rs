@@ -1,0 +1,248 @@
+//! Real-file [`Vfs`] backed by `std::fs`.
+//!
+//! Writers buffer through [`std::io::BufWriter`]; `sync` flushes the
+//! buffer and, when the filesystem was created with `fsync_enabled`,
+//! issues a real `fsync`. Readers use positional reads so a single open
+//! file handle can serve concurrent readers.
+
+use std::fs;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use acheron_types::{Error, Result};
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::stats::IoStats;
+use crate::{RandomAccessFile, Vfs, WritableFile};
+
+/// A [`Vfs`] over the host filesystem.
+pub struct StdFs {
+    stats: Arc<IoStats>,
+    fsync_enabled: bool,
+}
+
+impl StdFs {
+    /// `fsync_enabled` controls whether [`WritableFile::sync`] issues a
+    /// real `fsync` (durability) or only flushes userspace buffers
+    /// (benchmarking real files without paying device sync latency).
+    pub fn new(fsync_enabled: bool) -> StdFs {
+        StdFs { stats: Arc::new(IoStats::new()), fsync_enabled }
+    }
+}
+
+struct StdWritable {
+    writer: BufWriter<fs::File>,
+    len: u64,
+    stats: Arc<IoStats>,
+    fsync_enabled: bool,
+    path: String,
+}
+
+impl WritableFile for StdWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.writer
+            .write_all(data)
+            .map_err(|e| Error::io(format!("append to {}", self.path), e))?;
+        self.len += data.len() as u64;
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.writer
+            .flush()
+            .map_err(|e| Error::io(format!("flush {}", self.path), e))?;
+        if self.fsync_enabled {
+            self.writer
+                .get_ref()
+                .sync_data()
+                .map_err(|e| Error::io(format!("fsync {}", self.path), e))?;
+        }
+        self.stats.record_sync();
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.writer
+            .flush()
+            .map_err(|e| Error::io(format!("finish {}", self.path), e))
+    }
+}
+
+struct StdReadable {
+    // Positional reads (`read_at`) need no seek state on Unix, but to stay
+    // portable we guard a seekable handle with a mutex.
+    file: Mutex<fs::File>,
+    size: u64,
+    stats: Arc<IoStats>,
+    path: String,
+}
+
+impl RandomAccessFile for StdReadable {
+    fn read_at(&self, offset: u64, len: usize) -> Result<Bytes> {
+        if offset.saturating_add(len as u64) > self.size {
+            return Err(Error::corruption(format!(
+                "read past EOF in {}: want [{offset}, {}), file has {} bytes",
+                self.path,
+                offset + len as u64,
+                self.size
+            )));
+        }
+        let mut buf = vec![0u8; len];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))
+                .map_err(|e| Error::io(format!("seek in {}", self.path), e))?;
+            file.read_exact(&mut buf)
+                .map_err(|e| Error::io(format!("read_at in {}", self.path), e))?;
+        }
+        self.stats.record_read(len as u64);
+        Ok(Bytes::from(buf))
+    }
+
+    fn size(&self) -> u64 {
+        self.size
+    }
+}
+
+impl Vfs for StdFs {
+    fn create(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        let file = fs::File::create(path).map_err(|e| Error::io(format!("create {path}"), e))?;
+        self.stats.record_create();
+        Ok(Box::new(StdWritable {
+            writer: BufWriter::new(file),
+            len: 0,
+            stats: Arc::clone(&self.stats),
+            fsync_enabled: self.fsync_enabled,
+            path: path.to_string(),
+        }))
+    }
+
+    fn open(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        let file = fs::File::open(path).map_err(|e| Error::io(format!("open {path}"), e))?;
+        let size = file
+            .metadata()
+            .map_err(|e| Error::io(format!("stat {path}"), e))?
+            .len();
+        Ok(Arc::new(StdReadable {
+            file: Mutex::new(file),
+            size,
+            stats: Arc::clone(&self.stats),
+            path: path.to_string(),
+        }))
+    }
+
+    fn read_all(&self, path: &str) -> Result<Bytes> {
+        let data = fs::read(path).map_err(|e| Error::io(format!("read_all {path}"), e))?;
+        self.stats.record_read(data.len() as u64);
+        Ok(Bytes::from(data))
+    }
+
+    fn write_all(&self, path: &str, data: &[u8]) -> Result<()> {
+        fs::write(path, data).map_err(|e| Error::io(format!("write_all {path}"), e))?;
+        self.stats.record_create();
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        fs::remove_file(path).map_err(|e| Error::io(format!("delete {path}"), e))?;
+        self.stats.record_delete();
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        fs::rename(from, to).map_err(|e| Error::io(format!("rename {from} -> {to}"), e))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        Path::new(path).is_file()
+    }
+
+    fn list(&self, dir: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let entries = fs::read_dir(dir).map_err(|e| Error::io(format!("list {dir}"), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| Error::io(format!("list {dir}"), e))?;
+            if entry.path().is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn mkdir_all(&self, path: &str) -> Result<()> {
+        fs::create_dir_all(path).map_err(|e| Error::io(format!("mkdir_all {path}"), e))
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        Ok(fs::metadata(path)
+            .map_err(|e| Error::io(format!("stat {path}"), e))?
+            .len())
+    }
+
+    fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp::TempDir;
+    use crate::join;
+
+    #[test]
+    fn sync_with_fsync_enabled_succeeds() {
+        let tmp = TempDir::new("stdfs-fsync");
+        let fs = StdFs::new(true);
+        let mut f = fs.create(&join(tmp.path_str(), "f")).unwrap();
+        f.append(b"data").unwrap();
+        f.sync().unwrap();
+        f.finish().unwrap();
+        assert_eq!(fs.io_stats().syncs(), 1);
+    }
+
+    #[test]
+    fn buffered_data_visible_after_finish() {
+        let tmp = TempDir::new("stdfs-buffer");
+        let fs = StdFs::new(false);
+        let p = join(tmp.path_str(), "f");
+        let mut f = fs.create(&p).unwrap();
+        f.append(&[9u8; 10_000]).unwrap(); // larger than one BufWriter chunk boundary case
+        f.finish().unwrap();
+        drop(f);
+        assert_eq!(fs.read_all(&p).unwrap().len(), 10_000);
+    }
+
+    #[test]
+    fn concurrent_positional_reads() {
+        let tmp = TempDir::new("stdfs-concurrent");
+        let fs = StdFs::new(false);
+        let p = join(tmp.path_str(), "f");
+        let payload: Vec<u8> = (0..255u8).cycle().take(8192).collect();
+        fs.write_all(&p, &payload).unwrap();
+        let r = fs.open(&p).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let r = &r;
+                let payload = &payload;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let off = (t * 100 + i) % 8000;
+                        let got = r.read_at(off as u64, 64).unwrap();
+                        assert_eq!(&got[..], &payload[off..off + 64]);
+                    }
+                });
+            }
+        });
+    }
+}

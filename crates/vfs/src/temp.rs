@@ -1,0 +1,74 @@
+//! Self-cleaning temporary directories for tests and benchmarks.
+//!
+//! Implemented here (rather than pulling in the `tempfile` crate) to keep
+//! the dependency set inside the approved list. Uniqueness comes from the
+//! process id plus a process-wide counter plus a caller tag.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp root, removed (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory whose name embeds `tag`.
+    ///
+    /// Panics if the directory cannot be created — temp-dir failure in a
+    /// test harness is unrecoverable and should fail loudly.
+    pub fn new(tag: &str) -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "acheron-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|e| panic!("creating temp dir {}: {e}", path.display()));
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The directory path as a UTF-8 string (temp roots on supported
+    /// platforms are UTF-8; panics otherwise).
+    pub fn path_str(&self) -> &str {
+        self.path.to_str().expect("temp dir path is not UTF-8")
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort; leaking a temp dir on failure is acceptable.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let path = {
+            let t = TempDir::new("unit");
+            assert!(t.path().is_dir());
+            std::fs::write(t.path().join("f"), b"x").unwrap();
+            t.path().to_path_buf()
+        };
+        assert!(!path.exists(), "dir must be removed on drop");
+    }
+
+    #[test]
+    fn two_dirs_are_distinct() {
+        let a = TempDir::new("same-tag");
+        let b = TempDir::new("same-tag");
+        assert_ne!(a.path(), b.path());
+    }
+}

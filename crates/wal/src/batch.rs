@@ -1,0 +1,272 @@
+//! The logical WAL payload: an atomic batch of mutations.
+//!
+//! Wire format (all integers varint unless noted):
+//!
+//! ```text
+//! base_seqno (fixed u64 LE) | count (varint u32) | count * op
+//! op := kind (1B) | dkey (varint u64) | key (len-prefixed) | payload (len-prefixed)
+//! ```
+//!
+//! For puts the payload is the value; for point deletes it is empty; for
+//! secondary range deletes the key is empty and the payload is the
+//! 16-byte [`DeleteKeyRange`] encoding. Ops in a batch are stamped
+//! `base_seqno`, `base_seqno + 1`, … in order.
+
+use acheron_types::codec::{
+    get_u64_le, put_length_prefixed, put_u64_le, put_varint32, put_varint64,
+    require_length_prefixed, require_varint64,
+};
+use acheron_types::{DeleteKeyRange, Entry, Error, Result, SeqNo, ValueKind};
+use bytes::Bytes;
+
+/// One mutation inside a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Insert/update `key` with `value`; `dkey` is the secondary delete key.
+    Put { key: Bytes, value: Bytes, dkey: u64 },
+    /// Point-delete `key`; `tick` is the issue tick (FADE's age seed).
+    Delete { key: Bytes, tick: u64 },
+    /// Secondary range delete over the delete-key domain.
+    RangeDelete { range: DeleteKeyRange },
+}
+
+impl WalOp {
+    fn kind(&self) -> ValueKind {
+        match self {
+            WalOp::Put { .. } => ValueKind::Put,
+            WalOp::Delete { .. } => ValueKind::Tombstone,
+            WalOp::RangeDelete { .. } => ValueKind::RangeTombstone,
+        }
+    }
+}
+
+/// An atomic group of operations sharing consecutive sequence numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalBatch {
+    /// Sequence number of the first op.
+    pub base_seqno: SeqNo,
+    /// The operations, in application order.
+    pub ops: Vec<WalOp>,
+}
+
+impl WalBatch {
+    /// An empty batch starting at `base_seqno`.
+    pub fn new(base_seqno: SeqNo) -> WalBatch {
+        WalBatch { base_seqno, ops: Vec::new() }
+    }
+
+    /// Sequence number of the last op (equals `base_seqno` for a single
+    /// op). Panics on an empty batch.
+    pub fn last_seqno(&self) -> SeqNo {
+        assert!(!self.ops.is_empty(), "empty batch has no last seqno");
+        self.base_seqno + self.ops.len() as u64 - 1
+    }
+
+    /// Encode to the wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.ops.len() * 32);
+        put_u64_le(&mut out, self.base_seqno);
+        put_varint32(&mut out, self.ops.len() as u32);
+        for op in &self.ops {
+            out.push(op.kind() as u8);
+            match op {
+                WalOp::Put { key, value, dkey } => {
+                    put_varint64(&mut out, *dkey);
+                    put_length_prefixed(&mut out, key);
+                    put_length_prefixed(&mut out, value);
+                }
+                WalOp::Delete { key, tick } => {
+                    put_varint64(&mut out, *tick);
+                    put_length_prefixed(&mut out, key);
+                    put_length_prefixed(&mut out, &[]);
+                }
+                WalOp::RangeDelete { range } => {
+                    put_varint64(&mut out, 0);
+                    put_length_prefixed(&mut out, &[]);
+                    put_length_prefixed(&mut out, &range.encode());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode from the wire format, validating structure exhaustively.
+    pub fn decode(data: &[u8]) -> Result<WalBatch> {
+        let (base_seqno, rest) = get_u64_le(data)
+            .ok_or_else(|| Error::corruption("wal batch: truncated base seqno"))?;
+        let (count, mut rest) = require_varint64(rest, "wal batch count")?;
+        let mut ops = Vec::with_capacity(count.min(1024) as usize);
+        for i in 0..count {
+            let (&kind_byte, r) = rest
+                .split_first()
+                .ok_or_else(|| Error::corruption(format!("wal batch: truncated op {i}")))?;
+            let kind = ValueKind::from_u8(kind_byte).ok_or_else(|| {
+                Error::corruption(format!("wal batch: unknown op kind {kind_byte}"))
+            })?;
+            let (dkey, r) = require_varint64(r, "wal op dkey")?;
+            let (key, r) = require_length_prefixed(r, "wal op key")?;
+            let (payload, r) = require_length_prefixed(r, "wal op payload")?;
+            rest = r;
+            ops.push(match kind {
+                ValueKind::Put => WalOp::Put {
+                    key: Bytes::copy_from_slice(key),
+                    value: Bytes::copy_from_slice(payload),
+                    dkey,
+                },
+                ValueKind::Tombstone => {
+                    if !payload.is_empty() {
+                        return Err(Error::corruption("wal delete op carries a payload"));
+                    }
+                    WalOp::Delete { key: Bytes::copy_from_slice(key), tick: dkey }
+                }
+                ValueKind::RangeTombstone => {
+                    let range = DeleteKeyRange::decode(payload).ok_or_else(|| {
+                        Error::corruption("wal range-delete op: bad range encoding")
+                    })?;
+                    WalOp::RangeDelete { range }
+                }
+            });
+        }
+        if !rest.is_empty() {
+            return Err(Error::corruption(format!(
+                "wal batch: {} trailing bytes after {count} ops",
+                rest.len()
+            )));
+        }
+        Ok(WalBatch { base_seqno, ops })
+    }
+
+    /// Materialize the batch's point mutations as [`Entry`] values with
+    /// their assigned sequence numbers (range deletes are yielded as
+    /// `(seqno, range)` via the second element).
+    pub fn entries(&self) -> (Vec<Entry>, Vec<(SeqNo, DeleteKeyRange)>) {
+        let mut entries = Vec::new();
+        let mut ranges = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            let seqno = self.base_seqno + i as u64;
+            match op {
+                WalOp::Put { key, value, dkey } => {
+                    entries.push(Entry::put(key.clone(), value.clone(), seqno, *dkey));
+                }
+                WalOp::Delete { key, tick } => {
+                    entries.push(Entry::tombstone(key.clone(), seqno, *tick));
+                }
+                WalOp::RangeDelete { range } => ranges.push((seqno, *range)),
+            }
+        }
+        (entries, ranges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WalBatch {
+        WalBatch {
+            base_seqno: 100,
+            ops: vec![
+                WalOp::Put {
+                    key: Bytes::from_static(b"k1"),
+                    value: Bytes::from_static(b"v1"),
+                    dkey: 7,
+                },
+                WalOp::Delete { key: Bytes::from_static(b"k2"), tick: 55 },
+                WalOp::RangeDelete { range: DeleteKeyRange::new(10, 20) },
+                WalOp::Put {
+                    key: Bytes::from_static(b""),
+                    value: Bytes::from_static(b""),
+                    dkey: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let b = sample();
+        let decoded = WalBatch::decode(&b.encode()).unwrap();
+        assert_eq!(decoded, b);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let b = WalBatch::new(1);
+        assert_eq!(WalBatch::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn last_seqno() {
+        assert_eq!(sample().last_seqno(), 103);
+    }
+
+    #[test]
+    fn entries_assign_consecutive_seqnos() {
+        let (entries, ranges) = sample().entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].seqno, 100);
+        assert_eq!(entries[1].seqno, 101);
+        assert!(entries[1].is_tombstone());
+        assert_eq!(entries[1].dkey, 55);
+        assert_eq!(entries[2].seqno, 103);
+        assert_eq!(ranges, vec![(102, DeleteKeyRange::new(10, 20))]);
+    }
+
+    #[test]
+    fn decode_rejects_truncations() {
+        let full = sample().encode();
+        for cut in 0..full.len() {
+            assert!(
+                WalBatch::decode(&full[..cut]).is_err(),
+                "prefix of length {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut data = sample().encode();
+        data.push(0xaa);
+        assert!(WalBatch::decode(&data).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_kind() {
+        let b = WalBatch {
+            base_seqno: 1,
+            ops: vec![WalOp::Delete { key: Bytes::from_static(b"k"), tick: 0 }],
+        };
+        let mut data = b.encode();
+        // kind byte is right after the 8-byte seqno + 1-byte count.
+        data[9] = 9;
+        assert!(WalBatch::decode(&data).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_delete_with_payload() {
+        // Hand-encode a delete op with a non-empty payload.
+        let mut data = Vec::new();
+        put_u64_le(&mut data, 1);
+        put_varint32(&mut data, 1);
+        data.push(ValueKind::Tombstone as u8);
+        put_varint64(&mut data, 0);
+        put_length_prefixed(&mut data, b"k");
+        put_length_prefixed(&mut data, b"oops");
+        assert!(WalBatch::decode(&data).is_err());
+    }
+
+    #[test]
+    fn large_batch_round_trip() {
+        let mut b = WalBatch::new(5000);
+        for i in 0..1000u32 {
+            b.ops.push(WalOp::Put {
+                key: Bytes::from(format!("key{i}").into_bytes()),
+                value: Bytes::from(vec![(i % 256) as u8; (i % 64) as usize]),
+                dkey: u64::from(i),
+            });
+        }
+        let decoded = WalBatch::decode(&b.encode()).unwrap();
+        assert_eq!(decoded, b);
+        assert_eq!(decoded.last_seqno(), 5999);
+    }
+}

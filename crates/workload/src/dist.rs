@@ -1,0 +1,169 @@
+//! Key-space distributions.
+
+use rand::Rng;
+
+/// A Zipfian sampler over `0..n` (YCSB's construction: Gray et al.'s
+//  "Quickly generating billion-record synthetic databases").
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Sampler over `0..n` with skew `theta` in `(0, 1)`; YCSB uses
+    /// 0.99.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0, "zipfian needs a non-empty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
+        Zipfian { n, theta, alpha, zeta_n, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum; key spaces in the experiments are ≤ 10^7.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draw one rank (0 = hottest).
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The configured skew.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Unused-field silencer with meaning: zeta(2) participates in eta.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// How keys are drawn for an operation.
+#[derive(Debug, Clone)]
+pub enum KeyDistribution {
+    /// Uniform over `0..n`.
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+    /// Zipfian (hot head) over `0..n`.
+    Zipfian(Zipfian),
+    /// Strictly increasing ids (time-series ingest).
+    Sequential {
+        /// Next id to hand out.
+        next: u64,
+    },
+}
+
+impl KeyDistribution {
+    /// Uniform over `0..n`.
+    pub fn uniform(n: u64) -> KeyDistribution {
+        KeyDistribution::Uniform { n }
+    }
+
+    /// YCSB-style Zipfian over `0..n`.
+    pub fn zipfian(n: u64, theta: f64) -> KeyDistribution {
+        KeyDistribution::Zipfian(Zipfian::new(n, theta))
+    }
+
+    /// Sequential starting at 0.
+    pub fn sequential() -> KeyDistribution {
+        KeyDistribution::Sequential { next: 0 }
+    }
+
+    /// Draw the next key id.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> u64 {
+        match self {
+            KeyDistribution::Uniform { n } => rng.gen_range(0..*n),
+            KeyDistribution::Zipfian(z) => z.sample(rng),
+            KeyDistribution::Sequential { next } => {
+                let id = *next;
+                *next += 1;
+                id
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = KeyDistribution::uniform(100);
+        let mut seen = [false; 100];
+        for _ in 0..10_000 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().filter(|s| **s).count() > 95);
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = Zipfian::new(10_000, 0.99);
+        let mut counts = vec![0u64; 10_000];
+        for _ in 0..100_000 {
+            let s = z.sample(&mut rng);
+            assert!(s < 10_000);
+            counts[s as usize] += 1;
+        }
+        let head: u64 = counts[..100].iter().sum();
+        assert!(
+            head > 40_000,
+            "top 1% of a theta=0.99 zipfian should draw >40% of samples, got {head}"
+        );
+        // Tail still gets sampled.
+        let tail: u64 = counts[5_000..].iter().sum();
+        assert!(tail > 0);
+    }
+
+    #[test]
+    fn zipfian_theta_zero_is_near_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipfian::new(1000, 0.0);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let head: u64 = counts[..10].iter().sum();
+        assert!(head < 5_000, "theta=0 should not concentrate mass: {head}");
+    }
+
+    #[test]
+    fn sequential_increments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut d = KeyDistribution::sequential();
+        assert_eq!(d.sample(&mut rng), 0);
+        assert_eq!(d.sample(&mut rng), 1);
+        assert_eq!(d.sample(&mut rng), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipfian_rejects_empty_space() {
+        Zipfian::new(0, 0.5);
+    }
+}

@@ -1,0 +1,231 @@
+//! Operation mixes and the workload generator.
+
+use rand::prelude::*;
+
+use crate::dist::KeyDistribution;
+use crate::key_bytes;
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert/update; `dkey` is the secondary delete key (0 = let the
+    /// engine stamp the current tick).
+    Put {
+        key: Vec<u8>,
+        value: Vec<u8>,
+        dkey: Option<u64>,
+    },
+    /// Point delete.
+    Delete { key: Vec<u8> },
+    /// Point lookup.
+    Get { key: Vec<u8> },
+    /// Short range scan of `len` key ids starting at `key`.
+    Scan { lo: Vec<u8>, hi: Vec<u8> },
+    /// Secondary range delete over the delete-key domain.
+    RangeDeleteSecondary { lo: u64, hi: u64 },
+}
+
+/// Percentages of each op type; must sum to 100.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    pub put_pct: u32,
+    pub delete_pct: u32,
+    pub get_pct: u32,
+    pub scan_pct: u32,
+}
+
+impl OpMix {
+    /// Validate the mix sums to 100.
+    pub fn validate(&self) -> bool {
+        self.put_pct + self.delete_pct + self.get_pct + self.scan_pct == 100
+    }
+
+    /// Insert-only.
+    pub fn insert_only() -> OpMix {
+        OpMix { put_pct: 100, delete_pct: 0, get_pct: 0, scan_pct: 0 }
+    }
+
+    /// Write-heavy with deletes (the delete-aware papers' staple).
+    pub fn write_heavy(delete_pct: u32) -> OpMix {
+        OpMix { put_pct: 100 - delete_pct, delete_pct, get_pct: 0, scan_pct: 0 }
+    }
+
+    /// Mixed read/write.
+    pub fn mixed(put_pct: u32, delete_pct: u32, get_pct: u32, scan_pct: u32) -> OpMix {
+        let m = OpMix { put_pct, delete_pct, get_pct, scan_pct };
+        assert!(m.validate(), "op mix must sum to 100");
+        m
+    }
+}
+
+/// Everything needed to generate a deterministic op stream.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Op-type percentages.
+    pub mix: OpMix,
+    /// Key distribution for writes and reads.
+    pub dist: KeyDistribution,
+    /// Value payload size in bytes.
+    pub value_len: usize,
+    /// Scan length in key ids.
+    pub scan_len: u64,
+    /// RNG seed (same seed ⇒ identical stream).
+    pub seed: u64,
+    /// Only delete keys that were previously inserted.
+    pub delete_only_existing: bool,
+}
+
+impl WorkloadSpec {
+    /// A reasonable default: uniform keys, 64-byte values.
+    pub fn new(mix: OpMix, dist: KeyDistribution) -> WorkloadSpec {
+        WorkloadSpec {
+            mix,
+            dist,
+            value_len: 64,
+            scan_len: 100,
+            seed: 0xace0_ace0,
+            delete_only_existing: true,
+        }
+    }
+}
+
+/// Deterministic op-stream generator.
+pub struct WorkloadGen {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    /// Keys inserted so far (ids), for existing-key deletes/reads.
+    inserted: Vec<u64>,
+}
+
+impl WorkloadGen {
+    /// Build a generator from a spec.
+    pub fn new(spec: WorkloadSpec) -> WorkloadGen {
+        let rng = StdRng::seed_from_u64(spec.seed);
+        WorkloadGen { spec, rng, inserted: Vec::new() }
+    }
+
+    /// Value payload for a key (deterministic, compressible-ish).
+    fn value_for(&self, id: u64) -> Vec<u8> {
+        let mut v = format!("val-{id:016x}-").into_bytes();
+        v.resize(self.spec.value_len.max(v.len()), b'.');
+        v.truncate(self.spec.value_len.max(1));
+        v
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let roll = self.rng.gen_range(0..100u32);
+        let m = self.spec.mix;
+        if roll < m.put_pct {
+            let id = self.spec.dist.sample(&mut self.rng);
+            self.inserted.push(id);
+            let value = self.value_for(id);
+            return Op::Put { key: key_bytes(id), value, dkey: None };
+        }
+        if roll < m.put_pct + m.delete_pct {
+            let id = if self.spec.delete_only_existing && !self.inserted.is_empty() {
+                let idx = self.rng.gen_range(0..self.inserted.len());
+                self.inserted.swap_remove(idx)
+            } else {
+                self.spec.dist.sample(&mut self.rng)
+            };
+            return Op::Delete { key: key_bytes(id) };
+        }
+        if roll < m.put_pct + m.delete_pct + m.get_pct {
+            let id = if !self.inserted.is_empty() && self.rng.gen_bool(0.5) {
+                self.inserted[self.rng.gen_range(0..self.inserted.len())]
+            } else {
+                self.spec.dist.sample(&mut self.rng)
+            };
+            return Op::Get { key: key_bytes(id) };
+        }
+        let start = self.spec.dist.sample(&mut self.rng);
+        Op::Scan {
+            lo: key_bytes(start),
+            hi: key_bytes(start.saturating_add(self.spec.scan_len)),
+        }
+    }
+
+    /// Generate `n` operations.
+    pub fn take(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(mix: OpMix) -> WorkloadSpec {
+        WorkloadSpec::new(mix, KeyDistribution::uniform(1000))
+    }
+
+    #[test]
+    fn mix_validation() {
+        assert!(OpMix::insert_only().validate());
+        assert!(OpMix::write_heavy(25).validate());
+        assert!(!OpMix { put_pct: 50, delete_pct: 0, get_pct: 0, scan_pct: 0 }.validate());
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = WorkloadGen::new(spec(OpMix::mixed(40, 10, 40, 10))).take(500);
+        let b = WorkloadGen::new(spec(OpMix::mixed(40, 10, 40, 10))).take(500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_proportions_approximately_hold() {
+        let ops = WorkloadGen::new(spec(OpMix::mixed(50, 10, 30, 10))).take(10_000);
+        let puts = ops.iter().filter(|o| matches!(o, Op::Put { .. })).count();
+        let dels = ops.iter().filter(|o| matches!(o, Op::Delete { .. })).count();
+        let gets = ops.iter().filter(|o| matches!(o, Op::Get { .. })).count();
+        let scans = ops.iter().filter(|o| matches!(o, Op::Scan { .. })).count();
+        assert!((4_500..5_500).contains(&puts), "puts={puts}");
+        assert!((700..1_300).contains(&dels), "dels={dels}");
+        assert!((2_500..3_500).contains(&gets), "gets={gets}");
+        assert!((700..1_300).contains(&scans), "scans={scans}");
+    }
+
+    #[test]
+    fn deletes_target_existing_keys() {
+        let mut g = WorkloadGen::new(spec(OpMix::write_heavy(30)));
+        let ops = g.take(2_000);
+        let mut live: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+        let mut valid_deletes = 0;
+        let mut deletes = 0;
+        for op in &ops {
+            match op {
+                Op::Put { key, .. } => {
+                    live.insert(key.clone());
+                }
+                Op::Delete { key } => {
+                    deletes += 1;
+                    if live.contains(key) {
+                        valid_deletes += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(deletes > 0);
+        // Duplicate uniform draws can re-insert a deleted id, so allow a
+        // small slack below 100%.
+        assert!(
+            valid_deletes as f64 / deletes as f64 > 0.9,
+            "{valid_deletes}/{deletes} deletes hit live keys"
+        );
+    }
+
+    #[test]
+    fn values_have_requested_length() {
+        let mut s = spec(OpMix::insert_only());
+        s.value_len = 100;
+        let ops = WorkloadGen::new(s).take(10);
+        for op in ops {
+            if let Op::Put { value, .. } = op {
+                assert_eq!(value.len(), 100);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Near-sorted key streams, parameterized by the (K, L)-sortedness
+//! metric of the group's BoDS benchmark.
+//!
+//! * `K` — the *fraction* of elements that are out of order, and
+//! * `L` — the maximum displacement of an out-of-order element from its
+//!   in-order position.
+//!
+//! `k_fraction = 0` or `l_max = 0` yields a fully sorted stream;
+//! `k_fraction = 1` with large `L` approaches a uniform shuffle. LSM
+//! ingestion benefits from sortedness (flushed files overlap less, so
+//! compactions become trivial moves) — the `exp13_sortedness` experiment
+//! measures exactly that.
+
+use rand::prelude::*;
+
+/// Generate a near-sorted permutation of `0..n`.
+///
+/// Construction (BoDS-style): start from the identity, pick `⌊k·n⌋`
+/// positions, and swap each with a partner up to `l` slots away. Both
+/// elements of a swap become out-of-order, displaced by at most `l`.
+pub fn near_sorted_stream(n: u64, k_fraction: f64, l_max: u64, seed: u64) -> Vec<u64> {
+    assert!((0.0..=1.0).contains(&k_fraction), "k must be a fraction");
+    let mut keys: Vec<u64> = (0..n).collect();
+    if n < 2 || k_fraction == 0.0 || l_max == 0 {
+        return keys;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let swaps = ((k_fraction * n as f64) / 2.0).round() as u64;
+    for _ in 0..swaps {
+        let i = rng.gen_range(0..n) as usize;
+        let displacement = rng.gen_range(1..=l_max) as usize;
+        let j = if rng.gen_bool(0.5) && i >= displacement {
+            i - displacement
+        } else {
+            (i + displacement).min(n as usize - 1)
+        };
+        keys.swap(i, j);
+    }
+    keys
+}
+
+/// Measure the (K, L) of a stream: the fraction of displaced elements
+/// and their maximum displacement, against the sorted order.
+pub fn measure_sortedness(stream: &[u64]) -> (f64, u64) {
+    if stream.is_empty() {
+        return (0.0, 0);
+    }
+    // In-order position of value v is its rank; for a permutation of
+    // 0..n the rank equals the value.
+    let mut displaced = 0u64;
+    let mut max_disp = 0u64;
+    for (pos, &v) in stream.iter().enumerate() {
+        let disp = (pos as i64 - v as i64).unsigned_abs();
+        if disp > 0 {
+            displaced += 1;
+            max_disp = max_disp.max(disp);
+        }
+    }
+    (displaced as f64 / stream.len() as f64, max_disp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_k_is_identity() {
+        let s = near_sorted_stream(1000, 0.0, 100, 1);
+        assert_eq!(s, (0..1000).collect::<Vec<_>>());
+        let (k, l) = measure_sortedness(&s);
+        assert_eq!(k, 0.0);
+        assert_eq!(l, 0);
+    }
+
+    #[test]
+    fn zero_l_is_identity() {
+        let s = near_sorted_stream(1000, 0.5, 0, 1);
+        assert_eq!(measure_sortedness(&s), (0.0, 0));
+    }
+
+    #[test]
+    fn stream_is_a_permutation() {
+        let mut s = near_sorted_stream(5000, 0.3, 50, 42);
+        s.sort_unstable();
+        assert_eq!(s, (0..5000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn displacement_bounded_by_l() {
+        for l in [1u64, 5, 25] {
+            let s = near_sorted_stream(2000, 0.4, l, 7);
+            let (_, max_disp) = measure_sortedness(&s);
+            // Swap chains can compound displacements slightly, but they
+            // stay in the same order of magnitude as L.
+            assert!(max_disp <= 3 * l, "L={l} but max displacement {max_disp}");
+            assert!(max_disp >= 1);
+        }
+    }
+
+    #[test]
+    fn k_scales_the_disorder() {
+        let low = measure_sortedness(&near_sorted_stream(10_000, 0.05, 20, 3)).0;
+        let high = measure_sortedness(&near_sorted_stream(10_000, 0.6, 20, 3)).0;
+        assert!(low < high, "more swaps, more disorder: {low} vs {high}");
+        assert!(low > 0.0);
+        assert!(high < 1.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = near_sorted_stream(500, 0.2, 10, 9);
+        let b = near_sorted_stream(500, 0.2, 10, 9);
+        let c = near_sorted_stream(500, 0.2, 10, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,205 @@
+//! Invariant I4 (durability): any crash point recovers to a state equal
+//! to a prefix of acknowledged operations; nothing acknowledged before a
+//! flush is ever lost, and WAL-tail truncation loses at most a suffix.
+
+use std::sync::Arc;
+
+use acheron::{Db, DbOptions};
+use acheron_vfs::{MemFs, Vfs};
+
+fn opts() -> DbOptions {
+    DbOptions {
+        write_buffer_bytes: 4 << 10,
+        level1_target_bytes: 16 << 10,
+        target_file_bytes: 8 << 10,
+        page_size: 512,
+        max_levels: 4,
+        ..DbOptions::default()
+    }
+}
+
+/// Clone a MemFs directory into a fresh MemFs (simulating a crash: the
+/// new filesystem sees exactly the bytes that were "on disk").
+fn fork_fs(fs: &MemFs, dir: &str) -> Arc<MemFs> {
+    let out = Arc::new(MemFs::new());
+    out.mkdir_all(dir).unwrap();
+    for name in fs.list(dir).unwrap() {
+        let path = acheron_vfs::join(dir, &name);
+        let data = fs.read_all(&path).unwrap();
+        out.write_all(&path, &data).unwrap();
+    }
+    out
+}
+
+#[test]
+fn crash_at_every_phase_preserves_acknowledged_writes() {
+    let fs = Arc::new(MemFs::new());
+    let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts()).unwrap();
+
+    let mut acknowledged: Vec<(String, String)> = Vec::new();
+    for i in 0..600u32 {
+        let k = format!("key{i:05}");
+        let v = format!("value-{i}");
+        db.put(k.as_bytes(), v.as_bytes()).unwrap();
+        acknowledged.push((k, v));
+
+        // Fork the "disk" at a sample of points and recover each fork.
+        if i % 97 == 0 {
+            let fork = fork_fs(&fs, "db");
+            let recovered = Db::open(fork, "db", opts()).unwrap();
+            for (k, v) in &acknowledged {
+                let got = recovered.get(k.as_bytes()).unwrap();
+                assert_eq!(
+                    got.as_deref(),
+                    Some(v.as_bytes()),
+                    "write {k} lost after crash at op {i}"
+                );
+            }
+            recovered.verify_integrity().unwrap();
+        }
+    }
+}
+
+#[test]
+fn crash_during_heavy_deletes_preserves_tombstones() {
+    let fs = Arc::new(MemFs::new());
+    let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts()).unwrap();
+    for i in 0..400u32 {
+        db.put(format!("key{i:05}").as_bytes(), &[b'v'; 32]).unwrap();
+    }
+    for i in 0..400u32 {
+        if i % 2 == 0 {
+            db.delete(format!("key{i:05}").as_bytes()).unwrap();
+        }
+    }
+    let fork = fork_fs(&fs, "db");
+    let recovered = Db::open(fork, "db", opts()).unwrap();
+    for i in 0..400u32 {
+        let got = recovered.get(format!("key{i:05}").as_bytes()).unwrap();
+        assert_eq!(got.is_none(), i % 2 == 0, "key{i:05}");
+    }
+}
+
+#[test]
+fn wal_tail_truncation_loses_only_a_suffix() {
+    let fs = Arc::new(MemFs::new());
+    let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts()).unwrap();
+    // Write into the WAL without flushing (values small enough to stay
+    // in the memtable).
+    let mut o = opts();
+    o.write_buffer_bytes = 1 << 20;
+    for i in 0..50u32 {
+        db.put(format!("w{i:03}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+    }
+    drop(db);
+
+    // Find the newest WAL and truncate its tail by various amounts.
+    let wal_name = fs
+        .list("db")
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.ends_with(".log"))
+        .max()
+        .expect("a wal exists");
+    let wal_path = acheron_vfs::join("db", &wal_name);
+    let full = fs.read_all(&wal_path).unwrap();
+
+    let mut last_recovered = usize::MAX;
+    for cut in [full.len(), full.len() - 3, full.len() / 2, 10, 0] {
+        let fork = fork_fs(&fs, "db");
+        fork.write_all(&wal_path, &full[..cut.min(full.len())]).unwrap();
+        let recovered = Db::open(fork, "db", opts()).unwrap();
+        // Count how many of the 50 writes survived; must be a prefix.
+        let mut survived = 0usize;
+        let mut ended = false;
+        for i in 0..50u32 {
+            let got = recovered.get(format!("w{i:03}").as_bytes()).unwrap();
+            match got {
+                Some(v) => {
+                    assert!(!ended, "write {i} survived after a lost predecessor (not a prefix)");
+                    assert_eq!(v.as_ref(), format!("v{i}").as_bytes());
+                    survived += 1;
+                }
+                None => ended = true,
+            }
+        }
+        assert!(
+            survived <= last_recovered,
+            "shorter WAL recovered more writes ({survived} > {last_recovered})"
+        );
+        last_recovered = survived;
+    }
+    // The untruncated WAL must recover everything.
+    let fork = fork_fs(&fs, "db");
+    let recovered = Db::open(fork, "db", opts()).unwrap();
+    for i in 0..50u32 {
+        assert!(recovered.get(format!("w{i:03}").as_bytes()).unwrap().is_some());
+    }
+}
+
+#[test]
+fn range_tombstones_survive_crash() {
+    let fs = Arc::new(MemFs::new());
+    let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts()).unwrap();
+    for i in 0..100u32 {
+        db.put_with_dkey(format!("key{i:03}").as_bytes(), b"v", u64::from(i)).unwrap();
+    }
+    db.range_delete_secondary(20, 40).unwrap();
+    let fork = fork_fs(&fs, "db");
+    let recovered = Db::open(fork, "db", opts()).unwrap();
+    for i in 0..100u32 {
+        let got = recovered.get(format!("key{i:03}").as_bytes()).unwrap();
+        assert_eq!(got.is_none(), (20..=40).contains(&i), "key{i:03}");
+    }
+}
+
+#[test]
+fn repeated_crash_recover_cycles_converge() {
+    let fs = Arc::new(MemFs::new());
+    {
+        let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts()).unwrap();
+        for i in 0..300u32 {
+            db.put(format!("key{i:04}").as_bytes(), format!("{i}").as_bytes()).unwrap();
+        }
+    }
+    // Ten open/drop cycles without any writes must preserve the state
+    // and not balloon storage (manifests are snapshot-compacted on
+    // open).
+    let mut sizes = Vec::new();
+    for _ in 0..10 {
+        let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts()).unwrap();
+        assert_eq!(
+            db.get(b"key0123").unwrap().as_deref(),
+            Some(&b"123"[..])
+        );
+        drop(db);
+        sizes.push(fs.total_file_bytes());
+    }
+    let first = sizes[0];
+    for s in &sizes {
+        assert!(
+            *s < first * 3,
+            "storage grew unboundedly across reopen cycles: {sizes:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_manifest_head_fails_loudly() {
+    let fs = Arc::new(MemFs::new());
+    {
+        let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts()).unwrap();
+        db.put(b"k", b"v").unwrap();
+    }
+    // Find the current manifest and corrupt its first bytes.
+    let current = fs.read_all("db/CURRENT").unwrap();
+    let manifest = String::from_utf8(current.to_vec()).unwrap().trim().to_string();
+    let path = acheron_vfs::join("db", &manifest);
+    let mut data = fs.read_all(&path).unwrap().to_vec();
+    for b in data.iter_mut().take(32) {
+        *b ^= 0xff;
+    }
+    fs.write_all(&path, &data).unwrap();
+    let err = Db::open(fs as Arc<dyn Vfs>, "db", opts());
+    assert!(err.is_err(), "corrupt manifest head must not open silently");
+}

@@ -1,0 +1,139 @@
+//! Invariant I3 (the paper's core guarantee): with FADE enabled, every
+//! point tombstone is physically purged within `D_th` ticks of its
+//! insertion — under arbitrary workloads, threshold settings, TTL
+//! allocations, and clock patterns.
+
+use std::sync::Arc;
+
+use acheron::{Db, DbOptions, FadeOptions, FilePickPolicy, TtlAllocation};
+use acheron_vfs::MemFs;
+use proptest::prelude::*;
+// Explicit (non-glob) imports: proptest's prelude re-exports a different
+// rand version's traits, which would shadow these under a glob.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn opts(d_th: u64, alloc: TtlAllocation) -> DbOptions {
+    let mut o = DbOptions {
+        write_buffer_bytes: 2 << 10,
+        level1_target_bytes: 8 << 10,
+        target_file_bytes: 4 << 10,
+        page_size: 512,
+        max_levels: 4,
+        ..DbOptions::default()
+    };
+    o.fade = Some(FadeOptions {
+        delete_persistence_threshold: d_th,
+        ttl_allocation: alloc,
+        saturation_pick: FilePickPolicy::MinOverlap,
+    });
+    o
+}
+
+/// Drive a random workload and verify the bound holds throughout.
+fn check_bound(seed: u64, d_th: u64, alloc: TtlAllocation, idle_bursts: bool) {
+    let db = Db::open(Arc::new(MemFs::new()), "db", opts(d_th, alloc)).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for step in 0..1_500u32 {
+        let k: u32 = rng.gen_range(0..300);
+        if rng.gen_bool(0.3) {
+            db.delete(format!("key{k:04}").as_bytes()).unwrap();
+        } else {
+            db.put(format!("key{k:04}").as_bytes(), &[b'v'; 24]).unwrap();
+        }
+        if idle_bursts && step % 400 == 399 {
+            // Idle time: the clock advances while no writes arrive. The
+            // bound is enforced *at maintenance opportunities*, so idle
+            // deployments run maintenance on a timer; we model that by
+            // stepping the clock in sub-margin increments with a
+            // maintain() at each tick (a single giant jump would deny
+            // the engine any chance to act before the deadline).
+            let total = rng.gen_range(1..=2 * d_th);
+            let step_size = (d_th / 32).max(1);
+            let mut advanced = 0;
+            while advanced < total {
+                let inc = step_size.min(total - advanced);
+                db.advance_clock(inc);
+                advanced += inc;
+                db.maintain().unwrap();
+            }
+        }
+        // The bound is continuous: at no observation point may a live
+        // tombstone be older than D_th (checked sparsely for speed).
+        if step % 100 == 0 {
+            if let Some(age) = db.oldest_live_tombstone_age() {
+                assert!(
+                    age <= d_th,
+                    "live tombstone aged {age} > D_th {d_th} at step {step}"
+                );
+            }
+        }
+    }
+    // Final settle: let everything expire, stepping so the engine gets
+    // its maintenance opportunities.
+    let step_size = (d_th / 32).max(1);
+    let mut advanced = 0;
+    while advanced < 3 * d_th {
+        db.advance_clock(step_size);
+        advanced += step_size;
+        db.maintain().unwrap();
+    }
+    assert_eq!(db.live_tombstones(), 0, "all tombstones must eventually purge");
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(
+        db.stats().persistence_violations.load(Relaxed),
+        0,
+        "no purge may exceed the threshold"
+    );
+    assert!(
+        db.stats().persistence_latency.max() <= d_th,
+        "max purge latency {} > D_th {d_th}",
+        db.stats().persistence_latency.max()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fade_bound_holds_exponential(seed in any::<u64>(), d_th in 500u64..20_000) {
+        check_bound(seed, d_th, TtlAllocation::Exponential, true);
+    }
+
+    #[test]
+    fn fade_bound_holds_uniform(seed in any::<u64>(), d_th in 500u64..20_000) {
+        check_bound(seed, d_th, TtlAllocation::Uniform, true);
+    }
+}
+
+#[test]
+fn fade_bound_steady_write_stream() {
+    check_bound(7, 3_000, TtlAllocation::Exponential, false);
+}
+
+#[test]
+fn fade_bound_with_tiny_threshold() {
+    // Aggressive thresholds force expiry through every station quickly;
+    // the bound must still hold (at higher write amplification).
+    check_bound(8, 600, TtlAllocation::Uniform, true);
+}
+
+#[test]
+fn baseline_without_fade_does_violate() {
+    // Sanity check that the property above is not vacuous: the same
+    // workload without FADE leaves over-age tombstones behind.
+    let mut o = opts(3_000, TtlAllocation::Uniform);
+    o.fade = None;
+    let db = Db::open(Arc::new(MemFs::new()), "db", o).unwrap();
+    for i in 0..300u32 {
+        db.put(format!("key{i:04}").as_bytes(), &[b'v'; 24]).unwrap();
+    }
+    for i in 0..300u32 {
+        db.delete(format!("key{i:04}").as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    db.advance_clock(100_000);
+    db.maintain().unwrap();
+    let age = db.oldest_live_tombstone_age().expect("baseline keeps tombstones");
+    assert!(age > 3_000, "baseline tombstones should exceed any reasonable threshold");
+}
