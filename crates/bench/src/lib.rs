@@ -41,6 +41,21 @@ pub fn settle(db: &Db, total: u64, step: u64) {
     }
 }
 
+/// Background-mode analogue of [`settle`]: advance the clock in the
+/// same steps but, instead of running maintenance inline, wait for the
+/// worker pool to drain — the workers themselves must notice each TTL
+/// deadline.
+pub fn settle_background(db: &Db, total: u64, step: u64) {
+    let step = step.max(1);
+    let mut advanced = 0;
+    while advanced < total {
+        let inc = step.min(total - advanced);
+        db.advance_clock(inc);
+        advanced += inc;
+        db.wait_idle().expect("background maintenance");
+    }
+}
+
 /// Render an ASCII table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -3,12 +3,19 @@
 //! # Concurrency model
 //!
 //! One writer at a time; readers share a `RwLock` over the mutable state
-//! (active memtable + current version pointer). Flushes and compactions
-//! run synchronously inside the write path — this keeps every experiment
-//! deterministic (a given op sequence always produces the same tree),
-//! which is what the reproduction needs; a background-compaction
-//! scheduler would change throughput numbers but not the shapes the
-//! paper's claims are about.
+//! (active memtable + sealed-memtable queue + current version pointer).
+//! Maintenance — memtable flushes and compactions, including FADE's
+//! TTL-driven ones — runs on a pool of background worker threads sized
+//! by [`DbOptions::background_threads`]. Writers seal a full memtable
+//! onto a queue and continue into a fresh one; when the L0 file count or
+//! the sealed queue exceeds its configured limit, writes are first
+//! slowed and then stalled on a condition variable until the workers
+//! catch up. With `background_threads = 0` every flush and compaction
+//! instead runs synchronously inside the write path, so a given op
+//! sequence always produces the same tree — the deterministic mode the
+//! experiments use (`DbOptions::small`). The full lock hierarchy,
+//! task-claiming protocol, and crash-safety invariants are documented in
+//! `ARCHITECTURE.md` at the repository root.
 //!
 //! # Secondary range-delete semantics
 //!
@@ -21,8 +28,10 @@
 //! which purge covered entries and — under KiWi — drop fully covered
 //! pages without reading them.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use acheron_memtable::Memtable;
 use acheron_types::{
@@ -31,7 +40,7 @@ use acheron_types::{
 use acheron_vfs::Vfs;
 use acheron_wal::{LogReader, LogWriter, ReadOutcome, WalBatch, WalOp};
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::compaction::{run_compaction, write_l0_table};
 use crate::filenames::{manifest_name, parse_file_name, sst_path, wal_path, FileKind};
@@ -39,7 +48,7 @@ use crate::manifest::{
     read_current, read_manifest, write_current, EditBatch, ManifestWriter, VersionEdit,
 };
 use crate::options::DbOptions;
-use crate::picker::{CompactionReason, Picker};
+use crate::picker::{CompactionReason, CompactionTask, Picker};
 use crate::stats::DbStats;
 use crate::version::{FileMeta, Version};
 
@@ -48,16 +57,39 @@ use crate::version::{FileMeta, Version};
 /// correctly converging picker never reaches it.
 const MAX_COMPACTIONS_PER_PASS: usize = 10_000;
 
+/// How long an idle worker sleeps before re-polling for work (it is
+/// also woken eagerly by [`DbCore::kick_workers`]).
+const WORKER_TICK: Duration = Duration::from_millis(50);
+
+/// How often a stalled writer re-checks the pressure gauges.
+const STALL_RECHECK: Duration = Duration::from_millis(10);
+
+/// Delay injected per write once L0 crosses the soft limit.
+const SLOWDOWN_DELAY: Duration = Duration::from_micros(250);
+
+/// A sealed (immutable) memtable queued for flush, together with the
+/// WAL segment that made it durable.
+struct ImmMemtable {
+    mem: Arc<Memtable>,
+    /// The WAL segment holding exactly this memtable's records; it can
+    /// be retired once the memtable's flush is installed.
+    wal_number: u64,
+    /// Highest sequence number in the memtable (it is non-empty).
+    max_seqno: SeqNo,
+}
+
 struct State {
     mem: Memtable,
+    /// Sealed memtables awaiting flush, oldest first. Flushes install in
+    /// queue order so `persisted_seqno` advances monotonically.
+    imms: VecDeque<ImmMemtable>,
     wal: LogWriter,
     /// WAL segments that may still hold unflushed data (the active one
-    /// last).
+    /// last; one segment per queued sealed memtable before it).
     live_wals: Vec<u64>,
     version: Arc<Version>,
     last_seqno: SeqNo,
     persisted_seqno: SeqNo,
-    next_file_id: u64,
     manifest: ManifestWriter,
     /// Earliest tick at which a FADE TTL expires somewhere in the tree
     /// (None = nothing expires / FADE off). Maintained incrementally so
@@ -65,7 +97,31 @@ struct State {
     ttl_deadline: Option<Tick>,
 }
 
-struct DbInner {
+/// Executor control state. Guarded by `DbCore::maint`, which is never
+/// held while `DbCore::state` is held (see ARCHITECTURE.md for the lock
+/// hierarchy).
+#[derive(Default)]
+struct MaintState {
+    /// Set once at teardown; workers exit their loop when they see it.
+    shutdown: bool,
+    /// Number of outstanding [`Db::pause_maintenance`] / internal pause
+    /// guards. Workers do not start new steps while it is non-zero.
+    pause_depth: usize,
+    /// Workers currently inside a maintenance step. A pause waits for
+    /// this to drain to zero before its guard is returned.
+    in_flight: usize,
+    /// Bumped by [`DbCore::kick_workers`]; lets a worker detect a kick
+    /// that arrived while it was running (so it re-polls instead of
+    /// sleeping).
+    kicks: u64,
+    /// First background failure, sticky until the DB is reopened.
+    /// Surfaced by `maintain`/`flush`/`compact_all`/`wait_idle` and by
+    /// stalled writes.
+    error: Option<String>,
+}
+
+/// Everything shared between user handles and background workers.
+struct DbCore {
     fs: Arc<dyn Vfs>,
     dir: String,
     opts: DbOptions,
@@ -74,9 +130,37 @@ struct DbInner {
     cache: Option<Arc<acheron_sstable::BlockCache>>,
     snapshots: Mutex<BTreeMap<SeqNo, usize>>,
     state: RwLock<State>,
+    /// File-id allocator, shared lock-free so workers can name output
+    /// tables without holding the state lock during a merge.
+    next_file_id: AtomicU64,
+    maint: Mutex<MaintState>,
+    /// Signalled when new work may exist (kicks, unpause, shutdown).
+    work_cv: Condvar,
+    /// Signalled when a worker finishes a step (pauses and stalled
+    /// writers wait on this).
+    done_cv: Condvar,
+    /// Single-flusher ticket: flushes must install in queue order, so
+    /// only one worker owns the front of the sealed queue at a time.
+    flush_claimed: AtomicBool,
+}
+
+struct DbInner {
+    core: Arc<DbCore>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        self.core.request_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
 }
 
 /// Handle to an open database. Cheap to clone; all clones share state.
+/// Dropping the last handle stops the background workers (joining any
+/// in-flight flush/compaction first).
 #[derive(Clone)]
 pub struct Db {
     inner: Arc<DbInner>,
@@ -86,7 +170,7 @@ pub struct Db {
 /// data visible at its sequence number; compactions preserve the
 /// versions it needs. Unregisters itself on drop.
 pub struct Snapshot {
-    inner: Arc<DbInner>,
+    core: Arc<DbCore>,
     seqno: SeqNo,
 }
 
@@ -99,13 +183,37 @@ impl Snapshot {
 
 impl Drop for Snapshot {
     fn drop(&mut self) {
-        let mut snaps = self.inner.snapshots.lock();
+        let mut snaps = self.core.snapshots.lock();
         if let Some(count) = snaps.get_mut(&self.seqno) {
             *count -= 1;
             if *count == 0 {
                 snaps.remove(&self.seqno);
             }
         }
+    }
+}
+
+/// RAII guard from [`Db::pause_maintenance`]: background workers are
+/// quiesced (no step in flight, none will start) until it is dropped.
+/// Pauses nest.
+pub struct MaintenancePause {
+    core: Arc<DbCore>,
+}
+
+impl Drop for MaintenancePause {
+    fn drop(&mut self) {
+        self.core.unpause_raw();
+    }
+}
+
+/// Internal pause guard used by foreground maintenance entry points.
+struct PauseGuard<'a> {
+    core: &'a DbCore,
+}
+
+impl Drop for PauseGuard<'_> {
+    fn drop(&mut self) {
+        self.core.unpause_raw();
     }
 }
 
@@ -238,11 +346,11 @@ impl Db {
         fs.mkdir_all(dir)?;
         let cache = (opts.block_cache_bytes > 0)
             .then(|| Arc::new(acheron_sstable::BlockCache::new(opts.block_cache_bytes)));
-        let state = match read_current(fs.as_ref(), dir)? {
+        let (state, next_file_id) = match read_current(fs.as_ref(), dir)? {
             None => Self::initialize(&fs, dir, &opts)?,
             Some(manifest) => Self::recover(&fs, dir, &opts, &manifest, cache.as_ref())?,
         };
-        let inner = Arc::new(DbInner {
+        let core = Arc::new(DbCore {
             picker: Picker::new(&opts),
             fs,
             dir: dir.to_string(),
@@ -251,15 +359,42 @@ impl Db {
             cache,
             snapshots: Mutex::new(BTreeMap::new()),
             state: RwLock::new(state),
+            next_file_id: AtomicU64::new(next_file_id),
+            maint: Mutex::new(MaintState::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            flush_claimed: AtomicBool::new(false),
         });
-        let db = Db { inner };
+        let mut workers = Vec::with_capacity(core.opts.background_threads);
+        for i in 0..core.opts.background_threads {
+            let c = Arc::clone(&core);
+            match std::thread::Builder::new()
+                .name(format!("acheron-maint-{i}"))
+                .spawn(move || DbCore::worker_loop(c))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    core.request_shutdown();
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(Error::Internal(format!("spawn maintenance worker: {e}")));
+                }
+            }
+        }
+        let db = Db { inner: Arc::new(DbInner { core, workers }) };
         // Recovery may leave the tree over its triggers.
         db.maintain()?;
         Ok(db)
     }
 
-    /// Create a fresh database directory layout.
-    fn initialize(fs: &Arc<dyn Vfs>, dir: &str, opts: &DbOptions) -> Result<State> {
+    fn core(&self) -> &DbCore {
+        &self.inner.core
+    }
+
+    /// Create a fresh database directory layout. Returns the initial
+    /// state and the next free file id.
+    fn initialize(fs: &Arc<dyn Vfs>, dir: &str, opts: &DbOptions) -> Result<(State, u64)> {
         let mut next_file_id = 1u64;
         let manifest_number = next_file_id;
         next_file_id += 1;
@@ -276,27 +411,31 @@ impl Db {
         })?;
         write_current(fs.as_ref(), dir, &name)?;
         let wal = LogWriter::new(fs.create(&wal_path(dir, wal_number))?);
-        Ok(State {
-            mem: Memtable::new(),
-            wal,
-            live_wals: vec![wal_number],
-            version: Arc::new(Version::empty(opts.max_levels)),
-            last_seqno: 0,
-            persisted_seqno: 0,
+        Ok((
+            State {
+                mem: Memtable::new(),
+                imms: VecDeque::new(),
+                wal,
+                live_wals: vec![wal_number],
+                version: Arc::new(Version::empty(opts.max_levels)),
+                last_seqno: 0,
+                persisted_seqno: 0,
+                manifest,
+                ttl_deadline: None,
+            },
             next_file_id,
-            manifest,
-            ttl_deadline: None,
-        })
+        ))
     }
 
-    /// Recover from an existing manifest + WAL set.
+    /// Recover from an existing manifest + WAL set. Returns the
+    /// recovered state and the next free file id.
     fn recover(
         fs: &Arc<dyn Vfs>,
         dir: &str,
         opts: &DbOptions,
         manifest: &str,
         cache: Option<&Arc<acheron_sstable::BlockCache>>,
-    ) -> Result<State> {
+    ) -> Result<(State, u64)> {
         let batches = read_manifest(fs.as_ref(), &acheron_vfs::join(dir, manifest))?;
         // Fold edits into the recovered metadata state.
         struct RecFile {
@@ -453,17 +592,20 @@ impl Db {
             .unwrap_or(0);
         opts.clock_advance_to(max_tick);
 
-        Ok(State {
-            mem,
-            wal,
-            live_wals,
-            version: Arc::new(version),
-            last_seqno,
-            persisted_seqno,
+        Ok((
+            State {
+                mem,
+                imms: VecDeque::new(),
+                wal,
+                live_wals,
+                version: Arc::new(version),
+                last_seqno,
+                persisted_seqno,
+                manifest,
+                ttl_deadline: None,
+            },
             next_file_id,
-            manifest,
-            ttl_deadline: None,
-        })
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -473,7 +615,7 @@ impl Db {
     /// Insert or update `key`, tagging it with the current tick as its
     /// secondary delete key.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
-        let dkey = self.inner.opts.clock.now();
+        let dkey = self.core().opts.clock.now();
         self.put_with_dkey(key, value, dkey)
     }
 
@@ -489,7 +631,7 @@ impl Db {
     /// Point-delete `key` (inserts a tombstone; physical erasure follows
     /// within the persistence threshold when FADE is enabled).
     pub fn delete(&self, key: &[u8]) -> Result<()> {
-        let tick = self.inner.opts.clock.now();
+        let tick = self.core().opts.clock.now();
         self.write(WalOp::Delete { key: Bytes::copy_from_slice(key), tick })
     }
 
@@ -502,7 +644,7 @@ impl Db {
         }
         // Stamp queued deletes with the commit tick (their FADE age
         // starts now, not when they were queued).
-        let now = self.inner.opts.clock.now();
+        let now = self.core().opts.clock.now();
         let ops = batch
             .ops
             .into_iter()
@@ -521,62 +663,80 @@ impl Db {
     }
 
     fn write_ops(&self, ops: Vec<WalOp>) -> Result<()> {
-        let inner = &self.inner;
-        let mut st = inner.state.write();
+        let core = self.core();
+        // Backpressure first, before any lock: stalled writers hold
+        // nothing, so workers and readers proceed freely.
+        core.throttle_writes()?;
+        let mut st = core.state.write();
         let base = st.last_seqno + 1;
         if base > MAX_SEQNO {
             return Err(Error::Internal("sequence number space exhausted".into()));
         }
         let batch = WalBatch { base_seqno: base, ops };
         st.wal.add_record(&batch.encode())?;
-        if inner.opts.wal_sync {
+        if core.opts.wal_sync {
             st.wal.sync()?;
         }
         let (entries, _ranges) = batch.entries();
         for e in entries {
             match e.kind {
                 acheron_types::ValueKind::Put => {
-                    inner.stats.puts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    core.stats.puts.fetch_add(1, Ordering::Relaxed);
                 }
                 acheron_types::ValueKind::Tombstone => {
-                    inner.stats.deletes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    core.stats.deletes.fetch_add(1, Ordering::Relaxed);
                 }
                 acheron_types::ValueKind::RangeTombstone => {}
             }
-            inner
-                .stats
+            core.stats
                 .user_bytes
-                .fetch_add((e.key.len() + e.value.len()) as u64, std::sync::atomic::Ordering::Relaxed);
+                .fetch_add((e.key.len() + e.value.len()) as u64, Ordering::Relaxed);
             st.mem.insert(e);
         }
         st.last_seqno = batch.last_seqno();
-        if inner.opts.auto_advance_clock {
-            inner.opts.clock_advance(batch.ops.len() as u64);
+        if core.opts.auto_advance_clock {
+            core.opts.clock_advance(batch.ops.len() as u64);
         }
 
         // Tighten the cached TTL deadline when a tombstone enters the
         // buffer (the buffer's oldest tombstone only gets older, so the
         // first one fixes the buffer deadline until the next flush).
         if let (Some(ttl), Some(t0)) =
-            (inner.picker.ttl_schedule(), st.mem.stats().oldest_tombstone_tick)
+            (core.picker.ttl_schedule(), st.mem.stats().oldest_tombstone_tick)
         {
             let mem_deadline = t0.saturating_add(ttl.buffer_ttl());
             st.ttl_deadline = Some(st.ttl_deadline.map_or(mem_deadline, |d| d.min(mem_deadline)));
         }
 
-        if st.mem.approximate_bytes() >= inner.opts.write_buffer_bytes {
-            self.flush_locked(&mut st)?;
-            self.maintain_locked(&mut st)?;
+        let mut kick = false;
+        if st.mem.approximate_bytes() >= core.opts.write_buffer_bytes {
+            core.seal_memtable_locked(&mut st)?;
+            if core.background() {
+                // Workers flush the sealed queue; the writer moves on.
+                kick = true;
+            } else {
+                core.flush_imms_locked(&mut st)?;
+                core.maintain_locked(&mut st)?;
+            }
         } else if let Some(deadline) = st.ttl_deadline {
             // Exact FADE trigger: something's residency budget ran out.
-            if inner.opts.clock.now() > deadline {
-                if let Some(ttl) = inner.picker.ttl_schedule() {
-                    if ttl.buffer_expired(&st.mem, inner.opts.clock.now()) {
-                        self.flush_locked(&mut st)?;
+            if core.opts.clock.now() > deadline {
+                if core.background() {
+                    kick = true;
+                } else {
+                    if let Some(ttl) = core.picker.ttl_schedule() {
+                        if ttl.buffer_expired(&st.mem, core.opts.clock.now()) {
+                            core.seal_memtable_locked(&mut st)?;
+                            core.flush_imms_locked(&mut st)?;
+                        }
                     }
+                    core.maintain_locked(&mut st)?;
                 }
-                self.maintain_locked(&mut st)?;
             }
+        }
+        drop(st);
+        if kick {
+            core.kick_workers();
         }
         Ok(())
     }
@@ -590,8 +750,8 @@ impl Db {
         if range.is_empty() {
             return Err(Error::invalid_argument("range_delete_secondary: lo > hi"));
         }
-        let inner = &self.inner;
-        let mut st = inner.state.write();
+        let core = self.core();
+        let mut st = core.state.write();
         let seqno = st.last_seqno + 1;
         st.last_seqno = seqno;
         let rt = RangeTombstone { seqno, range };
@@ -599,30 +759,38 @@ impl Db {
             edits: vec![VersionEdit::AddRangeTombstone { seqno, range }],
         })?;
         st.version = Arc::new(st.version.apply(vec![], &[], &[rt], &[]));
-        inner
-            .stats
-            .range_deletes
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        if inner.opts.auto_advance_clock {
-            inner.opts.clock_advance(1);
+        core.stats.range_deletes.fetch_add(1, Ordering::Relaxed);
+        if core.opts.auto_advance_clock {
+            core.opts.clock_advance(1);
         }
         Ok(())
     }
 
-    /// Force-flush the memtable to L0 (no-op when empty).
+    /// Force-flush the memtable (and any queued sealed memtables) to L0;
+    /// a no-op when everything is empty. Quiesces background workers for
+    /// the duration so the flush is complete on return.
     pub fn flush(&self) -> Result<()> {
-        let mut st = self.inner.state.write();
-        self.flush_locked(&mut st)
+        let core = self.core();
+        let _pause = core.paused();
+        core.check_background_error()?;
+        let mut st = core.state.write();
+        core.seal_memtable_locked(&mut st)?;
+        core.flush_imms_locked(&mut st)
     }
 
     /// Full manual compaction: flush, then merge every level down until
     /// all data rests in a single bottom-level run. (The manual
-    /// counterpart of RocksDB's full `CompactRange`.)
+    /// counterpart of RocksDB's full `CompactRange`.) Runs with
+    /// background workers quiesced.
     pub fn compact_all(&self) -> Result<()> {
-        let mut st = self.inner.state.write();
-        self.flush_locked(&mut st)?;
-        self.maintain_locked(&mut st)?;
-        let bottom = self.inner.opts.max_levels - 1;
+        let core = self.core();
+        let _pause = core.paused();
+        core.check_background_error()?;
+        let mut st = core.state.write();
+        core.seal_memtable_locked(&mut st)?;
+        core.flush_imms_locked(&mut st)?;
+        core.maintain_locked(&mut st)?;
+        let bottom = core.opts.max_levels - 1;
         for level in 0..bottom {
             loop {
                 let inputs = st.version.levels[level].clone();
@@ -647,7 +815,7 @@ impl Db {
                         _ => Vec::new(),
                     }
                 };
-                let task = crate::picker::CompactionTask {
+                let task = CompactionTask {
                     level,
                     inputs,
                     next_level_inputs: next,
@@ -655,7 +823,7 @@ impl Db {
                     output_run: 0,
                     reason: CompactionReason::Manual,
                 };
-                self.run_task_locked(&mut st, &task)?;
+                core.run_task_locked(&mut st, &task)?;
             }
         }
         // Reclaim pass: bottom-level files still overlapping a live
@@ -683,7 +851,7 @@ impl Db {
             if victims.is_empty() {
                 break;
             }
-            let task = crate::picker::CompactionTask {
+            let task = CompactionTask {
                 level: bottom,
                 inputs: victims,
                 next_level_inputs: Vec::new(),
@@ -691,240 +859,74 @@ impl Db {
                 output_run: 0,
                 reason: CompactionReason::Manual,
             };
-            self.run_task_locked(&mut st, &task)?;
+            core.run_task_locked(&mut st, &task)?;
         }
-        self.maintain_locked(&mut st)
+        core.maintain_locked(&mut st)
     }
 
     /// Advance the engine's logical clock by `n` ticks (no-op when the
     /// configured clock is not a [`acheron_types::LogicalClock`]).
     /// Experiments use this to age tombstones without issuing writes.
+    /// Wakes background workers so TTL expiries are acted on promptly.
     pub fn advance_clock(&self, n: u64) {
-        self.inner.opts.clock_advance(n);
+        self.core().opts.clock_advance(n);
+        self.core().kick_workers();
     }
 
-    /// Run pending compactions (FADE TTL expirations, saturations) until
-    /// quiescent. Call after advancing an external clock.
+    /// Run pending maintenance (flushes, FADE TTL expirations,
+    /// saturation compactions) inline until quiescent. Call after
+    /// advancing an external clock. Background workers are quiesced for
+    /// the duration; any sticky background error is surfaced here.
     pub fn maintain(&self) -> Result<()> {
-        let mut st = self.inner.state.write();
-        if let Some(ttl) = self.inner.picker.ttl_schedule() {
-            if ttl.buffer_expired(&st.mem, self.inner.opts.clock.now()) {
-                self.flush_locked(&mut st)?;
+        let core = self.core();
+        let _pause = core.paused();
+        core.check_background_error()?;
+        let mut st = core.state.write();
+        if let Some(ttl) = core.picker.ttl_schedule() {
+            if ttl.buffer_expired(&st.mem, core.opts.clock.now()) {
+                core.seal_memtable_locked(&mut st)?;
             }
         }
-        self.maintain_locked(&mut st)
+        core.flush_imms_locked(&mut st)?;
+        core.maintain_locked(&mut st)
     }
 
-    fn flush_locked(&self, st: &mut State) -> Result<()> {
-        let inner = &self.inner;
-        if st.mem.is_empty() {
-            return Ok(());
+    /// Block until background maintenance has nothing left to do: no
+    /// sealed memtables queued, no expired write buffer, no pickable
+    /// compaction, and no worker mid-step. With `background_threads = 0`
+    /// this simply runs [`Db::maintain`] inline. Surfaces any sticky
+    /// background error.
+    pub fn wait_idle(&self) -> Result<()> {
+        let core = self.core();
+        if !core.background() {
+            return self.maintain();
         }
-        let now = inner.opts.clock.now();
-
-        let id = st.next_file_id;
-        st.next_file_id += 1;
-        // Entries are flushed as-is; range-erased versions are purged at
-        // bottommost compactions (purging here could let older, deeper
-        // versions decide reads).
-        let file = write_l0_table(
-            &inner.fs,
-            &inner.dir,
-            &inner.opts,
-            inner.cache.as_ref(),
-            st.mem.entries(),
-            id,
-            id,
-            now,
-        )?;
-
-        let persisted = st.mem.max_seqno().expect("non-empty memtable");
-        let new_wal_number = st.next_file_id;
-        st.next_file_id += 1;
-
-        let mut edits = vec![
-            VersionEdit::PersistedSeqno { seqno: persisted },
-            VersionEdit::LogNumber { number: new_wal_number },
-            VersionEdit::NextFileId { id: st.next_file_id },
-        ];
-        if let Some(f) = &file {
-            edits.insert(
-                0,
-                VersionEdit::AddFile {
-                    level: 0,
-                    run: f.run,
-                    id: f.id,
-                    size: f.size_bytes,
-                    created_tick: now,
-                },
-            );
-            inner
-                .stats
-                .compaction_bytes_out
-                .fetch_add(f.size_bytes, std::sync::atomic::Ordering::Relaxed);
-        }
-        st.manifest.append(&EditBatch { edits })?;
-
-        // Swap in the new WAL, then retire old segments.
-        st.wal = LogWriter::new(inner.fs.create(&wal_path(&inner.dir, new_wal_number))?);
-        for old in std::mem::take(&mut st.live_wals) {
-            let path = wal_path(&inner.dir, old);
-            if inner.fs.exists(&path) {
-                inner.fs.delete(&path)?;
-            }
-        }
-        st.live_wals = vec![new_wal_number];
-
-        if let Some(f) = file {
-            st.version = Arc::new(st.version.apply(vec![f], &[], &[], &[]));
-        }
-        st.persisted_seqno = persisted;
-        st.mem = Memtable::new();
-        self.recompute_ttl_deadline(st);
-        inner.stats.flushes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        Ok(())
-    }
-
-    fn maintain_locked(&self, st: &mut State) -> Result<()> {
-        for _ in 0..MAX_COMPACTIONS_PER_PASS {
-            let now = self.inner.opts.clock.now();
-            let Some(task) = self.inner.picker.pick(&st.version, now) else {
-                return Ok(());
-            };
-            self.run_task_locked(st, &task)?;
-        }
-        Err(Error::Internal(
-            "compaction did not converge within the per-pass bound".into(),
-        ))
-    }
-
-    /// Execute one compaction task: run it, apply the outcome to the
-    /// version, log the manifest record, delete replaced files, update
-    /// statistics.
-    fn run_task_locked(&self, st: &mut State, task: &crate::picker::CompactionTask) -> Result<()> {
-        let inner = &self.inner;
-        let now = inner.opts.clock.now();
-        let snapshots = self.snapshot_list();
-        let mut next_id = st.next_file_id;
-        let outcome = run_compaction(
-            &inner.fs,
-            &inner.dir,
-            &inner.opts,
-            inner.cache.as_ref(),
-            &st.version,
-            task,
-            &snapshots,
-            now,
-            || {
-                let id = next_id;
-                next_id += 1;
-                id
-            },
-        )?;
-        st.next_file_id = next_id;
-
-        // Apply to the version first so range-tombstone retirement sees
-        // the post-compaction file set. A tombstone is retirable only if
-        // the *memtable* holds nothing it could still shadow either —
-        // un-flushed covered entries must remain shadowed once they
-        // reach disk.
-        let mut new_version =
-            st.version.apply(outcome.added.clone(), &outcome.deleted_ids, &[], &[]);
-        let mut retirable = new_version.retirable_range_tombstones();
-        if let (Some(mem_min_seq), Some(lo), Some(hi)) = (
-            st.mem.min_seqno(),
-            st.mem.stats().min_dkey,
-            st.mem.stats().max_dkey,
-        ) {
-            let rts = st.version.range_tombstones.clone();
-            retirable.retain(|seqno| {
-                !rts.iter().any(|rt| {
-                    rt.seqno == *seqno && mem_min_seq < rt.seqno && rt.range.overlaps(lo, hi)
-                })
-            });
-        }
-        if !retirable.is_empty() {
-            new_version = new_version.apply(vec![], &[], &[], &retirable);
-        }
-
-        // Manifest record (deletes first so trivial moves replay
-        // correctly).
-        let mut edits: Vec<VersionEdit> = outcome
-            .deleted_ids
-            .iter()
-            .map(|id| VersionEdit::DeleteFile { id: *id })
-            .collect();
-        for f in &outcome.added {
-            edits.push(VersionEdit::AddFile {
-                level: f.level as u64,
-                run: f.run,
-                id: f.id,
-                size: f.size_bytes,
-                created_tick: f.created_tick,
-            });
-        }
-        for seqno in &retirable {
-            edits.push(VersionEdit::DropRangeTombstone { seqno: *seqno });
-        }
-        edits.push(VersionEdit::NextFileId { id: st.next_file_id });
-        st.manifest.append(&EditBatch { edits })?;
-
-        // Physically remove replaced files (not those merely moved).
-        let kept: Vec<u64> = outcome.added.iter().map(|f| f.id).collect();
-        for id in &outcome.deleted_ids {
-            if !kept.contains(id) {
-                let path = sst_path(&inner.dir, *id);
-                if inner.fs.exists(&path) {
-                    inner.fs.delete(&path)?;
+        loop {
+            core.check_background_error()?;
+            core.kick_workers();
+            if !core.has_pending_work() {
+                let idle = core.maint.lock().in_flight == 0;
+                // A worker may have installed new work between the two
+                // checks, so re-verify emptiness after seeing in-flight
+                // drain.
+                if idle && !core.has_pending_work() {
+                    return Ok(());
                 }
             }
+            let mut maint = core.maint.lock();
+            core.done_cv.wait_for(&mut maint, WORKER_TICK);
         }
-        st.version = Arc::new(new_version);
-
-        // Statistics.
-        use std::sync::atomic::Ordering::Relaxed;
-        inner.stats.compactions.fetch_add(1, Relaxed);
-        if task.reason == CompactionReason::TtlExpired {
-            inner.stats.ttl_compactions.fetch_add(1, Relaxed);
-        }
-        inner.stats.compaction_bytes_in.fetch_add(outcome.bytes_in, Relaxed);
-        inner.stats.compaction_bytes_out.fetch_add(outcome.bytes_out, Relaxed);
-        inner.stats.entries_shadowed.fetch_add(outcome.shadowed, Relaxed);
-        inner.stats.entries_range_purged.fetch_add(outcome.range_purged, Relaxed);
-        inner.stats.pages_dropped.fetch_add(outcome.pages_dropped, Relaxed);
-        let d_th = inner
-            .opts
-            .fade
-            .as_ref()
-            .map(|f| f.delete_persistence_threshold);
-        for (delete_tick, _seqno) in &outcome.tombstones_dropped {
-            if std::env::var_os("ACHERON_DEBUG_PURGE").is_some() {
-                if let Some(d) = d_th {
-                    let lat = now.saturating_sub(*delete_tick);
-                    if lat > d {
-                        eprintln!(
-                            "VIOLATION lat={lat} d_th={d} now={now} t0={delete_tick} reason={:?} level={} out={} inputs={:?}",
-                            task.reason, task.level, task.output_level,
-                            task.all_inputs().map(|f| (f.id, f.level, f.stats.oldest_tombstone_tick)).collect::<Vec<_>>()
-                        );
-                    }
-                }
-            }
-            inner.stats.record_tombstone_purge(*delete_tick, now, d_th);
-        }
-        *inner.stats.last_compaction_reason.lock() = Some(format!("{:?}", task.reason));
-        self.recompute_ttl_deadline(st);
-        Ok(())
     }
 
-    /// Recompute the cached earliest-TTL-expiry tick from the current
-    /// tree and buffer.
-    fn recompute_ttl_deadline(&self, st: &mut State) {
-        st.ttl_deadline = self
-            .inner
-            .picker
-            .ttl_schedule()
-            .and_then(|ttl| ttl.next_deadline(st.version.all_files().map(|f| f.as_ref()), &st.mem));
+    /// Quiesce background maintenance until the returned guard is
+    /// dropped: in-flight steps finish, and no new ones start. Useful
+    /// for tests and for taking consistent external backups. Pauses
+    /// nest; writes continue (and may stall if pressure builds while
+    /// maintenance is paused).
+    pub fn pause_maintenance(&self) -> MaintenancePause {
+        let core = Arc::clone(&self.inner.core);
+        core.pause_raw();
+        MaintenancePause { core }
     }
 
     // ------------------------------------------------------------------
@@ -933,7 +935,7 @@ impl Db {
 
     /// Point lookup at the latest state.
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        let snapshot = self.inner.state.read().last_seqno;
+        let snapshot = self.core().state.read().last_seqno;
         self.get_at_seqno(key, snapshot)
     }
 
@@ -943,9 +945,9 @@ impl Db {
     }
 
     fn get_at_seqno(&self, key: &[u8], snapshot: SeqNo) -> Result<Option<Bytes>> {
-        let inner = &self.inner;
-        inner.stats.gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let st = inner.state.read();
+        let core = self.core();
+        core.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let st = core.state.read();
         let visible_rts: Vec<RangeTombstone> = st
             .version
             .range_tombstones
@@ -955,6 +957,9 @@ impl Db {
             .collect();
 
         let mut candidates = st.mem.versions(key, snapshot);
+        for imm in &st.imms {
+            candidates.extend(imm.mem.versions(key, snapshot));
+        }
         for f in st.version.all_files() {
             if f.contains_key(key) {
                 // Read-path page skipping is disabled (`&[]`): the newest
@@ -979,19 +984,21 @@ impl Db {
 
     /// Register a read snapshot at the current sequence number.
     pub fn snapshot(&self) -> Snapshot {
-        let seqno = self.inner.state.read().last_seqno;
-        *self.inner.snapshots.lock().entry(seqno).or_insert(0) += 1;
-        Snapshot { inner: Arc::clone(&self.inner), seqno }
-    }
-
-    fn snapshot_list(&self) -> Vec<SeqNo> {
-        self.inner.snapshots.lock().keys().copied().collect()
+        let core = self.core();
+        // Registration holds the state lock across the snapshots-map
+        // insert so a concurrent compaction cannot pick its snapshot
+        // list between reading `last_seqno` and registering it.
+        let st = core.state.read();
+        let seqno = st.last_seqno;
+        *core.snapshots.lock().entry(seqno).or_insert(0) += 1;
+        drop(st);
+        Snapshot { core: Arc::clone(&self.inner.core), seqno }
     }
 
     /// Range scan over user keys `[lo, hi]` (inclusive) at the latest
     /// state. Returns key/value pairs in order.
     pub fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>> {
-        let snapshot = self.inner.state.read().last_seqno;
+        let snapshot = self.core().state.read().last_seqno;
         self.scan_at_seqno(lo, hi, snapshot)
     }
 
@@ -1016,7 +1023,7 @@ impl Db {
     /// The iterator reads from the version current at creation; writes
     /// issued afterwards are not visible to it.
     pub fn range_iter(&self, lo: &[u8], hi: &[u8]) -> Result<RangeIter> {
-        let snapshot = self.inner.state.read().last_seqno;
+        let snapshot = self.core().state.read().last_seqno;
         self.range_iter_at_seqno(lo, hi, snapshot)
     }
 
@@ -1027,9 +1034,9 @@ impl Db {
 
     fn range_iter_at_seqno(&self, lo: &[u8], hi: &[u8], snapshot: SeqNo) -> Result<RangeIter> {
         use crate::merge::{KvSource, MergeIterator, VecSource};
-        let inner = &self.inner;
-        inner.stats.scans.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let st = inner.state.read();
+        let core = self.core();
+        core.stats.scans.fetch_add(1, Ordering::Relaxed);
+        let st = core.state.read();
         let visible_rts: Vec<RangeTombstone> = st
             .version
             .range_tombstones
@@ -1041,11 +1048,11 @@ impl Db {
         let seek_key = acheron_types::InternalKey::for_seek(lo, MAX_SEQNO);
         let mut sources: Vec<Box<dyn KvSource>> = Vec::new();
 
-        // Memtable: materialize the range (all versions; filtered below).
-        // Bounded by the write-buffer size, so this is cheap even for
-        // huge on-disk ranges.
-        {
-            let mut it = st.mem.iter();
+        // Memtables (active + sealed): materialize the range (all
+        // versions; filtered below). Bounded by the write-buffer size,
+        // so this is cheap even for huge on-disk ranges.
+        for mem in std::iter::once(&st.mem).chain(st.imms.iter().map(|i| i.mem.as_ref())) {
+            let mut it = mem.iter();
             it.seek(seek_key.encoded());
             let mut buf = Vec::new();
             while it.valid() {
@@ -1090,32 +1097,32 @@ impl Db {
 
     /// Engine statistics counters.
     pub fn stats(&self) -> &DbStats {
-        &self.inner.stats
+        &self.core().stats
     }
 
     /// The configured options.
     pub fn options(&self) -> &DbOptions {
-        &self.inner.opts
+        &self.core().opts
     }
 
     /// The filesystem the database lives on (for I/O accounting).
     pub fn vfs(&self) -> Arc<dyn Vfs> {
-        Arc::clone(&self.inner.fs)
+        Arc::clone(&self.core().fs)
     }
 
     /// Current clock tick.
     pub fn now(&self) -> Tick {
-        self.inner.opts.clock.now()
+        self.core().opts.clock.now()
     }
 
     /// Page-cache hit/miss counters, if a cache is configured.
     pub fn cache_stats(&self) -> Option<(u64, u64)> {
-        self.inner.cache.as_ref().map(|c| (c.hits(), c.misses()))
+        self.core().cache.as_ref().map(|c| (c.hits(), c.misses()))
     }
 
     /// Per-level summary of the current tree.
     pub fn level_summary(&self) -> Vec<LevelInfo> {
-        let st = self.inner.state.read();
+        let st = self.core().state.read();
         (0..st.version.levels.len())
             .map(|level| LevelInfo {
                 level,
@@ -1131,36 +1138,43 @@ impl Db {
             .collect()
     }
 
-    /// Point tombstones currently alive anywhere (memtable + tree).
+    /// Point tombstones currently alive anywhere (memtables + tree).
     pub fn live_tombstones(&self) -> u64 {
-        let st = self.inner.state.read();
-        st.version.live_tombstones() + st.mem.stats().tombstones as u64
+        let st = self.core().state.read();
+        let buffered: u64 = std::iter::once(&st.mem)
+            .chain(st.imms.iter().map(|i| i.mem.as_ref()))
+            .map(|m| m.stats().tombstones as u64)
+            .sum();
+        st.version.live_tombstones() + buffered
     }
 
     /// Total table bytes on storage.
     pub fn table_bytes(&self) -> u64 {
-        self.inner.state.read().version.total_bytes()
+        self.core().state.read().version.total_bytes()
     }
 
     /// Live secondary range tombstones.
     pub fn live_range_tombstones(&self) -> Vec<RangeTombstone> {
-        self.inner.state.read().version.range_tombstones.clone()
+        self.core().state.read().version.range_tombstones.clone()
     }
 
     /// Age (at `now`) of the oldest live point tombstone, if any — the
     /// quantity FADE bounds by `D_th`.
     pub fn oldest_live_tombstone_age(&self) -> Option<Tick> {
-        let st = self.inner.state.read();
-        let now = self.inner.opts.clock.now();
+        let st = self.core().state.read();
+        let now = self.core().opts.clock.now();
         let file_oldest = st
             .version
             .all_files()
             .filter_map(|f| f.stats.oldest_tombstone_tick)
             .min();
-        let mem_oldest = st.mem.stats().oldest_tombstone_tick;
+        let buffered_oldest = std::iter::once(&st.mem)
+            .chain(st.imms.iter().map(|i| i.mem.as_ref()))
+            .filter_map(|m| m.stats().oldest_tombstone_tick)
+            .min();
         file_oldest
             .into_iter()
-            .chain(mem_oldest)
+            .chain(buffered_oldest)
             .min()
             .map(|t| now.saturating_sub(t))
     }
@@ -1168,7 +1182,7 @@ impl Db {
     /// Check structural invariants of the current tree (I1/I6): level
     /// ordering, per-file metadata consistency with actual contents.
     pub fn verify_integrity(&self) -> Result<()> {
-        let st = self.inner.state.read();
+        let st = self.core().state.read();
         st.version.check_invariants()?;
         for f in st.version.all_files() {
             let mut it = f.table.iter(vec![]);
@@ -1203,6 +1217,579 @@ impl Db {
             }
         }
         Ok(())
+    }
+}
+
+impl DbCore {
+    /// Whether maintenance runs on background workers (vs inline in the
+    /// write path).
+    fn background(&self) -> bool {
+        self.opts.background_threads > 0
+    }
+
+    /// Allocate a globally unique file id (tables, WALs, manifests).
+    fn alloc_file_id(&self) -> u64 {
+        self.next_file_id.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn snapshot_list(&self) -> Vec<SeqNo> {
+        self.snapshots.lock().keys().copied().collect()
+    }
+
+    /// Recompute the cached earliest-TTL-expiry tick from the current
+    /// tree and all buffers (active + sealed).
+    fn recompute_ttl_deadline(&self, st: &mut State) {
+        let Some(ttl) = self.picker.ttl_schedule() else {
+            st.ttl_deadline = None;
+            return;
+        };
+        let tree = ttl.next_deadline(st.version.all_files().map(|f| f.as_ref()), &st.mem);
+        // Sealed memtables are still "station 0": their tombstones keep
+        // aging against the buffer TTL until their flush installs.
+        let imm = st.imms.iter().filter_map(|i| ttl.buffer_deadline(&i.mem)).min();
+        st.ttl_deadline = tree.into_iter().chain(imm).min();
+    }
+
+    // ------------------------------------------------------------------
+    // Seal / flush / install
+    // ------------------------------------------------------------------
+
+    /// Seal the active memtable onto the flush queue and start a fresh
+    /// memtable + WAL segment. No-op when the memtable is empty. No
+    /// manifest record is written here: until the flush installs, the
+    /// sealed data's durability still comes from its WAL segment, whose
+    /// replay is bounded by the manifest's last `LogNumber`.
+    fn seal_memtable_locked(&self, st: &mut State) -> Result<()> {
+        if st.mem.is_empty() {
+            return Ok(());
+        }
+        let max_seqno = st.mem.max_seqno().expect("non-empty memtable");
+        let new_wal_number = self.alloc_file_id();
+        let new_wal = LogWriter::new(self.fs.create(&wal_path(&self.dir, new_wal_number))?);
+        let sealed_wal = *st.live_wals.last().expect("active wal present");
+        let sealed = std::mem::replace(&mut st.mem, Memtable::new());
+        st.wal = new_wal;
+        st.live_wals.push(new_wal_number);
+        st.imms.push_back(ImmMemtable {
+            mem: Arc::new(sealed),
+            wal_number: sealed_wal,
+            max_seqno,
+        });
+        self.stats.imm_queue_peak.fetch_max(st.imms.len() as u64, Ordering::Relaxed);
+        self.recompute_ttl_deadline(st);
+        Ok(())
+    }
+
+    /// Build an L0 table from a sealed memtable. Pure I/O — callers run
+    /// this without the state lock (background) or with it (inline).
+    fn build_l0_table(&self, mem: &Memtable) -> Result<Option<Arc<FileMeta>>> {
+        let now = self.opts.clock.now();
+        let id = self.alloc_file_id();
+        // Entries are flushed as-is; range-erased versions are purged at
+        // bottommost compactions (purging here could let older, deeper
+        // versions decide reads).
+        write_l0_table(
+            &self.fs,
+            &self.dir,
+            &self.opts,
+            self.cache.as_ref(),
+            mem.entries(),
+            id,
+            id,
+            now,
+        )
+    }
+
+    /// Install a built L0 table for the *front* sealed memtable: manifest
+    /// record first, then WAL retirement, then version publish — the
+    /// crash-safety ordering the seed engine established.
+    fn install_flush_locked(&self, st: &mut State, file: Option<Arc<FileMeta>>) -> Result<()> {
+        let imm = st.imms.pop_front().expect("a sealed memtable is queued");
+        // WAL segments strictly older than the next live one (the next
+        // queued memtable's segment, or the active segment) are covered
+        // by this install's PersistedSeqno and can be retired.
+        let next_live_wal = st
+            .imms
+            .front()
+            .map(|i| i.wal_number)
+            .unwrap_or_else(|| *st.live_wals.last().expect("active wal present"));
+        let mut edits = vec![
+            VersionEdit::PersistedSeqno { seqno: imm.max_seqno },
+            VersionEdit::LogNumber { number: next_live_wal },
+            VersionEdit::NextFileId { id: self.next_file_id.load(Ordering::SeqCst) },
+        ];
+        if let Some(f) = &file {
+            edits.insert(
+                0,
+                VersionEdit::AddFile {
+                    level: 0,
+                    run: f.run,
+                    id: f.id,
+                    size: f.size_bytes,
+                    created_tick: f.created_tick,
+                },
+            );
+            self.stats.compaction_bytes_out.fetch_add(f.size_bytes, Ordering::Relaxed);
+        }
+        st.manifest.append(&EditBatch { edits })?;
+
+        // Retire WAL segments only after the manifest's LogNumber no
+        // longer references them.
+        let (retired, kept): (Vec<u64>, Vec<u64>) = std::mem::take(&mut st.live_wals)
+            .into_iter()
+            .partition(|n| *n < next_live_wal);
+        st.live_wals = kept;
+        for old in retired {
+            let path = wal_path(&self.dir, old);
+            if self.fs.exists(&path) {
+                self.fs.delete(&path)?;
+            }
+        }
+
+        if let Some(f) = file {
+            st.version = Arc::new(st.version.apply(vec![f], &[], &[], &[]));
+        }
+        st.persisted_seqno = st.persisted_seqno.max(imm.max_seqno);
+        self.recompute_ttl_deadline(st);
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drain the sealed-memtable queue inline (state lock held). Used by
+    /// the synchronous mode and by paused foreground maintenance.
+    fn flush_imms_locked(&self, st: &mut State) -> Result<()> {
+        while let Some(front) = st.imms.front() {
+            let mem = Arc::clone(&front.mem);
+            let file = self.build_l0_table(&mem)?;
+            self.install_flush_locked(st, file)?;
+        }
+        Ok(())
+    }
+
+    /// Background flush of the front sealed memtable: build the table
+    /// off-lock, then install under the state lock. Returns whether a
+    /// flush happened. Callers must hold the `flush_claimed` ticket —
+    /// combined with pauses draining `in_flight` before any foreground
+    /// flush, that makes the front of the queue stable for the builder.
+    fn flush_front_imm(&self) -> Result<bool> {
+        let mem = {
+            let st = self.state.read();
+            match st.imms.front() {
+                Some(i) => Arc::clone(&i.mem),
+                None => return Ok(false),
+            }
+        };
+        let started = Instant::now();
+        let file = self.build_l0_table(&mem)?;
+        {
+            let mut st = self.state.write();
+            self.install_flush_locked(&mut st, file)?;
+        }
+        self.stats.flush_micros.record(started.elapsed().as_micros() as u64);
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction
+    // ------------------------------------------------------------------
+
+    /// Run saturation/TTL compactions inline until the picker is
+    /// quiescent (state lock held).
+    fn maintain_locked(&self, st: &mut State) -> Result<()> {
+        for _ in 0..MAX_COMPACTIONS_PER_PASS {
+            let now = self.opts.clock.now();
+            let Some(task) = self.picker.pick(&st.version, now) else {
+                return Ok(());
+            };
+            self.run_task_locked(st, &task)?;
+        }
+        Err(Error::Internal(
+            "compaction did not converge within the per-pass bound".into(),
+        ))
+    }
+
+    /// Execute one compaction task inline: run it against the current
+    /// version, then install the outcome (state lock held throughout).
+    fn run_task_locked(&self, st: &mut State, task: &CompactionTask) -> Result<()> {
+        let now = self.opts.clock.now();
+        let snapshots = self.snapshot_list();
+        let outcome = run_compaction(
+            &self.fs,
+            &self.dir,
+            &self.opts,
+            self.cache.as_ref(),
+            &st.version,
+            task,
+            &snapshots,
+            now,
+            || self.alloc_file_id(),
+        )?;
+        self.install_compaction_locked(st, task, outcome, now)
+    }
+
+    /// Background variant: merge against the version captured when the
+    /// task was claimed (disjointness is guaranteed by the picker's
+    /// claim marks), then install against the *current* version. Sound
+    /// because concurrent installs are key- and file-disjoint, newer L0
+    /// flushes only add data above the inputs, and snapshots registered
+    /// after the claim hold seqnos at or above everything in the inputs.
+    fn run_claimed_compaction(&self, version: &Version, task: &CompactionTask) -> Result<()> {
+        let started = Instant::now();
+        let now = self.opts.clock.now();
+        let snapshots = self.snapshot_list();
+        let outcome = run_compaction(
+            &self.fs,
+            &self.dir,
+            &self.opts,
+            self.cache.as_ref(),
+            version,
+            task,
+            &snapshots,
+            now,
+            || self.alloc_file_id(),
+        )?;
+        {
+            let mut st = self.state.write();
+            self.install_compaction_locked(&mut st, task, outcome, now)?;
+        }
+        self.stats.compaction_micros.record(started.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
+    /// Apply a compaction outcome: version delta, range-tombstone
+    /// retirement, manifest record, physical deletes, statistics. The
+    /// ordering invariant is manifest-append before version publish and
+    /// before any physical file deletion.
+    fn install_compaction_locked(
+        &self,
+        st: &mut State,
+        task: &CompactionTask,
+        outcome: crate::compaction::CompactionOutcome,
+        now: Tick,
+    ) -> Result<()> {
+        // Apply to the version first so range-tombstone retirement sees
+        // the post-compaction file set. A tombstone is retirable only if
+        // no *buffer* (active or sealed memtable) holds anything it
+        // could still shadow either — un-flushed covered entries must
+        // remain shadowed once they reach disk.
+        let mut new_version =
+            st.version.apply(outcome.added.clone(), &outcome.deleted_ids, &[], &[]);
+        let mut retirable = new_version.retirable_range_tombstones();
+        if !retirable.is_empty() {
+            let mut buffers: Vec<(SeqNo, u64, u64)> = Vec::new();
+            for m in std::iter::once(&st.mem).chain(st.imms.iter().map(|i| i.mem.as_ref())) {
+                let stats = m.stats();
+                if let (Some(min_seq), Some(lo), Some(hi)) =
+                    (m.min_seqno(), stats.min_dkey, stats.max_dkey)
+                {
+                    buffers.push((min_seq, lo, hi));
+                }
+            }
+            let rts = st.version.range_tombstones.clone();
+            retirable.retain(|seqno| {
+                !rts.iter().any(|rt| {
+                    rt.seqno == *seqno
+                        && buffers
+                            .iter()
+                            .any(|(ms, lo, hi)| *ms < rt.seqno && rt.range.overlaps(*lo, *hi))
+                })
+            });
+        }
+        if !retirable.is_empty() {
+            new_version = new_version.apply(vec![], &[], &[], &retirable);
+        }
+
+        // Manifest record (deletes first so trivial moves replay
+        // correctly).
+        let mut edits: Vec<VersionEdit> = outcome
+            .deleted_ids
+            .iter()
+            .map(|id| VersionEdit::DeleteFile { id: *id })
+            .collect();
+        for f in &outcome.added {
+            edits.push(VersionEdit::AddFile {
+                level: f.level as u64,
+                run: f.run,
+                id: f.id,
+                size: f.size_bytes,
+                created_tick: f.created_tick,
+            });
+        }
+        for seqno in &retirable {
+            edits.push(VersionEdit::DropRangeTombstone { seqno: *seqno });
+        }
+        edits.push(VersionEdit::NextFileId { id: self.next_file_id.load(Ordering::SeqCst) });
+        st.manifest.append(&EditBatch { edits })?;
+
+        // Physically remove replaced files (not those merely moved).
+        let kept: Vec<u64> = outcome.added.iter().map(|f| f.id).collect();
+        for id in &outcome.deleted_ids {
+            if !kept.contains(id) {
+                let path = sst_path(&self.dir, *id);
+                if self.fs.exists(&path) {
+                    self.fs.delete(&path)?;
+                }
+            }
+        }
+        st.version = Arc::new(new_version);
+
+        // Statistics.
+        use std::sync::atomic::Ordering::Relaxed;
+        self.stats.compactions.fetch_add(1, Relaxed);
+        if task.reason == CompactionReason::TtlExpired {
+            self.stats.ttl_compactions.fetch_add(1, Relaxed);
+        }
+        self.stats.compaction_bytes_in.fetch_add(outcome.bytes_in, Relaxed);
+        self.stats.compaction_bytes_out.fetch_add(outcome.bytes_out, Relaxed);
+        self.stats.entries_shadowed.fetch_add(outcome.shadowed, Relaxed);
+        self.stats.entries_range_purged.fetch_add(outcome.range_purged, Relaxed);
+        self.stats.pages_dropped.fetch_add(outcome.pages_dropped, Relaxed);
+        let d_th = self.opts.fade.as_ref().map(|f| f.delete_persistence_threshold);
+        for (delete_tick, _seqno) in &outcome.tombstones_dropped {
+            if std::env::var_os("ACHERON_DEBUG_PURGE").is_some() {
+                if let Some(d) = d_th {
+                    let lat = now.saturating_sub(*delete_tick);
+                    if lat > d {
+                        eprintln!(
+                            "VIOLATION lat={lat} d_th={d} now={now} t0={delete_tick} reason={:?} level={} out={} inputs={:?}",
+                            task.reason, task.level, task.output_level,
+                            task.all_inputs().map(|f| (f.id, f.level, f.stats.oldest_tombstone_tick)).collect::<Vec<_>>()
+                        );
+                    }
+                }
+            }
+            self.stats.record_tombstone_purge(*delete_tick, now, d_th);
+        }
+        *self.stats.last_compaction_reason.lock() = Some(format!("{:?}", task.reason));
+        self.recompute_ttl_deadline(st);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Background executor
+    // ------------------------------------------------------------------
+
+    /// Worker thread body: claim a step, run it, repeat; sleep (with a
+    /// periodic re-poll, so clock-driven TTL expiry is noticed) when
+    /// there is nothing to do, while paused, and after an error.
+    fn worker_loop(core: Arc<DbCore>) {
+        loop {
+            let mut maint = core.maint.lock();
+            if maint.shutdown {
+                return;
+            }
+            if maint.pause_depth > 0 || maint.error.is_some() {
+                core.work_cv.wait_for(&mut maint, WORKER_TICK);
+                continue;
+            }
+            // `in_flight` is bumped under the same critical section that
+            // observed `pause_depth == 0`, so a pause that begins after
+            // this point waits for the step below to finish.
+            let seen_kicks = maint.kicks;
+            maint.in_flight += 1;
+            drop(maint);
+
+            let outcome = core.run_one_maintenance_step();
+
+            let mut maint = core.maint.lock();
+            maint.in_flight -= 1;
+            core.done_cv.notify_all();
+            match outcome {
+                Ok(true) => {} // made progress: immediately look again
+                Ok(false) => {
+                    if maint.kicks == seen_kicks && !maint.shutdown {
+                        core.work_cv.wait_for(&mut maint, WORKER_TICK);
+                    }
+                }
+                Err(e) => {
+                    if maint.error.is_none() {
+                        maint.error = Some(e.to_string());
+                    }
+                    core.stats.background_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Perform at most one unit of maintenance, most urgent first:
+    /// seal a TTL-expired write buffer, flush the oldest sealed
+    /// memtable, or run one claimed compaction. Returns whether any
+    /// work was done.
+    fn run_one_maintenance_step(&self) -> Result<bool> {
+        // 1. FADE: a tombstone in the active buffer ran out its station
+        //    budget — seal so the flush (next step) starts its descent.
+        if let Some(ttl) = self.picker.ttl_schedule() {
+            let expired = {
+                let st = self.state.read();
+                ttl.buffer_expired(&st.mem, self.opts.clock.now())
+            };
+            if expired {
+                let mut st = self.state.write();
+                // Re-check under the write lock: a racing writer may
+                // have sealed already.
+                if ttl.buffer_expired(&st.mem, self.opts.clock.now()) {
+                    self.seal_memtable_locked(&mut st)?;
+                    return Ok(true);
+                }
+            }
+        }
+        // 2. Flush the front of the sealed queue (single flusher keeps
+        //    installs in seqno order).
+        if self
+            .flush_claimed
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            let flushed = self.flush_front_imm();
+            self.flush_claimed.store(false, Ordering::SeqCst);
+            if flushed? {
+                return Ok(true);
+            }
+        }
+        // 3. One compaction, claimed so concurrent workers never touch
+        //    overlapping inputs.
+        let picked = {
+            let st = self.state.read();
+            let now = self.opts.clock.now();
+            self.picker
+                .pick_claimed(&st.version, now)
+                .map(|(task, claim)| (task, claim, Arc::clone(&st.version)))
+        };
+        if let Some((task, claim, version)) = picked {
+            let result = self.run_claimed_compaction(&version, &task);
+            self.picker.release(claim);
+            result?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Wake all workers (and bump the kick counter so a worker that was
+    /// mid-step re-polls instead of sleeping).
+    fn kick_workers(&self) {
+        if !self.background() {
+            return;
+        }
+        {
+            let mut maint = self.maint.lock();
+            maint.kicks = maint.kicks.wrapping_add(1);
+        }
+        self.work_cv.notify_all();
+    }
+
+    /// Ask workers to exit and wake them; called from `DbInner::drop`
+    /// (which then joins them) and from a failed `open`.
+    fn request_shutdown(&self) {
+        {
+            let mut maint = self.maint.lock();
+            maint.shutdown = true;
+        }
+        self.work_cv.notify_all();
+    }
+
+    /// Enter a pause: no new steps start, and any in-flight step is
+    /// drained before this returns.
+    fn pause_raw(&self) {
+        let mut maint = self.maint.lock();
+        maint.pause_depth += 1;
+        while maint.in_flight > 0 {
+            self.done_cv.wait_for(&mut maint, WORKER_TICK);
+        }
+    }
+
+    fn unpause_raw(&self) {
+        {
+            let mut maint = self.maint.lock();
+            maint.pause_depth -= 1;
+        }
+        self.work_cv.notify_all();
+    }
+
+    /// Scoped pause used by foreground maintenance entry points.
+    fn paused(&self) -> PauseGuard<'_> {
+        self.pause_raw();
+        PauseGuard { core: self }
+    }
+
+    /// Surface the sticky background error, if any.
+    fn check_background_error(&self) -> Result<()> {
+        match &self.maint.lock().error {
+            Some(e) => Err(Error::Internal(format!("background maintenance failed: {e}"))),
+            None => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Write throttling
+    // ------------------------------------------------------------------
+
+    /// Current pressure gauges: (L0 file count, sealed-queue depth).
+    fn pressure(&self) -> (usize, usize) {
+        let st = self.state.read();
+        (st.version.level_files(0), st.imms.len())
+    }
+
+    /// Whether background work can still reduce the pressure. Guards the
+    /// stall loop against waiting forever on a tree the picker considers
+    /// final (e.g. a misconfigured stall limit below the picker's own
+    /// triggers).
+    fn reducible_pressure(&self) -> bool {
+        let st = self.state.read();
+        if !st.imms.is_empty() {
+            return true;
+        }
+        self.picker.pick(&st.version, self.opts.clock.now()).is_some()
+    }
+
+    /// Backpressure, applied before each write takes any lock: delay
+    /// briefly at the soft L0 limit; at a hard limit (L0 or sealed
+    /// queue), block until workers bring the gauge back down.
+    fn throttle_writes(&self) -> Result<()> {
+        if !self.background() {
+            return Ok(());
+        }
+        let (l0, imms) = self.pressure();
+        let stall =
+            l0 >= self.opts.l0_stall_files || imms >= self.opts.max_imm_memtables;
+        if stall {
+            let started = Instant::now();
+            self.stats.write_stalls.fetch_add(1, Ordering::Relaxed);
+            self.kick_workers();
+            loop {
+                self.check_background_error()?;
+                let (l0, imms) = self.pressure();
+                if l0 < self.opts.l0_stall_files && imms < self.opts.max_imm_memtables {
+                    break;
+                }
+                if !self.reducible_pressure() {
+                    break;
+                }
+                let mut maint = self.maint.lock();
+                self.done_cv.wait_for(&mut maint, STALL_RECHECK);
+            }
+            self.stats.stall_micros.record(started.elapsed().as_micros() as u64);
+        } else if l0 >= self.opts.l0_slowdown_files {
+            self.stats.write_slowdowns.fetch_add(1, Ordering::Relaxed);
+            self.kick_workers();
+            std::thread::sleep(SLOWDOWN_DELAY);
+        }
+        Ok(())
+    }
+
+    /// Whether any maintenance work is currently visible (used by
+    /// [`Db::wait_idle`]).
+    fn has_pending_work(&self) -> bool {
+        let st = self.state.read();
+        if !st.imms.is_empty() {
+            return true;
+        }
+        let now = self.opts.clock.now();
+        if let Some(ttl) = self.picker.ttl_schedule() {
+            if ttl.buffer_expired(&st.mem, now) {
+                return true;
+            }
+        }
+        self.picker.pick(&st.version, now).is_some()
     }
 }
 

@@ -89,10 +89,20 @@ impl TtlSchedule {
 
     /// True if the write buffer holds a tombstone past its budget.
     pub fn buffer_expired(&self, mem: &Memtable, now: Tick) -> bool {
-        match mem.stats().oldest_tombstone_tick {
-            Some(t0) => now.saturating_sub(t0) > self.buffer_ttl(),
+        match self.buffer_deadline(mem) {
+            Some(deadline) => now > deadline,
             None => false,
         }
+    }
+
+    /// Absolute tick by which `mem`'s oldest tombstone must leave the
+    /// buffer (`None` when it holds no tombstone). Sealed memtables
+    /// awaiting flush are still "station 0", so the background executor
+    /// applies this to them too when scheduling its next wake-up.
+    pub fn buffer_deadline(&self, mem: &Memtable) -> Option<Tick> {
+        mem.stats()
+            .oldest_tombstone_tick
+            .map(|t0| t0.saturating_add(self.buffer_ttl()))
     }
 
     /// True if `file` (at its level) holds an expired tombstone at
@@ -129,10 +139,7 @@ impl TtlSchedule {
                     .map(|t0| t0.saturating_add(self.deadline(f.level)))
             })
             .min();
-        let mem_deadline = mem
-            .stats()
-            .oldest_tombstone_tick
-            .map(|t0| t0.saturating_add(self.buffer_ttl()));
+        let mem_deadline = self.buffer_deadline(mem);
         file_deadline.into_iter().chain(mem_deadline).min()
     }
 

@@ -32,6 +32,17 @@
 //! db.delete(b"user:7").unwrap();
 //! assert_eq!(db.get(b"user:7").unwrap(), None);
 //! ```
+//!
+//! ## Concurrency
+//!
+//! With the default options, flushes and compactions run on background
+//! worker threads and writes are throttled when the engine falls behind
+//! ([`options::DbOptions::background_threads`]); with
+//! `background_threads = 0` (the [`options::DbOptions::small`] preset)
+//! all maintenance runs synchronously inside the write path, which makes
+//! runs deterministic. See `ARCHITECTURE.md` for the full model.
+
+#![warn(missing_docs)]
 
 pub mod compaction;
 pub mod db;
@@ -47,7 +58,7 @@ pub mod stats;
 pub(crate) mod testutil;
 pub mod version;
 
-pub use db::{Db, LevelInfo, RangeIter, Snapshot, WriteBatch};
+pub use db::{Db, LevelInfo, MaintenancePause, RangeIter, Snapshot, WriteBatch};
 pub use options::{CompactionLayout, DbOptions, FadeOptions, FilePickPolicy, TtlAllocation};
 pub use doctor::{check_db, DoctorReport};
 pub use stats::DbStats;

@@ -18,25 +18,49 @@ use bytes::Bytes;
 pub enum VersionEdit {
     /// A new table file exists at (level, run).
     AddFile {
+        /// LSM level the file joins.
         level: u64,
+        /// Run within the level.
         run: u64,
+        /// File id (names the `.sst` file).
         id: u64,
+        /// File size in bytes.
         size: u64,
         /// Tick the file was created at (seeds FADE aging on recovery).
         created_tick: u64,
     },
     /// A table file is obsolete.
-    DeleteFile { id: u64 },
+    DeleteFile {
+        /// Id of the obsolete file.
+        id: u64,
+    },
     /// A secondary range delete was committed.
-    AddRangeTombstone { seqno: SeqNo, range: DeleteKeyRange },
+    AddRangeTombstone {
+        /// Commit sequence number of the range delete.
+        seqno: SeqNo,
+        /// Covered delete-key range.
+        range: DeleteKeyRange,
+    },
     /// A range tombstone is fully applied and retired.
-    DropRangeTombstone { seqno: SeqNo },
+    DropRangeTombstone {
+        /// Sequence number of the retired tombstone.
+        seqno: SeqNo,
+    },
     /// All operations with seqno <= this are durable in table files.
-    PersistedSeqno { seqno: SeqNo },
+    PersistedSeqno {
+        /// The persisted sequence number.
+        seqno: SeqNo,
+    },
     /// WAL files numbered below this are obsolete.
-    LogNumber { number: u64 },
+    LogNumber {
+        /// Oldest WAL segment that must still replay.
+        number: u64,
+    },
     /// Lower bound for new file numbers.
-    NextFileId { id: u64 },
+    NextFileId {
+        /// Next free file id.
+        id: u64,
+    },
 }
 
 const TAG_ADD_FILE: u8 = 1;

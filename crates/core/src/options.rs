@@ -108,6 +108,23 @@ pub struct DbOptions {
     pub block_cache_bytes: usize,
     /// Sync the WAL on every commit.
     pub wal_sync: bool,
+    /// Background maintenance threads owning flushes and compactions.
+    /// `0` runs all maintenance synchronously inside the write path (the
+    /// deterministic mode experiments use); the default is one less than
+    /// the machine's available parallelism. See `ARCHITECTURE.md` for
+    /// the executor's concurrency model.
+    pub background_threads: usize,
+    /// Soft L0 limit: at or above this many L0 files, each write is
+    /// briefly delayed so maintenance can catch up. Only meaningful with
+    /// `background_threads > 0`.
+    pub l0_slowdown_files: usize,
+    /// Hard L0 limit: at or above this many L0 files, writes block until
+    /// compaction brings the count back down. Must be >=
+    /// `l0_slowdown_files`. Only meaningful with `background_threads > 0`.
+    pub l0_stall_files: usize,
+    /// Maximum sealed (immutable) memtables queued for flush before
+    /// writes stall. Only meaningful with `background_threads > 0`.
+    pub max_imm_memtables: usize,
     /// Clock used for tombstone aging; defaults to a logical clock that
     /// the engine advances once per write operation.
     pub clock: Arc<dyn Clock>,
@@ -126,6 +143,7 @@ impl std::fmt::Debug for DbOptions {
             .field("layout", &self.layout)
             .field("fade", &self.fade)
             .field("pages_per_tile", &self.pages_per_tile)
+            .field("background_threads", &self.background_threads)
             .finish_non_exhaustive()
     }
 }
@@ -147,6 +165,11 @@ impl Default for DbOptions {
             bloom_bits_per_key: 10,
             block_cache_bytes: 0,
             wal_sync: false,
+            background_threads: std::thread::available_parallelism()
+                .map_or(1, |n| n.get().saturating_sub(1)),
+            l0_slowdown_files: 8,
+            l0_stall_files: 16,
+            max_imm_memtables: 2,
             clock: Arc::new(LogicalClock::new()),
             auto_advance_clock: true,
         }
@@ -162,6 +185,9 @@ impl DbOptions {
             level1_target_bytes: 64 << 10,
             target_file_bytes: 16 << 10,
             page_size: 1024,
+            // Synchronous maintenance: a given op sequence always
+            // produces the same tree, which the experiments rely on.
+            background_threads: 0,
             ..DbOptions::default()
         }
     }
@@ -211,6 +237,20 @@ impl DbOptions {
         if self.pages_per_tile == 0 {
             return Err(Error::invalid_argument("pages_per_tile must be >= 1"));
         }
+        if self.l0_slowdown_files == 0 {
+            return Err(Error::invalid_argument("l0_slowdown_files must be >= 1"));
+        }
+        if self.l0_stall_files < self.l0_slowdown_files {
+            return Err(Error::invalid_argument(
+                "l0_stall_files must be >= l0_slowdown_files",
+            ));
+        }
+        if self.max_imm_memtables == 0 {
+            return Err(Error::invalid_argument("max_imm_memtables must be >= 1"));
+        }
+        if self.background_threads > 512 {
+            return Err(Error::invalid_argument("background_threads must be <= 512"));
+        }
         Ok(())
     }
 
@@ -246,6 +286,26 @@ mod tests {
         );
         assert!(DbOptions::default().with_fade(0).validate().is_err());
         assert!(DbOptions { pages_per_tile: 0, ..DbOptions::default() }.validate().is_err());
+        assert!(
+            DbOptions { l0_slowdown_files: 0, ..DbOptions::default() }.validate().is_err()
+        );
+        assert!(DbOptions { l0_stall_files: 2, l0_slowdown_files: 4, ..DbOptions::default() }
+            .validate()
+            .is_err());
+        assert!(
+            DbOptions { max_imm_memtables: 0, ..DbOptions::default() }.validate().is_err()
+        );
+        assert!(
+            DbOptions { background_threads: 10_000, ..DbOptions::default() }
+                .validate()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn small_options_are_synchronous() {
+        // Experiments and unit tests rely on small() being deterministic.
+        assert_eq!(DbOptions::small().background_threads, 0);
     }
 
     #[test]

@@ -78,13 +78,39 @@ impl CompactionTask {
     }
 }
 
-/// Stateful compaction picker (per-DB; holds round-robin cursors and the
-/// FADE TTL schedule).
+/// A registered in-flight compaction: releases its claim marks when
+/// passed back to [`Picker::release`]. Obtained from
+/// [`Picker::pick_claimed`]; exactly one claim exists per running
+/// background compaction.
+#[derive(Debug)]
+pub struct CompactionClaim {
+    id: u64,
+}
+
+/// Claim marks for one in-flight compaction: the levels it reads and
+/// writes, its input file ids, and its user-key span. A candidate task
+/// conflicts (and is not handed out) when it shares a file id or its key
+/// span overlaps — so two workers never compact overlapping inputs and
+/// never install overlapping outputs into the same run.
+#[derive(Debug)]
+struct InFlightMark {
+    id: u64,
+    input_level: usize,
+    output_level: usize,
+    file_ids: Vec<u64>,
+    key_range: Option<(Bytes, Bytes)>,
+}
+
+/// Stateful compaction picker (per-DB; holds round-robin cursors, the
+/// FADE TTL schedule, and the in-flight claim marks the background
+/// executor uses to keep concurrent compactions disjoint).
 pub struct Picker {
     opts: DbOptions,
     ttl: Option<TtlSchedule>,
     /// Round-robin cursor per level: the max user key compacted last.
     cursors: Mutex<Vec<Option<Bytes>>>,
+    /// `(next claim id, marks of running compactions)`.
+    in_flight: Mutex<(u64, Vec<InFlightMark>)>,
 }
 
 impl Picker {
@@ -95,12 +121,64 @@ impl Picker {
             opts: opts.clone(),
             ttl,
             cursors: Mutex::new(vec![None; opts.max_levels]),
+            in_flight: Mutex::new((0, Vec::new())),
         }
     }
 
     /// The TTL schedule, if FADE is enabled.
     pub fn ttl_schedule(&self) -> Option<&TtlSchedule> {
         self.ttl.as_ref()
+    }
+
+    /// Pick the most urgent compaction and register it as in flight, or
+    /// `None` when there is nothing to do *or* the urgent task overlaps
+    /// a compaction already running (the caller retries after the
+    /// conflicting task installs). Callers must pass the returned claim
+    /// to [`Picker::release`] once the task has been installed or
+    /// abandoned.
+    pub fn pick_claimed(
+        &self,
+        version: &Version,
+        now: Tick,
+    ) -> Option<(CompactionTask, CompactionClaim)> {
+        let task = self.pick(version, now)?;
+        let file_ids: Vec<u64> = task.all_inputs().map(|f| f.id).collect();
+        let key_range = task.key_range();
+        let mut guard = self.in_flight.lock();
+        let (next_id, marks) = &mut *guard;
+        let conflicts = marks.iter().any(|m| {
+            m.file_ids.iter().any(|id| file_ids.contains(id))
+                || spans_overlap(&m.key_range, &key_range)
+        });
+        if conflicts {
+            return None;
+        }
+        let id = *next_id;
+        *next_id += 1;
+        marks.push(InFlightMark {
+            id,
+            input_level: task.level,
+            output_level: task.output_level,
+            file_ids,
+            key_range,
+        });
+        Some((task, CompactionClaim { id }))
+    }
+
+    /// Drop the in-flight mark registered by [`Picker::pick_claimed`].
+    pub fn release(&self, claim: CompactionClaim) {
+        self.in_flight.lock().1.retain(|m| m.id != claim.id);
+    }
+
+    /// Levels currently touched by in-flight compactions, as
+    /// `(input level, output level)` pairs (introspection/debugging).
+    pub fn in_flight_levels(&self) -> Vec<(usize, usize)> {
+        self.in_flight
+            .lock()
+            .1
+            .iter()
+            .map(|m| (m.input_level, m.output_level))
+            .collect()
     }
 
     /// Pick the most urgent compaction, if any.
@@ -334,6 +412,16 @@ fn key_span(files: &[Arc<FileMeta>]) -> Option<(Bytes, Bytes)> {
         hi = Some(hi.map_or(f.max_key().clone(), |c: Bytes| c.max(f.max_key().clone())));
     }
     Some((lo?, hi?))
+}
+
+/// Whether two key spans intersect. A `None` span (task with only empty
+/// tables) is treated as conflicting with nothing — such tasks touch no
+/// user keys, so concurrent installs cannot produce overlapping runs.
+fn spans_overlap(a: &Option<(Bytes, Bytes)>, b: &Option<(Bytes, Bytes)>) -> bool {
+    match (a, b) {
+        (Some((alo, ahi)), Some((blo, bhi))) => alo <= bhi && blo <= ahi,
+        _ => false,
+    }
 }
 
 #[cfg(test)]

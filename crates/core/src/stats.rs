@@ -120,6 +120,22 @@ pub struct DbStats {
     pub persistence_violations: AtomicU64,
     /// Ticks of the most recent compaction per reason, for debugging.
     pub last_compaction_reason: Mutex<Option<String>>,
+    /// Stall episodes: writes that blocked on the hard L0 / sealed-
+    /// memtable limits until background maintenance caught up.
+    pub write_stalls: AtomicU64,
+    /// Writes briefly delayed because L0 reached the soft limit.
+    pub write_slowdowns: AtomicU64,
+    /// Wall-clock microseconds per stall episode.
+    pub stall_micros: LatencyHistogram,
+    /// Wall-clock microseconds per memtable flush (table build through
+    /// manifest install).
+    pub flush_micros: LatencyHistogram,
+    /// Wall-clock microseconds per compaction (merge through install).
+    pub compaction_micros: LatencyHistogram,
+    /// Deepest the sealed-memtable queue has ever grown.
+    pub imm_queue_peak: AtomicU64,
+    /// Failures recorded by the background maintenance executor.
+    pub background_errors: AtomicU64,
 }
 
 impl DbStats {

@@ -10,6 +10,8 @@
 //! Everything above (memtable, WAL, SSTables, the engine) speaks in these
 //! types; nothing here performs I/O.
 
+#![warn(missing_docs)]
+
 pub mod checksum;
 pub mod clock;
 pub mod codec;

@@ -18,6 +18,9 @@ use rand::prelude::*;
 /// Construction (BoDS-style): start from the identity, pick `⌊k·n⌋`
 /// positions, and swap each with a partner up to `l` slots away. Both
 /// elements of a swap become out-of-order, displaced by at most `l`.
+/// Elements already displaced by an earlier swap are never picked again
+/// (bounded resampling), so swap chains cannot compound a displacement
+/// beyond `l` and the advertised L-bound holds exactly.
 pub fn near_sorted_stream(n: u64, k_fraction: f64, l_max: u64, seed: u64) -> Vec<u64> {
     assert!((0.0..=1.0).contains(&k_fraction), "k must be a fraction");
     let mut keys: Vec<u64> = (0..n).collect();
@@ -26,15 +29,23 @@ pub fn near_sorted_stream(n: u64, k_fraction: f64, l_max: u64, seed: u64) -> Vec
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let swaps = ((k_fraction * n as f64) / 2.0).round() as u64;
+    let mut touched = vec![false; n as usize];
     for _ in 0..swaps {
-        let i = rng.gen_range(0..n) as usize;
-        let displacement = rng.gen_range(1..=l_max) as usize;
-        let j = if rng.gen_bool(0.5) && i >= displacement {
-            i - displacement
-        } else {
-            (i + displacement).min(n as usize - 1)
-        };
-        keys.swap(i, j);
+        for _attempt in 0..8 {
+            let i = rng.gen_range(0..n) as usize;
+            let displacement = rng.gen_range(1..=l_max) as usize;
+            let j = if rng.gen_bool(0.5) && i >= displacement {
+                i - displacement
+            } else {
+                (i + displacement).min(n as usize - 1)
+            };
+            if i != j && !touched[i] && !touched[j] {
+                keys.swap(i, j);
+                touched[i] = true;
+                touched[j] = true;
+                break;
+            }
+        }
     }
     keys
 }

@@ -1,0 +1,250 @@
+//! Background maintenance executor tests: writes proceed while flushes
+//! and compactions run on worker threads, FADE deadlines are met without
+//! manual `maintain()` calls, the hard write-stall limit engages and
+//! releases, and `background_threads = 0` keeps runs deterministic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acheron::{Db, DbOptions};
+use acheron_vfs::MemFs;
+
+fn opts(background_threads: usize) -> DbOptions {
+    DbOptions {
+        write_buffer_bytes: 8 << 10,
+        level1_target_bytes: 32 << 10,
+        target_file_bytes: 16 << 10,
+        page_size: 1024,
+        max_levels: 4,
+        background_threads,
+        ..DbOptions::default()
+    }
+}
+
+/// Writers and readers make progress while workers own every flush and
+/// compaction: nothing is lost, reads never regress, and the tree stays
+/// structurally sound — with no manual maintenance call anywhere.
+#[test]
+fn writers_and_readers_race_background_maintenance() {
+    let db = Db::open(Arc::new(MemFs::new()), "db", opts(2)).unwrap();
+    let stop = AtomicBool::new(false);
+    const WRITERS: u64 = 4;
+    const KEYS_PER_WRITER: u64 = 1200;
+
+    crossbeam::scope(|s| {
+        for w in 0..WRITERS {
+            let db = db.clone();
+            s.spawn(move |_| {
+                for round in 0u64..3 {
+                    for k in 0..KEYS_PER_WRITER {
+                        let key = format!("w{w}-key{k:05}");
+                        db.put(key.as_bytes(), format!("{round:020}").as_bytes()).unwrap();
+                    }
+                }
+            });
+        }
+        for t in 0..2u64 {
+            let db = db.clone();
+            let stop = &stop;
+            s.spawn(move |_| {
+                let mut last_seen: Vec<u64> = vec![0; KEYS_PER_WRITER as usize];
+                let mut k = t;
+                while !stop.load(Ordering::Acquire) {
+                    k = (k + 37) % KEYS_PER_WRITER;
+                    let key = format!("w{t}-key{k:05}");
+                    if let Some(v) = db.get(key.as_bytes()).unwrap() {
+                        let round: u64 = std::str::from_utf8(&v)
+                            .unwrap()
+                            .trim_start_matches('0')
+                            .parse()
+                            .unwrap_or(0);
+                        assert!(
+                            round >= last_seen[k as usize],
+                            "value regressed for {key}: {round} < {}",
+                            last_seen[k as usize]
+                        );
+                        last_seen[k as usize] = round;
+                    }
+                }
+            });
+        }
+        // Writers finish first; then release the readers.
+        s.spawn(|_| {}).join().unwrap();
+        stop.store(true, Ordering::Release);
+    })
+    .unwrap();
+
+    db.wait_idle().unwrap();
+    use std::sync::atomic::Ordering::Relaxed;
+    assert!(
+        db.stats().flushes.load(Relaxed) > 0,
+        "background workers should have flushed"
+    );
+    assert!(
+        db.stats().compactions.load(Relaxed) > 0,
+        "background workers should have compacted"
+    );
+    // No lost writes: every key holds its final round.
+    for w in 0..WRITERS {
+        for k in (0..KEYS_PER_WRITER).step_by(61) {
+            let key = format!("w{w}-key{k:05}");
+            let v = db.get(key.as_bytes()).unwrap().unwrap_or_else(|| panic!("{key} lost"));
+            assert_eq!(&v[..], format!("{:020}", 2).as_bytes(), "{key}");
+        }
+    }
+    db.verify_integrity().unwrap();
+}
+
+/// Snapshot readers see a frozen view while background maintenance
+/// reshapes the tree underneath them.
+#[test]
+fn snapshots_stay_frozen_under_background_maintenance() {
+    let db = Db::open(Arc::new(MemFs::new()), "db", opts(2)).unwrap();
+    for k in 0u64..300 {
+        db.put(format!("key{k:04}").as_bytes(), b"epoch-one").unwrap();
+    }
+    let snap = db.snapshot();
+    for round in 0..20u64 {
+        for k in 0u64..300 {
+            db.put(format!("key{k:04}").as_bytes(), format!("epoch-{round}").as_bytes())
+                .unwrap();
+        }
+    }
+    db.wait_idle().unwrap();
+    for k in (0u64..300).step_by(7) {
+        let v = db.get_at(&snap, format!("key{k:04}").as_bytes()).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"epoch-one"[..]));
+    }
+}
+
+/// FADE's persistence bound holds with zero manual `maintain()` calls:
+/// TTL-driven compactions are scheduled by the workers themselves.
+/// `wait_idle` only blocks — it never runs maintenance inline in
+/// background mode.
+#[test]
+fn fade_deadline_met_without_manual_maintain() {
+    let d_th = 200_000u64;
+    let db = Db::open(
+        Arc::new(MemFs::new()),
+        "db",
+        opts(1).with_fade(d_th),
+    )
+    .unwrap();
+    for i in 0..600u32 {
+        db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32]).unwrap();
+    }
+    for i in 0..300u32 {
+        db.delete(format!("key{i:04}").as_bytes()).unwrap();
+    }
+    // Age the tombstones well past every station budget, in steps small
+    // enough that FADE's built-in trigger-latency margin (D_th/16)
+    // absorbs the step size — mirroring how a wall-clock deployment
+    // advances continuously.
+    let step = d_th / 20;
+    for _ in 0..70 {
+        db.advance_clock(step);
+        db.wait_idle().unwrap();
+    }
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(
+        db.stats().persistence_violations.load(Relaxed),
+        0,
+        "background FADE must never violate the threshold"
+    );
+    assert_eq!(db.live_tombstones(), 0, "every expired tombstone must be purged");
+    assert!(
+        db.stats().ttl_compactions.load(Relaxed) > 0,
+        "purges must come from the TTL trigger, not luck"
+    );
+    db.verify_integrity().unwrap();
+}
+
+/// With the sealed-memtable queue at its hard limit and maintenance
+/// paused, writes block; when maintenance resumes they complete, and
+/// nothing is lost.
+#[test]
+fn writes_stall_at_hard_limit_and_resume() {
+    let db = Db::open(
+        Arc::new(MemFs::new()),
+        "db",
+        DbOptions {
+            write_buffer_bytes: 4 << 10,
+            max_imm_memtables: 1,
+            ..opts(1)
+        },
+    )
+    .unwrap();
+    let pause = db.pause_maintenance();
+
+    crossbeam::scope(|s| {
+        let writer_db = db.clone();
+        s.spawn(move |_| {
+            // ~40 KiB through a 4 KiB buffer with flushes paused: the
+            // sealed queue fills and the writer must stall.
+            for k in 0u64..400 {
+                writer_db.put(format!("key{k:05}").as_bytes(), &[b'v'; 64]).unwrap();
+            }
+        });
+
+        use std::sync::atomic::Ordering::Relaxed;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while db.stats().write_stalls.load(Relaxed) == 0 {
+            assert!(Instant::now() < deadline, "writer never hit the stall limit");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Resume maintenance; the stalled writer must now finish.
+        drop(pause);
+    })
+    .unwrap();
+
+    db.wait_idle().unwrap();
+    use std::sync::atomic::Ordering::Relaxed;
+    assert!(db.stats().write_stalls.load(Relaxed) >= 1);
+    assert!(db.stats().stall_micros.count() >= 1);
+    for k in (0u64..400).step_by(17) {
+        assert!(
+            db.get(format!("key{k:05}").as_bytes()).unwrap().is_some(),
+            "key{k:05} lost across the stall"
+        );
+    }
+    db.verify_integrity().unwrap();
+}
+
+/// `background_threads = 0` is the deterministic mode: the same op
+/// sequence always produces the same tree and the same read results.
+#[test]
+fn synchronous_mode_is_deterministic() {
+    let run = || {
+        let db = Db::open(Arc::new(MemFs::new()), "db", opts(0)).unwrap();
+        for round in 0..4u64 {
+            for k in 0u64..800 {
+                db.put(
+                    format!("key{k:05}").as_bytes(),
+                    format!("r{round}-{k}").as_bytes(),
+                )
+                .unwrap();
+                if k % 5 == 0 {
+                    db.delete(format!("key{:05}", (k + 13) % 800).as_bytes()).unwrap();
+                }
+            }
+        }
+        let rows: Vec<(Vec<u8>, Vec<u8>)> = db
+            .scan(b"key00000", b"key99999")
+            .unwrap()
+            .into_iter()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        let shape: Vec<(usize, usize, u64)> = db
+            .level_summary()
+            .into_iter()
+            .map(|l| (l.files, l.runs, l.entries))
+            .collect();
+        (rows, shape, db.table_bytes())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.1, b.1, "tree shape must be identical run to run");
+    assert_eq!(a.2, b.2, "table bytes must be identical run to run");
+    assert_eq!(a.0, b.0, "read results must be identical run to run");
+}

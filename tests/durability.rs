@@ -14,6 +14,10 @@ fn opts() -> DbOptions {
         target_file_bytes: 8 << 10,
         page_size: 512,
         max_levels: 4,
+        // Crash-point forking copies the directory file-by-file, which
+        // is only a consistent "disk image" if no background worker is
+        // creating/deleting files mid-copy.
+        background_threads: 0,
         ..DbOptions::default()
     }
 }

@@ -1,0 +1,133 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The development environment builds with `cargo build --offline` and has
+//! no crates.io mirror, so the workspace vendors the macro/API surface the
+//! microbenches use ([`Criterion::bench_function`], benchmark groups,
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`]) with a
+//! deliberately simple runner: each benchmark is warmed up briefly, then
+//! timed over a fixed wall-clock window, and the mean ns/iter is printed.
+//! No statistics, plots, or baselines — it exists so `cargo bench`
+//! compiles offline and still yields usable relative numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies; forwards to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters_done: u64,
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly for a fixed window and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: let caches/allocators settle and estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget || iters == 0 {
+            black_box(f());
+            iters += 1;
+            // Very slow bodies: one timed pass is enough.
+            if iters >= warm_iters.saturating_mul(20).max(1) && start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.iters_done = iters;
+        self.nanos = start.elapsed().as_nanos();
+    }
+}
+
+/// Identifier for one parameterized benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Group id from the parameter value alone.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Group id from a function name plus parameter.
+    pub fn new<P: Display>(name: &str, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters_done: 0, nanos: 0 };
+    f(&mut b);
+    let per_iter = if b.iters_done == 0 { 0 } else { b.nanos / b.iters_done as u128 };
+    println!("bench {label:<44} {per_iter:>12} ns/iter ({} iters)", b.iters_done);
+}
+
+/// Top-level benchmark registry (upstream `Criterion` subset).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of parameterized benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string() }
+    }
+}
+
+/// Benchmark group (upstream `BenchmarkGroup` subset).
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function calling each target with a shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

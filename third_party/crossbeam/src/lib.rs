@@ -1,0 +1,83 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The development environment builds with `cargo build --offline` and has
+//! no crates.io mirror, so the workspace vendors the one crossbeam API the
+//! tests use: [`scope`] (scoped threads), implemented over
+//! `std::thread::scope`. One behavioral difference: when a spawned thread
+//! panics, `std::thread::scope` re-raises the panic after joining instead
+//! of returning `Err`, so `scope(..)` here only ever yields `Ok` — which
+//! is indistinguishable for callers that `.unwrap()` the result (all of
+//! ours do).
+
+use std::any::Any;
+
+/// Result type matching `crossbeam::thread::Result`.
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Scoped-thread handle passed to [`scope`] closures; spawned closures
+/// receive a fresh `&Scope` so they can spawn siblings, mirroring
+/// crossbeam's `Scope::spawn(|s| ...)` shape.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a `&Scope` (ignored by
+    /// most callers, hence the conventional `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Module alias matching `crossbeam::thread`.
+pub mod thread {
+    pub use super::{scope, Scope, ScopeResult as Result};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let counter = AtomicU64::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let counter = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}
