@@ -28,7 +28,7 @@
 //! which purge covered entries and — under KiWi — drop fully covered
 //! pages without reading them.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,7 +38,7 @@ use acheron_types::{
     Clock, DeleteKeyRange, Error, RangeTombstone, Result, SeqNo, Tick, MAX_SEQNO,
 };
 use acheron_vfs::Vfs;
-use acheron_wal::{LogReader, LogWriter, ReadOutcome, WalBatch, WalOp};
+use acheron_wal::{recover_records, LogWriter, WalBatch, WalOp};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -519,30 +519,51 @@ impl Db {
         wal_numbers.sort_unstable();
 
         // Replay surviving WAL records into a fresh memtable.
+        //
+        // Prefix recovery: the first torn tail ends replay *globally*,
+        // not just for its own segment. Records in later-numbered
+        // segments were written strictly after the ones lost in the
+        // tear, so replaying them would recover a non-contiguous
+        // history — resurrecting overwritten values and, worse, deleted
+        // keys. Segments past the tear are dropped from the live set
+        // and collected below: nothing in them was ever durably
+        // acknowledged (the tear proves their predecessors weren't
+        // synced, and the engine syncs in order).
         let mut mem = Memtable::new();
         let mut last_seqno = persisted_seqno.max(rts.iter().map(|rt| rt.seqno).max().unwrap_or(0));
-        for n in &wal_numbers {
-            let data = fs.read_all(&wal_path(dir, *n))?;
-            let mut reader = LogReader::new(data);
-            loop {
-                match reader.next_record() {
-                    ReadOutcome::Record(rec) => {
-                        let batch = WalBatch::decode(&rec)?;
-                        let (entries, _ranges) = batch.entries();
-                        for e in entries {
-                            if e.seqno > persisted_seqno {
-                                last_seqno = last_seqno.max(e.seqno);
-                                mem.insert(e);
-                            }
-                        }
+        let mut replayed: Vec<u64> = Vec::new();
+        let mut dropped_wals: Vec<u64> = Vec::new();
+        let mut torn = false;
+        for n in wal_numbers {
+            if torn {
+                dropped_wals.push(n);
+                continue;
+            }
+            let recovered = recover_records(fs.read_all(&wal_path(dir, n))?);
+            for rec in &recovered.records {
+                let batch = WalBatch::decode(rec)?;
+                let (entries, _ranges) = batch.entries();
+                for e in entries {
+                    if e.seqno > persisted_seqno {
+                        last_seqno = last_seqno.max(e.seqno);
+                        mem.insert(e);
                     }
-                    ReadOutcome::Eof => break,
-                    // Torn tail: stop replay of this (and, by seqno
-                    // ordering, every later) segment.
-                    ReadOutcome::Corrupt { .. } => break,
                 }
             }
+            replayed.push(n);
+            torn = recovered.is_torn();
+            if torn {
+                // Truncate-and-continue: cut the segment back to its
+                // valid prefix so the tear is healed once, here, instead
+                // of being rediscovered (and re-reported by `doctor`) on
+                // every future open. The segment stays live — it holds
+                // the replayed records until the next flush retires it.
+                let path = wal_path(dir, n);
+                let data = fs.read_all(&path)?;
+                fs.write_all(&path, &data[..recovered.valid_len as usize])?;
+            }
         }
+        let wal_numbers = replayed;
 
         // Start a new manifest containing a snapshot of the recovered
         // state (keeps manifests from growing without bound and lets the
@@ -577,6 +598,29 @@ impl Db {
         }
         manifest.append(&EditBatch { edits: snapshot_edits })?;
         write_current(fs.as_ref(), dir, &name)?;
+
+        // Garbage-collect everything the snapshot manifest does not
+        // reference: tables orphaned by a crash between a manifest
+        // append and its physical deletes (or mid-build), WAL segments
+        // older than the log number or dropped by the prefix rule
+        // above, superseded manifests, and — in torn-tail crashes —
+        // partially persisted junk. Safe now that CURRENT points at the
+        // snapshot; best-effort because leftover garbage is a space
+        // leak, not a correctness problem.
+        let live_tables: BTreeSet<u64> = version.all_files().map(|f| f.id).collect();
+        for fname in fs.list(dir)? {
+            let dead = match parse_file_name(&fname) {
+                FileKind::Table(id) => !live_tables.contains(&id),
+                FileKind::Wal(n) => {
+                    n < oldest_live_wal.min(wal_number) || dropped_wals.contains(&n)
+                }
+                FileKind::Manifest(m) => manifest_name(m) != name,
+                _ => false,
+            };
+            if dead {
+                let _ = fs.delete(&acheron_vfs::join(dir, &fname));
+            }
+        }
 
         let wal = LogWriter::new(fs.create(&wal_path(dir, wal_number))?);
         let mut live_wals = wal_numbers;
@@ -2137,6 +2181,83 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn torn_wal_tail_stops_replay_of_later_segments() {
+        // A tear in one WAL segment must end replay globally: records in
+        // later-numbered segments were written strictly after the bytes
+        // lost in the tear, so replaying them would recover a
+        // non-contiguous history — here, resurrecting a delete whose
+        // predecessors were never durable.
+        let fs = Arc::new(MemFs::new());
+        {
+            let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
+            db.put(b"alpha", b"keep").unwrap();
+            db.put(b"beta", b"torn-away").unwrap();
+        }
+        // Tear the tail of the active segment: "beta" is lost.
+        let wal_name = fs
+            .list("db")
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.ends_with(".log"))
+            .max()
+            .unwrap();
+        let wal_file = acheron_vfs::join("db", &wal_name);
+        let data = fs.read_all(&wal_file).unwrap();
+        fs.write_all(&wal_file, &data[..data.len() - 3]).unwrap();
+        // Craft a later-numbered segment holding a delete of "alpha" —
+        // the on-disk shape of unsynced writes landing out of order.
+        let later = acheron_vfs::join("db", "000099.log");
+        let mut w = LogWriter::new(fs.create(&later).unwrap());
+        let mut batch = WalBatch::new(10);
+        batch.ops.push(WalOp::Delete { key: Bytes::from_static(b"alpha"), tick: 1 });
+        w.add_record(&batch.encode()).unwrap();
+        w.finish().unwrap();
+
+        let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
+        assert_eq!(
+            db.get(b"alpha").unwrap().as_deref(),
+            Some(&b"keep"[..]),
+            "a delete past the tear must not replay"
+        );
+        assert_eq!(db.get(b"beta").unwrap(), None, "the torn record is lost");
+        assert!(!fs.exists(&later), "the unreplayable segment is collected at recovery");
+    }
+
+    #[test]
+    fn recovery_collects_orphan_files() {
+        let fs = Arc::new(MemFs::new());
+        {
+            let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
+            for i in 0..2000u32 {
+                db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48]).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        // Plant garbage a crash could leave behind: a table the
+        // manifest never adopted and a stale pre-log-number WAL.
+        fs.write_all("db/999990.sst", b"half-built table junk").unwrap();
+        fs.write_all("db/000001.log", b"stale segment").unwrap();
+        let old_manifest = fs
+            .list("db")
+            .unwrap()
+            .into_iter()
+            .find(|n| n.starts_with("MANIFEST-"))
+            .unwrap();
+        let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
+        assert!(!fs.exists("db/999990.sst"), "orphan table collected");
+        assert!(!fs.exists("db/000001.log"), "obsolete WAL collected");
+        assert!(
+            !fs.exists(&acheron_vfs::join("db", &old_manifest)),
+            "superseded manifest collected"
+        );
+        // Nothing live was touched.
+        for i in (0..2000u32).step_by(97) {
+            assert!(db.get(format!("key{i:05}").as_bytes()).unwrap().is_some());
+        }
+        db.verify_integrity().unwrap();
     }
 
     #[test]

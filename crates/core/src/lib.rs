@@ -54,8 +54,7 @@ pub mod merge;
 pub mod options;
 pub mod picker;
 pub mod stats;
-#[cfg(test)]
-pub(crate) mod testutil;
+pub mod testutil;
 pub mod version;
 
 pub use db::{Db, LevelInfo, MaintenancePause, RangeIter, Snapshot, WriteBatch};

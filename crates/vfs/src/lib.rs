@@ -17,6 +17,7 @@
 //! create truncates), which the conformance test-suite in this crate runs
 //! against each implementation.
 
+pub mod fault;
 pub mod mem;
 pub mod std_fs;
 pub mod stats;
@@ -27,6 +28,7 @@ use std::sync::Arc;
 use acheron_types::Result;
 use bytes::Bytes;
 
+pub use fault::{CutDurability, FaultKind, FaultOp, FaultRule, FaultVfs};
 pub use mem::MemFs;
 pub use stats::{IoStats, IoStatsSnapshot};
 pub use std_fs::StdFs;
@@ -168,6 +170,14 @@ mod conformance {
     #[test]
     fn memfs_conforms() {
         let fs = MemFs::new();
+        suite(&fs, "db");
+    }
+
+    #[test]
+    fn faultvfs_with_no_faults_conforms() {
+        // The wrapper must be behaviourally transparent until a fault
+        // is armed.
+        let fs = FaultVfs::new(Arc::new(MemFs::new()));
         suite(&fs, "db");
     }
 

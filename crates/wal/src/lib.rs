@@ -17,7 +17,7 @@ pub mod reader;
 pub mod writer;
 
 pub use batch::{WalBatch, WalOp};
-pub use reader::{LogReader, ReadOutcome};
+pub use reader::{recover_records, LogReader, ReadOutcome, RecoveredLog, TailOutcome};
 pub use writer::LogWriter;
 
 /// Size of a log block. Records never span a block header boundary.

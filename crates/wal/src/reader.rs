@@ -144,6 +144,76 @@ enum FragOutcome {
     Corrupt(String),
 }
 
+/// How one WAL segment ended, as seen by [`recover_records`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailOutcome {
+    /// The segment ended cleanly (EOF or zero padding).
+    Clean,
+    /// The segment ends in a damaged or incomplete record. Everything
+    /// in [`RecoveredLog::records`] precedes the damage and is intact.
+    Torn {
+        /// File offset of the damaged fragment.
+        offset: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+/// The replayable prefix of one WAL segment.
+#[derive(Debug, Clone)]
+pub struct RecoveredLog {
+    /// Intact records, in write order.
+    pub records: Vec<Bytes>,
+    /// Whether the segment's tail was clean or torn.
+    pub tail: TailOutcome,
+    /// File length up to the end of the last intact record — the point
+    /// a truncate-and-continue recovery should cut a torn segment at.
+    /// (Not [`TailOutcome::Torn::offset`]: for a fragmented record the
+    /// damage may sit past an intact `FIRST` fragment, which must also
+    /// be discarded.)
+    pub valid_len: u64,
+}
+
+impl RecoveredLog {
+    /// True if the tail was torn.
+    pub fn is_torn(&self) -> bool {
+        matches!(self.tail, TailOutcome::Torn { .. })
+    }
+}
+
+/// Truncate-and-continue recovery of one segment: return every intact
+/// record up to the first sign of damage, plus how the segment ended.
+///
+/// A torn tail is the *expected* shape of a crash mid-append and is not
+/// an error here — but it does mean any later-numbered segment must
+/// **not** be replayed (its records would be out of order with the ones
+/// lost in the tear, resurrecting overwritten values and deleted keys).
+/// Callers replaying a sequence of segments must stop at the first
+/// [`TailOutcome::Torn`].
+pub fn recover_records(data: Bytes) -> RecoveredLog {
+    let mut reader = LogReader::new(data);
+    let mut records = Vec::new();
+    let mut valid_len = 0u64;
+    loop {
+        match reader.next_record() {
+            ReadOutcome::Record(rec) => {
+                records.push(rec);
+                valid_len = reader.offset();
+            }
+            ReadOutcome::Eof => {
+                return RecoveredLog { records, tail: TailOutcome::Clean, valid_len };
+            }
+            ReadOutcome::Corrupt { offset, reason } => {
+                return RecoveredLog {
+                    records,
+                    tail: TailOutcome::Torn { offset, reason },
+                    valid_len,
+                };
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +333,49 @@ mod tests {
                 "prefix property violated at cut {cut}"
             );
         }
+    }
+
+    #[test]
+    fn recover_records_truncates_and_continues_on_corrupt_final_record() {
+        // Three records; smash bytes inside the final one. Recovery
+        // must keep the first two and classify the tail as torn — not
+        // error out.
+        let data = build_log(&[b"first", b"second", b"doomed"]);
+        let mut broken = data.to_vec();
+        let len = broken.len();
+        for b in &mut broken[len - 4..] {
+            *b ^= 0x5a;
+        }
+        let rec = recover_records(Bytes::from(broken));
+        assert_eq!(rec.records, vec![Bytes::from_static(b"first"), Bytes::from_static(b"second")]);
+        assert!(rec.is_torn());
+        match rec.tail {
+            TailOutcome::Torn { reason, .. } => {
+                assert!(reason.contains("checksum"), "{reason}")
+            }
+            TailOutcome::Clean => panic!("tail must be torn"),
+        }
+    }
+
+    #[test]
+    fn recover_records_clean_log() {
+        let rec = recover_records(build_log(&[b"a", b"bb"]));
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.tail, TailOutcome::Clean);
+        assert!(!rec.is_torn());
+    }
+
+    #[test]
+    fn recover_records_short_final_write() {
+        // The final record's bytes only partially reached the device (a
+        // short write): its intact predecessors still recover.
+        let data = build_log(&[b"keep-a", b"keep-b", b"torn-away"]);
+        let rec = recover_records(data.slice(..data.len() - 5));
+        assert_eq!(
+            rec.records,
+            vec![Bytes::from_static(b"keep-a"), Bytes::from_static(b"keep-b")]
+        );
+        assert!(rec.is_torn());
     }
 
     #[test]
