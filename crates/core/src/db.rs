@@ -410,6 +410,9 @@ impl Db {
             ],
         })?;
         write_current(fs.as_ref(), dir, &name)?;
+        // The directory entries for the manifest and CURRENT must be
+        // durable before the open reports success.
+        fs.sync_dir(dir)?;
         let wal = LogWriter::new(fs.create(&wal_path(dir, wal_number))?);
         Ok((
             State {
@@ -525,17 +528,15 @@ impl Db {
         // segments were written strictly after the ones lost in the
         // tear, so replaying them would recover a non-contiguous
         // history — resurrecting overwritten values and, worse, deleted
-        // keys. Segments past the tear are dropped from the live set
-        // and collected below: nothing in them was ever durably
-        // acknowledged (the tear proves their predecessors weren't
-        // synced, and the engine syncs in order).
+        // keys. How segments past a tear are handled depends on the
+        // durability mode — see the tear block below.
         let mut mem = Memtable::new();
         let mut last_seqno = persisted_seqno.max(rts.iter().map(|rt| rt.seqno).max().unwrap_or(0));
         let mut replayed: Vec<u64> = Vec::new();
         let mut dropped_wals: Vec<u64> = Vec::new();
-        let mut torn = false;
+        let mut tear: Option<(u64, u64)> = None; // (segment, valid prefix length)
         for n in wal_numbers {
-            if torn {
+            if tear.is_some() {
                 dropped_wals.push(n);
                 continue;
             }
@@ -551,17 +552,62 @@ impl Db {
                 }
             }
             replayed.push(n);
-            torn = recovered.is_torn();
-            if torn {
-                // Truncate-and-continue: cut the segment back to its
-                // valid prefix so the tear is healed once, here, instead
-                // of being rediscovered (and re-reported by `doctor`) on
-                // every future open. The segment stays live — it holds
-                // the replayed records until the next flush retires it.
-                let path = wal_path(dir, n);
-                let data = fs.read_all(&path)?;
-                fs.write_all(&path, &data[..recovered.valid_len as usize])?;
+            if recovered.is_torn() {
+                tear = Some((n, recovered.valid_len));
             }
+        }
+        if let Some((torn_wal, valid_len)) = tear {
+            // A crash can only tear the highest-numbered segment: under
+            // `wal_sync` every record in an older segment was synced
+            // before anything was written after it. Segments *beyond* a
+            // tear therefore mean media corruption mid-history — their
+            // records may be durably acknowledged writes, so silently
+            // discarding them would be data loss. Fail open and leave
+            // the image for explicit repair. Without `wal_sync` no
+            // write was ever acknowledged durable and multiple torn
+            // segments are ordinary crash debris; the prefix rule keeps
+            // recovery consistent.
+            if !dropped_wals.is_empty() && opts.wal_sync {
+                return Err(Error::corruption(format!(
+                    "WAL segment {torn_wal:06} is torn mid-history: {} later segment(s) \
+                     (first: {:06}) hold records that may be acknowledged synced writes; \
+                     refusing to discard them",
+                    dropped_wals.len(),
+                    dropped_wals[0],
+                )));
+            }
+            // Durably remove every post-tear segment BEFORE the heal
+            // below can land. Once the tear is healed the segment reads
+            // as clean, so nothing would stop a later open from
+            // replaying these segments — resurrecting deleted keys and
+            // overwritten values. Failure here is fatal to the open for
+            // the same reason; these deletes must not be best-effort.
+            for n in &dropped_wals {
+                fs.delete(&wal_path(dir, *n))?;
+            }
+            if !dropped_wals.is_empty() {
+                fs.sync_dir(dir)?;
+            }
+            // Heal the tear: cut the segment back to its valid prefix
+            // so it is healed once, here, instead of being rediscovered
+            // (and re-reported by `doctor`) on every future open. The
+            // rewrite goes write-temp-then-rename — an in-place rewrite
+            // would destroy the valid prefix (synced, acknowledged
+            // records whose only copy is this segment) if the power
+            // died mid-write. A crash before the rename leaves the torn
+            // original plus `.tmp` debris the next recovery collects; a
+            // crash after it leaves the healed segment. The segment
+            // stays live — it holds the replayed records until the next
+            // flush retires it.
+            let path = wal_path(dir, torn_wal);
+            let data = fs.read_all(&path)?;
+            let tmp = format!("{path}.tmp");
+            let mut healed = fs.create(&tmp)?;
+            healed.append(&data[..valid_len as usize])?;
+            healed.sync()?;
+            healed.finish()?;
+            drop(healed);
+            fs.rename(&tmp, &path)?;
         }
         let wal_numbers = replayed;
 
@@ -598,23 +644,30 @@ impl Db {
         }
         manifest.append(&EditBatch { edits: snapshot_edits })?;
         write_current(fs.as_ref(), dir, &name)?;
+        // Make the snapshot manifest, the CURRENT repoint, and the tear
+        // heal durable before anything they supersede is deleted: until
+        // this fsync a real filesystem may still have CURRENT pointing
+        // at the *old* manifest, and deleting it first would leave the
+        // database unopenable after a crash.
+        fs.sync_dir(dir)?;
 
         // Garbage-collect everything the snapshot manifest does not
         // reference: tables orphaned by a crash between a manifest
         // append and its physical deletes (or mid-build), WAL segments
-        // older than the log number or dropped by the prefix rule
-        // above, superseded manifests, and — in torn-tail crashes —
-        // partially persisted junk. Safe now that CURRENT points at the
-        // snapshot; best-effort because leftover garbage is a space
-        // leak, not a correctness problem.
+        // older than the log number (post-tear segments were already
+        // durably removed above), superseded manifests, temp-file
+        // debris from an interrupted heal or CURRENT update, and — in
+        // torn-tail crashes — partially persisted junk. Safe now that
+        // CURRENT durably points at the snapshot; best-effort because
+        // everything deleted here is unreferenced, so leftover garbage
+        // is a space leak, not a correctness problem.
         let live_tables: BTreeSet<u64> = version.all_files().map(|f| f.id).collect();
         for fname in fs.list(dir)? {
             let dead = match parse_file_name(&fname) {
                 FileKind::Table(id) => !live_tables.contains(&id),
-                FileKind::Wal(n) => {
-                    n < oldest_live_wal.min(wal_number) || dropped_wals.contains(&n)
-                }
+                FileKind::Wal(n) => n < oldest_live_wal.min(wal_number),
                 FileKind::Manifest(m) => manifest_name(m) != name,
+                FileKind::Temp => true,
                 _ => false,
             };
             if dead {
@@ -2183,13 +2236,10 @@ mod tests {
         }
     }
 
-    #[test]
-    fn torn_wal_tail_stops_replay_of_later_segments() {
-        // A tear in one WAL segment must end replay globally: records in
-        // later-numbered segments were written strictly after the bytes
-        // lost in the tear, so replaying them would recover a
-        // non-contiguous history — here, resurrecting a delete whose
-        // predecessors were never durable.
+    /// Build the torn-mid-history image of the test below: a torn
+    /// active segment plus a later-numbered segment holding a delete of
+    /// "alpha" that must never replay.
+    fn torn_mid_history_image() -> (Arc<MemFs>, String) {
         let fs = Arc::new(MemFs::new());
         {
             let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
@@ -2215,7 +2265,20 @@ mod tests {
         batch.ops.push(WalOp::Delete { key: Bytes::from_static(b"alpha"), tick: 1 });
         w.add_record(&batch.encode()).unwrap();
         w.finish().unwrap();
+        (fs, later)
+    }
 
+    #[test]
+    fn torn_wal_tail_stops_replay_of_later_segments() {
+        // A tear in one WAL segment must end replay globally: records in
+        // later-numbered segments were written strictly after the bytes
+        // lost in the tear, so replaying them would recover a
+        // non-contiguous history — here, resurrecting a delete whose
+        // predecessors were never durable. (Dropping them silently is
+        // only legitimate without `wal_sync`, when no write was ever
+        // acknowledged durable — which is what `small()` uses; the
+        // synced-WAL case refuses to open instead, tested below.)
+        let (fs, later) = torn_mid_history_image();
         let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
         assert_eq!(
             db.get(b"alpha").unwrap().as_deref(),
@@ -2224,6 +2287,117 @@ mod tests {
         );
         assert_eq!(db.get(b"beta").unwrap(), None, "the torn record is lost");
         assert!(!fs.exists(&later), "the unreplayable segment is collected at recovery");
+    }
+
+    #[test]
+    fn torn_mid_history_with_synced_wal_refuses_to_open() {
+        // Under `wal_sync` every record in an older segment was synced
+        // before anything after it was written, so a tear followed by
+        // more segments cannot come from a crash — it is media
+        // corruption, and the later segments may hold acknowledged
+        // writes. Discarding them silently would be data loss.
+        let (fs, _later) = torn_mid_history_image();
+        let opts = DbOptions { wal_sync: true, ..small() };
+        let err = match Db::open(fs as Arc<dyn Vfs>, "db", opts) {
+            Err(e) => e,
+            Ok(_) => panic!("open must refuse a torn mid-history image under wal_sync"),
+        };
+        assert!(err.is_corruption(), "{err}");
+        assert!(err.to_string().contains("torn mid-history"), "{err}");
+    }
+
+    #[test]
+    fn failed_dropped_segment_delete_is_fatal_to_open() {
+        // The post-tear segments must be durably gone before the tear
+        // is healed; a failed delete silently shrugged off would leave
+        // a healed (clean-reading) segment alongside the dropped one,
+        // and the next open would replay it — resurrecting the delete
+        // of "alpha". So the delete failure must abort the open.
+        use acheron_vfs::{FaultKind, FaultOp, FaultRule, FaultVfs};
+        let (fs, later) = torn_mid_history_image();
+        let fault = FaultVfs::new(fs.clone() as Arc<dyn Vfs>);
+        fault.inject(FaultRule::new(FaultOp::Delete, FaultKind::Error).on_path("000099.log"));
+        assert!(
+            Db::open(Arc::new(fault.clone()) as Arc<dyn Vfs>, "db", small()).is_err(),
+            "a failed dropped-segment delete must be fatal"
+        );
+        assert!(fs.exists(&later), "the segment outlived its failed delete");
+        // With the fault cleared the same image opens and the delete
+        // past the tear still must not replay.
+        fault.clear_faults();
+        let db = Db::open(Arc::new(fault) as Arc<dyn Vfs>, "db", small()).unwrap();
+        assert_eq!(db.get(b"alpha").unwrap().as_deref(), Some(&b"keep"[..]));
+    }
+
+    #[test]
+    fn crash_between_dropped_segment_delete_and_heal_cannot_resurrect() {
+        // Power dies exactly at the dropped-segment delete, before the
+        // heal could land. The surviving image still shows the tear, so
+        // the next open re-drops (and this time deletes) the later
+        // segment instead of replaying its delete of "alpha".
+        use acheron_vfs::{FaultKind, FaultOp, FaultRule, FaultVfs};
+        let (fs, later) = torn_mid_history_image();
+        let fault = FaultVfs::new(fs as Arc<dyn Vfs>);
+        fault.inject(FaultRule::new(FaultOp::Delete, FaultKind::PowerCut).on_path("000099.log"));
+        assert!(
+            Db::open(Arc::new(fault.clone()) as Arc<dyn Vfs>, "db", small()).is_err(),
+            "power died mid-recovery"
+        );
+        fault.reboot();
+        let db = Db::open(Arc::new(fault.clone()) as Arc<dyn Vfs>, "db", small()).unwrap();
+        assert_eq!(
+            db.get(b"alpha").unwrap().as_deref(),
+            Some(&b"keep"[..]),
+            "the dropped segment's delete must not resurrect across the recovery crash"
+        );
+        assert!(!fault.exists(&later), "second recovery collected the dropped segment");
+    }
+
+    #[test]
+    fn crash_during_tear_heal_preserves_the_valid_prefix() {
+        // The heal rewrites the torn segment via write-temp-then-rename;
+        // whatever instant power dies at, the segment's valid prefix
+        // (synced, acknowledged records whose only copy is this file)
+        // must survive. Sweep a cut over every durability point of the
+        // recovery, reboot, reopen, and check.
+        use acheron_vfs::FaultVfs;
+        for point in 0..8 {
+            let fs = Arc::new(MemFs::new());
+            {
+                let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
+                db.put(b"alpha", b"keep").unwrap();
+                db.put(b"beta", b"torn-away").unwrap();
+            }
+            let wal_name = fs
+                .list("db")
+                .unwrap()
+                .into_iter()
+                .filter(|n| n.ends_with(".log"))
+                .max()
+                .unwrap();
+            let wal_file = acheron_vfs::join("db", &wal_name);
+            let data = fs.read_all(&wal_file).unwrap();
+            fs.write_all(&wal_file, &data[..data.len() - 3]).unwrap();
+
+            let fault = FaultVfs::new(fs as Arc<dyn Vfs>);
+            fault.arm_power_cut_at(point);
+            let _ = Db::open(Arc::new(fault.clone()) as Arc<dyn Vfs>, "db", small());
+            fault.reboot();
+            let db = Db::open(Arc::new(fault.clone()) as Arc<dyn Vfs>, "db", small())
+                .unwrap_or_else(|e| panic!("reopen after cut at point {point}: {e}"));
+            assert_eq!(
+                db.get(b"alpha").unwrap().as_deref(),
+                Some(&b"keep"[..]),
+                "valid prefix lost by a heal crash at point {point}"
+            );
+            drop(db);
+            for name in fault.list("db").unwrap() {
+                assert!(
+                    !name.ends_with(".tmp"),
+                    "heal debris {name} not collected (cut point {point})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -117,7 +117,13 @@ pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
         }
     }
 
-    // WAL segments.
+    // WAL segments. A tear is only ordinary crash debris in the
+    // *final* (highest-numbered) live segment — a crash can tear the
+    // tail of the segment being written, but every older segment was
+    // finished before the next one started. Corruption mid-history
+    // invalidates every later segment and is reported distinctly:
+    // recovery with synced-WAL durability refuses such an image.
+    let mut live_wals: Vec<(u64, String)> = Vec::new();
     for name in fs.list(dir)? {
         let FileKind::Wal(n) = parse_file_name(&name) else { continue };
         if n < log_number {
@@ -126,6 +132,11 @@ pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
                 .push(format!("obsolete WAL segment {name} not yet collected"));
             continue;
         }
+        live_wals.push((n, name));
+    }
+    live_wals.sort();
+    let final_wal = live_wals.last().map(|(n, _)| *n);
+    for (n, name) in live_wals {
         let data = fs.read_all(&wal_path(dir, n))?;
         let mut reader = LogReader::new(data);
         report.wals_checked += 1;
@@ -137,22 +148,37 @@ pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
                 }
                 ReadOutcome::Eof => break,
                 ReadOutcome::Corrupt { offset, reason } => {
-                    report.warnings.push(format!(
-                        "WAL {name}: torn tail at offset {offset} ({reason}); \
-                         acknowledged-but-unsynced writes after it are lost"
-                    ));
+                    if Some(n) == final_wal {
+                        report.warnings.push(format!(
+                            "WAL {name}: torn tail at offset {offset} ({reason}); \
+                             acknowledged-but-unsynced writes after it are lost"
+                        ));
+                    } else {
+                        report.warnings.push(format!(
+                            "WAL {name}: corrupt mid-history at offset {offset} ({reason}) \
+                             with later live segments present; under synced-WAL durability \
+                             this is media corruption and recovery will refuse the image"
+                        ));
+                    }
                     break;
                 }
             }
         }
     }
 
-    // Orphan files.
+    // Orphan and leftover files.
     for name in fs.list(dir)? {
-        if let FileKind::Table(n) = parse_file_name(&name) {
-            if !files.contains_key(&n) {
+        match parse_file_name(&name) {
+            FileKind::Table(n) if !files.contains_key(&n) => {
                 report.warnings.push(format!("orphan table file {name} (not in manifest)"));
             }
+            FileKind::Temp => {
+                report.warnings.push(format!(
+                    "stale temp file {name} (crash debris from an interrupted \
+                     CURRENT update or WAL heal) not yet collected"
+                ));
+            }
+            _ => {}
         }
     }
 
@@ -345,6 +371,53 @@ mod tests {
     }
 
     #[test]
+    fn distinguishes_mid_history_corruption_from_tail_tear() {
+        let fs = populated_fs();
+        let db = Db::open(fs.clone(), "db", DbOptions::small()).unwrap();
+        db.put(b"unflushed", b"v").unwrap();
+        drop(db);
+        // Tear the newest WAL, then plant a later-numbered segment: the
+        // tear is no longer a tail, it is corruption mid-history.
+        let wal = fs
+            .list("db")
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.ends_with(".log"))
+            .max()
+            .unwrap();
+        let path = acheron_vfs::join("db", &wal);
+        let data = fs.read_all(&path).unwrap();
+        fs.write_all(&path, &data[..data.len() - 3]).unwrap();
+        fs.write_all("db/999997.log", b"records written after the corrupt region").unwrap();
+        let report = check_db(fs.as_ref(), "db").unwrap();
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains(&wal) && w.contains("corrupt mid-history")),
+            "{:?}",
+            report.warnings
+        );
+        assert!(
+            !report.warnings.iter().any(|w| w.contains(&wal) && w.contains("torn tail")),
+            "the same tear must not also read as an ordinary tail: {:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn flags_stale_temp_files() {
+        let fs = populated_fs();
+        fs.write_all("db/000042.log.tmp", b"interrupted heal").unwrap();
+        let report = check_db(fs.as_ref(), "db").unwrap();
+        assert!(
+            report.warnings.iter().any(|w| w.contains("stale temp file 000042.log.tmp")),
+            "{:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
     fn flags_orphan_tables() {
         let fs = populated_fs();
         fs.write_all("db/999999.sst", b"junk").unwrap();
@@ -439,6 +512,11 @@ mod tests {
                 "dangling CURRENT",
                 Box::new(|fs: &MemFs| fs.write_all("db/CURRENT", b"MANIFEST-424242\n").unwrap()),
                 "MANIFEST-424242",
+            ),
+            (
+                "stale temp file",
+                Box::new(|fs: &MemFs| fs.write_all("db/CURRENT.tmp", b"MANIFEST-9\n").unwrap()),
+                "stale temp file",
             ),
         ];
         for (what, mutate, signature) in classes {

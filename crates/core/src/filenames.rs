@@ -28,6 +28,10 @@ pub enum FileKind {
     Manifest(u64),
     /// `CURRENT`
     Current,
+    /// `*.tmp` — scratch half of a write-temp-then-rename sequence
+    /// (CURRENT updates, WAL tear healing). Only ever live mid-open;
+    /// one found on disk is crash debris.
+    Temp,
     /// Anything else.
     Unknown,
 }
@@ -36,6 +40,9 @@ pub enum FileKind {
 pub fn parse_file_name(name: &str) -> FileKind {
     if name == "CURRENT" {
         return FileKind::Current;
+    }
+    if name.ends_with(".tmp") {
+        return FileKind::Temp;
     }
     if let Some(num) = name.strip_prefix("MANIFEST-") {
         if let Ok(n) = num.parse::<u64>() {
@@ -72,7 +79,8 @@ mod tests {
         assert_eq!(parse_file_name("000009.log"), FileKind::Wal(9));
         assert_eq!(parse_file_name("MANIFEST-000003"), FileKind::Manifest(3));
         assert_eq!(parse_file_name("CURRENT"), FileKind::Current);
-        assert_eq!(parse_file_name("CURRENT.tmp"), FileKind::Unknown);
+        assert_eq!(parse_file_name("CURRENT.tmp"), FileKind::Temp);
+        assert_eq!(parse_file_name("000042.log.tmp"), FileKind::Temp);
         assert_eq!(parse_file_name("junk.sst2"), FileKind::Unknown);
         assert_eq!(parse_file_name("abc.sst"), FileKind::Unknown);
         assert_eq!(parse_file_name("MANIFEST-xyz"), FileKind::Unknown);

@@ -17,7 +17,10 @@
 //!   4. FADE's delete-persistence bound still holds going forward.
 //!
 //!   [`run_crash_point`] checks one crash instant; [`run_crash_suite`]
-//!   sweeps many. Violations are *collected*, not panicked, so tests
+//!   sweeps many; [`run_recovery_crash_point`] crashes a second time
+//!   *during the recovery itself*, exercising the repair path's own
+//!   crash windows (tear healing, dropped-segment deletion, manifest
+//!   snapshot + GC). Violations are *collected*, not panicked, so tests
 //!   can also assert that a deliberately broken ordering — see
 //!   [`demonstrate_delete_before_manifest`] — is in fact caught.
 //!
@@ -374,6 +377,91 @@ pub fn run_crash_point(cfg: &CrashConfig, point: u64) -> CrashPointOutcome {
     let violations =
         violations.into_iter().map(|v| format!("point {point}: {v}")).collect();
     CrashPointOutcome { point, crashed, acked, violations }
+}
+
+/// Crash twice: once in the workload at durability point
+/// `workload_point`, then *again during the recovery itself* at its
+/// `recovery_point`-th durability point — the double-fault schedule
+/// that catches recovery paths which repair the image in a
+/// non-crash-safe order (healing a WAL tear before the segments it
+/// invalidates are durably gone, deleting a superseded manifest before
+/// the CURRENT repoint is durable, rewriting a segment in place). After
+/// the second reboot the database must open cleanly and satisfy every
+/// invariant of [`run_crash_point`].
+///
+/// The returned outcome's `point` and `crashed` describe the
+/// *recovery* crash; `acked` still counts workload acknowledgements.
+pub fn run_recovery_crash_point(
+    cfg: &CrashConfig,
+    workload_point: u64,
+    recovery_point: u64,
+) -> CrashPointOutcome {
+    let ops = cfg.workload.generate();
+    let fault = FaultVfs::with_seed(
+        Arc::new(MemFs::new()),
+        cfg.workload.seed
+            ^ workload_point.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ recovery_point.rotate_left(32).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+    );
+    fault.set_cut_durability(cfg.cut);
+    let mut violations: Vec<String> = Vec::new();
+
+    // First life: the workload, cut at `workload_point`.
+    let db = Db::open(Arc::new(fault.clone()), "db", cfg.db_options()).expect("clean open");
+    fault.reset_points();
+    fault.arm_power_cut_at(workload_point);
+    let mut acked = 0usize;
+    let mut in_flight = false;
+    for op in &ops {
+        match apply_op(&db, op) {
+            Ok(()) => acked += 1,
+            Err(_) => {
+                in_flight = true;
+                break;
+            }
+        }
+    }
+    drop(db);
+    fault.reboot();
+
+    // Second life: recovery, cut at its `recovery_point`-th durability
+    // point. The open may also complete first (the point lies beyond
+    // recovery) and die during shutdown — both are valid schedules.
+    fault.reset_points();
+    fault.arm_power_cut_at(recovery_point);
+    match Db::open(Arc::new(fault.clone()), "db", cfg.db_options()) {
+        Ok(db) => drop(db),
+        Err(_) if fault.has_crashed() => {}
+        Err(e) => violations.push(format!("recovery failed without a power cut: {e}")),
+    }
+    let crashed = fault.has_crashed();
+    fault.reboot();
+
+    // Third life: no faults; every invariant must hold.
+    match Db::open(Arc::new(fault.clone()), "db", cfg.db_options()) {
+        Err(e) => violations.push(format!("reopen after recovery crash failed: {e}")),
+        Ok(db) => {
+            violations.extend(check_recovered_state(&db, &ops, acked, in_flight));
+            violations.extend(check_fade_bound(&db, cfg));
+            if let Err(e) = db.verify_integrity() {
+                violations.push(format!("verify_integrity after recovery crash: {e}"));
+            }
+            drop(db);
+            match doctor::check_db(&fault, "db") {
+                Err(e) => violations.push(format!("doctor failed after recovery crash: {e}")),
+                Ok(report) => {
+                    for w in report.warnings {
+                        violations.push(format!("doctor warning after recovery crash: {w}"));
+                    }
+                }
+            }
+        }
+    }
+    let violations = violations
+        .into_iter()
+        .map(|v| format!("workload point {workload_point}, recovery point {recovery_point}: {v}"))
+        .collect();
+    CrashPointOutcome { point: recovery_point, crashed, acked, violations }
 }
 
 /// Sweep [`run_crash_point`] over `points`.

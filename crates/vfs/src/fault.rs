@@ -25,8 +25,11 @@
 //!   immediately, durable only after the next successful
 //!   `WritableFile::sync`.
 //! * `Vfs::write_all` and `Vfs::rename` are treated as atomic and
-//!   durable (the engine uses them only for the tiny CURRENT pointer,
-//!   via write-temp-then-rename).
+//!   durable (the engine uses them only in write-temp-then-rename
+//!   sequences: the CURRENT pointer and WAL tear healing).
+//! * `Vfs::delete` and `Vfs::sync_dir` are likewise durable at the
+//!   instant they happen; `sync_dir` is therefore a model no-op, kept
+//!   injectable so tests can fail it like a dying disk would.
 //! * A file created and never synced does not survive a power cut at
 //!   all (its directory entry was never persisted either).
 //!
@@ -73,6 +76,8 @@ pub enum FaultOp {
     Rename,
     /// `Vfs::delete`.
     Delete,
+    /// `Vfs::sync_dir`.
+    SyncDir,
 }
 
 /// What happens when a rule fires.
@@ -545,6 +550,18 @@ impl Vfs for FaultVfs {
         self.inner.mkdir_all(path)
     }
 
+    fn sync_dir(&self, dir: &str) -> Result<()> {
+        // Not a durability point: the model already makes deletes and
+        // renames durable at the instant they happen, so a cut here
+        // exposes no state a cut at the neighbouring operations cannot.
+        // Error injection still applies — a dying disk can fail the
+        // directory fsync like any other call.
+        if self.gate(FaultOp::SyncDir, "sync_dir", dir)?.is_some() {
+            return Err(injected("sync_dir", dir));
+        }
+        self.inner.sync_dir(dir)
+    }
+
     fn file_size(&self, path: &str) -> Result<u64> {
         if self.state.lock().crashed {
             return Err(powered_off("file_size", path));
@@ -697,6 +714,18 @@ mod tests {
             assert!(data.len() >= 4 && data.len() <= 9, "len {}", data.len());
             assert!(b"keepmaybe".starts_with(&data[..]), "must be a prefix");
         }
+    }
+
+    #[test]
+    fn sync_dir_errors_are_injectable() {
+        let (_mem, fs) = fault_fs();
+        fs.mkdir_all("db").unwrap();
+        fs.sync_dir("db").unwrap();
+        fs.inject(FaultRule::new(FaultOp::SyncDir, FaultKind::Error).times(1));
+        assert!(fs.sync_dir("db").is_err());
+        fs.sync_dir("db").unwrap();
+        // Directory syncs are not durability points in this model.
+        assert_eq!(fs.durability_points(), 0);
     }
 
     #[test]

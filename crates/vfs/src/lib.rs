@@ -86,6 +86,11 @@ pub trait Vfs: Send + Sync {
     fn list(&self, dir: &str) -> Result<Vec<String>>;
     /// Create a directory and its ancestors. Idempotent.
     fn mkdir_all(&self, path: &str) -> Result<()>;
+    /// Durably persist the directory entries under `dir`: creates,
+    /// deletes, and renames performed inside it are guaranteed to
+    /// survive a power cut only after this returns. In-memory
+    /// filesystems treat metadata as always durable and may no-op.
+    fn sync_dir(&self, dir: &str) -> Result<()>;
     /// Size of the file at `path`.
     fn file_size(&self, path: &str) -> Result<u64>;
     /// The I/O counters for this filesystem.
@@ -154,6 +159,9 @@ mod conformance {
         let mut names = fs.list(root).unwrap();
         names.sort();
         assert_eq!(names, vec!["b.dat".to_string(), "c.dat".to_string()]);
+
+        // sync_dir succeeds on an existing directory.
+        fs.sync_dir(root).unwrap();
 
         // delete.
         fs.delete(&q).unwrap();

@@ -211,6 +211,12 @@ impl Vfs for MemFs {
         Ok(())
     }
 
+    fn sync_dir(&self, _dir: &str) -> Result<()> {
+        // Directory metadata is always durable in memory.
+        self.stats.record_sync();
+        Ok(())
+    }
+
     fn file_size(&self, path: &str) -> Result<u64> {
         let state = self.state.lock();
         state

@@ -145,7 +145,15 @@ impl Vfs for StdFs {
     }
 
     fn write_all(&self, path: &str, data: &[u8]) -> Result<()> {
-        fs::write(path, data).map_err(|e| Error::io(format!("write_all {path}"), e))?;
+        // The engine relies on write_all being durable once it returns
+        // (it feeds write-temp-then-rename sequences), so the file data
+        // is fsynced here rather than left to the page cache.
+        let mut file =
+            fs::File::create(path).map_err(|e| Error::io(format!("write_all {path}"), e))?;
+        file.write_all(data).map_err(|e| Error::io(format!("write_all {path}"), e))?;
+        if self.fsync_enabled {
+            file.sync_data().map_err(|e| Error::io(format!("fsync {path}"), e))?;
+        }
         self.stats.record_create();
         self.stats.record_write(data.len() as u64);
         Ok(())
@@ -181,6 +189,16 @@ impl Vfs for StdFs {
 
     fn mkdir_all(&self, path: &str) -> Result<()> {
         fs::create_dir_all(path).map_err(|e| Error::io(format!("mkdir_all {path}"), e))
+    }
+
+    fn sync_dir(&self, dir: &str) -> Result<()> {
+        if self.fsync_enabled {
+            fs::File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| Error::io(format!("sync_dir {dir}"), e))?;
+            self.stats.record_sync();
+        }
+        Ok(())
     }
 
     fn file_size(&self, path: &str) -> Result<u64> {

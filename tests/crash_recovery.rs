@@ -18,8 +18,8 @@
 //! random length the way physical sectors tear).
 
 use acheron::testutil::{
-    count_crash_points, demonstrate_delete_before_manifest, run_crash_suite, CrashConfig,
-    CrashWorkload,
+    count_crash_points, demonstrate_delete_before_manifest, run_crash_suite,
+    run_recovery_crash_point, CrashConfig, CrashWorkload,
 };
 use acheron_vfs::CutDurability;
 use proptest::prelude::*;
@@ -102,6 +102,47 @@ fn background_mode_survives_crashes_at_sampled_points() {
         "background sweep should hit real crashes, got {}",
         report.crashes()
     );
+}
+
+/// Crash *during recovery*: cut power in the workload, reboot, then cut
+/// power again at each of the first durability points of the recovery
+/// itself — the double-fault schedule that catches repair paths which
+/// fix the image in a non-crash-safe order (healing a WAL tear before
+/// the segments it invalidates are gone, collecting a superseded
+/// manifest before the CURRENT repoint is durable). Run under both
+/// power-cut models; the torn-tail model additionally tears the heal's
+/// own temp file mid-write.
+#[test]
+fn recovery_itself_survives_crashes_at_swept_points() {
+    for cut in [CutDurability::DropUnsynced, CutDurability::TornTail] {
+        let cfg = CrashConfig {
+            cut,
+            workload: CrashWorkload { seed: 0xFEED_0004, ops: 200, ..CrashWorkload::default() },
+            ..sync_cfg()
+        };
+        let total = count_crash_points(&cfg);
+        assert!(total >= 12, "workload too small: {total} durability points");
+        let mut violations: Vec<String> = Vec::new();
+        let mut recovery_crashes = 0usize;
+        // Three workload crash instants (early / mid / late), each
+        // followed by a sweep over the recovery's own first points.
+        for workload_point in [total / 8, total / 2, total - 2] {
+            for recovery_point in 0..6 {
+                let outcome = run_recovery_crash_point(&cfg, workload_point, recovery_point);
+                recovery_crashes += usize::from(outcome.crashed);
+                violations.extend(outcome.violations);
+            }
+        }
+        assert!(
+            violations.is_empty(),
+            "recovery-crash invariant violations ({cut:?}):\n{}",
+            violations.join("\n")
+        );
+        assert!(
+            recovery_crashes >= 6,
+            "sweep should cut power inside recovery ({cut:?}): {recovery_crashes} crashes"
+        );
+    }
 }
 
 /// The check itself must have teeth: an engine that physically deleted
