@@ -52,12 +52,7 @@ fn bench_bloom(c: &mut Criterion) {
         .map(|i| format!("key{i:010}").into_bytes())
         .collect();
     c.bench_function("bloom/build_10k_keys", |b| {
-        b.iter(|| {
-            black_box(BloomFilter::build(
-                keys.iter().map(|k| k.as_slice()),
-                10,
-            ))
-        })
+        b.iter(|| black_box(BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10)))
     });
     let filter = BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10);
     c.bench_function("bloom/probe", |b| {
@@ -71,7 +66,10 @@ fn bench_bloom(c: &mut Criterion) {
 
 fn build_table(h: usize, n: u64) -> (Arc<MemFs>, Arc<Table>) {
     let fs = Arc::new(MemFs::new());
-    let opts = TableOptions { pages_per_tile: h, ..Default::default() };
+    let opts = TableOptions {
+        pages_per_tile: h,
+        ..Default::default()
+    };
     let mut b = TableBuilder::new(fs.create("t.sst").unwrap(), opts).unwrap();
     for i in 0..n {
         b.add(&entry(i)).unwrap();
@@ -130,7 +128,8 @@ fn bench_engine(c: &mut Criterion) {
     let fs = Arc::new(MemFs::new());
     let db = acheron::Db::open(fs, "db", acheron::DbOptions::small()).unwrap();
     for i in 0..50_000u64 {
-        db.put(format!("key{i:010}").as_bytes(), &[b'v'; 64]).unwrap();
+        db.put(format!("key{i:010}").as_bytes(), &[b'v'; 64])
+            .unwrap();
     }
     db.compact_all().unwrap();
     c.bench_function("engine/get_hit", |b| {

@@ -44,7 +44,14 @@ fn main() {
     }
     print_table(
         "E10: TTL allocation ablation (uniform vs exponential)",
-        &["allocation", "D_th", "write amp", "ttl compactions", "max persist", "violations"],
+        &[
+            "allocation",
+            "D_th",
+            "write amp",
+            "ttl compactions",
+            "max persist",
+            "violations",
+        ],
         &rows,
     );
     println!(

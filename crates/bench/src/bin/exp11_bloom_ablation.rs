@@ -40,7 +40,10 @@ fn run(bits_per_key: usize) -> Vec<String> {
     for q in 0..PROBES {
         // Absent keys inside the fence range.
         let key = format!("key{:012}x", (q * 48_271) % N);
-        assert!(table.get(key.as_bytes(), u64::MAX >> 8, &[]).unwrap().is_none());
+        assert!(table
+            .get(key.as_bytes(), u64::MAX >> 8, &[])
+            .unwrap()
+            .is_none());
     }
     let negative_us = start.elapsed().as_secs_f64() * 1e6 / PROBES as f64;
     let pages_read = table.counters.pages_read.load(Relaxed);
@@ -51,12 +54,19 @@ fn run(bits_per_key: usize) -> Vec<String> {
     let start = Instant::now();
     for q in 0..PROBES / 5 {
         let key = format!("key{:012}", (q * 48_271) % N);
-        assert!(table.get(key.as_bytes(), u64::MAX >> 8, &[]).unwrap().is_some());
+        assert!(table
+            .get(key.as_bytes(), u64::MAX >> 8, &[])
+            .unwrap()
+            .is_some());
     }
     let positive_us = start.elapsed().as_secs_f64() * 1e6 / (PROBES / 5) as f64;
 
     // Filter footprint: bits/key * keys.
-    let filter_bytes = if bits_per_key == 0 { 0 } else { (N as usize * bits_per_key) / 8 };
+    let filter_bytes = if bits_per_key == 0 {
+        0
+    } else {
+        (N as usize * bits_per_key) / 8
+    };
     vec![
         bits_per_key.to_string(),
         f3(fpr),

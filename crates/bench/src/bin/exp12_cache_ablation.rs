@@ -38,7 +38,11 @@ fn run(cache_bytes: usize) -> Vec<String> {
         hits as f64 / (hits + misses) as f64
     };
     vec![
-        if cache_bytes == 0 { "off".into() } else { grouped(cache_bytes as u64) },
+        if cache_bytes == 0 {
+            "off".into()
+        } else {
+            grouped(cache_bytes as u64)
+        },
         f3(us),
         f2(hit_rate * 100.0),
         grouped(hits),

@@ -36,11 +36,11 @@ fn run(k: f64, l: u64) -> Vec<String> {
 
 fn main() {
     let rows = vec![
-        run(0.0, 0),        // fully sorted
-        run(0.05, 100),     // nearly sorted
-        run(0.25, 1_000),   // moderately scrambled
-        run(0.50, 10_000),  // heavily scrambled
-        run(1.00, N),       // ~random
+        run(0.0, 0),       // fully sorted
+        run(0.05, 100),    // nearly sorted
+        run(0.25, 1_000),  // moderately scrambled
+        run(0.50, 10_000), // heavily scrambled
+        run(1.00, N),      // ~random
     ];
     print_table(
         "E13: ingestion vs (K, L)-sortedness of the input stream",

@@ -16,7 +16,11 @@ const N: u64 = 25_000;
 const LOOKUPS: u64 = 10_000;
 
 fn run(layout: CompactionLayout, t: u64) -> Vec<String> {
-    let opts = DbOptions { layout, size_ratio: t, ..base_opts() };
+    let opts = DbOptions {
+        layout,
+        size_ratio: t,
+        ..base_opts()
+    };
     let (_fs, db) = open_db(opts);
     let start = Instant::now();
     for i in 0..N {
@@ -59,7 +63,14 @@ fn main() {
     }
     print_table(
         "E14: layout x size-ratio sweep (write-heavy scrambled inserts)",
-        &["layout", "T", "write amp", "total runs", "lookup us", "inserts/s"],
+        &[
+            "layout",
+            "T",
+            "write amp",
+            "total runs",
+            "lookup us",
+            "inserts/s",
+        ],
         &rows,
     );
     println!(

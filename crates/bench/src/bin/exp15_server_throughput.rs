@@ -1,0 +1,133 @@
+//! E15 — The cost of the wire: embedded vs networked throughput.
+//!
+//! The service layer (PR: network service layer) must not change
+//! results — only speed. This experiment drives the *same seeded
+//! workload* through three sinks and compares:
+//!
+//! * `embedded`   — `run_ops(&db, ...)`, direct function calls;
+//! * `server`     — one request per round trip over loopback TCP;
+//! * `server-pipelined` — the same ops in pipelined bursts, which is
+//!   how the protocol is meant to be used (the server batches the
+//!   writes of each burst into one atomic `WriteBatch`).
+//!
+//! The embedded and per-op server runs must produce identical
+//! [`RunReport::check_digest`]s — the equivalence claim backing
+//! `tests/server_equivalence.rs`, restated here as a measurement.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use acheron::Db;
+use acheron_bench::{base_opts, grouped, print_table};
+use acheron_server::{Client, Request, Server, ServerOptions};
+use acheron_vfs::MemFs;
+use acheron_workload::{run_ops, KeyDistribution, Op, OpMix, WorkloadGen, WorkloadSpec};
+
+const OPS: usize = 20_000;
+const KEYSPACE: u64 = 10_000;
+const PIPELINE_DEPTH: usize = 64;
+
+fn fresh_db() -> Arc<Db> {
+    Arc::new(Db::open(Arc::new(MemFs::new()), "db", base_opts().with_fade(20_000)).unwrap())
+}
+
+fn ops_stream() -> Vec<Op> {
+    let spec = WorkloadSpec::new(
+        OpMix::mixed(40, 10, 40, 10),
+        KeyDistribution::uniform(KEYSPACE),
+    );
+    WorkloadGen::new(spec).take(OPS)
+}
+
+fn to_request(op: &Op) -> Request {
+    match op {
+        Op::Put { key, value, dkey } => Request::Put {
+            key: key.clone(),
+            value: value.clone(),
+            dkey: *dkey,
+        },
+        Op::Delete { key } => Request::Delete { key: key.clone() },
+        Op::Get { key } => Request::Get { key: key.clone() },
+        Op::Scan { lo, hi } => Request::Scan {
+            lo: lo.clone(),
+            hi: hi.clone(),
+        },
+        Op::RangeDeleteSecondary { lo, hi } => Request::RangeDeleteSecondary { lo: *lo, hi: *hi },
+    }
+}
+
+fn main() {
+    let ops = ops_stream();
+
+    // Embedded: direct calls.
+    let db = fresh_db();
+    let embedded = run_ops(&*db, &ops).unwrap();
+
+    // Server, one op per round trip, through the same OpSink driver.
+    let db = fresh_db();
+    let mut server = Server::start(Arc::clone(&db), "127.0.0.1:0", ServerOptions::default())
+        .expect("start server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let remote = run_ops(&mut client, &ops).unwrap();
+    server.shutdown();
+
+    // Server, pipelined in bursts of PIPELINE_DEPTH.
+    let db = fresh_db();
+    let mut server = Server::start(Arc::clone(&db), "127.0.0.1:0", ServerOptions::default())
+        .expect("start server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let requests: Vec<Request> = ops.iter().map(to_request).collect();
+    let start = Instant::now();
+    let mut responses = 0usize;
+    for burst in requests.chunks(PIPELINE_DEPTH) {
+        responses += client.pipeline(burst).expect("pipeline burst").len();
+    }
+    let pipelined_secs = start.elapsed().as_secs_f64();
+    assert_eq!(responses, ops.len());
+    server.shutdown();
+
+    assert_eq!(
+        embedded.check_digest, remote.check_digest,
+        "embedded and server runs must be result-identical"
+    );
+
+    let rows = vec![
+        vec![
+            "embedded".to_string(),
+            grouped(embedded.ops_per_sec() as u64),
+            grouped(embedded.op_p50_us),
+            grouped(embedded.op_p99_us),
+            format!("{:08x}", embedded.check_digest),
+        ],
+        vec![
+            "server (per-op)".to_string(),
+            grouped(remote.ops_per_sec() as u64),
+            grouped(remote.op_p50_us),
+            grouped(remote.op_p99_us),
+            format!("{:08x}", remote.check_digest),
+        ],
+        vec![
+            format!("server (pipeline={PIPELINE_DEPTH})"),
+            grouped((ops.len() as f64 / pipelined_secs) as u64),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ],
+    ];
+    print_table(
+        "E15: embedded vs networked throughput, same seeded workload",
+        &["sink", "ops/s", "p50 us", "p99 us", "digest"],
+        &rows,
+    );
+    let per_op_ratio = remote.ops_per_sec() / embedded.ops_per_sec().max(f64::MIN_POSITIVE);
+    let pipelined_ratio =
+        (ops.len() as f64 / pipelined_secs) / embedded.ops_per_sec().max(f64::MIN_POSITIVE);
+    println!(
+        "\nserver/embedded throughput: {per_op_ratio:.2}x per-op, {pipelined_ratio:.2}x pipelined"
+    );
+    println!(
+        "Expected shape: per-op round trips pay a large latency tax; pipelining\n\
+         recovers most of it (amortized syscalls + server-side write batching).\n\
+         Digests must match — the wire changes the medium, never the answer."
+    );
+}

@@ -35,7 +35,8 @@ fn run(d_th: Option<u64>, background_threads: usize) -> Vec<String> {
     // Unrelated hot range keeps the engine busy without touching the
     // deleted range.
     for i in 0..FILL {
-        db.put(format!("zzz{i:09}").as_bytes(), &[b'w'; 48]).unwrap();
+        db.put(format!("zzz{i:09}").as_bytes(), &[b'w'; 48])
+            .unwrap();
     }
     // Let wall-clock time pass (ticks) far beyond any sane threshold.
     // Synchronous mode gets maintenance opportunities at the cadence a

@@ -53,7 +53,13 @@ fn main() {
     }
     print_table(
         "E2: write amplification vs delete persistence threshold",
-        &["engine", "write amp", "vs baseline", "compactions", "ttl-triggered"],
+        &[
+            "engine",
+            "write amp",
+            "vs baseline",
+            "compactions",
+            "ttl-triggered",
+        ],
         &rows,
     );
     println!(

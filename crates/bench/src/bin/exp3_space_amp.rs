@@ -15,7 +15,11 @@ const POPULATION: u64 = 10_000;
 const VALUE: usize = 64;
 
 fn run(delete_pct: u64, fade: bool) -> (f64, u64) {
-    let opts = if fade { base_opts().with_fade(8_000) } else { base_opts() };
+    let opts = if fade {
+        base_opts().with_fade(8_000)
+    } else {
+        base_opts()
+    };
     let (_fs, db) = open_db(opts);
     for i in 0..POPULATION {
         db.put(&key_bytes(i), &[b'v'; VALUE]).unwrap();
@@ -33,9 +37,16 @@ fn run(delete_pct: u64, fade: bool) -> (f64, u64) {
     // opportunities (maintain is trigger-driven for both).
     settle(&db, 50_000, 250);
     let live_rows = db.scan(&key_bytes(0), &key_bytes(POPULATION)).unwrap();
-    let logical: u64 = live_rows.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+    let logical: u64 = live_rows
+        .iter()
+        .map(|(k, v)| (k.len() + v.len()) as u64)
+        .sum();
     let physical = db.table_bytes();
-    let amp = if logical == 0 { f64::NAN } else { physical as f64 / logical as f64 };
+    let amp = if logical == 0 {
+        f64::NAN
+    } else {
+        physical as f64 / logical as f64
+    };
     (amp, db.live_tombstones())
 }
 

@@ -7,6 +7,7 @@
 
 use std::time::Instant;
 
+use acheron::LatencyHistogram;
 use acheron_bench::{base_opts, f2, f3, grouped, open_db, print_table, settle};
 use acheron_workload::key_bytes;
 
@@ -15,7 +16,11 @@ const DELETE_EVERY: u64 = 3; // delete every 3rd key
 const LOOKUPS: u64 = 30_000;
 
 fn run(fade: bool) -> Vec<String> {
-    let opts = if fade { base_opts().with_fade(10_000) } else { base_opts() };
+    let opts = if fade {
+        base_opts().with_fade(10_000)
+    } else {
+        base_opts()
+    };
     let (_fs, db) = open_db(opts);
     for i in 0..POPULATION {
         db.put(&key_bytes(i), &[b'v'; 64]).unwrap();
@@ -33,22 +38,31 @@ fn run(fade: bool) -> Vec<String> {
     settle(&db, 64_000, 300);
 
     let before_reads = db.vfs().io_stats().snapshot();
+    let latency = LatencyHistogram::default();
     let start = Instant::now();
     let mut hits = 0u64;
     for q in 0..LOOKUPS {
         // Deterministic pseudo-random probe sequence over live+deleted
         // keys and some misses.
         let id = (q * 2_654_435_761) % (POPULATION + POPULATION / 4);
+        let lookup_start = Instant::now();
         if db.get(&key_bytes(id)).unwrap().is_some() {
             hits += 1;
         }
+        latency.record(lookup_start.elapsed().as_micros() as u64);
     }
     let elapsed = start.elapsed().as_secs_f64();
     let read_delta = db.vfs().io_stats().snapshot() - before_reads;
     vec![
-        if fade { "FADE".into() } else { "baseline".into() },
+        if fade {
+            "FADE".into()
+        } else {
+            "baseline".into()
+        },
         grouped((LOOKUPS as f64 / elapsed) as u64),
         f3(elapsed * 1e9 / LOOKUPS as f64 / 1000.0), // µs per lookup
+        grouped(latency.percentile(50.0)),
+        grouped(latency.percentile(99.0)),
         grouped(hits),
         grouped(db.live_tombstones()),
         f2(read_delta.bytes_read as f64 / LOOKUPS as f64),
@@ -70,6 +84,8 @@ fn main() {
             "engine",
             "lookups/s",
             "us/lookup",
+            "p50 us",
+            "p99 us",
             "hits",
             "live tombstones",
             "bytes read/op",

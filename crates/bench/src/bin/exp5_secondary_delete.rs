@@ -25,7 +25,8 @@ const ERASE_PCT: u64 = 30;
 fn load(db: &acheron::Db) {
     // dkey = insertion index: a timestamp, as in the paper's model.
     for i in 0..POPULATION {
-        db.put_with_dkey(&key_bytes(i % 7_919 * 7 + i / 7_919), &[b'v'; 64], i).unwrap();
+        db.put_with_dkey(&key_bytes(i % 7_919 * 7 + i / 7_919), &[b'v'; 64], i)
+            .unwrap();
     }
     db.compact_all().unwrap();
 }
@@ -36,13 +37,17 @@ fn run_range_delete(h: usize) -> Vec<String> {
     load(&db);
     let before = fs.io_stats().snapshot();
     let start = std::time::Instant::now();
-    db.range_delete_secondary(0, POPULATION * ERASE_PCT / 100 - 1).unwrap();
+    db.range_delete_secondary(0, POPULATION * ERASE_PCT / 100 - 1)
+        .unwrap();
     db.compact_all().unwrap();
     let elapsed = start.elapsed().as_secs_f64();
     let delta = fs.io_stats().snapshot() - before;
     use std::sync::atomic::Ordering::Relaxed;
     vec![
-        format!("range delete, h={h}{}", if h == 1 { " (classic)" } else { " (KiWi)" }),
+        format!(
+            "range delete, h={h}{}",
+            if h == 1 { " (classic)" } else { " (KiWi)" }
+        ),
         grouped(delta.bytes_read),
         grouped(delta.bytes_written),
         grouped(db.stats().pages_dropped.load(Relaxed)),
@@ -86,7 +91,14 @@ fn main() {
             "E5: erase oldest {ERASE_PCT}% by timestamp ({} entries)",
             grouped(POPULATION)
         ),
-        &["strategy", "bytes read", "bytes written", "pages dropped", "entries purged", "ms"],
+        &[
+            "strategy",
+            "bytes read",
+            "bytes written",
+            "pages dropped",
+            "entries purged",
+            "ms",
+        ],
         &rows,
     );
     println!(

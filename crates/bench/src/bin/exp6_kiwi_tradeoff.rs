@@ -23,7 +23,8 @@ fn run(h: usize) -> Vec<String> {
     for i in 0..POPULATION {
         // Scrambled keys, timestamp dkeys: the adversarial case for the
         // weave (sort order uncorrelated with delete order).
-        db.put_with_dkey(&key_bytes(i % 7_919 * 7 + i / 7_919), &[b'v'; 64], i).unwrap();
+        db.put_with_dkey(&key_bytes(i % 7_919 * 7 + i / 7_919), &[b'v'; 64], i)
+            .unwrap();
     }
     db.compact_all().unwrap();
 
@@ -41,7 +42,10 @@ fn run(h: usize) -> Vec<String> {
     let mut rows = 0u64;
     for q in 0..SCANS {
         let lo = (q * 6_151) % (POPULATION - SCAN_WIDTH);
-        rows += db.scan(&key_bytes(lo), &key_bytes(lo + SCAN_WIDTH)).unwrap().len() as u64;
+        rows += db
+            .scan(&key_bytes(lo), &key_bytes(lo + SCAN_WIDTH))
+            .unwrap()
+            .len() as u64;
     }
     let scan_ms = start.elapsed().as_secs_f64() * 1e3 / SCANS as f64;
 
@@ -66,7 +70,13 @@ fn main() {
     let rows: Vec<Vec<String>> = [1usize, 2, 4, 8, 16, 32].iter().map(|&h| run(h)).collect();
     print_table(
         "E6: KiWi tile granularity h — read cost vs delete granularity",
-        &["h", "lookup us/op", "scan ms/op", "rows/scan", "pages dropped on erase"],
+        &[
+            "h",
+            "lookup us/op",
+            "scan ms/op",
+            "rows/scan",
+            "pages dropped on erase",
+        ],
         &rows,
     );
     println!(

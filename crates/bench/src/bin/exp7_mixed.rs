@@ -12,7 +12,11 @@ const OPS: usize = 30_000;
 const KEYSPACE: u64 = 20_000;
 
 fn run(mix: OpMix, label: &str, fade: bool, zipf: bool) -> Vec<String> {
-    let opts = if fade { base_opts().with_fade(20_000) } else { base_opts() };
+    let opts = if fade {
+        base_opts().with_fade(20_000)
+    } else {
+        base_opts()
+    };
     let (_fs, db) = open_db(opts);
     let dist = if zipf {
         KeyDistribution::zipfian(KEYSPACE, 0.99)
@@ -23,8 +27,14 @@ fn run(mix: OpMix, label: &str, fade: bool, zipf: bool) -> Vec<String> {
     let report = run_ops(&db, &ops).unwrap();
     vec![
         label.to_string(),
-        if fade { "FADE".into() } else { "baseline".into() },
+        if fade {
+            "FADE".into()
+        } else {
+            "baseline".into()
+        },
         grouped(report.ops_per_sec() as u64),
+        grouped(report.op_p50_us),
+        grouped(report.op_p99_us),
         f2(db.stats().write_amplification()),
         grouped(report.get_hits),
         grouped(db.live_tombstones()),
@@ -34,10 +44,26 @@ fn run(mix: OpMix, label: &str, fade: bool, zipf: bool) -> Vec<String> {
 fn main() {
     let mixes: Vec<(&str, OpMix, bool)> = vec![
         ("insert-only (uniform)", OpMix::insert_only(), false),
-        ("write-heavy 25% del (uniform)", OpMix::write_heavy(25), false),
-        ("balanced 40/10/40/10 (uniform)", OpMix::mixed(40, 10, 40, 10), false),
-        ("balanced 40/10/40/10 (zipf .99)", OpMix::mixed(40, 10, 40, 10), true),
-        ("read-heavy 15/5/70/10 (uniform)", OpMix::mixed(15, 5, 70, 10), false),
+        (
+            "write-heavy 25% del (uniform)",
+            OpMix::write_heavy(25),
+            false,
+        ),
+        (
+            "balanced 40/10/40/10 (uniform)",
+            OpMix::mixed(40, 10, 40, 10),
+            false,
+        ),
+        (
+            "balanced 40/10/40/10 (zipf .99)",
+            OpMix::mixed(40, 10, 40, 10),
+            true,
+        ),
+        (
+            "read-heavy 15/5/70/10 (uniform)",
+            OpMix::mixed(15, 5, 70, 10),
+            false,
+        ),
     ];
     let mut rows = Vec::new();
     for (label, mix, zipf) in mixes {
@@ -46,7 +72,16 @@ fn main() {
     }
     print_table(
         "E7: mixed-workload throughput, baseline vs FADE",
-        &["workload", "engine", "ops/s", "write amp", "get hits", "live tombstones"],
+        &[
+            "workload",
+            "engine",
+            "ops/s",
+            "p50 us",
+            "p99 us",
+            "write amp",
+            "get hits",
+            "live tombstones",
+        ],
         &rows,
     );
     println!(

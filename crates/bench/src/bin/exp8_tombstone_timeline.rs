@@ -12,7 +12,11 @@ const TOTAL_OPS: usize = 60_000;
 const SAMPLE_EVERY: usize = 5_000;
 
 fn timeline(fade: bool) -> Vec<(usize, u64, u64)> {
-    let opts = if fade { base_opts().with_fade(10_000) } else { base_opts() };
+    let opts = if fade {
+        base_opts().with_fade(10_000)
+    } else {
+        base_opts()
+    };
     let (_fs, db) = open_db(opts);
     let spec = WorkloadSpec::new(OpMix::write_heavy(30), KeyDistribution::uniform(50_000));
     let mut gen = WorkloadGen::new(spec);

@@ -73,7 +73,14 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         .map(|(i, h)| format!("{h:<w$}", w = widths[i]))
         .collect();
     println!("{}", header_line.join("  "));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         let line: Vec<String> = row
             .iter()

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use acheron::{CompactionLayout, Db, DbOptions};
+use acheron_server::Client;
 use acheron_vfs::MemFs;
 use acheron_workload::{run_ops, KeyDistribution, OpMix, WorkloadGen, WorkloadSpec};
 
@@ -85,9 +86,21 @@ impl Session {
             "scan" => self.cmd_scan(&args),
             "workload" => self.cmd_workload(&args),
             "tick" => self.cmd_tick(&args),
-            "maintain" => self.db.maintain().map(|_| "ok".to_string()).map_err(|e| e.to_string()),
-            "compact" => self.db.compact_all().map(|_| "ok".to_string()).map_err(|e| e.to_string()),
-            "flush" => self.db.flush().map(|_| "ok".to_string()).map_err(|e| e.to_string()),
+            "maintain" => self
+                .db
+                .maintain()
+                .map(|_| "ok".to_string())
+                .map_err(|e| e.to_string()),
+            "compact" => self
+                .db
+                .compact_all()
+                .map(|_| "ok".to_string())
+                .map_err(|e| e.to_string()),
+            "flush" => self
+                .db
+                .flush()
+                .map(|_| "ok".to_string())
+                .map_err(|e| e.to_string()),
             "tree" => Ok(self.render_tree()),
             "tombstones" => Ok(self.render_tombstones()),
             "stats" => Ok(self.render_stats()),
@@ -103,11 +116,15 @@ impl Session {
     fn cmd_put(&mut self, args: &[&str]) -> Result<String, String> {
         match args {
             [key, value] => {
-                self.db.put(key.as_bytes(), value.as_bytes()).map_err(|e| e.to_string())?;
+                self.db
+                    .put(key.as_bytes(), value.as_bytes())
+                    .map_err(|e| e.to_string())?;
                 Ok("ok".into())
             }
             [key, value, dkey] => {
-                let d: u64 = dkey.parse().map_err(|_| "dkey must be a number".to_string())?;
+                let d: u64 = dkey
+                    .parse()
+                    .map_err(|_| "dkey must be a number".to_string())?;
                 self.db
                     .put_with_dkey(key.as_bytes(), value.as_bytes(), d)
                     .map_err(|e| e.to_string())?;
@@ -118,7 +135,9 @@ impl Session {
     }
 
     fn cmd_get(&mut self, args: &[&str]) -> Result<String, String> {
-        let [key] = args else { return Err("usage: get <key>".into()) };
+        let [key] = args else {
+            return Err("usage: get <key>".into());
+        };
         match self.db.get(key.as_bytes()).map_err(|e| e.to_string())? {
             Some(v) => Ok(String::from_utf8_lossy(&v).into_owned()),
             None => Ok("(not found)".into()),
@@ -126,16 +145,22 @@ impl Session {
     }
 
     fn cmd_del(&mut self, args: &[&str]) -> Result<String, String> {
-        let [key] = args else { return Err("usage: del <key>".into()) };
+        let [key] = args else {
+            return Err("usage: del <key>".into());
+        };
         self.db.delete(key.as_bytes()).map_err(|e| e.to_string())?;
         Ok(format!("tombstone inserted at tick {}", self.db.now()))
     }
 
     fn cmd_rdel(&mut self, args: &[&str]) -> Result<String, String> {
-        let [lo, hi] = args else { return Err("usage: rdel <lo> <hi>".into()) };
+        let [lo, hi] = args else {
+            return Err("usage: rdel <lo> <hi>".into());
+        };
         let lo: u64 = lo.parse().map_err(|_| "lo must be a number".to_string())?;
         let hi: u64 = hi.parse().map_err(|_| "hi must be a number".to_string())?;
-        self.db.range_delete_secondary(lo, hi).map_err(|e| e.to_string())?;
+        self.db
+            .range_delete_secondary(lo, hi)
+            .map_err(|e| e.to_string())?;
         Ok(format!(
             "range tombstone registered; {} live",
             self.db.live_range_tombstones().len()
@@ -143,8 +168,13 @@ impl Session {
     }
 
     fn cmd_scan(&mut self, args: &[&str]) -> Result<String, String> {
-        let [lo, hi] = args else { return Err("usage: scan <lo> <hi>".into()) };
-        let rows = self.db.scan(lo.as_bytes(), hi.as_bytes()).map_err(|e| e.to_string())?;
+        let [lo, hi] = args else {
+            return Err("usage: scan <lo> <hi>".into());
+        };
+        let rows = self
+            .db
+            .scan(lo.as_bytes(), hi.as_bytes())
+            .map_err(|e| e.to_string())?;
         let mut out = String::new();
         for (k, v) in &rows {
             out.push_str(&format!(
@@ -162,12 +192,20 @@ impl Session {
             return Err("usage: workload <n> <put%> <del%> <get%> <scan%>".into());
         };
         let n: usize = n.parse().map_err(|_| "n must be a number".to_string())?;
-        let pct = |s: &str| s.parse::<u32>().map_err(|_| "percentages must be numbers".to_string());
+        let pct = |s: &str| {
+            s.parse::<u32>()
+                .map_err(|_| "percentages must be numbers".to_string())
+        };
         let (p, d, g, sc) = (pct(put)?, pct(del)?, pct(get)?, pct(scan)?);
         if p + d + g + sc != 100 {
             return Err("percentages must sum to 100".into());
         }
-        let mix = OpMix { put_pct: p, delete_pct: d, get_pct: g, scan_pct: sc };
+        let mix = OpMix {
+            put_pct: p,
+            delete_pct: d,
+            get_pct: g,
+            scan_pct: sc,
+        };
         let spec = WorkloadSpec::new(mix, KeyDistribution::uniform(50_000));
         let ops = WorkloadGen::new(spec).take(n);
         let report = run_ops(&self.db, &ops).map_err(|e| e.to_string())?;
@@ -183,7 +221,9 @@ impl Session {
     }
 
     fn cmd_tick(&mut self, args: &[&str]) -> Result<String, String> {
-        let [n] = args else { return Err("usage: tick <n>".into()) };
+        let [n] = args else {
+            return Err("usage: tick <n>".into());
+        };
         let n: u64 = n.parse().map_err(|_| "n must be a number".to_string())?;
         self.db.advance_clock(n);
         Ok(format!("clock now at {}", self.db.now()))
@@ -244,7 +284,12 @@ impl Session {
             let bar = "#".repeat(((level.bytes / 4096) as usize).clamp(1, 50));
             out.push_str(&format!(
                 "L{} {:<50} {:>4} files {:>2} runs {:>9} B {:>7} entries {:>6} tombstones\n",
-                level.level, bar, level.files, level.runs, level.bytes, level.entries,
+                level.level,
+                bar,
+                level.files,
+                level.runs,
+                level.bytes,
+                level.entries,
                 level.tombstones
             ));
         }
@@ -259,7 +304,10 @@ impl Session {
         use std::sync::atomic::Ordering::Relaxed;
         let s = self.db.stats();
         let mut out = String::new();
-        out.push_str(&format!("live point tombstones: {}\n", self.db.live_tombstones()));
+        out.push_str(&format!(
+            "live point tombstones: {}\n",
+            self.db.live_tombstones()
+        ));
         match self.db.oldest_live_tombstone_age() {
             Some(age) => out.push_str(&format!("oldest live tombstone age: {age} ticks\n")),
             None => out.push_str("oldest live tombstone age: -\n"),
@@ -307,6 +355,153 @@ impl Session {
             s.pages_dropped.load(Relaxed),
             self.db.table_bytes(),
         )
+    }
+}
+
+fn remote_help_text() -> String {
+    "\
+remote commands:
+  put <key> <value> [dkey]     insert/update (dkey = secondary delete key)
+  get <key>                    point lookup
+  del <key>                    point delete
+  rdel <lo> <hi>               secondary range delete over delete keys
+  scan <lo> <hi>               range scan over sort keys (inclusive)
+  stats                        engine + server counters
+  ping                         liveness probe
+  help                         this text
+  quit                         close the connection and exit"
+        .to_string()
+}
+
+/// Interpreter over a *remote* database: the same command surface as
+/// [`Session`] (minus the embedded-only introspection commands),
+/// executed through the wire protocol via [`acheron_server::Client`].
+pub struct RemoteSession {
+    client: Client,
+}
+
+impl RemoteSession {
+    /// Connect to a running `acheron serve` instance.
+    pub fn connect(addr: &str) -> Result<RemoteSession, String> {
+        let client = Client::connect(addr).map_err(|e| e.to_string())?;
+        Ok(RemoteSession { client })
+    }
+
+    /// Wrap an already-connected client (tests).
+    pub fn from_client(client: Client) -> RemoteSession {
+        RemoteSession { client }
+    }
+
+    /// Execute one command line against the server.
+    pub fn execute(&mut self, line: &str) -> Outcome {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            return Outcome::Text(String::new());
+        };
+        let args: Vec<&str> = parts.collect();
+        let result = match cmd {
+            "help" => Ok(remote_help_text()),
+            "quit" | "exit" => return Outcome::Quit,
+            "ping" => self
+                .client
+                .ping()
+                .map(|()| "pong".to_string())
+                .map_err(|e| e.to_string()),
+            "put" => self.cmd_put(&args),
+            "get" => self.cmd_get(&args),
+            "del" => self.cmd_del(&args),
+            "rdel" => self.cmd_rdel(&args),
+            "scan" => self.cmd_scan(&args),
+            "stats" => self.cmd_stats(),
+            other => Err(format!("unknown command {other:?}; try `help`")),
+        };
+        Outcome::Text(match result {
+            Ok(s) => s,
+            Err(e) => format!("error: {e}"),
+        })
+    }
+
+    fn cmd_put(&mut self, args: &[&str]) -> Result<String, String> {
+        match args {
+            [key, value] => {
+                self.client
+                    .put(key.as_bytes(), value.as_bytes())
+                    .map_err(|e| e.to_string())?;
+                Ok("ok".into())
+            }
+            [key, value, dkey] => {
+                let d: u64 = dkey
+                    .parse()
+                    .map_err(|_| "dkey must be a number".to_string())?;
+                self.client
+                    .put_with_dkey(key.as_bytes(), value.as_bytes(), d)
+                    .map_err(|e| e.to_string())?;
+                Ok("ok".into())
+            }
+            _ => Err("usage: put <key> <value> [dkey]".into()),
+        }
+    }
+
+    fn cmd_get(&mut self, args: &[&str]) -> Result<String, String> {
+        let [key] = args else {
+            return Err("usage: get <key>".into());
+        };
+        match self.client.get(key.as_bytes()).map_err(|e| e.to_string())? {
+            Some(v) => Ok(String::from_utf8_lossy(&v).into_owned()),
+            None => Ok("(not found)".into()),
+        }
+    }
+
+    fn cmd_del(&mut self, args: &[&str]) -> Result<String, String> {
+        let [key] = args else {
+            return Err("usage: del <key>".into());
+        };
+        self.client
+            .delete(key.as_bytes())
+            .map_err(|e| e.to_string())?;
+        Ok("ok".into())
+    }
+
+    fn cmd_rdel(&mut self, args: &[&str]) -> Result<String, String> {
+        let [lo, hi] = args else {
+            return Err("usage: rdel <lo> <hi>".into());
+        };
+        let lo: u64 = lo.parse().map_err(|_| "lo must be a number".to_string())?;
+        let hi: u64 = hi.parse().map_err(|_| "hi must be a number".to_string())?;
+        self.client
+            .range_delete_secondary(lo, hi)
+            .map_err(|e| e.to_string())?;
+        Ok("ok".into())
+    }
+
+    fn cmd_scan(&mut self, args: &[&str]) -> Result<String, String> {
+        let [lo, hi] = args else {
+            return Err("usage: scan <lo> <hi>".into());
+        };
+        let rows = self
+            .client
+            .scan(lo.as_bytes(), hi.as_bytes())
+            .map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for (k, v) in &rows {
+            out.push_str(&format!(
+                "{} = {}\n",
+                String::from_utf8_lossy(k),
+                String::from_utf8_lossy(v)
+            ));
+        }
+        out.push_str(&format!("({} rows)", rows.len()));
+        Ok(out)
+    }
+
+    fn cmd_stats(&mut self) -> Result<String, String> {
+        let pairs = self.client.stats().map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for (name, value) in &pairs {
+            out.push_str(&format!("{name:<32} {value}\n"));
+        }
+        out.pop();
+        Ok(out)
     }
 }
 
@@ -408,10 +603,44 @@ mod tests {
     }
 
     #[test]
+    fn remote_session_mirrors_the_embedded_command_surface() {
+        use acheron_server::{Server, ServerOptions};
+        let db = Arc::new(
+            Db::open(
+                Arc::new(MemFs::new()),
+                "demo",
+                DbOptions::small().with_fade(50_000),
+            )
+            .unwrap(),
+        );
+        let mut server = Server::start(db, "127.0.0.1:0", ServerOptions::default()).unwrap();
+        let mut s = RemoteSession::connect(&server.local_addr().to_string()).unwrap();
+        assert_eq!(text(s.execute("ping")), "pong");
+        assert_eq!(text(s.execute("put k hello")), "ok");
+        assert_eq!(text(s.execute("get k")), "hello");
+        assert_eq!(text(s.execute("del k")), "ok");
+        assert_eq!(text(s.execute("get k")), "(not found)");
+        s.execute("put a v1 10");
+        s.execute("put b v2 20");
+        assert_eq!(text(s.execute("rdel 15 25")), "ok");
+        assert_eq!(text(s.execute("get b")), "(not found)");
+        let scan = text(s.execute("scan a z"));
+        assert!(scan.contains("a = v1"), "{scan}");
+        let stats = text(s.execute("stats"));
+        assert!(stats.contains("server_requests"), "{stats}");
+        assert!(stats.contains("puts"), "{stats}");
+        assert!(text(s.execute("bogus")).contains("unknown command"));
+        assert_eq!(s.execute("quit"), Outcome::Quit);
+        server.shutdown();
+    }
+
+    #[test]
     fn help_lists_every_command() {
         let mut s = Session::demo();
         let h = text(s.execute("help"));
-        for cmd in ["put", "get", "del", "rdel", "scan", "workload", "tick", "tree", "stats"] {
+        for cmd in [
+            "put", "get", "del", "rdel", "scan", "workload", "tick", "tree", "stats",
+        ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
     }

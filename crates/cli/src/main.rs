@@ -1,28 +1,119 @@
 //! `acheron` — interactive terminal demo of the delete-aware LSM engine.
 //!
+//! Three modes:
+//!
 //! ```text
-//! $ cargo run -p acheron-cli
+//! $ cargo run -p acheron-cli                     # embedded REPL
 //! acheron demo (FADE D_th=50000, in-memory). `help` for commands.
 //! > put user:1 alice
 //! ok
-//! > del user:1
-//! tombstone inserted at tick 2
-//! > tombstones
-//! live point tombstones: 1
-//! ...
+//!
+//! $ cargo run -p acheron-cli -- serve 127.0.0.1:7878    # network server
+//! serving on 127.0.0.1:7878 (`status` for a status line, `quit` to stop)
+//!
+//! $ cargo run -p acheron-cli -- connect 127.0.0.1:7878  # network client
+//! connected to 127.0.0.1:7878. `help` for commands.
+//! > get user:1
 //! ```
 //!
 //! Also scriptable: `echo "put a 1\nget a" | cargo run -p acheron-cli`.
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
-use acheron_cli::{Outcome, Session};
+use acheron::{Db, DbOptions};
+use acheron_cli::{Outcome, RemoteSession, Session};
+use acheron_server::{Server, ServerOptions};
+use acheron_vfs::MemFs;
 
 fn main() {
-    let mut session = Session::demo();
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("serve") => {
+            let addr = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7878");
+            serve(addr);
+        }
+        Some("connect") => {
+            let addr = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7878");
+            match RemoteSession::connect(addr) {
+                Ok(session) => repl(
+                    session,
+                    &format!("connected to {addr}. `help` for commands."),
+                ),
+                Err(e) => {
+                    eprintln!("connect failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => repl(
+            Session::demo(),
+            "acheron demo (FADE D_th=50000, in-memory). `help` for commands.",
+        ),
+    }
+}
+
+/// Serve an in-memory demo database until stdin closes or says `quit`.
+/// Any other input line prints the server status line, so an operator
+/// can watch connections, throughput, and backpressure state live.
+fn serve(addr: &str) {
+    let opts = DbOptions::small().with_fade(50_000);
+    let db = match Db::open(Arc::new(MemFs::new()), "serve-db", opts) {
+        Ok(db) => Arc::new(db),
+        Err(e) => {
+            eprintln!("open failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut server = match Server::start(Arc::clone(&db), addr, ServerOptions::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serving on {} (`status` for a status line, `quit` to stop)",
+        server.local_addr()
+    );
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => println!("{}", server.status_line()),
+            Err(_) => break,
+        }
+    }
+    // Shutdown ordering: stop the service (drains in-flight requests),
+    // then drop the engine handle (joins its background executor).
+    server.shutdown();
+    println!("stopped: {}", server.status_line());
+}
+
+/// The REPL loop, generic over embedded and remote sessions.
+trait Exec {
+    fn exec(&mut self, line: &str) -> Outcome;
+}
+
+impl Exec for Session {
+    fn exec(&mut self, line: &str) -> Outcome {
+        self.execute(line)
+    }
+}
+
+impl Exec for RemoteSession {
+    fn exec(&mut self, line: &str) -> Outcome {
+        self.execute(line)
+    }
+}
+
+fn repl(mut session: impl Exec, banner: &str) {
     let interactive = std::env::args().all(|a| a != "--quiet");
     if interactive {
-        println!("acheron demo (FADE D_th=50000, in-memory). `help` for commands.");
+        println!("{banner}");
     }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
@@ -40,7 +131,7 @@ fn main() {
                 break;
             }
         }
-        match session.execute(line.trim()) {
+        match session.exec(line.trim()) {
             Outcome::Quit => break,
             Outcome::Text(t) => {
                 if !t.is_empty() {

@@ -86,10 +86,9 @@ pub fn run_compaction(
         && (task.inputs[0].stats.tombstone_count > 0
             || version.range_tombstones.iter().any(|rt| {
                 task.inputs[0].stats.min_seqno < rt.seqno
-                    && rt.range.overlaps(
-                        task.inputs[0].stats.min_dkey,
-                        task.inputs[0].stats.max_dkey,
-                    )
+                    && rt
+                        .range
+                        .overlaps(task.inputs[0].stats.min_dkey, task.inputs[0].stats.max_dkey)
             }));
     if task.level != 0
         && task.inputs.len() == 1
@@ -146,9 +145,7 @@ pub fn run_compaction(
         f.level == deepest_input_level
             && f.stats.entry_count > 0
             && !deepest_inputs.iter().any(|g| {
-                g.id != f.id
-                    && g.stats.entry_count > 0
-                    && g.overlaps_keys(f.min_key(), f.max_key())
+                g.id != f.id && g.stats.entry_count > 0 && g.overlaps_keys(f.min_key(), f.max_key())
             })
     };
     let mut dropped_before: u64 = 0;
@@ -166,8 +163,7 @@ pub fn run_compaction(
     }
 
     let merge = MergeIterator::new(sources);
-    let mut stream =
-        CompactionStream::new(merge, &version.range_tombstones, snapshots, bottommost);
+    let mut stream = CompactionStream::new(merge, &version.range_tombstones, snapshots, bottommost);
 
     let table_opts = TableOptions {
         page_size: opts.page_size,
@@ -182,8 +178,8 @@ pub fn run_compaction(
     let mut bytes_out = 0u64;
 
     let finish_builder = |builder: &mut Option<(u64, TableBuilder)>,
-                              added: &mut Vec<Arc<FileMeta>>,
-                              bytes_out: &mut u64|
+                          added: &mut Vec<Arc<FileMeta>>,
+                          bytes_out: &mut u64|
      -> Result<()> {
         if let Some((id, b)) = builder.take() {
             let stats = b.finish()?;
@@ -210,9 +206,7 @@ pub fn run_compaction(
 
     while let Some(entry) = stream.next_surviving()? {
         let split = match &builder {
-            Some((_, b)) => {
-                b.file_bytes() >= opts.target_file_bytes && entry.key != last_user_key
-            }
+            Some((_, b)) => b.file_bytes() >= opts.target_file_bytes && entry.key != last_user_key,
             None => false,
         };
         if split {
@@ -376,7 +370,10 @@ mod tests {
         let v = Version::empty(4).apply(vec![Arc::clone(&f)], &[], &[], &[]);
         let t = task(2, vec![f], vec![], 3);
         let out = run(&fs, &v, &t, &[]);
-        assert!(!out.trivial_move, "a purge opportunity must force a rewrite");
+        assert!(
+            !out.trivial_move,
+            "a purge opportunity must force a rewrite"
+        );
         assert_eq!(out.tombstones_dropped.len(), 25);
         // Output contains only the 75 puts.
         let total: u64 = out.added.iter().map(|a| a.stats.entry_count).sum();
@@ -389,8 +386,8 @@ mod tests {
         // Same key range, newer seqnos on top.
         let newer = make_file(&fs, 1, 1, 0..50, 1000);
         let older = make_file(&fs, 2, 2, 0..50, 100);
-        let v = Version::empty(4)
-            .apply(vec![Arc::clone(&newer), Arc::clone(&older)], &[], &[], &[]);
+        let v =
+            Version::empty(4).apply(vec![Arc::clone(&newer), Arc::clone(&older)], &[], &[], &[]);
         let t = task(1, vec![newer], vec![older], 2);
         let out = run(&fs, &v, &t, &[]);
         assert_eq!(out.shadowed, 50);
@@ -404,8 +401,8 @@ mod tests {
         let fs = Arc::new(MemFs::new());
         let newer = make_file(&fs, 1, 1, 0..50, 1000);
         let older = make_file(&fs, 2, 2, 0..50, 100);
-        let v = Version::empty(4)
-            .apply(vec![Arc::clone(&newer), Arc::clone(&older)], &[], &[], &[]);
+        let v =
+            Version::empty(4).apply(vec![Arc::clone(&newer), Arc::clone(&older)], &[], &[], &[]);
         let t = task(1, vec![newer], vec![older], 2);
         // Snapshot at seqno 500 sees the older versions.
         let out = run(&fs, &v, &t, &[500]);
@@ -421,11 +418,18 @@ mod tests {
         // (not an input) overlaps: tombstones must survive.
         let dirty = make_file_with(&fs, 1, 2, 0, 0..50, 1000, 4, 5);
         let stranger = make_file_with(&fs, 2, 3, 1, 0..50, 100, 0, 0);
-        let v = Version::empty(4)
-            .apply(vec![Arc::clone(&dirty), Arc::clone(&stranger)], &[], &[], &[]);
+        let v = Version::empty(4).apply(
+            vec![Arc::clone(&dirty), Arc::clone(&stranger)],
+            &[],
+            &[],
+            &[],
+        );
         let t = task(2, vec![dirty], vec![], 3);
         let out = run(&fs, &v, &t, &[]);
-        assert!(out.tombstones_dropped.is_empty(), "not bottommost: keep tombstones");
+        assert!(
+            out.tombstones_dropped.is_empty(),
+            "not bottommost: keep tombstones"
+        );
         let tombstones: u64 = out.added.iter().map(|a| a.stats.tombstone_count).sum();
         assert_eq!(tombstones, 13);
     }
@@ -441,7 +445,11 @@ mod tests {
         let v = v.apply(vec![Arc::clone(&partner)], &[], &[], &[]);
         let t = task(1, vec![big], vec![partner], 2);
         let out = run(&fs, &v, &t, &[]);
-        assert!(out.added.len() >= 3, "expected multiple outputs, got {}", out.added.len());
+        assert!(
+            out.added.len() >= 3,
+            "expected multiple outputs, got {}",
+            out.added.len()
+        );
         // Outputs are disjoint and ordered.
         for pair in out.added.windows(2) {
             assert!(pair[0].max_key() < pair[1].min_key());
@@ -452,14 +460,20 @@ mod tests {
     fn range_tombstone_purges_and_drops_pages_at_bottom() {
         let fs = Arc::new(MemFs::new());
         let f = make_file(&fs, 1, 2, 0..400, 1000); // dkey = key id
-        let rt = RangeTombstone { seqno: 5_000, range: DeleteKeyRange::new(0, 199) };
+        let rt = RangeTombstone {
+            seqno: 5_000,
+            range: DeleteKeyRange::new(0, 199),
+        };
         let v = Version::empty(4).apply(vec![Arc::clone(&f)], &[], &[rt], &[]);
         let t = task(2, vec![f], vec![], 3);
         let out = run(&fs, &v, &t, &[]);
         assert_eq!(out.range_purged + dropped_entries(&out, &v), 200);
         let total: u64 = out.added.iter().map(|a| a.stats.entry_count).sum();
         assert_eq!(total, 200, "uncovered half survives");
-        assert!(out.pages_dropped > 0, "h=1 single-version pages are droppable");
+        assert!(
+            out.pages_dropped > 0,
+            "h=1 single-version pages are droppable"
+        );
     }
 
     /// Entries that vanished via page drops (not individually counted).

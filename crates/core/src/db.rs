@@ -34,9 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acheron_memtable::Memtable;
-use acheron_types::{
-    Clock, DeleteKeyRange, Error, RangeTombstone, Result, SeqNo, Tick, MAX_SEQNO,
-};
+use acheron_types::{Clock, DeleteKeyRange, Error, RangeTombstone, Result, SeqNo, Tick, MAX_SEQNO};
 use acheron_vfs::Vfs;
 use acheron_wal::{recover_records, LogWriter, WalBatch, WalOp};
 use bytes::Bytes;
@@ -51,7 +49,6 @@ use crate::options::DbOptions;
 use crate::picker::{CompactionReason, CompactionTask, Picker};
 use crate::stats::DbStats;
 use crate::version::{FileMeta, Version};
-
 
 /// Upper bound on back-to-back compactions per maintenance pass; a
 /// correctly converging picker never reaches it.
@@ -268,7 +265,10 @@ impl WriteBatch {
     /// batch commits.
     pub fn delete(&mut self, key: &[u8]) -> &mut Self {
         // Tick 0 placeholder; stamped at commit time below.
-        self.ops.push(WalOp::Delete { key: Bytes::copy_from_slice(key), tick: u64::MAX });
+        self.ops.push(WalOp::Delete {
+            key: Bytes::copy_from_slice(key),
+            tick: u64::MAX,
+        });
         self
     }
 
@@ -320,6 +320,23 @@ impl RangeIter {
         }
         Ok(None)
     }
+}
+
+/// Instantaneous write-pressure gauges (see [`Db::write_pressure`]):
+/// what the engine's own throttle consults, exported so a service layer
+/// in front of the engine can shed load *before* a write would block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WritePressure {
+    /// Live files in level 0.
+    pub l0_files: usize,
+    /// Sealed memtables queued for flush.
+    pub sealed_memtables: usize,
+    /// L0 has reached the soft limit: the write path injects a small
+    /// per-write delay.
+    pub slowdown: bool,
+    /// A hard limit is reached (L0 stall files or sealed-queue depth):
+    /// the next write blocks until background maintenance catches up.
+    pub stall: bool,
 }
 
 /// Summary of one level for stats displays.
@@ -382,7 +399,9 @@ impl Db {
                 }
             }
         }
-        let db = Db { inner: Arc::new(DbInner { core, workers }) };
+        let db = Db {
+            inner: Arc::new(DbInner { core, workers }),
+        };
         // Recovery may leave the tree over its triggers.
         db.maintain()?;
         Ok(db)
@@ -455,7 +474,13 @@ impl Db {
         for batch in &batches {
             for edit in &batch.edits {
                 match edit {
-                    VersionEdit::AddFile { level, run, id, size, created_tick } => {
+                    VersionEdit::AddFile {
+                        level,
+                        run,
+                        id,
+                        size,
+                        created_tick,
+                    } => {
                         files.insert(
                             *id,
                             RecFile {
@@ -470,7 +495,10 @@ impl Db {
                         files.remove(id);
                     }
                     VersionEdit::AddRangeTombstone { seqno, range } => {
-                        rts.push(RangeTombstone { seqno: *seqno, range: *range });
+                        rts.push(RangeTombstone {
+                            seqno: *seqno,
+                            range: *range,
+                        });
                     }
                     VersionEdit::DropRangeTombstone { seqno } => {
                         rts.retain(|rt| rt.seqno != *seqno);
@@ -622,13 +650,17 @@ impl Db {
         let mut manifest = ManifestWriter::create(fs.as_ref(), &acheron_vfs::join(dir, &name))?;
         let mut snapshot_edits = vec![
             VersionEdit::NextFileId { id: next_file_id },
-            VersionEdit::PersistedSeqno { seqno: persisted_seqno },
+            VersionEdit::PersistedSeqno {
+                seqno: persisted_seqno,
+            },
         ];
         // Old WALs must still replay next time if we crash before the
         // next flush, so the log number keeps pointing at the oldest
         // live segment.
         let oldest_live_wal = wal_numbers.first().copied().unwrap_or(wal_number);
-        snapshot_edits.push(VersionEdit::LogNumber { number: oldest_live_wal.min(wal_number) });
+        snapshot_edits.push(VersionEdit::LogNumber {
+            number: oldest_live_wal.min(wal_number),
+        });
         for f in version.all_files() {
             snapshot_edits.push(VersionEdit::AddFile {
                 level: f.level as u64,
@@ -639,10 +671,14 @@ impl Db {
             });
         }
         for rt in &version.range_tombstones {
-            snapshot_edits
-                .push(VersionEdit::AddRangeTombstone { seqno: rt.seqno, range: rt.range });
+            snapshot_edits.push(VersionEdit::AddRangeTombstone {
+                seqno: rt.seqno,
+                range: rt.range,
+            });
         }
-        manifest.append(&EditBatch { edits: snapshot_edits })?;
+        manifest.append(&EditBatch {
+            edits: snapshot_edits,
+        })?;
         write_current(fs.as_ref(), dir, &name)?;
         // Make the snapshot manifest, the CURRENT repoint, and the tear
         // heal durable before anything they supersede is deleted: until
@@ -729,7 +765,10 @@ impl Db {
     /// within the persistence threshold when FADE is enabled).
     pub fn delete(&self, key: &[u8]) -> Result<()> {
         let tick = self.core().opts.clock.now();
-        self.write(WalOp::Delete { key: Bytes::copy_from_slice(key), tick })
+        self.write(WalOp::Delete {
+            key: Bytes::copy_from_slice(key),
+            tick,
+        })
     }
 
     /// Apply a [`WriteBatch`] atomically: all of its operations become
@@ -746,9 +785,7 @@ impl Db {
             .ops
             .into_iter()
             .map(|op| match op {
-                WalOp::Delete { key, tick } if tick == u64::MAX => {
-                    WalOp::Delete { key, tick: now }
-                }
+                WalOp::Delete { key, tick } if tick == u64::MAX => WalOp::Delete { key, tick: now },
                 other => other,
             })
             .collect();
@@ -769,7 +806,10 @@ impl Db {
         if base > MAX_SEQNO {
             return Err(Error::Internal("sequence number space exhausted".into()));
         }
-        let batch = WalBatch { base_seqno: base, ops };
+        let batch = WalBatch {
+            base_seqno: base,
+            ops,
+        };
         st.wal.add_record(&batch.encode())?;
         if core.opts.wal_sync {
             st.wal.sync()?;
@@ -798,11 +838,15 @@ impl Db {
         // Tighten the cached TTL deadline when a tombstone enters the
         // buffer (the buffer's oldest tombstone only gets older, so the
         // first one fixes the buffer deadline until the next flush).
-        if let (Some(ttl), Some(t0)) =
-            (core.picker.ttl_schedule(), st.mem.stats().oldest_tombstone_tick)
-        {
+        if let (Some(ttl), Some(t0)) = (
+            core.picker.ttl_schedule(),
+            st.mem.stats().oldest_tombstone_tick,
+        ) {
             let mem_deadline = t0.saturating_add(ttl.buffer_ttl());
-            st.ttl_deadline = Some(st.ttl_deadline.map_or(mem_deadline, |d| d.min(mem_deadline)));
+            st.ttl_deadline = Some(
+                st.ttl_deadline
+                    .map_or(mem_deadline, |d| d.min(mem_deadline)),
+            );
         }
 
         let mut kick = false;
@@ -898,17 +942,17 @@ impl Db {
                     let mut lo: Option<Bytes> = None;
                     let mut hi: Option<Bytes> = None;
                     for f in inputs.iter().filter(|f| f.stats.entry_count > 0) {
-                        lo = Some(lo.map_or(f.min_key().clone(), |c: Bytes| {
-                            c.min(f.min_key().clone())
-                        }));
-                        hi = Some(hi.map_or(f.max_key().clone(), |c: Bytes| {
-                            c.max(f.max_key().clone())
-                        }));
+                        lo =
+                            Some(lo.map_or(f.min_key().clone(), |c: Bytes| {
+                                c.min(f.min_key().clone())
+                            }));
+                        hi =
+                            Some(hi.map_or(f.max_key().clone(), |c: Bytes| {
+                                c.max(f.max_key().clone())
+                            }));
                     }
                     match (lo, hi) {
-                        (Some(lo), Some(hi)) => {
-                            st.version.overlapping_files(level + 1, &lo, &hi)
-                        }
+                        (Some(lo), Some(hi)) => st.version.overlapping_files(level + 1, &lo, &hi),
                         _ => Vec::new(),
                     }
                 };
@@ -1070,7 +1114,10 @@ impl Db {
         let Some(newest) = candidates.into_iter().max_by_key(|c| c.seqno) else {
             return Ok(None);
         };
-        if visible_rts.iter().any(|rt| rt.shadows(newest.seqno, newest.dkey)) {
+        if visible_rts
+            .iter()
+            .any(|rt| rt.shadows(newest.seqno, newest.dkey))
+        {
             return Ok(None); // range-erased
         }
         Ok(match newest.kind {
@@ -1089,7 +1136,10 @@ impl Db {
         let seqno = st.last_seqno;
         *core.snapshots.lock().entry(seqno).or_insert(0) += 1;
         drop(st);
-        Snapshot { core: Arc::clone(&self.inner.core), seqno }
+        Snapshot {
+            core: Arc::clone(&self.inner.core),
+            seqno,
+        }
     }
 
     /// Range scan over user keys `[lo, hi]` (inclusive) at the latest
@@ -1197,6 +1247,22 @@ impl Db {
         &self.core().stats
     }
 
+    /// The current write-pressure gauges, evaluated against the
+    /// configured slowdown/stall limits. With `background_threads = 0`
+    /// maintenance runs inline and writes never block, so the flags are
+    /// advisory only in that mode.
+    pub fn write_pressure(&self) -> WritePressure {
+        let core = self.core();
+        let (l0_files, sealed_memtables) = core.pressure();
+        WritePressure {
+            l0_files,
+            sealed_memtables,
+            slowdown: l0_files >= core.opts.l0_slowdown_files,
+            stall: l0_files >= core.opts.l0_stall_files
+                || sealed_memtables >= core.opts.max_imm_memtables,
+        }
+    }
+
     /// The configured options.
     pub fn options(&self) -> &DbOptions {
         &self.core().opts
@@ -1226,7 +1292,10 @@ impl Db {
                 files: st.version.level_files(level),
                 runs: st.version.level_runs(level),
                 bytes: st.version.level_bytes(level),
-                entries: st.version.levels[level].iter().map(|f| f.stats.entry_count).sum(),
+                entries: st.version.levels[level]
+                    .iter()
+                    .map(|f| f.stats.entry_count)
+                    .sum(),
                 tombstones: st.version.levels[level]
                     .iter()
                     .map(|f| f.stats.tombstone_count)
@@ -1343,7 +1412,11 @@ impl DbCore {
         let tree = ttl.next_deadline(st.version.all_files().map(|f| f.as_ref()), &st.mem);
         // Sealed memtables are still "station 0": their tombstones keep
         // aging against the buffer TTL until their flush installs.
-        let imm = st.imms.iter().filter_map(|i| ttl.buffer_deadline(&i.mem)).min();
+        let imm = st
+            .imms
+            .iter()
+            .filter_map(|i| ttl.buffer_deadline(&i.mem))
+            .min();
         st.ttl_deadline = tree.into_iter().chain(imm).min();
     }
 
@@ -1372,7 +1445,9 @@ impl DbCore {
             wal_number: sealed_wal,
             max_seqno,
         });
-        self.stats.imm_queue_peak.fetch_max(st.imms.len() as u64, Ordering::Relaxed);
+        self.stats
+            .imm_queue_peak
+            .fetch_max(st.imms.len() as u64, Ordering::Relaxed);
         self.recompute_ttl_deadline(st);
         Ok(())
     }
@@ -1411,9 +1486,15 @@ impl DbCore {
             .map(|i| i.wal_number)
             .unwrap_or_else(|| *st.live_wals.last().expect("active wal present"));
         let mut edits = vec![
-            VersionEdit::PersistedSeqno { seqno: imm.max_seqno },
-            VersionEdit::LogNumber { number: next_live_wal },
-            VersionEdit::NextFileId { id: self.next_file_id.load(Ordering::SeqCst) },
+            VersionEdit::PersistedSeqno {
+                seqno: imm.max_seqno,
+            },
+            VersionEdit::LogNumber {
+                number: next_live_wal,
+            },
+            VersionEdit::NextFileId {
+                id: self.next_file_id.load(Ordering::SeqCst),
+            },
         ];
         if let Some(f) = &file {
             edits.insert(
@@ -1426,7 +1507,9 @@ impl DbCore {
                     created_tick: f.created_tick,
                 },
             );
-            self.stats.compaction_bytes_out.fetch_add(f.size_bytes, Ordering::Relaxed);
+            self.stats
+                .compaction_bytes_out
+                .fetch_add(f.size_bytes, Ordering::Relaxed);
         }
         st.manifest.append(&EditBatch { edits })?;
 
@@ -1482,7 +1565,9 @@ impl DbCore {
             let mut st = self.state.write();
             self.install_flush_locked(&mut st, file)?;
         }
-        self.stats.flush_micros.record(started.elapsed().as_micros() as u64);
+        self.stats
+            .flush_micros
+            .record(started.elapsed().as_micros() as u64);
         Ok(true)
     }
 
@@ -1549,7 +1634,9 @@ impl DbCore {
             let mut st = self.state.write();
             self.install_compaction_locked(&mut st, task, outcome, now)?;
         }
-        self.stats.compaction_micros.record(started.elapsed().as_micros() as u64);
+        self.stats
+            .compaction_micros
+            .record(started.elapsed().as_micros() as u64);
         Ok(())
     }
 
@@ -1570,7 +1657,8 @@ impl DbCore {
         // could still shadow either — un-flushed covered entries must
         // remain shadowed once they reach disk.
         let mut new_version =
-            st.version.apply(outcome.added.clone(), &outcome.deleted_ids, &[], &[]);
+            st.version
+                .apply(outcome.added.clone(), &outcome.deleted_ids, &[], &[]);
         let mut retirable = new_version.retirable_range_tombstones();
         if !retirable.is_empty() {
             let mut buffers: Vec<(SeqNo, u64, u64)> = Vec::new();
@@ -1615,7 +1703,9 @@ impl DbCore {
         for seqno in &retirable {
             edits.push(VersionEdit::DropRangeTombstone { seqno: *seqno });
         }
-        edits.push(VersionEdit::NextFileId { id: self.next_file_id.load(Ordering::SeqCst) });
+        edits.push(VersionEdit::NextFileId {
+            id: self.next_file_id.load(Ordering::SeqCst),
+        });
         st.manifest.append(&EditBatch { edits })?;
 
         // Physically remove replaced files (not those merely moved).
@@ -1636,12 +1726,26 @@ impl DbCore {
         if task.reason == CompactionReason::TtlExpired {
             self.stats.ttl_compactions.fetch_add(1, Relaxed);
         }
-        self.stats.compaction_bytes_in.fetch_add(outcome.bytes_in, Relaxed);
-        self.stats.compaction_bytes_out.fetch_add(outcome.bytes_out, Relaxed);
-        self.stats.entries_shadowed.fetch_add(outcome.shadowed, Relaxed);
-        self.stats.entries_range_purged.fetch_add(outcome.range_purged, Relaxed);
-        self.stats.pages_dropped.fetch_add(outcome.pages_dropped, Relaxed);
-        let d_th = self.opts.fade.as_ref().map(|f| f.delete_persistence_threshold);
+        self.stats
+            .compaction_bytes_in
+            .fetch_add(outcome.bytes_in, Relaxed);
+        self.stats
+            .compaction_bytes_out
+            .fetch_add(outcome.bytes_out, Relaxed);
+        self.stats
+            .entries_shadowed
+            .fetch_add(outcome.shadowed, Relaxed);
+        self.stats
+            .entries_range_purged
+            .fetch_add(outcome.range_purged, Relaxed);
+        self.stats
+            .pages_dropped
+            .fetch_add(outcome.pages_dropped, Relaxed);
+        let d_th = self
+            .opts
+            .fade
+            .as_ref()
+            .map(|f| f.delete_persistence_threshold);
         for (delete_tick, _seqno) in &outcome.tombstones_dropped {
             if std::env::var_os("ACHERON_DEBUG_PURGE").is_some() {
                 if let Some(d) = d_th {
@@ -1811,7 +1915,9 @@ impl DbCore {
     /// Surface the sticky background error, if any.
     fn check_background_error(&self) -> Result<()> {
         match &self.maint.lock().error {
-            Some(e) => Err(Error::Internal(format!("background maintenance failed: {e}"))),
+            Some(e) => Err(Error::Internal(format!(
+                "background maintenance failed: {e}"
+            ))),
             None => Ok(()),
         }
     }
@@ -1835,7 +1941,9 @@ impl DbCore {
         if !st.imms.is_empty() {
             return true;
         }
-        self.picker.pick(&st.version, self.opts.clock.now()).is_some()
+        self.picker
+            .pick(&st.version, self.opts.clock.now())
+            .is_some()
     }
 
     /// Backpressure, applied before each write takes any lock: delay
@@ -1846,8 +1954,7 @@ impl DbCore {
             return Ok(());
         }
         let (l0, imms) = self.pressure();
-        let stall =
-            l0 >= self.opts.l0_stall_files || imms >= self.opts.max_imm_memtables;
+        let stall = l0 >= self.opts.l0_stall_files || imms >= self.opts.max_imm_memtables;
         if stall {
             let started = Instant::now();
             self.stats.write_stalls.fetch_add(1, Ordering::Relaxed);
@@ -1864,7 +1971,9 @@ impl DbCore {
                 let mut maint = self.maint.lock();
                 self.done_cv.wait_for(&mut maint, STALL_RECHECK);
             }
-            self.stats.stall_micros.record(started.elapsed().as_micros() as u64);
+            self.stats
+                .stall_micros
+                .record(started.elapsed().as_micros() as u64);
         } else if l0 >= self.opts.l0_slowdown_files {
             self.stats.write_slowdowns.fetch_add(1, Ordering::Relaxed);
             self.kick_workers();
@@ -1949,10 +2058,16 @@ mod tests {
     fn reads_span_memtable_and_levels() {
         let (_fs, db) = open_mem(small());
         for i in 0..2000u32 {
-            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64]).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64])
+                .unwrap();
         }
         // The tree must have flushed at least once by now.
-        assert!(db.stats().flushes.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert!(
+            db.stats()
+                .flushes
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        );
         for i in (0..2000u32).step_by(97) {
             let got = db.get(format!("key{i:05}").as_bytes()).unwrap();
             assert!(got.is_some(), "key{i:05} lost");
@@ -1984,7 +2099,8 @@ mod tests {
     fn deletes_survive_flush_and_compaction() {
         let (_fs, db) = open_mem(small());
         for i in 0..1000u32 {
-            db.put(format!("key{i:04}").as_bytes(), &[b'x'; 32]).unwrap();
+            db.put(format!("key{i:04}").as_bytes(), &[b'x'; 32])
+                .unwrap();
         }
         db.compact_all().unwrap();
         for i in 0..1000u32 {
@@ -2003,7 +2119,8 @@ mod tests {
     fn scan_merges_all_sources() {
         let (_fs, db) = open_mem(small());
         for i in 0..300u32 {
-            db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
         }
         db.flush().unwrap();
         // Updates and deletes land in the memtable.
@@ -2061,11 +2178,15 @@ mod tests {
         db.put(b"pinned", b"v1").unwrap();
         let snap = db.snapshot();
         for i in 0..3000u32 {
-            db.put(format!("fill{i:05}").as_bytes(), &[b'f'; 64]).unwrap();
+            db.put(format!("fill{i:05}").as_bytes(), &[b'f'; 64])
+                .unwrap();
         }
         db.put(b"pinned", b"v2").unwrap();
         db.compact_all().unwrap();
-        assert_eq!(db.get_at(&snap, b"pinned").unwrap().unwrap().as_ref(), b"v1");
+        assert_eq!(
+            db.get_at(&snap, b"pinned").unwrap().unwrap().as_ref(),
+            b"v1"
+        );
         assert_eq!(db.get(b"pinned").unwrap().unwrap().as_ref(), b"v2");
     }
 
@@ -2073,7 +2194,8 @@ mod tests {
     fn range_delete_secondary_erases_by_dkey() {
         let (_fs, db) = open_mem(small());
         for i in 0..100u32 {
-            db.put_with_dkey(format!("key{i:03}").as_bytes(), b"v", u64::from(i)).unwrap();
+            db.put_with_dkey(format!("key{i:03}").as_bytes(), b"v", u64::from(i))
+                .unwrap();
         }
         db.range_delete_secondary(10, 19).unwrap();
         for i in 0..100u32 {
@@ -2087,7 +2209,11 @@ mod tests {
         db.compact_all().unwrap();
         for i in 0..100u32 {
             let got = db.get(format!("key{i:03}").as_bytes()).unwrap();
-            assert_eq!(got.is_none(), (10..20).contains(&i), "key{i:03} after compact");
+            assert_eq!(
+                got.is_none(),
+                (10..20).contains(&i),
+                "key{i:03} after compact"
+            );
         }
     }
 
@@ -2139,14 +2265,16 @@ mod tests {
         let d_th = 2_000u64;
         let (_fs, db) = open_mem(small().with_fade(d_th));
         for i in 0..800u32 {
-            db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32]).unwrap();
+            db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32])
+                .unwrap();
         }
         for i in 0..400u32 {
             db.delete(format!("key{i:04}").as_bytes()).unwrap();
         }
         // Drive the clock well past the threshold with unrelated writes.
         for i in 0..6000u32 {
-            db.put(format!("other{i:05}").as_bytes(), &[b'w'; 32]).unwrap();
+            db.put(format!("other{i:05}").as_bytes(), &[b'w'; 32])
+                .unwrap();
         }
         db.maintain().unwrap();
         let age = db.oldest_live_tombstone_age();
@@ -2155,12 +2283,17 @@ mod tests {
             "oldest tombstone age {age:?} exceeds D_th {d_th}"
         );
         assert_eq!(
-            db.stats().persistence_violations.load(std::sync::atomic::Ordering::Relaxed),
+            db.stats()
+                .persistence_violations
+                .load(std::sync::atomic::Ordering::Relaxed),
             0,
             "FADE must never violate the threshold"
         );
         assert!(
-            db.stats().ttl_compactions.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            db.stats()
+                .ttl_compactions
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0,
             "TTL trigger should have fired"
         );
     }
@@ -2173,10 +2306,15 @@ mod tests {
         // purges them as the clock advances.
         let d_th = 3_000u64;
         let run = |fade: bool| -> u64 {
-            let opts = if fade { small().with_fade(d_th) } else { small() };
+            let opts = if fade {
+                small().with_fade(d_th)
+            } else {
+                small()
+            };
             let (_fs, db) = open_mem(opts);
             for i in 0..1000u32 {
-                db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32]).unwrap();
+                db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32])
+                    .unwrap();
             }
             for i in 0..1000u32 {
                 db.delete(format!("key{i:04}").as_bytes()).unwrap();
@@ -2202,7 +2340,8 @@ mod tests {
         {
             let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
             for i in 0..1500u32 {
-                db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+                db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
             }
             db.delete(b"key00007").unwrap();
             db.range_delete_secondary(1, 2).unwrap();
@@ -2215,7 +2354,11 @@ mod tests {
                 continue;
             }
             let got = db.get(format!("key{i:05}").as_bytes()).unwrap();
-            assert_eq!(got.unwrap().as_ref(), format!("v{i}").as_bytes(), "key{i:05}");
+            assert_eq!(
+                got.unwrap().as_ref(),
+                format!("v{i}").as_bytes(),
+                "key{i:05}"
+            );
         }
         db.verify_integrity().unwrap();
     }
@@ -2225,10 +2368,14 @@ mod tests {
         let fs = Arc::new(MemFs::new());
         for restart in 0..3 {
             let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
-            db.put(format!("round{restart}").as_bytes(), b"done").unwrap();
+            db.put(format!("round{restart}").as_bytes(), b"done")
+                .unwrap();
             for r in 0..=restart {
                 assert_eq!(
-                    db.get(format!("round{r}").as_bytes()).unwrap().unwrap().as_ref(),
+                    db.get(format!("round{r}").as_bytes())
+                        .unwrap()
+                        .unwrap()
+                        .as_ref(),
                     b"done",
                     "restart {restart}, round {r}"
                 );
@@ -2262,7 +2409,10 @@ mod tests {
         let later = acheron_vfs::join("db", "000099.log");
         let mut w = LogWriter::new(fs.create(&later).unwrap());
         let mut batch = WalBatch::new(10);
-        batch.ops.push(WalOp::Delete { key: Bytes::from_static(b"alpha"), tick: 1 });
+        batch.ops.push(WalOp::Delete {
+            key: Bytes::from_static(b"alpha"),
+            tick: 1,
+        });
         w.add_record(&batch.encode()).unwrap();
         w.finish().unwrap();
         (fs, later)
@@ -2286,7 +2436,10 @@ mod tests {
             "a delete past the tear must not replay"
         );
         assert_eq!(db.get(b"beta").unwrap(), None, "the torn record is lost");
-        assert!(!fs.exists(&later), "the unreplayable segment is collected at recovery");
+        assert!(
+            !fs.exists(&later),
+            "the unreplayable segment is collected at recovery"
+        );
     }
 
     #[test]
@@ -2297,7 +2450,10 @@ mod tests {
         // corruption, and the later segments may hold acknowledged
         // writes. Discarding them silently would be data loss.
         let (fs, _later) = torn_mid_history_image();
-        let opts = DbOptions { wal_sync: true, ..small() };
+        let opts = DbOptions {
+            wal_sync: true,
+            ..small()
+        };
         let err = match Db::open(fs as Arc<dyn Vfs>, "db", opts) {
             Err(e) => e,
             Ok(_) => panic!("open must refuse a torn mid-history image under wal_sync"),
@@ -2350,7 +2506,10 @@ mod tests {
             Some(&b"keep"[..]),
             "the dropped segment's delete must not resurrect across the recovery crash"
         );
-        assert!(!fault.exists(&later), "second recovery collected the dropped segment");
+        assert!(
+            !fault.exists(&later),
+            "second recovery collected the dropped segment"
+        );
     }
 
     #[test]
@@ -2406,13 +2565,15 @@ mod tests {
         {
             let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", small()).unwrap();
             for i in 0..2000u32 {
-                db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48]).unwrap();
+                db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48])
+                    .unwrap();
             }
             db.flush().unwrap();
         }
         // Plant garbage a crash could leave behind: a table the
         // manifest never adopted and a stale pre-log-number WAL.
-        fs.write_all("db/999990.sst", b"half-built table junk").unwrap();
+        fs.write_all("db/999990.sst", b"half-built table junk")
+            .unwrap();
         fs.write_all("db/000001.log", b"stale segment").unwrap();
         let old_manifest = fs
             .list("db")
@@ -2436,10 +2597,14 @@ mod tests {
 
     #[test]
     fn tiering_layout_works_end_to_end() {
-        let opts = DbOptions { layout: CompactionLayout::Tiering, ..small() };
+        let opts = DbOptions {
+            layout: CompactionLayout::Tiering,
+            ..small()
+        };
         let (_fs, db) = open_mem(opts);
         for i in 0..4000u32 {
-            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48]).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48])
+                .unwrap();
         }
         db.compact_all().unwrap();
         for i in (0..4000u32).step_by(211) {
@@ -2449,10 +2614,14 @@ mod tests {
 
     #[test]
     fn lazy_leveling_layout_works_end_to_end() {
-        let opts = DbOptions { layout: CompactionLayout::LazyLeveling, ..small() };
+        let opts = DbOptions {
+            layout: CompactionLayout::LazyLeveling,
+            ..small()
+        };
         let (_fs, db) = open_mem(opts);
         for i in 0..4000u32 {
-            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48]).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48])
+                .unwrap();
         }
         db.compact_all().unwrap();
         for i in (0..4000u32).step_by(211) {
@@ -2502,14 +2671,18 @@ mod tests {
     fn level_summary_shape() {
         let (_fs, db) = open_mem(small());
         for i in 0..2000u32 {
-            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64]).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64])
+                .unwrap();
         }
         db.compact_all().unwrap();
         let summary = db.level_summary();
         assert_eq!(summary.len(), db.options().max_levels);
         let total: u64 = summary.iter().map(|l| l.entries).sum();
         assert!(total > 0);
-        assert!(summary.iter().any(|l| l.level > 0 && l.files > 0), "data should reach L1+");
+        assert!(
+            summary.iter().any(|l| l.level > 0 && l.files > 0),
+            "data should reach L1+"
+        );
     }
 
     #[test]
@@ -2552,7 +2725,8 @@ mod tests {
         opts.block_cache_bytes = 4 << 20;
         let (_fs, db) = open_mem(opts);
         for i in 0..3000u32 {
-            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64]).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64])
+                .unwrap();
         }
         db.compact_all().unwrap();
         let (h0, m0) = db.cache_stats().expect("cache configured");
@@ -2579,7 +2753,8 @@ mod tests {
             opts.block_cache_bytes = cache;
             let (_fs, db) = open_mem(opts);
             for i in 0..2000u32 {
-                db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+                db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
                 if i % 3 == 0 {
                     db.delete(format!("key{:05}", i / 2).as_bytes()).unwrap();
                 }
@@ -2600,7 +2775,8 @@ mod tests {
     fn range_iter_streams_and_stops_early() {
         let (_fs, db) = open_mem(small());
         for i in 0..1000u32 {
-            db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            db.put(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
         }
         db.delete(b"key0003").unwrap();
         db.flush().unwrap();
@@ -2614,7 +2790,10 @@ mod tests {
             .iter()
             .map(|(k, _)| String::from_utf8_lossy(k).into_owned())
             .collect();
-        assert_eq!(keys, vec!["key0000", "key0001", "key0002", "key0004", "key0005"]);
+        assert_eq!(
+            keys,
+            vec!["key0000", "key0001", "key0002", "key0004", "key0005"]
+        );
         drop(it);
         // The streaming result equals the materialized scan.
         let mut it = db.range_iter(b"key0100", b"key0110").unwrap();
@@ -2632,7 +2811,8 @@ mod tests {
     fn range_iter_survives_concurrent_compaction() {
         let (_fs, db) = open_mem(small());
         for i in 0..500u32 {
-            db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32]).unwrap();
+            db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32])
+                .unwrap();
         }
         db.flush().unwrap();
         let mut it = db.range_iter(b"key0000", b"key9999").unwrap();
@@ -2642,12 +2822,16 @@ mod tests {
         }
         db.compact_all().unwrap();
         for i in 0..200u32 {
-            db.put(format!("new{i:04}").as_bytes(), &[b'w'; 32]).unwrap();
+            db.put(format!("new{i:04}").as_bytes(), &[b'w'; 32])
+                .unwrap();
         }
         // The iterator keeps serving its frozen view.
         let mut remaining = 10;
         while let Some((k, _)) = it.next_entry().unwrap() {
-            assert!(k.starts_with(b"key"), "iterator view must not see new writes");
+            assert!(
+                k.starts_with(b"key"),
+                "iterator view must not see new writes"
+            );
             remaining += 1;
         }
         assert_eq!(remaining, 500);

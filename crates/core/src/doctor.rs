@@ -125,7 +125,9 @@ pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
     // recovery with synced-WAL durability refuses such an image.
     let mut live_wals: Vec<(u64, String)> = Vec::new();
     for name in fs.list(dir)? {
-        let FileKind::Wal(n) = parse_file_name(&name) else { continue };
+        let FileKind::Wal(n) = parse_file_name(&name) else {
+            continue;
+        };
         if n < log_number {
             report
                 .warnings
@@ -170,7 +172,9 @@ pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
     for name in fs.list(dir)? {
         match parse_file_name(&name) {
             FileKind::Table(n) if !files.contains_key(&n) => {
-                report.warnings.push(format!("orphan table file {name} (not in manifest)"));
+                report
+                    .warnings
+                    .push(format!("orphan table file {name} (not in manifest)"));
             }
             FileKind::Temp => {
                 report.warnings.push(format!(
@@ -197,7 +201,9 @@ fn verify_table(table: &std::sync::Arc<Table>, id: u64) -> Result<()> {
     while it.valid() {
         if let Some(prev) = &last {
             if compare_internal(prev, it.key()) != std::cmp::Ordering::Less {
-                return Err(Error::corruption(format!("table {id}: entries out of order")));
+                return Err(Error::corruption(format!(
+                    "table {id}: entries out of order"
+                )));
             }
         }
         last = Some(it.key().to_vec());
@@ -249,7 +255,8 @@ mod tests {
         let fs = Arc::new(MemFs::new());
         let db = Db::open(fs.clone(), "db", DbOptions::small()).unwrap();
         for i in 0..2000u32 {
-            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48]).unwrap();
+            db.put(format!("key{i:05}").as_bytes(), &[b'v'; 48])
+                .unwrap();
             if i % 5 == 0 {
                 db.delete(format!("key{:05}", i / 2).as_bytes()).unwrap();
             }
@@ -388,7 +395,8 @@ mod tests {
         let path = acheron_vfs::join("db", &wal);
         let data = fs.read_all(&path).unwrap();
         fs.write_all(&path, &data[..data.len() - 3]).unwrap();
-        fs.write_all("db/999997.log", b"records written after the corrupt region").unwrap();
+        fs.write_all("db/999997.log", b"records written after the corrupt region")
+            .unwrap();
         let report = check_db(fs.as_ref(), "db").unwrap();
         assert!(
             report
@@ -399,7 +407,10 @@ mod tests {
             report.warnings
         );
         assert!(
-            !report.warnings.iter().any(|w| w.contains(&wal) && w.contains("torn tail")),
+            !report
+                .warnings
+                .iter()
+                .any(|w| w.contains(&wal) && w.contains("torn tail")),
             "the same tear must not also read as an ordinary tail: {:?}",
             report.warnings
         );
@@ -408,10 +419,14 @@ mod tests {
     #[test]
     fn flags_stale_temp_files() {
         let fs = populated_fs();
-        fs.write_all("db/000042.log.tmp", b"interrupted heal").unwrap();
+        fs.write_all("db/000042.log.tmp", b"interrupted heal")
+            .unwrap();
         let report = check_db(fs.as_ref(), "db").unwrap();
         assert!(
-            report.warnings.iter().any(|w| w.contains("stale temp file 000042.log.tmp")),
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("stale temp file 000042.log.tmp")),
             "{:?}",
             report.warnings
         );
@@ -472,7 +487,8 @@ mod tests {
         // The flush in populated_fs advanced the manifest's log number
         // past segment 1, so a stale segment must be flagged as
         // obsolete — not replayed, not an error.
-        fs.write_all("db/000001.log", b"stale bytes from before the flush").unwrap();
+        fs.write_all("db/000001.log", b"stale bytes from before the flush")
+            .unwrap();
         let report = check_db(fs.as_ref(), "db").unwrap();
         assert!(
             report
@@ -491,7 +507,11 @@ mod tests {
         // (mutation, unique signature) pairs; each run starts from a
         // fresh healthy image so classes cannot mask each other.
         fn table_name(fs: &MemFs) -> String {
-            fs.list("db").unwrap().into_iter().find(|n| n.ends_with(".sst")).unwrap()
+            fs.list("db")
+                .unwrap()
+                .into_iter()
+                .find(|n| n.ends_with(".sst"))
+                .unwrap()
         }
         type CorruptionClass = (&'static str, Box<dyn Fn(&MemFs)>, &'static str);
         let classes: Vec<CorruptionClass> = vec![

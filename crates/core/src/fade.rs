@@ -40,7 +40,10 @@ pub struct TtlSchedule {
 impl TtlSchedule {
     /// Build a schedule from options. `opts.fade` must be set.
     pub fn new(opts: &DbOptions) -> TtlSchedule {
-        let fade = opts.fade.as_ref().expect("TtlSchedule requires fade options");
+        let fade = opts
+            .fade
+            .as_ref()
+            .expect("TtlSchedule requires fade options");
         let d_th = fade.delete_persistence_threshold;
         // Reserve a 1/16 margin for trigger-detection latency so the
         // *measured* purge latency stays <= D_th.
@@ -66,7 +69,11 @@ impl TtlSchedule {
             acc = acc.saturating_add(*d);
             cumulative.push(acc);
         }
-        TtlSchedule { per_station, cumulative, d_th }
+        TtlSchedule {
+            per_station,
+            cumulative,
+            d_th,
+        }
     }
 
     /// Residency budget of the write buffer.

@@ -57,10 +57,10 @@ pub mod stats;
 pub mod testutil;
 pub mod version;
 
-pub use db::{Db, LevelInfo, MaintenancePause, RangeIter, Snapshot, WriteBatch};
-pub use options::{CompactionLayout, DbOptions, FadeOptions, FilePickPolicy, TtlAllocation};
+pub use db::{Db, LevelInfo, MaintenancePause, RangeIter, Snapshot, WriteBatch, WritePressure};
 pub use doctor::{check_db, DoctorReport};
-pub use stats::DbStats;
+pub use options::{CompactionLayout, DbOptions, FadeOptions, FilePickPolicy, TtlAllocation};
+pub use stats::{DbStats, HistogramSummary, LatencyHistogram, StatsSnapshot};
 
 // Re-export the commonly needed foundation types so downstream users
 // depend on one crate.

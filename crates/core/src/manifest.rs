@@ -85,7 +85,13 @@ impl EditBatch {
         put_varint64(&mut out, self.edits.len() as u64);
         for e in &self.edits {
             match e {
-                VersionEdit::AddFile { level, run, id, size, created_tick } => {
+                VersionEdit::AddFile {
+                    level,
+                    run,
+                    id,
+                    size,
+                    created_tick,
+                } => {
                     out.push(TAG_ADD_FILE);
                     for v in [*level, *run, *id, *size, *created_tick] {
                         put_varint64(&mut out, v);
@@ -142,9 +148,17 @@ impl EditBatch {
                     let id = next("add-file id")?;
                     let size = next("add-file size")?;
                     let created_tick = next("add-file tick")?;
-                    VersionEdit::AddFile { level, run, id, size, created_tick }
+                    VersionEdit::AddFile {
+                        level,
+                        run,
+                        id,
+                        size,
+                        created_tick,
+                    }
                 }
-                TAG_DELETE_FILE => VersionEdit::DeleteFile { id: next("delete-file id")? },
+                TAG_DELETE_FILE => VersionEdit::DeleteFile {
+                    id: next("delete-file id")?,
+                },
                 TAG_ADD_RT => {
                     let seqno = next("add-rt seqno")?;
                     // Release the closure's borrow of `src` before using
@@ -157,14 +171,22 @@ impl EditBatch {
                         .ok_or_else(|| Error::corruption("add-rt: bad range encoding"))?;
                     VersionEdit::AddRangeTombstone { seqno, range }
                 }
-                TAG_DROP_RT => VersionEdit::DropRangeTombstone { seqno: next("drop-rt seqno")? },
-                TAG_PERSISTED_SEQNO => {
-                    VersionEdit::PersistedSeqno { seqno: next("persisted seqno")? }
-                }
-                TAG_LOG_NUMBER => VersionEdit::LogNumber { number: next("log number")? },
-                TAG_NEXT_FILE_ID => VersionEdit::NextFileId { id: next("next file id")? },
+                TAG_DROP_RT => VersionEdit::DropRangeTombstone {
+                    seqno: next("drop-rt seqno")?,
+                },
+                TAG_PERSISTED_SEQNO => VersionEdit::PersistedSeqno {
+                    seqno: next("persisted seqno")?,
+                },
+                TAG_LOG_NUMBER => VersionEdit::LogNumber {
+                    number: next("log number")?,
+                },
+                TAG_NEXT_FILE_ID => VersionEdit::NextFileId {
+                    id: next("next file id")?,
+                },
                 other => {
-                    return Err(Error::corruption(format!("edit batch: unknown tag {other}")));
+                    return Err(Error::corruption(format!(
+                        "edit batch: unknown tag {other}"
+                    )));
                 }
             };
             edits.push(edit);
@@ -184,7 +206,9 @@ pub struct ManifestWriter {
 impl ManifestWriter {
     /// Create a fresh manifest file at `path`.
     pub fn create(fs: &dyn Vfs, path: &str) -> Result<ManifestWriter> {
-        Ok(ManifestWriter { log: LogWriter::new(fs.create(path)?) })
+        Ok(ManifestWriter {
+            log: LogWriter::new(fs.create(path)?),
+        })
     }
 
     /// Append and sync one edit batch.
@@ -272,7 +296,13 @@ mod tests {
     fn sample_batch() -> EditBatch {
         EditBatch {
             edits: vec![
-                VersionEdit::AddFile { level: 0, run: 3, id: 17, size: 4096, created_tick: 99 },
+                VersionEdit::AddFile {
+                    level: 0,
+                    run: 3,
+                    id: 17,
+                    size: 4096,
+                    created_tick: 99,
+                },
                 VersionEdit::DeleteFile { id: 4 },
                 VersionEdit::AddRangeTombstone {
                     seqno: 1000,
@@ -313,7 +343,9 @@ mod tests {
         let fs = MemFs::new();
         let mut w = ManifestWriter::create(&fs, "MANIFEST-000001").unwrap();
         let b1 = sample_batch();
-        let b2 = EditBatch { edits: vec![VersionEdit::DeleteFile { id: 17 }] };
+        let b2 = EditBatch {
+            edits: vec![VersionEdit::DeleteFile { id: 17 }],
+        };
         w.append(&b1).unwrap();
         w.append(&b2).unwrap();
         let replayed = read_manifest(&fs, "MANIFEST-000001").unwrap();
@@ -345,10 +377,16 @@ mod tests {
         fs.mkdir_all("db").unwrap();
         assert_eq!(read_current(&fs, "db").unwrap(), None);
         write_current(&fs, "db", "MANIFEST-000042").unwrap();
-        assert_eq!(read_current(&fs, "db").unwrap(), Some("MANIFEST-000042".to_string()));
+        assert_eq!(
+            read_current(&fs, "db").unwrap(),
+            Some("MANIFEST-000042".to_string())
+        );
         // Re-pointing replaces atomically.
         write_current(&fs, "db", "MANIFEST-000043").unwrap();
-        assert_eq!(read_current(&fs, "db").unwrap(), Some("MANIFEST-000043".to_string()));
+        assert_eq!(
+            read_current(&fs, "db").unwrap(),
+            Some("MANIFEST-000043".to_string())
+        );
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! scan — source counts are tens at most, and keys are compared without
 //! copying, which beats a heap that would have to own key copies.
 
+use acheron_sstable::TableIterator;
 use acheron_types::key::compare_internal;
 use acheron_types::{Entry, RangeTombstone, Result, SeqNo, ValueKind};
-use acheron_sstable::TableIterator;
 use bytes::Bytes;
 
 /// A positioned stream of entries in internal-key order.
@@ -61,7 +61,11 @@ impl VecSource {
             .iter()
             .map(|e| e.internal_key().encoded().to_vec())
             .collect();
-        VecSource { entries, keys, pos: 0 }
+        VecSource {
+            entries,
+            keys,
+            pos: 0,
+        }
     }
 }
 
@@ -99,7 +103,10 @@ pub struct MergeIterator {
 impl MergeIterator {
     /// Merge the given sources (each already positioned at its start).
     pub fn new(sources: Vec<Box<dyn KvSource>>) -> MergeIterator {
-        let mut m = MergeIterator { sources, current: None };
+        let mut m = MergeIterator {
+            sources,
+            current: None,
+        };
         m.pick();
         m
     }
@@ -282,7 +289,8 @@ impl<'a> CompactionStream<'a> {
                     && self.bottommost
                     && !self.visible_to_snapshot(candidate.seqno)
                 {
-                    self.tombstones_dropped.push((candidate.dkey, candidate.seqno));
+                    self.tombstones_dropped
+                        .push((candidate.dkey, candidate.seqno));
                     continue;
                 }
                 self.pending.push_back(candidate);
@@ -297,7 +305,12 @@ mod tests {
     use acheron_types::DeleteKeyRange;
 
     fn put(k: &str, seq: SeqNo, dkey: u64) -> Entry {
-        Entry::put(k.as_bytes().to_vec(), format!("v{seq}").into_bytes(), seq, dkey)
+        Entry::put(
+            k.as_bytes().to_vec(),
+            format!("v{seq}").into_bytes(),
+            seq,
+            dkey,
+        )
     }
 
     fn del(k: &str, seq: SeqNo, tick: u64) -> Entry {
@@ -334,12 +347,19 @@ mod tests {
             vec![put("b", 2, 0), put("d", 4, 0)],
         ]);
         let keys: Vec<Vec<u8>> = drain_merge(m).into_iter().map(|e| e.key.to_vec()).collect();
-        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(
+            keys,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
     }
 
     #[test]
     fn merge_orders_same_key_newest_first() {
-        let m = merge_of(vec![vec![put("k", 5, 0)], vec![put("k", 9, 0)], vec![del("k", 7, 0)]]);
+        let m = merge_of(vec![
+            vec![put("k", 5, 0)],
+            vec![put("k", 9, 0)],
+            vec![del("k", 7, 0)],
+        ]);
         let seqs: Vec<SeqNo> = drain_merge(m).into_iter().map(|e| e.seqno).collect();
         assert_eq!(seqs, vec![9, 7, 5]);
     }
@@ -415,12 +435,17 @@ mod tests {
 
     #[test]
     fn range_tombstone_purges_covered_entries_at_bottom_only() {
-        let rts = [RangeTombstone { seqno: 100, range: DeleteKeyRange::new(10, 20) }];
-        let make = || merge_of(vec![vec![
-            put("a", 1, 15),   // covered
-            put("b", 2, 25),   // outside range: kept
-            put("c", 150, 15), // newer than rt: kept
-        ]]);
+        let rts = [RangeTombstone {
+            seqno: 100,
+            range: DeleteKeyRange::new(10, 20),
+        }];
+        let make = || {
+            merge_of(vec![vec![
+                put("a", 1, 15),   // covered
+                put("b", 2, 25),   // outside range: kept
+                put("c", 150, 15), // newer than rt: kept
+            ]])
+        };
         // At the bottom, the covered entry is purged.
         let s = CompactionStream::new(make(), &rts, &[], true);
         let (out, _, purged, _) = drain_stream(s);
@@ -439,18 +464,27 @@ mod tests {
     fn covered_chain_head_still_shadows_older_strata() {
         // Even when the head is purged at the bottom, an older version in
         // the same stratum must not be emitted (it never decided reads).
-        let rts = [RangeTombstone { seqno: 100, range: DeleteKeyRange::new(10, 20) }];
+        let rts = [RangeTombstone {
+            seqno: 100,
+            range: DeleteKeyRange::new(10, 20),
+        }];
         let m = merge_of(vec![vec![put("k", 9, 15), put("k", 3, 99)]]);
         let s = CompactionStream::new(m, &rts, &[], true);
         let (out, shadowed, purged, _) = drain_stream(s);
-        assert!(out.is_empty(), "older uncovered version must not resurface: {out:?}");
+        assert!(
+            out.is_empty(),
+            "older uncovered version must not resurface: {out:?}"
+        );
         assert_eq!(purged, 1);
         assert_eq!(shadowed, 1);
     }
 
     #[test]
     fn range_purge_resurfaces_nothing_when_chain_fully_covered() {
-        let rts = [RangeTombstone { seqno: 100, range: DeleteKeyRange::all() }];
+        let rts = [RangeTombstone {
+            seqno: 100,
+            range: DeleteKeyRange::all(),
+        }];
         let m = merge_of(vec![vec![put("k", 5, 1), put("k", 7, 2)]]);
         let s = CompactionStream::new(m, &rts, &[], true);
         let (out, ..) = drain_stream(s);

@@ -219,7 +219,9 @@ impl DbOptions {
             return Err(Error::invalid_argument("max_levels must be <= 16"));
         }
         if self.write_buffer_bytes < 1024 {
-            return Err(Error::invalid_argument("write_buffer_bytes must be >= 1024"));
+            return Err(Error::invalid_argument(
+                "write_buffer_bytes must be >= 1024",
+            ));
         }
         if self.level0_file_limit == 0 {
             return Err(Error::invalid_argument("level0_file_limit must be >= 1"));
@@ -270,36 +272,77 @@ mod tests {
     fn default_options_validate() {
         DbOptions::default().validate().unwrap();
         DbOptions::small().validate().unwrap();
-        DbOptions::small().with_fade(1000).with_tile(8).validate().unwrap();
+        DbOptions::small()
+            .with_fade(1000)
+            .with_tile(8)
+            .validate()
+            .unwrap();
     }
 
     #[test]
     fn invalid_combinations_rejected() {
-        assert!(DbOptions { size_ratio: 1, ..DbOptions::default() }.validate().is_err());
-        assert!(DbOptions { max_levels: 1, ..DbOptions::default() }.validate().is_err());
-        assert!(DbOptions { max_levels: 17, ..DbOptions::default() }.validate().is_err());
-        assert!(
-            DbOptions { write_buffer_bytes: 10, ..DbOptions::default() }.validate().is_err()
-        );
-        assert!(
-            DbOptions { level0_file_limit: 0, ..DbOptions::default() }.validate().is_err()
-        );
+        assert!(DbOptions {
+            size_ratio: 1,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DbOptions {
+            max_levels: 1,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DbOptions {
+            max_levels: 17,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DbOptions {
+            write_buffer_bytes: 10,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DbOptions {
+            level0_file_limit: 0,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
         assert!(DbOptions::default().with_fade(0).validate().is_err());
-        assert!(DbOptions { pages_per_tile: 0, ..DbOptions::default() }.validate().is_err());
-        assert!(
-            DbOptions { l0_slowdown_files: 0, ..DbOptions::default() }.validate().is_err()
-        );
-        assert!(DbOptions { l0_stall_files: 2, l0_slowdown_files: 4, ..DbOptions::default() }
-            .validate()
-            .is_err());
-        assert!(
-            DbOptions { max_imm_memtables: 0, ..DbOptions::default() }.validate().is_err()
-        );
-        assert!(
-            DbOptions { background_threads: 10_000, ..DbOptions::default() }
-                .validate()
-                .is_err()
-        );
+        assert!(DbOptions {
+            pages_per_tile: 0,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DbOptions {
+            l0_slowdown_files: 0,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DbOptions {
+            l0_stall_files: 2,
+            l0_slowdown_files: 4,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DbOptions {
+            max_imm_memtables: 0,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DbOptions {
+            background_threads: 10_000,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -310,7 +353,11 @@ mod tests {
 
     #[test]
     fn level_targets_grow_by_size_ratio() {
-        let opts = DbOptions { level1_target_bytes: 100, size_ratio: 10, ..DbOptions::default() };
+        let opts = DbOptions {
+            level1_target_bytes: 100,
+            size_ratio: 10,
+            ..DbOptions::default()
+        };
         assert_eq!(opts.level_target_bytes(1), 100);
         assert_eq!(opts.level_target_bytes(2), 1000);
         assert_eq!(opts.level_target_bytes(3), 10_000);

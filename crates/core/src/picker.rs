@@ -309,9 +309,10 @@ impl Picker {
                 .sum()
         };
         match policy {
-            FilePickPolicy::MinOverlap => {
-                files.iter().min_by_key(|f| (overlap_bytes(f), f.id)).cloned()
-            }
+            FilePickPolicy::MinOverlap => files
+                .iter()
+                .min_by_key(|f| (overlap_bytes(f), f.id))
+                .cloned(),
             FilePickPolicy::TombstoneDensity => files
                 .iter()
                 .max_by(|a, b| {
@@ -446,12 +447,7 @@ mod tests {
     fn no_compaction_when_under_triggers() {
         let fs = MemFs::new();
         let picker = Picker::new(&opts(CompactionLayout::Leveling));
-        let v = Version::empty(4).apply(
-            vec![make_file(&fs, 1, 0, 0..10, 100)],
-            &[],
-            &[],
-            &[],
-        );
+        let v = Version::empty(4).apply(vec![make_file(&fs, 1, 0, 0..10, 100)], &[], &[], &[]);
         assert!(picker.pick(&v, 0).is_none());
     }
 
@@ -599,7 +595,11 @@ mod tests {
         let task = picker.pick(&v, 0).expect("runs at level 2");
         assert_eq!(task.output_level, 3);
         assert_eq!(task.output_run, 0, "bottom stays a single leveled run");
-        assert_eq!(task.next_level_inputs.len(), 1, "merges with the bottom run");
+        assert_eq!(
+            task.next_level_inputs.len(),
+            1,
+            "merges with the bottom run"
+        );
     }
 
     #[test]

@@ -72,11 +72,53 @@ impl LatencyHistogram {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
                 // Bucket i holds values in [2^(i-1), 2^i).
-                return if i >= 63 { u64::MAX } else { (1u64 << i).saturating_sub(1) };
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
             }
         }
         self.max()
     }
+
+    /// [`LatencyHistogram::quantile`] with the argument in percent:
+    /// `percentile(99.0)` is the p99 upper bound from the power-of-two
+    /// buckets.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// A plain-data summary of the histogram (count/mean/max and the
+    /// p50/p90/p99 bucket upper bounds), for export and display.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            max: self.max(),
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+        }
+    }
+}
+
+/// Plain-data summary of a [`LatencyHistogram`]: what a remote stats
+/// consumer needs without shipping the buckets themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean sample value.
+    pub mean: f64,
+    /// Maximum sample value.
+    pub max: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
 }
 
 /// Monotone counters describing everything the engine has done.
@@ -159,6 +201,115 @@ impl DbStats {
         }
         self.compaction_bytes_out.load(Ordering::Relaxed) as f64 / user as f64
     }
+
+    /// A point-in-time, plain-data copy of every counter and histogram
+    /// summary — the exportable form of the stats (the wire `stats`
+    /// command serializes this).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        use Ordering::Relaxed;
+        StatsSnapshot {
+            puts: self.puts.load(Relaxed),
+            deletes: self.deletes.load(Relaxed),
+            range_deletes: self.range_deletes.load(Relaxed),
+            gets: self.gets.load(Relaxed),
+            scans: self.scans.load(Relaxed),
+            user_bytes: self.user_bytes.load(Relaxed),
+            flushes: self.flushes.load(Relaxed),
+            compactions: self.compactions.load(Relaxed),
+            ttl_compactions: self.ttl_compactions.load(Relaxed),
+            compaction_bytes_in: self.compaction_bytes_in.load(Relaxed),
+            compaction_bytes_out: self.compaction_bytes_out.load(Relaxed),
+            entries_shadowed: self.entries_shadowed.load(Relaxed),
+            entries_range_purged: self.entries_range_purged.load(Relaxed),
+            tombstones_purged: self.tombstones_purged.load(Relaxed),
+            pages_dropped: self.pages_dropped.load(Relaxed),
+            persistence_latency: self.persistence_latency.summary(),
+            persistence_violations: self.persistence_violations.load(Relaxed),
+            write_stalls: self.write_stalls.load(Relaxed),
+            write_slowdowns: self.write_slowdowns.load(Relaxed),
+            stall_micros: self.stall_micros.summary(),
+            flush_micros: self.flush_micros.summary(),
+            compaction_micros: self.compaction_micros.summary(),
+            imm_queue_peak: self.imm_queue_peak.load(Relaxed),
+            background_errors: self.background_errors.load(Relaxed),
+        }
+    }
+}
+
+/// Plain-data, copyable snapshot of [`DbStats`] — safe to ship across
+/// threads or the wire. Field meanings match the [`DbStats`] fields of
+/// the same names.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub puts: u64,
+    pub deletes: u64,
+    pub range_deletes: u64,
+    pub gets: u64,
+    pub scans: u64,
+    pub user_bytes: u64,
+    pub flushes: u64,
+    pub compactions: u64,
+    pub ttl_compactions: u64,
+    pub compaction_bytes_in: u64,
+    pub compaction_bytes_out: u64,
+    pub entries_shadowed: u64,
+    pub entries_range_purged: u64,
+    pub tombstones_purged: u64,
+    pub pages_dropped: u64,
+    pub persistence_latency: HistogramSummary,
+    pub persistence_violations: u64,
+    pub write_stalls: u64,
+    pub write_slowdowns: u64,
+    pub stall_micros: HistogramSummary,
+    pub flush_micros: HistogramSummary,
+    pub compaction_micros: HistogramSummary,
+    pub imm_queue_peak: u64,
+    pub background_errors: u64,
+}
+
+impl StatsSnapshot {
+    /// Flatten into `(name, value)` pairs — the canonical wire/export
+    /// form. Histogram means are rounded to integers; the remaining
+    /// histogram fields are exported as `<name>_{count,max,p50,p90,p99}`.
+    pub fn to_pairs(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = vec![
+            ("puts".into(), self.puts),
+            ("deletes".into(), self.deletes),
+            ("range_deletes".into(), self.range_deletes),
+            ("gets".into(), self.gets),
+            ("scans".into(), self.scans),
+            ("user_bytes".into(), self.user_bytes),
+            ("flushes".into(), self.flushes),
+            ("compactions".into(), self.compactions),
+            ("ttl_compactions".into(), self.ttl_compactions),
+            ("compaction_bytes_in".into(), self.compaction_bytes_in),
+            ("compaction_bytes_out".into(), self.compaction_bytes_out),
+            ("entries_shadowed".into(), self.entries_shadowed),
+            ("entries_range_purged".into(), self.entries_range_purged),
+            ("tombstones_purged".into(), self.tombstones_purged),
+            ("pages_dropped".into(), self.pages_dropped),
+            ("persistence_violations".into(), self.persistence_violations),
+            ("write_stalls".into(), self.write_stalls),
+            ("write_slowdowns".into(), self.write_slowdowns),
+            ("imm_queue_peak".into(), self.imm_queue_peak),
+            ("background_errors".into(), self.background_errors),
+        ];
+        for (name, h) in [
+            ("persistence_latency", &self.persistence_latency),
+            ("stall_micros", &self.stall_micros),
+            ("flush_micros", &self.flush_micros),
+            ("compaction_micros", &self.compaction_micros),
+        ] {
+            out.push((format!("{name}_count"), h.count));
+            out.push((format!("{name}_mean"), h.mean.round() as u64));
+            out.push((format!("{name}_max"), h.max));
+            out.push((format!("{name}_p50"), h.p50));
+            out.push((format!("{name}_p90"), h.p90));
+            out.push((format!("{name}_p99"), h.p99));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +350,38 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 1);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn percentile_matches_quantile() {
+        let h = LatencyHistogram::default();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), h.quantile(0.5));
+        assert_eq!(h.percentile(99.0), h.quantile(0.99));
+        assert!(h.percentile(99.0) >= h.percentile(50.0));
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50, h.percentile(50.0));
+        assert_eq!(s.p99, h.percentile(99.0));
+        assert_eq!(s.max, 999);
+    }
+
+    #[test]
+    fn snapshot_copies_counters_and_flattens() {
+        let s = DbStats::default();
+        s.puts.store(7, Ordering::Relaxed);
+        s.record_tombstone_purge(10, 30, Some(100));
+        let snap = s.snapshot();
+        assert_eq!(snap.puts, 7);
+        assert_eq!(snap.tombstones_purged, 1);
+        assert_eq!(snap.persistence_latency.count, 1);
+        let pairs = snap.to_pairs();
+        let get = |n: &str| pairs.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
+        assert_eq!(get("puts"), Some(7));
+        assert_eq!(get("persistence_latency_count"), Some(1));
+        assert_eq!(get("persistence_latency_max"), Some(20));
     }
 
     #[test]

@@ -149,7 +149,12 @@ pub struct CrashWorkload {
 
 impl Default for CrashWorkload {
     fn default() -> Self {
-        CrashWorkload { seed: 0xACE0_0001, ops: 300, key_space: 64, delete_percent: 30 }
+        CrashWorkload {
+            seed: 0xACE0_0001,
+            ops: 300,
+            key_space: 64,
+            delete_percent: 30,
+        }
     }
 }
 
@@ -173,7 +178,10 @@ impl CrashWorkload {
                 if r % 100 < self.delete_percent {
                     WorkloadOp::Delete { key }
                 } else {
-                    WorkloadOp::Put { key, stamp: i as u64 }
+                    WorkloadOp::Put {
+                        key,
+                        stamp: i as u64,
+                    }
                 }
             })
             .collect()
@@ -202,7 +210,11 @@ fn value_bytes(stamp: u64) -> Vec<u8> {
 }
 
 fn parse_stamp(v: &[u8]) -> Option<u64> {
-    std::str::from_utf8(v).ok()?.strip_prefix("stamp")?.parse().ok()
+    std::str::from_utf8(v)
+        .ok()?
+        .strip_prefix("stamp")?
+        .parse()
+        .ok()
 }
 
 /// Apply one workload op to a live database.
@@ -374,9 +386,16 @@ pub fn run_crash_point(cfg: &CrashConfig, point: u64) -> CrashPointOutcome {
             }
         }
     }
-    let violations =
-        violations.into_iter().map(|v| format!("point {point}: {v}")).collect();
-    CrashPointOutcome { point, crashed, acked, violations }
+    let violations = violations
+        .into_iter()
+        .map(|v| format!("point {point}: {v}"))
+        .collect();
+    CrashPointOutcome {
+        point,
+        crashed,
+        acked,
+        violations,
+    }
 }
 
 /// Crash twice: once in the workload at durability point
@@ -401,7 +420,9 @@ pub fn run_recovery_crash_point(
         Arc::new(MemFs::new()),
         cfg.workload.seed
             ^ workload_point.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ recovery_point.rotate_left(32).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+            ^ recovery_point
+                .rotate_left(32)
+                .wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
     );
     fault.set_cut_durability(cfg.cut);
     let mut violations: Vec<String> = Vec::new();
@@ -461,7 +482,12 @@ pub fn run_recovery_crash_point(
         .into_iter()
         .map(|v| format!("workload point {workload_point}, recovery point {recovery_point}: {v}"))
         .collect();
-    CrashPointOutcome { point: recovery_point, crashed, acked, violations }
+    CrashPointOutcome {
+        point: recovery_point,
+        crashed,
+        acked,
+        violations,
+    }
 }
 
 /// Sweep [`run_crash_point`] over `points`.
@@ -470,7 +496,10 @@ pub fn run_crash_suite(
     points: impl IntoIterator<Item = u64>,
 ) -> CrashSuiteReport {
     CrashSuiteReport {
-        outcomes: points.into_iter().map(|p| run_crash_point(cfg, p)).collect(),
+        outcomes: points
+            .into_iter()
+            .map(|p| run_crash_point(cfg, p))
+            .collect(),
     }
 }
 
@@ -485,8 +514,7 @@ pub fn check_recovered_state(
     in_flight: bool,
 ) -> Vec<String> {
     let expect = model_after(ops, acked);
-    let next = (in_flight && acked < ops.len())
-        .then(|| (ops[acked], model_after(ops, acked + 1)));
+    let next = (in_flight && acked < ops.len()).then(|| (ops[acked], model_after(ops, acked + 1)));
     let keys: std::collections::BTreeSet<u32> = ops.iter().map(|op| op.key()).collect();
     let mut violations = Vec::new();
     for key in keys {
@@ -539,7 +567,11 @@ fn check_fade_bound(db: &Db, cfg: &CrashConfig) -> Vec<String> {
     let step = (d_th / 16).max(1);
     for _ in 0..40 {
         db.advance_clock(step);
-        let r = if cfg.background_threads == 0 { db.maintain() } else { db.wait_idle() };
+        let r = if cfg.background_threads == 0 {
+            db.maintain()
+        } else {
+            db.wait_idle()
+        };
         if let Err(e) = r {
             violations.push(format!("maintenance after recovery failed: {e}"));
             return violations;
@@ -576,7 +608,10 @@ pub fn demonstrate_delete_before_manifest(cfg: &CrashConfig) -> Vec<String> {
     // and delete live only in the WAL at shutdown.
     let stamp = ops.len() as u64;
     ops.push(WorkloadOp::Put { key: 0, stamp });
-    ops.push(WorkloadOp::Put { key: 1, stamp: stamp + 1 });
+    ops.push(WorkloadOp::Put {
+        key: 1,
+        stamp: stamp + 1,
+    });
     ops.push(WorkloadOp::Delete { key: 2 });
 
     let mem = Arc::new(MemFs::new());

@@ -78,12 +78,17 @@ pub struct Version {
 impl Version {
     /// An empty tree with `max_levels` levels.
     pub fn empty(max_levels: usize) -> Version {
-        Version { levels: vec![Vec::new(); max_levels], range_tombstones: Vec::new() }
+        Version {
+            levels: vec![Vec::new(); max_levels],
+            range_tombstones: Vec::new(),
+        }
     }
 
     /// Total bytes at `level`.
     pub fn level_bytes(&self, level: usize) -> u64 {
-        self.levels.get(level).map_or(0, |fs| fs.iter().map(|f| f.size_bytes).sum())
+        self.levels
+            .get(level)
+            .map_or(0, |fs| fs.iter().map(|f| f.size_bytes).sum())
     }
 
     /// Number of files at `level`.
@@ -93,7 +98,9 @@ impl Version {
 
     /// Distinct runs at `level`.
     pub fn level_runs(&self, level: usize) -> usize {
-        let Some(files) = self.levels.get(level) else { return 0 };
+        let Some(files) = self.levels.get(level) else {
+            return 0;
+        };
         let mut runs: Vec<u64> = files.iter().map(|f| f.run).collect();
         runs.sort_unstable();
         runs.dedup();
@@ -122,7 +129,9 @@ impl Version {
 
     /// Deepest level that holds any file.
     pub fn deepest_nonempty_level(&self) -> Option<usize> {
-        (0..self.levels.len()).rev().find(|&l| !self.levels[l].is_empty())
+        (0..self.levels.len())
+            .rev()
+            .find(|&l| !self.levels[l].is_empty())
     }
 
     /// Files at `level` overlapping the user-key range `[lo, hi]`.
@@ -174,7 +183,8 @@ impl Version {
             });
         }
         next.range_tombstones.extend_from_slice(add_rts);
-        next.range_tombstones.retain(|rt| !drop_rt_seqnos.contains(&rt.seqno));
+        next.range_tombstones
+            .retain(|rt| !drop_rt_seqnos.contains(&rt.seqno));
         next
     }
 
@@ -302,7 +312,10 @@ mod tests {
     fn overlap_queries() {
         let fs = MemFs::new();
         let v = Version::empty(4).apply(
-            vec![make_file(&fs, 1, 1, 0..10, 100), make_file(&fs, 2, 2, 5..15, 200)],
+            vec![
+                make_file(&fs, 1, 1, 0..10, 100),
+                make_file(&fs, 2, 2, 5..15, 200),
+            ],
             &[],
             &[],
             &[],
@@ -327,13 +340,20 @@ mod tests {
         let fs = MemFs::new();
         // File with seqnos 100..110 and dkeys 0..10.
         let f = make_file(&fs, 1, 1, 0..10, 100);
-        let rt_overlapping =
-            RangeTombstone { seqno: 500, range: DeleteKeyRange::new(0, 5) };
+        let rt_overlapping = RangeTombstone {
+            seqno: 500,
+            range: DeleteKeyRange::new(0, 5),
+        };
         // Seqnos are unique in a real engine; the version identifies
         // tombstones by seqno, so the test keeps them distinct too.
-        let rt_disjoint_dkey =
-            RangeTombstone { seqno: 501, range: DeleteKeyRange::new(100, 200) };
-        let rt_older = RangeTombstone { seqno: 50, range: DeleteKeyRange::new(0, 5) };
+        let rt_disjoint_dkey = RangeTombstone {
+            seqno: 501,
+            range: DeleteKeyRange::new(100, 200),
+        };
+        let rt_older = RangeTombstone {
+            seqno: 50,
+            range: DeleteKeyRange::new(0, 5),
+        };
         let v = Version::empty(2).apply(
             vec![f],
             &[],

@@ -200,7 +200,12 @@ mod tests {
     use super::*;
 
     fn put(m: &mut Memtable, k: &str, v: &str, seq: SeqNo, dkey: u64) {
-        m.insert(Entry::put(k.as_bytes().to_vec(), v.as_bytes().to_vec(), seq, dkey));
+        m.insert(Entry::put(
+            k.as_bytes().to_vec(),
+            v.as_bytes().to_vec(),
+            seq,
+            dkey,
+        ));
     }
 
     fn del(m: &mut Memtable, k: &str, seq: SeqNo, tick: Tick) {
@@ -212,9 +217,18 @@ mod tests {
         let mut m = Memtable::new();
         put(&mut m, "k", "v1", 1, 0);
         put(&mut m, "k", "v2", 5, 0);
-        assert_eq!(m.get(b"k", 10), LookupResult::Found(Bytes::from_static(b"v2")));
-        assert_eq!(m.get(b"k", 4), LookupResult::Found(Bytes::from_static(b"v1")));
-        assert_eq!(m.get(b"k", 5), LookupResult::Found(Bytes::from_static(b"v2")));
+        assert_eq!(
+            m.get(b"k", 10),
+            LookupResult::Found(Bytes::from_static(b"v2"))
+        );
+        assert_eq!(
+            m.get(b"k", 4),
+            LookupResult::Found(Bytes::from_static(b"v1"))
+        );
+        assert_eq!(
+            m.get(b"k", 5),
+            LookupResult::Found(Bytes::from_static(b"v2"))
+        );
     }
 
     #[test]
@@ -224,7 +238,10 @@ mod tests {
         del(&mut m, "k", 2, 100);
         assert_eq!(m.get(b"k", 10), LookupResult::Deleted);
         // The old version is still visible to an older snapshot.
-        assert_eq!(m.get(b"k", 1), LookupResult::Found(Bytes::from_static(b"v1")));
+        assert_eq!(
+            m.get(b"k", 1),
+            LookupResult::Found(Bytes::from_static(b"v1"))
+        );
     }
 
     #[test]
@@ -313,8 +330,10 @@ mod tests {
         put(&mut m, "b", "v1", 1, 0);
         put(&mut m, "a", "v2", 2, 0);
         del(&mut m, "a", 3, 0);
-        let got: Vec<(Vec<u8>, SeqNo)> =
-            m.entries().map(|e| (e.key.to_vec(), e.seqno)).collect();
-        assert_eq!(got, vec![(b"a".to_vec(), 3), (b"a".to_vec(), 2), (b"b".to_vec(), 1)]);
+        let got: Vec<(Vec<u8>, SeqNo)> = m.entries().map(|e| (e.key.to_vec(), e.seqno)).collect();
+        assert_eq!(
+            got,
+            vec![(b"a".to_vec(), 3), (b"a".to_vec(), 2), (b"b".to_vec(), 1)]
+        );
     }
 }

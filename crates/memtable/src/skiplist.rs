@@ -55,7 +55,11 @@ impl SkipList {
     /// An empty list with an explicit height-RNG seed (tests use this to
     /// exercise degenerate tower shapes).
     pub fn with_seed(seed: u64) -> SkipList {
-        let head = Node { entry: None, ikey: Vec::new(), tower: vec![NIL; MAX_HEIGHT] };
+        let head = Node {
+            entry: None,
+            ikey: Vec::new(),
+            tower: vec![NIL; MAX_HEIGHT],
+        };
         SkipList {
             arena: vec![head],
             height: 1,
@@ -157,7 +161,11 @@ impl SkipList {
         for (level, link) in tower.iter_mut().enumerate() {
             *link = self.node(preds[level]).tower[level];
         }
-        self.arena.push(Node { entry: Some(entry), ikey, tower });
+        self.arena.push(Node {
+            entry: Some(entry),
+            ikey,
+            tower,
+        });
         for (level, &pred) in preds.iter().enumerate().take(height) {
             self.arena[pred as usize].tower[level] = new_idx;
         }
@@ -172,7 +180,11 @@ impl SkipList {
 
     /// An iterator positioned before the first entry.
     pub fn iter(&self) -> SkipIter<'_> {
-        SkipIter { list: self, current: NIL, initialized: false }
+        SkipIter {
+            list: self,
+            current: NIL,
+            initialized: false,
+        }
     }
 
     /// Entries in order (convenience for flush paths and tests).
@@ -229,7 +241,11 @@ impl<'a> SkipIter<'a> {
     /// The entry at the cursor. Must be valid.
     pub fn entry(&self) -> &'a Entry {
         debug_assert!(self.valid());
-        self.list.node(self.current).entry.as_ref().expect("non-head node has entry")
+        self.list
+            .node(self.current)
+            .entry
+            .as_ref()
+            .expect("non-head node has entry")
     }
 }
 
@@ -239,7 +255,12 @@ mod tests {
     use acheron_types::{InternalKey, ValueKind};
 
     fn put(k: &str, seq: u64) -> Entry {
-        Entry::put(k.as_bytes().to_vec(), format!("v{seq}").into_bytes(), seq, 0)
+        Entry::put(
+            k.as_bytes().to_vec(),
+            format!("v{seq}").into_bytes(),
+            seq,
+            0,
+        )
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Per-connection handler: reads framed requests, batches consecutive
+//! writes into one atomic [`WriteBatch`], applies backpressure, and
+//! writes responses back in request order (which is what makes client
+//! pipelining safe).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use acheron::{Db, WriteBatch, WritePressure};
+use acheron_types::{Error, Result};
+
+use crate::server::Shared;
+use crate::wire::{encode_frame, FrameDecoder, Request, Response};
+
+/// Greet an over-limit connection with an `Err` frame and close it.
+pub(crate) fn refuse(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_write_timeout(Some(shared.opts.write_timeout));
+    let payload = Response::Err("server at connection capacity".into()).encode();
+    let mut frame = Vec::new();
+    encode_frame(&payload, &mut frame);
+    let _ = stream.write_all(&frame);
+}
+
+/// Serve one connection to completion.
+pub(crate) fn run(stream: TcpStream, shared: Arc<Shared>) {
+    if let Err(err) = serve(&stream, &shared) {
+        // A protocol violation means the stream is out of sync: tell the
+        // peer why (best effort) and drop the connection.
+        shared
+            .metrics
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        let payload = Response::Err(format!("protocol error: {err}")).encode();
+        let mut frame = Vec::new();
+        encode_frame(&payload, &mut frame);
+        let _ = (&stream).write_all(&frame);
+    }
+    shared
+        .metrics
+        .connections_closed
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+/// The connection loop. Returns `Err` only for protocol violations;
+/// transport errors and orderly closes return `Ok(())`.
+fn serve(mut stream: &TcpStream, shared: &Arc<Shared>) -> Result<()> {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.opts.poll_interval));
+    let _ = stream.set_write_timeout(Some(shared.opts.write_timeout));
+    let mut decoder = FrameDecoder::new(shared.opts.max_frame_bytes);
+    let mut buf = vec![0u8; 64 << 10];
+    let mut last_activity = Instant::now();
+    loop {
+        // Drain every complete frame already buffered, then respond to
+        // the whole group at once.
+        let mut requests = Vec::new();
+        while let Some(frame) = decoder.next_frame()? {
+            requests.push(Request::decode(&frame)?);
+        }
+        if !requests.is_empty() {
+            let responses = handle_group(shared, &requests);
+            if write_responses(stream, &responses, shared).is_err() {
+                return Ok(());
+            }
+            last_activity = Instant::now();
+        }
+        // In-flight work is drained; now honor a pending shutdown.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                // Orderly close. Leftover bytes mean the peer died mid-frame.
+                if decoder.pending_bytes() > 0 {
+                    return Err(Error::corruption("connection closed mid-frame"));
+                }
+                return Ok(());
+            }
+            Ok(n) => {
+                shared
+                    .metrics
+                    .bytes_in
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                decoder.feed(&buf[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if let Some(idle) = shared.opts.idle_timeout {
+                    if last_activity.elapsed() >= idle {
+                        return Ok(());
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Ok(()),
+        }
+    }
+}
+
+/// Execute one pipelined group of requests, producing one response per
+/// request, in order. Consecutive writes coalesce into a single atomic
+/// [`WriteBatch`] that is committed at the next read barrier (a
+/// get/scan must observe the connection's earlier pipelined writes).
+fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
+    let db = &shared.db;
+    let metrics = &shared.metrics;
+    let pressure = db.write_pressure();
+    let mut responses: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
+    let mut batch = WriteBatch::new();
+    let mut batch_idxs: Vec<usize> = Vec::new();
+    let mut committed_writes = false;
+
+    for (i, req) in requests.iter().enumerate() {
+        metrics.requests.fetch_add(1, Ordering::Relaxed);
+        if req.is_write() && pressure.stall {
+            // The stall tier of backpressure: shed instead of queueing.
+            metrics.busy_responses.fetch_add(1, Ordering::Relaxed);
+            responses[i] = Some(Response::Busy);
+            continue;
+        }
+        match req {
+            Request::Ping => responses[i] = Some(Response::Unit),
+            Request::Put { key, value, dkey } => {
+                // An unstamped put takes the engine's current tick as its
+                // delete key, matching the embedded `Db::put` path.
+                let dkey = dkey.unwrap_or_else(|| db.now());
+                batch.put_with_dkey(key, value, dkey);
+                batch_idxs.push(i);
+            }
+            Request::Delete { key } => {
+                batch.delete(key);
+                batch_idxs.push(i);
+            }
+            Request::RangeDeleteSecondary { lo, hi } => {
+                // Ordered write, but not batchable: commit what's queued
+                // first so earlier pipelined writes stay earlier.
+                committed_writes |=
+                    flush_batch(shared, &mut batch, &mut batch_idxs, &mut responses);
+                let started = Instant::now();
+                responses[i] = Some(to_response(db.range_delete_secondary(*lo, *hi), metrics));
+                metrics
+                    .write_latency
+                    .record(started.elapsed().as_micros() as u64);
+            }
+            Request::Get { key } => {
+                committed_writes |=
+                    flush_batch(shared, &mut batch, &mut batch_idxs, &mut responses);
+                let started = Instant::now();
+                let resp = match db.get(key) {
+                    Ok(v) => Response::Value(v.map(|b| b.to_vec())),
+                    Err(e) => err_response(e, metrics),
+                };
+                metrics
+                    .read_latency
+                    .record(started.elapsed().as_micros() as u64);
+                responses[i] = Some(resp);
+            }
+            Request::Scan { lo, hi } => {
+                committed_writes |=
+                    flush_batch(shared, &mut batch, &mut batch_idxs, &mut responses);
+                let started = Instant::now();
+                let resp = match db.scan(lo, hi) {
+                    Ok(rows) => Response::Rows(
+                        rows.into_iter()
+                            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                            .collect(),
+                    ),
+                    Err(e) => err_response(e, metrics),
+                };
+                metrics
+                    .read_latency
+                    .record(started.elapsed().as_micros() as u64);
+                responses[i] = Some(resp);
+            }
+            Request::Stats => {
+                committed_writes |=
+                    flush_batch(shared, &mut batch, &mut batch_idxs, &mut responses);
+                responses[i] = Some(Response::Stats(stats_pairs(db, &pressure, metrics)));
+            }
+        }
+    }
+    committed_writes |= flush_batch(shared, &mut batch, &mut batch_idxs, &mut responses);
+
+    if committed_writes && pressure.slowdown {
+        // The gentle tier: pace the connection instead of shedding.
+        metrics.throttle_sleeps.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(shared.opts.slowdown_sleep);
+    }
+
+    responses
+        .into_iter()
+        .map(|r| r.expect("every request answered"))
+        .collect()
+}
+
+/// Commit the queued batch (if any) and fill in its responses. Returns
+/// whether anything was committed.
+fn flush_batch(
+    shared: &Arc<Shared>,
+    batch: &mut WriteBatch,
+    batch_idxs: &mut Vec<usize>,
+    responses: &mut [Option<Response>],
+) -> bool {
+    if batch_idxs.is_empty() {
+        return false;
+    }
+    let started = Instant::now();
+    let result = shared
+        .db
+        .write_batch(std::mem::replace(batch, WriteBatch::new()));
+    let micros = started.elapsed().as_micros() as u64;
+    let per_write: Response = match result {
+        Ok(()) => Response::Unit,
+        Err(e) => err_response(e, &shared.metrics),
+    };
+    for idx in batch_idxs.drain(..) {
+        shared.metrics.write_latency.record(micros);
+        responses[idx] = Some(per_write.clone());
+    }
+    true
+}
+
+fn to_response(result: Result<()>, metrics: &crate::metrics::ServerMetrics) -> Response {
+    match result {
+        Ok(()) => Response::Unit,
+        Err(e) => err_response(e, metrics),
+    }
+}
+
+fn err_response(e: Error, metrics: &crate::metrics::ServerMetrics) -> Response {
+    if e.is_busy() {
+        metrics.busy_responses.fetch_add(1, Ordering::Relaxed);
+        Response::Busy
+    } else {
+        metrics.error_responses.fetch_add(1, Ordering::Relaxed);
+        Response::Err(e.to_string())
+    }
+}
+
+/// Engine counters + live pressure gauges + server metrics, flattened
+/// for the `stats` wire response.
+fn stats_pairs(
+    db: &Db,
+    pressure: &WritePressure,
+    metrics: &crate::metrics::ServerMetrics,
+) -> Vec<(String, u64)> {
+    let mut pairs = db.stats().snapshot().to_pairs();
+    pairs.push(("db_l0_files".into(), pressure.l0_files as u64));
+    pairs.push((
+        "db_sealed_memtables".into(),
+        pressure.sealed_memtables as u64,
+    ));
+    pairs.push(("db_slowdown".into(), u64::from(pressure.slowdown)));
+    pairs.push(("db_stall".into(), u64::from(pressure.stall)));
+    pairs.extend(metrics.to_pairs());
+    pairs
+}
+
+/// Frame and send a group's responses as one vectored write.
+fn write_responses(
+    mut stream: &TcpStream,
+    responses: &[Response],
+    shared: &Arc<Shared>,
+) -> std::io::Result<()> {
+    let mut out = Vec::new();
+    for resp in responses {
+        encode_frame(&resp.encode(), &mut out);
+    }
+    shared
+        .metrics
+        .bytes_out
+        .fetch_add(out.len() as u64, Ordering::Relaxed);
+    stream.write_all(&out)?;
+    stream.flush()
+}

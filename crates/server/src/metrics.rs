@@ -1,0 +1,124 @@
+//! Server-side observability: per-operation latency histograms plus
+//! connection / byte / error counters, all lock-free and shared across
+//! connection threads. Surfaced through the `stats` wire command and
+//! the SERVE-mode status line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use acheron::LatencyHistogram;
+
+/// Counters and histograms for one server instance.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted over the server's lifetime.
+    pub connections_opened: AtomicU64,
+    /// Connections that have fully terminated.
+    pub connections_closed: AtomicU64,
+    /// Connections refused because the pool was at `max_connections`.
+    pub connections_rejected: AtomicU64,
+    /// Request frames decoded.
+    pub requests: AtomicU64,
+    /// Requests shed with a `Busy` response under stall pressure.
+    pub busy_responses: AtomicU64,
+    /// Requests answered with an `Err` response.
+    pub error_responses: AtomicU64,
+    /// Connections dropped for protocol violations (bad frame, bad
+    /// checksum, oversize, trailing garbage).
+    pub protocol_errors: AtomicU64,
+    /// Bytes received on the wire (frame headers included).
+    pub bytes_in: AtomicU64,
+    /// Bytes sent on the wire (frame headers included).
+    pub bytes_out: AtomicU64,
+    /// Times a write batch was delayed by slowdown throttling.
+    pub throttle_sleeps: AtomicU64,
+    /// Service latency (decode → response queued) for write ops, µs.
+    pub write_latency: LatencyHistogram,
+    /// Service latency for read ops (get/scan), µs.
+    pub read_latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Connections currently open.
+    pub fn open_connections(&self) -> u64 {
+        self.connections_opened
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.connections_closed.load(Ordering::Relaxed))
+    }
+
+    /// Flatten everything into `(name, value)` pairs for the `stats`
+    /// wire response; histograms expand to `_{count,p50,p99,max}`.
+    pub fn to_pairs(&self) -> Vec<(String, u64)> {
+        let mut pairs = vec![
+            (
+                "server_connections_opened".into(),
+                self.connections_opened.load(Ordering::Relaxed),
+            ),
+            (
+                "server_connections_closed".into(),
+                self.connections_closed.load(Ordering::Relaxed),
+            ),
+            (
+                "server_connections_rejected".into(),
+                self.connections_rejected.load(Ordering::Relaxed),
+            ),
+            ("server_connections_open".into(), self.open_connections()),
+            (
+                "server_requests".into(),
+                self.requests.load(Ordering::Relaxed),
+            ),
+            (
+                "server_busy_responses".into(),
+                self.busy_responses.load(Ordering::Relaxed),
+            ),
+            (
+                "server_error_responses".into(),
+                self.error_responses.load(Ordering::Relaxed),
+            ),
+            (
+                "server_protocol_errors".into(),
+                self.protocol_errors.load(Ordering::Relaxed),
+            ),
+            (
+                "server_bytes_in".into(),
+                self.bytes_in.load(Ordering::Relaxed),
+            ),
+            (
+                "server_bytes_out".into(),
+                self.bytes_out.load(Ordering::Relaxed),
+            ),
+            (
+                "server_throttle_sleeps".into(),
+                self.throttle_sleeps.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, hist) in [
+            ("server_write_us", &self.write_latency),
+            ("server_read_us", &self.read_latency),
+        ] {
+            let s = hist.summary();
+            pairs.push((format!("{name}_count"), s.count));
+            pairs.push((format!("{name}_p50"), s.p50));
+            pairs.push((format!("{name}_p99"), s.p99));
+            pairs.push((format!("{name}_max"), s.max));
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_cover_counters_and_histograms() {
+        let m = ServerMetrics::default();
+        m.connections_opened.store(3, Ordering::Relaxed);
+        m.connections_closed.store(1, Ordering::Relaxed);
+        m.read_latency.record(100);
+        let pairs = m.to_pairs();
+        let get = |k: &str| pairs.iter().find(|(n, _)| n == k).map(|(_, v)| *v).unwrap();
+        assert_eq!(get("server_connections_open"), 2);
+        assert_eq!(get("server_read_us_count"), 1);
+        assert!(pairs.iter().any(|(n, _)| n == "server_write_us_p99"));
+    }
+}

@@ -129,8 +129,7 @@ impl Block {
         if data.len() < 4 {
             return Err(Error::corruption("block shorter than restart count"));
         }
-        let n_restarts =
-            u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap()) as usize;
+        let n_restarts = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap()) as usize;
         let restarts_bytes = n_restarts
             .checked_mul(4)
             .and_then(|b| b.checked_add(4))
@@ -145,7 +144,11 @@ impl Block {
             return Err(Error::corruption("block must have at least one restart"));
         }
         let restarts_offset = data.len() - restarts_bytes;
-        Ok(Block { data, restarts_offset, n_restarts })
+        Ok(Block {
+            data,
+            restarts_offset,
+            n_restarts,
+        })
     }
 
     fn restart_point(&self, i: usize) -> usize {
@@ -257,7 +260,9 @@ impl BlockIter {
             get_varint32(src).ok_or_else(|| Error::corruption("bad restart entry"))?;
         let (_value_len, src) =
             get_varint32(src).ok_or_else(|| Error::corruption("bad restart entry"))?;
-        let src = src.get(8..).ok_or_else(|| Error::corruption("bad restart entry"))?;
+        let src = src
+            .get(8..)
+            .ok_or_else(|| Error::corruption("bad restart entry"))?;
         let key = src
             .get(..non_shared as usize)
             .ok_or_else(|| Error::corruption("restart key out of bounds"))?;
@@ -272,13 +277,15 @@ impl BlockIter {
         }
         let base = self.offset;
         let src = &self.block.data[base..data_end];
-        let (shared, src) = get_varint32(src)
-            .ok_or_else(|| Error::corruption("truncated block entry header"))?;
-        let (non_shared, src) = get_varint32(src)
-            .ok_or_else(|| Error::corruption("truncated block entry header"))?;
-        let (value_len, src) = get_varint32(src)
-            .ok_or_else(|| Error::corruption("truncated block entry header"))?;
-        let dkey_bytes = src.get(..8).ok_or_else(|| Error::corruption("truncated dkey"))?;
+        let (shared, src) =
+            get_varint32(src).ok_or_else(|| Error::corruption("truncated block entry header"))?;
+        let (non_shared, src) =
+            get_varint32(src).ok_or_else(|| Error::corruption("truncated block entry header"))?;
+        let (value_len, src) =
+            get_varint32(src).ok_or_else(|| Error::corruption("truncated block entry header"))?;
+        let dkey_bytes = src
+            .get(..8)
+            .ok_or_else(|| Error::corruption("truncated dkey"))?;
         let dkey = u64::from_le_bytes(dkey_bytes.try_into().unwrap());
         let src = &src[8..];
         if (shared as usize) > self.key.len() {
@@ -299,10 +306,12 @@ impl BlockIter {
         self.key.extend_from_slice(key_delta);
         self.dkey = dkey;
         // Compute the value's absolute range to take a zero-copy slice.
-        let consumed_before_value =
-            (data_end - base) - src.len() + value_start;
+        let consumed_before_value = (data_end - base) - src.len() + value_start;
         let abs_value_start = base + consumed_before_value;
-        self.value = self.block.data.slice(abs_value_start..abs_value_start + value_len as usize);
+        self.value = self
+            .block
+            .data
+            .slice(abs_value_start..abs_value_start + value_len as usize);
         self.offset = abs_value_start + value_len as usize;
         self.valid = true;
         Ok(())
@@ -315,7 +324,9 @@ mod tests {
     use acheron_types::{InternalKey, ValueKind};
 
     fn ik(k: &str, seq: u64) -> Vec<u8> {
-        InternalKey::new(k.as_bytes(), seq, ValueKind::Put).encoded().to_vec()
+        InternalKey::new(k.as_bytes(), seq, ValueKind::Put)
+            .encoded()
+            .to_vec()
     }
 
     fn build(entries: &[(Vec<u8>, u64, Vec<u8>)], restart_interval: usize) -> Block {
@@ -500,9 +511,15 @@ mod tests {
     #[test]
     fn binary_keys_with_embedded_zeros() {
         let keys: Vec<Vec<u8>> = vec![
-            InternalKey::new(&[0, 0, 1], 1, ValueKind::Put).encoded().to_vec(),
-            InternalKey::new(&[0, 1], 2, ValueKind::Put).encoded().to_vec(),
-            InternalKey::new(&[1, 0, 255], 3, ValueKind::Put).encoded().to_vec(),
+            InternalKey::new(&[0, 0, 1], 1, ValueKind::Put)
+                .encoded()
+                .to_vec(),
+            InternalKey::new(&[0, 1], 2, ValueKind::Put)
+                .encoded()
+                .to_vec(),
+            InternalKey::new(&[1, 0, 255], 3, ValueKind::Put)
+                .encoded()
+                .to_vec(),
         ];
         let entries: Vec<(Vec<u8>, u64, Vec<u8>)> =
             keys.into_iter().map(|k| (k, 7, vec![0xaa])).collect();

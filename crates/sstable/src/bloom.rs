@@ -32,7 +32,10 @@ fn base_hash(key: &[u8]) -> u64 {
 
 impl BloomFilter {
     /// Build a filter for `keys` at `bits_per_key` density.
-    pub fn build<'a>(keys: impl ExactSizeIterator<Item = &'a [u8]>, bits_per_key: usize) -> BloomFilter {
+    pub fn build<'a>(
+        keys: impl ExactSizeIterator<Item = &'a [u8]>,
+        bits_per_key: usize,
+    ) -> BloomFilter {
         let n = keys.len();
         let k = ((bits_per_key as f64 * std::f64::consts::LN_2) as u8).clamp(1, 30);
         // At least 64 bits to keep tiny filters from degenerating.
@@ -86,7 +89,10 @@ impl BloomFilter {
         if k == 0 || k > 30 {
             return None;
         }
-        Some(BloomFilter { bits: bits.to_vec(), k })
+        Some(BloomFilter {
+            bits: bits.to_vec(),
+            k,
+        })
     }
 
     /// Size of the encoded filter in bytes.
@@ -100,7 +106,9 @@ mod tests {
     use super::*;
 
     fn keys(n: usize, tag: &str) -> Vec<Vec<u8>> {
-        (0..n).map(|i| format!("{tag}-{i:06}").into_bytes()).collect()
+        (0..n)
+            .map(|i| format!("{tag}-{i:06}").into_bytes())
+            .collect()
     }
 
     fn build(keyset: &[Vec<u8>], bpk: usize) -> BloomFilter {
@@ -113,7 +121,11 @@ mod tests {
             let ks = keys(n, "present");
             let f = build(&ks, 10);
             for k in &ks {
-                assert!(f.may_contain(k), "false negative for {:?}", String::from_utf8_lossy(k));
+                assert!(
+                    f.may_contain(k),
+                    "false negative for {:?}",
+                    String::from_utf8_lossy(k)
+                );
             }
         }
     }
@@ -139,7 +151,10 @@ mod tests {
             let fp = probes.iter().filter(|k| f.may_contain(k)).count();
             rates.push(fp as f64 / probes.len() as f64);
         }
-        assert!(rates[0] > rates[1] && rates[1] >= rates[2], "rates not decreasing: {rates:?}");
+        assert!(
+            rates[0] > rates[1] && rates[1] >= rates[2],
+            "rates not decreasing: {rates:?}"
+        );
     }
 
     #[test]
@@ -171,17 +186,23 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(BloomFilter::decode(&[]).is_none());
         assert!(BloomFilter::decode(&[0]).is_none(), "k = 0 invalid");
-        assert!(BloomFilter::decode(&[0xff, 200]).is_none(), "k = 200 invalid");
+        assert!(
+            BloomFilter::decode(&[0xff, 200]).is_none(),
+            "k = 200 invalid"
+        );
     }
 
     #[test]
     fn similar_keys_are_distinguished() {
         // Regression guard for weak hashing: single-character differences
         // and shared prefixes must not collide systematically.
-        let ks: Vec<Vec<u8>> = (0..1000).map(|i| format!("prefix-{i}").into_bytes()).collect();
+        let ks: Vec<Vec<u8>> = (0..1000)
+            .map(|i| format!("prefix-{i}").into_bytes())
+            .collect();
         let f = build(&ks, 10);
-        let absent: Vec<Vec<u8>> =
-            (1000..2000).map(|i| format!("prefix-{i}").into_bytes()).collect();
+        let absent: Vec<Vec<u8>> = (1000..2000)
+            .map(|i| format!("prefix-{i}").into_bytes())
+            .collect();
         let fp = absent.iter().filter(|k| f.may_contain(k)).count();
         assert!(fp < 100, "structured keys collide too often: {fp}/1000");
     }

@@ -58,8 +58,7 @@ impl Shard {
             let (&victim_gen, &victim_key) =
                 self.lru.iter().next().expect("bytes > 0 implies entries");
             self.lru.remove(&victim_gen);
-            let (_, _, victim_size) =
-                self.map.remove(&victim_key).expect("lru and map in sync");
+            let (_, _, victim_size) = self.map.remove(&victim_key).expect("lru and map in sync");
             self.bytes -= victim_size;
         }
     }
@@ -129,7 +128,9 @@ impl BlockCache {
     /// Insert a page of `size` bytes.
     pub fn insert(&self, key: PageKey, block: Block, size: usize) {
         let generation = self.generation.fetch_add(1, Ordering::Relaxed);
-        self.shard_of(&key).lock().insert(key, block, size, generation);
+        self.shard_of(&key)
+            .lock()
+            .insert(key, block, size, generation);
     }
 
     /// Cache hits so far.
@@ -173,7 +174,10 @@ mod tests {
     #[test]
     fn hit_and_miss() {
         let cache = BlockCache::new(1 << 20);
-        let key = PageKey { table: 1, offset: 0 };
+        let key = PageKey {
+            table: 1,
+            offset: 0,
+        };
         assert!(cache.get(&key).is_none());
         let (b, size) = block(7);
         cache.insert(key, b, size);
@@ -186,9 +190,26 @@ mod tests {
     fn distinct_tables_do_not_alias() {
         let cache = BlockCache::new(1 << 20);
         let (b, size) = block(1);
-        cache.insert(PageKey { table: 1, offset: 64 }, b, size);
-        assert!(cache.get(&PageKey { table: 2, offset: 64 }).is_none());
-        assert!(cache.get(&PageKey { table: 1, offset: 64 }).is_some());
+        cache.insert(
+            PageKey {
+                table: 1,
+                offset: 64,
+            },
+            b,
+            size,
+        );
+        assert!(cache
+            .get(&PageKey {
+                table: 2,
+                offset: 64
+            })
+            .is_none());
+        assert!(cache
+            .get(&PageKey {
+                table: 1,
+                offset: 64
+            })
+            .is_some());
     }
 
     #[test]
@@ -197,12 +218,21 @@ mod tests {
         // that land in the same shard (same table, offsets multiple of
         // 64 * SHARDS so the shard index matches).
         let cache = BlockCache::new(16 * 200); // per-shard capacity 200
-        let base = PageKey { table: 3, offset: 0 };
+        let base = PageKey {
+            table: 3,
+            offset: 0,
+        };
         let stride = 64 * (SHARDS as u64); // same shard for all keys
         let (b, size) = block(0);
-        assert!(size > 100 && size < 200, "one block fits, two must overflow a shard: {size}");
+        assert!(
+            size > 100 && size < 200,
+            "one block fits, two must overflow a shard: {size}"
+        );
         cache.insert(base, b, size);
-        let second = PageKey { table: 3, offset: stride };
+        let second = PageKey {
+            table: 3,
+            offset: stride,
+        };
         let (b2, s2) = block(1);
         // Touch the first so it is most-recent, then insert a second
         // that overflows the shard; only one of them can remain.
@@ -217,7 +247,10 @@ mod tests {
     #[test]
     fn oversized_entries_are_not_cached() {
         let cache = BlockCache::new(16); // per-shard capacity 1
-        let key = PageKey { table: 1, offset: 0 };
+        let key = PageKey {
+            table: 1,
+            offset: 0,
+        };
         let (b, size) = block(9);
         cache.insert(key, b, size);
         assert!(cache.get(&key).is_none());
@@ -227,7 +260,10 @@ mod tests {
     #[test]
     fn reinsert_replaces_and_keeps_accounting() {
         let cache = BlockCache::new(1 << 20);
-        let key = PageKey { table: 1, offset: 0 };
+        let key = PageKey {
+            table: 1,
+            offset: 0,
+        };
         let (b1, s1) = block(1);
         let (b2, s2) = block(2);
         cache.insert(key, b1, s1);

@@ -101,7 +101,9 @@ impl Footer {
         }
         let version = u32::from_le_bytes(src[48..52].try_into().unwrap());
         if version != FORMAT_VERSION {
-            return Err(Error::corruption(format!("unsupported table format version {version}")));
+            return Err(Error::corruption(format!(
+                "unsupported table format version {version}"
+            )));
         }
         Ok(Footer {
             filter: BlockHandle::decode_fixed(&src[..16]).expect("fixed slot"),
@@ -161,8 +163,14 @@ mod tests {
     fn handle_varint_round_trip() {
         for h in [
             BlockHandle { offset: 0, size: 0 },
-            BlockHandle { offset: 1, size: 4096 },
-            BlockHandle { offset: u64::MAX, size: u64::MAX },
+            BlockHandle {
+                offset: 1,
+                size: 4096,
+            },
+            BlockHandle {
+                offset: u64::MAX,
+                size: u64::MAX,
+            },
         ] {
             let mut buf = Vec::new();
             h.encode_to(&mut buf);
@@ -174,7 +182,10 @@ mod tests {
 
     #[test]
     fn handle_fixed_round_trip() {
-        let h = BlockHandle { offset: 123_456, size: 789 };
+        let h = BlockHandle {
+            offset: 123_456,
+            size: 789,
+        };
         assert_eq!(BlockHandle::decode_fixed(&h.encode_fixed()), Some(h));
         assert_eq!(BlockHandle::decode_fixed(&[0u8; 15]), None);
     }
@@ -182,9 +193,18 @@ mod tests {
     #[test]
     fn footer_round_trip() {
         let f = Footer {
-            filter: BlockHandle { offset: 10, size: 20 },
-            tile_meta: BlockHandle { offset: 30, size: 40 },
-            stats: BlockHandle { offset: 70, size: 5 },
+            filter: BlockHandle {
+                offset: 10,
+                size: 20,
+            },
+            tile_meta: BlockHandle {
+                offset: 30,
+                size: 40,
+            },
+            stats: BlockHandle {
+                offset: 70,
+                size: 5,
+            },
             version: FORMAT_VERSION,
         };
         let enc = f.encode();
@@ -229,12 +249,23 @@ mod tests {
     #[test]
     fn options_validation() {
         assert!(TableOptions::default().validate().is_ok());
-        assert!(TableOptions { page_size: 10, ..Default::default() }.validate().is_err());
-        assert!(
-            TableOptions { pages_per_tile: 0, ..Default::default() }.validate().is_err()
-        );
-        assert!(
-            TableOptions { restart_interval: 0, ..Default::default() }.validate().is_err()
-        );
+        assert!(TableOptions {
+            page_size: 10,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TableOptions {
+            pages_per_tile: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TableOptions {
+            restart_interval: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -30,7 +30,13 @@ pub struct TableIterator {
 
 impl TableIterator {
     pub(crate) fn new(table: Arc<Table>, rts: Vec<RangeTombstone>) -> TableIterator {
-        TableIterator { table, rts, tile_idx: 0, active: Vec::new(), current: None }
+        TableIterator {
+            table,
+            rts,
+            tile_idx: 0,
+            active: Vec::new(),
+            current: None,
+        }
     }
 
     /// True if positioned at an entry.
@@ -142,14 +148,19 @@ impl TableIterator {
         self.active.clear();
         self.current = None;
         let tile = &self.table.tiles()[idx];
-        if !self.rts.is_empty() && tile.multi_version
-            && tile.pages.iter().all(|p| Table::page_droppable(p, &self.rts)) {
-                self.table
-                    .counters
-                    .pages_dropped
-                    .fetch_add(tile.pages.len() as u64, AtomicOrdering::Relaxed);
-                return Ok(());
-            }
+        if !self.rts.is_empty()
+            && tile.multi_version
+            && tile
+                .pages
+                .iter()
+                .all(|p| Table::page_droppable(p, &self.rts))
+        {
+            self.table
+                .counters
+                .pages_dropped
+                .fetch_add(tile.pages.len() as u64, AtomicOrdering::Relaxed);
+            return Ok(());
+        }
         for page in &tile.pages {
             if !tile.multi_version && Table::page_droppable(page, &self.rts) {
                 self.table
@@ -228,7 +239,11 @@ mod tests {
     fn full_scan_returns_everything_in_order() {
         for h in [1usize, 2, 8] {
             let entries = dataset(600);
-            let opts = TableOptions { pages_per_tile: h, page_size: 256, ..Default::default() };
+            let opts = TableOptions {
+                pages_per_tile: h,
+                page_size: 256,
+                ..Default::default()
+            };
             let table = build(&entries, opts);
             let mut it = table.iter(vec![]);
             it.seek_to_first().unwrap();
@@ -241,7 +256,11 @@ mod tests {
     #[test]
     fn seek_positions_mid_table() {
         let entries = dataset(300);
-        let opts = TableOptions { pages_per_tile: 4, page_size: 256, ..Default::default() };
+        let opts = TableOptions {
+            pages_per_tile: 4,
+            page_size: 256,
+            ..Default::default()
+        };
         let table = build(&entries, opts);
         let mut it = table.iter(vec![]);
         let target = InternalKey::for_seek(b"key00150", u64::MAX >> 8);
@@ -272,11 +291,18 @@ mod tests {
     #[test]
     fn fully_covered_tiles_are_dropped_from_scan() {
         let entries = dataset(600);
-        let opts = TableOptions { pages_per_tile: 8, page_size: 256, ..Default::default() };
+        let opts = TableOptions {
+            pages_per_tile: 8,
+            page_size: 256,
+            ..Default::default()
+        };
         let table = build(&entries, opts);
         // Covers every dkey in the dataset (0..63): every page of every
         // tile is covered, so whole tiles drop.
-        let rt = RangeTombstone { seqno: u64::MAX >> 8, range: DeleteKeyRange::new(0, 63) };
+        let rt = RangeTombstone {
+            seqno: u64::MAX >> 8,
+            range: DeleteKeyRange::new(0, 63),
+        };
         let mut it = table.iter(vec![rt]);
         it.seek_to_first().unwrap();
         let got = it.drain().unwrap();
@@ -294,14 +320,24 @@ mod tests {
         // Every key has exactly one version, so per-page drops are sound
         // and partial coverage reclaims the covered pages.
         let entries = dataset(600);
-        let opts = TableOptions { pages_per_tile: 8, page_size: 256, ..Default::default() };
+        let opts = TableOptions {
+            pages_per_tile: 8,
+            page_size: 256,
+            ..Default::default()
+        };
         let table = build(&entries, opts);
-        let rt = RangeTombstone { seqno: u64::MAX >> 8, range: DeleteKeyRange::new(0, 31) };
+        let rt = RangeTombstone {
+            seqno: u64::MAX >> 8,
+            range: DeleteKeyRange::new(0, 31),
+        };
         let mut it = table.iter(vec![rt]);
         it.seek_to_first().unwrap();
         let got = it.drain().unwrap();
         let dropped = table.counters.pages_dropped.load(AtomicOrdering::Relaxed);
-        assert!(dropped > 0, "covered pages of single-version tiles must drop");
+        assert!(
+            dropped > 0,
+            "covered pages of single-version tiles must drop"
+        );
         assert!(got.len() < entries.len());
         // Nothing uncovered may be lost.
         for e in entries.iter().filter(|e| e.dkey > 31) {
@@ -328,11 +364,18 @@ mod tests {
                 200 + (i % 64) as u64,
             ));
         }
-        let opts = TableOptions { pages_per_tile: 8, page_size: 256, ..Default::default() };
+        let opts = TableOptions {
+            pages_per_tile: 8,
+            page_size: 256,
+            ..Default::default()
+        };
         let table = build(&entries, opts);
         assert!(table.tiles().iter().any(|t| t.multi_version));
         // Covers the newer versions' dkey band only.
-        let rt = RangeTombstone { seqno: u64::MAX >> 8, range: DeleteKeyRange::new(0, 63) };
+        let rt = RangeTombstone {
+            seqno: u64::MAX >> 8,
+            range: DeleteKeyRange::new(0, 63),
+        };
         let mut it = table.iter(vec![rt]);
         it.seek_to_first().unwrap();
         let got = it.drain().unwrap();
@@ -350,22 +393,34 @@ mod tests {
         // tombstone covers the page's whole band.
         let entries = dataset(100);
         let table = build(&entries, TableOptions::default());
-        let rt = RangeTombstone { seqno: u64::MAX >> 8, range: DeleteKeyRange::new(0, 10) };
+        let rt = RangeTombstone {
+            seqno: u64::MAX >> 8,
+            range: DeleteKeyRange::new(0, 10),
+        };
         let mut it = table.iter(vec![rt]);
         it.seek_to_first().unwrap();
         let got = it.drain().unwrap();
-        assert_eq!(got.len(), entries.len(), "partial coverage must not drop pages");
+        assert_eq!(
+            got.len(),
+            entries.len(),
+            "partial coverage must not drop pages"
+        );
     }
 
     #[test]
     fn interleaved_seeks_and_scans() {
         let entries = dataset(200);
-        let opts = TableOptions { pages_per_tile: 2, page_size: 256, ..Default::default() };
+        let opts = TableOptions {
+            pages_per_tile: 2,
+            page_size: 256,
+            ..Default::default()
+        };
         let table = build(&entries, opts);
         let mut it = table.iter(vec![]);
         for probe in [0usize, 199, 73, 100, 1] {
             let key = format!("key{probe:05}");
-            it.seek(InternalKey::for_seek(key.as_bytes(), u64::MAX >> 8).encoded()).unwrap();
+            it.seek(InternalKey::for_seek(key.as_bytes(), u64::MAX >> 8).encoded())
+                .unwrap();
             assert!(it.valid(), "probe {probe}");
             assert_eq!(it.entry().unwrap().key, entries[probe].key);
         }

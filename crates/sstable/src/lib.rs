@@ -42,8 +42,8 @@ pub mod reader;
 pub mod writer;
 
 pub use block::{Block, BlockBuilder, BlockIter};
-pub use cache::{BlockCache, PageKey};
 pub use bloom::BloomFilter;
+pub use cache::{BlockCache, PageKey};
 pub use format::{BlockHandle, Footer, TableOptions, FOOTER_SIZE, TABLE_MAGIC};
 pub use iter::TableIterator;
 pub use meta::{PageMeta, TableStats, TileMeta};

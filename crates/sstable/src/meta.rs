@@ -50,7 +50,11 @@ pub struct TileMeta {
 impl TileMeta {
     /// Smallest delete key across the tile's pages.
     pub fn dkey_min(&self) -> u64 {
-        self.pages.iter().map(|p| p.dkey_min).min().unwrap_or(u64::MAX)
+        self.pages
+            .iter()
+            .map(|p| p.dkey_min)
+            .min()
+            .unwrap_or(u64::MAX)
     }
 
     /// Largest delete key across the tile's pages.
@@ -287,7 +291,10 @@ mod tests {
                 multi_version: true,
                 pages: vec![
                     PageMeta {
-                        handle: BlockHandle { offset: 0, size: 4000 },
+                        handle: BlockHandle {
+                            offset: 0,
+                            size: 4000,
+                        },
                         dkey_min: 5,
                         dkey_max: 40,
                         max_seqno: 99,
@@ -297,7 +304,10 @@ mod tests {
                         filter_len: 150,
                     },
                     PageMeta {
-                        handle: BlockHandle { offset: 4005, size: 3990 },
+                        handle: BlockHandle {
+                            offset: 4005,
+                            size: 3990,
+                        },
                         dkey_min: 41,
                         dkey_max: 90,
                         max_seqno: 104,
@@ -312,7 +322,10 @@ mod tests {
                 last_ikey: Bytes::from_static(b"fence-two\0\0\0\0\0\0\0\0"),
                 multi_version: false,
                 pages: vec![PageMeta {
-                    handle: BlockHandle { offset: 8000, size: 1234 },
+                    handle: BlockHandle {
+                        offset: 8000,
+                        size: 1234,
+                    },
                     dkey_min: 0,
                     dkey_max: u64::MAX,
                     max_seqno: 77,
@@ -334,7 +347,10 @@ mod tests {
 
     #[test]
     fn empty_tile_list_round_trips() {
-        assert_eq!(decode_tiles(&encode_tiles(&[])).unwrap(), Vec::<TileMeta>::new());
+        assert_eq!(
+            decode_tiles(&encode_tiles(&[])).unwrap(),
+            Vec::<TileMeta>::new()
+        );
     }
 
     #[test]
@@ -385,7 +401,11 @@ mod tests {
 
     #[test]
     fn stats_without_tombstones_round_trip() {
-        let s = TableStats { oldest_tombstone_tick: None, tombstone_count: 0, ..sample_stats() };
+        let s = TableStats {
+            oldest_tombstone_tick: None,
+            tombstone_count: 0,
+            ..sample_stats()
+        };
         assert_eq!(TableStats::decode(&s.encode()).unwrap(), s);
     }
 

@@ -104,18 +104,25 @@ impl Table {
     /// Read and verify a data page (through the cache, if configured).
     pub(crate) fn read_page(&self, handle: BlockHandle) -> Result<Block> {
         if let Some(cache) = &self.cache {
-            let key = PageKey { table: self.cache_id, offset: handle.offset };
+            let key = PageKey {
+                table: self.cache_id,
+                offset: handle.offset,
+            };
             if let Some(block) = cache.get(&key) {
                 return Ok(block);
             }
             let raw = read_block_raw(self.file.as_ref(), handle)?;
-            self.counters.pages_read.fetch_add(1, AtomicOrdering::Relaxed);
+            self.counters
+                .pages_read
+                .fetch_add(1, AtomicOrdering::Relaxed);
             let block = Block::new(raw)?;
             cache.insert(key, block.clone(), handle.size as usize);
             return Ok(block);
         }
         let raw = read_block_raw(self.file.as_ref(), handle)?;
-        self.counters.pages_read.fetch_add(1, AtomicOrdering::Relaxed);
+        self.counters
+            .pages_read
+            .fetch_add(1, AtomicOrdering::Relaxed);
         Block::new(raw)
     }
 
@@ -132,15 +139,16 @@ impl Table {
 
     /// True if a live range tombstone lets this page be skipped outright.
     pub(crate) fn page_droppable(page: &PageMeta, rts: &[RangeTombstone]) -> bool {
-        rts.iter().any(|rt| rt.covers_region(page.dkey_min, page.dkey_max, page.max_seqno))
+        rts.iter()
+            .any(|rt| rt.covers_region(page.dkey_min, page.dkey_max, page.max_seqno))
     }
 
     /// Index of the first tile whose fence is `>= target`, or `None` if
     /// the target is past the last tile.
     pub(crate) fn find_tile(&self, target: &[u8]) -> Option<usize> {
-        let idx = self
-            .tiles
-            .partition_point(|t| compare_internal(&t.last_ikey, target) == std::cmp::Ordering::Less);
+        let idx = self.tiles.partition_point(|t| {
+            compare_internal(&t.last_ikey, target) == std::cmp::Ordering::Less
+        });
         (idx < self.tiles.len()).then_some(idx)
     }
 
@@ -162,12 +170,16 @@ impl Table {
             let mut best: Option<Entry> = None;
             for page in &tile.pages {
                 if Self::page_droppable(page, rts) {
-                    self.counters.pages_dropped.fetch_add(1, AtomicOrdering::Relaxed);
+                    self.counters
+                        .pages_dropped
+                        .fetch_add(1, AtomicOrdering::Relaxed);
                     continue;
                 }
                 if let Some(filter) = self.page_filter(page) {
                     if !filter.may_contain(user_key) {
-                        self.counters.bloom_skips.fetch_add(1, AtomicOrdering::Relaxed);
+                        self.counters
+                            .bloom_skips
+                            .fetch_add(1, AtomicOrdering::Relaxed);
                         continue;
                     }
                 }
@@ -223,12 +235,16 @@ impl Table {
             let mut any_possible = false;
             for page in &tile.pages {
                 if Self::page_droppable(page, rts) {
-                    self.counters.pages_dropped.fetch_add(1, AtomicOrdering::Relaxed);
+                    self.counters
+                        .pages_dropped
+                        .fetch_add(1, AtomicOrdering::Relaxed);
                     continue;
                 }
                 if let Some(filter) = self.page_filter(page) {
                     if !filter.may_contain(user_key) {
-                        self.counters.bloom_skips.fetch_add(1, AtomicOrdering::Relaxed);
+                        self.counters
+                            .bloom_skips
+                            .fetch_add(1, AtomicOrdering::Relaxed);
                         continue;
                     }
                 }
@@ -270,8 +286,9 @@ impl Table {
 
 /// Reconstruct an [`Entry`] from block-iterator parts.
 pub(crate) fn entry_from_parts(key: InternalKeyRef<'_>, dkey: u64, value: Bytes) -> Result<Entry> {
-    let kind = ValueKind::from_u8(key.kind_byte())
-        .ok_or_else(|| Error::corruption(format!("bad kind byte {:#x} in table", key.kind_byte())))?;
+    let kind = ValueKind::from_u8(key.kind_byte()).ok_or_else(|| {
+        Error::corruption(format!("bad kind byte {:#x} in table", key.kind_byte()))
+    })?;
     Ok(Entry {
         key: Bytes::copy_from_slice(key.user_key()),
         seqno: key.seqno(),
@@ -342,7 +359,12 @@ mod tests {
             let (_fs, table) = build(&entries, opts);
             for e in &entries {
                 let got = table.get(&e.key, u64::MAX >> 8, &[]).unwrap();
-                assert_eq!(got.as_ref().map(|g| &g.value), Some(&e.value), "h={h} key={:?}", e.key);
+                assert_eq!(
+                    got.as_ref().map(|g| &g.value),
+                    Some(&e.value),
+                    "h={h} key={:?}",
+                    e.key
+                );
                 assert_eq!(got.unwrap().dkey, e.dkey);
             }
         }
@@ -392,7 +414,10 @@ mod tests {
         let entries = dataset(2000);
         let (_fs, table) = build(
             &entries,
-            TableOptions { page_size: 1024, ..Default::default() },
+            TableOptions {
+                page_size: 1024,
+                ..Default::default()
+            },
         );
         for i in 0..200 {
             // Absent keys that fall *inside* the fence range, so a filter
@@ -413,9 +438,16 @@ mod tests {
         // All entries share one dkey band per page with h > 1; a covering
         // tombstone must skip those pages without reading them.
         let entries = dataset(800);
-        let opts = TableOptions { pages_per_tile: 4, page_size: 512, ..Default::default() };
+        let opts = TableOptions {
+            pages_per_tile: 4,
+            page_size: 512,
+            ..Default::default()
+        };
         let (_fs, table) = build(&entries, opts);
-        let rt = RangeTombstone { seqno: 1_000_000, range: DeleteKeyRange::new(0, 63) };
+        let rt = RangeTombstone {
+            seqno: 1_000_000,
+            range: DeleteKeyRange::new(0, 63),
+        };
         // Keys with dkey in [0,63] sit in covered pages.
         let covered = entries.iter().find(|e| e.dkey <= 63).unwrap();
         let got = table.get(&covered.key, u64::MAX >> 8, &[rt]).unwrap();
@@ -438,7 +470,10 @@ mod tests {
             Entry::tombstone(&b"k"[..], 4, 10),
         ];
         for h in [1usize, 4] {
-            let opts = TableOptions { pages_per_tile: h, ..Default::default() };
+            let opts = TableOptions {
+                pages_per_tile: h,
+                ..Default::default()
+            };
             let (_fs, table) = build(&entries, opts);
             let vs = table.get_versions(b"k", 100, &[]).unwrap();
             let seqs: Vec<u64> = vs.iter().map(|e| e.seqno).collect();
@@ -461,7 +496,11 @@ mod tests {
             Entry::put(&b"k"[..], vec![b'y'; 120], 5, 0),
             Entry::put(&b"z"[..], vec![b'z'; 120], 1, 0),
         ];
-        let opts = TableOptions { page_size: 128, pages_per_tile: 1, ..Default::default() };
+        let opts = TableOptions {
+            page_size: 128,
+            pages_per_tile: 1,
+            ..Default::default()
+        };
         let (_fs, table) = build(&entries, opts);
         assert!(table.tiles().len() >= 2, "distinct keys still split tiles");
         // Both versions of "k" are found, at every snapshot.

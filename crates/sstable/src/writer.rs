@@ -169,7 +169,9 @@ impl TableBuilder {
         // (one page — the band is the whole tile).
         if self.opts.pages_per_tile > 1 {
             entries.sort_by(|a, b| {
-                a.dkey.cmp(&b.dkey).then_with(|| compare_internal(&a.ikey, &b.ikey))
+                a.dkey
+                    .cmp(&b.dkey)
+                    .then_with(|| compare_internal(&a.ikey, &b.ikey))
             });
         }
 
@@ -218,10 +220,8 @@ impl TableBuilder {
             let (filter_offset, filter_len) = if self.opts.bloom_bits_per_key > 0 {
                 let user_keys: Vec<&[u8]> =
                     page.iter().map(|e| &e.ikey[..e.ikey.len() - 8]).collect();
-                let filter = BloomFilter::build(
-                    user_keys.iter().copied(),
-                    self.opts.bloom_bits_per_key,
-                );
+                let filter =
+                    BloomFilter::build(user_keys.iter().copied(), self.opts.bloom_bits_per_key);
                 let off = self.filter_buf.len() as u64;
                 self.filter_buf.extend_from_slice(&filter.encode());
                 (off, self.filter_buf.len() as u64 - off)
@@ -242,14 +242,21 @@ impl TableBuilder {
             self.stats.page_count += 1;
         }
 
-        self.tiles.push(TileMeta { last_ikey, pages: page_metas, multi_version });
+        self.tiles.push(TileMeta {
+            last_ikey,
+            pages: page_metas,
+            multi_version,
+        });
         self.stats.tile_count += 1;
         Ok(())
     }
 
     /// Write raw block contents plus the `type | crc` trailer.
     fn write_block(&mut self, contents: &[u8]) -> Result<BlockHandle> {
-        let handle = BlockHandle { offset: self.offset, size: contents.len() as u64 };
+        let handle = BlockHandle {
+            offset: self.offset,
+            size: contents.len() as u64,
+        };
         self.file.append(contents)?;
         let mut trailer = [0u8; 5];
         trailer[0] = 0; // compression: none
@@ -329,14 +336,24 @@ mod tests {
         assert_eq!(&stats.min_user_key[..], b"key00000");
         assert_eq!(&stats.max_user_key[..], b"key00499");
         assert!(stats.page_count >= 2, "500 entries should span pages");
-        assert_eq!(stats.tile_count, stats.page_count, "h = 1 means one page per tile");
+        assert_eq!(
+            stats.tile_count, stats.page_count,
+            "h = 1 means one page per tile"
+        );
     }
 
     #[test]
     fn weave_produces_multi_page_tiles() {
-        let opts = TableOptions { pages_per_tile: 4, page_size: 512, ..Default::default() };
+        let opts = TableOptions {
+            pages_per_tile: 4,
+            page_size: 512,
+            ..Default::default()
+        };
         let (_fs, stats) = build_table(&puts(500), opts);
-        assert!(stats.tile_count < stats.page_count, "tiles should contain multiple pages");
+        assert!(
+            stats.tile_count < stats.page_count,
+            "tiles should contain multiple pages"
+        );
         assert!(
             stats.page_count <= stats.tile_count * 5,
             "pages per tile should be near h: {} tiles, {} pages",
@@ -394,7 +411,10 @@ mod tests {
     fn invalid_options_rejected_at_construction() {
         let fs = MemFs::new();
         let file = fs.create("t.sst").unwrap();
-        let opts = TableOptions { page_size: 1, ..Default::default() };
+        let opts = TableOptions {
+            page_size: 1,
+            ..Default::default()
+        };
         assert!(TableBuilder::new(file, opts).is_err());
     }
 }

@@ -23,7 +23,11 @@ fn build_tables() -> Tables {
     for (i, slot) in t[0].iter_mut().enumerate() {
         let mut crc = i as u32;
         for _ in 0..8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
         }
         *slot = crc;
     }

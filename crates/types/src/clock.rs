@@ -39,12 +39,16 @@ pub struct LogicalClock {
 impl LogicalClock {
     /// A clock starting at tick 0.
     pub fn new() -> LogicalClock {
-        LogicalClock { ticks: AtomicU64::new(0) }
+        LogicalClock {
+            ticks: AtomicU64::new(0),
+        }
     }
 
     /// A clock starting at `start`.
     pub fn starting_at(start: Tick) -> LogicalClock {
-        LogicalClock { ticks: AtomicU64::new(start) }
+        LogicalClock {
+            ticks: AtomicU64::new(start),
+        }
     }
 
     /// Advance by `n` ticks, returning the new value.
@@ -78,7 +82,9 @@ pub struct SystemClock {
 impl SystemClock {
     /// A clock whose tick 0 is "now".
     pub fn new() -> SystemClock {
-        SystemClock { origin: Instant::now() }
+        SystemClock {
+            origin: Instant::now(),
+        }
     }
 }
 

@@ -37,13 +37,25 @@ pub struct Entry {
 impl Entry {
     /// Build a put.
     pub fn put(key: impl Into<UserKey>, value: impl Into<Bytes>, seqno: SeqNo, dkey: u64) -> Entry {
-        Entry { key: key.into(), seqno, kind: ValueKind::Put, dkey, value: value.into() }
+        Entry {
+            key: key.into(),
+            seqno,
+            kind: ValueKind::Put,
+            dkey,
+            value: value.into(),
+        }
     }
 
     /// Build a point tombstone. `dkey` is the tick the delete was issued
     /// at, used by FADE to age the tombstone.
     pub fn tombstone(key: impl Into<UserKey>, seqno: SeqNo, dkey: u64) -> Entry {
-        Entry { key: key.into(), seqno, kind: ValueKind::Tombstone, dkey, value: Bytes::new() }
+        Entry {
+            key: key.into(),
+            seqno,
+            kind: ValueKind::Tombstone,
+            dkey,
+            value: Bytes::new(),
+        }
     }
 
     /// The internal key for this entry.
@@ -111,7 +123,10 @@ impl DeleteKeyRange {
 
     /// The full domain.
     pub fn all() -> DeleteKeyRange {
-        DeleteKeyRange { lo: 0, hi: u64::MAX }
+        DeleteKeyRange {
+            lo: 0,
+            hi: u64::MAX,
+        }
     }
 
     /// True if the range contains no points.
@@ -231,7 +246,10 @@ mod tests {
 
     #[test]
     fn range_tombstone_shadowing() {
-        let rt = RangeTombstone { seqno: 100, range: DeleteKeyRange::new(10, 20) };
+        let rt = RangeTombstone {
+            seqno: 100,
+            range: DeleteKeyRange::new(10, 20),
+        };
         assert!(rt.shadows(99, 15));
         assert!(!rt.shadows(100, 15), "equal seqno is not shadowed");
         assert!(!rt.shadows(101, 15), "newer entries are not shadowed");
@@ -241,12 +259,24 @@ mod tests {
 
     #[test]
     fn range_tombstone_region_cover() {
-        let rt = RangeTombstone { seqno: 100, range: DeleteKeyRange::new(10, 20) };
+        let rt = RangeTombstone {
+            seqno: 100,
+            range: DeleteKeyRange::new(10, 20),
+        };
         assert!(rt.covers_region(12, 18, 99));
         assert!(rt.covers_region(10, 20, 0));
-        assert!(!rt.covers_region(12, 18, 100), "region with equal max seqno survives");
-        assert!(!rt.covers_region(9, 18, 50), "region poking below lo survives");
-        assert!(!rt.covers_region(12, 21, 50), "region poking above hi survives");
+        assert!(
+            !rt.covers_region(12, 18, 100),
+            "region with equal max seqno survives"
+        );
+        assert!(
+            !rt.covers_region(9, 18, 50),
+            "region poking below lo survives"
+        );
+        assert!(
+            !rt.covers_region(12, 21, 50),
+            "region poking above hi survives"
+        );
     }
 
     #[test]

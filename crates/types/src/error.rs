@@ -26,6 +26,10 @@ pub enum Error {
     InvalidArgument(String),
     /// The database is shut down or the resource was already closed.
     Closed(String),
+    /// The engine (or a service in front of it) is overloaded and shed
+    /// this request instead of queueing it; the caller should back off
+    /// and retry. Carried over the wire as the `Busy` status.
+    Busy(String),
     /// An internal invariant was violated; indicates a bug in the engine.
     Internal(String),
 }
@@ -33,7 +37,10 @@ pub enum Error {
 impl Error {
     /// Wrap an [`std::io::Error`] with a context string.
     pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
-        Error::Io { context: context.into(), source }
+        Error::Io {
+            context: context.into(),
+            source,
+        }
     }
 
     /// Construct a corruption error.
@@ -46,9 +53,19 @@ impl Error {
         Error::InvalidArgument(msg.into())
     }
 
+    /// Construct a busy/overload error.
+    pub fn busy(msg: impl Into<String>) -> Self {
+        Error::Busy(msg.into())
+    }
+
     /// True if this error indicates on-disk corruption.
     pub fn is_corruption(&self) -> bool {
         matches!(self, Error::Corruption(_))
+    }
+
+    /// True if this error is a transient overload signal ([`Error::Busy`]).
+    pub fn is_busy(&self) -> bool {
+        matches!(self, Error::Busy(_))
     }
 }
 
@@ -59,6 +76,7 @@ impl fmt::Display for Error {
             Error::Corruption(m) => write!(f, "corruption: {m}"),
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Closed(m) => write!(f, "closed: {m}"),
+            Error::Busy(m) => write!(f, "busy: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -75,7 +93,10 @@ impl std::error::Error for Error {
 
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
-        Error::Io { context: "unspecified".to_string(), source: e }
+        Error::Io {
+            context: "unspecified".to_string(),
+            source: e,
+        }
     }
 }
 

@@ -49,7 +49,9 @@ impl InternalKey {
         let mut buf = Vec::with_capacity(user_key.len() + TAG_LEN);
         buf.extend_from_slice(user_key);
         buf.extend_from_slice(&pack_tag(seq, kind).to_le_bytes());
-        InternalKey { encoded: Bytes::from(buf) }
+        InternalKey {
+            encoded: Bytes::from(buf),
+        }
     }
 
     /// Reconstruct from an encoded byte string (e.g. read from a block).
@@ -71,7 +73,9 @@ impl InternalKey {
     /// Borrow as an [`InternalKeyRef`].
     #[inline]
     pub fn as_ref(&self) -> InternalKeyRef<'_> {
-        InternalKeyRef { encoded: &self.encoded }
+        InternalKeyRef {
+            encoded: &self.encoded,
+        }
     }
 
     /// The user-key prefix.
@@ -179,7 +183,9 @@ impl<'a> InternalKeyRef<'a> {
 
     /// Convert to an owned [`InternalKey`].
     pub fn to_owned(&self) -> InternalKey {
-        InternalKey { encoded: Bytes::copy_from_slice(self.encoded) }
+        InternalKey {
+            encoded: Bytes::copy_from_slice(self.encoded),
+        }
     }
 }
 
@@ -203,7 +209,10 @@ impl fmt::Debug for InternalKeyRef<'_> {
 /// asserts.
 #[inline]
 pub fn compare_internal(a: &[u8], b: &[u8]) -> Ordering {
-    debug_assert!(a.len() >= TAG_LEN && b.len() >= TAG_LEN, "short internal key");
+    debug_assert!(
+        a.len() >= TAG_LEN && b.len() >= TAG_LEN,
+        "short internal key"
+    );
     if a.len() < TAG_LEN || b.len() < TAG_LEN {
         return a.cmp(b);
     }
@@ -317,13 +326,17 @@ mod tests {
 
     #[test]
     fn sorting_a_history_yields_newest_first_per_key() {
-        let mut v = [ik("k", 1, ValueKind::Put),
+        let mut v = [
+            ik("k", 1, ValueKind::Put),
             ik("k", 3, ValueKind::Tombstone),
             ik("j", 9, ValueKind::Put),
-            ik("k", 2, ValueKind::Put)];
+            ik("k", 2, ValueKind::Put),
+        ];
         v.sort();
-        let rendered: Vec<(Vec<u8>, SeqNo)> =
-            v.iter().map(|k| (k.user_key().to_vec(), k.seqno())).collect();
+        let rendered: Vec<(Vec<u8>, SeqNo)> = v
+            .iter()
+            .map(|k| (k.user_key().to_vec(), k.seqno()))
+            .collect();
         assert_eq!(
             rendered,
             vec![

@@ -72,7 +72,11 @@ mod tests {
     #[test]
     fn tag_round_trip() {
         for seq in [0u64, 1, 42, MAX_SEQNO] {
-            for kind in [ValueKind::Tombstone, ValueKind::Put, ValueKind::RangeTombstone] {
+            for kind in [
+                ValueKind::Tombstone,
+                ValueKind::Put,
+                ValueKind::RangeTombstone,
+            ] {
                 let tag = pack_tag(seq, kind as u8);
                 let (s, k) = unpack_tag(tag);
                 assert_eq!(s, seq);

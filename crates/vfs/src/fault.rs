@@ -253,7 +253,11 @@ impl FaultVfs {
 
     /// Arm an injection rule.
     pub fn inject(&self, rule: FaultRule) {
-        self.state.lock().rules.push(ArmedRule { rule, seen: 0, fired: 0 });
+        self.state.lock().rules.push(ArmedRule {
+            rule,
+            seen: 0,
+            fired: 0,
+        });
     }
 
     /// Disarm every rule (armed power cuts stay armed).
@@ -313,7 +317,9 @@ impl FaultVfs {
         for path in paths {
             let dur = &st.files[&path];
             let (synced_len, existed_before) = (dur.synced_len, dur.existed_before);
-            let Ok(actual) = inner.file_size(&path) else { continue };
+            let Ok(actual) = inner.file_size(&path) else {
+                continue;
+            };
             if actual <= synced_len {
                 continue;
             }
@@ -392,8 +398,13 @@ impl FaultVfs {
         if let Some(f) = st.files.get_mut(path) {
             f.synced_len = f.synced_len.max(len);
         } else {
-            st.files
-                .insert(path.to_string(), DurableFile { synced_len: len, existed_before: true });
+            st.files.insert(
+                path.to_string(),
+                DurableFile {
+                    synced_len: len,
+                    existed_before: true,
+                },
+            );
         }
     }
 }
@@ -448,7 +459,11 @@ struct FaultReadable {
 
 impl RandomAccessFile for FaultReadable {
     fn read_at(&self, offset: u64, len: usize) -> Result<Bytes> {
-        if self.vfs.gate(FaultOp::Read, "read_at", &self.path)?.is_some() {
+        if self
+            .vfs
+            .gate(FaultOp::Read, "read_at", &self.path)?
+            .is_some()
+        {
             return Err(injected("read_at", &self.path));
         }
         self.inner.read_at(offset, len)
@@ -469,14 +484,24 @@ impl Vfs for FaultVfs {
             // Durably existed: present on the inner fs and not a file
             // we created this epoch without ever syncing.
             self.inner.exists(path)
-                && st.files.get(path).is_none_or(|f| f.synced_len > 0 || f.existed_before)
+                && st
+                    .files
+                    .get(path)
+                    .is_none_or(|f| f.synced_len > 0 || f.existed_before)
         };
         let file = self.inner.create(path)?;
-        self.state
-            .lock()
-            .files
-            .insert(path.to_string(), DurableFile { synced_len: 0, existed_before });
-        Ok(Box::new(FaultWritable { path: path.to_string(), inner: file, vfs: self.clone() }))
+        self.state.lock().files.insert(
+            path.to_string(),
+            DurableFile {
+                synced_len: 0,
+                existed_before,
+            },
+        );
+        Ok(Box::new(FaultWritable {
+            path: path.to_string(),
+            inner: file,
+            vfs: self.clone(),
+        }))
     }
 
     fn open(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
@@ -484,7 +509,11 @@ impl Vfs for FaultVfs {
             return Err(injected("open", path));
         }
         let inner = self.inner.open(path)?;
-        Ok(Arc::new(FaultReadable { path: path.to_string(), inner, vfs: self.clone() }))
+        Ok(Arc::new(FaultReadable {
+            path: path.to_string(),
+            inner,
+            vfs: self.clone(),
+        }))
     }
 
     fn read_all(&self, path: &str) -> Result<Bytes> {
@@ -503,7 +532,10 @@ impl Vfs for FaultVfs {
         let mut st = self.state.lock();
         st.files.insert(
             path.to_string(),
-            DurableFile { synced_len: data.len() as u64, existed_before: true },
+            DurableFile {
+                synced_len: data.len() as u64,
+                existed_before: true,
+            },
         );
         Ok(())
     }
@@ -588,7 +620,11 @@ mod tests {
     #[test]
     fn error_rule_fires_with_skip_and_count() {
         let (_mem, fs) = fault_fs();
-        fs.inject(FaultRule::new(FaultOp::WriteAll, FaultKind::Error).after(1).times(2));
+        fs.inject(
+            FaultRule::new(FaultOp::WriteAll, FaultKind::Error)
+                .after(1)
+                .times(2),
+        );
         fs.write_all("a", b"x").unwrap(); // skipped
         assert!(fs.write_all("b", b"x").is_err()); // fires 1
         assert!(fs.write_all("c", b"x").is_err()); // fires 2
@@ -614,11 +650,16 @@ mod tests {
             fs.inject(
                 FaultRule::new(FaultOp::WriteAll, FaultKind::Error).with_probability_ppm(500_000),
             );
-            (0..32).map(|i| fs.write_all(&format!("f{i}"), b"x").is_err()).collect::<Vec<_>>()
+            (0..32)
+                .map(|i| fs.write_all(&format!("f{i}"), b"x").is_err())
+                .collect::<Vec<_>>()
         };
         let a = run(7);
         assert_eq!(a, run(7), "same seed, same faults");
-        assert!(a.iter().any(|&e| e) && !a.iter().all(|&e| e), "p=0.5 should mix");
+        assert!(
+            a.iter().any(|&e| e) && !a.iter().all(|&e| e),
+            "p=0.5 should mix"
+        );
         assert_ne!(a, run(8), "different seed should (here) differ");
     }
 
@@ -627,7 +668,10 @@ mod tests {
         let (_mem, fs) = fault_fs();
         let mut f = fs.create("t").unwrap();
         f.append(b"durable|").unwrap();
-        fs.inject(FaultRule::new(FaultOp::Append, FaultKind::TornWrite { keep_bytes: 3 }));
+        fs.inject(FaultRule::new(
+            FaultOp::Append,
+            FaultKind::TornWrite { keep_bytes: 3 },
+        ));
         assert!(f.append(b"abcdef").is_err());
         assert_eq!(&fs.read_all("t").unwrap()[..], b"durable|abc");
     }
@@ -639,7 +683,11 @@ mod tests {
         f.append(b"synced").unwrap();
         f.sync().unwrap();
         f.append(b"-lost").unwrap();
-        assert_eq!(&fs.read_all("t").unwrap()[..], b"synced-lost", "page cache is readable");
+        assert_eq!(
+            &fs.read_all("t").unwrap()[..],
+            b"synced-lost",
+            "page cache is readable"
+        );
         fs.power_cut();
         assert!(fs.has_crashed());
         assert!(fs.read_all("t").is_err(), "no service while crashed");

@@ -19,8 +19,8 @@
 
 pub mod fault;
 pub mod mem;
-pub mod std_fs;
 pub mod stats;
+pub mod std_fs;
 pub mod temp;
 
 use std::sync::Arc;

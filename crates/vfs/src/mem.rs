@@ -32,7 +32,10 @@ pub struct MemFs {
 impl MemFs {
     /// An empty filesystem with fresh counters.
     pub fn new() -> MemFs {
-        MemFs { state: Arc::new(Mutex::new(State::default())), stats: Arc::new(IoStats::new()) }
+        MemFs {
+            state: Arc::new(Mutex::new(State::default())),
+            stats: Arc::new(IoStats::new()),
+        }
     }
 
     /// Total bytes currently stored across all live files — the engine's
@@ -65,7 +68,10 @@ impl Clone for MemFs {
     /// Clones share the same underlying state and counters (like two
     /// handles to one disk).
     fn clone(&self) -> Self {
-        MemFs { state: Arc::clone(&self.state), stats: Arc::clone(&self.stats) }
+        MemFs {
+            state: Arc::clone(&self.state),
+            stats: Arc::clone(&self.stats),
+        }
     }
 }
 
@@ -107,7 +113,10 @@ impl RandomAccessFile for MemReadable {
         let start = usize::try_from(offset)
             .map_err(|_| Error::corruption(format!("offset {offset} overflows usize")))?;
         let end = start.checked_add(len).ok_or_else(|| {
-            Error::corruption(format!("read range overflow at {offset}+{len} in {}", self.path))
+            Error::corruption(format!(
+                "read range overflow at {offset}+{len} in {}",
+                self.path
+            ))
         })?;
         if end > data.len() {
             return Err(Error::corruption(format!(
@@ -128,14 +137,24 @@ impl RandomAccessFile for MemReadable {
 impl Vfs for MemFs {
     fn create(&self, path: &str) -> Result<Box<dyn WritableFile>> {
         let data: FileData = Arc::new(RwLock::new(Vec::new()));
-        self.state.lock().files.insert(path.to_string(), Arc::clone(&data));
+        self.state
+            .lock()
+            .files
+            .insert(path.to_string(), Arc::clone(&data));
         self.stats.record_create();
-        Ok(Box::new(MemWritable { data, stats: Arc::clone(&self.stats) }))
+        Ok(Box::new(MemWritable {
+            data,
+            stats: Arc::clone(&self.stats),
+        }))
     }
 
     fn open(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
         let state = self.state.lock();
-        let data = state.files.get(path).cloned().ok_or_else(|| Self::not_found(path))?;
+        let data = state
+            .files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| Self::not_found(path))?;
         Ok(Arc::new(MemReadable {
             data,
             stats: Arc::clone(&self.stats),
@@ -146,7 +165,11 @@ impl Vfs for MemFs {
     fn read_all(&self, path: &str) -> Result<Bytes> {
         let data = {
             let state = self.state.lock();
-            state.files.get(path).cloned().ok_or_else(|| Self::not_found(path))?
+            state
+                .files
+                .get(path)
+                .cloned()
+                .ok_or_else(|| Self::not_found(path))?
         };
         let guard = data.read();
         self.stats.record_read(guard.len() as u64);
@@ -174,7 +197,10 @@ impl Vfs for MemFs {
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
         let mut state = self.state.lock();
-        let data = state.files.remove(from).ok_or_else(|| Self::not_found(from))?;
+        let data = state
+            .files
+            .remove(from)
+            .ok_or_else(|| Self::not_found(from))?;
         state.files.insert(to.to_string(), data);
         Ok(())
     }

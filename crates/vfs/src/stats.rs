@@ -142,8 +142,14 @@ mod tests {
 
     #[test]
     fn delta_saturates_instead_of_underflowing() {
-        let a = IoStatsSnapshot { bytes_written: 5, ..Default::default() };
-        let b = IoStatsSnapshot { bytes_written: 9, ..Default::default() };
+        let a = IoStatsSnapshot {
+            bytes_written: 5,
+            ..Default::default()
+        };
+        let b = IoStatsSnapshot {
+            bytes_written: 9,
+            ..Default::default()
+        };
         assert_eq!((a - b).bytes_written, 0);
     }
 }

@@ -28,7 +28,10 @@ impl StdFs {
     /// real `fsync` (durability) or only flushes userspace buffers
     /// (benchmarking real files without paying device sync latency).
     pub fn new(fsync_enabled: bool) -> StdFs {
-        StdFs { stats: Arc::new(IoStats::new()), fsync_enabled }
+        StdFs {
+            stats: Arc::new(IoStats::new()),
+            fsync_enabled,
+        }
     }
 }
 
@@ -150,9 +153,11 @@ impl Vfs for StdFs {
         // is fsynced here rather than left to the page cache.
         let mut file =
             fs::File::create(path).map_err(|e| Error::io(format!("write_all {path}"), e))?;
-        file.write_all(data).map_err(|e| Error::io(format!("write_all {path}"), e))?;
+        file.write_all(data)
+            .map_err(|e| Error::io(format!("write_all {path}"), e))?;
         if self.fsync_enabled {
-            file.sync_data().map_err(|e| Error::io(format!("fsync {path}"), e))?;
+            file.sync_data()
+                .map_err(|e| Error::io(format!("fsync {path}"), e))?;
         }
         self.stats.record_create();
         self.stats.record_write(data.len() as u64);
@@ -215,8 +220,8 @@ impl Vfs for StdFs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::temp::TempDir;
     use crate::join;
+    use crate::temp::TempDir;
 
     #[test]
     fn sync_with_fsync_enabled_succeeds() {

@@ -22,10 +22,7 @@ impl TempDir {
     /// test harness is unrecoverable and should fail loudly.
     pub fn new(tag: &str) -> TempDir {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "acheron-{tag}-{}-{n}",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("acheron-{tag}-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&path)
             .unwrap_or_else(|e| panic!("creating temp dir {}: {e}", path.display()));
         TempDir { path }

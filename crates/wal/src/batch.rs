@@ -52,7 +52,10 @@ pub struct WalBatch {
 impl WalBatch {
     /// An empty batch starting at `base_seqno`.
     pub fn new(base_seqno: SeqNo) -> WalBatch {
-        WalBatch { base_seqno, ops: Vec::new() }
+        WalBatch {
+            base_seqno,
+            ops: Vec::new(),
+        }
     }
 
     /// Sequence number of the last op (equals `base_seqno` for a single
@@ -92,8 +95,8 @@ impl WalBatch {
 
     /// Decode from the wire format, validating structure exhaustively.
     pub fn decode(data: &[u8]) -> Result<WalBatch> {
-        let (base_seqno, rest) = get_u64_le(data)
-            .ok_or_else(|| Error::corruption("wal batch: truncated base seqno"))?;
+        let (base_seqno, rest) =
+            get_u64_le(data).ok_or_else(|| Error::corruption("wal batch: truncated base seqno"))?;
         let (count, mut rest) = require_varint64(rest, "wal batch count")?;
         let mut ops = Vec::with_capacity(count.min(1024) as usize);
         for i in 0..count {
@@ -117,7 +120,10 @@ impl WalBatch {
                     if !payload.is_empty() {
                         return Err(Error::corruption("wal delete op carries a payload"));
                     }
-                    WalOp::Delete { key: Bytes::copy_from_slice(key), tick: dkey }
+                    WalOp::Delete {
+                        key: Bytes::copy_from_slice(key),
+                        tick: dkey,
+                    }
                 }
                 ValueKind::RangeTombstone => {
                     let range = DeleteKeyRange::decode(payload).ok_or_else(|| {
@@ -171,8 +177,13 @@ mod tests {
                     value: Bytes::from_static(b"v1"),
                     dkey: 7,
                 },
-                WalOp::Delete { key: Bytes::from_static(b"k2"), tick: 55 },
-                WalOp::RangeDelete { range: DeleteKeyRange::new(10, 20) },
+                WalOp::Delete {
+                    key: Bytes::from_static(b"k2"),
+                    tick: 55,
+                },
+                WalOp::RangeDelete {
+                    range: DeleteKeyRange::new(10, 20),
+                },
                 WalOp::Put {
                     key: Bytes::from_static(b""),
                     value: Bytes::from_static(b""),
@@ -234,7 +245,10 @@ mod tests {
     fn decode_rejects_unknown_kind() {
         let b = WalBatch {
             base_seqno: 1,
-            ops: vec![WalOp::Delete { key: Bytes::from_static(b"k"), tick: 0 }],
+            ops: vec![WalOp::Delete {
+                key: Bytes::from_static(b"k"),
+                tick: 0,
+            }],
         };
         let mut data = b.encode();
         // kind byte is right after the 8-byte seqno + 1-byte count.

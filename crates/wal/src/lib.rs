@@ -86,8 +86,7 @@ mod round_trip_tests {
     #[test]
     fn small_records_round_trip() {
         let fs = MemFs::new();
-        let records: Vec<Vec<u8>> =
-            vec![b"alpha".to_vec(), b"".to_vec(), b"gamma-rays".to_vec()];
+        let records: Vec<Vec<u8>> = vec![b"alpha".to_vec(), b"".to_vec(), b"gamma-rays".to_vec()];
         write_records(&fs, "wal", &records);
         assert_eq!(read_records(&fs, "wal"), records);
     }

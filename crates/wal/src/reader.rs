@@ -58,7 +58,10 @@ impl LogReader {
                     };
                 }
                 FragOutcome::Corrupt(reason) => {
-                    return ReadOutcome::Corrupt { offset: frag_offset, reason };
+                    return ReadOutcome::Corrupt {
+                        offset: frag_offset,
+                        reason,
+                    };
                 }
                 FragOutcome::Fragment(rt, payload) => match (rt, &mut assembled) {
                     (RecordType::Full, None) => return ReadOutcome::Record(payload),
@@ -120,10 +123,7 @@ impl LogReader {
                 return FragOutcome::Corrupt("truncated fragment payload".into());
             }
             let payload = self.data.slice(start..start + len);
-            let actual = checksum::mask(checksum::extend(
-                checksum::crc32c(&[type_byte]),
-                &payload,
-            ));
+            let actual = checksum::mask(checksum::extend(checksum::crc32c(&[type_byte]), &payload));
             if actual != stored_crc {
                 return FragOutcome::Corrupt("fragment checksum mismatch".into());
             }
@@ -201,7 +201,11 @@ pub fn recover_records(data: Bytes) -> RecoveredLog {
                 valid_len = reader.offset();
             }
             ReadOutcome::Eof => {
-                return RecoveredLog { records, tail: TailOutcome::Clean, valid_len };
+                return RecoveredLog {
+                    records,
+                    tail: TailOutcome::Clean,
+                    valid_len,
+                };
             }
             ReadOutcome::Corrupt { offset, reason } => {
                 return RecoveredLog {
@@ -319,9 +323,7 @@ mod tests {
     fn every_prefix_of_a_log_recovers_a_prefix_of_records() {
         // Durability invariant I4 at the framing layer: for any cut
         // point, recovered records are a prefix of the written records.
-        let records: Vec<Vec<u8>> = (0..40)
-            .map(|i| vec![i as u8; (i * 37) % 700 + 1])
-            .collect();
+        let records: Vec<Vec<u8>> = (0..40).map(|i| vec![i as u8; (i * 37) % 700 + 1]).collect();
         let refs: Vec<&[u8]> = records.iter().map(|r| r.as_slice()).collect();
         let data = build_log(&refs);
         for cut in (0..data.len()).step_by(311) {
@@ -347,7 +349,10 @@ mod tests {
             *b ^= 0x5a;
         }
         let rec = recover_records(Bytes::from(broken));
-        assert_eq!(rec.records, vec![Bytes::from_static(b"first"), Bytes::from_static(b"second")]);
+        assert_eq!(
+            rec.records,
+            vec![Bytes::from_static(b"first"), Bytes::from_static(b"second")]
+        );
         assert!(rec.is_torn());
         match rec.tail {
             TailOutcome::Torn { reason, .. } => {

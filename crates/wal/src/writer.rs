@@ -115,10 +115,15 @@ mod tests {
         // type field
         assert_eq!(data[6], RecordType::Full as u8);
         // checksum covers type byte + payload, masked
-        let expected = acheron_types::checksum::mask(acheron_types::checksum::crc32c(
-            &[RecordType::Full as u8, b'a', b'b'],
-        ));
-        assert_eq!(u32::from_le_bytes([data[0], data[1], data[2], data[3]]), expected);
+        let expected = acheron_types::checksum::mask(acheron_types::checksum::crc32c(&[
+            RecordType::Full as u8,
+            b'a',
+            b'b',
+        ]));
+        assert_eq!(
+            u32::from_le_bytes([data[0], data[1], data[2], data[3]]),
+            expected
+        );
     }
 
     #[test]

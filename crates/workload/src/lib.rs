@@ -9,7 +9,7 @@ pub mod sortedness;
 
 pub use dist::{KeyDistribution, Zipfian};
 pub use ops::{Op, OpMix, WorkloadGen, WorkloadSpec};
-pub use runner::{run_ops, RunReport};
+pub use runner::{run_ops, OpSink, RunReport};
 pub use sortedness::{measure_sortedness, near_sorted_stream};
 
 /// Render a numeric key id as a fixed-width, order-preserving byte key.

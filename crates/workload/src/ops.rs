@@ -42,17 +42,32 @@ impl OpMix {
 
     /// Insert-only.
     pub fn insert_only() -> OpMix {
-        OpMix { put_pct: 100, delete_pct: 0, get_pct: 0, scan_pct: 0 }
+        OpMix {
+            put_pct: 100,
+            delete_pct: 0,
+            get_pct: 0,
+            scan_pct: 0,
+        }
     }
 
     /// Write-heavy with deletes (the delete-aware papers' staple).
     pub fn write_heavy(delete_pct: u32) -> OpMix {
-        OpMix { put_pct: 100 - delete_pct, delete_pct, get_pct: 0, scan_pct: 0 }
+        OpMix {
+            put_pct: 100 - delete_pct,
+            delete_pct,
+            get_pct: 0,
+            scan_pct: 0,
+        }
     }
 
     /// Mixed read/write.
     pub fn mixed(put_pct: u32, delete_pct: u32, get_pct: u32, scan_pct: u32) -> OpMix {
-        let m = OpMix { put_pct, delete_pct, get_pct, scan_pct };
+        let m = OpMix {
+            put_pct,
+            delete_pct,
+            get_pct,
+            scan_pct,
+        };
         assert!(m.validate(), "op mix must sum to 100");
         m
     }
@@ -101,7 +116,11 @@ impl WorkloadGen {
     /// Build a generator from a spec.
     pub fn new(spec: WorkloadSpec) -> WorkloadGen {
         let rng = StdRng::seed_from_u64(spec.seed);
-        WorkloadGen { spec, rng, inserted: Vec::new() }
+        WorkloadGen {
+            spec,
+            rng,
+            inserted: Vec::new(),
+        }
     }
 
     /// Value payload for a key (deterministic, compressible-ish).
@@ -120,7 +139,11 @@ impl WorkloadGen {
             let id = self.spec.dist.sample(&mut self.rng);
             self.inserted.push(id);
             let value = self.value_for(id);
-            return Op::Put { key: key_bytes(id), value, dkey: None };
+            return Op::Put {
+                key: key_bytes(id),
+                value,
+                dkey: None,
+            };
         }
         if roll < m.put_pct + m.delete_pct {
             let id = if self.spec.delete_only_existing && !self.inserted.is_empty() {
@@ -164,7 +187,13 @@ mod tests {
     fn mix_validation() {
         assert!(OpMix::insert_only().validate());
         assert!(OpMix::write_heavy(25).validate());
-        assert!(!OpMix { put_pct: 50, delete_pct: 0, get_pct: 0, scan_pct: 0 }.validate());
+        assert!(!OpMix {
+            put_pct: 50,
+            delete_pct: 0,
+            get_pct: 0,
+            scan_pct: 0
+        }
+        .validate());
     }
 
     #[test]
@@ -178,7 +207,10 @@ mod tests {
     fn mix_proportions_approximately_hold() {
         let ops = WorkloadGen::new(spec(OpMix::mixed(50, 10, 30, 10))).take(10_000);
         let puts = ops.iter().filter(|o| matches!(o, Op::Put { .. })).count();
-        let dels = ops.iter().filter(|o| matches!(o, Op::Delete { .. })).count();
+        let dels = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Delete { .. }))
+            .count();
         let gets = ops.iter().filter(|o| matches!(o, Op::Get { .. })).count();
         let scans = ops.iter().filter(|o| matches!(o, Op::Scan { .. })).count();
         assert!((4_500..5_500).contains(&puts), "puts={puts}");

@@ -41,13 +41,22 @@ fn main() {
         ("leveling (baseline)", DbOptions::small()),
         (
             "tiering (write-optimized)",
-            DbOptions { layout: CompactionLayout::Tiering, ..DbOptions::small() },
+            DbOptions {
+                layout: CompactionLayout::Tiering,
+                ..DbOptions::small()
+            },
         ),
         (
             "lazy leveling (hybrid)",
-            DbOptions { layout: CompactionLayout::LazyLeveling, ..DbOptions::small() },
+            DbOptions {
+                layout: CompactionLayout::LazyLeveling,
+                ..DbOptions::small()
+            },
         ),
-        ("leveling + FADE D_th=20k", DbOptions::small().with_fade(20_000)),
+        (
+            "leveling + FADE D_th=20k",
+            DbOptions::small().with_fade(20_000),
+        ),
     ];
 
     let dbs: Vec<(&str, Db)> = configs
@@ -61,7 +70,8 @@ fn main() {
             "phase 1: bulk ingest 15k keys",
             Box::new(|db: &Db| {
                 for i in 0..15_000u64 {
-                    db.put(format!("key{i:08}").as_bytes(), &[b'v'; 48]).unwrap();
+                    db.put(format!("key{i:08}").as_bytes(), &[b'v'; 48])
+                        .unwrap();
                 }
             }),
         ),

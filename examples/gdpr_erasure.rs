@@ -20,7 +20,8 @@ const DEADLINE: u64 = 50_000;
 fn ingest_users(db: &Db, n: u64) {
     for i in 0..n {
         let key = format!("user:{i:08}:profile");
-        db.put(key.as_bytes(), format!("profile-data-for-{i}").as_bytes()).unwrap();
+        db.put(key.as_bytes(), format!("profile-data-for-{i}").as_bytes())
+            .unwrap();
     }
 }
 
@@ -32,12 +33,14 @@ fn run(label: &str, opts: DbOptions) {
 
     // 500 users exercise their right to erasure.
     for i in (0..10_000u64).step_by(20) {
-        db.delete(format!("user:{i:08}:profile").as_bytes()).unwrap();
+        db.delete(format!("user:{i:08}:profile").as_bytes())
+            .unwrap();
     }
 
     // The service keeps running — but never touches those users again.
     for i in 0..30_000u64 {
-        db.put(format!("event:{i:010}").as_bytes(), b"telemetry").unwrap();
+        db.put(format!("event:{i:010}").as_bytes(), b"telemetry")
+            .unwrap();
     }
     // Idle time passes (ticks without writes); routine maintenance runs
     // on a timer, here modeled as stepped clock advances.
@@ -61,7 +64,11 @@ fn run(label: &str, opts: DbOptions) {
     match oldest {
         Some(age) => println!(
             "  oldest surviving tombstone: {age} ticks old ({})",
-            if age > DEADLINE { "DEADLINE EXCEEDED" } else { "within deadline" }
+            if age > DEADLINE {
+                "DEADLINE EXCEEDED"
+            } else {
+                "within deadline"
+            }
         ),
         None => println!("  oldest surviving tombstone: none"),
     }

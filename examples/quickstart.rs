@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Range scans over the sort key.
     println!("\nall user:1 attributes:");
     for (k, v) in db.scan(b"user:1:", b"user:1:\xff")? {
-        println!("  {} = {}", String::from_utf8_lossy(&k), String::from_utf8_lossy(&v));
+        println!(
+            "  {} = {}",
+            String::from_utf8_lossy(&k),
+            String::from_utf8_lossy(&v)
+        );
     }
 
     // Deletes insert tombstones; reads hide the key immediately.
@@ -40,8 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Snapshots give a consistent view while writes continue.
     let snap = db.snapshot();
     db.put(b"user:1:name", b"A. Lovelace")?;
-    assert_eq!(db.get_at(&snap, b"user:1:name")?.as_deref(), Some(&b"Ada Lovelace"[..]));
-    assert_eq!(db.get(b"user:1:name")?.as_deref(), Some(&b"A. Lovelace"[..]));
+    assert_eq!(
+        db.get_at(&snap, b"user:1:name")?.as_deref(),
+        Some(&b"Ada Lovelace"[..])
+    );
+    assert_eq!(
+        db.get(b"user:1:name")?.as_deref(),
+        Some(&b"A. Lovelace"[..])
+    );
 
     // Engine introspection.
     db.compact_all()?;
@@ -54,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!("\nwrite amplification so far: {:.2}", db.stats().write_amplification());
+    println!(
+        "\nwrite amplification so far: {:.2}",
+        db.stats().write_amplification()
+    );
     Ok(())
 }

@@ -30,7 +30,8 @@ fn main() {
         let source = event % SOURCES;
         let key = format!("src{source:03}:evt{event:010}");
         let timestamp = db.now();
-        db.put_with_dkey(key.as_bytes(), b"payload-bytes", timestamp).unwrap();
+        db.put_with_dkey(key.as_bytes(), b"payload-bytes", timestamp)
+            .unwrap();
 
         if event % EXPIRE_EVERY == EXPIRE_EVERY - 1 {
             let now = db.now();

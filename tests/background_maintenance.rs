@@ -39,7 +39,8 @@ fn writers_and_readers_race_background_maintenance() {
                 for round in 0u64..3 {
                     for k in 0..KEYS_PER_WRITER {
                         let key = format!("w{w}-key{k:05}");
-                        db.put(key.as_bytes(), format!("{round:020}").as_bytes()).unwrap();
+                        db.put(key.as_bytes(), format!("{round:020}").as_bytes())
+                            .unwrap();
                     }
                 }
             });
@@ -89,7 +90,10 @@ fn writers_and_readers_race_background_maintenance() {
     for w in 0..WRITERS {
         for k in (0..KEYS_PER_WRITER).step_by(61) {
             let key = format!("w{w}-key{k:05}");
-            let v = db.get(key.as_bytes()).unwrap().unwrap_or_else(|| panic!("{key} lost"));
+            let v = db
+                .get(key.as_bytes())
+                .unwrap()
+                .unwrap_or_else(|| panic!("{key} lost"));
             assert_eq!(&v[..], format!("{:020}", 2).as_bytes(), "{key}");
         }
     }
@@ -102,13 +106,17 @@ fn writers_and_readers_race_background_maintenance() {
 fn snapshots_stay_frozen_under_background_maintenance() {
     let db = Db::open(Arc::new(MemFs::new()), "db", opts(2)).unwrap();
     for k in 0u64..300 {
-        db.put(format!("key{k:04}").as_bytes(), b"epoch-one").unwrap();
+        db.put(format!("key{k:04}").as_bytes(), b"epoch-one")
+            .unwrap();
     }
     let snap = db.snapshot();
     for round in 0..20u64 {
         for k in 0u64..300 {
-            db.put(format!("key{k:04}").as_bytes(), format!("epoch-{round}").as_bytes())
-                .unwrap();
+            db.put(
+                format!("key{k:04}").as_bytes(),
+                format!("epoch-{round}").as_bytes(),
+            )
+            .unwrap();
         }
     }
     db.wait_idle().unwrap();
@@ -125,14 +133,10 @@ fn snapshots_stay_frozen_under_background_maintenance() {
 #[test]
 fn fade_deadline_met_without_manual_maintain() {
     let d_th = 200_000u64;
-    let db = Db::open(
-        Arc::new(MemFs::new()),
-        "db",
-        opts(1).with_fade(d_th),
-    )
-    .unwrap();
+    let db = Db::open(Arc::new(MemFs::new()), "db", opts(1).with_fade(d_th)).unwrap();
     for i in 0..600u32 {
-        db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32]).unwrap();
+        db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32])
+            .unwrap();
     }
     for i in 0..300u32 {
         db.delete(format!("key{i:04}").as_bytes()).unwrap();
@@ -152,7 +156,11 @@ fn fade_deadline_met_without_manual_maintain() {
         0,
         "background FADE must never violate the threshold"
     );
-    assert_eq!(db.live_tombstones(), 0, "every expired tombstone must be purged");
+    assert_eq!(
+        db.live_tombstones(),
+        0,
+        "every expired tombstone must be purged"
+    );
     assert!(
         db.stats().ttl_compactions.load(Relaxed) > 0,
         "purges must come from the TTL trigger, not luck"
@@ -183,14 +191,19 @@ fn writes_stall_at_hard_limit_and_resume() {
             // ~40 KiB through a 4 KiB buffer with flushes paused: the
             // sealed queue fills and the writer must stall.
             for k in 0u64..400 {
-                writer_db.put(format!("key{k:05}").as_bytes(), &[b'v'; 64]).unwrap();
+                writer_db
+                    .put(format!("key{k:05}").as_bytes(), &[b'v'; 64])
+                    .unwrap();
             }
         });
 
         use std::sync::atomic::Ordering::Relaxed;
         let deadline = Instant::now() + Duration::from_secs(10);
         while db.stats().write_stalls.load(Relaxed) == 0 {
-            assert!(Instant::now() < deadline, "writer never hit the stall limit");
+            assert!(
+                Instant::now() < deadline,
+                "writer never hit the stall limit"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         // Resume maintenance; the stalled writer must now finish.
@@ -253,7 +266,8 @@ fn drop_joins_workers_and_leaves_no_residue() {
         // Enough churn that flushes and compactions are genuinely in
         // flight when the handle drops.
         for k in 0u64..4000 {
-            db.put(format!("key{k:05}").as_bytes(), &[b'v'; 64]).unwrap();
+            db.put(format!("key{k:05}").as_bytes(), &[b'v'; 64])
+                .unwrap();
             if k % 3 == 0 {
                 db.delete(format!("key{:05}", k / 2).as_bytes()).unwrap();
             }
@@ -302,7 +316,8 @@ fn synchronous_mode_is_deterministic() {
                 )
                 .unwrap();
                 if k % 5 == 0 {
-                    db.delete(format!("key{:05}", (k + 13) % 800).as_bytes()).unwrap();
+                    db.delete(format!("key{:05}", (k + 13) % 800).as_bytes())
+                        .unwrap();
                 }
             }
         }

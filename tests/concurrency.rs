@@ -31,7 +31,8 @@ fn readers_race_writer() {
             for round in 0u64..40 {
                 for k in 0u64..400 {
                     let key = format!("key{k:05}");
-                    db.put(key.as_bytes(), format!("{round:020}").as_bytes()).unwrap();
+                    db.put(key.as_bytes(), format!("{round:020}").as_bytes())
+                        .unwrap();
                 }
             }
             stop.store(true, Ordering::Release);
@@ -49,8 +50,11 @@ fn readers_race_writer() {
                     k = (k + 37) % 400;
                     let key = format!("key{k:05}");
                     if let Some(v) = db.get(key.as_bytes()).unwrap() {
-                        let round: u64 =
-                            std::str::from_utf8(&v).unwrap().trim_start_matches('0').parse().unwrap_or(0);
+                        let round: u64 = std::str::from_utf8(&v)
+                            .unwrap()
+                            .trim_start_matches('0')
+                            .parse()
+                            .unwrap_or(0);
                         assert!(
                             round >= last_seen[k as usize],
                             "value regressed for {key}: {round} < {}",
@@ -77,7 +81,8 @@ fn readers_race_writer() {
 fn snapshot_readers_see_frozen_state_under_writes() {
     let db = Db::open(Arc::new(MemFs::new()), "db", opts()).unwrap();
     for k in 0u64..200 {
-        db.put(format!("key{k:04}").as_bytes(), b"epoch-one").unwrap();
+        db.put(format!("key{k:04}").as_bytes(), b"epoch-one")
+            .unwrap();
     }
     let snap = Arc::new(db.snapshot());
 
@@ -118,12 +123,14 @@ fn snapshot_readers_see_frozen_state_under_writes() {
 fn concurrent_scans_and_range_deletes() {
     let db = Db::open(Arc::new(MemFs::new()), "db", opts()).unwrap();
     for i in 0u64..2_000 {
-        db.put_with_dkey(format!("key{i:06}").as_bytes(), &[b'v'; 32], i).unwrap();
+        db.put_with_dkey(format!("key{i:06}").as_bytes(), &[b'v'; 32], i)
+            .unwrap();
     }
     crossbeam::scope(|s| {
         s.spawn(|_| {
             for cut in 1..=10u64 {
-                db.range_delete_secondary((cut - 1) * 100, cut * 100 - 1).unwrap();
+                db.range_delete_secondary((cut - 1) * 100, cut * 100 - 1)
+                    .unwrap();
                 db.maintain().unwrap();
             }
         });

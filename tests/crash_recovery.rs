@@ -25,7 +25,10 @@ use acheron_vfs::CutDurability;
 use proptest::prelude::*;
 
 fn sync_cfg() -> CrashConfig {
-    CrashConfig { background_threads: 0, ..CrashConfig::default() }
+    CrashConfig {
+        background_threads: 0,
+        ..CrashConfig::default()
+    }
 }
 
 /// Synchronous mode: the durability-point space is exactly enumerable.
@@ -61,7 +64,10 @@ fn sync_mode_survives_crashes_at_swept_durability_points() {
 fn sync_mode_survives_torn_tail_crashes() {
     let cfg = CrashConfig {
         cut: CutDurability::TornTail,
-        workload: CrashWorkload { seed: 0xBEEF_0002, ..CrashWorkload::default() },
+        workload: CrashWorkload {
+            seed: 0xBEEF_0002,
+            ..CrashWorkload::default()
+        },
         ..sync_cfg()
     };
     let total = count_crash_points(&cfg);
@@ -82,7 +88,10 @@ fn sync_mode_survives_torn_tail_crashes() {
 fn background_mode_survives_crashes_at_sampled_points() {
     let cfg = CrashConfig {
         background_threads: 2,
-        workload: CrashWorkload { seed: 0xD00D_0003, ..CrashWorkload::default() },
+        workload: CrashWorkload {
+            seed: 0xD00D_0003,
+            ..CrashWorkload::default()
+        },
         ..CrashConfig::default()
     };
     let total = count_crash_points(&cfg);
@@ -117,7 +126,11 @@ fn recovery_itself_survives_crashes_at_swept_points() {
     for cut in [CutDurability::DropUnsynced, CutDurability::TornTail] {
         let cfg = CrashConfig {
             cut,
-            workload: CrashWorkload { seed: 0xFEED_0004, ops: 200, ..CrashWorkload::default() },
+            workload: CrashWorkload {
+                seed: 0xFEED_0004,
+                ops: 200,
+                ..CrashWorkload::default()
+            },
             ..sync_cfg()
         };
         let total = count_crash_points(&cfg);

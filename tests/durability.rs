@@ -69,7 +69,8 @@ fn crash_during_heavy_deletes_preserves_tombstones() {
     let fs = Arc::new(MemFs::new());
     let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts()).unwrap();
     for i in 0..400u32 {
-        db.put(format!("key{i:05}").as_bytes(), &[b'v'; 32]).unwrap();
+        db.put(format!("key{i:05}").as_bytes(), &[b'v'; 32])
+            .unwrap();
     }
     for i in 0..400u32 {
         if i % 2 == 0 {
@@ -93,7 +94,8 @@ fn wal_tail_truncation_loses_only_a_suffix() {
     let mut o = opts();
     o.write_buffer_bytes = 1 << 20;
     for i in 0..50u32 {
-        db.put(format!("w{i:03}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        db.put(format!("w{i:03}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
     }
     drop(db);
 
@@ -111,7 +113,8 @@ fn wal_tail_truncation_loses_only_a_suffix() {
     let mut last_recovered = usize::MAX;
     for cut in [full.len(), full.len() - 3, full.len() / 2, 10, 0] {
         let fork = fork_fs(&fs, "db");
-        fork.write_all(&wal_path, &full[..cut.min(full.len())]).unwrap();
+        fork.write_all(&wal_path, &full[..cut.min(full.len())])
+            .unwrap();
         let recovered = Db::open(fork, "db", opts()).unwrap();
         // Count how many of the 50 writes survived; must be a prefix.
         let mut survived = 0usize;
@@ -120,7 +123,10 @@ fn wal_tail_truncation_loses_only_a_suffix() {
             let got = recovered.get(format!("w{i:03}").as_bytes()).unwrap();
             match got {
                 Some(v) => {
-                    assert!(!ended, "write {i} survived after a lost predecessor (not a prefix)");
+                    assert!(
+                        !ended,
+                        "write {i} survived after a lost predecessor (not a prefix)"
+                    );
                     assert_eq!(v.as_ref(), format!("v{i}").as_bytes());
                     survived += 1;
                 }
@@ -137,7 +143,10 @@ fn wal_tail_truncation_loses_only_a_suffix() {
     let fork = fork_fs(&fs, "db");
     let recovered = Db::open(fork, "db", opts()).unwrap();
     for i in 0..50u32 {
-        assert!(recovered.get(format!("w{i:03}").as_bytes()).unwrap().is_some());
+        assert!(recovered
+            .get(format!("w{i:03}").as_bytes())
+            .unwrap()
+            .is_some());
     }
 }
 
@@ -146,7 +155,8 @@ fn range_tombstones_survive_crash() {
     let fs = Arc::new(MemFs::new());
     let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts()).unwrap();
     for i in 0..100u32 {
-        db.put_with_dkey(format!("key{i:03}").as_bytes(), b"v", u64::from(i)).unwrap();
+        db.put_with_dkey(format!("key{i:03}").as_bytes(), b"v", u64::from(i))
+            .unwrap();
     }
     db.range_delete_secondary(20, 40).unwrap();
     let fork = fork_fs(&fs, "db");
@@ -163,7 +173,8 @@ fn repeated_crash_recover_cycles_converge() {
     {
         let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts()).unwrap();
         for i in 0..300u32 {
-            db.put(format!("key{i:04}").as_bytes(), format!("{i}").as_bytes()).unwrap();
+            db.put(format!("key{i:04}").as_bytes(), format!("{i}").as_bytes())
+                .unwrap();
         }
     }
     // Ten open/drop cycles without any writes must preserve the state
@@ -172,10 +183,7 @@ fn repeated_crash_recover_cycles_converge() {
     let mut sizes = Vec::new();
     for _ in 0..10 {
         let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts()).unwrap();
-        assert_eq!(
-            db.get(b"key0123").unwrap().as_deref(),
-            Some(&b"123"[..])
-        );
+        assert_eq!(db.get(b"key0123").unwrap().as_deref(), Some(&b"123"[..]));
         drop(db);
         sizes.push(fs.total_file_bytes());
     }
@@ -197,7 +205,10 @@ fn corrupt_manifest_head_fails_loudly() {
     }
     // Find the current manifest and corrupt its first bytes.
     let current = fs.read_all("db/CURRENT").unwrap();
-    let manifest = String::from_utf8(current.to_vec()).unwrap().trim().to_string();
+    let manifest = String::from_utf8(current.to_vec())
+        .unwrap()
+        .trim()
+        .to_string();
     let path = acheron_vfs::join("db", &manifest);
     let mut data = fs.read_all(&path).unwrap().to_vec();
     for b in data.iter_mut().take(32) {

@@ -217,7 +217,10 @@ fn regression_l0_page_drop_must_not_hide_chain_head() {
         Action::Put { key: 4, value: 0 },
         Action::Put { key: 0, value: 15 },
         Action::Put { key: 2, value: 213 },
-        Action::Put { key: 18, value: 253 },
+        Action::Put {
+            key: 18,
+            value: 253,
+        },
         Action::Put { key: 6, value: 36 },
         Action::Put { key: 7, value: 137 },
         Action::Flush,

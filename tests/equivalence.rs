@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use acheron::{CompactionLayout, Db, DbOptions};
 use acheron_vfs::MemFs;
-use acheron_workload::{Op, OpMix, WorkloadGen, WorkloadSpec, KeyDistribution};
+use acheron_workload::{KeyDistribution, Op, OpMix, WorkloadGen, WorkloadSpec};
 
 fn small(layout: CompactionLayout, h: usize, fade: Option<u64>) -> DbOptions {
     let mut o = DbOptions {
@@ -43,9 +43,7 @@ fn fingerprint(opts: DbOptions, ops: &[Op]) -> Vec<(Vec<u8>, Vec<u8>)> {
             Op::Scan { lo, hi } => {
                 db.scan(lo, hi).unwrap();
             }
-            Op::RangeDeleteSecondary { lo, hi } => {
-                db.range_delete_secondary(*lo, *hi).unwrap()
-            }
+            Op::RangeDeleteSecondary { lo, hi } => db.range_delete_secondary(*lo, *hi).unwrap(),
         }
     }
     db.compact_all().unwrap();
@@ -58,10 +56,7 @@ fn fingerprint(opts: DbOptions, ops: &[Op]) -> Vec<(Vec<u8>, Vec<u8>)> {
 }
 
 fn mixed_ops(seed: u64, n: usize) -> Vec<Op> {
-    let mut spec = WorkloadSpec::new(
-        OpMix::mixed(55, 20, 20, 5),
-        KeyDistribution::uniform(400),
-    );
+    let mut spec = WorkloadSpec::new(OpMix::mixed(55, 20, 20, 5), KeyDistribution::uniform(400));
     spec.seed = seed;
     spec.value_len = 24;
     WorkloadGen::new(spec).take(n)

@@ -38,7 +38,11 @@ fn entries_strategy() -> impl Strategy<Value = Vec<Entry>> {
 
 fn build_table(entries: &[Entry], h: usize, page: usize) -> Arc<Table> {
     let fs = MemFs::new();
-    let opts = TableOptions { pages_per_tile: h, page_size: page, ..Default::default() };
+    let opts = TableOptions {
+        pages_per_tile: h,
+        page_size: page,
+        ..Default::default()
+    };
     let mut b = TableBuilder::new(fs.create("t").unwrap(), opts).unwrap();
     for e in entries {
         b.add(e).unwrap();

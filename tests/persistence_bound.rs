@@ -39,7 +39,8 @@ fn check_bound(seed: u64, d_th: u64, alloc: TtlAllocation, idle_bursts: bool) {
         if rng.gen_bool(0.3) {
             db.delete(format!("key{k:04}").as_bytes()).unwrap();
         } else {
-            db.put(format!("key{k:04}").as_bytes(), &[b'v'; 24]).unwrap();
+            db.put(format!("key{k:04}").as_bytes(), &[b'v'; 24])
+                .unwrap();
         }
         if idle_bursts && step % 400 == 399 {
             // Idle time: the clock advances while no writes arrive. The
@@ -78,7 +79,11 @@ fn check_bound(seed: u64, d_th: u64, alloc: TtlAllocation, idle_bursts: bool) {
         advanced += step_size;
         db.maintain().unwrap();
     }
-    assert_eq!(db.live_tombstones(), 0, "all tombstones must eventually purge");
+    assert_eq!(
+        db.live_tombstones(),
+        0,
+        "all tombstones must eventually purge"
+    );
     use std::sync::atomic::Ordering::Relaxed;
     assert_eq!(
         db.stats().persistence_violations.load(Relaxed),
@@ -126,7 +131,8 @@ fn baseline_without_fade_does_violate() {
     o.fade = None;
     let db = Db::open(Arc::new(MemFs::new()), "db", o).unwrap();
     for i in 0..300u32 {
-        db.put(format!("key{i:04}").as_bytes(), &[b'v'; 24]).unwrap();
+        db.put(format!("key{i:04}").as_bytes(), &[b'v'; 24])
+            .unwrap();
     }
     for i in 0..300u32 {
         db.delete(format!("key{i:04}").as_bytes()).unwrap();
@@ -134,6 +140,11 @@ fn baseline_without_fade_does_violate() {
     db.flush().unwrap();
     db.advance_clock(100_000);
     db.maintain().unwrap();
-    let age = db.oldest_live_tombstone_age().expect("baseline keeps tombstones");
-    assert!(age > 3_000, "baseline tombstones should exceed any reasonable threshold");
+    let age = db
+        .oldest_live_tombstone_age()
+        .expect("baseline keeps tombstones");
+    assert!(
+        age > 3_000,
+        "baseline tombstones should exceed any reasonable threshold"
+    );
 }

@@ -1,0 +1,363 @@
+//! End-to-end tests for the service layer: the wire must change the
+//! medium, never the answer.
+//!
+//! * the same seeded workload driven embedded and over loopback TCP is
+//!   *result-identical* (per-op digests and full-scan byte equality);
+//! * concurrent clients observe linearizable, monotone values;
+//! * malformed frames (garbage, bad checksums, lying lengths,
+//!   truncation) can neither panic nor wedge the server;
+//! * engine stall pressure surfaces as `Busy` at the wire instead of
+//!   unbounded queueing, and clears once maintenance catches up;
+//! * graceful shutdown answers what was already accepted and then
+//!   refuses new connections.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use acheron::{Db, DbOptions};
+use acheron_server::wire::{encode_frame, FrameDecoder, DEFAULT_MAX_FRAME_BYTES};
+use acheron_server::{Client, ClientOptions, Request, Response, Server, ServerOptions};
+use acheron_vfs::MemFs;
+use acheron_workload::{run_ops, KeyDistribution, OpMix, WorkloadGen, WorkloadSpec};
+
+fn open_db(opts: DbOptions) -> Arc<Db> {
+    Arc::new(Db::open(Arc::new(MemFs::new()), "db", opts).unwrap())
+}
+
+fn start(db: &Arc<Db>) -> Server {
+    Server::start(Arc::clone(db), "127.0.0.1:0", ServerOptions::default()).unwrap()
+}
+
+#[test]
+fn embedded_and_networked_runs_are_result_identical() {
+    let ops = WorkloadGen::new(WorkloadSpec::new(
+        OpMix::mixed(40, 10, 40, 10),
+        KeyDistribution::uniform(2_000),
+    ))
+    .take(6_000);
+
+    let embedded_db = open_db(DbOptions::small());
+    let embedded = run_ops(&*embedded_db, &ops).unwrap();
+
+    let served_db = open_db(DbOptions::small());
+    let mut server = start(&served_db);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let remote = run_ops(&mut client, &ops).unwrap();
+
+    // Per-op read results digested identically...
+    assert_eq!(embedded.check_digest, remote.check_digest);
+    assert_eq!(embedded.get_hits, remote.get_hits);
+    assert_eq!(embedded.get_misses, remote.get_misses);
+    assert_eq!(embedded.scan_rows, remote.scan_rows);
+
+    // ...and the final database contents are byte-identical, read back
+    // through the wire.
+    let embedded_rows: Vec<(Vec<u8>, Vec<u8>)> = embedded_db
+        .scan(b"", &[0xff; 16])
+        .unwrap()
+        .into_iter()
+        .map(|(k, v)| (k.to_vec(), v.to_vec()))
+        .collect();
+    let remote_rows = client.scan(b"", &[0xff; 16]).unwrap();
+    assert_eq!(embedded_rows, remote_rows);
+    assert!(!embedded_rows.is_empty(), "workload must leave data behind");
+
+    server.shutdown();
+    embedded_db.verify_integrity().unwrap();
+    served_db.verify_integrity().unwrap();
+}
+
+#[test]
+fn concurrent_clients_observe_monotone_values() {
+    // Small buffers so the run crosses flushes and compactions.
+    let db = open_db(DbOptions {
+        write_buffer_bytes: 8 << 10,
+        level1_target_bytes: 32 << 10,
+        target_file_bytes: 16 << 10,
+        page_size: 1024,
+        max_levels: 4,
+        ..DbOptions::default()
+    });
+    let mut server = start(&db);
+    let addr = server.local_addr();
+    let stop = AtomicBool::new(false);
+
+    crossbeam::scope(|s| {
+        // Writer client: monotone values per key.
+        s.spawn(|_| {
+            let mut client = Client::connect(addr).unwrap();
+            for round in 0u64..25 {
+                for k in 0u64..150 {
+                    let key = format!("key{k:05}");
+                    client
+                        .put(key.as_bytes(), format!("{round:020}").as_bytes())
+                        .unwrap();
+                }
+            }
+            stop.store(true, Ordering::Release);
+        });
+        // Reader clients: values must never regress within one reader's
+        // observation sequence.
+        for t in 0..2 {
+            let stop = &stop;
+            s.spawn(move |_| {
+                let mut client = Client::connect(addr).unwrap();
+                let mut last_seen: Vec<u64> = vec![0; 150];
+                let mut k = t as u64;
+                while !stop.load(Ordering::Acquire) {
+                    k = (k + 37) % 150;
+                    let key = format!("key{k:05}");
+                    if let Some(v) = client.get(key.as_bytes()).unwrap() {
+                        let round: u64 = std::str::from_utf8(&v)
+                            .unwrap()
+                            .trim_start_matches('0')
+                            .parse()
+                            .unwrap_or(0);
+                        assert!(
+                            round >= last_seen[k as usize],
+                            "value regressed for {key}: {round} < {}",
+                            last_seen[k as usize]
+                        );
+                        last_seen[k as usize] = round;
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let mut client = Client::connect(addr).unwrap();
+    for k in 0u64..150 {
+        let v = client
+            .get(format!("key{k:05}").as_bytes())
+            .unwrap()
+            .unwrap();
+        assert_eq!(&v[..], format!("{:020}", 24).as_bytes());
+    }
+    server.shutdown();
+    db.verify_integrity().unwrap();
+}
+
+/// Write raw bytes at the server and drain whatever comes back until it
+/// closes the connection (or 5s pass, which would mean a wedged server).
+fn poke_raw(addr: std::net::SocketAddr, bytes: &[u8]) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // The server may close mid-write on garbage; that's fine. Closing
+    // our write half tells the server no more bytes are coming, which
+    // turns a trailing partial frame into a detectable truncation.
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                panic!("server neither answered nor closed a poisoned connection")
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[test]
+fn malformed_frames_cannot_panic_or_wedge_the_server() {
+    let db = open_db(DbOptions::small());
+    let mut server = start(&db);
+    let addr = server.local_addr();
+
+    // A frame with a checksum that doesn't match its payload.
+    let mut bad_crc = Vec::new();
+    encode_frame(&Request::Ping.encode(), &mut bad_crc);
+    let last = bad_crc.len() - 1;
+    bad_crc[last] ^= 0xff;
+    poke_raw(addr, &bad_crc);
+
+    // A length prefix far beyond the frame cap.
+    let mut oversize = Vec::new();
+    oversize.extend_from_slice(&(u32::MAX).to_le_bytes());
+    oversize.extend_from_slice(&0u32.to_le_bytes());
+    poke_raw(addr, &oversize);
+
+    // A valid header whose body never arrives (close mid-frame).
+    let mut truncated = Vec::new();
+    encode_frame(&Request::Stats.encode(), &mut truncated);
+    poke_raw(addr, &truncated[..truncated.len() - 1]);
+
+    // A well-formed frame whose payload is garbage for the codec.
+    let mut bad_payload = Vec::new();
+    encode_frame(&[0xde, 0xad, 0xbe, 0xef], &mut bad_payload);
+    poke_raw(addr, &bad_payload);
+
+    // Deterministic pseudo-random garbage streams.
+    let mut seed = 0x243f6a8885a308d3u64;
+    for round in 0..16 {
+        let n = 32 + round * 17;
+        let bytes: Vec<u8> = (0..n)
+            .map(|_| {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (seed >> 33) as u8
+            })
+            .collect();
+        poke_raw(addr, &bytes);
+    }
+
+    // After all of that the server still answers a well-formed client.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    client.put(b"still", b"alive").unwrap();
+    assert_eq!(
+        client.get(b"still").unwrap().as_deref(),
+        Some(&b"alive"[..])
+    );
+    let stats = client.stats().unwrap();
+    let proto_errors = stats
+        .iter()
+        .find(|(n, _)| n == "server_protocol_errors")
+        .map(|(_, v)| *v)
+        .unwrap();
+    assert!(
+        proto_errors >= 4,
+        "expected the poisoned connections to be counted"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stalled_engine_sheds_writes_with_busy_then_recovers() {
+    // Background mode with a tiny write buffer and a one-deep sealed
+    // queue: with maintenance paused, a couple of kilobytes of writes
+    // push the engine into its stall regime.
+    let db = open_db(DbOptions {
+        write_buffer_bytes: 4 << 10,
+        max_imm_memtables: 1,
+        background_threads: 1,
+        ..DbOptions::default()
+    });
+    let mut server = start(&db);
+    let mut client = Client::connect_with(
+        server.local_addr(),
+        ClientOptions {
+            busy_retries: 0,
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap();
+
+    let pause = db.pause_maintenance();
+    let mut saw_busy = false;
+    for i in 0..200u32 {
+        let req = Request::Put {
+            key: format!("key{i:06}").into_bytes(),
+            value: vec![b'x'; 256],
+            dkey: None,
+        };
+        match client.request(&req).unwrap() {
+            Response::Unit => {}
+            Response::Busy => {
+                saw_busy = true;
+                break;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(
+        saw_busy,
+        "paused maintenance + tiny buffers must trigger Busy shedding"
+    );
+
+    // Reads are still served while writes are shed.
+    client.get(b"key000000").unwrap();
+
+    // The typed client surfaces exhausted busy retries as Error::Busy.
+    let err = client.put(b"one-more", b"write").unwrap_err();
+    assert!(err.is_busy(), "expected a busy error, got {err}");
+
+    // Resume maintenance; once the engine catches up, writes flow again.
+    drop(pause);
+    db.wait_idle().unwrap();
+    client.put(b"after", b"recovery").unwrap();
+    assert_eq!(
+        client.get(b"after").unwrap().as_deref(),
+        Some(&b"recovery"[..])
+    );
+
+    let stats = client.stats().unwrap();
+    let busy = stats
+        .iter()
+        .find(|(n, _)| n == "server_busy_responses")
+        .map(|(_, v)| *v)
+        .unwrap();
+    assert!(busy >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_accepted_work_then_refuses_connections() {
+    let db = open_db(DbOptions::small());
+    let mut server = start(&db);
+    let addr = server.local_addr();
+
+    // Send a pipelined burst and give the server a moment to process it
+    // (responses land in the client's socket buffer), then shut down.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut burst = Vec::new();
+    let n = 50u32;
+    for i in 0..n {
+        let req = Request::Put {
+            key: format!("key{i:04}").into_bytes(),
+            value: b"v".to_vec(),
+            dkey: None,
+        };
+        encode_frame(&req.encode(), &mut burst);
+    }
+    stream.write_all(&burst).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    server.shutdown();
+
+    // Every accepted request was answered before the server stopped.
+    let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_BYTES);
+    let mut responses = 0u32;
+    let mut buf = [0u8; 4096];
+    'read: loop {
+        while let Some(frame) = decoder.next_frame().unwrap() {
+            assert_eq!(Response::decode(&frame).unwrap(), Response::Unit);
+            responses += 1;
+            if responses == n {
+                break 'read;
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(read) => decoder.feed(&buf[..read]),
+            Err(_) => break,
+        }
+    }
+    assert_eq!(
+        responses, n,
+        "in-flight pipeline must be drained on shutdown"
+    );
+
+    // The writes really landed.
+    assert!(db.get(b"key0049").unwrap().is_some());
+
+    // New connections are refused (or at best immediately useless).
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => assert!(late.ping().is_err(), "server must not serve after shutdown"),
+    }
+}

@@ -26,8 +26,12 @@ type Rows = Vec<(Bytes, Bytes)>;
 fn snapshot_scans_are_frozen_across_churn() {
     let db = Db::open(Arc::new(MemFs::new()), "db", opts()).unwrap();
     for i in 0..800u32 {
-        db.put_with_dkey(format!("key{i:04}").as_bytes(), format!("v{i}").as_bytes(), u64::from(i))
-            .unwrap();
+        db.put_with_dkey(
+            format!("key{i:04}").as_bytes(),
+            format!("v{i}").as_bytes(),
+            u64::from(i),
+        )
+        .unwrap();
     }
     for i in (0..800u32).step_by(7) {
         db.delete(format!("key{i:04}").as_bytes()).unwrap();
@@ -42,7 +46,8 @@ fn snapshot_scans_are_frozen_across_churn() {
     let expect2: Rows = db.scan(b"key0000", b"key9999").unwrap();
 
     for i in 0..800u32 {
-        db.put(format!("key{i:04}").as_bytes(), b"overwritten").unwrap();
+        db.put(format!("key{i:04}").as_bytes(), b"overwritten")
+            .unwrap();
     }
     let snap3 = db.snapshot();
     let expect3: Rows = db.scan(b"key0000", b"key9999").unwrap();
@@ -77,11 +82,13 @@ fn snapshot_scans_are_frozen_across_churn() {
 fn dropping_snapshots_releases_pinned_versions() {
     let db = Db::open(Arc::new(MemFs::new()), "db", opts()).unwrap();
     for i in 0..500u32 {
-        db.put(format!("key{i:04}").as_bytes(), &[b'x'; 64]).unwrap();
+        db.put(format!("key{i:04}").as_bytes(), &[b'x'; 64])
+            .unwrap();
     }
     let snap = db.snapshot();
     for i in 0..500u32 {
-        db.put(format!("key{i:04}").as_bytes(), &[b'y'; 64]).unwrap();
+        db.put(format!("key{i:04}").as_bytes(), &[b'y'; 64])
+            .unwrap();
     }
     db.compact_all().unwrap();
     let pinned_bytes = db.table_bytes();
@@ -92,12 +99,16 @@ fn dropping_snapshots_releases_pinned_versions() {
     // Old versions are reclaimed when compaction next touches them; a
     // fresh overwrite round forces the bottom to be rewritten.
     for i in 0..500u32 {
-        db.put(format!("key{i:04}").as_bytes(), &[b'z'; 64]).unwrap();
+        db.put(format!("key{i:04}").as_bytes(), &[b'z'; 64])
+            .unwrap();
     }
     db.compact_all().unwrap();
     let released_bytes = db.table_bytes();
     let released_entries: u64 = db.level_summary().iter().map(|l| l.entries).sum();
-    assert_eq!(released_entries, 500, "without the snapshot only the newest stratum survives");
+    assert_eq!(
+        released_entries, 500,
+        "without the snapshot only the newest stratum survives"
+    );
     assert!(
         released_bytes < pinned_bytes,
         "reclaim should shrink the footprint ({released_bytes} vs {pinned_bytes})"
@@ -126,7 +137,10 @@ fn range_delete_respects_snapshot_boundaries() {
     let after_rt = db.snapshot();
     db.compact_all().unwrap();
     // A snapshot taken before the range delete does not see it.
-    assert_eq!(db.get_at(&before_rt, b"a").unwrap().as_deref(), Some(&b"v"[..]));
+    assert_eq!(
+        db.get_at(&before_rt, b"a").unwrap().as_deref(),
+        Some(&b"v"[..])
+    );
     // A snapshot taken after does.
     assert_eq!(db.get_at(&after_rt, b"a").unwrap(), None);
 }
