@@ -26,7 +26,7 @@ fn entry(i: u64) -> Entry {
 fn bench_memtable(c: &mut Criterion) {
     c.bench_function("memtable/insert_10k", |b| {
         b.iter(|| {
-            let mut m = Memtable::new();
+            let m = Memtable::new();
             for i in 0..10_000u64 {
                 m.insert(entry((i * 2_654_435_761) % 1_000_000));
             }
@@ -34,7 +34,7 @@ fn bench_memtable(c: &mut Criterion) {
         })
     });
 
-    let mut filled = Memtable::new();
+    let filled = Memtable::new();
     for i in 0..10_000u64 {
         filled.insert(entry(i));
     }

@@ -127,7 +127,7 @@ fn main() {
     );
     println!(
         "Expected shape: per-op round trips pay a large latency tax; pipelining\n\
-         recovers most of it (amortized syscalls + server-side write batching).\n\
+         recovers most of it (amortized syscalls + engine-side group commit).\n\
          Digests must match — the wire changes the medium, never the answer."
     );
 }

@@ -2,17 +2,34 @@
 //!
 //! # Concurrency model
 //!
-//! One writer at a time; readers share a `RwLock` over the mutable state
-//! (active memtable + sealed-memtable queue + current version pointer).
+//! Neither hot path holds the global state lock across I/O.
+//!
+//! **Writes** go through a group-commit queue: each committer enqueues
+//! its op batch; the first to find no leader active drains the queue,
+//! appends one WAL record per batch, fsyncs once for the whole group
+//! (outside the state lock), publishes the group's memtable inserts and
+//! sequence numbers, and hands every follower its result through a
+//! condvar. Memtable sealing and secondary range deletes take the same
+//! commit-exclusion token the leader holds, so the WAL writer and the
+//! seqno allocator are single-owner without a long-held lock.
+//!
+//! **Reads** never touch the state lock at all: every structural change
+//! publishes an immutable [`ReadView`] (active memtable handle, sealed
+//! queue, version pointer, visible seqno, range tombstones) behind an
+//! `Arc` swap; `get`/`scan`/`snapshot` clone the current view in O(1)
+//! and run entirely against it. Lookups early-exit: sources are probed
+//! newest-first (memtable, sealed queue, L0 by max seqno, deeper
+//! levels) and a source whose seqno ceiling cannot beat the best
+//! version found so far is skipped without I/O.
+//!
 //! Maintenance — memtable flushes and compactions, including FADE's
 //! TTL-driven ones — runs on a pool of background worker threads sized
-//! by [`DbOptions::background_threads`]. Writers seal a full memtable
-//! onto a queue and continue into a fresh one; when the L0 file count or
-//! the sealed queue exceeds its configured limit, writes are first
-//! slowed and then stalled on a condition variable until the workers
-//! catch up. With `background_threads = 0` every flush and compaction
-//! instead runs synchronously inside the write path, so a given op
-//! sequence always produces the same tree — the deterministic mode the
+//! by [`DbOptions::background_threads`]. When the L0 file count or the
+//! sealed queue exceeds its configured limit, writes are first slowed
+//! and then stalled on a condition variable until the workers catch up.
+//! With `background_threads = 0` every flush and compaction instead
+//! runs synchronously inside the write path, so a given op sequence
+//! always produces the same tree — the deterministic mode the
 //! experiments use (`DbOptions::small`). The full lock hierarchy,
 //! task-claiming protocol, and crash-safety invariants are documented in
 //! `ARCHITECTURE.md` at the repository root.
@@ -34,7 +51,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acheron_memtable::Memtable;
-use acheron_types::{Clock, DeleteKeyRange, Error, RangeTombstone, Result, SeqNo, Tick, MAX_SEQNO};
+use acheron_types::{
+    Clock, DeleteKeyRange, Entry, Error, RangeTombstone, Result, SeqNo, Tick, MAX_SEQNO,
+};
 use acheron_vfs::Vfs;
 use acheron_wal::{recover_records, LogWriter, WalBatch, WalOp};
 use bytes::Bytes;
@@ -75,23 +94,101 @@ struct ImmMemtable {
     max_seqno: SeqNo,
 }
 
+/// What `initialize`/`recover` hand to `open`: the initial state plus
+/// the pieces that live outside the state lock (the active WAL writer
+/// and the seqno the allocator starts from).
+struct Bootstrap {
+    state: State,
+    wal: LogWriter,
+    last_seqno: SeqNo,
+    next_file_id: u64,
+}
+
 struct State {
-    mem: Memtable,
+    mem: Arc<Memtable>,
     /// Sealed memtables awaiting flush, oldest first. Flushes install in
     /// queue order so `persisted_seqno` advances monotonically.
     imms: VecDeque<ImmMemtable>,
-    wal: LogWriter,
     /// WAL segments that may still hold unflushed data (the active one
     /// last; one segment per queued sealed memtable before it).
     live_wals: Vec<u64>,
     version: Arc<Version>,
-    last_seqno: SeqNo,
     persisted_seqno: SeqNo,
     manifest: ManifestWriter,
     /// Earliest tick at which a FADE TTL expires somewhere in the tree
     /// (None = nothing expires / FADE off). Maintained incrementally so
     /// the write path checks it in O(1).
     ttl_deadline: Option<Tick>,
+}
+
+/// Everything the read paths need, captured immutably. Structural
+/// mutations (seal, flush install, compaction install, range delete)
+/// build a fresh view under the state lock and swap the shared `Arc`;
+/// readers clone the `Arc` in O(1) and run against it with no further
+/// synchronization — in particular, no lock is held across SSTable
+/// block reads, and a view outlives any concurrent compaction (the
+/// `Arc<Table>`s pin the files).
+///
+/// Plain commits do **not** republish the view: they insert into the
+/// concurrently readable `mem` the view already references and advance
+/// [`DbCore::visible_seqno`]. The ordering rule for latest-state reads
+/// is *load `visible_seqno` first, then the view*: every write counted
+/// by the loaded seqno already sits in a memtable / table `Arc` that is
+/// carried into whichever view the subsequent load observes, so the
+/// ceiling can never name an entry the view lacks. (The reverse order
+/// could: a seal between the two loads would strand fresh writes in a
+/// memtable the stale view does not reference.)
+struct ReadView {
+    mem: Arc<Memtable>,
+    /// Sealed memtables, newest first (the probe order for lookups).
+    imms: Vec<Arc<Memtable>>,
+    version: Arc<Version>,
+    /// All live range tombstones; readers filter by seqno in place
+    /// rather than allocating a filtered copy per lookup.
+    rts: Arc<[RangeTombstone]>,
+}
+
+/// One committer's entry in the group-commit queue. The enqueuer parks
+/// on [`DbCore::commit_cv`] until a leader fills `result`.
+#[derive(Default)]
+struct CommitRequest {
+    /// Set (under no lock but before the leader's wakeup notify) once
+    /// the group's fate is decided. Errors are distributed as strings
+    /// (one failure fails the whole group) because [`Error`] is not
+    /// `Clone`.
+    result: Mutex<Option<std::result::Result<(), String>>>,
+}
+
+/// A queued (request, ops) pair the next leader will commit.
+struct PendingCommit {
+    req: Arc<CommitRequest>,
+    ops: Vec<WalOp>,
+}
+
+/// Group-commit coordination state. Guarded by [`DbCore::commit`].
+#[derive(Default)]
+struct CommitQueue {
+    queue: Vec<PendingCommit>,
+    /// True while a commit leader (or an exclusive section: memtable
+    /// seal, range delete) owns the WAL writer + seqno allocator.
+    exclusive: bool,
+}
+
+/// RAII token for the commit-exclusion domain: while held, no commit
+/// leader runs and no other exclusive section is active, so the holder
+/// may seal the memtable (swap the WAL writer) or allocate seqnos.
+/// Acquired *before* the state lock (see the lock hierarchy in
+/// ARCHITECTURE.md).
+struct CommitExclusion<'a> {
+    core: &'a DbCore,
+}
+
+impl Drop for CommitExclusion<'_> {
+    fn drop(&mut self) {
+        let mut q = self.core.commit.lock();
+        q.exclusive = false;
+        self.core.commit_cv.notify_all();
+    }
 }
 
 /// Executor control state. Guarded by `DbCore::maint`, which is never
@@ -127,6 +224,25 @@ struct DbCore {
     cache: Option<Arc<acheron_sstable::BlockCache>>,
     snapshots: Mutex<BTreeMap<SeqNo, usize>>,
     state: RwLock<State>,
+    /// The active WAL writer. Its own mutex (not part of `state`) so a
+    /// group fsync never blocks readers or maintenance installs. Only
+    /// commit leaders and exclusive sections touch it.
+    wal: Mutex<LogWriter>,
+    /// Group-commit queue + exclusion flag.
+    commit: Mutex<CommitQueue>,
+    /// Wakes queued committers (their result arrived, or leadership is
+    /// free) and exclusion waiters.
+    commit_cv: Condvar,
+    /// The current read view. Writers to this lock only ever *store* a
+    /// prebuilt `Arc` (never hold it across work), so readers observe a
+    /// few-instruction critical section — an `Arc` swap in effect.
+    view: RwLock<Arc<ReadView>>,
+    /// Highest sequence number handed out (WAL-ordered). Advanced only
+    /// inside the commit-exclusion domain.
+    seq_alloc: AtomicU64,
+    /// Highest sequence number published to readers (memtable inserts
+    /// complete, result about to be acknowledged).
+    visible_seqno: AtomicU64,
     /// File-id allocator, shared lock-free so workers can name output
     /// tables without holding the state lock during a merge.
     next_file_id: AtomicU64,
@@ -363,10 +479,16 @@ impl Db {
         fs.mkdir_all(dir)?;
         let cache = (opts.block_cache_bytes > 0)
             .then(|| Arc::new(acheron_sstable::BlockCache::new(opts.block_cache_bytes)));
-        let (state, next_file_id) = match read_current(fs.as_ref(), dir)? {
+        let boot = match read_current(fs.as_ref(), dir)? {
             None => Self::initialize(&fs, dir, &opts)?,
             Some(manifest) => Self::recover(&fs, dir, &opts, &manifest, cache.as_ref())?,
         };
+        let view = Arc::new(ReadView {
+            mem: Arc::clone(&boot.state.mem),
+            imms: Vec::new(),
+            version: Arc::clone(&boot.state.version),
+            rts: boot.state.version.range_tombstones.clone().into(),
+        });
         let core = Arc::new(DbCore {
             picker: Picker::new(&opts),
             fs,
@@ -375,8 +497,14 @@ impl Db {
             stats: DbStats::default(),
             cache,
             snapshots: Mutex::new(BTreeMap::new()),
-            state: RwLock::new(state),
-            next_file_id: AtomicU64::new(next_file_id),
+            state: RwLock::new(boot.state),
+            wal: Mutex::new(boot.wal),
+            commit: Mutex::new(CommitQueue::default()),
+            commit_cv: Condvar::new(),
+            view: RwLock::new(view),
+            seq_alloc: AtomicU64::new(boot.last_seqno),
+            visible_seqno: AtomicU64::new(boot.last_seqno),
+            next_file_id: AtomicU64::new(boot.next_file_id),
             maint: Mutex::new(MaintState::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -411,9 +539,8 @@ impl Db {
         &self.inner.core
     }
 
-    /// Create a fresh database directory layout. Returns the initial
-    /// state and the next free file id.
-    fn initialize(fs: &Arc<dyn Vfs>, dir: &str, opts: &DbOptions) -> Result<(State, u64)> {
+    /// Create a fresh database directory layout.
+    fn initialize(fs: &Arc<dyn Vfs>, dir: &str, opts: &DbOptions) -> Result<Bootstrap> {
         let mut next_file_id = 1u64;
         let manifest_number = next_file_id;
         next_file_id += 1;
@@ -433,31 +560,30 @@ impl Db {
         // durable before the open reports success.
         fs.sync_dir(dir)?;
         let wal = LogWriter::new(fs.create(&wal_path(dir, wal_number))?);
-        Ok((
-            State {
-                mem: Memtable::new(),
+        Ok(Bootstrap {
+            state: State {
+                mem: Arc::new(Memtable::new()),
                 imms: VecDeque::new(),
-                wal,
                 live_wals: vec![wal_number],
                 version: Arc::new(Version::empty(opts.max_levels)),
-                last_seqno: 0,
                 persisted_seqno: 0,
                 manifest,
                 ttl_deadline: None,
             },
+            wal,
+            last_seqno: 0,
             next_file_id,
-        ))
+        })
     }
 
-    /// Recover from an existing manifest + WAL set. Returns the
-    /// recovered state and the next free file id.
+    /// Recover from an existing manifest + WAL set.
     fn recover(
         fs: &Arc<dyn Vfs>,
         dir: &str,
         opts: &DbOptions,
         manifest: &str,
         cache: Option<&Arc<acheron_sstable::BlockCache>>,
-    ) -> Result<(State, u64)> {
+    ) -> Result<Bootstrap> {
         let batches = read_manifest(fs.as_ref(), &acheron_vfs::join(dir, manifest))?;
         // Fold edits into the recovered metadata state.
         struct RecFile {
@@ -558,7 +684,7 @@ impl Db {
         // history — resurrecting overwritten values and, worse, deleted
         // keys. How segments past a tear are handled depends on the
         // durability mode — see the tear block below.
-        let mut mem = Memtable::new();
+        let mem = Memtable::new();
         let mut last_seqno = persisted_seqno.max(rts.iter().map(|rt| rt.seqno).max().unwrap_or(0));
         let mut replayed: Vec<u64> = Vec::new();
         let mut dropped_wals: Vec<u64> = Vec::new();
@@ -725,20 +851,20 @@ impl Db {
             .unwrap_or(0);
         opts.clock_advance_to(max_tick);
 
-        Ok((
-            State {
-                mem,
+        Ok(Bootstrap {
+            state: State {
+                mem: Arc::new(mem),
                 imms: VecDeque::new(),
-                wal,
                 live_wals,
                 version: Arc::new(version),
-                last_seqno,
                 persisted_seqno,
                 manifest,
                 ttl_deadline: None,
             },
+            wal,
+            last_seqno,
             next_file_id,
-        ))
+        })
     }
 
     // ------------------------------------------------------------------
@@ -796,90 +922,66 @@ impl Db {
         self.write_ops(vec![op])
     }
 
+    /// Group commit. The calling thread enqueues its ops and either
+    /// becomes the leader (drains the whole queue, appends + fsyncs the
+    /// WAL once outside the state lock, publishes the group) or parks
+    /// until a leader hands it the group's result.
     fn write_ops(&self, ops: Vec<WalOp>) -> Result<()> {
         let core = self.core();
         // Backpressure first, before any lock: stalled writers hold
-        // nothing, so workers and readers proceed freely.
+        // nothing, so workers, readers, and commit leaders proceed
+        // freely.
         core.throttle_writes()?;
-        let mut st = core.state.write();
-        let base = st.last_seqno + 1;
-        if base > MAX_SEQNO {
-            return Err(Error::Internal("sequence number space exhausted".into()));
-        }
-        let batch = WalBatch {
-            base_seqno: base,
-            ops,
-        };
-        st.wal.add_record(&batch.encode())?;
-        if core.opts.wal_sync {
-            st.wal.sync()?;
-        }
-        let (entries, _ranges) = batch.entries();
-        for e in entries {
-            match e.kind {
-                acheron_types::ValueKind::Put => {
-                    core.stats.puts.fetch_add(1, Ordering::Relaxed);
-                }
-                acheron_types::ValueKind::Tombstone => {
-                    core.stats.deletes.fetch_add(1, Ordering::Relaxed);
-                }
-                acheron_types::ValueKind::RangeTombstone => {}
-            }
-            core.stats
-                .user_bytes
-                .fetch_add((e.key.len() + e.value.len()) as u64, Ordering::Relaxed);
-            st.mem.insert(e);
-        }
-        st.last_seqno = batch.last_seqno();
-        if core.opts.auto_advance_clock {
-            core.opts.clock_advance(batch.ops.len() as u64);
-        }
-
-        // Tighten the cached TTL deadline when a tombstone enters the
-        // buffer (the buffer's oldest tombstone only gets older, so the
-        // first one fixes the buffer deadline until the next flush).
-        if let (Some(ttl), Some(t0)) = (
-            core.picker.ttl_schedule(),
-            st.mem.stats().oldest_tombstone_tick,
-        ) {
-            let mem_deadline = t0.saturating_add(ttl.buffer_ttl());
-            st.ttl_deadline = Some(
-                st.ttl_deadline
-                    .map_or(mem_deadline, |d| d.min(mem_deadline)),
-            );
-        }
-
-        let mut kick = false;
-        if st.mem.approximate_bytes() >= core.opts.write_buffer_bytes {
-            core.seal_memtable_locked(&mut st)?;
-            if core.background() {
-                // Workers flush the sealed queue; the writer moves on.
-                kick = true;
-            } else {
-                core.flush_imms_locked(&mut st)?;
-                core.maintain_locked(&mut st)?;
-            }
-        } else if let Some(deadline) = st.ttl_deadline {
-            // Exact FADE trigger: something's residency budget ran out.
-            if core.opts.clock.now() > deadline {
-                if core.background() {
-                    kick = true;
-                } else {
-                    if let Some(ttl) = core.picker.ttl_schedule() {
-                        if ttl.buffer_expired(&st.mem, core.opts.clock.now()) {
-                            core.seal_memtable_locked(&mut st)?;
-                            core.flush_imms_locked(&mut st)?;
-                        }
+        let mut q = core.commit.lock();
+        if !q.exclusive && q.queue.is_empty() {
+            // Uncontended fast path: commit alone as a group of one,
+            // with no request allocation or result round-trip.
+            q.exclusive = true;
+            drop(q);
+            let outcome = core.commit_group_inner(vec![ops]);
+            let mut q = core.commit.lock();
+            q.exclusive = false;
+            core.commit_cv.notify_all();
+            drop(q);
+            return match outcome {
+                Ok(kick) => {
+                    if kick {
+                        core.kick_workers();
                     }
-                    core.maintain_locked(&mut st)?;
+                    Ok(())
                 }
+                Err(e) => Err(e),
+            };
+        }
+        let req = Arc::new(CommitRequest::default());
+        q.queue.push(PendingCommit {
+            req: Arc::clone(&req),
+            ops,
+        });
+        loop {
+            // A previous leader may have committed us while we waited
+            // for the queue lock or the condvar.
+            if let Some(res) = req.result.lock().take() {
+                return res.map_err(Error::Internal);
             }
+            if !q.exclusive {
+                // Become the leader for everything queued so far.
+                q.exclusive = true;
+                let group = std::mem::take(&mut q.queue);
+                drop(q);
+                let kick = core.commit_group(group);
+                let mut q = core.commit.lock();
+                q.exclusive = false;
+                core.commit_cv.notify_all();
+                drop(q);
+                if kick {
+                    core.kick_workers();
+                }
+                let res = req.result.lock().take().expect("leader result is set");
+                return res.map_err(Error::Internal);
+            }
+            core.commit_cv.wait(&mut q);
         }
-        drop(st);
-        if kick {
-            core.kick_workers();
-        }
-        Ok(())
     }
 
     /// Secondary range delete: physically erase every entry whose delete
@@ -892,18 +994,26 @@ impl Db {
             return Err(Error::invalid_argument("range_delete_secondary: lo > hi"));
         }
         let core = self.core();
+        // Seqno allocation requires the commit-exclusion domain (no
+        // leader may interleave an allocation with ours).
+        let _excl = core.commit_exclusive();
         let mut st = core.state.write();
-        let seqno = st.last_seqno + 1;
-        st.last_seqno = seqno;
+        let seqno = core.seq_alloc.load(Ordering::Relaxed) + 1;
+        if seqno > MAX_SEQNO {
+            return Err(Error::Internal("sequence number space exhausted".into()));
+        }
+        core.seq_alloc.store(seqno, Ordering::Relaxed);
         let rt = RangeTombstone { seqno, range };
         st.manifest.append(&EditBatch {
             edits: vec![VersionEdit::AddRangeTombstone { seqno, range }],
         })?;
         st.version = Arc::new(st.version.apply(vec![], &[], &[rt], &[]));
+        core.visible_seqno.store(seqno, Ordering::Release);
         core.stats.range_deletes.fetch_add(1, Ordering::Relaxed);
         if core.opts.auto_advance_clock {
             core.opts.clock_advance(1);
         }
+        core.publish_view_locked(&st);
         Ok(())
     }
 
@@ -914,6 +1024,7 @@ impl Db {
         let core = self.core();
         let _pause = core.paused();
         core.check_background_error()?;
+        let _excl = core.commit_exclusive();
         let mut st = core.state.write();
         core.seal_memtable_locked(&mut st)?;
         core.flush_imms_locked(&mut st)
@@ -927,6 +1038,7 @@ impl Db {
         let core = self.core();
         let _pause = core.paused();
         core.check_background_error()?;
+        let _excl = core.commit_exclusive();
         let mut st = core.state.write();
         core.seal_memtable_locked(&mut st)?;
         core.flush_imms_locked(&mut st)?;
@@ -1022,6 +1134,7 @@ impl Db {
         let core = self.core();
         let _pause = core.paused();
         core.check_background_error()?;
+        let _excl = core.commit_exclusive();
         let mut st = core.state.write();
         if let Some(ttl) = core.picker.ttl_schedule() {
             if ttl.buffer_expired(&st.mem, core.opts.clock.now()) {
@@ -1074,49 +1187,82 @@ impl Db {
     // Read path
     // ------------------------------------------------------------------
 
-    /// Point lookup at the latest state.
+    /// Point lookup at the latest state. Lock-free: one atomic load for
+    /// the read point, one `Arc` clone for the view, then the lookup
+    /// runs entirely against the immutable view. The seqno MUST be
+    /// loaded before the view — see the ordering rule on [`ReadView`].
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
-        let snapshot = self.core().state.read().last_seqno;
-        self.get_at_seqno(key, snapshot)
+        let core = self.core();
+        let snapshot = core.visible_seqno.load(Ordering::Acquire);
+        let view = core.current_view();
+        self.get_in_view(&view, key, snapshot)
     }
 
     /// Point lookup at a snapshot.
     pub fn get_at(&self, snap: &Snapshot, key: &[u8]) -> Result<Option<Bytes>> {
-        self.get_at_seqno(key, snap.seqno)
+        let view = self.core().current_view();
+        self.get_in_view(&view, key, snap.seqno)
     }
 
-    fn get_at_seqno(&self, key: &[u8], snapshot: SeqNo) -> Result<Option<Bytes>> {
+    /// Early-exit newest-wins lookup. Sources are probed in recency
+    /// order — active memtable, sealed memtables newest-first, L0
+    /// newest-first, then deeper levels — and each source is skipped
+    /// outright when its seqno ceiling cannot beat the best version
+    /// found so far. Correctness does not depend on the probe order:
+    /// the per-file `max_seqno` bound is what allows a skip, which also
+    /// stays sound when FADE's TTL descents sink newer versions below
+    /// older runs. Table probes consult the per-page bloom filters
+    /// internally before any block read.
+    fn get_in_view(&self, view: &ReadView, key: &[u8], snapshot: SeqNo) -> Result<Option<Bytes>> {
         let core = self.core();
         core.stats.gets.fetch_add(1, Ordering::Relaxed);
-        let st = core.state.read();
-        let visible_rts: Vec<RangeTombstone> = st
-            .version
-            .range_tombstones
-            .iter()
-            .filter(|rt| rt.seqno <= snapshot)
-            .copied()
-            .collect();
 
-        let mut candidates = st.mem.versions(key, snapshot);
-        for imm in &st.imms {
-            candidates.extend(imm.mem.versions(key, snapshot));
-        }
-        for f in st.version.all_files() {
-            if f.contains_key(key) {
-                // Read-path page skipping is disabled (`&[]`): the newest
-                // version must be seen even when range-erased, because it
-                // is what decides the key's visibility.
-                candidates.extend(f.table.get_versions(key, snapshot, &[])?);
+        let mut best: Option<Entry> = view.mem.newest_visible(key, snapshot);
+
+        // Sealed memtables, newest first: their ceilings are strictly
+        // decreasing, so once the best beats one it beats the rest.
+        for imm in &view.imms {
+            let ceiling = imm.max_seqno().unwrap_or(0);
+            if best.as_ref().is_some_and(|b| b.seqno >= ceiling) {
+                break;
+            }
+            if let Some(e) = imm.newest_visible(key, snapshot) {
+                if best.as_ref().is_none_or(|b| e.seqno > b.seqno) {
+                    best = Some(e);
+                }
             }
         }
+
+        // L0 files in reverse install order (newest flush last), then
+        // deeper levels. `Table::get` passes no range tombstones (`&[]`)
+        // deliberately: the newest version must be seen even when
+        // range-erased, because it is what decides the key's visibility.
+        let l0 = view.version.levels[0].iter().rev();
+        let deeper = view.version.levels[1..].iter().flatten();
+        for f in l0.chain(deeper) {
+            if f.stats.min_seqno > snapshot
+                || best.as_ref().is_some_and(|b| b.seqno >= f.stats.max_seqno)
+                || !f.contains_key(key)
+            {
+                continue;
+            }
+            if let Some(e) = f.table.get(key, snapshot, &[])? {
+                if best.as_ref().is_none_or(|b| e.seqno > b.seqno) {
+                    best = Some(e);
+                }
+            }
+        }
+
         // Newest-version-decides: the single newest visible version
-        // determines the outcome.
-        let Some(newest) = candidates.into_iter().max_by_key(|c| c.seqno) else {
+        // determines the outcome. The range-tombstone shadow check runs
+        // in place over the view's shared slice — no per-get allocation.
+        let Some(newest) = best else {
             return Ok(None);
         };
-        if visible_rts
+        if view
+            .rts
             .iter()
-            .any(|rt| rt.shadows(newest.seqno, newest.dkey))
+            .any(|rt| rt.seqno <= snapshot && rt.shadows(newest.seqno, newest.dkey))
         {
             return Ok(None); // range-erased
         }
@@ -1129,13 +1275,15 @@ impl Db {
     /// Register a read snapshot at the current sequence number.
     pub fn snapshot(&self) -> Snapshot {
         let core = self.core();
-        // Registration holds the state lock across the snapshots-map
-        // insert so a concurrent compaction cannot pick its snapshot
-        // list between reading `last_seqno` and registering it.
-        let st = core.state.read();
-        let seqno = st.last_seqno;
+        // No state lock needed: the visible seqno is always at or above
+        // every seqno inside any in-flight compaction's inputs (file
+        // seqnos <= persisted <= visible), so a compaction that picked
+        // its snapshot list before this registration cannot drop a
+        // version this snapshot needs — the newest version <= seqno it
+        // keeps anyway is the decider. See ARCHITECTURE.md for the full
+        // ordering argument.
+        let seqno = core.visible_seqno.load(Ordering::Acquire);
         *core.snapshots.lock().entry(seqno).or_insert(0) += 1;
-        drop(st);
         Snapshot {
             core: Arc::clone(&self.inner.core),
             seqno,
@@ -1145,17 +1293,17 @@ impl Db {
     /// Range scan over user keys `[lo, hi]` (inclusive) at the latest
     /// state. Returns key/value pairs in order.
     pub fn scan(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>> {
-        let snapshot = self.core().state.read().last_seqno;
-        self.scan_at_seqno(lo, hi, snapshot)
+        let mut it = self.range_iter(lo, hi)?;
+        let mut out = Vec::new();
+        while let Some(kv) = it.next_entry()? {
+            out.push(kv);
+        }
+        Ok(out)
     }
 
     /// Range scan at a snapshot.
     pub fn scan_at(&self, snap: &Snapshot, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>> {
-        self.scan_at_seqno(lo, hi, snap.seqno)
-    }
-
-    fn scan_at_seqno(&self, lo: &[u8], hi: &[u8], snapshot: SeqNo) -> Result<Vec<(Bytes, Bytes)>> {
-        let mut it = self.range_iter_at_seqno(lo, hi, snapshot)?;
+        let mut it = self.range_iter_at(snap, lo, hi)?;
         let mut out = Vec::new();
         while let Some(kv) = it.next_entry()? {
             out.push(kv);
@@ -1170,23 +1318,31 @@ impl Db {
     /// The iterator reads from the version current at creation; writes
     /// issued afterwards are not visible to it.
     pub fn range_iter(&self, lo: &[u8], hi: &[u8]) -> Result<RangeIter> {
-        let snapshot = self.core().state.read().last_seqno;
-        self.range_iter_at_seqno(lo, hi, snapshot)
+        let core = self.core();
+        // Seqno before view — see the ordering rule on `ReadView`.
+        let snapshot = core.visible_seqno.load(Ordering::Acquire);
+        let view = core.current_view();
+        self.range_iter_in_view(&view, lo, hi, snapshot)
     }
 
     /// A streaming range iterator at a snapshot.
     pub fn range_iter_at(&self, snap: &Snapshot, lo: &[u8], hi: &[u8]) -> Result<RangeIter> {
-        self.range_iter_at_seqno(lo, hi, snap.seqno)
+        let view = self.core().current_view();
+        self.range_iter_in_view(&view, lo, hi, snap.seqno)
     }
 
-    fn range_iter_at_seqno(&self, lo: &[u8], hi: &[u8], snapshot: SeqNo) -> Result<RangeIter> {
+    fn range_iter_in_view(
+        &self,
+        view: &ReadView,
+        lo: &[u8],
+        hi: &[u8],
+        snapshot: SeqNo,
+    ) -> Result<RangeIter> {
         use crate::merge::{KvSource, MergeIterator, VecSource};
         let core = self.core();
         core.stats.scans.fetch_add(1, Ordering::Relaxed);
-        let st = core.state.read();
-        let visible_rts: Vec<RangeTombstone> = st
-            .version
-            .range_tombstones
+        let visible_rts: Vec<RangeTombstone> = view
+            .rts
             .iter()
             .filter(|rt| rt.seqno <= snapshot)
             .copied()
@@ -1198,7 +1354,7 @@ impl Db {
         // Memtables (active + sealed): materialize the range (all
         // versions; filtered below). Bounded by the write-buffer size,
         // so this is cheap even for huge on-disk ranges.
-        for mem in std::iter::once(&st.mem).chain(st.imms.iter().map(|i| i.mem.as_ref())) {
+        for mem in std::iter::once(&view.mem).chain(view.imms.iter()) {
             let mut it = mem.iter();
             it.seek(seek_key.encoded());
             let mut buf = Vec::new();
@@ -1214,7 +1370,7 @@ impl Db {
                 sources.push(Box::new(VecSource::new(buf)));
             }
         }
-        for f in st.version.all_files() {
+        for f in view.version.all_files() {
             if f.overlaps_keys(lo, hi) {
                 // No page skipping on reads: chain heads must be seen
                 // (newest-version-decides).
@@ -1226,9 +1382,9 @@ impl Db {
             }
         }
         // The iterator holds Arc'd tables and owned entries, so it stays
-        // valid after the state lock is released; compactions cannot
-        // delete the files out from under it (Arc<Table> pins them, and
-        // MemFs/StdFs handles stay readable after unlink).
+        // valid however long it lives; compactions cannot delete the
+        // files out from under it (Arc<Table> pins them, and MemFs/StdFs
+        // handles stay readable after unlink).
         Ok(RangeIter {
             merge: MergeIterator::new(sources),
             hi: hi.to_vec(),
@@ -1285,18 +1441,18 @@ impl Db {
 
     /// Per-level summary of the current tree.
     pub fn level_summary(&self) -> Vec<LevelInfo> {
-        let st = self.core().state.read();
-        (0..st.version.levels.len())
+        let view = self.core().current_view();
+        (0..view.version.levels.len())
             .map(|level| LevelInfo {
                 level,
-                files: st.version.level_files(level),
-                runs: st.version.level_runs(level),
-                bytes: st.version.level_bytes(level),
-                entries: st.version.levels[level]
+                files: view.version.level_files(level),
+                runs: view.version.level_runs(level),
+                bytes: view.version.level_bytes(level),
+                entries: view.version.levels[level]
                     .iter()
                     .map(|f| f.stats.entry_count)
                     .sum(),
-                tombstones: st.version.levels[level]
+                tombstones: view.version.levels[level]
                     .iter()
                     .map(|f| f.stats.tombstone_count)
                     .sum(),
@@ -1306,36 +1462,36 @@ impl Db {
 
     /// Point tombstones currently alive anywhere (memtables + tree).
     pub fn live_tombstones(&self) -> u64 {
-        let st = self.core().state.read();
-        let buffered: u64 = std::iter::once(&st.mem)
-            .chain(st.imms.iter().map(|i| i.mem.as_ref()))
+        let view = self.core().current_view();
+        let buffered: u64 = std::iter::once(&view.mem)
+            .chain(view.imms.iter())
             .map(|m| m.stats().tombstones as u64)
             .sum();
-        st.version.live_tombstones() + buffered
+        view.version.live_tombstones() + buffered
     }
 
     /// Total table bytes on storage.
     pub fn table_bytes(&self) -> u64 {
-        self.core().state.read().version.total_bytes()
+        self.core().current_view().version.total_bytes()
     }
 
     /// Live secondary range tombstones.
     pub fn live_range_tombstones(&self) -> Vec<RangeTombstone> {
-        self.core().state.read().version.range_tombstones.clone()
+        self.core().current_view().rts.to_vec()
     }
 
     /// Age (at `now`) of the oldest live point tombstone, if any — the
     /// quantity FADE bounds by `D_th`.
     pub fn oldest_live_tombstone_age(&self) -> Option<Tick> {
-        let st = self.core().state.read();
+        let view = self.core().current_view();
         let now = self.core().opts.clock.now();
-        let file_oldest = st
+        let file_oldest = view
             .version
             .all_files()
             .filter_map(|f| f.stats.oldest_tombstone_tick)
             .min();
-        let buffered_oldest = std::iter::once(&st.mem)
-            .chain(st.imms.iter().map(|i| i.mem.as_ref()))
+        let buffered_oldest = std::iter::once(&view.mem)
+            .chain(view.imms.iter())
             .filter_map(|m| m.stats().oldest_tombstone_tick)
             .min();
         file_oldest
@@ -1348,9 +1504,9 @@ impl Db {
     /// Check structural invariants of the current tree (I1/I6): level
     /// ordering, per-file metadata consistency with actual contents.
     pub fn verify_integrity(&self) -> Result<()> {
-        let st = self.core().state.read();
-        st.version.check_invariants()?;
-        for f in st.version.all_files() {
+        let view = self.core().current_view();
+        view.version.check_invariants()?;
+        for f in view.version.all_files() {
             let mut it = f.table.iter(vec![]);
             it.seek_to_first()?;
             let mut entries = 0u64;
@@ -1402,6 +1558,187 @@ impl DbCore {
         self.snapshots.lock().keys().copied().collect()
     }
 
+    // ------------------------------------------------------------------
+    // Group commit + read views
+    // ------------------------------------------------------------------
+
+    /// The current read view (an O(1) `Arc` clone; the lock is only ever
+    /// write-held for a pointer store).
+    fn current_view(&self) -> Arc<ReadView> {
+        Arc::clone(&self.view.read())
+    }
+
+    /// Build and swap in a fresh read view from `st`. Called (with the
+    /// state write lock held) by every *structural* mutation — memtable
+    /// seal, flush install, compaction install, range delete. Plain
+    /// commits do not republish: they insert into the `mem` the current
+    /// view already shares and advance `visible_seqno` (see the
+    /// ordering rule on [`ReadView`]).
+    fn publish_view_locked(&self, st: &State) {
+        let view = Arc::new(ReadView {
+            mem: Arc::clone(&st.mem),
+            imms: st.imms.iter().rev().map(|i| Arc::clone(&i.mem)).collect(),
+            version: Arc::clone(&st.version),
+            rts: st.version.range_tombstones.clone().into(),
+        });
+        *self.view.write() = view;
+        self.stats.read_view_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Enter the commit-exclusion domain: wait out any commit leader or
+    /// other exclusive section, then own the WAL writer + seqno
+    /// allocator until the token drops. Must be acquired *before* the
+    /// state lock.
+    fn commit_exclusive(&self) -> CommitExclusion<'_> {
+        let mut q = self.commit.lock();
+        while q.exclusive {
+            self.commit_cv.wait(&mut q);
+        }
+        q.exclusive = true;
+        CommitExclusion { core: self }
+    }
+
+    /// Commit a drained group as its leader: one WAL record per request
+    /// (so per-batch atomicity and recovery framing are unchanged), one
+    /// fsync for the whole group — both outside the state lock — then
+    /// publish the memtable inserts, seqnos, and a fresh read view under
+    /// a short state critical section. Distributes the result to every
+    /// request; returns whether workers need a kick.
+    fn commit_group(&self, group: Vec<PendingCommit>) -> bool {
+        let mut reqs = Vec::with_capacity(group.len());
+        let mut op_lists = Vec::with_capacity(group.len());
+        for p in group {
+            reqs.push(p.req);
+            op_lists.push(p.ops);
+        }
+        match self.commit_group_inner(op_lists) {
+            Ok(kick) => {
+                for req in &reqs {
+                    *req.result.lock() = Some(Ok(()));
+                }
+                kick
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for req in &reqs {
+                    *req.result.lock() = Some(Err(msg.clone()));
+                }
+                false
+            }
+        }
+    }
+
+    fn commit_group_inner(&self, group: Vec<Vec<WalOp>>) -> Result<bool> {
+        // Phase 1: durability. WAL append + one group fsync under the
+        // WAL mutex only — readers and background installs proceed.
+        let mut batches: Vec<WalBatch> = Vec::with_capacity(group.len());
+        {
+            let mut wal = self.wal.lock();
+            for ops in group {
+                let base = self.seq_alloc.load(Ordering::Relaxed) + 1;
+                if base > MAX_SEQNO {
+                    return Err(Error::Internal("sequence number space exhausted".into()));
+                }
+                let batch = WalBatch {
+                    base_seqno: base,
+                    ops,
+                };
+                // Advance the allocator before the append: on an append
+                // error the consumed seqnos are never reused, so a
+                // durably written record from earlier in the group can
+                // never collide with a later retry's seqnos.
+                self.seq_alloc.store(batch.last_seqno(), Ordering::Relaxed);
+                wal.add_record(&batch.encode())?;
+                batches.push(batch);
+            }
+            if self.opts.wal_sync {
+                wal.sync()?;
+                self.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .wal_syncs_saved
+                    .fetch_add(batches.len() as u64 - 1, Ordering::Relaxed);
+            }
+        }
+        self.stats.commit_groups.fetch_add(1, Ordering::Relaxed);
+        let total_ops: u64 = batches.iter().map(|b| b.ops.len() as u64).sum();
+        self.stats.commit_group_ops.record(total_ops);
+
+        // Phase 2: visibility. Publish the whole group's inserts and the
+        // new visible seqno, then swap the read view.
+        let mut st = self.state.write();
+        for batch in &batches {
+            let (entries, _ranges) = batch.entries();
+            for e in entries {
+                match e.kind {
+                    acheron_types::ValueKind::Put => {
+                        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    acheron_types::ValueKind::Tombstone => {
+                        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    acheron_types::ValueKind::RangeTombstone => {}
+                }
+                self.stats
+                    .user_bytes
+                    .fetch_add((e.key.len() + e.value.len()) as u64, Ordering::Relaxed);
+                st.mem.insert(e);
+            }
+            if self.opts.auto_advance_clock {
+                self.opts.clock_advance(batch.ops.len() as u64);
+            }
+        }
+        let last = batches.last().expect("non-empty group").last_seqno();
+        // This store is the entire visibility publish for a plain
+        // commit: the inserts above went into the memtable every current
+        // and future view shares, so advancing the ceiling (Release,
+        // paired with the readers' Acquire load) makes them readable
+        // without rebuilding the view.
+        self.visible_seqno.store(last, Ordering::Release);
+
+        // Tighten the cached TTL deadline when a tombstone enters the
+        // buffer (the buffer's oldest tombstone only gets older, so the
+        // first one fixes the buffer deadline until the next flush).
+        if let (Some(ttl), Some(t0)) = (
+            self.picker.ttl_schedule(),
+            st.mem.stats().oldest_tombstone_tick,
+        ) {
+            let mem_deadline = t0.saturating_add(ttl.buffer_ttl());
+            st.ttl_deadline = Some(
+                st.ttl_deadline
+                    .map_or(mem_deadline, |d| d.min(mem_deadline)),
+            );
+        }
+        let mut kick = false;
+        if st.mem.approximate_bytes() >= self.opts.write_buffer_bytes {
+            // The leader already owns the commit-exclusion domain, so it
+            // may seal (swap the WAL writer) directly.
+            self.seal_memtable_locked(&mut st)?;
+            if self.background() {
+                // Workers flush the sealed queue; the writer moves on.
+                kick = true;
+            } else {
+                self.flush_imms_locked(&mut st)?;
+                self.maintain_locked(&mut st)?;
+            }
+        } else if let Some(deadline) = st.ttl_deadline {
+            // Exact FADE trigger: something's residency budget ran out.
+            if self.opts.clock.now() > deadline {
+                if self.background() {
+                    kick = true;
+                } else {
+                    if let Some(ttl) = self.picker.ttl_schedule() {
+                        if ttl.buffer_expired(&st.mem, self.opts.clock.now()) {
+                            self.seal_memtable_locked(&mut st)?;
+                            self.flush_imms_locked(&mut st)?;
+                        }
+                    }
+                    self.maintain_locked(&mut st)?;
+                }
+            }
+        }
+        Ok(kick)
+    }
+
     /// Recompute the cached earliest-TTL-expiry tick from the current
     /// tree and all buffers (active + sealed).
     fn recompute_ttl_deadline(&self, st: &mut State) {
@@ -1429,6 +1766,10 @@ impl DbCore {
     /// manifest record is written here: until the flush installs, the
     /// sealed data's durability still comes from its WAL segment, whose
     /// replay is bounded by the manifest's last `LogNumber`.
+    ///
+    /// Callers must be inside the commit-exclusion domain (they are a
+    /// commit leader or hold a [`CommitExclusion`]): swapping the WAL
+    /// writer under a leader's feet would tear its group.
     fn seal_memtable_locked(&self, st: &mut State) -> Result<()> {
         if st.mem.is_empty() {
             return Ok(());
@@ -1437,11 +1778,11 @@ impl DbCore {
         let new_wal_number = self.alloc_file_id();
         let new_wal = LogWriter::new(self.fs.create(&wal_path(&self.dir, new_wal_number))?);
         let sealed_wal = *st.live_wals.last().expect("active wal present");
-        let sealed = std::mem::replace(&mut st.mem, Memtable::new());
-        st.wal = new_wal;
+        let sealed = std::mem::replace(&mut st.mem, Arc::new(Memtable::new()));
+        *self.wal.lock() = new_wal;
         st.live_wals.push(new_wal_number);
         st.imms.push_back(ImmMemtable {
-            mem: Arc::new(sealed),
+            mem: sealed,
             wal_number: sealed_wal,
             max_seqno,
         });
@@ -1449,6 +1790,9 @@ impl DbCore {
             .imm_queue_peak
             .fetch_max(st.imms.len() as u64, Ordering::Relaxed);
         self.recompute_ttl_deadline(st);
+        // Readers (and the write throttle's gauges) must see the sealed
+        // queue grow promptly.
+        self.publish_view_locked(st);
         Ok(())
     }
 
@@ -1532,6 +1876,7 @@ impl DbCore {
         st.persisted_seqno = st.persisted_seqno.max(imm.max_seqno);
         self.recompute_ttl_deadline(st);
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.publish_view_locked(st);
         Ok(())
     }
 
@@ -1662,7 +2007,8 @@ impl DbCore {
         let mut retirable = new_version.retirable_range_tombstones();
         if !retirable.is_empty() {
             let mut buffers: Vec<(SeqNo, u64, u64)> = Vec::new();
-            for m in std::iter::once(&st.mem).chain(st.imms.iter().map(|i| i.mem.as_ref())) {
+            for m in std::iter::once(st.mem.as_ref()).chain(st.imms.iter().map(|i| i.mem.as_ref()))
+            {
                 let stats = m.stats();
                 if let (Some(min_seq), Some(lo), Some(hi)) =
                     (m.min_seqno(), stats.min_dkey, stats.max_dkey)
@@ -1763,6 +2109,7 @@ impl DbCore {
         }
         *self.stats.last_compaction_reason.lock() = Some(format!("{:?}", task.reason));
         self.recompute_ttl_deadline(st);
+        self.publish_view_locked(st);
         Ok(())
     }
 
@@ -1825,6 +2172,10 @@ impl DbCore {
                 ttl.buffer_expired(&st.mem, self.opts.clock.now())
             };
             if expired {
+                // Sealing swaps the WAL writer, so enter the commit-
+                // exclusion domain first (before the state lock, per the
+                // lock hierarchy).
+                let _excl = self.commit_exclusive();
                 let mut st = self.state.write();
                 // Re-check under the write lock: a racing writer may
                 // have sealed already.
@@ -1927,9 +2278,11 @@ impl DbCore {
     // ------------------------------------------------------------------
 
     /// Current pressure gauges: (L0 file count, sealed-queue depth).
+    /// Read off the current view — every seal and install publishes one,
+    /// so the gauges are as fresh as the structures they meter.
     fn pressure(&self) -> (usize, usize) {
-        let st = self.state.read();
-        (st.version.level_files(0), st.imms.len())
+        let view = self.current_view();
+        (view.version.level_files(0), view.imms.len())
     }
 
     /// Whether background work can still reduce the pressure. Guards the
@@ -1937,12 +2290,12 @@ impl DbCore {
     /// final (e.g. a misconfigured stall limit below the picker's own
     /// triggers).
     fn reducible_pressure(&self) -> bool {
-        let st = self.state.read();
-        if !st.imms.is_empty() {
+        let view = self.current_view();
+        if !view.imms.is_empty() {
             return true;
         }
         self.picker
-            .pick(&st.version, self.opts.clock.now())
+            .pick(&view.version, self.opts.clock.now())
             .is_some()
     }
 
@@ -1985,17 +2338,17 @@ impl DbCore {
     /// Whether any maintenance work is currently visible (used by
     /// [`Db::wait_idle`]).
     fn has_pending_work(&self) -> bool {
-        let st = self.state.read();
-        if !st.imms.is_empty() {
+        let view = self.current_view();
+        if !view.imms.is_empty() {
             return true;
         }
         let now = self.opts.clock.now();
         if let Some(ttl) = self.picker.ttl_schedule() {
-            if ttl.buffer_expired(&st.mem, now) {
+            if ttl.buffer_expired(&view.mem, now) {
                 return true;
             }
         }
-        self.picker.pick(&st.version, now).is_some()
+        self.picker.pick(&view.version, now).is_some()
     }
 }
 

@@ -224,7 +224,7 @@ mod tests {
     fn buffer_expiry_detection() {
         use acheron_types::Entry;
         let s = TtlSchedule::new(&opts(TtlAllocation::Uniform, 1000, 5, 4));
-        let mut mem = Memtable::new();
+        let mem = Memtable::new();
         assert!(!s.buffer_expired(&mem, 10_000), "no tombstones, no expiry");
         mem.insert(Entry::tombstone(&b"k"[..], 1, 500));
         assert!(!s.buffer_expired(&mem, 500 + s.buffer_ttl()));
@@ -235,7 +235,7 @@ mod tests {
     fn next_deadline_is_min_over_sources() {
         use acheron_types::Entry;
         let s = TtlSchedule::new(&opts(TtlAllocation::Uniform, 1600, 5, 4));
-        let mut mem = Memtable::new();
+        let mem = Memtable::new();
         assert_eq!(s.next_deadline(std::iter::empty(), &mem), None);
         mem.insert(Entry::tombstone(&b"k"[..], 1, 1000));
         // Buffer budget 300 → deadline 1300.

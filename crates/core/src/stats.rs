@@ -178,6 +178,20 @@ pub struct DbStats {
     pub imm_queue_peak: AtomicU64,
     /// Failures recorded by the background maintenance executor.
     pub background_errors: AtomicU64,
+    /// Commit groups published by write leaders (each group is one WAL
+    /// append+fsync covering every queued request).
+    pub commit_groups: AtomicU64,
+    /// Distribution of operations per commit group: the group-commit
+    /// batching factor under concurrent writers.
+    pub commit_group_ops: LatencyHistogram,
+    /// WAL fsyncs issued (at most one per commit group when `wal_sync`).
+    pub wal_syncs: AtomicU64,
+    /// Fsyncs avoided by group commit: requests that rode a leader's
+    /// sync instead of issuing their own.
+    pub wal_syncs_saved: AtomicU64,
+    /// Read-view publications (memtable seal, flush install, compaction
+    /// install, range delete, and one per commit group's seqno bump).
+    pub read_view_swaps: AtomicU64,
 }
 
 impl DbStats {
@@ -232,6 +246,11 @@ impl DbStats {
             compaction_micros: self.compaction_micros.summary(),
             imm_queue_peak: self.imm_queue_peak.load(Relaxed),
             background_errors: self.background_errors.load(Relaxed),
+            commit_groups: self.commit_groups.load(Relaxed),
+            commit_group_ops: self.commit_group_ops.summary(),
+            wal_syncs: self.wal_syncs.load(Relaxed),
+            wal_syncs_saved: self.wal_syncs_saved.load(Relaxed),
+            read_view_swaps: self.read_view_swaps.load(Relaxed),
         }
     }
 }
@@ -266,6 +285,11 @@ pub struct StatsSnapshot {
     pub compaction_micros: HistogramSummary,
     pub imm_queue_peak: u64,
     pub background_errors: u64,
+    pub commit_groups: u64,
+    pub commit_group_ops: HistogramSummary,
+    pub wal_syncs: u64,
+    pub wal_syncs_saved: u64,
+    pub read_view_swaps: u64,
 }
 
 impl StatsSnapshot {
@@ -294,12 +318,17 @@ impl StatsSnapshot {
             ("write_slowdowns".into(), self.write_slowdowns),
             ("imm_queue_peak".into(), self.imm_queue_peak),
             ("background_errors".into(), self.background_errors),
+            ("commit_groups".into(), self.commit_groups),
+            ("wal_syncs".into(), self.wal_syncs),
+            ("wal_syncs_saved".into(), self.wal_syncs_saved),
+            ("read_view_swaps".into(), self.read_view_swaps),
         ];
         for (name, h) in [
             ("persistence_latency", &self.persistence_latency),
             ("stall_micros", &self.stall_micros),
             ("flush_micros", &self.flush_micros),
             ("compaction_micros", &self.compaction_micros),
+            ("commit_group_ops", &self.commit_group_ops),
         ] {
             out.push((format!("{name}_count"), h.count));
             out.push((format!("{name}_mean"), h.mean.round() as u64));

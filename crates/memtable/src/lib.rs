@@ -38,7 +38,7 @@ mod proptests {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
         fn memtable_matches_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
-            let mut mem = Memtable::new();
+            let mem = Memtable::new();
             // model: key -> version history of (seqno, Option<value>)
             type History = Vec<(u64, Option<Vec<u8>>)>;
             let mut model: BTreeMap<Vec<u8>, History> = BTreeMap::new();

@@ -7,6 +7,15 @@
 //! the secondary delete key over all entries (the file's delete-key
 //! fence, which lets secondary range deletes skip non-overlapping
 //! files/tiles entirely).
+//!
+//! Concurrency matches the skiplist's: one externally-serialized writer
+//! (`insert` takes `&self`; the commit leader is the only caller for the
+//! active memtable), lock-free concurrent readers. Statistics are
+//! atomics with sentinel emptiness (`u64::MAX` minima / `0` maxima)
+//! resolved against the entry/tombstone counts, which are incremented
+//! with `Release` ordering *after* the stat updates they cover.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use acheron_types::{Entry, InternalKey, SeqNo, Tick, ValueKind};
 use bytes::Bytes;
@@ -43,14 +52,16 @@ pub struct MemtableStats {
 /// An in-memory write buffer ordered by internal key.
 pub struct Memtable {
     list: SkipList,
-    tombstones: usize,
-    oldest_tombstone_tick: Option<Tick>,
-    min_dkey: Option<u64>,
-    max_dkey: Option<u64>,
+    tombstones: AtomicUsize,
+    /// `u64::MAX` until the first tombstone arrives.
+    oldest_tombstone_tick: AtomicU64,
+    /// `u64::MAX` / `0` sentinels, valid only while non-empty.
+    min_dkey: AtomicU64,
+    max_dkey: AtomicU64,
     /// Smallest and largest seqno buffered, for WAL truncation decisions.
-    min_seqno: Option<SeqNo>,
-    max_seqno: Option<SeqNo>,
-    user_bytes: u64,
+    min_seqno: AtomicU64,
+    max_seqno: AtomicU64,
+    user_bytes: AtomicU64,
 }
 
 impl Memtable {
@@ -58,37 +69,43 @@ impl Memtable {
     pub fn new() -> Memtable {
         Memtable {
             list: SkipList::new(),
-            tombstones: 0,
-            oldest_tombstone_tick: None,
-            min_dkey: None,
-            max_dkey: None,
-            min_seqno: None,
-            max_seqno: None,
-            user_bytes: 0,
+            tombstones: AtomicUsize::new(0),
+            oldest_tombstone_tick: AtomicU64::new(u64::MAX),
+            min_dkey: AtomicU64::new(u64::MAX),
+            max_dkey: AtomicU64::new(0),
+            min_seqno: AtomicU64::new(u64::MAX),
+            max_seqno: AtomicU64::new(0),
+            user_bytes: AtomicU64::new(0),
         }
     }
 
     /// Insert a put or point tombstone.
     ///
+    /// Callers must serialize inserts (single-writer contract, see the
+    /// skiplist); readers may run concurrently.
+    ///
     /// For tombstones, `entry.dkey` must be the tick the delete was
     /// issued at (the engine guarantees this); it seeds FADE's aging.
-    pub fn insert(&mut self, entry: Entry) {
+    pub fn insert(&self, entry: Entry) {
         debug_assert!(
             entry.kind != ValueKind::RangeTombstone,
             "secondary range tombstones are tracked in the version, not the memtable"
         );
+        // Stat updates land before the counter increments that make
+        // them observable (see struct docs).
+        self.min_dkey.fetch_min(entry.dkey, Ordering::Relaxed);
+        self.max_dkey.fetch_max(entry.dkey, Ordering::Relaxed);
+        self.min_seqno.fetch_min(entry.seqno, Ordering::Relaxed);
+        self.max_seqno.fetch_max(entry.seqno, Ordering::Relaxed);
+        self.user_bytes.fetch_add(
+            (entry.key.len() + entry.value.len()) as u64,
+            Ordering::Relaxed,
+        );
         if entry.is_tombstone() {
-            self.tombstones += 1;
-            self.oldest_tombstone_tick = Some(match self.oldest_tombstone_tick {
-                Some(t) => t.min(entry.dkey),
-                None => entry.dkey,
-            });
+            self.oldest_tombstone_tick
+                .fetch_min(entry.dkey, Ordering::Relaxed);
+            self.tombstones.fetch_add(1, Ordering::Release);
         }
-        self.min_dkey = Some(self.min_dkey.map_or(entry.dkey, |d| d.min(entry.dkey)));
-        self.max_dkey = Some(self.max_dkey.map_or(entry.dkey, |d| d.max(entry.dkey)));
-        self.min_seqno = Some(self.min_seqno.map_or(entry.seqno, |s| s.min(entry.seqno)));
-        self.max_seqno = Some(self.max_seqno.map_or(entry.seqno, |s| s.max(entry.seqno)));
-        self.user_bytes += (entry.key.len() + entry.value.len()) as u64;
         self.list.insert(entry);
     }
 
@@ -110,6 +127,26 @@ impl Memtable {
             ValueKind::Tombstone => LookupResult::Deleted,
             ValueKind::RangeTombstone => LookupResult::NotFound,
         }
+    }
+
+    /// The newest version of `user_key` visible at `snapshot`, if any.
+    ///
+    /// Unlike [`Memtable::get`] this returns the raw entry (tombstones
+    /// included) so the engine's early-exit lookup can compare its seqno
+    /// against other sources and shadow-check range tombstones.
+    pub fn newest_visible(&self, user_key: &[u8], snapshot: SeqNo) -> Option<Entry> {
+        let seek_key = InternalKey::for_seek(user_key, snapshot);
+        let mut it = self.list.iter();
+        it.seek(seek_key.encoded());
+        if !it.valid() {
+            return None;
+        }
+        let entry = it.entry();
+        if entry.key != user_key {
+            return None;
+        }
+        debug_assert!(entry.seqno <= snapshot);
+        Some(entry.clone())
     }
 
     /// All versions of `user_key` visible at `snapshot`, newest first.
@@ -164,27 +201,51 @@ impl Memtable {
     /// Total user payload bytes (key+value) accepted, for
     /// write-amplification denominators.
     pub fn user_bytes(&self) -> u64 {
-        self.user_bytes
+        self.user_bytes.load(Ordering::Relaxed)
     }
 
     /// Smallest seqno buffered.
     pub fn min_seqno(&self) -> Option<SeqNo> {
-        self.min_seqno
+        if self.list.is_empty() {
+            None
+        } else {
+            Some(self.min_seqno.load(Ordering::Relaxed))
+        }
     }
 
     /// Largest seqno buffered.
     pub fn max_seqno(&self) -> Option<SeqNo> {
-        self.max_seqno
+        if self.list.is_empty() {
+            None
+        } else {
+            Some(self.max_seqno.load(Ordering::Relaxed))
+        }
     }
 
     /// The incremental statistics.
     pub fn stats(&self) -> MemtableStats {
+        // Acquire the counters first: stat stores for every counted
+        // entry happened-before the counter increments.
+        let entries = self.list.len();
+        let tombstones = self.tombstones.load(Ordering::Acquire);
         MemtableStats {
-            entries: self.list.len(),
-            tombstones: self.tombstones,
-            oldest_tombstone_tick: self.oldest_tombstone_tick,
-            min_dkey: self.min_dkey,
-            max_dkey: self.max_dkey,
+            entries,
+            tombstones,
+            oldest_tombstone_tick: if tombstones == 0 {
+                None
+            } else {
+                Some(self.oldest_tombstone_tick.load(Ordering::Relaxed))
+            },
+            min_dkey: if entries == 0 {
+                None
+            } else {
+                Some(self.min_dkey.load(Ordering::Relaxed))
+            },
+            max_dkey: if entries == 0 {
+                None
+            } else {
+                Some(self.max_dkey.load(Ordering::Relaxed))
+            },
         }
     }
 }
@@ -199,7 +260,7 @@ impl Default for Memtable {
 mod tests {
     use super::*;
 
-    fn put(m: &mut Memtable, k: &str, v: &str, seq: SeqNo, dkey: u64) {
+    fn put(m: &Memtable, k: &str, v: &str, seq: SeqNo, dkey: u64) {
         m.insert(Entry::put(
             k.as_bytes().to_vec(),
             v.as_bytes().to_vec(),
@@ -208,15 +269,15 @@ mod tests {
         ));
     }
 
-    fn del(m: &mut Memtable, k: &str, seq: SeqNo, tick: Tick) {
+    fn del(m: &Memtable, k: &str, seq: SeqNo, tick: Tick) {
         m.insert(Entry::tombstone(k.as_bytes().to_vec(), seq, tick));
     }
 
     #[test]
     fn get_returns_latest_visible_version() {
-        let mut m = Memtable::new();
-        put(&mut m, "k", "v1", 1, 0);
-        put(&mut m, "k", "v2", 5, 0);
+        let m = Memtable::new();
+        put(&m, "k", "v1", 1, 0);
+        put(&m, "k", "v2", 5, 0);
         assert_eq!(
             m.get(b"k", 10),
             LookupResult::Found(Bytes::from_static(b"v2"))
@@ -233,9 +294,9 @@ mod tests {
 
     #[test]
     fn get_sees_tombstone_as_deleted() {
-        let mut m = Memtable::new();
-        put(&mut m, "k", "v1", 1, 0);
-        del(&mut m, "k", 2, 100);
+        let m = Memtable::new();
+        put(&m, "k", "v1", 1, 0);
+        del(&m, "k", 2, 100);
         assert_eq!(m.get(b"k", 10), LookupResult::Deleted);
         // The old version is still visible to an older snapshot.
         assert_eq!(
@@ -246,9 +307,9 @@ mod tests {
 
     #[test]
     fn get_missing_key() {
-        let mut m = Memtable::new();
-        put(&mut m, "a", "v", 1, 0);
-        put(&mut m, "c", "v", 2, 0);
+        let m = Memtable::new();
+        put(&m, "a", "v", 1, 0);
+        put(&m, "c", "v", 2, 0);
         assert_eq!(m.get(b"b", 10), LookupResult::NotFound);
         assert_eq!(m.get(b"", 10), LookupResult::NotFound);
         assert_eq!(m.get(b"zzz", 10), LookupResult::NotFound);
@@ -256,18 +317,33 @@ mod tests {
 
     #[test]
     fn snapshot_older_than_all_writes_sees_nothing() {
-        let mut m = Memtable::new();
-        put(&mut m, "k", "v", 5, 0);
+        let m = Memtable::new();
+        put(&m, "k", "v", 5, 0);
         assert_eq!(m.get(b"k", 4), LookupResult::NotFound);
     }
 
     #[test]
+    fn newest_visible_returns_raw_entry() {
+        let m = Memtable::new();
+        put(&m, "k", "v1", 1, 7);
+        del(&m, "k", 3, 100);
+        let e = m.newest_visible(b"k", 10).unwrap();
+        assert_eq!(e.seqno, 3);
+        assert!(e.is_tombstone());
+        let e = m.newest_visible(b"k", 2).unwrap();
+        assert_eq!(e.seqno, 1);
+        assert_eq!(e.dkey, 7);
+        assert!(m.newest_visible(b"zz", 10).is_none());
+        assert!(m.newest_visible(b"k", 0).is_none());
+    }
+
+    #[test]
     fn versions_returns_full_visible_chain_newest_first() {
-        let mut m = Memtable::new();
-        put(&mut m, "k", "v1", 1, 10);
-        put(&mut m, "k", "v2", 3, 20);
-        del(&mut m, "k", 5, 30);
-        put(&mut m, "j", "x", 2, 0);
+        let m = Memtable::new();
+        put(&m, "k", "v1", 1, 10);
+        put(&m, "k", "v2", 3, 20);
+        del(&m, "k", 5, 30);
+        put(&m, "j", "x", 2, 0);
         let vs = m.versions(b"k", 10);
         let seqs: Vec<SeqNo> = vs.iter().map(|e| e.seqno).collect();
         assert_eq!(seqs, vec![5, 3, 1]);
@@ -282,12 +358,12 @@ mod tests {
 
     #[test]
     fn tombstone_statistics() {
-        let mut m = Memtable::new();
+        let m = Memtable::new();
         assert_eq!(m.stats().tombstones, 0);
         assert_eq!(m.stats().oldest_tombstone_tick, None);
-        put(&mut m, "a", "v", 1, 10);
-        del(&mut m, "b", 2, 300);
-        del(&mut m, "c", 3, 200);
+        put(&m, "a", "v", 1, 10);
+        del(&m, "b", 2, 300);
+        del(&m, "c", 3, 200);
         let s = m.stats();
         assert_eq!(s.entries, 3);
         assert_eq!(s.tombstones, 2);
@@ -296,10 +372,10 @@ mod tests {
 
     #[test]
     fn delete_key_fences() {
-        let mut m = Memtable::new();
-        put(&mut m, "a", "v", 1, 50);
-        put(&mut m, "b", "v", 2, 10);
-        put(&mut m, "c", "v", 3, 99);
+        let m = Memtable::new();
+        put(&m, "a", "v", 1, 50);
+        put(&m, "b", "v", 2, 10);
+        put(&m, "c", "v", 3, 99);
         let s = m.stats();
         assert_eq!(s.min_dkey, Some(10));
         assert_eq!(s.max_dkey, Some(99));
@@ -307,29 +383,29 @@ mod tests {
 
     #[test]
     fn seqno_range_tracked() {
-        let mut m = Memtable::new();
+        let m = Memtable::new();
         assert_eq!(m.min_seqno(), None);
-        put(&mut m, "a", "v", 7, 0);
-        put(&mut m, "b", "v", 3, 0);
-        put(&mut m, "c", "v", 9, 0);
+        put(&m, "a", "v", 7, 0);
+        put(&m, "b", "v", 3, 0);
+        put(&m, "c", "v", 9, 0);
         assert_eq!(m.min_seqno(), Some(3));
         assert_eq!(m.max_seqno(), Some(9));
     }
 
     #[test]
     fn user_bytes_counts_keys_and_values_only() {
-        let mut m = Memtable::new();
-        put(&mut m, "ab", "xyz", 1, 0); // 2 + 3
-        del(&mut m, "cd", 2, 0); // 2 + 0
+        let m = Memtable::new();
+        put(&m, "ab", "xyz", 1, 0); // 2 + 3
+        del(&m, "cd", 2, 0); // 2 + 0
         assert_eq!(m.user_bytes(), 7);
     }
 
     #[test]
     fn entries_iterate_in_internal_key_order() {
-        let mut m = Memtable::new();
-        put(&mut m, "b", "v1", 1, 0);
-        put(&mut m, "a", "v2", 2, 0);
-        del(&mut m, "a", 3, 0);
+        let m = Memtable::new();
+        put(&m, "b", "v1", 1, 0);
+        put(&m, "a", "v2", 2, 0);
+        del(&m, "a", 3, 0);
         let got: Vec<(Vec<u8>, SeqNo)> = m.entries().map(|e| (e.key.to_vec(), e.seqno)).collect();
         assert_eq!(
             got,

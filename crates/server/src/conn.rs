@@ -1,7 +1,12 @@
-//! Per-connection handler: reads framed requests, batches consecutive
-//! writes into one atomic [`WriteBatch`], applies backpressure, and
-//! writes responses back in request order (which is what makes client
-//! pipelining safe).
+//! Per-connection handler: reads framed requests, applies each in
+//! order with backpressure, and writes responses back in request order
+//! (which is what makes client pipelining safe).
+//!
+//! Writes are applied one at a time: the engine's group-commit WAL
+//! already merges concurrent commits (across *all* connections) into a
+//! single fsync, which replaces the per-connection write-coalescing
+//! this layer used to do — and does it without changing the unit of
+//! atomicity a client observes (one request, one commit).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -9,7 +14,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-use acheron::{Db, WriteBatch, WritePressure};
+use acheron::{Db, WritePressure};
 use acheron_types::{Error, Result};
 
 use crate::server::Shared;
@@ -104,53 +109,56 @@ fn serve(mut stream: &TcpStream, shared: &Arc<Shared>) -> Result<()> {
 }
 
 /// Execute one pipelined group of requests, producing one response per
-/// request, in order. Consecutive writes coalesce into a single atomic
-/// [`WriteBatch`] that is committed at the next read barrier (a
-/// get/scan must observe the connection's earlier pipelined writes).
+/// request, in order. Each write commits individually — concurrent
+/// connections share one WAL fsync through the engine's commit group.
 fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
     let db = &shared.db;
     let metrics = &shared.metrics;
     let pressure = db.write_pressure();
-    let mut responses: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
-    let mut batch = WriteBatch::new();
-    let mut batch_idxs: Vec<usize> = Vec::new();
+    let mut responses: Vec<Response> = Vec::with_capacity(requests.len());
     let mut committed_writes = false;
 
-    for (i, req) in requests.iter().enumerate() {
+    for req in requests {
         metrics.requests.fetch_add(1, Ordering::Relaxed);
         if req.is_write() && pressure.stall {
             // The stall tier of backpressure: shed instead of queueing.
             metrics.busy_responses.fetch_add(1, Ordering::Relaxed);
-            responses[i] = Some(Response::Busy);
+            responses.push(Response::Busy);
             continue;
         }
-        match req {
-            Request::Ping => responses[i] = Some(Response::Unit),
+        let resp = match req {
+            Request::Ping => Response::Unit,
             Request::Put { key, value, dkey } => {
                 // An unstamped put takes the engine's current tick as its
                 // delete key, matching the embedded `Db::put` path.
                 let dkey = dkey.unwrap_or_else(|| db.now());
-                batch.put_with_dkey(key, value, dkey);
-                batch_idxs.push(i);
-            }
-            Request::Delete { key } => {
-                batch.delete(key);
-                batch_idxs.push(i);
-            }
-            Request::RangeDeleteSecondary { lo, hi } => {
-                // Ordered write, but not batchable: commit what's queued
-                // first so earlier pipelined writes stay earlier.
-                committed_writes |=
-                    flush_batch(shared, &mut batch, &mut batch_idxs, &mut responses);
+                committed_writes = true;
                 let started = Instant::now();
-                responses[i] = Some(to_response(db.range_delete_secondary(*lo, *hi), metrics));
+                let resp = to_response(db.put_with_dkey(key, value, dkey), metrics);
                 metrics
                     .write_latency
                     .record(started.elapsed().as_micros() as u64);
+                resp
+            }
+            Request::Delete { key } => {
+                committed_writes = true;
+                let started = Instant::now();
+                let resp = to_response(db.delete(key), metrics);
+                metrics
+                    .write_latency
+                    .record(started.elapsed().as_micros() as u64);
+                resp
+            }
+            Request::RangeDeleteSecondary { lo, hi } => {
+                committed_writes = true;
+                let started = Instant::now();
+                let resp = to_response(db.range_delete_secondary(*lo, *hi), metrics);
+                metrics
+                    .write_latency
+                    .record(started.elapsed().as_micros() as u64);
+                resp
             }
             Request::Get { key } => {
-                committed_writes |=
-                    flush_batch(shared, &mut batch, &mut batch_idxs, &mut responses);
                 let started = Instant::now();
                 let resp = match db.get(key) {
                     Ok(v) => Response::Value(v.map(|b| b.to_vec())),
@@ -159,11 +167,9 @@ fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
                 metrics
                     .read_latency
                     .record(started.elapsed().as_micros() as u64);
-                responses[i] = Some(resp);
+                resp
             }
             Request::Scan { lo, hi } => {
-                committed_writes |=
-                    flush_batch(shared, &mut batch, &mut batch_idxs, &mut responses);
                 let started = Instant::now();
                 let resp = match db.scan(lo, hi) {
                     Ok(rows) => Response::Rows(
@@ -176,16 +182,12 @@ fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
                 metrics
                     .read_latency
                     .record(started.elapsed().as_micros() as u64);
-                responses[i] = Some(resp);
+                resp
             }
-            Request::Stats => {
-                committed_writes |=
-                    flush_batch(shared, &mut batch, &mut batch_idxs, &mut responses);
-                responses[i] = Some(Response::Stats(stats_pairs(db, &pressure, metrics)));
-            }
-        }
+            Request::Stats => Response::Stats(stats_pairs(db, &pressure, metrics)),
+        };
+        responses.push(resp);
     }
-    committed_writes |= flush_batch(shared, &mut batch, &mut batch_idxs, &mut responses);
 
     if committed_writes && pressure.slowdown {
         // The gentle tier: pace the connection instead of shedding.
@@ -194,36 +196,6 @@ fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
     }
 
     responses
-        .into_iter()
-        .map(|r| r.expect("every request answered"))
-        .collect()
-}
-
-/// Commit the queued batch (if any) and fill in its responses. Returns
-/// whether anything was committed.
-fn flush_batch(
-    shared: &Arc<Shared>,
-    batch: &mut WriteBatch,
-    batch_idxs: &mut Vec<usize>,
-    responses: &mut [Option<Response>],
-) -> bool {
-    if batch_idxs.is_empty() {
-        return false;
-    }
-    let started = Instant::now();
-    let result = shared
-        .db
-        .write_batch(std::mem::replace(batch, WriteBatch::new()));
-    let micros = started.elapsed().as_micros() as u64;
-    let per_write: Response = match result {
-        Ok(()) => Response::Unit,
-        Err(e) => err_response(e, &shared.metrics),
-    };
-    for idx in batch_idxs.drain(..) {
-        shared.metrics.write_latency.record(micros);
-        responses[idx] = Some(per_write.clone());
-    }
-    true
 }
 
 fn to_response(result: Result<()>, metrics: &crate::metrics::ServerMetrics) -> Response {
