@@ -1,25 +1,45 @@
 //! `acheron-doctor` — offline integrity check of a database directory.
 //!
 //! ```text
-//! $ acheron-doctor /path/to/db
+//! $ acheron-doctor /path/to/db [--d-th <ticks>]
 //! checked 12 tables (48,201 entries, 301 tombstones), 1 WAL (17 records)
+//! tombstones: level 1: 204 live across 3 files, oldest age 812 ticks
 //! warnings: none
 //! ```
+//!
+//! With `--d-th` the report warns when the oldest live tombstone has
+//! outlived the delete persistence threshold — the offline form of the
+//! engine's FADE promise.
 //!
 //! Read-only: unlike opening the database, the doctor never rewrites the
 //! manifest or collects files, so it is safe to run against a directory
 //! another process might recover later.
 
-use acheron::check_db;
+use acheron::check_db_with_threshold;
 use acheron_vfs::StdFs;
 
 fn main() {
-    let Some(dir) = std::env::args().nth(1) else {
-        eprintln!("usage: acheron-doctor <db-directory>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<String> = None;
+    let mut d_th: Option<u64> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--d-th" {
+            d_th = it.next().and_then(|v| v.parse().ok());
+            if d_th.is_none() {
+                eprintln!("--d-th requires a tick count");
+                std::process::exit(2);
+            }
+        } else {
+            dir = Some(arg);
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("usage: acheron-doctor <db-directory> [--d-th <ticks>]");
         std::process::exit(2);
     };
     let fs = StdFs::new(false);
-    match check_db(&fs, &dir) {
+    match check_db_with_threshold(&fs, &dir, d_th) {
         Ok(report) => {
             println!(
                 "checked {} tables ({} entries, {} tombstones, {} range tombstones), \
@@ -31,6 +51,19 @@ fn main() {
                 report.wals_checked,
                 report.wal_records
             );
+            for l in &report.level_tombstones {
+                println!(
+                    "tombstones: level {}: {} live across {} files, oldest age {} ticks{}",
+                    l.level,
+                    l.tombstones,
+                    l.files_with_tombstones,
+                    l.max_unresolved_age.unwrap_or(0),
+                    match d_th {
+                        Some(d) => format!(" (threshold {d})"),
+                        None => String::new(),
+                    }
+                );
+            }
             if report.warnings.is_empty() {
                 println!("warnings: none");
             } else {

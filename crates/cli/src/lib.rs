@@ -45,6 +45,8 @@ commands:
   tree                         show level occupancy
   tombstones                   show tombstone population and ages
   stats                        show engine counters
+  metrics                      Prometheus-style metrics exposition
+  events                       recent engine events (flight recorder)
   reopen [fade <D_th>] [tile <h>] [tiering|leveling|lazy]
                                restart with fresh options (data is kept)
   help                         this text
@@ -104,6 +106,8 @@ impl Session {
             "tree" => Ok(self.render_tree()),
             "tombstones" => Ok(self.render_tombstones()),
             "stats" => Ok(self.render_stats()),
+            "metrics" => Ok(self.render_metrics()),
+            "events" => Ok(self.render_events()),
             "reopen" => self.cmd_reopen(&args),
             other => Err(format!("unknown command {other:?}; try `help`")),
         };
@@ -334,6 +338,26 @@ impl Session {
         out
     }
 
+    fn render_metrics(&self) -> String {
+        acheron::obs::render_prometheus(
+            &self.db.stats().snapshot().to_pairs(),
+            &self.db.tombstone_gauges(),
+            self.db.now(),
+            self.opts
+                .fade
+                .as_ref()
+                .map(|f| f.delete_persistence_threshold),
+        )
+        .trim_end()
+        .to_string()
+    }
+
+    fn render_events(&self) -> String {
+        acheron::obs::render_events(&self.db.events())
+            .trim_end()
+            .to_string()
+    }
+
     fn render_stats(&self) -> String {
         use std::sync::atomic::Ordering::Relaxed;
         let s = self.db.stats();
@@ -367,6 +391,8 @@ remote commands:
   rdel <lo> <hi>               secondary range delete over delete keys
   scan <lo> <hi>               range scan over sort keys (inclusive)
   stats                        engine + server counters
+  metrics                      Prometheus-style metrics exposition
+  events                       recent engine events (flight recorder)
   ping                         liveness probe
   help                         this text
   quit                         close the connection and exit"
@@ -413,6 +439,16 @@ impl RemoteSession {
             "rdel" => self.cmd_rdel(&args),
             "scan" => self.cmd_scan(&args),
             "stats" => self.cmd_stats(),
+            "metrics" => self
+                .client
+                .metrics()
+                .map(|t| t.trim_end().to_string())
+                .map_err(|e| e.to_string()),
+            "events" => self
+                .client
+                .events()
+                .map(|t| t.trim_end().to_string())
+                .map_err(|e| e.to_string()),
             other => Err(format!("unknown command {other:?}; try `help`")),
         };
         Outcome::Text(match result {
@@ -559,6 +595,12 @@ mod tests {
         assert!(ts.contains("live point tombstones"), "{ts}");
         let st = text(s.execute("stats"));
         assert!(st.contains("write-amp"), "{st}");
+        let m = text(s.execute("metrics"));
+        assert!(m.contains("puts "), "{m}");
+        assert!(m.contains("db_live_tombstones"), "{m}");
+        assert!(m.contains("db_tombstone_age_ticks_bucket"), "{m}");
+        let ev = text(s.execute("events"));
+        assert!(ev.contains("memtable_sealed"), "{ev}");
     }
 
     #[test]
@@ -629,6 +671,11 @@ mod tests {
         let stats = text(s.execute("stats"));
         assert!(stats.contains("server_requests"), "{stats}");
         assert!(stats.contains("puts"), "{stats}");
+        let metrics = text(s.execute("metrics"));
+        assert!(metrics.contains("db_live_tombstones"), "{metrics}");
+        assert!(metrics.contains("server_requests"), "{metrics}");
+        let events = text(s.execute("events"));
+        assert!(events.contains("wal_group_commit"), "{events}");
         assert!(text(s.execute("bogus")).contains("unknown command"));
         assert_eq!(s.execute("quit"), Outcome::Quit);
         server.shutdown();
@@ -639,7 +686,8 @@ mod tests {
         let mut s = Session::demo();
         let h = text(s.execute("help"));
         for cmd in [
-            "put", "get", "del", "rdel", "scan", "workload", "tick", "tree", "stats",
+            "put", "get", "del", "rdel", "scan", "workload", "tick", "tree", "stats", "metrics",
+            "events",
         ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }

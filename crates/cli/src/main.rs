@@ -16,6 +16,14 @@
 //! > get user:1
 //! ```
 //!
+//! One-shot observability (`host:port` hits a running server over the
+//! wire; a directory opens the database offline):
+//!
+//! ```text
+//! $ cargo run -p acheron-cli -- stats 127.0.0.1:7878     # metrics text
+//! $ cargo run -p acheron-cli -- events /path/to/db      # event ring
+//! ```
+//!
 //! Also scriptable: `echo "put a 1\nget a" | cargo run -p acheron-cli`.
 
 use std::io::{BufRead, Write};
@@ -23,8 +31,8 @@ use std::sync::Arc;
 
 use acheron::{Db, DbOptions};
 use acheron_cli::{Outcome, RemoteSession, Session};
-use acheron_server::{Server, ServerOptions};
-use acheron_vfs::MemFs;
+use acheron_server::{Client, Server, ServerOptions};
+use acheron_vfs::{MemFs, StdFs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -46,10 +54,58 @@ fn main() {
                 }
             }
         }
+        Some(cmd @ ("stats" | "events")) => {
+            let Some(target) = args.get(2) else {
+                eprintln!("usage: acheron {cmd} <host:port | db-directory>");
+                std::process::exit(2);
+            };
+            expose(cmd, target);
+        }
         _ => repl(
             Session::demo(),
             "acheron demo (FADE D_th=50000, in-memory). `help` for commands.",
         ),
+    }
+}
+
+/// One-shot exposition: print the metrics text (`stats`) or the event
+/// ring (`events`) and exit. A `host:port` target queries a running
+/// server over the wire; anything else is treated as a database
+/// directory and opened offline (recovery events included).
+fn expose(cmd: &str, target: &str) {
+    let result = if target.contains(':') {
+        Client::connect(target)
+            .and_then(|mut client| match cmd {
+                "stats" => client.metrics(),
+                _ => client.events(),
+            })
+            .map_err(|e| format!("query {target}: {e}"))
+    } else if std::path::Path::new(target).is_dir() {
+        Db::open(Arc::new(StdFs::new(false)), target, DbOptions::default())
+            .map(|db| match cmd {
+                "stats" => acheron::obs::render_prometheus(
+                    &db.stats().snapshot().to_pairs(),
+                    &db.tombstone_gauges(),
+                    db.now(),
+                    db.options()
+                        .fade
+                        .as_ref()
+                        .map(|f| f.delete_persistence_threshold),
+                ),
+                _ => acheron::obs::render_events(&db.events()),
+            })
+            .map_err(|e| format!("open {target}: {e}"))
+    } else {
+        Err(format!(
+            "{target} is neither a host:port address nor a database directory"
+        ))
+    };
+    match result {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
     }
 }
 

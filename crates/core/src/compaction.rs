@@ -39,6 +39,15 @@ pub struct CompactionOutcome {
     pub bytes_out: u64,
 }
 
+impl CompactionOutcome {
+    /// Total entries the merge removed from the tree: shadowed
+    /// versions, range-deleted entries, and purged point tombstones
+    /// (the flight recorder's `CompactionEnd` payload).
+    pub fn entries_dropped(&self) -> u64 {
+        self.shadowed + self.range_purged + self.tombstones_dropped.len() as u64
+    }
+}
+
 /// Execute `task` against `version`, writing outputs through `fs`.
 ///
 /// `snapshots` are the live reader snapshots that pin old versions;

@@ -64,6 +64,7 @@ use crate::filenames::{manifest_name, parse_file_name, sst_path, wal_path, FileK
 use crate::manifest::{
     read_current, read_manifest, write_current, EditBatch, ManifestWriter, VersionEdit,
 };
+use crate::obs::{Event, EventLog, EventSnapshot, GcKind, RecoveryStepKind, TombstoneGauges};
 use crate::options::DbOptions;
 use crate::picker::{CompactionReason, CompactionTask, Picker};
 use crate::stats::DbStats;
@@ -102,6 +103,9 @@ struct Bootstrap {
     wal: LogWriter,
     last_seqno: SeqNo,
     next_file_id: u64,
+    /// Recovery-time events, buffered because `recover` runs before the
+    /// [`EventLog`] exists; `open` replays them into the ring.
+    events: Vec<Event>,
 }
 
 struct State {
@@ -255,6 +259,15 @@ struct DbCore {
     /// Single-flusher ticket: flushes must install in queue order, so
     /// only one worker owns the front of the sealed queue at a time.
     flush_claimed: AtomicBool,
+    /// Flight recorder: lock-free ring of typed maintenance events.
+    /// Emission is one atomic seqno plus one slot write, so the hooks
+    /// stay on unconditionally.
+    obs: EventLog,
+    /// Delete-persistence gauges for the installed tree, recomputed by
+    /// [`DbCore::publish_view_locked`] (the single version-install
+    /// point). A leaf mutex: only ever held for a pointer store/load,
+    /// never while any other lock is taken.
+    gauges: Mutex<Arc<TombstoneGauges>>,
 }
 
 struct DbInner {
@@ -483,33 +496,48 @@ impl Db {
             None => Self::initialize(&fs, dir, &opts)?,
             Some(manifest) => Self::recover(&fs, dir, &opts, &manifest, cache.as_ref())?,
         };
+        let Bootstrap {
+            state,
+            wal,
+            last_seqno,
+            next_file_id,
+            events: boot_events,
+        } = boot;
         let view = Arc::new(ReadView {
-            mem: Arc::clone(&boot.state.mem),
+            mem: Arc::clone(&state.mem),
             imms: Vec::new(),
-            version: Arc::clone(&boot.state.version),
-            rts: boot.state.version.range_tombstones.clone().into(),
+            version: Arc::clone(&state.version),
+            rts: state.version.range_tombstones.clone().into(),
         });
+        let gauges = Arc::new(TombstoneGauges::from_version(&state.version));
         let core = Arc::new(DbCore {
             picker: Picker::new(&opts),
+            obs: EventLog::new(opts.event_log_capacity),
+            gauges: Mutex::new(gauges),
             fs,
             dir: dir.to_string(),
             opts,
             stats: DbStats::default(),
             cache,
             snapshots: Mutex::new(BTreeMap::new()),
-            state: RwLock::new(boot.state),
-            wal: Mutex::new(boot.wal),
+            state: RwLock::new(state),
+            wal: Mutex::new(wal),
             commit: Mutex::new(CommitQueue::default()),
             commit_cv: Condvar::new(),
             view: RwLock::new(view),
-            seq_alloc: AtomicU64::new(boot.last_seqno),
-            visible_seqno: AtomicU64::new(boot.last_seqno),
-            next_file_id: AtomicU64::new(boot.next_file_id),
+            seq_alloc: AtomicU64::new(last_seqno),
+            visible_seqno: AtomicU64::new(last_seqno),
+            next_file_id: AtomicU64::new(next_file_id),
             maint: Mutex::new(MaintState::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             flush_claimed: AtomicBool::new(false),
         });
+        // Replay the recovery milestones into the ring now that it
+        // exists, before any live traffic can interleave with them.
+        for ev in boot_events {
+            core.obs.log(ev);
+        }
         let mut workers = Vec::with_capacity(core.opts.background_threads);
         for i in 0..core.opts.background_threads {
             let c = Arc::clone(&core);
@@ -573,6 +601,7 @@ impl Db {
             wal,
             last_seqno: 0,
             next_file_id,
+            events: Vec::new(),
         })
     }
 
@@ -585,6 +614,9 @@ impl Db {
         cache: Option<&Arc<acheron_sstable::BlockCache>>,
     ) -> Result<Bootstrap> {
         let batches = read_manifest(fs.as_ref(), &acheron_vfs::join(dir, manifest))?;
+        // Milestones are buffered here and replayed into the event ring
+        // by `open` — recovery runs before the ring exists.
+        let mut events: Vec<Event> = Vec::new();
         // Fold edits into the recovered metadata state.
         struct RecFile {
             level: u64,
@@ -637,6 +669,11 @@ impl Db {
                 }
             }
         }
+
+        events.push(Event::RecoveryStep {
+            step: RecoveryStepKind::ManifestLoaded,
+            detail: files.len() as u64,
+        });
 
         // Open every live table.
         let mut version = Version::empty(opts.max_levels);
@@ -706,6 +743,10 @@ impl Db {
                 }
             }
             replayed.push(n);
+            events.push(Event::RecoveryStep {
+                step: RecoveryStepKind::WalSegmentReplayed,
+                detail: recovered.records.len() as u64,
+            });
             if recovered.is_torn() {
                 tear = Some((n, recovered.valid_len));
             }
@@ -738,6 +779,10 @@ impl Db {
             // the same reason; these deletes must not be best-effort.
             for n in &dropped_wals {
                 fs.delete(&wal_path(dir, *n))?;
+                events.push(Event::GcDropped {
+                    kind: GcKind::DeadWal,
+                    id: *n,
+                });
             }
             if !dropped_wals.is_empty() {
                 fs.sync_dir(dir)?;
@@ -762,6 +807,10 @@ impl Db {
             healed.finish()?;
             drop(healed);
             fs.rename(&tmp, &path)?;
+            events.push(Event::RecoveryStep {
+                step: RecoveryStepKind::TornTailHealed,
+                detail: torn_wal,
+            });
         }
         let wal_numbers = replayed;
 
@@ -812,6 +861,10 @@ impl Db {
         // at the *old* manifest, and deleting it first would leave the
         // database unopenable after a crash.
         fs.sync_dir(dir)?;
+        events.push(Event::RecoveryStep {
+            step: RecoveryStepKind::SnapshotManifestWritten,
+            detail: manifest_number,
+        });
 
         // Garbage-collect everything the snapshot manifest does not
         // reference: tables orphaned by a crash between a manifest
@@ -826,14 +879,21 @@ impl Db {
         let live_tables: BTreeSet<u64> = version.all_files().map(|f| f.id).collect();
         for fname in fs.list(dir)? {
             let dead = match parse_file_name(&fname) {
-                FileKind::Table(id) => !live_tables.contains(&id),
-                FileKind::Wal(n) => n < oldest_live_wal.min(wal_number),
-                FileKind::Manifest(m) => manifest_name(m) != name,
-                FileKind::Temp => true,
-                _ => false,
+                FileKind::Table(id) if !live_tables.contains(&id) => {
+                    Some((GcKind::OrphanTable, id))
+                }
+                FileKind::Wal(n) if n < oldest_live_wal.min(wal_number) => {
+                    Some((GcKind::DeadWal, n))
+                }
+                FileKind::Manifest(m) if manifest_name(m) != name => {
+                    Some((GcKind::StaleManifest, m))
+                }
+                FileKind::Temp => Some((GcKind::TempFile, 0)),
+                _ => None,
             };
-            if dead {
+            if let Some((kind, id)) = dead {
                 let _ = fs.delete(&acheron_vfs::join(dir, &fname));
+                events.push(Event::GcDropped { kind, id });
             }
         }
 
@@ -851,6 +911,10 @@ impl Db {
             .unwrap_or(0);
         opts.clock_advance_to(max_tick);
 
+        events.push(Event::RecoveryStep {
+            step: RecoveryStepKind::Finished,
+            detail: mem.stats().entries as u64,
+        });
         Ok(Bootstrap {
             state: State {
                 mem: Arc::new(mem),
@@ -864,6 +928,7 @@ impl Db {
             wal,
             last_seqno,
             next_file_id,
+            events,
         })
     }
 
@@ -1501,6 +1566,36 @@ impl Db {
             .map(|t| now.saturating_sub(t))
     }
 
+    /// Drain the flight recorder: a consistent snapshot of the newest
+    /// retained events plus emission/drop totals. Never blocks or
+    /// delays the writers feeding the ring.
+    pub fn events(&self) -> EventSnapshot {
+        self.core().obs.snapshot()
+    }
+
+    /// Live delete-persistence gauges. Disk-level state is the copy
+    /// recomputed at the last version install; the write-buffer and
+    /// range-tombstone fields are filled here from the current read
+    /// view, because buffer contents change without a version install.
+    pub fn tombstone_gauges(&self) -> TombstoneGauges {
+        let core = self.core();
+        let mut gauges = (**core.gauges.lock()).clone();
+        let view = core.current_view();
+        let mut buffered = 0u64;
+        let mut oldest: Option<Tick> = None;
+        for m in std::iter::once(&view.mem).chain(view.imms.iter()) {
+            let s = m.stats();
+            buffered += s.tombstones as u64;
+            if let Some(t0) = s.oldest_tombstone_tick {
+                oldest = Some(oldest.map_or(t0, |cur| cur.min(t0)));
+            }
+        }
+        gauges.buffer_tombstones = buffered;
+        gauges.buffer_oldest_tick = oldest;
+        gauges.range_tombstones = view.rts.len() as u64;
+        gauges
+    }
+
     /// Check structural invariants of the current tree (I1/I6): level
     /// ordering, per-file metadata consistency with actual contents.
     pub fn verify_integrity(&self) -> Result<()> {
@@ -1583,6 +1678,11 @@ impl DbCore {
         });
         *self.view.write() = view;
         self.stats.read_view_swaps.fetch_add(1, Ordering::Relaxed);
+        // Structural mutations are the only moment the installed file
+        // set changes, so recomputing the delete-persistence gauges
+        // here (O(files) over metadata only) keeps reads free and the
+        // gauges incapable of drifting from the tree.
+        *self.gauges.lock() = Arc::new(TombstoneGauges::from_version(&st.version));
     }
 
     /// Enter the commit-exclusion domain: wait out any commit leader or
@@ -1662,6 +1762,11 @@ impl DbCore {
         self.stats.commit_groups.fetch_add(1, Ordering::Relaxed);
         let total_ops: u64 = batches.iter().map(|b| b.ops.len() as u64).sum();
         self.stats.commit_group_ops.record(total_ops);
+        self.obs.log(Event::WalGroupCommit {
+            ops: total_ops,
+            commits: batches.len() as u64,
+            synced: self.opts.wal_sync,
+        });
 
         // Phase 2: visibility. Publish the whole group's inserts and the
         // new visible seqno, then swap the read view.
@@ -1775,6 +1880,8 @@ impl DbCore {
             return Ok(());
         }
         let max_seqno = st.mem.max_seqno().expect("non-empty memtable");
+        let sealed_entries = st.mem.stats().entries as u64;
+        let sealed_bytes = st.mem.approximate_bytes() as u64;
         let new_wal_number = self.alloc_file_id();
         let new_wal = LogWriter::new(self.fs.create(&wal_path(&self.dir, new_wal_number))?);
         let sealed_wal = *st.live_wals.last().expect("active wal present");
@@ -1789,6 +1896,11 @@ impl DbCore {
         self.stats
             .imm_queue_peak
             .fetch_max(st.imms.len() as u64, Ordering::Relaxed);
+        self.obs.log(Event::MemtableSealed {
+            entries: sealed_entries,
+            bytes: sealed_bytes,
+            sealed_behind: st.imms.len() as u64,
+        });
         self.recompute_ttl_deadline(st);
         // Readers (and the write throttle's gauges) must see the sealed
         // queue grow promptly.
@@ -1799,6 +1911,9 @@ impl DbCore {
     /// Build an L0 table from a sealed memtable. Pure I/O — callers run
     /// this without the state lock (background) or with it (inline).
     fn build_l0_table(&self, mem: &Memtable) -> Result<Option<Arc<FileMeta>>> {
+        self.obs.log(Event::FlushStart {
+            entries: mem.stats().entries as u64,
+        });
         let now = self.opts.clock.now();
         let id = self.alloc_file_id();
         // Entries are flushed as-is; range-erased versions are purged at
@@ -1819,7 +1934,12 @@ impl DbCore {
     /// Install a built L0 table for the *front* sealed memtable: manifest
     /// record first, then WAL retirement, then version publish — the
     /// crash-safety ordering the seed engine established.
-    fn install_flush_locked(&self, st: &mut State, file: Option<Arc<FileMeta>>) -> Result<()> {
+    fn install_flush_locked(
+        &self,
+        st: &mut State,
+        file: Option<Arc<FileMeta>>,
+        micros: u64,
+    ) -> Result<()> {
         let imm = st.imms.pop_front().expect("a sealed memtable is queued");
         // WAL segments strictly older than the next live one (the next
         // queued memtable's segment, or the active segment) are covered
@@ -1870,12 +1990,22 @@ impl DbCore {
             }
         }
 
+        let flushed = file
+            .as_ref()
+            .map(|f| (f.id, f.size_bytes, f.stats.entry_count));
         if let Some(f) = file {
             st.version = Arc::new(st.version.apply(vec![f], &[], &[], &[]));
         }
         st.persisted_seqno = st.persisted_seqno.max(imm.max_seqno);
         self.recompute_ttl_deadline(st);
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let (file_id, bytes, entries) = flushed.unwrap_or((0, 0, 0));
+        self.obs.log(Event::FlushEnd {
+            file_id,
+            bytes,
+            entries,
+            micros,
+        });
         self.publish_view_locked(st);
         Ok(())
     }
@@ -1885,8 +2015,9 @@ impl DbCore {
     fn flush_imms_locked(&self, st: &mut State) -> Result<()> {
         while let Some(front) = st.imms.front() {
             let mem = Arc::clone(&front.mem);
+            let started = Instant::now();
             let file = self.build_l0_table(&mem)?;
-            self.install_flush_locked(st, file)?;
+            self.install_flush_locked(st, file, started.elapsed().as_micros() as u64)?;
         }
         Ok(())
     }
@@ -1908,7 +2039,7 @@ impl DbCore {
         let file = self.build_l0_table(&mem)?;
         {
             let mut st = self.state.write();
-            self.install_flush_locked(&mut st, file)?;
+            self.install_flush_locked(&mut st, file, started.elapsed().as_micros() as u64)?;
         }
         self.stats
             .flush_micros
@@ -1935,10 +2066,31 @@ impl DbCore {
         ))
     }
 
+    /// Record a `CompactionPicked` event for `task`, with the FADE
+    /// trigger inputs (most overdue input tombstone, cumulative budget
+    /// at the input level) when a TTL schedule is configured.
+    fn log_compaction_picked(&self, task: &CompactionTask, now: Tick) {
+        let (overdue_by, deadline) = match self.picker.ttl_schedule() {
+            Some(ttl) => ttl.trigger_inputs(task.all_inputs().map(|f| f.as_ref()), task.level, now),
+            None => (0, 0),
+        };
+        self.obs.log(Event::CompactionPicked {
+            level: task.level as u64,
+            output_level: task.output_level as u64,
+            input_files: task.all_inputs().count() as u64,
+            input_bytes: task.input_bytes(),
+            reason: task.reason,
+            overdue_by,
+            deadline,
+        });
+    }
+
     /// Execute one compaction task inline: run it against the current
     /// version, then install the outcome (state lock held throughout).
     fn run_task_locked(&self, st: &mut State, task: &CompactionTask) -> Result<()> {
+        let started = Instant::now();
         let now = self.opts.clock.now();
+        self.log_compaction_picked(task, now);
         let snapshots = self.snapshot_list();
         let outcome = run_compaction(
             &self.fs,
@@ -1951,7 +2103,7 @@ impl DbCore {
             now,
             || self.alloc_file_id(),
         )?;
-        self.install_compaction_locked(st, task, outcome, now)
+        self.install_compaction_locked(st, task, outcome, now, started.elapsed().as_micros() as u64)
     }
 
     /// Background variant: merge against the version captured when the
@@ -1963,6 +2115,7 @@ impl DbCore {
     fn run_claimed_compaction(&self, version: &Version, task: &CompactionTask) -> Result<()> {
         let started = Instant::now();
         let now = self.opts.clock.now();
+        self.log_compaction_picked(task, now);
         let snapshots = self.snapshot_list();
         let outcome = run_compaction(
             &self.fs,
@@ -1977,7 +2130,13 @@ impl DbCore {
         )?;
         {
             let mut st = self.state.write();
-            self.install_compaction_locked(&mut st, task, outcome, now)?;
+            self.install_compaction_locked(
+                &mut st,
+                task,
+                outcome,
+                now,
+                started.elapsed().as_micros() as u64,
+            )?;
         }
         self.stats
             .compaction_micros
@@ -1995,6 +2154,7 @@ impl DbCore {
         task: &CompactionTask,
         outcome: crate::compaction::CompactionOutcome,
         now: Tick,
+        micros: u64,
     ) -> Result<()> {
         // Apply to the version first so range-tombstone retirement sees
         // the post-compaction file set. A tombstone is retirable only if
@@ -2108,6 +2268,15 @@ impl DbCore {
             self.stats.record_tombstone_purge(*delete_tick, now, d_th);
         }
         *self.stats.last_compaction_reason.lock() = Some(format!("{:?}", task.reason));
+        self.obs.log(Event::CompactionEnd {
+            level: task.level as u64,
+            output_level: task.output_level as u64,
+            bytes_in: outcome.bytes_in,
+            bytes_out: outcome.bytes_out,
+            entries_dropped: outcome.entries_dropped(),
+            tombstones_purged: outcome.tombstones_dropped.len() as u64,
+            micros,
+        });
         self.recompute_ttl_deadline(st);
         self.publish_view_locked(st);
         Ok(())
@@ -2311,6 +2480,10 @@ impl DbCore {
         if stall {
             let started = Instant::now();
             self.stats.write_stalls.fetch_add(1, Ordering::Relaxed);
+            self.obs.log(Event::StallEnter {
+                l0_files: l0 as u64,
+                sealed_memtables: imms as u64,
+            });
             self.kick_workers();
             loop {
                 self.check_background_error()?;
@@ -2324,13 +2497,18 @@ impl DbCore {
                 let mut maint = self.maint.lock();
                 self.done_cv.wait_for(&mut maint, STALL_RECHECK);
             }
-            self.stats
-                .stall_micros
-                .record(started.elapsed().as_micros() as u64);
+            let waited_micros = started.elapsed().as_micros() as u64;
+            self.stats.stall_micros.record(waited_micros);
+            self.obs.log(Event::StallExit { waited_micros });
         } else if l0 >= self.opts.l0_slowdown_files {
             self.stats.write_slowdowns.fetch_add(1, Ordering::Relaxed);
+            self.obs.log(Event::SlowdownEnter {
+                l0_files: l0 as u64,
+                sealed_memtables: imms as u64,
+            });
             self.kick_workers();
             std::thread::sleep(SLOWDOWN_DELAY);
+            self.obs.log(Event::SlowdownExit);
         }
         Ok(())
     }

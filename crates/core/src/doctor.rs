@@ -21,12 +21,30 @@ use std::collections::BTreeMap;
 
 use acheron_sstable::Table;
 use acheron_types::key::compare_internal;
-use acheron_types::{Error, Result};
+use acheron_types::{Error, Result, Tick};
 use acheron_vfs::Vfs;
 use acheron_wal::{LogReader, ReadOutcome, WalBatch};
 
 use crate::filenames::{parse_file_name, sst_path, wal_path, FileKind};
 use crate::manifest::{read_current, read_manifest, VersionEdit};
+
+/// Per-level live-tombstone summary from an offline check. Ages are
+/// measured against the newest file `created_tick` in the manifest — a
+/// conservative proxy for "now", since the doctor cannot consult the
+/// engine's clock without opening (and mutating) the database.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelTombstoneSummary {
+    /// LSM level.
+    pub level: u64,
+    /// Live tables at the level that hold point tombstones.
+    pub files_with_tombstones: usize,
+    /// Live point tombstones at the level.
+    pub tombstones: u64,
+    /// Birth tick of the oldest live tombstone at the level.
+    pub oldest_tombstone_tick: Option<Tick>,
+    /// Age of that tombstone at the newest-created-tick proxy.
+    pub max_unresolved_age: Option<Tick>,
+}
 
 /// Outcome of an offline check.
 #[derive(Debug, Default)]
@@ -43,12 +61,29 @@ pub struct DoctorReport {
     pub wals_checked: usize,
     /// WAL records that decoded cleanly.
     pub wal_records: u64,
+    /// Per-level live-tombstone populations (levels holding none are
+    /// omitted).
+    pub level_tombstones: Vec<LevelTombstoneSummary>,
+    /// The newest file `created_tick` in the manifest — the "now" proxy
+    /// unresolved tombstone ages are measured against.
+    pub newest_created_tick: Tick,
     /// Non-fatal observations (torn WAL tails, orphan files).
     pub warnings: Vec<String>,
 }
 
 /// Check the database under `dir` read-only.
 pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
+    check_db_with_threshold(fs, dir, None)
+}
+
+/// [`check_db`], additionally warning when the oldest live tombstone's
+/// unresolved age exceeds the delete persistence threshold `d_th` —
+/// the offline form of the engine's FADE promise.
+pub fn check_db_with_threshold(
+    fs: &dyn Vfs,
+    dir: &str,
+    d_th: Option<Tick>,
+) -> Result<DoctorReport> {
     let mut report = DoctorReport::default();
     let manifest_name = read_current(fs, dir)?
         .ok_or_else(|| Error::corruption("no CURRENT file: not a database directory"))?;
@@ -61,8 +96,14 @@ pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
     for batch in &batches {
         for edit in &batch.edits {
             match edit {
-                VersionEdit::AddFile { id, level, .. } => {
+                VersionEdit::AddFile {
+                    id,
+                    level,
+                    created_tick,
+                    ..
+                } => {
                     files.insert(*id, *level);
+                    report.newest_created_tick = report.newest_created_tick.max(*created_tick);
                 }
                 VersionEdit::DeleteFile { id } => {
                     files.remove(id);
@@ -79,6 +120,7 @@ pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
     // Verify every live table. Per level: (min key, max key, file id).
     type KeyRange = (Vec<u8>, Vec<u8>, u64);
     let mut per_level: BTreeMap<u64, Vec<KeyRange>> = BTreeMap::new();
+    let mut tomb_levels: BTreeMap<u64, LevelTombstoneSummary> = BTreeMap::new();
     for (&id, &level) in &files {
         let path = sst_path(dir, id);
         if !fs.exists(&path) {
@@ -92,6 +134,18 @@ pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
         report.tables_checked += 1;
         report.entries += stats.entry_count;
         report.tombstones += stats.tombstone_count;
+        if stats.tombstone_count > 0 {
+            let summary = tomb_levels.entry(level).or_insert(LevelTombstoneSummary {
+                level,
+                ..LevelTombstoneSummary::default()
+            });
+            summary.files_with_tombstones += 1;
+            summary.tombstones += stats.tombstone_count;
+            if let Some(t0) = stats.oldest_tombstone_tick {
+                summary.oldest_tombstone_tick =
+                    Some(summary.oldest_tombstone_tick.map_or(t0, |cur| cur.min(t0)));
+            }
+        }
         if stats.entry_count > 0 {
             per_level.entry(level).or_default().push((
                 stats.min_user_key.to_vec(),
@@ -116,6 +170,26 @@ pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
             }
         }
     }
+
+    // Tombstone populations: how far each level's oldest live delete
+    // has aged, against the manifest's newest created tick. When a
+    // threshold is given, an age past it means the engine's FADE
+    // promise is (or is about to be) violated for that tombstone.
+    for summary in tomb_levels.values_mut() {
+        summary.max_unresolved_age = summary
+            .oldest_tombstone_tick
+            .map(|t0| report.newest_created_tick.saturating_sub(t0));
+        if let (Some(d), Some(age)) = (d_th, summary.max_unresolved_age) {
+            if age > d {
+                report.warnings.push(format!(
+                    "level {}: oldest live tombstone is {age} ticks old, past the delete \
+                     persistence threshold {d} — deletes at this level are overdue for purge",
+                    summary.level
+                ));
+            }
+        }
+    }
+    report.level_tombstones = tomb_levels.into_values().collect();
 
     // WAL segments. A tear is only ordinary crash debris in the
     // *final* (highest-numbered) live segment — a crash can tear the
@@ -282,6 +356,52 @@ mod tests {
                 "unexpected warning on healthy db: {w}"
             );
         }
+    }
+
+    #[test]
+    fn reports_per_level_tombstone_populations() {
+        let fs = populated_fs();
+        let report = check_db(fs.as_ref(), "db").unwrap();
+        assert!(
+            !report.level_tombstones.is_empty(),
+            "deletes were flushed, so some level must hold tombstones"
+        );
+        let total: u64 = report.level_tombstones.iter().map(|l| l.tombstones).sum();
+        assert_eq!(total, report.tombstones);
+        for l in &report.level_tombstones {
+            assert!(l.tombstones > 0);
+            assert!(l.files_with_tombstones > 0);
+            let t0 = l.oldest_tombstone_tick.expect("oldest tick recorded");
+            assert_eq!(
+                l.max_unresolved_age,
+                Some(report.newest_created_tick.saturating_sub(t0))
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_flags_overdue_tombstones() {
+        let fs = populated_fs();
+        // Threshold 0: any aged live tombstone is overdue.
+        let report = check_db_with_threshold(fs.as_ref(), "db", Some(0)).unwrap();
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("past the delete persistence threshold")),
+            "{:?}",
+            report.warnings
+        );
+        // A huge threshold: nothing is overdue.
+        let report = check_db_with_threshold(fs.as_ref(), "db", Some(u64::MAX)).unwrap();
+        assert!(
+            !report
+                .warnings
+                .iter()
+                .any(|w| w.contains("past the delete persistence threshold")),
+            "{:?}",
+            report.warnings
+        );
     }
 
     #[test]

@@ -154,6 +154,21 @@ impl TtlSchedule {
     pub fn d_th(&self) -> Tick {
         self.d_th
     }
+
+    /// The FADE trigger inputs recorded on a `CompactionPicked` event:
+    /// how far past its cumulative budget the task's most overdue input
+    /// tombstone is, and what that budget (`deadline(level)`) was.
+    /// `(0, deadline)` for saturation-triggered picks over unexpired
+    /// inputs.
+    pub fn trigger_inputs<'a>(
+        &self,
+        inputs: impl Iterator<Item = &'a FileMeta>,
+        level: usize,
+        now: Tick,
+    ) -> (Tick, Tick) {
+        let overdue = inputs.map(|f| self.overdue_by(f, now)).max().unwrap_or(0);
+        (overdue, self.deadline(level))
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@ pub mod fade;
 pub mod filenames;
 pub mod manifest;
 pub mod merge;
+pub mod obs;
 pub mod options;
 pub mod picker;
 pub mod stats;
@@ -58,8 +59,13 @@ pub mod testutil;
 pub mod version;
 
 pub use db::{Db, LevelInfo, MaintenancePause, RangeIter, Snapshot, WriteBatch, WritePressure};
-pub use doctor::{check_db, DoctorReport};
+pub use doctor::{check_db, check_db_with_threshold, DoctorReport, LevelTombstoneSummary};
+pub use obs::{
+    AgeHistogram, Event, EventLog, EventSnapshot, GcKind, LevelGauge, RecoveryStepKind,
+    StampedEvent, TombstoneGauges,
+};
 pub use options::{CompactionLayout, DbOptions, FadeOptions, FilePickPolicy, TtlAllocation};
+pub use picker::CompactionReason;
 pub use stats::{DbStats, HistogramSummary, LatencyHistogram, StatsSnapshot};
 
 // Re-export the commonly needed foundation types so downstream users

@@ -1,0 +1,1107 @@
+//! Engine flight recorder: structured event tracing and live
+//! delete-persistence gauges.
+//!
+//! The engine's promise — bounded delete persistence — was previously
+//! observable only *after the fact*, through the purge histogram in
+//! [`crate::stats`]. This module makes the maintenance pipeline
+//! visible while it runs:
+//!
+//! * [`EventLog`] is a lock-free, fixed-capacity ring of typed
+//!   [`Event`]s (flushes, compaction picks with their trigger inputs,
+//!   stalls, WAL group commits, recovery steps). Emission costs one
+//!   atomic seqno allocation plus one slot write — no allocation, no
+//!   lock — so the hooks stay on in production builds.
+//! * [`TombstoneGauges`] aggregates per-level file/byte/tombstone
+//!   counts and the per-file oldest-tombstone ticks from per-sstable
+//!   metadata. It is recomputed at version-install time (the only
+//!   moment the file set changes), so reading it is free and it can
+//!   never drift from the installed tree.
+//! * [`render_prometheus`] / [`render_events`] turn counters, gauges,
+//!   and the ring into the text forms served by the `metrics` and
+//!   `events` wire commands.
+//!
+//! # Ring-buffer consistency
+//!
+//! Writers never coordinate: `log` allocates a seqno with one
+//! `fetch_add`, then writes the slot `seqno % capacity` under a
+//! per-slot seqlock (`begin` stamp, release fence, payload words,
+//! `end` stamp). A reader accepts a slot only when `begin == end ==
+//! seqno + 1` re-reads consistently around the payload, so a slot
+//! being overwritten mid-drain is *skipped* (counted as dropped), and
+//! drains never block or delay writers. All payload fields are
+//! atomics, so racing accesses are well-defined; the stamps only
+//! guard logical consistency.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use acheron_types::Tick;
+
+use crate::picker::CompactionReason;
+use crate::version::Version;
+
+/// A recovery milestone carried by [`Event::RecoveryStep`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStepKind {
+    /// The manifest chain was folded into a live file set.
+    ManifestLoaded,
+    /// One WAL segment replayed cleanly (detail = records).
+    WalSegmentReplayed,
+    /// A torn WAL tail was healed (detail = segment number).
+    TornTailHealed,
+    /// The compacted snapshot manifest was made durable.
+    SnapshotManifestWritten,
+    /// Recovery finished (detail = entries recovered into the buffer).
+    Finished,
+}
+
+impl RecoveryStepKind {
+    fn code(self) -> u64 {
+        match self {
+            RecoveryStepKind::ManifestLoaded => 0,
+            RecoveryStepKind::WalSegmentReplayed => 1,
+            RecoveryStepKind::TornTailHealed => 2,
+            RecoveryStepKind::SnapshotManifestWritten => 3,
+            RecoveryStepKind::Finished => 4,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<RecoveryStepKind> {
+        Some(match code {
+            0 => RecoveryStepKind::ManifestLoaded,
+            1 => RecoveryStepKind::WalSegmentReplayed,
+            2 => RecoveryStepKind::TornTailHealed,
+            3 => RecoveryStepKind::SnapshotManifestWritten,
+            4 => RecoveryStepKind::Finished,
+            _ => return None,
+        })
+    }
+
+    /// Lowercase name for text exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryStepKind::ManifestLoaded => "manifest_loaded",
+            RecoveryStepKind::WalSegmentReplayed => "wal_segment_replayed",
+            RecoveryStepKind::TornTailHealed => "torn_tail_healed",
+            RecoveryStepKind::SnapshotManifestWritten => "snapshot_manifest_written",
+            RecoveryStepKind::Finished => "finished",
+        }
+    }
+}
+
+/// What kind of dead file recovery garbage-collected, carried by
+/// [`Event::GcDropped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcKind {
+    /// A table file not referenced by the manifest.
+    OrphanTable,
+    /// A WAL segment older than the manifest's log number.
+    DeadWal,
+    /// A manifest superseded by the recovery snapshot.
+    StaleManifest,
+    /// Crash debris from an interrupted rename.
+    TempFile,
+}
+
+impl GcKind {
+    fn code(self) -> u64 {
+        match self {
+            GcKind::OrphanTable => 0,
+            GcKind::DeadWal => 1,
+            GcKind::StaleManifest => 2,
+            GcKind::TempFile => 3,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<GcKind> {
+        Some(match code {
+            0 => GcKind::OrphanTable,
+            1 => GcKind::DeadWal,
+            2 => GcKind::StaleManifest,
+            3 => GcKind::TempFile,
+            _ => return None,
+        })
+    }
+
+    /// Lowercase name for text exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            GcKind::OrphanTable => "orphan_table",
+            GcKind::DeadWal => "dead_wal",
+            GcKind::StaleManifest => "stale_manifest",
+            GcKind::TempFile => "temp_file",
+        }
+    }
+}
+
+/// One typed engine event. Every variant is `Copy` and carries only
+/// numeric fields, so logging never allocates and a whole event fits
+/// in one ring slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The active memtable was swapped out for flushing.
+    MemtableSealed {
+        /// Entries in the sealed memtable.
+        entries: u64,
+        /// Approximate bytes in the sealed memtable.
+        bytes: u64,
+        /// Sealed memtables now queued behind the flusher.
+        sealed_behind: u64,
+    },
+    /// A sealed memtable starts flushing to an L0 table.
+    FlushStart {
+        /// Entries about to be written.
+        entries: u64,
+    },
+    /// A flush installed its L0 table.
+    FlushEnd {
+        /// Id of the new table file.
+        file_id: u64,
+        /// Size of the new table file.
+        bytes: u64,
+        /// Entries written.
+        entries: u64,
+        /// Wall time of build + install.
+        micros: u64,
+    },
+    /// The picker scheduled a compaction. `overdue_by`/`deadline` are
+    /// the FADE trigger inputs: how far past its cumulative TTL budget
+    /// the driving tombstone is, and what that budget was (both zero
+    /// for saturation-triggered picks or when FADE is off).
+    CompactionPicked {
+        /// Input level.
+        level: u64,
+        /// Level the merged output lands in.
+        output_level: u64,
+        /// Number of input files (both levels).
+        input_files: u64,
+        /// Total input bytes.
+        input_bytes: u64,
+        /// Trigger that scheduled the task.
+        reason: CompactionReason,
+        /// Ticks past the TTL deadline (TTL picks only).
+        overdue_by: Tick,
+        /// The cumulative TTL budget at the input level (TTL picks only).
+        deadline: Tick,
+    },
+    /// A compaction installed its outputs.
+    CompactionEnd {
+        /// Input level.
+        level: u64,
+        /// Output level.
+        output_level: u64,
+        /// Bytes read from input tables.
+        bytes_in: u64,
+        /// Bytes written to output tables.
+        bytes_out: u64,
+        /// Entries dropped (shadowed versions + range-deleted entries).
+        entries_dropped: u64,
+        /// Point tombstones purged (persisted deletes).
+        tombstones_purged: u64,
+        /// Wall time of merge + install.
+        micros: u64,
+    },
+    /// Writers hit the stall threshold and block.
+    StallEnter {
+        /// L0 file count at entry.
+        l0_files: u64,
+        /// Sealed memtables queued at entry.
+        sealed_memtables: u64,
+    },
+    /// The stall condition cleared.
+    StallExit {
+        /// How long the writer waited.
+        waited_micros: u64,
+    },
+    /// Writers crossed the slowdown threshold and are being paced.
+    SlowdownEnter {
+        /// L0 file count at entry.
+        l0_files: u64,
+        /// Sealed memtables queued at entry.
+        sealed_memtables: u64,
+    },
+    /// Write pressure dropped back below the slowdown threshold.
+    SlowdownExit,
+    /// A recovery milestone (buffered during `Db::open`, visible once
+    /// the engine is constructed).
+    RecoveryStep {
+        /// Which milestone.
+        step: RecoveryStepKind,
+        /// Step-specific detail (records replayed, segment number, …).
+        detail: u64,
+    },
+    /// Recovery garbage-collected a dead file.
+    GcDropped {
+        /// What kind of file.
+        kind: GcKind,
+        /// Its file/segment number (0 when unnumbered, e.g. temp files).
+        id: u64,
+    },
+    /// A WAL commit group was appended (and possibly fsynced).
+    WalGroupCommit {
+        /// Operations in the group.
+        ops: u64,
+        /// Commits coalesced into the group.
+        commits: u64,
+        /// Whether this append fsynced the segment.
+        synced: bool,
+    },
+}
+
+/// Ring-slot payload width: one tag word plus up to seven fields.
+const WORDS: usize = 8;
+
+impl Event {
+    /// Lowercase event-kind name for text exposition.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::MemtableSealed { .. } => "memtable_sealed",
+            Event::FlushStart { .. } => "flush_start",
+            Event::FlushEnd { .. } => "flush_end",
+            Event::CompactionPicked { .. } => "compaction_picked",
+            Event::CompactionEnd { .. } => "compaction_end",
+            Event::StallEnter { .. } => "stall_enter",
+            Event::StallExit { .. } => "stall_exit",
+            Event::SlowdownEnter { .. } => "slowdown_enter",
+            Event::SlowdownExit => "slowdown_exit",
+            Event::RecoveryStep { .. } => "recovery_step",
+            Event::GcDropped { .. } => "gc_dropped",
+            Event::WalGroupCommit { .. } => "wal_group_commit",
+        }
+    }
+
+    /// The event's fields as `key=value` text (allocates; exposition
+    /// path only, never the hot path).
+    pub fn describe(&self) -> String {
+        match *self {
+            Event::MemtableSealed {
+                entries,
+                bytes,
+                sealed_behind,
+            } => format!("entries={entries} bytes={bytes} sealed_behind={sealed_behind}"),
+            Event::FlushStart { entries } => format!("entries={entries}"),
+            Event::FlushEnd {
+                file_id,
+                bytes,
+                entries,
+                micros,
+            } => format!("file={file_id} bytes={bytes} entries={entries} micros={micros}"),
+            Event::CompactionPicked {
+                level,
+                output_level,
+                input_files,
+                input_bytes,
+                reason,
+                overdue_by,
+                deadline,
+            } => format!(
+                "level={level} output_level={output_level} input_files={input_files} \
+                 input_bytes={input_bytes} reason={} overdue_by={overdue_by} deadline={deadline}",
+                reason.name()
+            ),
+            Event::CompactionEnd {
+                level,
+                output_level,
+                bytes_in,
+                bytes_out,
+                entries_dropped,
+                tombstones_purged,
+                micros,
+            } => format!(
+                "level={level} output_level={output_level} bytes_in={bytes_in} \
+                 bytes_out={bytes_out} entries_dropped={entries_dropped} \
+                 tombstones_purged={tombstones_purged} micros={micros}"
+            ),
+            Event::StallEnter {
+                l0_files,
+                sealed_memtables,
+            } => format!("l0_files={l0_files} sealed_memtables={sealed_memtables}"),
+            Event::StallExit { waited_micros } => format!("waited_micros={waited_micros}"),
+            Event::SlowdownEnter {
+                l0_files,
+                sealed_memtables,
+            } => format!("l0_files={l0_files} sealed_memtables={sealed_memtables}"),
+            Event::SlowdownExit => String::new(),
+            Event::RecoveryStep { step, detail } => {
+                format!("step={} detail={detail}", step.name())
+            }
+            Event::GcDropped { kind, id } => format!("kind={} id={id}", kind.name()),
+            Event::WalGroupCommit {
+                ops,
+                commits,
+                synced,
+            } => format!("ops={ops} commits={commits} synced={}", u64::from(synced)),
+        }
+    }
+
+    fn encode(&self) -> [u64; WORDS] {
+        let mut w = [0u64; WORDS];
+        match *self {
+            Event::MemtableSealed {
+                entries,
+                bytes,
+                sealed_behind,
+            } => {
+                w[0] = 0;
+                w[1] = entries;
+                w[2] = bytes;
+                w[3] = sealed_behind;
+            }
+            Event::FlushStart { entries } => {
+                w[0] = 1;
+                w[1] = entries;
+            }
+            Event::FlushEnd {
+                file_id,
+                bytes,
+                entries,
+                micros,
+            } => {
+                w[0] = 2;
+                w[1] = file_id;
+                w[2] = bytes;
+                w[3] = entries;
+                w[4] = micros;
+            }
+            Event::CompactionPicked {
+                level,
+                output_level,
+                input_files,
+                input_bytes,
+                reason,
+                overdue_by,
+                deadline,
+            } => {
+                w[0] = 3;
+                w[1] = level;
+                w[2] = output_level;
+                w[3] = input_files;
+                w[4] = input_bytes;
+                w[5] = reason.code();
+                w[6] = overdue_by;
+                w[7] = deadline;
+            }
+            Event::CompactionEnd {
+                level,
+                output_level,
+                bytes_in,
+                bytes_out,
+                entries_dropped,
+                tombstones_purged,
+                micros,
+            } => {
+                w[0] = 4;
+                w[1] = level;
+                w[2] = output_level;
+                w[3] = bytes_in;
+                w[4] = bytes_out;
+                w[5] = entries_dropped;
+                w[6] = tombstones_purged;
+                w[7] = micros;
+            }
+            Event::StallEnter {
+                l0_files,
+                sealed_memtables,
+            } => {
+                w[0] = 5;
+                w[1] = l0_files;
+                w[2] = sealed_memtables;
+            }
+            Event::StallExit { waited_micros } => {
+                w[0] = 6;
+                w[1] = waited_micros;
+            }
+            Event::SlowdownEnter {
+                l0_files,
+                sealed_memtables,
+            } => {
+                w[0] = 7;
+                w[1] = l0_files;
+                w[2] = sealed_memtables;
+            }
+            Event::SlowdownExit => w[0] = 8,
+            Event::RecoveryStep { step, detail } => {
+                w[0] = 9;
+                w[1] = step.code();
+                w[2] = detail;
+            }
+            Event::GcDropped { kind, id } => {
+                w[0] = 10;
+                w[1] = kind.code();
+                w[2] = id;
+            }
+            Event::WalGroupCommit {
+                ops,
+                commits,
+                synced,
+            } => {
+                w[0] = 11;
+                w[1] = ops;
+                w[2] = commits;
+                w[3] = u64::from(synced);
+            }
+        }
+        w
+    }
+
+    fn decode(w: &[u64; WORDS]) -> Option<Event> {
+        Some(match w[0] {
+            0 => Event::MemtableSealed {
+                entries: w[1],
+                bytes: w[2],
+                sealed_behind: w[3],
+            },
+            1 => Event::FlushStart { entries: w[1] },
+            2 => Event::FlushEnd {
+                file_id: w[1],
+                bytes: w[2],
+                entries: w[3],
+                micros: w[4],
+            },
+            3 => Event::CompactionPicked {
+                level: w[1],
+                output_level: w[2],
+                input_files: w[3],
+                input_bytes: w[4],
+                reason: CompactionReason::from_code(w[5])?,
+                overdue_by: w[6],
+                deadline: w[7],
+            },
+            4 => Event::CompactionEnd {
+                level: w[1],
+                output_level: w[2],
+                bytes_in: w[3],
+                bytes_out: w[4],
+                entries_dropped: w[5],
+                tombstones_purged: w[6],
+                micros: w[7],
+            },
+            5 => Event::StallEnter {
+                l0_files: w[1],
+                sealed_memtables: w[2],
+            },
+            6 => Event::StallExit {
+                waited_micros: w[1],
+            },
+            7 => Event::SlowdownEnter {
+                l0_files: w[1],
+                sealed_memtables: w[2],
+            },
+            8 => Event::SlowdownExit,
+            9 => Event::RecoveryStep {
+                step: RecoveryStepKind::from_code(w[1])?,
+                detail: w[2],
+            },
+            10 => Event::GcDropped {
+                kind: GcKind::from_code(w[1])?,
+                id: w[2],
+            },
+            11 => Event::WalGroupCommit {
+                ops: w[1],
+                commits: w[2],
+                synced: w[3] != 0,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// An event plus the ring seqno it was logged under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StampedEvent {
+    /// Position in the global emission order (0-based, dense).
+    pub seqno: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl std::fmt::Display for StampedEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let args = self.event.describe();
+        if args.is_empty() {
+            write!(f, "#{:<6} {}", self.seqno, self.event.name())
+        } else {
+            write!(f, "#{:<6} {:<18} {}", self.seqno, self.event.name(), args)
+        }
+    }
+}
+
+/// A consistent view of the ring at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct EventSnapshot {
+    /// Retained events, ascending by seqno.
+    pub events: Vec<StampedEvent>,
+    /// Total events ever emitted (equals the next seqno).
+    pub emitted: u64,
+    /// Events emitted but no longer retrievable: overwritten by newer
+    /// events, or mid-overwrite while this snapshot was taken.
+    pub dropped: u64,
+}
+
+/// One ring slot: a seqlock (`begin`/`end` stamps hold `seqno + 1`)
+/// around an atomic word payload.
+struct Slot {
+    begin: AtomicU64,
+    end: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            begin: AtomicU64::new(0),
+            end: AtomicU64::new(0),
+            words: Default::default(),
+        }
+    }
+}
+
+/// Lock-free fixed-capacity event ring. See the module docs for the
+/// consistency argument.
+pub struct EventLog {
+    slots: Vec<Slot>,
+    next: AtomicU64,
+}
+
+impl EventLog {
+    /// A ring retaining the newest `capacity` events (min 1).
+    pub fn new(capacity: usize) -> EventLog {
+        let capacity = capacity.max(1);
+        EventLog {
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever emitted.
+    pub fn emitted(&self) -> u64 {
+        self.next.load(Ordering::Acquire)
+    }
+
+    /// Record one event; returns its seqno. Wait-free except for the
+    /// single `fetch_add`: no lock, no allocation, one slot write.
+    pub fn log(&self, event: Event) -> u64 {
+        let seqno = self.next.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(seqno % self.slots.len() as u64) as usize];
+        // Seqlock write: stamp `begin` first so a concurrent reader
+        // can tell the payload is in flux, then the payload, then
+        // `end` (release) to publish.
+        slot.begin.store(seqno + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        for (w, v) in slot.words.iter().zip(event.encode()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.end.store(seqno + 1, Ordering::Release);
+        seqno
+    }
+
+    /// Snapshot the retained window without blocking writers. Slots
+    /// being overwritten during the drain are skipped and counted in
+    /// [`EventSnapshot::dropped`].
+    pub fn snapshot(&self) -> EventSnapshot {
+        let head = self.next.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let first = head.saturating_sub(cap);
+        let mut events = Vec::with_capacity((head - first) as usize);
+        for seqno in first..head {
+            let slot = &self.slots[(seqno % cap) as usize];
+            // Seqlock read: `end` (acquire), payload, fence, `begin`;
+            // accept only when both stamps match this seqno.
+            let end = slot.end.load(Ordering::Acquire);
+            if end != seqno + 1 {
+                continue;
+            }
+            let mut words = [0u64; WORDS];
+            for (v, w) in words.iter_mut().zip(slot.words.iter()) {
+                *v = w.load(Ordering::Relaxed);
+            }
+            fence(Ordering::Acquire);
+            if slot.begin.load(Ordering::Relaxed) != seqno + 1 {
+                continue;
+            }
+            if let Some(event) = Event::decode(&words) {
+                events.push(StampedEvent { seqno, event });
+            }
+        }
+        let dropped = head - events.len() as u64;
+        EventSnapshot {
+            events,
+            emitted: head,
+            dropped,
+        }
+    }
+}
+
+/// Per-level occupancy and tombstone-population gauge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelGauge {
+    /// LSM level.
+    pub level: usize,
+    /// Live files at the level.
+    pub files: u64,
+    /// Total bytes at the level.
+    pub bytes: u64,
+    /// Total entries at the level.
+    pub entries: u64,
+    /// Live point tombstones at the level.
+    pub tombstones: u64,
+    /// Birth tick of the oldest still-live tombstone at the level.
+    pub oldest_tombstone_tick: Option<Tick>,
+}
+
+/// Live delete-persistence gauges: the paper's headline metric made
+/// observable *before* purge. Disk-level state is recomputed from
+/// per-sstable metadata whenever a version installs; the write-buffer
+/// fields are filled from live memtable stats when the gauge is read
+/// (buffer contents change without a version install).
+#[derive(Debug, Clone, Default)]
+pub struct TombstoneGauges {
+    /// One gauge per occupied level (empty levels omitted).
+    pub levels: Vec<LevelGauge>,
+    /// Live point tombstones in the active + sealed memtables.
+    pub buffer_tombstones: u64,
+    /// Birth tick of the oldest buffered tombstone.
+    pub buffer_oldest_tick: Option<Tick>,
+    /// Live secondary range tombstones.
+    pub range_tombstones: u64,
+    /// Per-file `(tombstone_count, oldest tick)` pairs feeding the age
+    /// histogram — every tombstone in a file is binned at the file's
+    /// *oldest* tombstone age (per-sstable metadata has no finer
+    /// resolution), a conservative over-estimate of ages.
+    pub file_populations: Vec<(u64, Tick)>,
+}
+
+impl TombstoneGauges {
+    /// Aggregate the disk-level gauges from a version's file metadata.
+    /// `O(files)`; called at version-install time.
+    pub fn from_version(version: &Version) -> TombstoneGauges {
+        let mut levels = Vec::new();
+        let mut file_populations = Vec::new();
+        for (level, files) in version.levels.iter().enumerate() {
+            if files.is_empty() {
+                continue;
+            }
+            let mut g = LevelGauge {
+                level,
+                ..LevelGauge::default()
+            };
+            for f in files {
+                g.files += 1;
+                g.bytes += f.size_bytes;
+                g.entries += f.stats.entry_count;
+                g.tombstones += f.stats.tombstone_count;
+                if let Some(t0) = f.stats.oldest_tombstone_tick {
+                    g.oldest_tombstone_tick =
+                        Some(g.oldest_tombstone_tick.map_or(t0, |cur| cur.min(t0)));
+                    if f.stats.tombstone_count > 0 {
+                        file_populations.push((f.stats.tombstone_count, t0));
+                    }
+                }
+            }
+            levels.push(g);
+        }
+        TombstoneGauges {
+            levels,
+            buffer_tombstones: 0,
+            buffer_oldest_tick: None,
+            range_tombstones: version.range_tombstones.len() as u64,
+            file_populations,
+        }
+    }
+
+    /// Total live point tombstones (disk + buffer).
+    pub fn live_tombstones(&self) -> u64 {
+        self.levels.iter().map(|g| g.tombstones).sum::<u64>() + self.buffer_tombstones
+    }
+
+    /// Birth tick of the oldest live tombstone anywhere.
+    pub fn oldest_live_tick(&self) -> Option<Tick> {
+        self.levels
+            .iter()
+            .filter_map(|g| g.oldest_tombstone_tick)
+            .chain(self.buffer_oldest_tick)
+            .min()
+    }
+
+    /// Histogram of still-live tombstone ages at `now`. With a FADE
+    /// threshold the bucket bounds are fractions of `d_th` (so the
+    /// overflow bucket *is* the threshold-violation population);
+    /// without one they are powers of two.
+    pub fn age_histogram(&self, now: Tick, d_th: Option<Tick>) -> AgeHistogram {
+        let populations = self
+            .file_populations
+            .iter()
+            .copied()
+            .chain(
+                self.buffer_oldest_tick
+                    .map(|t0| (self.buffer_tombstones, t0)),
+            )
+            .filter(|(count, _)| *count > 0);
+        let mut ages: Vec<(u64, Tick)> = populations
+            .map(|(count, t0)| (count, now.saturating_sub(t0)))
+            .collect();
+        ages.sort_by_key(|&(_, age)| age);
+        let oldest_age = ages.last().map(|&(_, age)| age);
+        let bounds: Vec<Tick> = match d_th {
+            Some(d) if d > 0 => vec![d / 8, d / 4, d / 2, d * 3 / 4, d],
+            _ => {
+                let max_age = oldest_age.unwrap_or(0);
+                let mut b = Vec::new();
+                let mut bound: Tick = 1;
+                while bound < max_age && b.len() < 16 {
+                    b.push(bound);
+                    bound = bound.saturating_mul(4);
+                }
+                b.push(bound.max(max_age));
+                b
+            }
+        };
+        // Cumulative (Prometheus `le`) counts.
+        let total: u64 = ages.iter().map(|&(c, _)| c).sum();
+        let counts: Vec<u64> = bounds
+            .iter()
+            .map(|&le| {
+                ages.iter()
+                    .filter(|&&(_, age)| age <= le)
+                    .map(|&(c, _)| c)
+                    .sum()
+            })
+            .collect();
+        AgeHistogram {
+            bounds,
+            counts,
+            total,
+            oldest_age,
+            d_th,
+        }
+    }
+}
+
+/// Cumulative histogram of live tombstone ages (Prometheus bucket
+/// semantics: `counts[i]` = tombstones with age `<= bounds[i]`; the
+/// implicit `+Inf` bucket is `total`).
+#[derive(Debug, Clone, Default)]
+pub struct AgeHistogram {
+    /// Upper bucket bounds, ascending, in ticks.
+    pub bounds: Vec<Tick>,
+    /// Cumulative count at each bound.
+    pub counts: Vec<u64>,
+    /// Total live tombstones observed.
+    pub total: u64,
+    /// Age of the oldest live tombstone, if any.
+    pub oldest_age: Option<Tick>,
+    /// The FADE threshold the bounds were derived from, if any.
+    pub d_th: Option<Tick>,
+}
+
+/// Render counters plus the delete-persistence gauges as Prometheus
+/// text exposition (`name{label} value` lines). `pairs` is any flat
+/// counter list (`StatsSnapshot::to_pairs`, server metrics, pressure
+/// gauges); the tombstone gauges and age histogram are rendered with
+/// per-level / per-bucket labels.
+pub fn render_prometheus(
+    pairs: &[(String, u64)],
+    gauges: &TombstoneGauges,
+    now: Tick,
+    d_th: Option<Tick>,
+) -> String {
+    let mut out = String::new();
+    for (name, value) in pairs {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    out.push_str(&format!("db_clock_tick {now}\n"));
+    if let Some(d) = d_th {
+        out.push_str(&format!("db_delete_persistence_threshold_ticks {d}\n"));
+    }
+    for g in &gauges.levels {
+        let l = g.level;
+        out.push_str(&format!("db_level_files{{level=\"{l}\"}} {}\n", g.files));
+        out.push_str(&format!("db_level_bytes{{level=\"{l}\"}} {}\n", g.bytes));
+        out.push_str(&format!(
+            "db_level_entries{{level=\"{l}\"}} {}\n",
+            g.entries
+        ));
+        out.push_str(&format!(
+            "db_level_tombstones{{level=\"{l}\"}} {}\n",
+            g.tombstones
+        ));
+        if let Some(t0) = g.oldest_tombstone_tick {
+            out.push_str(&format!(
+                "db_level_oldest_tombstone_age_ticks{{level=\"{l}\"}} {}\n",
+                now.saturating_sub(t0)
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "db_buffer_tombstones {}\n",
+        gauges.buffer_tombstones
+    ));
+    out.push_str(&format!(
+        "db_live_range_tombstones {}\n",
+        gauges.range_tombstones
+    ));
+    out.push_str(&format!(
+        "db_live_tombstones {}\n",
+        gauges.live_tombstones()
+    ));
+    let hist = gauges.age_histogram(now, d_th);
+    for (le, count) in hist.bounds.iter().zip(&hist.counts) {
+        out.push_str(&format!(
+            "db_tombstone_age_ticks_bucket{{le=\"{le}\"}} {count}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "db_tombstone_age_ticks_bucket{{le=\"+Inf\"}} {}\n",
+        hist.total
+    ));
+    out.push_str(&format!("db_tombstone_age_ticks_count {}\n", hist.total));
+    if let Some(age) = hist.oldest_age {
+        out.push_str(&format!("db_tombstone_age_ticks_max {age}\n"));
+    }
+    out
+}
+
+/// Render an event snapshot as one line per event, oldest first, with
+/// a drop summary header.
+pub fn render_events(snap: &EventSnapshot) -> String {
+    let mut out = format!(
+        "# {} events emitted, {} retained, {} dropped (ring overwrote oldest)\n",
+        snap.emitted,
+        snap.events.len(),
+        snap.dropped
+    );
+    for ev in &snap.events {
+        out.push_str(&format!("{ev}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events() -> Vec<Event> {
+        vec![
+            Event::MemtableSealed {
+                entries: 1,
+                bytes: 2,
+                sealed_behind: 3,
+            },
+            Event::FlushStart { entries: 9 },
+            Event::FlushEnd {
+                file_id: 7,
+                bytes: 4096,
+                entries: 10,
+                micros: 55,
+            },
+            Event::CompactionPicked {
+                level: 1,
+                output_level: 2,
+                input_files: 3,
+                input_bytes: 999,
+                reason: CompactionReason::TtlExpired,
+                overdue_by: 17,
+                deadline: 1200,
+            },
+            Event::CompactionEnd {
+                level: 1,
+                output_level: 2,
+                bytes_in: 100,
+                bytes_out: 80,
+                entries_dropped: 5,
+                tombstones_purged: 2,
+                micros: 77,
+            },
+            Event::StallEnter {
+                l0_files: 9,
+                sealed_memtables: 2,
+            },
+            Event::StallExit { waited_micros: 300 },
+            Event::SlowdownEnter {
+                l0_files: 7,
+                sealed_memtables: 1,
+            },
+            Event::SlowdownExit,
+            Event::RecoveryStep {
+                step: RecoveryStepKind::WalSegmentReplayed,
+                detail: 42,
+            },
+            Event::GcDropped {
+                kind: GcKind::OrphanTable,
+                id: 13,
+            },
+            Event::WalGroupCommit {
+                ops: 8,
+                commits: 3,
+                synced: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_every_variant() {
+        for ev in all_events() {
+            assert_eq!(Event::decode(&ev.encode()), Some(ev), "{}", ev.name());
+        }
+    }
+
+    #[test]
+    fn log_and_snapshot_preserve_order_and_payload() {
+        let log = EventLog::new(64);
+        for ev in all_events() {
+            log.log(ev);
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.emitted, all_events().len() as u64);
+        assert_eq!(snap.dropped, 0);
+        let got: Vec<Event> = snap.events.iter().map(|s| s.event).collect();
+        assert_eq!(got, all_events());
+        for (i, s) in snap.events.iter().enumerate() {
+            assert_eq!(s.seqno, i as u64);
+        }
+    }
+
+    #[test]
+    fn overwrite_keeps_newest_and_counts_dropped() {
+        let log = EventLog::new(4);
+        for i in 0..10u64 {
+            log.log(Event::FlushStart { entries: i });
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.emitted, 10);
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.dropped, 6);
+        let entries: Vec<u64> = snap
+            .events
+            .iter()
+            .map(|s| match s.event {
+                Event::FlushStart { entries } => entries,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(entries, vec![6, 7, 8, 9], "newest N survive");
+    }
+
+    #[test]
+    fn one_slot_ring_still_functions() {
+        let log = EventLog::new(1);
+        for i in 0..5u64 {
+            log.log(Event::FlushStart { entries: i });
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.dropped, 4);
+        assert_eq!(snap.events[0].seqno, 4);
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_events() {
+        use std::sync::Arc;
+        let log = Arc::new(EventLog::new(128));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    // Payload fields carry a per-writer signature so a
+                    // torn slot (fields from two writers) is detectable.
+                    log.log(Event::CompactionEnd {
+                        level: t,
+                        output_level: t,
+                        bytes_in: t * 1_000_000 + i,
+                        bytes_out: t * 1_000_000 + i,
+                        entries_dropped: t,
+                        tombstones_purged: t,
+                        micros: i,
+                    });
+                }
+            }));
+        }
+        for _ in 0..50 {
+            for s in log.snapshot().events {
+                if let Event::CompactionEnd {
+                    level,
+                    output_level,
+                    bytes_in,
+                    bytes_out,
+                    entries_dropped,
+                    tombstones_purged,
+                    micros,
+                } = s.event
+                {
+                    assert_eq!(level, output_level);
+                    assert_eq!(level, entries_dropped);
+                    assert_eq!(level, tombstones_purged);
+                    assert_eq!(bytes_in, bytes_out);
+                    assert_eq!(bytes_in, level * 1_000_000 + micros);
+                } else {
+                    panic!("unexpected event {:?}", s.event);
+                }
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.emitted, 20_000);
+        // After quiescence the full window is readable.
+        assert_eq!(snap.events.len(), 128);
+    }
+
+    #[test]
+    fn age_histogram_buckets_against_threshold() {
+        let g = TombstoneGauges {
+            levels: vec![],
+            buffer_tombstones: 0,
+            buffer_oldest_tick: None,
+            range_tombstones: 0,
+            // (count, birth tick): ages at now=1000 are 900, 400, 100.
+            file_populations: vec![(2, 100), (3, 600), (5, 900)],
+        };
+        let h = g.age_histogram(1_000, Some(800));
+        assert_eq!(h.bounds, vec![100, 200, 400, 600, 800]);
+        assert_eq!(h.total, 10);
+        assert_eq!(h.oldest_age, Some(900));
+        // Cumulative: age<=100 → 5; <=400 → 8; <=800 → 8; overflow 2.
+        assert_eq!(h.counts, vec![5, 5, 8, 8, 8]);
+        assert_eq!(h.total - h.counts[4], 2, "threshold violators overflow");
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_gauges_and_histogram() {
+        let g = TombstoneGauges {
+            levels: vec![LevelGauge {
+                level: 2,
+                files: 3,
+                bytes: 4096,
+                entries: 100,
+                tombstones: 7,
+                oldest_tombstone_tick: Some(50),
+            }],
+            buffer_tombstones: 1,
+            buffer_oldest_tick: Some(90),
+            range_tombstones: 2,
+            file_populations: vec![(7, 50)],
+        };
+        let text = render_prometheus(&[("puts".into(), 42)], &g, 100, Some(1_000));
+        assert!(text.contains("puts 42\n"), "{text}");
+        assert!(
+            text.contains("db_level_tombstones{level=\"2\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("db_level_oldest_tombstone_age_ticks{level=\"2\"} 50"),
+            "{text}"
+        );
+        assert!(text.contains("db_live_tombstones 8"), "{text}");
+        assert!(
+            text.contains("db_tombstone_age_ticks_bucket{le=\"+Inf\"} 8"),
+            "{text}"
+        );
+        assert!(text.contains("db_delete_persistence_threshold_ticks 1000"));
+    }
+}

@@ -125,6 +125,11 @@ pub struct DbOptions {
     /// Maximum sealed (immutable) memtables queued for flush before
     /// writes stall. Only meaningful with `background_threads > 0`.
     pub max_imm_memtables: usize,
+    /// Capacity of the flight-recorder event ring ([`crate::obs`]):
+    /// the engine retains the newest this-many maintenance events for
+    /// the `events` command. Must be >= 1; emission cost is
+    /// capacity-independent.
+    pub event_log_capacity: usize,
     /// Clock used for tombstone aging; defaults to a logical clock that
     /// the engine advances once per write operation.
     pub clock: Arc<dyn Clock>,
@@ -170,6 +175,7 @@ impl Default for DbOptions {
             l0_slowdown_files: 8,
             l0_stall_files: 16,
             max_imm_memtables: 2,
+            event_log_capacity: 4096,
             clock: Arc::new(LogicalClock::new()),
             auto_advance_clock: true,
         }
@@ -252,6 +258,9 @@ impl DbOptions {
         }
         if self.background_threads > 512 {
             return Err(Error::invalid_argument("background_threads must be <= 512"));
+        }
+        if self.event_log_capacity == 0 {
+            return Err(Error::invalid_argument("event_log_capacity must be >= 1"));
         }
         Ok(())
     }
@@ -339,6 +348,12 @@ mod tests {
         .is_err());
         assert!(DbOptions {
             background_threads: 10_000,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DbOptions {
+            event_log_capacity: 0,
             ..DbOptions::default()
         }
         .validate()

@@ -30,6 +30,39 @@ pub enum CompactionReason {
     Manual,
 }
 
+impl CompactionReason {
+    /// Lowercase name for logs and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompactionReason::L0Saturation => "l0_saturation",
+            CompactionReason::LevelSaturation => "level_saturation",
+            CompactionReason::TtlExpired => "ttl_expired",
+            CompactionReason::Manual => "manual",
+        }
+    }
+
+    /// Stable numeric code (event-ring slot encoding).
+    pub fn code(self) -> u64 {
+        match self {
+            CompactionReason::L0Saturation => 0,
+            CompactionReason::LevelSaturation => 1,
+            CompactionReason::TtlExpired => 2,
+            CompactionReason::Manual => 3,
+        }
+    }
+
+    /// Inverse of [`CompactionReason::code`].
+    pub fn from_code(code: u64) -> Option<CompactionReason> {
+        Some(match code {
+            0 => CompactionReason::L0Saturation,
+            1 => CompactionReason::LevelSaturation,
+            2 => CompactionReason::TtlExpired,
+            3 => CompactionReason::Manual,
+            _ => return None,
+        })
+    }
+}
+
 /// A unit of compaction work.
 #[derive(Debug, Clone)]
 pub struct CompactionTask {

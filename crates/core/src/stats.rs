@@ -414,6 +414,141 @@ mod tests {
     }
 
     #[test]
+    fn to_pairs_covers_every_snapshot_field() {
+        fn hist(seed: u64) -> HistogramSummary {
+            HistogramSummary {
+                count: seed,
+                mean: seed as f64 + 0.25,
+                max: seed + 1,
+                p50: seed + 2,
+                p90: seed + 3,
+                p99: seed + 4,
+            }
+        }
+        let snap = StatsSnapshot {
+            puts: 1,
+            deletes: 2,
+            range_deletes: 3,
+            gets: 4,
+            scans: 5,
+            user_bytes: 6,
+            flushes: 7,
+            compactions: 8,
+            ttl_compactions: 9,
+            compaction_bytes_in: 10,
+            compaction_bytes_out: 11,
+            entries_shadowed: 12,
+            entries_range_purged: 13,
+            tombstones_purged: 14,
+            pages_dropped: 15,
+            persistence_latency: hist(100),
+            persistence_violations: 16,
+            write_stalls: 17,
+            write_slowdowns: 18,
+            stall_micros: hist(200),
+            flush_micros: hist(300),
+            compaction_micros: hist(400),
+            imm_queue_peak: 19,
+            background_errors: 20,
+            commit_groups: 21,
+            commit_group_ops: hist(500),
+            wal_syncs: 22,
+            wal_syncs_saved: 23,
+            read_view_swaps: 24,
+        };
+        // Destructure with no `..`: adding a field to StatsSnapshot
+        // without deciding how it exports breaks this test at compile
+        // time, which is the point — to_pairs must not silently drift.
+        let StatsSnapshot {
+            puts,
+            deletes,
+            range_deletes,
+            gets,
+            scans,
+            user_bytes,
+            flushes,
+            compactions,
+            ttl_compactions,
+            compaction_bytes_in,
+            compaction_bytes_out,
+            entries_shadowed,
+            entries_range_purged,
+            tombstones_purged,
+            pages_dropped,
+            persistence_latency,
+            persistence_violations,
+            write_stalls,
+            write_slowdowns,
+            stall_micros,
+            flush_micros,
+            compaction_micros,
+            imm_queue_peak,
+            background_errors,
+            commit_groups,
+            commit_group_ops,
+            wal_syncs,
+            wal_syncs_saved,
+            read_view_swaps,
+        } = snap;
+        let pairs = snap.to_pairs();
+        let get = |n: &str| pairs.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
+        let scalars = [
+            ("puts", puts),
+            ("deletes", deletes),
+            ("range_deletes", range_deletes),
+            ("gets", gets),
+            ("scans", scans),
+            ("user_bytes", user_bytes),
+            ("flushes", flushes),
+            ("compactions", compactions),
+            ("ttl_compactions", ttl_compactions),
+            ("compaction_bytes_in", compaction_bytes_in),
+            ("compaction_bytes_out", compaction_bytes_out),
+            ("entries_shadowed", entries_shadowed),
+            ("entries_range_purged", entries_range_purged),
+            ("tombstones_purged", tombstones_purged),
+            ("pages_dropped", pages_dropped),
+            ("persistence_violations", persistence_violations),
+            ("write_stalls", write_stalls),
+            ("write_slowdowns", write_slowdowns),
+            ("imm_queue_peak", imm_queue_peak),
+            ("background_errors", background_errors),
+            ("commit_groups", commit_groups),
+            ("wal_syncs", wal_syncs),
+            ("wal_syncs_saved", wal_syncs_saved),
+            ("read_view_swaps", read_view_swaps),
+        ];
+        for (name, value) in scalars {
+            assert_eq!(
+                get(name),
+                Some(value),
+                "scalar {name} missing from to_pairs"
+            );
+        }
+        let histograms = [
+            ("persistence_latency", persistence_latency),
+            ("stall_micros", stall_micros),
+            ("flush_micros", flush_micros),
+            ("compaction_micros", compaction_micros),
+            ("commit_group_ops", commit_group_ops),
+        ];
+        for (name, h) in histograms {
+            assert_eq!(get(&format!("{name}_count")), Some(h.count), "{name}");
+            assert_eq!(
+                get(&format!("{name}_mean")),
+                Some(h.mean.round() as u64),
+                "{name}"
+            );
+            assert_eq!(get(&format!("{name}_max")), Some(h.max), "{name}");
+            assert_eq!(get(&format!("{name}_p50")), Some(h.p50), "{name}");
+            assert_eq!(get(&format!("{name}_p90")), Some(h.p90), "{name}");
+            assert_eq!(get(&format!("{name}_p99")), Some(h.p99), "{name}");
+        }
+        // And nothing extra: every exported pair traces back to a field.
+        assert_eq!(pairs.len(), scalars.len() + 6 * histograms.len());
+    }
+
+    #[test]
     fn purge_recording_flags_violations() {
         let s = DbStats::default();
         s.record_tombstone_purge(100, 150, Some(60));

@@ -271,6 +271,23 @@ impl Client {
             other => Err(unexpected("stats", &other)),
         }
     }
+
+    /// Prometheus-style metrics exposition text (counters, gauges, and
+    /// the tombstone age histogram).
+    pub fn metrics(&mut self) -> Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::Text(text) => Ok(text),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// The engine's recent event ring, rendered one event per line.
+    pub fn events(&mut self) -> Result<String> {
+        match self.request(&Request::Events)? {
+            Response::Text(text) => Ok(text),
+            other => Err(unexpected("events", &other)),
+        }
+    }
 }
 
 /// A remote connection is a workload sink, so the same seeded op

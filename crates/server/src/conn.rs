@@ -185,6 +185,16 @@ fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
                 resp
             }
             Request::Stats => Response::Stats(stats_pairs(db, &pressure, metrics)),
+            Request::Metrics => Response::Text(acheron::obs::render_prometheus(
+                &stats_pairs(db, &pressure, metrics),
+                &db.tombstone_gauges(),
+                db.now(),
+                db.options()
+                    .fade
+                    .as_ref()
+                    .map(|f| f.delete_persistence_threshold),
+            )),
+            Request::Events => Response::Text(acheron::obs::render_events(&db.events())),
         };
         responses.push(resp);
     }

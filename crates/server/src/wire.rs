@@ -80,6 +80,12 @@ pub enum Request {
     },
     /// Engine + server statistics as `(name, value)` pairs.
     Stats,
+    /// Prometheus-style text exposition of counters and the live
+    /// delete-persistence gauges; answered with [`Response::Text`].
+    Metrics,
+    /// The engine's flight-recorder ring, rendered one event per line;
+    /// answered with [`Response::Text`].
+    Events,
 }
 
 const REQ_PING: u8 = 1;
@@ -89,6 +95,8 @@ const REQ_GET: u8 = 4;
 const REQ_SCAN: u8 = 5;
 const REQ_RDEL: u8 = 6;
 const REQ_STATS: u8 = 7;
+const REQ_METRICS: u8 = 8;
+const REQ_EVENTS: u8 = 9;
 
 impl Request {
     /// True for operations that mutate the database (the ones the
@@ -110,6 +118,8 @@ impl Request {
             Request::Scan { .. } => "scan",
             Request::RangeDeleteSecondary { .. } => "range_delete",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Events => "events",
         }
     }
 
@@ -149,6 +159,8 @@ impl Request {
                 put_varint64(&mut out, *hi);
             }
             Request::Stats => out.push(REQ_STATS),
+            Request::Metrics => out.push(REQ_METRICS),
+            Request::Events => out.push(REQ_EVENTS),
         }
         out
     }
@@ -214,6 +226,14 @@ impl Request {
                 expect_empty(rest, "stats")?;
                 Ok(Request::Stats)
             }
+            REQ_METRICS => {
+                expect_empty(rest, "metrics")?;
+                Ok(Request::Metrics)
+            }
+            REQ_EVENTS => {
+                expect_empty(rest, "events")?;
+                Ok(Request::Events)
+            }
             other => Err(Error::corruption(format!("unknown request tag {other}"))),
         }
     }
@@ -237,6 +257,8 @@ pub enum Response {
     Busy,
     /// The request failed; the message is the engine/server error text.
     Err(String),
+    /// A rendered text document (metrics exposition, event listing).
+    Text(String),
 }
 
 const RESP_UNIT: u8 = 1;
@@ -246,6 +268,7 @@ const RESP_ROWS: u8 = 4;
 const RESP_STATS: u8 = 5;
 const RESP_BUSY: u8 = 6;
 const RESP_ERR: u8 = 7;
+const RESP_TEXT: u8 = 8;
 
 impl Response {
     /// Encode into a message payload (no frame header).
@@ -278,6 +301,10 @@ impl Response {
             Response::Err(msg) => {
                 out.push(RESP_ERR);
                 put_slice(&mut out, msg.as_bytes());
+            }
+            Response::Text(text) => {
+                out.push(RESP_TEXT);
+                put_slice(&mut out, text.as_bytes());
             }
         }
         out
@@ -356,6 +383,11 @@ impl Response {
                 let (msg, rest) = require_length_prefixed(rest, "error message")?;
                 expect_empty(rest, "error")?;
                 Ok(Response::Err(String::from_utf8_lossy(msg).into_owned()))
+            }
+            RESP_TEXT => {
+                let (text, rest) = require_length_prefixed(rest, "text body")?;
+                expect_empty(rest, "text")?;
+                Ok(Response::Text(String::from_utf8_lossy(text).into_owned()))
             }
             other => Err(Error::corruption(format!("unknown response tag {other}"))),
         }
@@ -486,6 +518,8 @@ mod tests {
                 hi: u64::MAX,
             },
             Request::Stats,
+            Request::Metrics,
+            Request::Events,
         ]
     }
 
@@ -502,6 +536,8 @@ mod tests {
             Response::Stats(vec![("puts".into(), 42), ("gets".into(), u64::MAX)]),
             Response::Busy,
             Response::Err("it broke".into()),
+            Response::Text("db_live_tombstones 7\n".into()),
+            Response::Text(String::new()),
         ]
     }
 
