@@ -11,7 +11,7 @@
 //!   writes of each burst into one atomic `WriteBatch`).
 //!
 //! The embedded and per-op server runs must produce identical
-//! [`RunReport::check_digest`]s — the equivalence claim backing
+//! [`acheron_workload::RunReport::check_digest`]s — the equivalence claim backing
 //! `tests/server_equivalence.rs`, restated here as a measurement.
 
 use std::sync::Arc;

@@ -11,11 +11,17 @@
 //! outlived the delete persistence threshold — the offline form of the
 //! engine's FADE promise.
 //!
+//! A directory containing a `SHARDMAP` manifest is checked as a sharded
+//! fleet: every shard is verified (a missing shard fails the check —
+//! never silently skipped), each shard's report is printed, and the
+//! fleet-wide maximum unresolved tombstone age is summarized at the end
+//! — the per-shard `D_th` invariant judged across the whole fleet.
+//!
 //! Read-only: unlike opening the database, the doctor never rewrites the
 //! manifest or collects files, so it is safe to run against a directory
 //! another process might recover later.
 
-use acheron::check_db_with_threshold;
+use acheron::{check_db_with_threshold, check_sharded_db, read_shard_map, DoctorReport};
 use acheron_vfs::StdFs;
 
 fn main() {
@@ -39,42 +45,82 @@ fn main() {
         std::process::exit(2);
     };
     let fs = StdFs::new(false);
-    match check_db_with_threshold(&fs, &dir, d_th) {
-        Ok(report) => {
-            println!(
-                "checked {} tables ({} entries, {} tombstones, {} range tombstones), \
-                 {} WAL segments ({} records)",
-                report.tables_checked,
-                report.entries,
-                report.tombstones,
-                report.range_tombstones,
-                report.wals_checked,
-                report.wal_records
-            );
-            for l in &report.level_tombstones {
+    let sharded = match read_shard_map(&fs, &dir) {
+        Ok(map) => map.is_some(),
+        Err(e) => {
+            eprintln!("FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    if sharded {
+        match check_sharded_db(&fs, &dir, d_th) {
+            Ok(reports) => {
+                let mut fleet_max_age: Option<u64> = None;
+                for (i, report) in reports.iter().enumerate() {
+                    println!("== shard {i} ==");
+                    print_report(report, d_th);
+                    let shard_max = report
+                        .level_tombstones
+                        .iter()
+                        .filter_map(|l| l.max_unresolved_age)
+                        .max();
+                    fleet_max_age = fleet_max_age.max(shard_max);
+                }
                 println!(
-                    "tombstones: level {}: {} live across {} files, oldest age {} ticks{}",
-                    l.level,
-                    l.tombstones,
-                    l.files_with_tombstones,
-                    l.max_unresolved_age.unwrap_or(0),
+                    "fleet: {} shards, max unresolved tombstone age {} ticks{}",
+                    reports.len(),
+                    fleet_max_age.unwrap_or(0),
                     match d_th {
                         Some(d) => format!(" (threshold {d})"),
                         None => String::new(),
                     }
                 );
             }
-            if report.warnings.is_empty() {
-                println!("warnings: none");
-            } else {
-                for w in &report.warnings {
-                    println!("warning: {w}");
-                }
+            Err(e) => {
+                eprintln!("FAILED: {e}");
+                std::process::exit(1);
             }
         }
-        Err(e) => {
-            eprintln!("FAILED: {e}");
-            std::process::exit(1);
+    } else {
+        match check_db_with_threshold(&fs, &dir, d_th) {
+            Ok(report) => print_report(&report, d_th),
+            Err(e) => {
+                eprintln!("FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn print_report(report: &DoctorReport, d_th: Option<u64>) {
+    println!(
+        "checked {} tables ({} entries, {} tombstones, {} range tombstones), \
+         {} WAL segments ({} records)",
+        report.tables_checked,
+        report.entries,
+        report.tombstones,
+        report.range_tombstones,
+        report.wals_checked,
+        report.wal_records
+    );
+    for l in &report.level_tombstones {
+        println!(
+            "tombstones: level {}: {} live across {} files, oldest age {} ticks{}",
+            l.level,
+            l.tombstones,
+            l.files_with_tombstones,
+            l.max_unresolved_age.unwrap_or(0),
+            match d_th {
+                Some(d) => format!(" (threshold {d})"),
+                None => String::new(),
+            }
+        );
+    }
+    if report.warnings.is_empty() {
+        println!("warnings: none");
+    } else {
+        for w in &report.warnings {
+            println!("warning: {w}");
         }
     }
 }

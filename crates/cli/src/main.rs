@@ -11,6 +11,9 @@
 //! $ cargo run -p acheron-cli -- serve 127.0.0.1:7878    # network server
 //! serving on 127.0.0.1:7878 (`status` for a status line, `quit` to stop)
 //!
+//! $ cargo run -p acheron-cli -- serve 127.0.0.1:7878 --shards 4 \
+//!       --rate-limit 50000 --burst 1000    # sharded + admission control
+//!
 //! $ cargo run -p acheron-cli -- connect 127.0.0.1:7878  # network client
 //! connected to 127.0.0.1:7878. `help` for commands.
 //! > get user:1
@@ -29,18 +32,24 @@
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
-use acheron::{Db, DbOptions};
+use acheron::{Db, DbOptions, ShardedDb};
 use acheron_cli::{Outcome, RemoteSession, Session};
-use acheron_server::{Client, Server, ServerOptions};
+use acheron_server::{Client, Engine, RateLimitConfig, Server, ServerOptions};
 use acheron_vfs::{MemFs, StdFs};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
-        Some("serve") => {
-            let addr = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7878");
-            serve(addr);
-        }
+        Some("serve") => match ServeArgs::parse(&args[2..]) {
+            Ok(serve_args) => serve(&serve_args),
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!(
+                    "usage: acheron serve [addr] [--shards N] [--rate-limit OPS] [--burst B]"
+                );
+                std::process::exit(2);
+            }
+        },
         Some("connect") => {
             let addr = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7878");
             match RemoteSession::connect(addr) {
@@ -81,20 +90,46 @@ fn expose(cmd: &str, target: &str) {
             })
             .map_err(|e| format!("query {target}: {e}"))
     } else if std::path::Path::new(target).is_dir() {
-        Db::open(Arc::new(StdFs::new(false)), target, DbOptions::default())
-            .map(|db| match cmd {
-                "stats" => acheron::obs::render_prometheus(
-                    &db.stats().snapshot().to_pairs(),
-                    &db.tombstone_gauges(),
-                    db.now(),
-                    db.options()
-                        .fade
-                        .as_ref()
-                        .map(|f| f.delete_persistence_threshold),
-                ),
-                _ => acheron::obs::render_events(&db.events()),
-            })
-            .map_err(|e| format!("open {target}: {e}"))
+        let fs = Arc::new(StdFs::new(false));
+        // A root with a SHARDMAP is a sharded fleet: open every shard
+        // and render the aggregated (fleet-wide) view.
+        match acheron::read_shard_map(fs.as_ref(), target) {
+            Err(e) => Err(format!("open {target}: {e}")),
+            Ok(Some(n)) => ShardedDb::open(fs, target, DbOptions::default(), n as usize)
+                .map(|db| match cmd {
+                    "stats" => {
+                        acheron::obs::render_prometheus(
+                            &db.stats_snapshot().to_pairs(),
+                            &db.tombstone_gauges(),
+                            db.now(),
+                            db.options()
+                                .fade
+                                .as_ref()
+                                .map(|f| f.delete_persistence_threshold),
+                        ) + &format!(
+                            "db_shards {}\ndb_fleet_max_tombstone_age_ticks {}\n",
+                            db.shard_count(),
+                            db.fleet_max_tombstone_age().unwrap_or(0)
+                        )
+                    }
+                    _ => acheron::obs::render_sharded_events(&db.shard_events()),
+                })
+                .map_err(|e| format!("open {target}: {e}")),
+            Ok(None) => Db::open(fs, target, DbOptions::default())
+                .map(|db| match cmd {
+                    "stats" => acheron::obs::render_prometheus(
+                        &db.stats().snapshot().to_pairs(),
+                        &db.tombstone_gauges(),
+                        db.now(),
+                        db.options()
+                            .fade
+                            .as_ref()
+                            .map(|f| f.delete_persistence_threshold),
+                    ),
+                    _ => acheron::obs::render_events(&db.events()),
+                })
+                .map_err(|e| format!("open {target}: {e}")),
+        }
     } else {
         Err(format!(
             "{target} is neither a host:port address nor a database directory"
@@ -109,19 +144,103 @@ fn expose(cmd: &str, target: &str) {
     }
 }
 
+/// Parsed `serve` subcommand arguments.
+struct ServeArgs {
+    addr: String,
+    shards: usize,
+    rate_limit: Option<RateLimitConfig>,
+}
+
+impl ServeArgs {
+    /// Parse `[addr] [--shards N] [--rate-limit OPS] [--burst B]`.
+    /// `--burst` without `--rate-limit` is rejected (a burst cap is
+    /// meaningless with no sustained rate to refill at).
+    fn parse(args: &[String]) -> Result<ServeArgs, String> {
+        let mut addr = None;
+        let mut shards = 1usize;
+        let mut rate: Option<u64> = None;
+        let mut burst: Option<u64> = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut flag_value =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+            match arg.as_str() {
+                "--shards" => {
+                    shards = flag_value("--shards")?
+                        .parse()
+                        .map_err(|_| "--shards must be a positive integer".to_string())?;
+                    if shards == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                }
+                "--rate-limit" => {
+                    rate =
+                        Some(flag_value("--rate-limit")?.parse().map_err(|_| {
+                            "--rate-limit must be an integer (ops/sec)".to_string()
+                        })?);
+                }
+                "--burst" => {
+                    burst = Some(
+                        flag_value("--burst")?
+                            .parse()
+                            .map_err(|_| "--burst must be an integer".to_string())?,
+                    );
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag {other}"));
+                }
+                other => {
+                    if addr.replace(other.to_string()).is_some() {
+                        return Err(format!("unexpected extra argument {other}"));
+                    }
+                }
+            }
+        }
+        let rate_limit = match (rate, burst) {
+            (Some(ops_per_sec), burst) => Some(RateLimitConfig {
+                ops_per_sec,
+                burst: burst.unwrap_or(ops_per_sec.max(1)),
+            }),
+            (None, Some(_)) => return Err("--burst requires --rate-limit".into()),
+            (None, None) => None,
+        };
+        Ok(ServeArgs {
+            addr: addr.unwrap_or_else(|| "127.0.0.1:7878".into()),
+            shards,
+            rate_limit,
+        })
+    }
+}
+
 /// Serve an in-memory demo database until stdin closes or says `quit`.
 /// Any other input line prints the server status line, so an operator
 /// can watch connections, throughput, and backpressure state live.
-fn serve(addr: &str) {
+/// `--shards N` partitions the keyspace across N engines; `--rate-limit`
+/// adds per-connection token-bucket admission control.
+fn serve(args: &ServeArgs) {
     let opts = DbOptions::small().with_fade(50_000);
-    let db = match Db::open(Arc::new(MemFs::new()), "serve-db", opts) {
-        Ok(db) => Arc::new(db),
-        Err(e) => {
-            eprintln!("open failed: {e}");
-            std::process::exit(1);
+    let engine: Engine = if args.shards > 1 {
+        match ShardedDb::open(Arc::new(MemFs::new()), "serve-db", opts, args.shards) {
+            Ok(db) => Arc::new(db).into(),
+            Err(e) => {
+                eprintln!("open failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match Db::open(Arc::new(MemFs::new()), "serve-db", opts) {
+            Ok(db) => Arc::new(db).into(),
+            Err(e) => {
+                eprintln!("open failed: {e}");
+                std::process::exit(1);
+            }
         }
     };
-    let mut server = match Server::start(Arc::clone(&db), addr, ServerOptions::default()) {
+    let server_opts = ServerOptions {
+        rate_limit: args.rate_limit,
+        ..ServerOptions::default()
+    };
+    let mut server = match Server::start(engine, args.addr.as_str(), server_opts) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bind failed: {e}");

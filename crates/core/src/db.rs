@@ -14,7 +14,7 @@
 //! seqno allocator are single-owner without a long-held lock.
 //!
 //! **Reads** never touch the state lock at all: every structural change
-//! publishes an immutable [`ReadView`] (active memtable handle, sealed
+//! publishes an immutable `ReadView` (active memtable handle, sealed
 //! queue, version pointer, visible seqno, range tombstones) behind an
 //! `Arc` swap; `get`/`scan`/`snapshot` clone the current view in O(1)
 //! and run entirely against it. Lookups early-exit: sources are probed
@@ -1255,7 +1255,7 @@ impl Db {
     /// Point lookup at the latest state. Lock-free: one atomic load for
     /// the read point, one `Arc` clone for the view, then the lookup
     /// runs entirely against the immutable view. The seqno MUST be
-    /// loaded before the view — see the ordering rule on [`ReadView`].
+    /// loaded before the view — see the ordering rule on `ReadView`.
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
         let core = self.core();
         let snapshot = core.visible_seqno.load(Ordering::Acquire);

@@ -54,6 +54,7 @@ pub mod merge;
 pub mod obs;
 pub mod options;
 pub mod picker;
+pub mod sharded;
 pub mod stats;
 pub mod testutil;
 pub mod version;
@@ -66,6 +67,7 @@ pub use obs::{
 };
 pub use options::{CompactionLayout, DbOptions, FadeOptions, FilePickPolicy, TtlAllocation};
 pub use picker::CompactionReason;
+pub use sharded::{check_sharded_db, read_shard_map, shard_of, ShardedDb, ShardedSnapshot};
 pub use stats::{DbStats, HistogramSummary, LatencyHistogram, StatsSnapshot};
 
 // Re-export the commonly needed foundation types so downstream users

@@ -727,6 +727,42 @@ impl TombstoneGauges {
             .min()
     }
 
+    /// Combine the gauges of two engines (shards) into a fleet-wide
+    /// view: per-level counts sum, oldest ticks take the minimum (the
+    /// fleet's oldest tombstone is the oldest anywhere), and the
+    /// per-file populations concatenate so the merged age histogram
+    /// covers every shard's files.
+    pub fn merge(&self, other: &TombstoneGauges) -> TombstoneGauges {
+        let mut by_level: std::collections::BTreeMap<usize, LevelGauge> =
+            std::collections::BTreeMap::new();
+        for g in self.levels.iter().chain(&other.levels) {
+            let m = by_level.entry(g.level).or_insert_with(|| LevelGauge {
+                level: g.level,
+                ..LevelGauge::default()
+            });
+            m.files += g.files;
+            m.bytes += g.bytes;
+            m.entries += g.entries;
+            m.tombstones += g.tombstones;
+            m.oldest_tombstone_tick = match (m.oldest_tombstone_tick, g.oldest_tombstone_tick) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        let mut file_populations = self.file_populations.clone();
+        file_populations.extend_from_slice(&other.file_populations);
+        TombstoneGauges {
+            levels: by_level.into_values().collect(),
+            buffer_tombstones: self.buffer_tombstones + other.buffer_tombstones,
+            buffer_oldest_tick: match (self.buffer_oldest_tick, other.buffer_oldest_tick) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            range_tombstones: self.range_tombstones + other.range_tombstones,
+            file_populations,
+        }
+    }
+
     /// Histogram of still-live tombstone ages at `now`. With a FADE
     /// threshold the bucket bounds are fractions of `d_th` (so the
     /// overflow bucket *is* the threshold-violation population);
@@ -876,6 +912,18 @@ pub fn render_events(snap: &EventSnapshot) -> String {
     );
     for ev in &snap.events {
         out.push_str(&format!("{ev}\n"));
+    }
+    out
+}
+
+/// Render per-shard event snapshots side by side (each shard's ring is
+/// independent — seqnos are shard-local, so the shards are sectioned,
+/// not interleaved).
+pub fn render_sharded_events(shards: &[EventSnapshot]) -> String {
+    let mut out = String::new();
+    for (i, snap) in shards.iter().enumerate() {
+        out.push_str(&format!("== shard {i} ==\n"));
+        out.push_str(&render_events(snap));
     }
     out
 }
@@ -1069,6 +1117,77 @@ mod tests {
         // Cumulative: age<=100 → 5; <=400 → 8; <=800 → 8; overflow 2.
         assert_eq!(h.counts, vec![5, 5, 8, 8, 8]);
         assert_eq!(h.total - h.counts[4], 2, "threshold violators overflow");
+    }
+
+    #[test]
+    fn gauge_merge_sums_counts_and_keeps_oldest_ticks() {
+        let a = TombstoneGauges {
+            levels: vec![
+                LevelGauge {
+                    level: 0,
+                    files: 1,
+                    bytes: 100,
+                    entries: 10,
+                    tombstones: 2,
+                    oldest_tombstone_tick: Some(40),
+                },
+                LevelGauge {
+                    level: 2,
+                    files: 2,
+                    bytes: 200,
+                    entries: 20,
+                    tombstones: 3,
+                    oldest_tombstone_tick: None,
+                },
+            ],
+            buffer_tombstones: 1,
+            buffer_oldest_tick: Some(95),
+            range_tombstones: 1,
+            file_populations: vec![(2, 40)],
+        };
+        let b = TombstoneGauges {
+            levels: vec![LevelGauge {
+                level: 0,
+                files: 1,
+                bytes: 50,
+                entries: 5,
+                tombstones: 4,
+                oldest_tombstone_tick: Some(10),
+            }],
+            buffer_tombstones: 2,
+            buffer_oldest_tick: None,
+            range_tombstones: 3,
+            file_populations: vec![(4, 10)],
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.levels.len(), 2);
+        let l0 = &m.levels[0];
+        assert_eq!(
+            (l0.level, l0.files, l0.bytes, l0.tombstones),
+            (0, 2, 150, 6)
+        );
+        assert_eq!(l0.oldest_tombstone_tick, Some(10), "min of the shards");
+        assert_eq!(m.levels[1].level, 2);
+        assert_eq!(m.buffer_tombstones, 3);
+        assert_eq!(m.buffer_oldest_tick, Some(95));
+        assert_eq!(m.range_tombstones, 4);
+        assert_eq!(
+            m.live_tombstones(),
+            a.live_tombstones() + b.live_tombstones()
+        );
+        assert_eq!(m.oldest_live_tick(), Some(10));
+        // The merged age histogram sees every shard's files.
+        assert_eq!(m.age_histogram(100, None).total, 9);
+    }
+
+    #[test]
+    fn sharded_event_rendering_sections_per_shard() {
+        let log = EventLog::new(8);
+        log.log(Event::FlushStart { entries: 3 });
+        let text = render_sharded_events(&[log.snapshot(), EventSnapshot::default()]);
+        assert!(text.contains("== shard 0 =="), "{text}");
+        assert!(text.contains("== shard 1 =="), "{text}");
+        assert!(text.contains("flush_start"), "{text}");
     }
 
     #[test]

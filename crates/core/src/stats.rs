@@ -121,6 +121,31 @@ pub struct HistogramSummary {
     pub p99: u64,
 }
 
+impl HistogramSummary {
+    /// Combine two summaries conservatively. Counts sum and means are
+    /// count-weighted (both exact); max/p50/p90/p99 take the pairwise
+    /// maximum, which upper-bounds the true merged quantiles — the safe
+    /// direction for latency SLO reporting, where an aggregated p99 must
+    /// never *understate* the worst shard. (True quantile merging needs
+    /// the buckets, which a plain-data summary no longer has.)
+    pub fn merge(&self, other: &HistogramSummary) -> HistogramSummary {
+        let count = self.count + other.count;
+        let mean = if count == 0 {
+            0.0
+        } else {
+            (self.mean * self.count as f64 + other.mean * other.count as f64) / count as f64
+        };
+        HistogramSummary {
+            count,
+            mean,
+            max: self.max.max(other.max),
+            p50: self.p50.max(other.p50),
+            p90: self.p90.max(other.p90),
+            p99: self.p99.max(other.p99),
+        }
+    }
+}
+
 /// Monotone counters describing everything the engine has done.
 #[derive(Debug, Default)]
 pub struct DbStats {
@@ -293,6 +318,45 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Combine two snapshots into a fleet-wide view: counters sum,
+    /// `imm_queue_peak` takes the worst shard, histogram summaries merge
+    /// per [`HistogramSummary::merge`] (quantiles upper-bounded by the
+    /// worst shard). Written as an exhaustive struct expression so a new
+    /// field cannot be added without deciding how it aggregates.
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            puts: self.puts + other.puts,
+            deletes: self.deletes + other.deletes,
+            range_deletes: self.range_deletes + other.range_deletes,
+            gets: self.gets + other.gets,
+            scans: self.scans + other.scans,
+            user_bytes: self.user_bytes + other.user_bytes,
+            flushes: self.flushes + other.flushes,
+            compactions: self.compactions + other.compactions,
+            ttl_compactions: self.ttl_compactions + other.ttl_compactions,
+            compaction_bytes_in: self.compaction_bytes_in + other.compaction_bytes_in,
+            compaction_bytes_out: self.compaction_bytes_out + other.compaction_bytes_out,
+            entries_shadowed: self.entries_shadowed + other.entries_shadowed,
+            entries_range_purged: self.entries_range_purged + other.entries_range_purged,
+            tombstones_purged: self.tombstones_purged + other.tombstones_purged,
+            pages_dropped: self.pages_dropped + other.pages_dropped,
+            persistence_latency: self.persistence_latency.merge(&other.persistence_latency),
+            persistence_violations: self.persistence_violations + other.persistence_violations,
+            write_stalls: self.write_stalls + other.write_stalls,
+            write_slowdowns: self.write_slowdowns + other.write_slowdowns,
+            stall_micros: self.stall_micros.merge(&other.stall_micros),
+            flush_micros: self.flush_micros.merge(&other.flush_micros),
+            compaction_micros: self.compaction_micros.merge(&other.compaction_micros),
+            imm_queue_peak: self.imm_queue_peak.max(other.imm_queue_peak),
+            background_errors: self.background_errors + other.background_errors,
+            commit_groups: self.commit_groups + other.commit_groups,
+            commit_group_ops: self.commit_group_ops.merge(&other.commit_group_ops),
+            wal_syncs: self.wal_syncs + other.wal_syncs,
+            wal_syncs_saved: self.wal_syncs_saved + other.wal_syncs_saved,
+            read_view_swaps: self.read_view_swaps + other.read_view_swaps,
+        }
+    }
+
     /// Flatten into `(name, value)` pairs — the canonical wire/export
     /// form. Histogram means are rounded to integers; the remaining
     /// histogram fields are exported as `<name>_{count,max,p50,p90,p99}`.
@@ -546,6 +610,46 @@ mod tests {
         }
         // And nothing extra: every exported pair traces back to a field.
         assert_eq!(pairs.len(), scalars.len() + 6 * histograms.len());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_upper_bounds_quantiles() {
+        let a = StatsSnapshot {
+            puts: 10,
+            imm_queue_peak: 3,
+            persistence_latency: HistogramSummary {
+                count: 4,
+                mean: 10.0,
+                max: 40,
+                p50: 8,
+                p90: 20,
+                p99: 40,
+            },
+            ..StatsSnapshot::default()
+        };
+        let b = StatsSnapshot {
+            puts: 5,
+            imm_queue_peak: 7,
+            persistence_latency: HistogramSummary {
+                count: 12,
+                mean: 2.0,
+                max: 16,
+                p50: 2,
+                p90: 30,
+                p99: 31,
+            },
+            ..StatsSnapshot::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.puts, 15);
+        assert_eq!(m.imm_queue_peak, 7, "peak is a max, not a sum");
+        let h = m.persistence_latency;
+        assert_eq!(h.count, 16);
+        assert!((h.mean - 4.0).abs() < 1e-9, "count-weighted mean");
+        assert_eq!(h.max, 40);
+        assert_eq!((h.p50, h.p90, h.p99), (8, 30, 40), "worst-shard quantiles");
+        // Merging with an empty snapshot is the identity.
+        assert_eq!(a.merge(&StatsSnapshot::default()), a);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A synchronous, pipelined client for the Acheron wire protocol.
 //!
 //! The client is deliberately dependency-free: one `TcpStream`, the
-//! shared [`FrameDecoder`](crate::wire::FrameDecoder), and blocking
+//! shared [`FrameDecoder`], and blocking
 //! I/O. Three behaviors matter:
 //!
 //! * **Pipelining** — [`Client::pipeline`] writes any number of request

@@ -14,9 +14,11 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-use acheron::{Db, WritePressure};
+use acheron::WritePressure;
 use acheron_types::{Error, Result};
 
+use crate::engine::Engine;
+use crate::rate_limit::TokenBucket;
 use crate::server::Shared;
 use crate::wire::{encode_frame, FrameDecoder, Request, Response};
 
@@ -58,6 +60,12 @@ fn serve(mut stream: &TcpStream, shared: &Arc<Shared>) -> Result<()> {
     let mut decoder = FrameDecoder::new(shared.opts.max_frame_bytes);
     let mut buf = vec![0u8; 64 << 10];
     let mut last_activity = Instant::now();
+    // The admission bucket is owned by this connection thread: refill
+    // is computed from elapsed time on use, so no lock and no timer.
+    let mut bucket = shared
+        .opts
+        .rate_limit
+        .map(|cfg| TokenBucket::new(cfg, Instant::now()));
     loop {
         // Drain every complete frame already buffered, then respond to
         // the whole group at once.
@@ -66,7 +74,7 @@ fn serve(mut stream: &TcpStream, shared: &Arc<Shared>) -> Result<()> {
             requests.push(Request::decode(&frame)?);
         }
         if !requests.is_empty() {
-            let responses = handle_group(shared, &requests);
+            let responses = handle_group(shared, &requests, bucket.as_mut());
             if write_responses(stream, &responses, shared).is_err() {
                 return Ok(());
             }
@@ -111,16 +119,41 @@ fn serve(mut stream: &TcpStream, shared: &Arc<Shared>) -> Result<()> {
 /// Execute one pipelined group of requests, producing one response per
 /// request, in order. Each write commits individually — concurrent
 /// connections share one WAL fsync through the engine's commit group.
-fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
-    let db = &shared.db;
+///
+/// Admission order per request: token bucket (data ops only), then the
+/// stall check (writes only, per-shard on a fleet), then the engine.
+fn handle_group(
+    shared: &Arc<Shared>,
+    requests: &[Request],
+    mut bucket: Option<&mut TokenBucket>,
+) -> Vec<Response> {
+    let engine = &shared.engine;
     let metrics = &shared.metrics;
-    let pressure = db.write_pressure();
+    let pressure = engine.write_pressure();
     let mut responses: Vec<Response> = Vec::with_capacity(requests.len());
     let mut committed_writes = false;
 
     for req in requests {
         metrics.requests.fetch_add(1, Ordering::Relaxed);
-        if req.is_write() && pressure.stall {
+        let is_data_op = !matches!(
+            req,
+            Request::Ping | Request::Stats | Request::Metrics | Request::Events
+        );
+        if is_data_op {
+            if let Some(bucket) = bucket.as_deref_mut() {
+                // Admission control: shed over-rate load before it
+                // reaches any engine. Control-plane requests (ping,
+                // stats, metrics, events) are exempt so an operator can
+                // always observe a saturated server.
+                if !bucket.try_take(Instant::now()) {
+                    metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+                    metrics.busy_responses.fetch_add(1, Ordering::Relaxed);
+                    responses.push(Response::Busy);
+                    continue;
+                }
+            }
+        }
+        if req.is_write() && engine.stall_write(req, &pressure) {
             // The stall tier of backpressure: shed instead of queueing.
             metrics.busy_responses.fetch_add(1, Ordering::Relaxed);
             responses.push(Response::Busy);
@@ -131,10 +164,10 @@ fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
             Request::Put { key, value, dkey } => {
                 // An unstamped put takes the engine's current tick as its
                 // delete key, matching the embedded `Db::put` path.
-                let dkey = dkey.unwrap_or_else(|| db.now());
+                let dkey = dkey.unwrap_or_else(|| engine.now());
                 committed_writes = true;
                 let started = Instant::now();
-                let resp = to_response(db.put_with_dkey(key, value, dkey), metrics);
+                let resp = to_response(engine.put_with_dkey(key, value, dkey), metrics);
                 metrics
                     .write_latency
                     .record(started.elapsed().as_micros() as u64);
@@ -143,7 +176,7 @@ fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
             Request::Delete { key } => {
                 committed_writes = true;
                 let started = Instant::now();
-                let resp = to_response(db.delete(key), metrics);
+                let resp = to_response(engine.delete(key), metrics);
                 metrics
                     .write_latency
                     .record(started.elapsed().as_micros() as u64);
@@ -152,7 +185,7 @@ fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
             Request::RangeDeleteSecondary { lo, hi } => {
                 committed_writes = true;
                 let started = Instant::now();
-                let resp = to_response(db.range_delete_secondary(*lo, *hi), metrics);
+                let resp = to_response(engine.range_delete_secondary(*lo, *hi), metrics);
                 metrics
                     .write_latency
                     .record(started.elapsed().as_micros() as u64);
@@ -160,8 +193,8 @@ fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
             }
             Request::Get { key } => {
                 let started = Instant::now();
-                let resp = match db.get(key) {
-                    Ok(v) => Response::Value(v.map(|b| b.to_vec())),
+                let resp = match engine.get(key) {
+                    Ok(v) => Response::Value(v),
                     Err(e) => err_response(e, metrics),
                 };
                 metrics
@@ -171,12 +204,8 @@ fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
             }
             Request::Scan { lo, hi } => {
                 let started = Instant::now();
-                let resp = match db.scan(lo, hi) {
-                    Ok(rows) => Response::Rows(
-                        rows.into_iter()
-                            .map(|(k, v)| (k.to_vec(), v.to_vec()))
-                            .collect(),
-                    ),
+                let resp = match engine.scan(lo, hi) {
+                    Ok(rows) => Response::Rows(rows),
                     Err(e) => err_response(e, metrics),
                 };
                 metrics
@@ -184,17 +213,18 @@ fn handle_group(shared: &Arc<Shared>, requests: &[Request]) -> Vec<Response> {
                     .record(started.elapsed().as_micros() as u64);
                 resp
             }
-            Request::Stats => Response::Stats(stats_pairs(db, &pressure, metrics)),
-            Request::Metrics => Response::Text(acheron::obs::render_prometheus(
-                &stats_pairs(db, &pressure, metrics),
-                &db.tombstone_gauges(),
-                db.now(),
-                db.options()
-                    .fade
-                    .as_ref()
-                    .map(|f| f.delete_persistence_threshold),
-            )),
-            Request::Events => Response::Text(acheron::obs::render_events(&db.events())),
+            Request::Stats => Response::Stats(stats_pairs(engine, &pressure, metrics)),
+            Request::Metrics => {
+                let mut text = acheron::obs::render_prometheus(
+                    &stats_pairs(engine, &pressure, metrics),
+                    &engine.tombstone_gauges(),
+                    engine.now(),
+                    engine.d_th(),
+                );
+                text.push_str(&engine.shard_metrics_lines());
+                Response::Text(text)
+            }
+            Request::Events => Response::Text(engine.events_text()),
         };
         responses.push(resp);
     }
@@ -226,13 +256,14 @@ fn err_response(e: Error, metrics: &crate::metrics::ServerMetrics) -> Response {
 }
 
 /// Engine counters + live pressure gauges + server metrics, flattened
-/// for the `stats` wire response.
+/// for the `stats` wire response. On a fleet the engine counters are
+/// the per-shard sums and the pressure gauges the worst shard's.
 fn stats_pairs(
-    db: &Db,
+    engine: &Engine,
     pressure: &WritePressure,
     metrics: &crate::metrics::ServerMetrics,
 ) -> Vec<(String, u64)> {
-    let mut pairs = db.stats().snapshot().to_pairs();
+    let mut pairs = engine.stats_snapshot().to_pairs();
     pairs.push(("db_l0_files".into(), pressure.l0_files as u64));
     pairs.push((
         "db_sealed_memtables".into(),

@@ -10,7 +10,12 @@
 //! * [`Server`] — a bounded thread-per-connection TCP server with
 //!   server-side write batching, end-to-end backpressure (engine stall
 //!   → wire [`wire::Response::Busy`]; slowdown → per-connection
-//!   pacing), and graceful shutdown.
+//!   pacing), and graceful shutdown. It serves an [`Engine`]: a single
+//!   `Arc<Db>` or a hash-partitioned `Arc<acheron::ShardedDb>` fleet.
+//! * [`RateLimitConfig`] — per-connection token-bucket admission
+//!   control; over-rate data operations are shed as `Busy` before they
+//!   reach any engine, composing with the engine's own stall/slowdown
+//!   tiers.
 //! * [`Client`] — a synchronous, pipelined client with
 //!   reconnect-on-drop and busy backoff; it implements
 //!   [`acheron_workload::OpSink`], so one seeded workload can drive
@@ -38,11 +43,15 @@
 
 pub mod client;
 mod conn;
+pub mod engine;
 pub mod metrics;
+pub mod rate_limit;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientOptions};
+pub use engine::Engine;
 pub use metrics::ServerMetrics;
+pub use rate_limit::{RateLimitConfig, TokenBucket};
 pub use server::{Server, ServerOptions};
 pub use wire::{Request, Response};

@@ -20,6 +20,9 @@ pub struct ServerMetrics {
     pub requests: AtomicU64,
     /// Requests shed with a `Busy` response under stall pressure.
     pub busy_responses: AtomicU64,
+    /// Requests shed with a `Busy` response by per-connection
+    /// admission control (token bucket), before reaching any engine.
+    pub rate_limited: AtomicU64,
     /// Requests answered with an `Err` response.
     pub error_responses: AtomicU64,
     /// Connections dropped for protocol violations (bad frame, bad
@@ -69,6 +72,10 @@ impl ServerMetrics {
             (
                 "server_busy_responses".into(),
                 self.busy_responses.load(Ordering::Relaxed),
+            ),
+            (
+                "server_rate_limited".into(),
+                self.rate_limited.load(Ordering::Relaxed),
             ),
             (
                 "server_error_responses".into(),

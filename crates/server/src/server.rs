@@ -1,5 +1,6 @@
 //! The TCP server: a bounded thread-per-connection accept loop over a
-//! shared [`Db`], with graceful shutdown.
+//! shared [`Engine`] (a single `Db` or a sharded fleet), with graceful
+//! shutdown.
 //!
 //! # Threading
 //!
@@ -7,7 +8,7 @@
 //! handler thread per connection, up to
 //! [`ServerOptions::max_connections`]; beyond that, new connections are
 //! greeted with an `Err` frame and closed immediately rather than
-//! queued. Handler threads share the engine through `Arc<Db>` — the
+//! queued. Handler threads share the engine through an `Arc` — each
 //! engine's own write mutex and versioned reads make that safe (see
 //! `ARCHITECTURE.md`).
 //!
@@ -26,12 +27,13 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use acheron::Db;
 use acheron_types::{Error, Result};
 use parking_lot::Mutex;
 
 use crate::conn;
+use crate::engine::Engine;
 use crate::metrics::ServerMetrics;
+use crate::rate_limit::RateLimitConfig;
 use crate::wire::DEFAULT_MAX_FRAME_BYTES;
 
 /// Tunables for a server instance.
@@ -54,6 +56,10 @@ pub struct ServerOptions {
     /// reports *slowdown* pressure (the gentle tier of backpressure; the
     /// stall tier sheds writes with `Busy`).
     pub slowdown_sleep: Duration,
+    /// Per-connection admission control: data operations beyond the
+    /// token bucket's allowance are shed as `Busy` before reaching any
+    /// engine. `None` (the default) admits everything.
+    pub rate_limit: Option<RateLimitConfig>,
 }
 
 impl Default for ServerOptions {
@@ -65,13 +71,14 @@ impl Default for ServerOptions {
             idle_timeout: None,
             write_timeout: Duration::from_secs(30),
             slowdown_sleep: Duration::from_millis(2),
+            rate_limit: None,
         }
     }
 }
 
 /// State shared between the accept loop and every connection handler.
 pub(crate) struct Shared {
-    pub(crate) db: Arc<Db>,
+    pub(crate) engine: Engine,
     pub(crate) opts: ServerOptions,
     pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) shutdown: AtomicBool,
@@ -87,8 +94,15 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind `addr` and start serving `db` on background threads.
-    pub fn start(db: Arc<Db>, addr: impl ToSocketAddrs, opts: ServerOptions) -> Result<Server> {
+    /// Bind `addr` and start serving `engine` on background threads.
+    /// `engine` is anything convertible into an [`Engine`]: an
+    /// `Arc<Db>` (single engine) or an `Arc<ShardedDb>` (fleet).
+    pub fn start(
+        engine: impl Into<Engine>,
+        addr: impl ToSocketAddrs,
+        opts: ServerOptions,
+    ) -> Result<Server> {
+        let engine = engine.into();
         let listener = TcpListener::bind(addr).map_err(|e| Error::io("server bind", e))?;
         let local_addr = listener
             .local_addr()
@@ -97,7 +111,7 @@ impl Server {
             .set_nonblocking(true)
             .map_err(|e| Error::io("server set_nonblocking", e))?;
         let shared = Arc::new(Shared {
-            db,
+            engine,
             opts,
             metrics: Arc::new(ServerMetrics::default()),
             shutdown: AtomicBool::new(false),
@@ -128,9 +142,10 @@ impl Server {
     /// One-line status summary for interactive SERVE mode.
     pub fn status_line(&self) -> String {
         let m = &self.shared.metrics;
-        let wp = self.shared.db.write_pressure();
+        let wp = self.shared.engine.write_pressure();
         format!(
-            "conns={} reqs={} busy={} proto_errs={} in={}B out={}B l0={}{}",
+            "shards={} conns={} reqs={} busy={} proto_errs={} in={}B out={}B l0={}{}",
+            self.shared.engine.shard_count(),
             m.open_connections(),
             m.requests.load(Ordering::Relaxed),
             m.busy_responses.load(Ordering::Relaxed),

@@ -108,6 +108,19 @@ impl Request {
         )
     }
 
+    /// The primary key a keyed request routes by (`None` for keyless
+    /// requests: scans, range deletes, stats/metrics/events, ping).
+    /// The sharded server uses this for per-shard admission — a write
+    /// is shed only when *its* shard is stalled.
+    pub fn key(&self) -> Option<&[u8]> {
+        match self {
+            Request::Put { key, .. } | Request::Delete { key } | Request::Get { key } => {
+                Some(key.as_slice())
+            }
+            _ => None,
+        }
+    }
+
     /// Short operation name, used for metrics labels.
     pub fn op_name(&self) -> &'static str {
         match self {

@@ -2,6 +2,8 @@
 //! (uniform / Zipfian / sequential), operation mixes, delete models, and
 //! a deterministic runner that drives a database and reports throughput.
 
+#![warn(missing_docs)]
+
 pub mod dist;
 pub mod ops;
 pub mod runner;

@@ -8,29 +8,52 @@ use crate::key_bytes;
 /// One generated operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Op {
-    /// Insert/update; `dkey` is the secondary delete key (0 = let the
-    /// engine stamp the current tick).
+    /// Insert/update; `dkey` is the secondary delete key (`None` = let
+    /// the engine stamp the current tick).
     Put {
+        /// Sort key.
         key: Vec<u8>,
+        /// Value payload.
         value: Vec<u8>,
+        /// Optional explicit secondary delete key.
         dkey: Option<u64>,
     },
     /// Point delete.
-    Delete { key: Vec<u8> },
+    Delete {
+        /// Sort key.
+        key: Vec<u8>,
+    },
     /// Point lookup.
-    Get { key: Vec<u8> },
+    Get {
+        /// Sort key.
+        key: Vec<u8>,
+    },
     /// Short range scan of `len` key ids starting at `key`.
-    Scan { lo: Vec<u8>, hi: Vec<u8> },
+    Scan {
+        /// Low bound (inclusive).
+        lo: Vec<u8>,
+        /// High bound (inclusive).
+        hi: Vec<u8>,
+    },
     /// Secondary range delete over the delete-key domain.
-    RangeDeleteSecondary { lo: u64, hi: u64 },
+    RangeDeleteSecondary {
+        /// Low delete key (inclusive).
+        lo: u64,
+        /// High delete key (inclusive).
+        hi: u64,
+    },
 }
 
 /// Percentages of each op type; must sum to 100.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpMix {
+    /// Percent of ops that are puts.
     pub put_pct: u32,
+    /// Percent of ops that are point deletes.
     pub delete_pct: u32,
+    /// Percent of ops that are point lookups.
     pub get_pct: u32,
+    /// Percent of ops that are range scans.
     pub scan_pct: u32,
 }
 

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use acheron::{Db, LatencyHistogram};
+use acheron::{Db, LatencyHistogram, ShardedDb};
 use acheron_types::{checksum, Result};
 
 use crate::ops::Op;
@@ -54,6 +54,31 @@ impl OpSink for &Db {
 
     fn range_delete_secondary(&mut self, lo: u64, hi: u64) -> Result<()> {
         Db::range_delete_secondary(self, lo, hi)
+    }
+}
+
+impl OpSink for &ShardedDb {
+    fn put(&mut self, key: &[u8], value: &[u8], dkey: Option<u64>) -> Result<()> {
+        match dkey {
+            Some(d) => ShardedDb::put_with_dkey(self, key, value, d),
+            None => ShardedDb::put(self, key, value),
+        }
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<()> {
+        ShardedDb::delete(self, key)
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        ShardedDb::get(self, key)
+    }
+
+    fn scan(&mut self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        ShardedDb::scan(self, lo, hi)
+    }
+
+    fn range_delete_secondary(&mut self, lo: u64, hi: u64) -> Result<()> {
+        ShardedDb::range_delete_secondary(self, lo, hi)
     }
 }
 
