@@ -1,0 +1,111 @@
+//! E19 — Prefix erasure over the sort key: one range tombstone vs. N
+//! point deletes.
+//!
+//! Claim checked: a sort-key range delete (`range_delete_keys`) erases
+//! an arbitrary contiguous span with **one** O(1) write — one WAL
+//! record, one buffered tombstone — where the application-level
+//! alternative issues one point delete per covered key, paying N WAL
+//! records and re-ingesting N tombstones through the memtable, flush,
+//! and compaction pipeline. The read-side answer is identical either
+//! way (covered keys read as deleted immediately); only the write cost
+//! differs.
+//!
+//! For each erase width N the table reports the number of delete
+//! writes issued, the bytes written while issuing them (WAL + any
+//! flushes/compactions they force), the bytes written by the reclaim
+//! compaction that follows, and wall time for the erase step.
+
+use acheron_bench::{base_opts, f2, grouped, open_db, print_table};
+use acheron_vfs::Vfs;
+
+const POPULATION: u64 = 20_000;
+const WIDTHS: [u64; 3] = [100, 1_000, 10_000];
+
+fn key(i: u64) -> Vec<u8> {
+    format!("u:{i:05}").into_bytes()
+}
+
+fn load(db: &acheron::Db) {
+    for i in 0..POPULATION {
+        db.put(&key(i), &[b'v'; 64]).unwrap();
+    }
+    db.compact_all().unwrap();
+}
+
+/// The first `n` keys must read as deleted and the rest must survive.
+fn check_erased(db: &acheron::Db, n: u64) {
+    for probe in [0, n / 2, n - 1] {
+        assert_eq!(db.get(&key(probe)).unwrap(), None, "key {probe} visible");
+    }
+    assert!(db.get(&key(n)).unwrap().is_some(), "key {n} lost");
+    assert!(db.get(&key(POPULATION - 1)).unwrap().is_some());
+}
+
+fn run(n: u64, range: bool) -> Vec<String> {
+    let (fs, db) = open_db(base_opts());
+    load(&db);
+    use std::sync::atomic::Ordering::Relaxed;
+    let before = fs.io_stats().snapshot();
+    let start = std::time::Instant::now();
+    if range {
+        // Inclusive span covering exactly keys 0..n.
+        db.range_delete_keys(&key(0), &key(n - 1)).unwrap();
+    } else {
+        for i in 0..n {
+            db.delete(&key(i)).unwrap();
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let erase_delta = fs.io_stats().snapshot() - before;
+    check_erased(&db, n);
+
+    let before_reclaim = fs.io_stats().snapshot();
+    db.compact_all().unwrap();
+    let reclaim_delta = fs.io_stats().snapshot() - before_reclaim;
+    check_erased(&db, n);
+
+    let stats = db.stats();
+    let writes = stats.deletes.load(Relaxed) + stats.sort_range_deletes.load(Relaxed);
+    vec![
+        if range {
+            "range tombstone".into()
+        } else {
+            "point deletes".into()
+        },
+        grouped(n),
+        grouped(writes),
+        grouped(erase_delta.bytes_written),
+        grouped(reclaim_delta.bytes_written),
+        f2(elapsed * 1000.0),
+    ]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for n in WIDTHS {
+        rows.push(run(n, false));
+        rows.push(run(n, true));
+    }
+    print_table(
+        &format!(
+            "E19: erase a sort-key prefix of width N from {} entries",
+            grouped(POPULATION)
+        ),
+        &[
+            "strategy",
+            "erased keys",
+            "delete writes",
+            "erase bytes written",
+            "reclaim bytes written",
+            "erase ms",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: the range tombstone issues exactly ONE delete write at\n\
+         every width, with erase-step bytes that do not grow with N; point deletes\n\
+         issue N writes and their erase-step bytes scale roughly linearly (WAL\n\
+         records plus the flushes/compactions the tombstones force). Both leave\n\
+         the same logical state — the asserts check it."
+    );
+}

@@ -62,7 +62,8 @@ fn main() {
                     let shard_max = report
                         .level_tombstones
                         .iter()
-                        .filter_map(|l| l.max_unresolved_age)
+                        .flat_map(|l| [l.max_unresolved_age, l.max_unresolved_key_range_age])
+                        .flatten()
                         .max();
                     fleet_max_age = fleet_max_age.max(shard_max);
                 }
@@ -94,11 +95,12 @@ fn main() {
 
 fn print_report(report: &DoctorReport, d_th: Option<u64>) {
     println!(
-        "checked {} tables ({} entries, {} tombstones, {} range tombstones), \
-         {} WAL segments ({} records)",
+        "checked {} tables ({} entries, {} tombstones, {} key-range tombstones, \
+         {} range tombstones), {} WAL segments ({} records)",
         report.tables_checked,
         report.entries,
         report.tombstones,
+        report.key_range_tombstones,
         report.range_tombstones,
         report.wals_checked,
         report.wal_records
@@ -115,6 +117,18 @@ fn print_report(report: &DoctorReport, d_th: Option<u64>) {
                 None => String::new(),
             }
         );
+        if l.key_range_tombstones > 0 {
+            println!(
+                "key-range tombstones: level {}: {} live, oldest unresolved age {} ticks{}",
+                l.level,
+                l.key_range_tombstones,
+                l.max_unresolved_key_range_age.unwrap_or(0),
+                match d_th {
+                    Some(d) => format!(" (threshold {d})"),
+                    None => String::new(),
+                }
+            );
+        }
     }
     if report.warnings.is_empty() {
         println!("warnings: none");

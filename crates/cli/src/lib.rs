@@ -36,6 +36,7 @@ commands:
   get <key>                    point lookup
   del <key>                    point delete (inserts a tombstone)
   rdel <lo> <hi>               secondary range delete over delete keys
+  delrange <start> <end>       sort-key range delete (inclusive bounds)
   scan <lo> <hi>               range scan over sort keys (inclusive)
   workload <n> <put%> <del%> <get%> <scan%>   run n generated ops
   tick <n>                     advance the logical clock n ticks
@@ -85,6 +86,7 @@ impl Session {
             "get" => self.cmd_get(&args),
             "del" => self.cmd_del(&args),
             "rdel" => self.cmd_rdel(&args),
+            "delrange" => self.cmd_delrange(&args),
             "scan" => self.cmd_scan(&args),
             "workload" => self.cmd_workload(&args),
             "tick" => self.cmd_tick(&args),
@@ -168,6 +170,20 @@ impl Session {
         Ok(format!(
             "range tombstone registered; {} live",
             self.db.live_range_tombstones().len()
+        ))
+    }
+
+    fn cmd_delrange(&mut self, args: &[&str]) -> Result<String, String> {
+        let [start, end] = args else {
+            return Err("usage: delrange <start> <end>".into());
+        };
+        self.db
+            .range_delete_keys(start.as_bytes(), end.as_bytes())
+            .map_err(|e| e.to_string())?;
+        Ok(format!(
+            "range tombstone inserted at tick {}; {} live",
+            self.db.now(),
+            self.db.live_key_range_tombstones()
         ))
     }
 
@@ -332,9 +348,18 @@ impl Session {
             s.persistence_latency.mean(),
         ));
         out.push_str(&format!(
-            "live range tombstones: {}",
+            "live range tombstones: {}\n",
             self.db.live_range_tombstones().len()
         ));
+        out.push_str(&format!(
+            "live sort-key range tombstones: {}",
+            self.db.live_key_range_tombstones()
+        ));
+        if let Some(age) = self.db.oldest_live_key_range_tombstone_age() {
+            out.push_str(&format!(
+                "\noldest sort-key range tombstone age: {age} ticks"
+            ));
+        }
         out
     }
 
@@ -389,6 +414,7 @@ remote commands:
   get <key>                    point lookup
   del <key>                    point delete
   rdel <lo> <hi>               secondary range delete over delete keys
+  delrange <start> <end>       sort-key range delete (inclusive bounds)
   scan <lo> <hi>               range scan over sort keys (inclusive)
   stats                        engine + server counters
   metrics                      Prometheus-style metrics exposition
@@ -437,6 +463,7 @@ impl RemoteSession {
             "get" => self.cmd_get(&args),
             "del" => self.cmd_del(&args),
             "rdel" => self.cmd_rdel(&args),
+            "delrange" => self.cmd_delrange(&args),
             "scan" => self.cmd_scan(&args),
             "stats" => self.cmd_stats(),
             "metrics" => self
@@ -506,6 +533,16 @@ impl RemoteSession {
         let hi: u64 = hi.parse().map_err(|_| "hi must be a number".to_string())?;
         self.client
             .range_delete_secondary(lo, hi)
+            .map_err(|e| e.to_string())?;
+        Ok("ok".into())
+    }
+
+    fn cmd_delrange(&mut self, args: &[&str]) -> Result<String, String> {
+        let [start, end] = args else {
+            return Err("usage: delrange <start> <end>".into());
+        };
+        self.client
+            .range_delete_keys(start.as_bytes(), end.as_bytes())
             .map_err(|e| e.to_string())?;
         Ok("ok".into())
     }
@@ -582,6 +619,23 @@ mod tests {
         assert!(text(s.execute("rdel 15 25")).contains("1 live"));
         assert_eq!(text(s.execute("get a")), "v1");
         assert_eq!(text(s.execute("get b")), "(not found)");
+    }
+
+    #[test]
+    fn delrange_erases_a_key_interval() {
+        let mut s = Session::demo();
+        s.execute("put user:1 a");
+        s.execute("put user:2 b");
+        s.execute("put zebra c");
+        let out = text(s.execute("delrange user:1 user:9"));
+        assert!(out.contains("1 live"), "{out}");
+        assert_eq!(text(s.execute("get user:1")), "(not found)");
+        assert_eq!(text(s.execute("get user:2")), "(not found)");
+        assert_eq!(text(s.execute("get zebra")), "c");
+        let ts = text(s.execute("tombstones"));
+        assert!(ts.contains("live sort-key range tombstones: 1"), "{ts}");
+        assert!(ts.contains("oldest sort-key range tombstone age"), "{ts}");
+        assert!(text(s.execute("delrange onlyone")).contains("usage"));
     }
 
     #[test]
@@ -666,6 +720,9 @@ mod tests {
         s.execute("put b v2 20");
         assert_eq!(text(s.execute("rdel 15 25")), "ok");
         assert_eq!(text(s.execute("get b")), "(not found)");
+        s.execute("put user:1 x");
+        assert_eq!(text(s.execute("delrange user: user:~")), "ok");
+        assert_eq!(text(s.execute("get user:1")), "(not found)");
         let scan = text(s.execute("scan a z"));
         assert!(scan.contains("a = v1"), "{scan}");
         let stats = text(s.execute("stats"));
@@ -686,8 +743,8 @@ mod tests {
         let mut s = Session::demo();
         let h = text(s.execute("help"));
         for cmd in [
-            "put", "get", "del", "rdel", "scan", "workload", "tick", "tree", "stats", "metrics",
-            "events",
+            "put", "get", "del", "rdel", "delrange", "scan", "workload", "tick", "tree", "stats",
+            "metrics", "events",
         ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }

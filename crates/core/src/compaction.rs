@@ -6,7 +6,7 @@ use std::sync::atomic::Ordering as AtomicOrdering;
 use std::sync::Arc;
 
 use acheron_sstable::{BlockCache, Table, TableBuilder, TableOptions};
-use acheron_types::{Entry, RangeTombstone, Result, SeqNo, Tick};
+use acheron_types::{Entry, KeyRangeTombstone, RangeTombstone, Result, SeqNo, Tick};
 use acheron_vfs::Vfs;
 
 use crate::filenames::sst_path;
@@ -29,8 +29,13 @@ pub struct CompactionOutcome {
     pub shadowed: u64,
     /// Entries purged by secondary range tombstones.
     pub range_purged: u64,
+    /// Entries purged by sort-key range tombstones.
+    pub key_range_purged: u64,
     /// `(delete tick, seqno)` of each point tombstone physically purged.
     pub tombstones_dropped: Vec<(Tick, SeqNo)>,
+    /// `(delete tick, seqno)` of each sort-key range tombstone purged
+    /// (resolved at the last level, exactly like point tombstones).
+    pub key_range_tombstones_dropped: Vec<(Tick, SeqNo)>,
     /// KiWi pages dropped without being read.
     pub pages_dropped: u64,
     /// Bytes read from input tables.
@@ -44,7 +49,10 @@ impl CompactionOutcome {
     /// versions, range-deleted entries, and purged point tombstones
     /// (the flight recorder's `CompactionEnd` payload).
     pub fn entries_dropped(&self) -> u64 {
-        self.shadowed + self.range_purged + self.tombstones_dropped.len() as u64
+        self.shadowed
+            + self.range_purged
+            + self.key_range_purged
+            + self.tombstones_dropped.len() as u64
     }
 }
 
@@ -93,6 +101,7 @@ pub fn run_compaction(
     let purge_opportunity = bottommost
         && !task.inputs.is_empty()
         && (task.inputs[0].stats.tombstone_count > 0
+            || !task.inputs[0].stats.range_tombstones.is_empty()
             || version.range_tombstones.iter().any(|rt| {
                 task.inputs[0].stats.min_seqno < rt.seqno
                     && rt
@@ -121,12 +130,49 @@ pub fn run_compaction(
             trivial_move: true,
             shadowed: 0,
             range_purged: 0,
+            key_range_purged: 0,
             tombstones_dropped: Vec::new(),
+            key_range_tombstones_dropped: Vec::new(),
             pages_dropped: 0,
             bytes_in: 0,
             bytes_out: 0,
         });
     }
+
+    // Sort-key range tombstones carried by the inputs. One is purged
+    // here iff the merge is bottommost, no snapshot can still read an
+    // entry it shadows, and no live file *outside* the compaction holds
+    // an entry old enough to be shadowed (dropping it then would let
+    // that older version resurface once the shadow is gone). Survivors
+    // ride along into the first output's stats block.
+    let mut surviving_krts: Vec<KeyRangeTombstone> = Vec::new();
+    let mut key_range_tombstones_dropped: Vec<(Tick, SeqNo)> = Vec::new();
+    for k in task
+        .all_inputs()
+        .flat_map(|f| f.stats.range_tombstones.iter())
+    {
+        let purgeable = bottommost
+            && snapshots.is_empty()
+            && !version.all_files().any(|f| {
+                !deleted_ids.contains(&f.id)
+                    && f.stats.min_seqno < k.seqno
+                    && f.overlaps_keys(&k.start, &k.end)
+            });
+        if purgeable {
+            key_range_tombstones_dropped.push((k.dkey, k.seqno));
+        } else {
+            surviving_krts.push(k.clone());
+        }
+    }
+
+    // Entries shadowed by any live sort-key range tombstone (the
+    // version-wide fragment index, so tombstones held by non-input
+    // files erase here too) are dropped under the same conditions that
+    // allow point-tombstone drops: bottommost, no snapshots.
+    let krt_drop_index =
+        (bottommost && snapshots.is_empty() && !version.key_range_tombstones.is_empty())
+            .then(|| version.key_range_tombstones.as_ref());
+    let mut key_range_purged: u64 = 0;
 
     // Page drops are only safe (a) at the bottommost level — higher up,
     // dropping a covered chain head would let an older, deeper version
@@ -193,7 +239,7 @@ pub fn run_compaction(
         if let Some((id, b)) = builder.take() {
             let stats = b.finish()?;
             let path = sst_path(dir, id);
-            if stats.entry_count == 0 {
+            if stats.entry_count == 0 && stats.range_tombstones.is_empty() {
                 fs.delete(&path)?;
                 return Ok(());
             }
@@ -213,7 +259,17 @@ pub fn run_compaction(
         Ok(())
     };
 
+    let mut pending_krts = (!surviving_krts.is_empty()).then_some(surviving_krts);
     while let Some(entry) = stream.next_surviving()? {
+        if let Some(idx) = krt_drop_index {
+            if idx
+                .max_seqno_covering(&entry.key, u64::MAX)
+                .is_some_and(|cover| entry.seqno < cover)
+            {
+                key_range_purged += 1;
+                continue;
+            }
+        }
         let split = match &builder {
             Some((_, b)) => b.file_bytes() >= opts.target_file_bytes && entry.key != last_user_key,
             None => false,
@@ -224,12 +280,25 @@ pub fn run_compaction(
         if builder.is_none() {
             let id = next_file_id();
             let file = fs.create(&sst_path(dir, id))?;
-            builder = Some((id, TableBuilder::new(file, table_opts.clone())?));
+            let mut b = TableBuilder::new(file, table_opts.clone())?;
+            if let Some(krts) = pending_krts.take() {
+                b.set_range_tombstones(krts);
+            }
+            builder = Some((id, b));
         }
         let (_, b) = builder.as_mut().expect("builder just ensured");
         b.add(&entry)?;
         last_user_key.clear();
         last_user_key.extend_from_slice(&entry.key);
+    }
+    if let Some(krts) = pending_krts.take() {
+        // No surviving entries to attach the tombstones to: write a
+        // carrier table whose stats block alone keeps them durable.
+        let id = next_file_id();
+        let file = fs.create(&sst_path(dir, id))?;
+        let mut b = TableBuilder::new(file, table_opts.clone())?;
+        b.set_range_tombstones(krts);
+        builder = Some((id, b));
     }
     finish_builder(&mut builder, &mut added, &mut bytes_out)?;
 
@@ -245,7 +314,9 @@ pub fn run_compaction(
         trivial_move: false,
         shadowed: stream.shadowed,
         range_purged: stream.range_purged,
+        key_range_purged,
         tombstones_dropped: stream.tombstones_dropped,
+        key_range_tombstones_dropped,
         pages_dropped,
         bytes_in,
         bytes_out,
@@ -255,7 +326,11 @@ pub fn run_compaction(
 /// Flush a memtable's entries into a fresh L0 table file.
 ///
 /// Returns the new file's metadata. `entries` must be in internal-key
-/// order (the memtable guarantees this).
+/// order (the memtable guarantees this). `key_range_tombstones` are the
+/// buffer's sort-key range tombstones, carried into the table's stats
+/// block; a table holding only those (no entries) is still written — a
+/// *carrier* file whose sole job is to keep the tombstones durable
+/// until a bottommost compaction purges them.
 #[allow(clippy::too_many_arguments)]
 pub fn write_l0_table<'a>(
     fs: &Arc<dyn Vfs>,
@@ -263,6 +338,7 @@ pub fn write_l0_table<'a>(
     opts: &DbOptions,
     cache: Option<&Arc<BlockCache>>,
     entries: impl Iterator<Item = &'a Entry>,
+    key_range_tombstones: Vec<KeyRangeTombstone>,
     id: u64,
     run: u64,
     now: Tick,
@@ -281,8 +357,12 @@ pub fn write_l0_table<'a>(
         b.add(e)?;
         any = true;
     }
+    let carries_krts = !key_range_tombstones.is_empty();
+    if carries_krts {
+        b.set_range_tombstones(key_range_tombstones);
+    }
     let stats = b.finish()?;
-    if !any {
+    if !any && !carries_krts {
         fs.delete(&path)?;
         return Ok(None);
     }

@@ -419,6 +419,7 @@ pub struct RangeIter {
     hi: Vec<u8>,
     snapshot: SeqNo,
     rts: Vec<RangeTombstone>,
+    krts: Arc<acheron_types::FragmentedRangeTombstones>,
     decided_key: Option<Bytes>,
 }
 
@@ -438,10 +439,16 @@ impl RangeIter {
                 continue;
             }
             // Newest visible version decides the key: a put that is not
-            // range-erased yields the value; anything else hides the key.
+            // range-erased (by either tombstone flavor) yields the
+            // value; anything else hides the key. The sort-key check is
+            // one binary search over the pre-fragmented index.
             self.decided_key = Some(e.key.clone());
             let live = e.kind == acheron_types::ValueKind::Put
-                && !self.rts.iter().any(|rt| rt.shadows(e.seqno, e.dkey));
+                && !self.rts.iter().any(|rt| rt.shadows(e.seqno, e.dkey))
+                && self
+                    .krts
+                    .max_seqno_covering(&e.key, self.snapshot)
+                    .is_none_or(|cover| e.seqno >= cover);
             self.merge.advance()?;
             if live {
                 return Ok(Some((e.key, e.value)));
@@ -734,11 +741,17 @@ impl Db {
             let recovered = recover_records(fs.read_all(&wal_path(dir, n))?);
             for rec in &recovered.records {
                 let batch = WalBatch::decode(rec)?;
-                let (entries, _ranges) = batch.entries();
+                let (entries, _ranges, key_ranges) = batch.entries();
                 for e in entries {
                     if e.seqno > persisted_seqno {
                         last_seqno = last_seqno.max(e.seqno);
                         mem.insert(e);
+                    }
+                }
+                for krt in key_ranges {
+                    if krt.seqno > persisted_seqno {
+                        last_seqno = last_seqno.max(krt.seqno);
+                        mem.add_range_tombstone(krt);
                     }
                 }
             }
@@ -907,6 +920,7 @@ impl Db {
             .all_files()
             .map(|f| f.created_tick)
             .chain(mem.stats().max_dkey)
+            .chain(mem.range_tombstone_list().iter().map(|krt| krt.dkey))
             .max()
             .unwrap_or(0);
         opts.clock_advance_to(max_tick);
@@ -958,6 +972,24 @@ impl Db {
         let tick = self.core().opts.clock.now();
         self.write(WalOp::Delete {
             key: Bytes::copy_from_slice(key),
+            tick,
+        })
+    }
+
+    /// Range-delete every sort key in `[start, end]` (inclusive) with a
+    /// single WAL-logged range tombstone — O(1) writes regardless of how
+    /// many keys the range covers. The tombstone shadows older versions
+    /// immediately, travels through flush into SSTable metadata, and is
+    /// purged by bottommost compactions within the FADE persistence
+    /// threshold, exactly like a point tombstone.
+    pub fn range_delete_keys(&self, start: &[u8], end: &[u8]) -> Result<()> {
+        if start > end {
+            return Err(Error::invalid_argument("range_delete_keys: start > end"));
+        }
+        let tick = self.core().opts.clock.now();
+        self.write(WalOp::RangeDeleteKeys {
+            start: Bytes::copy_from_slice(start),
+            end: Bytes::copy_from_slice(end),
             tick,
         })
     }
@@ -1145,29 +1177,61 @@ impl Db {
             }
         }
         // Reclaim pass: bottom-level files still overlapping a live
-        // range tombstone are rewritten in place so the erased entries
-        // (and, under KiWi, whole covered pages) are physically dropped
-        // and the tombstone can retire.
-        // Bounded passes: snapshots may legitimately pin covered entries,
-        // leaving the tombstone live; don't spin on it.
+        // range tombstone (secondary *or* sort-key) are rewritten in
+        // place so the erased entries (and, under KiWi, whole covered
+        // pages) are physically dropped and the tombstone can retire or
+        // purge. Bounded passes: snapshots may legitimately pin covered
+        // entries, leaving the tombstone live; don't spin on it.
         for _ in 0..4 {
             let rts = st.version.range_tombstones.clone();
-            if rts.is_empty() {
+            let krts = st.version.collect_key_range_tombstones();
+            if rts.is_empty() && krts.is_empty() {
                 break;
             }
-            let victims: Vec<_> = st.version.levels[bottom]
+            let mut victims: Vec<_> = st.version.levels[bottom]
                 .iter()
                 .filter(|f| {
-                    f.stats.entry_count > 0
-                        && rts.iter().any(|rt| {
-                            f.stats.min_seqno < rt.seqno
-                                && rt.range.overlaps(f.stats.min_dkey, f.stats.max_dkey)
-                        })
+                    f.has_key_range_tombstones()
+                        || (f.stats.entry_count > 0
+                            && (rts.iter().any(|rt| {
+                                f.stats.min_seqno < rt.seqno
+                                    && rt.range.overlaps(f.stats.min_dkey, f.stats.max_dkey)
+                            }) || krts.iter().any(|k| {
+                                f.stats.min_seqno < k.seqno && f.overlaps_keys(&k.start, &k.end)
+                            })))
                 })
                 .cloned()
                 .collect();
             if victims.is_empty() {
                 break;
+            }
+            // Close the victim set over entry-hull overlap so the merge
+            // stays bottommost (required for any physical drop).
+            loop {
+                let span =
+                    {
+                        let mut lo: Option<Bytes> = None;
+                        let mut hi: Option<Bytes> = None;
+                        for f in victims.iter().filter(|f| f.stats.entry_count > 0) {
+                            lo = Some(lo.map_or(f.min_key().clone(), |c: Bytes| {
+                                c.min(f.min_key().clone())
+                            }));
+                            hi = Some(hi.map_or(f.max_key().clone(), |c: Bytes| {
+                                c.max(f.max_key().clone())
+                            }));
+                        }
+                        lo.zip(hi)
+                    };
+                let Some((lo, hi)) = span else { break };
+                let before = victims.len();
+                for f in st.version.levels[bottom].iter() {
+                    if f.overlaps_keys(&lo, &hi) && !victims.iter().any(|v| v.id == f.id) {
+                        victims.push(Arc::clone(f));
+                    }
+                }
+                if victims.len() == before {
+                    break;
+                }
             }
             let task = CompactionTask {
                 level: bottom,
@@ -1331,6 +1395,22 @@ impl Db {
         {
             return Ok(None); // range-erased
         }
+        // Sort-key range tombstones: the newest visible cover across the
+        // buffers and the tree hides any older best. Each probe is a
+        // binary search over a fragment index (empty-index fast path
+        // short-circuits without taking a lock).
+        let cover = std::iter::once(&view.mem)
+            .chain(view.imms.iter())
+            .filter_map(|m| m.range_cover(key, snapshot))
+            .chain(
+                view.version
+                    .key_range_tombstones
+                    .max_seqno_covering(key, snapshot),
+            )
+            .max();
+        if cover.is_some_and(|c| newest.seqno < c) {
+            return Ok(None); // inside a deleted sort-key range
+        }
         Ok(match newest.kind {
             acheron_types::ValueKind::Put => Some(newest.value),
             _ => None,
@@ -1412,6 +1492,22 @@ impl Db {
             .filter(|rt| rt.seqno <= snapshot)
             .copied()
             .collect();
+        // Sort-key range tombstones from every source. When only the
+        // tree holds any, the version's prebuilt index is shared as-is;
+        // buffered ones (rare) force a combined rebuild. Visibility is
+        // filtered per-probe via the snapshot argument.
+        let buffered_krts: Vec<acheron_types::KeyRangeTombstone> = std::iter::once(&view.mem)
+            .chain(view.imms.iter())
+            .filter(|m| m.range_tombstone_count() > 0)
+            .flat_map(|m| m.range_tombstone_list())
+            .collect();
+        let krts = if buffered_krts.is_empty() {
+            Arc::clone(&view.version.key_range_tombstones)
+        } else {
+            let mut all = view.version.collect_key_range_tombstones();
+            all.extend(buffered_krts);
+            Arc::new(acheron_types::FragmentedRangeTombstones::build(&all))
+        };
 
         let seek_key = acheron_types::InternalKey::for_seek(lo, MAX_SEQNO);
         let mut sources: Vec<Box<dyn KvSource>> = Vec::new();
@@ -1455,6 +1551,7 @@ impl Db {
             hi: hi.to_vec(),
             snapshot,
             rts: visible_rts,
+            krts,
             decided_key: None,
         })
     }
@@ -1545,6 +1642,39 @@ impl Db {
         self.core().current_view().rts.to_vec()
     }
 
+    /// Live sort-key range tombstones (buffered + on disk). Buffered
+    /// tombstones are read from the active and sealed memtables; disk
+    /// tombstones from the installed version's per-file metadata.
+    pub fn live_key_range_tombstones(&self) -> u64 {
+        let view = self.core().current_view();
+        let buffered: u64 = std::iter::once(&view.mem)
+            .chain(view.imms.iter())
+            .map(|m| m.range_tombstone_count() as u64)
+            .sum();
+        view.version.live_key_range_tombstones() + buffered
+    }
+
+    /// Age (at `now`) of the oldest live sort-key range tombstone, if
+    /// any — FADE bounds it by the same `D_th` as point deletes.
+    pub fn oldest_live_key_range_tombstone_age(&self) -> Option<Tick> {
+        let view = self.core().current_view();
+        let now = self.core().opts.clock.now();
+        let file_oldest = view
+            .version
+            .all_files()
+            .filter_map(|f| f.stats.oldest_range_tombstone_tick())
+            .min();
+        let buffered_oldest = std::iter::once(&view.mem)
+            .chain(view.imms.iter())
+            .filter_map(|m| m.stats().oldest_range_tombstone_tick)
+            .min();
+        file_oldest
+            .into_iter()
+            .chain(buffered_oldest)
+            .min()
+            .map(|t| now.saturating_sub(t))
+    }
+
     /// Age (at `now`) of the oldest live point tombstone, if any — the
     /// quantity FADE bounds by `D_th`.
     pub fn oldest_live_tombstone_age(&self) -> Option<Tick> {
@@ -1583,15 +1713,23 @@ impl Db {
         let view = core.current_view();
         let mut buffered = 0u64;
         let mut oldest: Option<Tick> = None;
+        let mut buffered_krts = 0u64;
+        let mut oldest_krt: Option<Tick> = None;
         for m in std::iter::once(&view.mem).chain(view.imms.iter()) {
             let s = m.stats();
             buffered += s.tombstones as u64;
             if let Some(t0) = s.oldest_tombstone_tick {
                 oldest = Some(oldest.map_or(t0, |cur| cur.min(t0)));
             }
+            buffered_krts += s.range_tombstones as u64;
+            if let Some(t0) = s.oldest_range_tombstone_tick {
+                oldest_krt = Some(oldest_krt.map_or(t0, |cur| cur.min(t0)));
+            }
         }
         gauges.buffer_tombstones = buffered;
         gauges.buffer_oldest_tick = oldest;
+        gauges.buffer_key_range_tombstones = buffered_krts;
+        gauges.buffer_oldest_key_range_tick = oldest_krt;
         gauges.range_tombstones = view.rts.len() as u64;
         gauges
     }
@@ -1772,7 +1910,7 @@ impl DbCore {
         // new visible seqno, then swap the read view.
         let mut st = self.state.write();
         for batch in &batches {
-            let (entries, _ranges) = batch.entries();
+            let (entries, _ranges, key_ranges) = batch.entries();
             for e in entries {
                 match e.kind {
                     acheron_types::ValueKind::Put => {
@@ -1781,12 +1919,22 @@ impl DbCore {
                     acheron_types::ValueKind::Tombstone => {
                         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
                     }
-                    acheron_types::ValueKind::RangeTombstone => {}
+                    acheron_types::ValueKind::RangeTombstone
+                    | acheron_types::ValueKind::KeyRangeTombstone => {}
                 }
                 self.stats
                     .user_bytes
                     .fetch_add((e.key.len() + e.value.len()) as u64, Ordering::Relaxed);
                 st.mem.insert(e);
+            }
+            for krt in key_ranges {
+                self.stats
+                    .sort_range_deletes
+                    .fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .user_bytes
+                    .fetch_add((krt.start.len() + krt.end.len()) as u64, Ordering::Relaxed);
+                st.mem.add_range_tombstone(krt);
             }
             if self.opts.auto_advance_clock {
                 self.opts.clock_advance(batch.ops.len() as u64);
@@ -1800,18 +1948,17 @@ impl DbCore {
         // without rebuilding the view.
         self.visible_seqno.store(last, Ordering::Release);
 
-        // Tighten the cached TTL deadline when a tombstone enters the
-        // buffer (the buffer's oldest tombstone only gets older, so the
-        // first one fixes the buffer deadline until the next flush).
-        if let (Some(ttl), Some(t0)) = (
-            self.picker.ttl_schedule(),
-            st.mem.stats().oldest_tombstone_tick,
-        ) {
-            let mem_deadline = t0.saturating_add(ttl.buffer_ttl());
-            st.ttl_deadline = Some(
-                st.ttl_deadline
-                    .map_or(mem_deadline, |d| d.min(mem_deadline)),
-            );
+        // Tighten the cached TTL deadline when a tombstone — point or
+        // sort-key range — enters the buffer (the buffer's oldest
+        // tombstone only gets older, so the first one fixes the buffer
+        // deadline until the next flush).
+        if let Some(ttl) = self.picker.ttl_schedule() {
+            if let Some(mem_deadline) = ttl.buffer_deadline(&st.mem) {
+                st.ttl_deadline = Some(
+                    st.ttl_deadline
+                        .map_or(mem_deadline, |d| d.min(mem_deadline)),
+                );
+            }
         }
         let mut kick = false;
         if st.mem.approximate_bytes() >= self.opts.write_buffer_bytes {
@@ -1918,13 +2065,16 @@ impl DbCore {
         let id = self.alloc_file_id();
         // Entries are flushed as-is; range-erased versions are purged at
         // bottommost compactions (purging here could let older, deeper
-        // versions decide reads).
+        // versions decide reads). Buffered sort-key range tombstones
+        // ride into the table's stats block — a tombstone-only buffer
+        // still produces a (carrier) file.
         write_l0_table(
             &self.fs,
             &self.dir,
             &self.opts,
             self.cache.as_ref(),
             mem.entries(),
+            mem.range_tombstone_list(),
             id,
             id,
             now,
@@ -2245,6 +2395,9 @@ impl DbCore {
             .entries_range_purged
             .fetch_add(outcome.range_purged, Relaxed);
         self.stats
+            .entries_key_range_purged
+            .fetch_add(outcome.key_range_purged, Relaxed);
+        self.stats
             .pages_dropped
             .fetch_add(outcome.pages_dropped, Relaxed);
         let d_th = self
@@ -2267,6 +2420,13 @@ impl DbCore {
             }
             self.stats.record_tombstone_purge(*delete_tick, now, d_th);
         }
+        // Purged sort-key range tombstones feed the same persistence
+        // histogram: FADE bounds their resolution latency by the same
+        // D_th as point tombstones.
+        for (delete_tick, _seqno) in &outcome.key_range_tombstones_dropped {
+            self.stats.key_range_tombstones_purged.fetch_add(1, Relaxed);
+            self.stats.record_tombstone_purge(*delete_tick, now, d_th);
+        }
         *self.stats.last_compaction_reason.lock() = Some(format!("{:?}", task.reason));
         self.obs.log(Event::CompactionEnd {
             level: task.level as u64,
@@ -2274,7 +2434,8 @@ impl DbCore {
             bytes_in: outcome.bytes_in,
             bytes_out: outcome.bytes_out,
             entries_dropped: outcome.entries_dropped(),
-            tombstones_purged: outcome.tombstones_dropped.len() as u64,
+            tombstones_purged: (outcome.tombstones_dropped.len()
+                + outcome.key_range_tombstones_dropped.len()) as u64,
             micros,
         });
         self.recompute_ttl_deadline(st);

@@ -44,6 +44,12 @@ pub struct LevelTombstoneSummary {
     pub oldest_tombstone_tick: Option<Tick>,
     /// Age of that tombstone at the newest-created-tick proxy.
     pub max_unresolved_age: Option<Tick>,
+    /// Live sort-key range tombstones carried by tables at the level.
+    pub key_range_tombstones: u64,
+    /// Birth tick of the oldest live sort-key range tombstone.
+    pub oldest_key_range_tick: Option<Tick>,
+    /// Age of that range tombstone at the newest-created-tick proxy.
+    pub max_unresolved_key_range_age: Option<Tick>,
 }
 
 /// Outcome of an offline check.
@@ -55,6 +61,8 @@ pub struct DoctorReport {
     pub entries: u64,
     /// Total point tombstones across live tables.
     pub tombstones: u64,
+    /// Total sort-key range tombstones across live tables.
+    pub key_range_tombstones: u64,
     /// Live secondary range tombstones.
     pub range_tombstones: usize,
     /// WAL segments replayed.
@@ -134,16 +142,25 @@ pub fn check_db_with_threshold(
         report.tables_checked += 1;
         report.entries += stats.entry_count;
         report.tombstones += stats.tombstone_count;
-        if stats.tombstone_count > 0 {
+        let krts = stats.range_tombstones.len() as u64;
+        report.key_range_tombstones += krts;
+        if stats.tombstone_count > 0 || krts > 0 {
             let summary = tomb_levels.entry(level).or_insert(LevelTombstoneSummary {
                 level,
                 ..LevelTombstoneSummary::default()
             });
-            summary.files_with_tombstones += 1;
-            summary.tombstones += stats.tombstone_count;
-            if let Some(t0) = stats.oldest_tombstone_tick {
-                summary.oldest_tombstone_tick =
-                    Some(summary.oldest_tombstone_tick.map_or(t0, |cur| cur.min(t0)));
+            if stats.tombstone_count > 0 {
+                summary.files_with_tombstones += 1;
+                summary.tombstones += stats.tombstone_count;
+                if let Some(t0) = stats.oldest_tombstone_tick {
+                    summary.oldest_tombstone_tick =
+                        Some(summary.oldest_tombstone_tick.map_or(t0, |cur| cur.min(t0)));
+                }
+            }
+            summary.key_range_tombstones += krts;
+            if let Some(t0) = stats.oldest_range_tombstone_tick() {
+                summary.oldest_key_range_tick =
+                    Some(summary.oldest_key_range_tick.map_or(t0, |cur| cur.min(t0)));
             }
         }
         if stats.entry_count > 0 {
@@ -184,6 +201,19 @@ pub fn check_db_with_threshold(
                 report.warnings.push(format!(
                     "level {}: oldest live tombstone is {age} ticks old, past the delete \
                      persistence threshold {d} — deletes at this level are overdue for purge",
+                    summary.level
+                ));
+            }
+        }
+        summary.max_unresolved_key_range_age = summary
+            .oldest_key_range_tick
+            .map(|t0| report.newest_created_tick.saturating_sub(t0));
+        if let (Some(d), Some(age)) = (d_th, summary.max_unresolved_key_range_age) {
+            if age > d {
+                report.warnings.push(format!(
+                    "level {}: oldest live range tombstone is {age} ticks old, past the \
+                     delete persistence threshold {d} — range deletes at this level are \
+                     overdue for purge",
                     summary.level
                 ));
             }
@@ -296,6 +326,22 @@ fn verify_table(table: &std::sync::Arc<Table>, id: u64) -> Result<()> {
         )));
     }
 
+    // Range-tombstone sanity: spans must be ordered and their seqnos
+    // bracketed by the table's seqno window (the builder folds them in).
+    for krt in &stats.range_tombstones {
+        if krt.start > krt.end {
+            return Err(Error::corruption(format!(
+                "table {id}: inverted range tombstone span"
+            )));
+        }
+        if krt.seqno < stats.min_seqno || krt.seqno > stats.max_seqno {
+            return Err(Error::corruption(format!(
+                "table {id}: range tombstone seqno {} outside stats window [{}, {}]",
+                krt.seqno, stats.min_seqno, stats.max_seqno
+            )));
+        }
+    }
+
     // Tile invariants.
     let mut meta_entries = 0u64;
     for (t, tile) in table.tiles().iter().enumerate() {
@@ -336,6 +382,7 @@ mod tests {
             }
         }
         db.range_delete_secondary(100, 200).unwrap();
+        db.range_delete_keys(b"key00300", b"key00400").unwrap();
         db.flush().unwrap();
         fs
     }
@@ -348,6 +395,7 @@ mod tests {
         assert!(report.entries > 0);
         assert!(report.tombstones > 0);
         assert_eq!(report.range_tombstones, 1);
+        assert_eq!(report.key_range_tombstones, 1);
         assert!(report.wals_checked >= 1);
         // No unexpected warnings on a healthy, freshly flushed database.
         for w in &report.warnings {
@@ -377,6 +425,32 @@ mod tests {
                 Some(report.newest_created_tick.saturating_sub(t0))
             );
         }
+    }
+
+    #[test]
+    fn reports_unresolved_key_range_tombstone_age() {
+        let fs = populated_fs();
+        let report = check_db(fs.as_ref(), "db").unwrap();
+        let carrier = report
+            .level_tombstones
+            .iter()
+            .find(|l| l.key_range_tombstones > 0)
+            .expect("the flushed range delete must surface at some level");
+        let t0 = carrier.oldest_key_range_tick.expect("oldest tick recorded");
+        assert_eq!(
+            carrier.max_unresolved_key_range_age,
+            Some(report.newest_created_tick.saturating_sub(t0))
+        );
+        // Threshold 0: the live range tombstone is overdue and warned on.
+        let report = check_db_with_threshold(fs.as_ref(), "db", Some(0)).unwrap();
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("oldest live range tombstone")),
+            "{:?}",
+            report.warnings
+        );
     }
 
     #[test]

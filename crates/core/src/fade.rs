@@ -102,28 +102,33 @@ impl TtlSchedule {
         }
     }
 
-    /// Absolute tick by which `mem`'s oldest tombstone must leave the
-    /// buffer (`None` when it holds no tombstone). Sealed memtables
-    /// awaiting flush are still "station 0", so the background executor
-    /// applies this to them too when scheduling its next wake-up.
+    /// Absolute tick by which `mem`'s oldest tombstone — point *or*
+    /// sort-key range — must leave the buffer (`None` when it holds
+    /// neither). Sealed memtables awaiting flush are still "station 0",
+    /// so the background executor applies this to them too when
+    /// scheduling its next wake-up.
     pub fn buffer_deadline(&self, mem: &Memtable) -> Option<Tick> {
-        mem.stats()
-            .oldest_tombstone_tick
-            .map(|t0| t0.saturating_add(self.buffer_ttl()))
+        let s = mem.stats();
+        let oldest = match (s.oldest_tombstone_tick, s.oldest_range_tombstone_tick) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        oldest.map(|t0| t0.saturating_add(self.buffer_ttl()))
     }
 
     /// True if `file` (at its level) holds an expired tombstone at
-    /// `now`.
+    /// `now`. Range tombstones age on the same clock as point ones.
     pub fn file_expired(&self, file: &FileMeta, now: Tick) -> bool {
-        match file.stats.oldest_tombstone_tick {
+        match file.stats.oldest_any_tombstone_tick() {
             Some(t0) => now.saturating_sub(t0) > self.deadline(file.level),
             None => false,
         }
     }
 
-    /// How overdue the file's oldest tombstone is (0 if not expired).
+    /// How overdue the file's oldest tombstone (either flavor) is
+    /// (0 if not expired).
     pub fn overdue_by(&self, file: &FileMeta, now: Tick) -> Tick {
-        match file.stats.oldest_tombstone_tick {
+        match file.stats.oldest_any_tombstone_tick() {
             Some(t0) => now
                 .saturating_sub(t0)
                 .saturating_sub(self.deadline(file.level)),
@@ -142,7 +147,7 @@ impl TtlSchedule {
         let file_deadline = files
             .filter_map(|f| {
                 f.stats
-                    .oldest_tombstone_tick
+                    .oldest_any_tombstone_tick()
                     .map(|t0| t0.saturating_add(self.deadline(f.level)))
             })
             .min();
@@ -255,6 +260,26 @@ mod tests {
         mem.insert(Entry::tombstone(&b"k"[..], 1, 1000));
         // Buffer budget 300 → deadline 1300.
         assert_eq!(s.next_deadline(std::iter::empty(), &mem), Some(1300));
+    }
+
+    #[test]
+    fn buffer_deadline_counts_range_tombstones() {
+        use acheron_types::KeyRangeTombstone;
+        use bytes::Bytes;
+        let s = TtlSchedule::new(&opts(TtlAllocation::Uniform, 1600, 5, 4));
+        let mem = Memtable::new();
+        mem.add_range_tombstone(KeyRangeTombstone {
+            start: Bytes::from_static(b"a"),
+            end: Bytes::from_static(b"m"),
+            seqno: 1,
+            dkey: 1000,
+        });
+        assert_eq!(s.buffer_deadline(&mem), Some(1300));
+        assert!(s.buffer_expired(&mem, 1301));
+        // An older point tombstone tightens the deadline further.
+        use acheron_types::Entry;
+        mem.insert(Entry::tombstone(&b"k"[..], 2, 500));
+        assert_eq!(s.buffer_deadline(&mem), Some(800));
     }
 
     #[test]

@@ -243,6 +243,11 @@ impl<'a> CompactionStream<'a> {
     /// 3. a point tombstone at the bottommost level with no snapshot
     ///    pinning it is dropped — the delete is now persisted; it too
     ///    still ends its stratum.
+    ///
+    /// Rules 2 and 3 additionally require that no snapshot pins an
+    /// *older* version of the same key: a pinned older version survives
+    /// the stratum dedup, and physically dropping the newer head would
+    /// promote it to chain head — resurrecting it for live readers.
     pub fn next_surviving(&mut self) -> Result<Option<Entry>> {
         loop {
             if let Some(e) = self.pending.pop_front() {
@@ -265,11 +270,25 @@ impl<'a> CompactionStream<'a> {
                 self.merge.advance()?;
             }
 
+            // Per candidate: does some snapshot pin an *older* version
+            // of this key? Such a version survives dedup, so the
+            // candidate must stay to keep shadowing it (chain is
+            // newest → oldest).
+            let older_pinned: Vec<bool> = (0..chain.len())
+                .map(|i| {
+                    chain[i + 1..].iter().any(|older| {
+                        self.snapshots
+                            .iter()
+                            .any(|&s| older.seqno <= s && s < chain[i].seqno)
+                    })
+                })
+                .collect();
+
             // `last_head` = seqno of the newest candidate that survived
             // stratum dedup (whether emitted, purged, or dropped): the
             // version that *decides* reads in its stratum.
             let mut last_head: Option<SeqNo> = None;
-            for candidate in chain {
+            for (i, candidate) in chain.into_iter().enumerate() {
                 if let Some(head) = last_head {
                     if self.same_stratum(head, candidate.seqno) {
                         self.shadowed += 1;
@@ -277,18 +296,18 @@ impl<'a> CompactionStream<'a> {
                     }
                 }
                 last_head = Some(candidate.seqno);
+                let droppable = self.bottommost
+                    && !self.visible_to_snapshot(candidate.seqno)
+                    && !older_pinned[i];
                 let rt_shadow = self
                     .rts
                     .iter()
                     .any(|rt| rt.shadows(candidate.seqno, candidate.dkey));
-                if rt_shadow && self.bottommost && !self.visible_to_snapshot(candidate.seqno) {
+                if rt_shadow && droppable {
                     self.range_purged += 1;
                     continue;
                 }
-                if candidate.is_tombstone()
-                    && self.bottommost
-                    && !self.visible_to_snapshot(candidate.seqno)
-                {
+                if candidate.is_tombstone() && droppable {
                     self.tombstones_dropped
                         .push((candidate.dkey, candidate.seqno));
                     continue;
@@ -431,6 +450,40 @@ mod tests {
         let (out, _, _, dropped) = drain_stream(s);
         assert_eq!(out.len(), 1, "tombstone visible to snapshot must survive");
         assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn tombstone_survives_bottom_when_snapshot_pins_older_version() {
+        // Snapshot 5 pins put(seqno 3); the tombstone (seqno 9) is not
+        // itself visible to any snapshot, but dropping it would promote
+        // the pinned put to chain head and resurrect it for live
+        // readers. Both must survive.
+        let m = merge_of(vec![vec![del("k", 9, 42), put("k", 3, 0)]]);
+        let snaps = [5u64];
+        let s = CompactionStream::new(m, &[], &snaps, true);
+        let (out, _, _, dropped) = drain_stream(s);
+        assert_eq!(dropped, 0);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].is_tombstone());
+        assert_eq!(out[1].seqno, 3);
+    }
+
+    #[test]
+    fn range_purge_blocked_when_snapshot_pins_older_version() {
+        // The rt (seqno 100) covers the newer put's dkey but not the
+        // older one's; snapshot 5 pins the older put. Purging the
+        // covered head would expose the pinned older version to live
+        // readers, so it must stay.
+        let rts = [RangeTombstone {
+            seqno: 100,
+            range: DeleteKeyRange::new(10, 20),
+        }];
+        let m = merge_of(vec![vec![put("k", 9, 15), put("k", 3, 30)]]);
+        let snaps = [5u64];
+        let s = CompactionStream::new(m, &rts, &snaps, true);
+        let (out, _, range_purged, _) = drain_stream(s);
+        assert_eq!(range_purged, 0);
+        assert_eq!(out.len(), 2, "covered head and pinned older put survive");
     }
 
     #[test]

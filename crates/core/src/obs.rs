@@ -651,6 +651,10 @@ pub struct LevelGauge {
     pub tombstones: u64,
     /// Birth tick of the oldest still-live tombstone at the level.
     pub oldest_tombstone_tick: Option<Tick>,
+    /// Live sort-key range tombstones carried by files at the level.
+    pub key_range_tombstones: u64,
+    /// Birth tick of the oldest still-live sort-key range tombstone.
+    pub oldest_key_range_tick: Option<Tick>,
 }
 
 /// Live delete-persistence gauges: the paper's headline metric made
@@ -666,6 +670,10 @@ pub struct TombstoneGauges {
     pub buffer_tombstones: u64,
     /// Birth tick of the oldest buffered tombstone.
     pub buffer_oldest_tick: Option<Tick>,
+    /// Live sort-key range tombstones in the active + sealed memtables.
+    pub buffer_key_range_tombstones: u64,
+    /// Birth tick of the oldest buffered sort-key range tombstone.
+    pub buffer_oldest_key_range_tick: Option<Tick>,
     /// Live secondary range tombstones.
     pub range_tombstones: u64,
     /// Per-file `(tombstone_count, oldest tick)` pairs feeding the age
@@ -701,6 +709,15 @@ impl TombstoneGauges {
                         file_populations.push((f.stats.tombstone_count, t0));
                     }
                 }
+                let krts = f.stats.range_tombstones.len() as u64;
+                if krts > 0 {
+                    g.key_range_tombstones += krts;
+                    if let Some(t0) = f.stats.oldest_range_tombstone_tick() {
+                        g.oldest_key_range_tick =
+                            Some(g.oldest_key_range_tick.map_or(t0, |cur| cur.min(t0)));
+                        file_populations.push((krts, t0));
+                    }
+                }
             }
             levels.push(g);
         }
@@ -708,6 +725,8 @@ impl TombstoneGauges {
             levels,
             buffer_tombstones: 0,
             buffer_oldest_tick: None,
+            buffer_key_range_tombstones: 0,
+            buffer_oldest_key_range_tick: None,
             range_tombstones: version.range_tombstones.len() as u64,
             file_populations,
         }
@@ -718,12 +737,34 @@ impl TombstoneGauges {
         self.levels.iter().map(|g| g.tombstones).sum::<u64>() + self.buffer_tombstones
     }
 
-    /// Birth tick of the oldest live tombstone anywhere.
+    /// Total live sort-key range tombstones (disk + buffer).
+    pub fn live_key_range_tombstones(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|g| g.key_range_tombstones)
+            .sum::<u64>()
+            + self.buffer_key_range_tombstones
+    }
+
+    /// Birth tick of the oldest live tombstone anywhere — point or
+    /// sort-key range, disk or buffer. FADE bounds both flavors by the
+    /// same `D_th`, so "oldest unresolved delete" folds them together.
     pub fn oldest_live_tick(&self) -> Option<Tick> {
         self.levels
             .iter()
-            .filter_map(|g| g.oldest_tombstone_tick)
+            .flat_map(|g| [g.oldest_tombstone_tick, g.oldest_key_range_tick])
+            .flatten()
             .chain(self.buffer_oldest_tick)
+            .chain(self.buffer_oldest_key_range_tick)
+            .min()
+    }
+
+    /// Birth tick of the oldest live sort-key range tombstone anywhere.
+    pub fn oldest_live_key_range_tick(&self) -> Option<Tick> {
+        self.levels
+            .iter()
+            .filter_map(|g| g.oldest_key_range_tick)
+            .chain(self.buffer_oldest_key_range_tick)
             .min()
     }
 
@@ -748,6 +789,11 @@ impl TombstoneGauges {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             };
+            m.key_range_tombstones += g.key_range_tombstones;
+            m.oldest_key_range_tick = match (m.oldest_key_range_tick, g.oldest_key_range_tick) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
         }
         let mut file_populations = self.file_populations.clone();
         file_populations.extend_from_slice(&other.file_populations);
@@ -755,6 +801,15 @@ impl TombstoneGauges {
             levels: by_level.into_values().collect(),
             buffer_tombstones: self.buffer_tombstones + other.buffer_tombstones,
             buffer_oldest_tick: match (self.buffer_oldest_tick, other.buffer_oldest_tick) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            buffer_key_range_tombstones: self.buffer_key_range_tombstones
+                + other.buffer_key_range_tombstones,
+            buffer_oldest_key_range_tick: match (
+                self.buffer_oldest_key_range_tick,
+                other.buffer_oldest_key_range_tick,
+            ) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             },
@@ -775,6 +830,10 @@ impl TombstoneGauges {
             .chain(
                 self.buffer_oldest_tick
                     .map(|t0| (self.buffer_tombstones, t0)),
+            )
+            .chain(
+                self.buffer_oldest_key_range_tick
+                    .map(|t0| (self.buffer_key_range_tombstones, t0)),
             )
             .filter(|(count, _)| *count > 0);
         let mut ages: Vec<(u64, Tick)> = populations
@@ -871,6 +930,18 @@ pub fn render_prometheus(
                 now.saturating_sub(t0)
             ));
         }
+        if g.key_range_tombstones > 0 {
+            out.push_str(&format!(
+                "db_level_key_range_tombstones{{level=\"{l}\"}} {}\n",
+                g.key_range_tombstones
+            ));
+        }
+        if let Some(t0) = g.oldest_key_range_tick {
+            out.push_str(&format!(
+                "db_level_oldest_key_range_tombstone_age_ticks{{level=\"{l}\"}} {}\n",
+                now.saturating_sub(t0)
+            ));
+        }
     }
     out.push_str(&format!(
         "db_buffer_tombstones {}\n",
@@ -880,6 +951,20 @@ pub fn render_prometheus(
         "db_live_range_tombstones {}\n",
         gauges.range_tombstones
     ));
+    out.push_str(&format!(
+        "db_buffer_key_range_tombstones {}\n",
+        gauges.buffer_key_range_tombstones
+    ));
+    out.push_str(&format!(
+        "db_live_key_range_tombstones {}\n",
+        gauges.live_key_range_tombstones()
+    ));
+    if let Some(t0) = gauges.oldest_live_key_range_tick() {
+        out.push_str(&format!(
+            "db_key_range_tombstone_oldest_age_ticks {}\n",
+            now.saturating_sub(t0)
+        ));
+    }
     out.push_str(&format!(
         "db_live_tombstones {}\n",
         gauges.live_tombstones()
@@ -1103,12 +1188,9 @@ mod tests {
     #[test]
     fn age_histogram_buckets_against_threshold() {
         let g = TombstoneGauges {
-            levels: vec![],
-            buffer_tombstones: 0,
-            buffer_oldest_tick: None,
-            range_tombstones: 0,
             // (count, birth tick): ages at now=1000 are 900, 400, 100.
             file_populations: vec![(2, 100), (3, 600), (5, 900)],
+            ..TombstoneGauges::default()
         };
         let h = g.age_histogram(1_000, Some(800));
         assert_eq!(h.bounds, vec![100, 200, 400, 600, 800]);
@@ -1130,6 +1212,8 @@ mod tests {
                     entries: 10,
                     tombstones: 2,
                     oldest_tombstone_tick: Some(40),
+                    key_range_tombstones: 1,
+                    oldest_key_range_tick: Some(30),
                 },
                 LevelGauge {
                     level: 2,
@@ -1138,10 +1222,14 @@ mod tests {
                     entries: 20,
                     tombstones: 3,
                     oldest_tombstone_tick: None,
+                    key_range_tombstones: 0,
+                    oldest_key_range_tick: None,
                 },
             ],
             buffer_tombstones: 1,
             buffer_oldest_tick: Some(95),
+            buffer_key_range_tombstones: 2,
+            buffer_oldest_key_range_tick: Some(60),
             range_tombstones: 1,
             file_populations: vec![(2, 40)],
         };
@@ -1153,9 +1241,13 @@ mod tests {
                 entries: 5,
                 tombstones: 4,
                 oldest_tombstone_tick: Some(10),
+                key_range_tombstones: 3,
+                oldest_key_range_tick: Some(5),
             }],
             buffer_tombstones: 2,
             buffer_oldest_tick: None,
+            buffer_key_range_tombstones: 0,
+            buffer_oldest_key_range_tick: None,
             range_tombstones: 3,
             file_populations: vec![(4, 10)],
         };
@@ -1167,17 +1259,27 @@ mod tests {
             (0, 2, 150, 6)
         );
         assert_eq!(l0.oldest_tombstone_tick, Some(10), "min of the shards");
+        assert_eq!(l0.key_range_tombstones, 4);
+        assert_eq!(l0.oldest_key_range_tick, Some(5));
         assert_eq!(m.levels[1].level, 2);
         assert_eq!(m.buffer_tombstones, 3);
         assert_eq!(m.buffer_oldest_tick, Some(95));
+        assert_eq!(m.buffer_key_range_tombstones, 2);
+        assert_eq!(m.buffer_oldest_key_range_tick, Some(60));
         assert_eq!(m.range_tombstones, 4);
+        assert_eq!(
+            m.live_key_range_tombstones(),
+            a.live_key_range_tombstones() + b.live_key_range_tombstones()
+        );
+        assert_eq!(m.oldest_live_key_range_tick(), Some(5));
         assert_eq!(
             m.live_tombstones(),
             a.live_tombstones() + b.live_tombstones()
         );
-        assert_eq!(m.oldest_live_tick(), Some(10));
-        // The merged age histogram sees every shard's files.
-        assert_eq!(m.age_histogram(100, None).total, 9);
+        assert_eq!(m.oldest_live_tick(), Some(5), "range tick is oldest");
+        // The merged age histogram sees every shard's files plus both
+        // buffered populations (point and sort-key range).
+        assert_eq!(m.age_histogram(100, None).total, 11);
     }
 
     #[test]
@@ -1200,9 +1302,13 @@ mod tests {
                 entries: 100,
                 tombstones: 7,
                 oldest_tombstone_tick: Some(50),
+                key_range_tombstones: 2,
+                oldest_key_range_tick: Some(40),
             }],
             buffer_tombstones: 1,
             buffer_oldest_tick: Some(90),
+            buffer_key_range_tombstones: 1,
+            buffer_oldest_key_range_tick: Some(70),
             range_tombstones: 2,
             file_populations: vec![(7, 50)],
         };
@@ -1218,7 +1324,21 @@ mod tests {
         );
         assert!(text.contains("db_live_tombstones 8"), "{text}");
         assert!(
-            text.contains("db_tombstone_age_ticks_bucket{le=\"+Inf\"} 8"),
+            text.contains("db_level_key_range_tombstones{level=\"2\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("db_level_oldest_key_range_tombstone_age_ticks{level=\"2\"} 60"),
+            "{text}"
+        );
+        assert!(text.contains("db_buffer_key_range_tombstones 1"), "{text}");
+        assert!(text.contains("db_live_key_range_tombstones 3"), "{text}");
+        assert!(
+            text.contains("db_key_range_tombstone_oldest_age_ticks 60"),
+            "{text}"
+        );
+        assert!(
+            text.contains("db_tombstone_age_ticks_bucket{le=\"+Inf\"} 9"),
             "{text}"
         );
         assert!(text.contains("db_delete_persistence_threshold_ticks 1000"));

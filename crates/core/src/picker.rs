@@ -254,15 +254,42 @@ impl Picker {
             });
         }
         let output_level = (level + 1).min(bottom);
+        let mut inputs = vec![Arc::clone(&expired)];
         let next = if level == bottom {
-            // Within-bottom rewrite purges the overdue tombstones.
+            // Within-bottom rewrite purges the overdue tombstones. A
+            // range tombstone only purges once the entries it covers
+            // are gone, so the rewrite must absorb every bottom file
+            // its span touches — closed over entry hulls so the merge
+            // stays bottommost (tiering runs overlap in key space).
+            if expired.has_key_range_tombstones() {
+                if let Some((mut lo, mut hi)) = key_span(std::slice::from_ref(&expired)) {
+                    loop {
+                        let mut grew = false;
+                        for f in &version.levels[bottom] {
+                            if inputs.iter().any(|g| g.id == f.id) || !f.overlaps_keys(&lo, &hi) {
+                                continue;
+                            }
+                            lo = lo.min(f.min_key().clone());
+                            hi = hi.max(f.max_key().clone());
+                            inputs.push(Arc::clone(f));
+                            grew = true;
+                        }
+                        if !grew {
+                            break;
+                        }
+                    }
+                }
+            }
             Vec::new()
         } else {
-            version.overlapping_files(output_level, expired.min_key(), expired.max_key())
+            match key_span(std::slice::from_ref(&expired)) {
+                Some((lo, hi)) => version.overlapping_files(output_level, &lo, &hi),
+                None => Vec::new(),
+            }
         };
         Some(CompactionTask {
             level,
-            inputs: vec![expired],
+            inputs,
             next_level_inputs: next,
             output_level,
             output_run: 0,
@@ -437,15 +464,26 @@ impl Picker {
     }
 }
 
-/// The min/max user keys across `files` (ignoring empty tables).
+/// The min/max user keys across `files`: entry fences folded with
+/// sort-key range-tombstone spans, so a carrier file (tombstones, no
+/// entries) still contributes the keys its tombstones cover. `None`
+/// only for completely empty tables.
 fn key_span(files: &[Arc<FileMeta>]) -> Option<(Bytes, Bytes)> {
     let mut lo: Option<Bytes> = None;
     let mut hi: Option<Bytes> = None;
-    for f in files.iter().filter(|f| f.stats.entry_count > 0) {
-        lo = Some(lo.map_or(f.min_key().clone(), |c: Bytes| c.min(f.min_key().clone())));
-        hi = Some(hi.map_or(f.max_key().clone(), |c: Bytes| c.max(f.max_key().clone())));
+    let fold = |lo: &mut Option<Bytes>, hi: &mut Option<Bytes>, flo: Bytes, fhi: Bytes| {
+        *lo = Some(lo.take().map_or(flo.clone(), |c| c.min(flo)));
+        *hi = Some(hi.take().map_or(fhi.clone(), |c| c.max(fhi)));
+    };
+    for f in files {
+        if f.stats.entry_count > 0 {
+            fold(&mut lo, &mut hi, f.min_key().clone(), f.max_key().clone());
+        }
+        if let Some((klo, khi)) = f.key_range_tombstone_span() {
+            fold(&mut lo, &mut hi, klo, khi);
+        }
     }
-    Some((lo?, hi?))
+    lo.zip(hi)
 }
 
 /// Whether two key spans intersect. A `None` span (task with only empty

@@ -324,6 +324,18 @@ impl ShardedDb {
         Ok(())
     }
 
+    /// Sort-key range delete, broadcast to every shard: hash
+    /// partitioning scatters any sort-key interval across the fleet, so
+    /// each shard records the tombstone and drops its own covered keys.
+    pub fn range_delete_keys(&self, start: &[u8], end: &[u8]) -> Result<()> {
+        let _admit = self.barrier.read();
+        for db in &self.shards {
+            db.range_delete_keys(start, end)?;
+        }
+        self.tick(1);
+        Ok(())
+    }
+
     /// Point lookup: routed to the owning shard, no cross-shard
     /// coordination needed.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {

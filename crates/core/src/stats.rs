@@ -155,6 +155,8 @@ pub struct DbStats {
     pub deletes: AtomicU64,
     /// Secondary range deletes accepted.
     pub range_deletes: AtomicU64,
+    /// Sort-key range deletes accepted.
+    pub sort_range_deletes: AtomicU64,
     /// Point lookups served.
     pub gets: AtomicU64,
     /// Range scans served.
@@ -175,8 +177,12 @@ pub struct DbStats {
     pub entries_shadowed: AtomicU64,
     /// Entries dropped because a secondary range tombstone covered them.
     pub entries_range_purged: AtomicU64,
+    /// Entries dropped because a sort-key range tombstone shadowed them.
+    pub entries_key_range_purged: AtomicU64,
     /// Point tombstones physically dropped at the bottom level.
     pub tombstones_purged: AtomicU64,
+    /// Sort-key range tombstones physically purged at the bottom level.
+    pub key_range_tombstones_purged: AtomicU64,
     /// KiWi pages dropped wholesale (never read) during compactions.
     pub pages_dropped: AtomicU64,
     /// Delete persistence latency: recorded for each purged tombstone as
@@ -250,6 +256,7 @@ impl DbStats {
             puts: self.puts.load(Relaxed),
             deletes: self.deletes.load(Relaxed),
             range_deletes: self.range_deletes.load(Relaxed),
+            sort_range_deletes: self.sort_range_deletes.load(Relaxed),
             gets: self.gets.load(Relaxed),
             scans: self.scans.load(Relaxed),
             user_bytes: self.user_bytes.load(Relaxed),
@@ -260,7 +267,9 @@ impl DbStats {
             compaction_bytes_out: self.compaction_bytes_out.load(Relaxed),
             entries_shadowed: self.entries_shadowed.load(Relaxed),
             entries_range_purged: self.entries_range_purged.load(Relaxed),
+            entries_key_range_purged: self.entries_key_range_purged.load(Relaxed),
             tombstones_purged: self.tombstones_purged.load(Relaxed),
+            key_range_tombstones_purged: self.key_range_tombstones_purged.load(Relaxed),
             pages_dropped: self.pages_dropped.load(Relaxed),
             persistence_latency: self.persistence_latency.summary(),
             persistence_violations: self.persistence_violations.load(Relaxed),
@@ -289,6 +298,7 @@ pub struct StatsSnapshot {
     pub puts: u64,
     pub deletes: u64,
     pub range_deletes: u64,
+    pub sort_range_deletes: u64,
     pub gets: u64,
     pub scans: u64,
     pub user_bytes: u64,
@@ -299,7 +309,9 @@ pub struct StatsSnapshot {
     pub compaction_bytes_out: u64,
     pub entries_shadowed: u64,
     pub entries_range_purged: u64,
+    pub entries_key_range_purged: u64,
     pub tombstones_purged: u64,
+    pub key_range_tombstones_purged: u64,
     pub pages_dropped: u64,
     pub persistence_latency: HistogramSummary,
     pub persistence_violations: u64,
@@ -328,6 +340,7 @@ impl StatsSnapshot {
             puts: self.puts + other.puts,
             deletes: self.deletes + other.deletes,
             range_deletes: self.range_deletes + other.range_deletes,
+            sort_range_deletes: self.sort_range_deletes + other.sort_range_deletes,
             gets: self.gets + other.gets,
             scans: self.scans + other.scans,
             user_bytes: self.user_bytes + other.user_bytes,
@@ -338,7 +351,11 @@ impl StatsSnapshot {
             compaction_bytes_out: self.compaction_bytes_out + other.compaction_bytes_out,
             entries_shadowed: self.entries_shadowed + other.entries_shadowed,
             entries_range_purged: self.entries_range_purged + other.entries_range_purged,
+            entries_key_range_purged: self.entries_key_range_purged
+                + other.entries_key_range_purged,
             tombstones_purged: self.tombstones_purged + other.tombstones_purged,
+            key_range_tombstones_purged: self.key_range_tombstones_purged
+                + other.key_range_tombstones_purged,
             pages_dropped: self.pages_dropped + other.pages_dropped,
             persistence_latency: self.persistence_latency.merge(&other.persistence_latency),
             persistence_violations: self.persistence_violations + other.persistence_violations,
@@ -365,6 +382,7 @@ impl StatsSnapshot {
             ("puts".into(), self.puts),
             ("deletes".into(), self.deletes),
             ("range_deletes".into(), self.range_deletes),
+            ("sort_range_deletes".into(), self.sort_range_deletes),
             ("gets".into(), self.gets),
             ("scans".into(), self.scans),
             ("user_bytes".into(), self.user_bytes),
@@ -375,7 +393,15 @@ impl StatsSnapshot {
             ("compaction_bytes_out".into(), self.compaction_bytes_out),
             ("entries_shadowed".into(), self.entries_shadowed),
             ("entries_range_purged".into(), self.entries_range_purged),
+            (
+                "entries_key_range_purged".into(),
+                self.entries_key_range_purged,
+            ),
             ("tombstones_purged".into(), self.tombstones_purged),
+            (
+                "key_range_tombstones_purged".into(),
+                self.key_range_tombstones_purged,
+            ),
             ("pages_dropped".into(), self.pages_dropped),
             ("persistence_violations".into(), self.persistence_violations),
             ("write_stalls".into(), self.write_stalls),
@@ -493,6 +519,7 @@ mod tests {
             puts: 1,
             deletes: 2,
             range_deletes: 3,
+            sort_range_deletes: 25,
             gets: 4,
             scans: 5,
             user_bytes: 6,
@@ -503,7 +530,9 @@ mod tests {
             compaction_bytes_out: 11,
             entries_shadowed: 12,
             entries_range_purged: 13,
+            entries_key_range_purged: 26,
             tombstones_purged: 14,
+            key_range_tombstones_purged: 27,
             pages_dropped: 15,
             persistence_latency: hist(100),
             persistence_violations: 16,
@@ -527,6 +556,7 @@ mod tests {
             puts,
             deletes,
             range_deletes,
+            sort_range_deletes,
             gets,
             scans,
             user_bytes,
@@ -537,7 +567,9 @@ mod tests {
             compaction_bytes_out,
             entries_shadowed,
             entries_range_purged,
+            entries_key_range_purged,
             tombstones_purged,
+            key_range_tombstones_purged,
             pages_dropped,
             persistence_latency,
             persistence_violations,
@@ -560,6 +592,7 @@ mod tests {
             ("puts", puts),
             ("deletes", deletes),
             ("range_deletes", range_deletes),
+            ("sort_range_deletes", sort_range_deletes),
             ("gets", gets),
             ("scans", scans),
             ("user_bytes", user_bytes),
@@ -570,7 +603,9 @@ mod tests {
             ("compaction_bytes_out", compaction_bytes_out),
             ("entries_shadowed", entries_shadowed),
             ("entries_range_purged", entries_range_purged),
+            ("entries_key_range_purged", entries_key_range_purged),
             ("tombstones_purged", tombstones_purged),
+            ("key_range_tombstones_purged", key_range_tombstones_purged),
             ("pages_dropped", pages_dropped),
             ("persistence_violations", persistence_violations),
             ("write_stalls", write_stalls),

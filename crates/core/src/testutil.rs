@@ -122,14 +122,29 @@ pub enum WorkloadOp {
         /// Key id within the workload's key space.
         key: u32,
     },
+    /// Sort-key range delete covering key ids `lo..=hi` (the engine
+    /// sees the corresponding key-byte bounds, which order identically
+    /// because workload keys are zero-padded).
+    RangeDeleteKeys {
+        /// Lowest covered key id.
+        lo: u32,
+        /// Highest covered key id (inclusive).
+        hi: u32,
+    },
 }
 
 impl WorkloadOp {
-    /// The key this op touches.
-    pub fn key(&self) -> u32 {
+    /// The key ids this op touches, as an inclusive range.
+    pub fn keys(&self) -> std::ops::RangeInclusive<u32> {
         match self {
-            WorkloadOp::Put { key, .. } | WorkloadOp::Delete { key } => *key,
+            WorkloadOp::Put { key, .. } | WorkloadOp::Delete { key } => *key..=*key,
+            WorkloadOp::RangeDeleteKeys { lo, hi } => *lo..=*hi,
         }
+    }
+
+    /// Whether this op can change `key`'s state.
+    pub fn touches(&self, key: u32) -> bool {
+        self.keys().contains(&key)
     }
 }
 
@@ -145,6 +160,9 @@ pub struct CrashWorkload {
     pub key_space: u32,
     /// Percentage of operations that are deletes.
     pub delete_percent: u64,
+    /// Percentage of operations that are sort-key range deletes
+    /// (carved out of the delete share, spanning up to 8 keys).
+    pub range_delete_percent: u64,
 }
 
 impl Default for CrashWorkload {
@@ -154,6 +172,7 @@ impl Default for CrashWorkload {
             ops: 300,
             key_space: 64,
             delete_percent: 30,
+            range_delete_percent: 5,
         }
     }
 }
@@ -175,7 +194,14 @@ impl CrashWorkload {
             .map(|i| {
                 let r = xorshift(&mut s);
                 let key = ((r >> 16) % u64::from(self.key_space)) as u32;
-                if r % 100 < self.delete_percent {
+                let pct = r % 100;
+                if pct < self.range_delete_percent {
+                    let width = ((r >> 40) % 8) as u32;
+                    WorkloadOp::RangeDeleteKeys {
+                        lo: key,
+                        hi: (key + width).min(self.key_space.saturating_sub(1)).max(key),
+                    }
+                } else if pct < self.range_delete_percent + self.delete_percent {
                     WorkloadOp::Delete { key }
                 } else {
                     WorkloadOp::Put {
@@ -194,8 +220,17 @@ pub fn model_after(ops: &[WorkloadOp], n: usize) -> BTreeMap<u32, Option<u64>> {
     let mut m = BTreeMap::new();
     for op in &ops[..n] {
         match op {
-            WorkloadOp::Put { key, stamp } => m.insert(*key, Some(*stamp)),
-            WorkloadOp::Delete { key } => m.insert(*key, None),
+            WorkloadOp::Put { key, stamp } => {
+                m.insert(*key, Some(*stamp));
+            }
+            WorkloadOp::Delete { key } => {
+                m.insert(*key, None);
+            }
+            WorkloadOp::RangeDeleteKeys { lo, hi } => {
+                for k in *lo..=*hi {
+                    m.insert(k, None);
+                }
+            }
         };
     }
     m
@@ -222,6 +257,9 @@ pub fn apply_op(db: &Db, op: &WorkloadOp) -> Result<()> {
     match op {
         WorkloadOp::Put { key, stamp } => db.put(&key_bytes(*key), &value_bytes(*stamp)),
         WorkloadOp::Delete { key } => db.delete(&key_bytes(*key)),
+        WorkloadOp::RangeDeleteKeys { lo, hi } => {
+            db.range_delete_keys(&key_bytes(*lo), &key_bytes(*hi))
+        }
     }
 }
 
@@ -515,7 +553,7 @@ pub fn check_recovered_state(
 ) -> Vec<String> {
     let expect = model_after(ops, acked);
     let next = (in_flight && acked < ops.len()).then(|| (ops[acked], model_after(ops, acked + 1)));
-    let keys: std::collections::BTreeSet<u32> = ops.iter().map(|op| op.key()).collect();
+    let keys: std::collections::BTreeSet<u32> = ops.iter().flat_map(|op| op.keys()).collect();
     let mut violations = Vec::new();
     for key in keys {
         let got = match db.get(&key_bytes(key)) {
@@ -540,7 +578,7 @@ pub fn check_recovered_state(
             continue;
         }
         if let Some((op, next_model)) = &next {
-            if op.key() == key && got_stamp == next_model.get(&key).copied().flatten() {
+            if op.touches(key) && got_stamp == next_model.get(&key).copied().flatten() {
                 continue;
             }
         }
@@ -586,6 +624,13 @@ fn check_fade_bound(db: &Db, cfg: &CrashConfig) -> Vec<String> {
         if age > d_th {
             violations.push(format!(
                 "live tombstone aged {age} ticks > D_th {d_th} after recovery"
+            ));
+        }
+    }
+    if let Some(age) = db.oldest_live_key_range_tombstone_age() {
+        if age > d_th {
+            violations.push(format!(
+                "live sort-key range tombstone aged {age} ticks > D_th {d_th} after recovery"
             ));
         }
     }

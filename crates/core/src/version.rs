@@ -9,7 +9,9 @@
 use std::sync::Arc;
 
 use acheron_sstable::{Table, TableStats};
-use acheron_types::{RangeTombstone, Result, SeqNo, Tick};
+use acheron_types::{
+    FragmentedRangeTombstones, KeyRangeTombstone, RangeTombstone, Result, SeqNo, Tick,
+};
 use bytes::Bytes;
 
 /// Metadata for one live table file.
@@ -61,6 +63,28 @@ impl FileMeta {
             None => 0,
         }
     }
+
+    /// True if the file carries sort-key range tombstones. Such a file
+    /// may hold zero entries (a pure "carrier"); it still needs
+    /// compaction to push its tombstones down and eventually purge them.
+    pub fn has_key_range_tombstones(&self) -> bool {
+        !self.stats.range_tombstones.is_empty()
+    }
+
+    /// The union span of the file's sort-key range tombstones, `None`
+    /// when it carries none. The compaction picker folds this into the
+    /// file's effective key span so carrier files (no entries, hence no
+    /// key fences) still pull in the overlapping files whose covered
+    /// entries must be dropped before the tombstones can purge.
+    pub fn key_range_tombstone_span(&self) -> Option<(Bytes, Bytes)> {
+        let mut lo: Option<Bytes> = None;
+        let mut hi: Option<Bytes> = None;
+        for k in &self.stats.range_tombstones {
+            lo = Some(lo.map_or(k.start.clone(), |c: Bytes| c.min(k.start.clone())));
+            hi = Some(hi.map_or(k.end.clone(), |c: Bytes| c.max(k.end.clone())));
+        }
+        lo.zip(hi)
+    }
 }
 
 /// An immutable snapshot of the file layout.
@@ -73,6 +97,10 @@ pub struct Version {
     pub levels: Vec<Vec<Arc<FileMeta>>>,
     /// Live secondary range tombstones, oldest first.
     pub range_tombstones: Vec<RangeTombstone>,
+    /// Fragmented index over every sort-key range tombstone carried by a
+    /// live file, rebuilt by [`Version::apply`] from the files' stats.
+    /// Lookups binary-search it instead of consulting per-file lists.
+    pub key_range_tombstones: Arc<FragmentedRangeTombstones>,
 }
 
 impl Version {
@@ -81,6 +109,7 @@ impl Version {
         Version {
             levels: vec![Vec::new(); max_levels],
             range_tombstones: Vec::new(),
+            key_range_tombstones: Arc::default(),
         }
     }
 
@@ -185,7 +214,27 @@ impl Version {
         next.range_tombstones.extend_from_slice(add_rts);
         next.range_tombstones
             .retain(|rt| !drop_rt_seqnos.contains(&rt.seqno));
+        let krts = next.collect_key_range_tombstones();
+        next.key_range_tombstones = if krts.is_empty() {
+            Arc::default()
+        } else {
+            Arc::new(FragmentedRangeTombstones::build(&krts))
+        };
         next
+    }
+
+    /// Every sort-key range tombstone carried by a live file.
+    pub fn collect_key_range_tombstones(&self) -> Vec<KeyRangeTombstone> {
+        self.all_files()
+            .flat_map(|f| f.stats.range_tombstones.iter().cloned())
+            .collect()
+    }
+
+    /// Total live sort-key range tombstones across all files.
+    pub fn live_key_range_tombstones(&self) -> u64 {
+        self.all_files()
+            .map(|f| f.stats.range_tombstones.len() as u64)
+            .sum()
     }
 
     /// Range tombstones that can be retired: no live file still holds an
@@ -214,6 +263,11 @@ impl Version {
             let mut by_run: std::collections::BTreeMap<u64, Vec<&Arc<FileMeta>>> =
                 std::collections::BTreeMap::new();
             for f in files {
+                // Entry-free carrier files (range tombstones only) have
+                // no key fences and cannot overlap anything.
+                if f.stats.entry_count == 0 {
+                    continue;
+                }
                 by_run.entry(f.run).or_default().push(f);
             }
             for (run, run_files) in by_run {
@@ -333,6 +387,111 @@ mod tests {
         let v = Version::empty(2).apply(vec![make_file(&fs, 1, 1, 0..50, 1)], &[], &[], &[]);
         assert_eq!(v.live_entries(), 50);
         assert_eq!(v.live_tombstones(), 0);
+    }
+
+    /// Build a FileMeta whose table carries sort-key range tombstones
+    /// (and optionally no entries at all — a carrier file).
+    fn make_krt_file(
+        fs: &MemFs,
+        id: u64,
+        level: usize,
+        keys: std::ops::Range<u32>,
+        base_seq: u64,
+        krts: Vec<KeyRangeTombstone>,
+    ) -> Arc<FileMeta> {
+        let path = format!("{id:06}.sst");
+        let mut b = TableBuilder::new(fs.create(&path).unwrap(), TableOptions::default()).unwrap();
+        for (i, k) in keys.clone().enumerate() {
+            b.add(&Entry::put(
+                format!("key{k:06}").into_bytes(),
+                b"v".to_vec(),
+                base_seq + i as u64,
+                u64::from(k),
+            ))
+            .unwrap();
+        }
+        b.set_range_tombstones(krts);
+        let stats = b.finish().unwrap();
+        let table = Table::open(fs.open(&path).unwrap()).unwrap();
+        Arc::new(FileMeta {
+            id,
+            level,
+            run: 0,
+            size_bytes: fs.file_size(&path).unwrap(),
+            stats,
+            created_tick: 0,
+            table,
+        })
+    }
+
+    fn krt(start: &str, end: &str, seqno: SeqNo, dkey: Tick) -> KeyRangeTombstone {
+        KeyRangeTombstone {
+            start: Bytes::copy_from_slice(start.as_bytes()),
+            end: Bytes::copy_from_slice(end.as_bytes()),
+            seqno,
+            dkey,
+        }
+    }
+
+    #[test]
+    fn key_range_tombstones_aggregate_across_files() {
+        let fs = MemFs::new();
+        let f1 = make_krt_file(
+            &fs,
+            1,
+            1,
+            0..5,
+            100,
+            vec![krt("key000010", "key000020", 200, 7)],
+        );
+        let f2 = make_krt_file(
+            &fs,
+            2,
+            2,
+            30..35,
+            10,
+            vec![krt("key000040", "key000050", 90, 3)],
+        );
+        let v = Version::empty(4).apply(vec![f1, f2], &[], &[], &[]);
+        assert_eq!(v.live_key_range_tombstones(), 2);
+        assert_eq!(
+            v.key_range_tombstones
+                .max_seqno_covering(b"key000015", 1000),
+            Some(200)
+        );
+        assert_eq!(
+            v.key_range_tombstones
+                .max_seqno_covering(b"key000045", 1000),
+            Some(90)
+        );
+        assert_eq!(
+            v.key_range_tombstones
+                .max_seqno_covering(b"key000025", 1000),
+            None
+        );
+        // Dropping the carrier file drops its tombstones from the index.
+        let v2 = v.apply(vec![], &[1], &[], &[]);
+        assert_eq!(v2.live_key_range_tombstones(), 1);
+        assert_eq!(
+            v2.key_range_tombstones
+                .max_seqno_covering(b"key000015", 1000),
+            None
+        );
+        v.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn carrier_files_pass_invariant_checks() {
+        let fs = MemFs::new();
+        // Two entry-free carriers in the same run: empty fences must not
+        // be treated as overlapping ranges.
+        let c1 = make_krt_file(&fs, 1, 1, 0..0, 0, vec![krt("a", "b", 10, 1)]);
+        let c2 = make_krt_file(&fs, 2, 1, 0..0, 0, vec![krt("x", "z", 11, 2)]);
+        let f = make_krt_file(&fs, 3, 1, 0..5, 100, vec![]);
+        let v = Version::empty(3).apply(vec![c1, c2, f], &[], &[], &[]);
+        v.check_invariants().unwrap();
+        assert_eq!(v.live_key_range_tombstones(), 2);
+        assert!(v.levels[1].iter().any(|f| f.has_key_range_tombstones()));
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //! with `Release` ordering *after* the stat updates they cover.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
-use acheron_types::{Entry, InternalKey, SeqNo, Tick, ValueKind};
+use acheron_types::{
+    Entry, FragmentedRangeTombstones, InternalKey, KeyRangeTombstone, SeqNo, Tick, ValueKind,
+};
 use bytes::Bytes;
 
 use crate::skiplist::{SkipIter, SkipList};
@@ -47,6 +50,20 @@ pub struct MemtableStats {
     pub min_dkey: Option<u64>,
     /// Maximum secondary delete key across all entries, if non-empty.
     pub max_dkey: Option<u64>,
+    /// Number of buffered sort-key range tombstones.
+    pub range_tombstones: usize,
+    /// Tick of the oldest buffered sort-key range tombstone, if any.
+    pub oldest_range_tombstone_tick: Option<Tick>,
+}
+
+/// Sort-key range tombstones buffered alongside the skiplist, plus the
+/// fragmented index rebuilt after each mutation. Readers clone the `Arc`
+/// under a brief read lock; the single writer rebuilds under the write
+/// lock. Range deletes are rare, so rebuild cost is irrelevant.
+#[derive(Default)]
+struct RangeTombstoneBuffer {
+    list: Vec<KeyRangeTombstone>,
+    index: Arc<FragmentedRangeTombstones>,
 }
 
 /// An in-memory write buffer ordered by internal key.
@@ -62,6 +79,13 @@ pub struct Memtable {
     min_seqno: AtomicU64,
     max_seqno: AtomicU64,
     user_bytes: AtomicU64,
+    /// Buffered sort-key range tombstones; count mirrored in an atomic so
+    /// emptiness checks stay lock-free.
+    range_tombstones: RwLock<RangeTombstoneBuffer>,
+    range_tombstone_count: AtomicUsize,
+    /// `u64::MAX` until the first range tombstone arrives.
+    oldest_range_tombstone_tick: AtomicU64,
+    range_tombstone_bytes: AtomicUsize,
 }
 
 impl Memtable {
@@ -76,6 +100,10 @@ impl Memtable {
             min_seqno: AtomicU64::new(u64::MAX),
             max_seqno: AtomicU64::new(0),
             user_bytes: AtomicU64::new(0),
+            range_tombstones: RwLock::new(RangeTombstoneBuffer::default()),
+            range_tombstone_count: AtomicUsize::new(0),
+            oldest_range_tombstone_tick: AtomicU64::new(u64::MAX),
+            range_tombstone_bytes: AtomicUsize::new(0),
         }
     }
 
@@ -90,6 +118,10 @@ impl Memtable {
         debug_assert!(
             entry.kind != ValueKind::RangeTombstone,
             "secondary range tombstones are tracked in the version, not the memtable"
+        );
+        debug_assert!(
+            entry.kind != ValueKind::KeyRangeTombstone,
+            "sort-key range tombstones go through add_range_tombstone, not insert"
         );
         // Stat updates land before the counter increments that make
         // them observable (see struct docs).
@@ -109,6 +141,61 @@ impl Memtable {
         self.list.insert(entry);
     }
 
+    /// Buffer a sort-key range tombstone and rebuild the fragment index.
+    ///
+    /// Same single-writer contract as [`Memtable::insert`]; readers pick
+    /// up the new index on their next [`Memtable::range_tombstones`]
+    /// call. The tombstone's seqno participates in the memtable's seqno
+    /// span so WAL truncation and sealing account for it.
+    pub fn add_range_tombstone(&self, krt: KeyRangeTombstone) {
+        self.min_seqno.fetch_min(krt.seqno, Ordering::Relaxed);
+        self.max_seqno.fetch_max(krt.seqno, Ordering::Relaxed);
+        self.oldest_range_tombstone_tick
+            .fetch_min(krt.dkey, Ordering::Relaxed);
+        self.range_tombstone_bytes
+            .fetch_add(krt.start.len() + krt.end.len() + 64, Ordering::Relaxed);
+        let mut buf = self.range_tombstones.write().expect("krt lock poisoned");
+        buf.list.push(krt);
+        buf.index = Arc::new(FragmentedRangeTombstones::build(&buf.list));
+        drop(buf);
+        // Count last: a reader that observes the count sees the index.
+        self.range_tombstone_count.fetch_add(1, Ordering::Release);
+    }
+
+    /// The fragmented index over buffered sort-key range tombstones.
+    pub fn range_tombstones(&self) -> Arc<FragmentedRangeTombstones> {
+        self.range_tombstones
+            .read()
+            .expect("krt lock poisoned")
+            .index
+            .clone()
+    }
+
+    /// The raw buffered sort-key range tombstones (used by flush).
+    pub fn range_tombstone_list(&self) -> Vec<KeyRangeTombstone> {
+        self.range_tombstones
+            .read()
+            .expect("krt lock poisoned")
+            .list
+            .clone()
+    }
+
+    /// Number of buffered sort-key range tombstones.
+    pub fn range_tombstone_count(&self) -> usize {
+        self.range_tombstone_count.load(Ordering::Acquire)
+    }
+
+    /// Newest buffered range-tombstone seqno covering `user_key` visible
+    /// at `snapshot`, or `None`. Lock-free fast path when no range
+    /// tombstones are buffered.
+    pub fn range_cover(&self, user_key: &[u8], snapshot: SeqNo) -> Option<SeqNo> {
+        if self.range_tombstone_count() == 0 {
+            return None;
+        }
+        self.range_tombstones()
+            .max_seqno_covering(user_key, snapshot)
+    }
+
     /// Point lookup at snapshot `snapshot` (visible seqnos are `<= snapshot`).
     pub fn get(&self, user_key: &[u8], snapshot: SeqNo) -> LookupResult {
         let seek_key = InternalKey::for_seek(user_key, snapshot);
@@ -125,7 +212,7 @@ impl Memtable {
         match entry.kind {
             ValueKind::Put => LookupResult::Found(entry.value.clone()),
             ValueKind::Tombstone => LookupResult::Deleted,
-            ValueKind::RangeTombstone => LookupResult::NotFound,
+            ValueKind::RangeTombstone | ValueKind::KeyRangeTombstone => LookupResult::NotFound,
         }
     }
 
@@ -187,15 +274,16 @@ impl Memtable {
         self.list.len()
     }
 
-    /// True if empty.
+    /// True if empty: no entries *and* no buffered range tombstones (a
+    /// range-delete-only memtable still needs sealing and flushing).
     pub fn is_empty(&self) -> bool {
-        self.list.is_empty()
+        self.list.is_empty() && self.range_tombstone_count() == 0
     }
 
     /// Approximate heap footprint in bytes; the engine flushes when this
     /// exceeds the configured write-buffer size.
     pub fn approximate_bytes(&self) -> usize {
-        self.list.approximate_bytes()
+        self.list.approximate_bytes() + self.range_tombstone_bytes.load(Ordering::Relaxed)
     }
 
     /// Total user payload bytes (key+value) accepted, for
@@ -204,18 +292,18 @@ impl Memtable {
         self.user_bytes.load(Ordering::Relaxed)
     }
 
-    /// Smallest seqno buffered.
+    /// Smallest seqno buffered (entries and range tombstones).
     pub fn min_seqno(&self) -> Option<SeqNo> {
-        if self.list.is_empty() {
+        if self.is_empty() {
             None
         } else {
             Some(self.min_seqno.load(Ordering::Relaxed))
         }
     }
 
-    /// Largest seqno buffered.
+    /// Largest seqno buffered (entries and range tombstones).
     pub fn max_seqno(&self) -> Option<SeqNo> {
-        if self.list.is_empty() {
+        if self.is_empty() {
             None
         } else {
             Some(self.max_seqno.load(Ordering::Relaxed))
@@ -228,6 +316,7 @@ impl Memtable {
         // entry happened-before the counter increments.
         let entries = self.list.len();
         let tombstones = self.tombstones.load(Ordering::Acquire);
+        let range_tombstones = self.range_tombstone_count();
         MemtableStats {
             entries,
             tombstones,
@@ -245,6 +334,12 @@ impl Memtable {
                 None
             } else {
                 Some(self.max_dkey.load(Ordering::Relaxed))
+            },
+            range_tombstones,
+            oldest_range_tombstone_tick: if range_tombstones == 0 {
+                None
+            } else {
+                Some(self.oldest_range_tombstone_tick.load(Ordering::Relaxed))
             },
         }
     }
@@ -398,6 +493,60 @@ mod tests {
         put(&m, "ab", "xyz", 1, 0); // 2 + 3
         del(&m, "cd", 2, 0); // 2 + 0
         assert_eq!(m.user_bytes(), 7);
+    }
+
+    fn krt(start: &str, end: &str, seq: SeqNo, tick: Tick) -> KeyRangeTombstone {
+        KeyRangeTombstone {
+            start: Bytes::copy_from_slice(start.as_bytes()),
+            end: Bytes::copy_from_slice(end.as_bytes()),
+            seqno: seq,
+            dkey: tick,
+        }
+    }
+
+    #[test]
+    fn range_tombstone_buffering_and_cover() {
+        let m = Memtable::new();
+        assert_eq!(m.range_cover(b"k", u64::MAX), None);
+        m.add_range_tombstone(krt("b", "d", 5, 100));
+        assert_eq!(m.range_cover(b"c", u64::MAX), Some(5));
+        assert_eq!(m.range_cover(b"c", 4), None, "snapshot predates delete");
+        assert_eq!(m.range_cover(b"e", u64::MAX), None);
+        m.add_range_tombstone(krt("c", "f", 9, 120));
+        assert_eq!(m.range_cover(b"c", u64::MAX), Some(9));
+        assert_eq!(m.range_cover(b"c", 6), Some(5), "older still covers");
+        assert_eq!(m.range_tombstone_count(), 2);
+        assert_eq!(m.range_tombstone_list().len(), 2);
+    }
+
+    #[test]
+    fn range_tombstones_participate_in_emptiness_and_seqno_span() {
+        let m = Memtable::new();
+        assert!(m.is_empty());
+        m.add_range_tombstone(krt("a", "z", 7, 3));
+        assert!(!m.is_empty(), "range-delete-only memtable is not empty");
+        assert_eq!(m.len(), 0, "len counts entries only");
+        assert_eq!(m.min_seqno(), Some(7));
+        assert_eq!(m.max_seqno(), Some(7));
+        put(&m, "k", "v", 9, 0);
+        assert_eq!(m.min_seqno(), Some(7));
+        assert_eq!(m.max_seqno(), Some(9));
+        assert!(m.approximate_bytes() > 0);
+    }
+
+    #[test]
+    fn range_tombstone_statistics() {
+        let m = Memtable::new();
+        let s = m.stats();
+        assert_eq!(s.range_tombstones, 0);
+        assert_eq!(s.oldest_range_tombstone_tick, None);
+        m.add_range_tombstone(krt("a", "c", 1, 50));
+        m.add_range_tombstone(krt("x", "z", 2, 20));
+        let s = m.stats();
+        assert_eq!(s.range_tombstones, 2);
+        assert_eq!(s.oldest_range_tombstone_tick, Some(20));
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.tombstones, 0);
     }
 
     #[test]

@@ -264,6 +264,14 @@ impl Client {
         unit(self.request_retrying_busy(&Request::RangeDeleteSecondary { lo, hi })?)
     }
 
+    /// Range delete over the sort-key domain (inclusive bounds).
+    pub fn range_delete_keys(&mut self, lo: &[u8], hi: &[u8]) -> Result<()> {
+        unit(self.request_retrying_busy(&Request::RangeDeleteKeys {
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        })?)
+    }
+
     /// Engine + server statistics as `(name, value)` pairs.
     pub fn stats(&mut self) -> Result<Vec<(String, u64)>> {
         match self.request(&Request::Stats)? {

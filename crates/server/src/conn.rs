@@ -191,6 +191,15 @@ fn handle_group(
                     .record(started.elapsed().as_micros() as u64);
                 resp
             }
+            Request::RangeDeleteKeys { lo, hi } => {
+                committed_writes = true;
+                let started = Instant::now();
+                let resp = to_response(engine.range_delete_keys(lo, hi), metrics);
+                metrics
+                    .write_latency
+                    .record(started.elapsed().as_micros() as u64);
+                resp
+            }
             Request::Get { key } => {
                 let started = Instant::now();
                 let resp = match engine.get(key) {

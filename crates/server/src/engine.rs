@@ -73,6 +73,15 @@ impl Engine {
         }
     }
 
+    /// Sort-key range delete (broadcast to every shard of a fleet —
+    /// hash partitioning scatters a sort-key interval across shards).
+    pub fn range_delete_keys(&self, lo: &[u8], hi: &[u8]) -> Result<()> {
+        match self {
+            Engine::Single(db) => db.range_delete_keys(lo, hi),
+            Engine::Sharded(db) => db.range_delete_keys(lo, hi),
+        }
+    }
+
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         match self {

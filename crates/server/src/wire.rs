@@ -78,6 +78,13 @@ pub enum Request {
         /// High delete key (inclusive).
         hi: u64,
     },
+    /// Range delete over the sort-key domain (inclusive bounds).
+    RangeDeleteKeys {
+        /// Low sort key (inclusive).
+        lo: Vec<u8>,
+        /// High sort key (inclusive).
+        hi: Vec<u8>,
+    },
     /// Engine + server statistics as `(name, value)` pairs.
     Stats,
     /// Prometheus-style text exposition of counters and the live
@@ -97,6 +104,7 @@ const REQ_RDEL: u8 = 6;
 const REQ_STATS: u8 = 7;
 const REQ_METRICS: u8 = 8;
 const REQ_EVENTS: u8 = 9;
+const REQ_KRDEL: u8 = 10;
 
 impl Request {
     /// True for operations that mutate the database (the ones the
@@ -104,7 +112,10 @@ impl Request {
     pub fn is_write(&self) -> bool {
         matches!(
             self,
-            Request::Put { .. } | Request::Delete { .. } | Request::RangeDeleteSecondary { .. }
+            Request::Put { .. }
+                | Request::Delete { .. }
+                | Request::RangeDeleteSecondary { .. }
+                | Request::RangeDeleteKeys { .. }
         )
     }
 
@@ -130,6 +141,7 @@ impl Request {
             Request::Get { .. } => "get",
             Request::Scan { .. } => "scan",
             Request::RangeDeleteSecondary { .. } => "range_delete",
+            Request::RangeDeleteKeys { .. } => "range_delete_keys",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Events => "events",
@@ -170,6 +182,11 @@ impl Request {
                 out.push(REQ_RDEL);
                 put_varint64(&mut out, *lo);
                 put_varint64(&mut out, *hi);
+            }
+            Request::RangeDeleteKeys { lo, hi } => {
+                out.push(REQ_KRDEL);
+                put_slice(&mut out, lo);
+                put_slice(&mut out, hi);
             }
             Request::Stats => out.push(REQ_STATS),
             Request::Metrics => out.push(REQ_METRICS),
@@ -234,6 +251,15 @@ impl Request {
                 let (hi, rest) = require_varint64(rest, "range delete hi")?;
                 expect_empty(rest, "range delete")?;
                 Ok(Request::RangeDeleteSecondary { lo, hi })
+            }
+            REQ_KRDEL => {
+                let (lo, rest) = require_length_prefixed(rest, "key range delete lo")?;
+                let (hi, rest) = require_length_prefixed(rest, "key range delete hi")?;
+                expect_empty(rest, "key range delete")?;
+                Ok(Request::RangeDeleteKeys {
+                    lo: lo.to_vec(),
+                    hi: hi.to_vec(),
+                })
             }
             REQ_STATS => {
                 expect_empty(rest, "stats")?;
@@ -529,6 +555,10 @@ mod tests {
             Request::RangeDeleteSecondary {
                 lo: 0,
                 hi: u64::MAX,
+            },
+            Request::RangeDeleteKeys {
+                lo: b"user:".to_vec(),
+                hi: b"user:\xff".to_vec(),
             },
             Request::Stats,
             Request::Metrics,

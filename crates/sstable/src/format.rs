@@ -7,8 +7,9 @@ use acheron_types::{Error, Result};
 /// (`b"ACHERON1"` interpreted little-endian).
 pub const TABLE_MAGIC: u64 = u64::from_le_bytes(*b"ACHERON1");
 
-/// Current format version, stored in the footer.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version, stored in the footer. Version 2 appended
+/// sort-key range tombstones to the stats block.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Fixed footer size: three 16-byte handle slots + version (4) + magic (8).
 pub const FOOTER_SIZE: usize = 3 * 16 + 4 + 8;

@@ -4,7 +4,7 @@
 use acheron_types::codec::{
     put_length_prefixed, put_varint64, require_length_prefixed, require_varint64,
 };
-use acheron_types::{Error, Result, SeqNo, Tick};
+use acheron_types::{Error, KeyRangeTombstone, Result, SeqNo, Tick};
 use bytes::Bytes;
 
 use crate::format::BlockHandle;
@@ -177,6 +177,10 @@ pub struct TableStats {
     pub page_count: u64,
     /// Number of tiles.
     pub tile_count: u64,
+    /// Sort-key range tombstones carried by this table. They shadow
+    /// entries in lower runs and are purged by bottommost compactions;
+    /// a table may hold range tombstones and zero entries (a "carrier").
+    pub range_tombstones: Vec<KeyRangeTombstone>,
 }
 
 impl TableStats {
@@ -186,6 +190,23 @@ impl TableStats {
             0.0
         } else {
             self.tombstone_count as f64 / self.entry_count as f64
+        }
+    }
+
+    /// Tick of the oldest sort-key range tombstone, if any.
+    pub fn oldest_range_tombstone_tick(&self) -> Option<Tick> {
+        self.range_tombstones.iter().map(|t| t.dkey).min()
+    }
+
+    /// Oldest unresolved delete of either flavor: min of the point and
+    /// range tombstone ticks. This is the age seed FADE deadlines use.
+    pub fn oldest_any_tombstone_tick(&self) -> Option<Tick> {
+        match (
+            self.oldest_tombstone_tick,
+            self.oldest_range_tombstone_tick(),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 
@@ -211,6 +232,10 @@ impl TableStats {
         put_length_prefixed(&mut out, &self.max_user_key);
         put_varint64(&mut out, self.page_count);
         put_varint64(&mut out, self.tile_count);
+        put_varint64(&mut out, self.range_tombstones.len() as u64);
+        for krt in &self.range_tombstones {
+            krt.encode(&mut out);
+        }
         out
     }
 
@@ -259,6 +284,13 @@ impl TableStats {
         };
         let page_count = next("stats: page count")?;
         let tile_count = next("stats: tile count")?;
+        let krt_count = next("stats: range tombstone count")?;
+        let mut range_tombstones = Vec::with_capacity(krt_count.min(1 << 16) as usize);
+        for _ in 0..krt_count {
+            let (krt, rest) = KeyRangeTombstone::decode(src, "stats: range tombstone")?;
+            src = rest;
+            range_tombstones.push(krt);
+        }
         if !src.is_empty() {
             return Err(Error::corruption("stats: trailing bytes"));
         }
@@ -276,6 +308,7 @@ impl TableStats {
             max_user_key: Bytes::copy_from_slice(max_user_key),
             page_count,
             tile_count,
+            range_tombstones,
         })
     }
 }
@@ -390,6 +423,20 @@ mod tests {
             max_user_key: Bytes::from_static(b"zzz"),
             page_count: 16,
             tile_count: 4,
+            range_tombstones: vec![
+                KeyRangeTombstone {
+                    start: Bytes::from_static(b"ccc"),
+                    end: Bytes::from_static(b"mmm"),
+                    seqno: 600,
+                    dkey: 11_000,
+                },
+                KeyRangeTombstone {
+                    start: Bytes::from_static(b"ppp"),
+                    end: Bytes::from_static(b"qqq"),
+                    seqno: 650,
+                    dkey: 12_500,
+                },
+            ],
         }
     }
 
@@ -425,5 +472,33 @@ mod tests {
         let s = sample_stats();
         assert!((s.tombstone_density() - 0.05).abs() < 1e-9);
         assert_eq!(TableStats::default().tombstone_density(), 0.0);
+    }
+
+    #[test]
+    fn stats_without_range_tombstones_round_trip() {
+        let s = TableStats {
+            range_tombstones: Vec::new(),
+            ..sample_stats()
+        };
+        assert_eq!(TableStats::decode(&s.encode()).unwrap(), s);
+        assert_eq!(s.oldest_range_tombstone_tick(), None);
+    }
+
+    #[test]
+    fn oldest_any_tombstone_tick_folds_both_flavors() {
+        let s = sample_stats();
+        assert_eq!(s.oldest_range_tombstone_tick(), Some(11_000));
+        assert_eq!(s.oldest_any_tombstone_tick(), Some(11_000));
+        let point_only = TableStats {
+            range_tombstones: Vec::new(),
+            ..sample_stats()
+        };
+        assert_eq!(point_only.oldest_any_tombstone_tick(), Some(12_345));
+        let range_only = TableStats {
+            oldest_tombstone_tick: None,
+            ..sample_stats()
+        };
+        assert_eq!(range_only.oldest_any_tombstone_tick(), Some(11_000));
+        assert_eq!(TableStats::default().oldest_any_tombstone_tick(), None);
     }
 }

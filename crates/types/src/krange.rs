@@ -1,0 +1,321 @@
+//! Sort-key range tombstones.
+//!
+//! A [`KeyRangeTombstone`] deletes every user key in an inclusive range
+//! `[start, end]` of the *sort key* domain. Unlike the secondary-key
+//! [`RangeTombstone`](crate::entry::RangeTombstone) (which lives in the
+//! manifest), sort-key range tombstones travel with the data path: they
+//! are logged to the WAL, buffered alongside the memtable, flushed into
+//! an SSTable's stats meta block, and purged by bottommost compactions.
+//!
+//! Lookups and scans never walk the deleted range. Instead the active
+//! tombstones are *fragmented* into a [`FragmentedRangeTombstones`]
+//! index — disjoint half-open intervals, each carrying the sequence
+//! numbers that cover it — and shadow checks are a binary search over
+//! fragment start keys. This is the fragment-based design from
+//! "Don't Forget Range Delete!": correctness without O(range) scans.
+
+use bytes::Bytes;
+
+use crate::clock::Tick;
+use crate::codec::{put_length_prefixed, put_varint64, require_length_prefixed, require_varint64};
+use crate::error::Result;
+use crate::key::UserKey;
+use crate::seq::SeqNo;
+
+/// A range tombstone over the sort-key domain: logically deletes every
+/// older version of every user key in `[start, end]` (inclusive bounds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRangeTombstone {
+    /// First user key covered (inclusive).
+    pub start: UserKey,
+    /// Last user key covered (inclusive).
+    pub end: UserKey,
+    /// Sequence number of the delete; entries with a seqno strictly
+    /// below this are shadowed.
+    pub seqno: SeqNo,
+    /// Logical tick at which the delete was issued — the FADE deadline
+    /// clock starts here, exactly as for point tombstones.
+    pub dkey: Tick,
+}
+
+impl KeyRangeTombstone {
+    /// True if this tombstone hides an entry with `entry_seqno` at
+    /// `user_key`: the key falls inside the range and the entry is older
+    /// than the delete.
+    #[inline]
+    pub fn shadows(&self, entry_seqno: SeqNo, user_key: &[u8]) -> bool {
+        entry_seqno < self.seqno && self.contains(user_key)
+    }
+
+    /// True if `user_key` lies within `[start, end]`.
+    #[inline]
+    pub fn contains(&self, user_key: &[u8]) -> bool {
+        user_key >= self.start.as_ref() && user_key <= self.end.as_ref()
+    }
+
+    /// Serialize: length-prefixed start and end, then seqno and dkey
+    /// varints. Used by the WAL, the SSTable stats block, and the wire.
+    pub fn encode(&self, dst: &mut Vec<u8>) {
+        put_length_prefixed(dst, &self.start);
+        put_length_prefixed(dst, &self.end);
+        put_varint64(dst, self.seqno);
+        put_varint64(dst, self.dkey);
+    }
+
+    /// Decode one tombstone from the front of `src`, returning the
+    /// remainder. Total: malformed input yields a corruption error.
+    pub fn decode<'a>(src: &'a [u8], what: &str) -> Result<(KeyRangeTombstone, &'a [u8])> {
+        let (start, rest) = require_length_prefixed(src, what)?;
+        let (end, rest) = require_length_prefixed(rest, what)?;
+        let (seqno, rest) = require_varint64(rest, what)?;
+        let (dkey, rest) = require_varint64(rest, what)?;
+        Ok((
+            KeyRangeTombstone {
+                start: Bytes::copy_from_slice(start),
+                end: Bytes::copy_from_slice(end),
+                seqno,
+                dkey,
+            },
+            rest,
+        ))
+    }
+}
+
+/// Smallest user key strictly greater than `k` in byte order: `k ++ 0x00`.
+/// Converts an inclusive upper bound into an exclusive one.
+fn key_successor(k: &[u8]) -> Bytes {
+    let mut v = Vec::with_capacity(k.len() + 1);
+    v.extend_from_slice(k);
+    v.push(0);
+    Bytes::from(v)
+}
+
+/// One fragment of the flattened tombstone index: a half-open key
+/// interval `[start, end_ex)` and the seqnos of every tombstone covering
+/// it, sorted descending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeFragment {
+    /// Inclusive fragment start.
+    pub start: Bytes,
+    /// Exclusive fragment end.
+    pub end_ex: Bytes,
+    /// Covering tombstone seqnos, descending (newest first).
+    pub seqnos: Vec<SeqNo>,
+}
+
+/// A search index over a set of [`KeyRangeTombstone`]s: the input ranges
+/// are split at every boundary into disjoint, sorted fragments so that a
+/// point query is a single binary search. Rebuilt wholesale on mutation;
+/// range deletes are rare relative to reads, so build cost (quadratic in
+/// the number of live tombstones) is irrelevant while query cost is not.
+#[derive(Debug, Clone, Default)]
+pub struct FragmentedRangeTombstones {
+    fragments: Vec<RangeFragment>,
+}
+
+impl FragmentedRangeTombstones {
+    /// Build the fragment index from a set of tombstones.
+    pub fn build(tombstones: &[KeyRangeTombstone]) -> FragmentedRangeTombstones {
+        if tombstones.is_empty() {
+            return FragmentedRangeTombstones::default();
+        }
+        // Collect every interval boundary: starts, plus successors of the
+        // inclusive ends. Between consecutive boundaries the covering set
+        // is constant.
+        let mut bounds: Vec<Bytes> = Vec::with_capacity(tombstones.len() * 2);
+        for t in tombstones {
+            bounds.push(t.start.clone());
+            bounds.push(key_successor(&t.end));
+        }
+        bounds.sort();
+        bounds.dedup();
+
+        let mut fragments = Vec::new();
+        for w in bounds.windows(2) {
+            let (lo, hi) = (&w[0], &w[1]);
+            let mut seqnos: Vec<SeqNo> = tombstones
+                .iter()
+                .filter(|t| t.start.as_ref() <= lo.as_ref() && key_successor(&t.end) >= *hi)
+                .map(|t| t.seqno)
+                .collect();
+            if seqnos.is_empty() {
+                continue;
+            }
+            seqnos.sort_unstable_by(|a, b| b.cmp(a));
+            seqnos.dedup();
+            fragments.push(RangeFragment {
+                start: lo.clone(),
+                end_ex: hi.clone(),
+                seqnos,
+            });
+        }
+        FragmentedRangeTombstones { fragments }
+    }
+
+    /// True if no tombstone covers any key.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+
+    /// The disjoint fragments, sorted by start key.
+    #[inline]
+    pub fn fragments(&self) -> &[RangeFragment] {
+        &self.fragments
+    }
+
+    /// The newest tombstone seqno covering `user_key` that is visible at
+    /// `snapshot` (seqno ≤ snapshot), or `None` if the key is uncovered.
+    /// A binary search over fragment starts — never walks the range.
+    pub fn max_seqno_covering(&self, user_key: &[u8], snapshot: SeqNo) -> Option<SeqNo> {
+        // Find the last fragment with start <= user_key.
+        let idx = self
+            .fragments
+            .partition_point(|f| f.start.as_ref() <= user_key);
+        if idx == 0 {
+            return None;
+        }
+        let frag = &self.fragments[idx - 1];
+        if user_key >= frag.end_ex.as_ref() {
+            return None;
+        }
+        // Seqnos are descending; take the first visible one.
+        frag.seqnos.iter().copied().find(|&s| s <= snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn krt(start: &str, end: &str, seqno: SeqNo, dkey: Tick) -> KeyRangeTombstone {
+        KeyRangeTombstone {
+            start: Bytes::copy_from_slice(start.as_bytes()),
+            end: Bytes::copy_from_slice(end.as_bytes()),
+            seqno,
+            dkey,
+        }
+    }
+
+    #[test]
+    fn shadows_requires_older_entry_inside_range() {
+        let t = krt("b", "d", 10, 3);
+        assert!(t.shadows(9, b"b"));
+        assert!(t.shadows(0, b"d"));
+        assert!(t.shadows(9, b"c"));
+        assert!(!t.shadows(10, b"c"), "same seqno is not shadowed");
+        assert!(!t.shadows(11, b"c"), "newer entry survives");
+        assert!(!t.shadows(9, b"a"), "below range");
+        assert!(!t.shadows(9, b"e"), "above range");
+        assert!(!t.shadows(9, b"d\x00"), "successor of end is outside");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = krt("alpha", "omega", 123_456, 789);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        buf.extend_from_slice(b"tail");
+        let (decoded, rest) = KeyRangeTombstone::decode(&buf, "test").unwrap();
+        assert_eq!(decoded, t);
+        assert_eq!(rest, b"tail");
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_cut() {
+        let t = krt("k1", "k2", 7, 1);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                KeyRangeTombstone::decode(&buf[..cut], "test").is_err(),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_build_covers_nothing() {
+        let idx = FragmentedRangeTombstones::build(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.max_seqno_covering(b"anything", u64::MAX), None);
+    }
+
+    #[test]
+    fn single_range_covers_inclusive_bounds() {
+        let idx = FragmentedRangeTombstones::build(&[krt("b", "d", 10, 0)]);
+        assert_eq!(idx.max_seqno_covering(b"a", 100), None);
+        assert_eq!(idx.max_seqno_covering(b"b", 100), Some(10));
+        assert_eq!(idx.max_seqno_covering(b"c", 100), Some(10));
+        assert_eq!(idx.max_seqno_covering(b"d", 100), Some(10));
+        assert_eq!(idx.max_seqno_covering(b"d\x00", 100), None);
+        assert_eq!(idx.max_seqno_covering(b"e", 100), None);
+    }
+
+    #[test]
+    fn snapshot_filters_invisible_tombstones() {
+        let idx = FragmentedRangeTombstones::build(&[krt("a", "z", 50, 0)]);
+        assert_eq!(idx.max_seqno_covering(b"m", 49), None);
+        assert_eq!(idx.max_seqno_covering(b"m", 50), Some(50));
+    }
+
+    #[test]
+    fn overlapping_ranges_fragment_correctly() {
+        // [b, f]@10 and [d, j]@20 → [b,d):10, [d,f]:20 then 10, (f,j]:20.
+        let idx = FragmentedRangeTombstones::build(&[krt("b", "f", 10, 0), krt("d", "j", 20, 0)]);
+        assert_eq!(idx.max_seqno_covering(b"c", 100), Some(10));
+        assert_eq!(idx.max_seqno_covering(b"e", 100), Some(20));
+        assert_eq!(
+            idx.max_seqno_covering(b"e", 15),
+            Some(10),
+            "older still covers"
+        );
+        assert_eq!(idx.max_seqno_covering(b"h", 100), Some(20));
+        assert_eq!(idx.max_seqno_covering(b"h", 15), None);
+        assert_eq!(idx.max_seqno_covering(b"k", 100), None);
+    }
+
+    #[test]
+    fn disjoint_ranges_leave_gap_uncovered() {
+        let idx = FragmentedRangeTombstones::build(&[krt("a", "b", 5, 0), krt("x", "y", 6, 0)]);
+        assert_eq!(idx.max_seqno_covering(b"m", 100), None);
+        assert_eq!(idx.max_seqno_covering(b"a", 100), Some(5));
+        assert_eq!(idx.max_seqno_covering(b"y", 100), Some(6));
+    }
+
+    #[test]
+    fn identical_ranges_dedup_seqnos() {
+        let idx = FragmentedRangeTombstones::build(&[
+            krt("a", "c", 5, 0),
+            krt("a", "c", 9, 0),
+            krt("a", "c", 9, 0),
+        ]);
+        assert_eq!(idx.fragments().len(), 1);
+        assert_eq!(idx.fragments()[0].seqnos, vec![9, 5]);
+    }
+
+    #[test]
+    fn single_key_range_works() {
+        let idx = FragmentedRangeTombstones::build(&[krt("k", "k", 3, 0)]);
+        assert_eq!(idx.max_seqno_covering(b"k", 100), Some(3));
+        assert_eq!(idx.max_seqno_covering(b"j", 100), None);
+        assert_eq!(idx.max_seqno_covering(b"k\x00", 100), None);
+    }
+
+    #[test]
+    fn fragments_are_sorted_and_disjoint() {
+        let idx = FragmentedRangeTombstones::build(&[
+            krt("d", "j", 20, 0),
+            krt("b", "f", 10, 0),
+            krt("p", "q", 7, 0),
+        ]);
+        let frags = idx.fragments();
+        for w in frags.windows(2) {
+            assert!(w[0].end_ex <= w[1].start, "fragments overlap or unsorted");
+        }
+        for f in frags {
+            assert!(f.start < f.end_ex, "empty fragment");
+            assert!(!f.seqnos.is_empty());
+        }
+    }
+}

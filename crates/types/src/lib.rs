@@ -18,10 +18,12 @@ pub mod codec;
 pub mod entry;
 pub mod error;
 pub mod key;
+pub mod krange;
 pub mod seq;
 
 pub use clock::{Clock, LogicalClock, SystemClock, Tick};
 pub use entry::{DeleteKeyRange, Entry, RangeTombstone, DELETE_KEY_NONE};
 pub use error::{Error, Result};
 pub use key::{InternalKey, InternalKeyRef, UserKey};
+pub use krange::{FragmentedRangeTombstones, KeyRangeTombstone, RangeFragment};
 pub use seq::{SeqNo, ValueKind, MAX_SEQNO};

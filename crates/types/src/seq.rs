@@ -27,6 +27,10 @@ pub enum ValueKind {
     /// (Acheron/Lethe's secondary range delete). Appears in the WAL and
     /// version metadata but is never woven into SSTable data blocks.
     RangeTombstone = 2,
+    /// A range tombstone over the *sort key* domain: deletes every user
+    /// key in `[start, end]`. Appears in the WAL and in SSTable meta
+    /// blocks but is never woven into SSTable data blocks as an entry.
+    KeyRangeTombstone = 3,
 }
 
 impl ValueKind {
@@ -36,6 +40,7 @@ impl ValueKind {
             0 => Some(ValueKind::Tombstone),
             1 => Some(ValueKind::Put),
             2 => Some(ValueKind::RangeTombstone),
+            3 => Some(ValueKind::KeyRangeTombstone),
             _ => None,
         }
     }
@@ -87,7 +92,8 @@ mod tests {
 
     #[test]
     fn kind_from_u8_rejects_unknown() {
-        assert_eq!(ValueKind::from_u8(3), None);
+        assert_eq!(ValueKind::from_u8(3), Some(ValueKind::KeyRangeTombstone));
+        assert_eq!(ValueKind::from_u8(4), None);
         assert_eq!(ValueKind::from_u8(0xff), None);
     }
 

@@ -16,7 +16,7 @@ use acheron_types::codec::{
     get_u64_le, put_length_prefixed, put_u64_le, put_varint32, put_varint64,
     require_length_prefixed, require_varint64,
 };
-use acheron_types::{DeleteKeyRange, Entry, Error, Result, SeqNo, ValueKind};
+use acheron_types::{DeleteKeyRange, Entry, Error, KeyRangeTombstone, Result, SeqNo, ValueKind};
 use bytes::Bytes;
 
 /// One mutation inside a batch.
@@ -28,6 +28,9 @@ pub enum WalOp {
     Delete { key: Bytes, tick: u64 },
     /// Secondary range delete over the delete-key domain.
     RangeDelete { range: DeleteKeyRange },
+    /// Sort-key range delete over `[start, end]` (inclusive); `tick` is
+    /// the issue tick (FADE's age seed, same as point deletes).
+    RangeDeleteKeys { start: Bytes, end: Bytes, tick: u64 },
 }
 
 impl WalOp {
@@ -36,6 +39,7 @@ impl WalOp {
             WalOp::Put { .. } => ValueKind::Put,
             WalOp::Delete { .. } => ValueKind::Tombstone,
             WalOp::RangeDelete { .. } => ValueKind::RangeTombstone,
+            WalOp::RangeDeleteKeys { .. } => ValueKind::KeyRangeTombstone,
         }
     }
 }
@@ -88,6 +92,11 @@ impl WalBatch {
                     put_length_prefixed(&mut out, &[]);
                     put_length_prefixed(&mut out, &range.encode());
                 }
+                WalOp::RangeDeleteKeys { start, end, tick } => {
+                    put_varint64(&mut out, *tick);
+                    put_length_prefixed(&mut out, start);
+                    put_length_prefixed(&mut out, end);
+                }
             }
         }
         out
@@ -131,6 +140,18 @@ impl WalBatch {
                     })?;
                     WalOp::RangeDelete { range }
                 }
+                ValueKind::KeyRangeTombstone => {
+                    if payload < key {
+                        return Err(Error::corruption(
+                            "wal key-range-delete op: end sorts before start",
+                        ));
+                    }
+                    WalOp::RangeDeleteKeys {
+                        start: Bytes::copy_from_slice(key),
+                        end: Bytes::copy_from_slice(payload),
+                        tick: dkey,
+                    }
+                }
             });
         }
         if !rest.is_empty() {
@@ -143,11 +164,19 @@ impl WalBatch {
     }
 
     /// Materialize the batch's point mutations as [`Entry`] values with
-    /// their assigned sequence numbers (range deletes are yielded as
-    /// `(seqno, range)` via the second element).
-    pub fn entries(&self) -> (Vec<Entry>, Vec<(SeqNo, DeleteKeyRange)>) {
+    /// their assigned sequence numbers. Secondary range deletes are
+    /// yielded as `(seqno, range)` via the second element; sort-key range
+    /// deletes as [`KeyRangeTombstone`]s via the third.
+    pub fn entries(
+        &self,
+    ) -> (
+        Vec<Entry>,
+        Vec<(SeqNo, DeleteKeyRange)>,
+        Vec<KeyRangeTombstone>,
+    ) {
         let mut entries = Vec::new();
         let mut ranges = Vec::new();
+        let mut key_ranges = Vec::new();
         for (i, op) in self.ops.iter().enumerate() {
             let seqno = self.base_seqno + i as u64;
             match op {
@@ -158,9 +187,17 @@ impl WalBatch {
                     entries.push(Entry::tombstone(key.clone(), seqno, *tick));
                 }
                 WalOp::RangeDelete { range } => ranges.push((seqno, *range)),
+                WalOp::RangeDeleteKeys { start, end, tick } => {
+                    key_ranges.push(KeyRangeTombstone {
+                        start: start.clone(),
+                        end: end.clone(),
+                        seqno,
+                        dkey: *tick,
+                    });
+                }
             }
         }
-        (entries, ranges)
+        (entries, ranges, key_ranges)
     }
 }
 
@@ -189,6 +226,11 @@ mod tests {
                     value: Bytes::from_static(b""),
                     dkey: 0,
                 },
+                WalOp::RangeDeleteKeys {
+                    start: Bytes::from_static(b"a"),
+                    end: Bytes::from_static(b"m"),
+                    tick: 42,
+                },
             ],
         }
     }
@@ -208,12 +250,12 @@ mod tests {
 
     #[test]
     fn last_seqno() {
-        assert_eq!(sample().last_seqno(), 103);
+        assert_eq!(sample().last_seqno(), 104);
     }
 
     #[test]
     fn entries_assign_consecutive_seqnos() {
-        let (entries, ranges) = sample().entries();
+        let (entries, ranges, key_ranges) = sample().entries();
         assert_eq!(entries.len(), 3);
         assert_eq!(entries[0].seqno, 100);
         assert_eq!(entries[1].seqno, 101);
@@ -221,6 +263,29 @@ mod tests {
         assert_eq!(entries[1].dkey, 55);
         assert_eq!(entries[2].seqno, 103);
         assert_eq!(ranges, vec![(102, DeleteKeyRange::new(10, 20))]);
+        assert_eq!(
+            key_ranges,
+            vec![KeyRangeTombstone {
+                start: Bytes::from_static(b"a"),
+                end: Bytes::from_static(b"m"),
+                seqno: 104,
+                dkey: 42,
+            }]
+        );
+    }
+
+    #[test]
+    fn decode_rejects_inverted_key_range() {
+        // Hand-encode a sort-key range delete whose end sorts before its
+        // start; the decoder must refuse it.
+        let mut data = Vec::new();
+        put_u64_le(&mut data, 1);
+        put_varint32(&mut data, 1);
+        data.push(ValueKind::KeyRangeTombstone as u8);
+        put_varint64(&mut data, 0);
+        put_length_prefixed(&mut data, b"z");
+        put_length_prefixed(&mut data, b"a");
+        assert!(WalBatch::decode(&data).is_err());
     }
 
     #[test]

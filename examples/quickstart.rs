@@ -52,6 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db.get(b"user:1:name")?.as_deref(),
         Some(&b"A. Lovelace"[..])
     );
+    drop(snap);
+
+    // A sort-key range delete erases a whole prefix with one O(1)
+    // write — no scan, no per-key tombstones. All of user:1's
+    // attributes vanish at once (the GDPR-request shape).
+    db.range_delete_keys(b"user:1:", b"user:1:\xff")?;
+    assert_eq!(db.get(b"user:1:name")?, None);
+    assert_eq!(db.get(b"user:1:email")?, None);
+    assert_eq!(db.scan(b"user:1:", b"user:1:\xff")?.len(), 0);
 
     // Engine introspection.
     db.compact_all()?;

@@ -81,6 +81,49 @@ fn sync_mode_survives_torn_tail_crashes() {
     assert!(report.crashes() >= 15);
 }
 
+/// Range-delete-heavy workload under both power-cut models: a cut
+/// between a sort-key range tombstone's WAL append and the flush that
+/// persists it into a table's stats block must never resurrect keys the
+/// acked range delete erased — and recovery must rebuild the memtable's
+/// tombstone buffer from the WAL alone.
+#[test]
+fn range_tombstones_survive_crashes_under_both_cut_models() {
+    for (cut, seed) in [
+        (CutDurability::DropUnsynced, 0xCAFE_0011u64),
+        (CutDurability::TornTail, 0xCAFE_0012u64),
+    ] {
+        let cfg = CrashConfig {
+            cut,
+            workload: CrashWorkload {
+                seed,
+                ops: 250,
+                key_space: 48,
+                delete_percent: 15,
+                range_delete_percent: 20,
+            },
+            ..sync_cfg()
+        };
+        let ops = cfg.workload.generate();
+        let range_ops = ops
+            .iter()
+            .filter(|op| matches!(op, acheron::testutil::WorkloadOp::RangeDeleteKeys { .. }))
+            .count();
+        assert!(
+            range_ops >= 30,
+            "workload too light on range deletes: {range_ops}"
+        );
+        let total = count_crash_points(&cfg);
+        let stride = (total / 15).max(1);
+        let report = run_crash_suite(&cfg, (0..total).step_by(stride as usize));
+        assert!(
+            report.violations().is_empty(),
+            "range-delete crash violations ({cut:?}):\n{}",
+            report.violations().join("\n")
+        );
+        assert!(report.crashes() >= 12);
+    }
+}
+
 /// Background mode: crash points land wherever worker timing puts the
 /// n-th sync — every landing is still a valid crash and every invariant
 /// still has to hold.

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use acheron::{Db, DbOptions};
+use acheron::{Db, DbOptions, Snapshot};
 use acheron_vfs::{MemFs, Vfs};
 use proptest::prelude::*;
 
@@ -18,6 +18,8 @@ enum Action {
     Put { key: u8, value: u8 },
     Delete { key: u8 },
     RangeDelete { lo: u64, width: u64 },
+    RangeDeleteKeys { lo: u8, width: u8 },
+    Snapshot,
     Flush,
     CompactAll,
     Reopen,
@@ -28,6 +30,11 @@ fn action_strategy() -> impl Strategy<Value = Action> {
         8 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Action::Put { key: k % 24, value: v }),
         3 => any::<u8>().prop_map(|k| Action::Delete { key: k % 24 }),
         1 => (0u64..200, 1u64..60).prop_map(|(lo, width)| Action::RangeDelete { lo, width }),
+        1 => (any::<u8>(), 0u8..12).prop_map(|(lo, width)| Action::RangeDeleteKeys {
+            lo: lo % 24,
+            width,
+        }),
+        1 => Just(Action::Snapshot),
         1 => Just(Action::Flush),
         1 => Just(Action::CompactAll),
         1 => Just(Action::Reopen),
@@ -45,7 +52,8 @@ struct ModelVersion {
 #[derive(Default)]
 struct Model {
     versions: BTreeMap<Vec<u8>, Vec<ModelVersion>>,
-    rts: Vec<(u64, u64, u64)>, // (seqno, lo, hi)
+    rts: Vec<(u64, u64, u64)>,          // (seqno, lo, hi) over dkeys
+    krts: Vec<(u64, Vec<u8>, Vec<u8>)>, // (seqno, lo, hi) over sort keys
     seqno: u64,
 }
 
@@ -56,11 +64,38 @@ impl Model {
             .any(|(s, lo, hi)| seqno < *s && (*lo..=*hi).contains(&dkey))
     }
 
+    fn key_shadowed(&self, seqno: u64, key: &[u8]) -> bool {
+        self.krts
+            .iter()
+            .any(|(s, lo, hi)| seqno < *s && lo.as_slice() <= key && key <= hi.as_slice())
+    }
+
+    fn get_at(&self, key: &[u8], snapshot: u64) -> Option<Vec<u8>> {
+        // Newest-version-decides at the snapshot horizon: the most
+        // recent visible version determines the key's state; a
+        // range-erased or tombstone head hides it.
+        let newest = self
+            .versions
+            .get(key)?
+            .iter()
+            .rev()
+            .find(|v| v.seqno <= snapshot)?;
+        let covered = self.rts.iter().any(|(s, lo, hi)| {
+            newest.seqno < *s && *s <= snapshot && (*lo..=*hi).contains(&newest.dkey)
+        }) || self.krts.iter().any(|(s, lo, hi)| {
+            newest.seqno < *s && *s <= snapshot && lo.as_slice() <= key && key <= hi.as_slice()
+        });
+        if covered {
+            return None;
+        }
+        newest.value.clone()
+    }
+
     fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
         // Newest-version-decides: the most recent version determines the
         // key's visibility; a range-erased or tombstone head hides it.
         let newest = self.versions.get(key)?.last()?;
-        if self.shadowed(newest.seqno, newest.dkey) {
+        if self.shadowed(newest.seqno, newest.dkey) || self.key_shadowed(newest.seqno, key) {
             return None;
         }
         newest.value.clone()
@@ -70,6 +105,13 @@ impl Model {
         self.versions
             .keys()
             .filter_map(|k| self.get(k).map(|v| (k.clone(), v)))
+            .collect()
+    }
+
+    fn live_keys_at(&self, snapshot: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.versions
+            .keys()
+            .filter_map(|k| self.get_at(k, snapshot).map(|v| (k.clone(), v)))
             .collect()
     }
 }
@@ -97,6 +139,9 @@ fn run_scenario(actions: &[Action], pages_per_tile: usize, fade: Option<u64>) {
     }
     let mut db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts.clone()).unwrap();
     let mut model = Model::default();
+    // At most one pinned snapshot at a time: (engine snapshot, model
+    // seqno horizon at the moment it was taken).
+    let mut pinned: Option<(Snapshot, u64)> = None;
 
     for action in actions {
         match action {
@@ -128,9 +173,23 @@ fn run_scenario(actions: &[Action], pages_per_tile: usize, fade: Option<u64>) {
                 model.seqno += 1;
                 model.rts.push((model.seqno, *lo, lo + width));
             }
+            Action::RangeDeleteKeys { lo, width } => {
+                let a = key_of(*lo);
+                let b = key_of((lo + width) % 24);
+                let (start, end) = if a <= b { (a, b) } else { (b, a) };
+                db.range_delete_keys(&start, &end).unwrap();
+                model.seqno += 1;
+                model.krts.push((model.seqno, start, end));
+            }
+            Action::Snapshot => {
+                pinned = Some((db.snapshot(), model.seqno));
+            }
             Action::Flush => db.flush().unwrap(),
             Action::CompactAll => db.compact_all().unwrap(),
             Action::Reopen => {
+                // A snapshot cannot outlive its engine instance; drop it
+                // first so reopen also exercises unpinned purge paths.
+                pinned = None;
                 drop(db);
                 db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", opts.clone()).unwrap();
             }
@@ -142,6 +201,27 @@ fn run_scenario(actions: &[Action], pages_per_tile: usize, fade: Option<u64>) {
             let expected = model.get(&key);
             let got = db.get(&key).unwrap().map(|b| b.to_vec());
             assert_eq!(got, expected, "key {k} diverged after {action:?}");
+        }
+        // A pinned snapshot must keep seeing the world as of the moment
+        // it was taken, no matter what flushed/compacted since.
+        if let Some((snap, at)) = &pinned {
+            for k in 0u8..24 {
+                let key = key_of(k);
+                let expected = model.get_at(&key, *at);
+                let got = db.get_at(snap, &key).unwrap().map(|b| b.to_vec());
+                assert_eq!(got, expected, "snapshot key {k} diverged after {action:?}");
+            }
+            let expected_scan = model.live_keys_at(*at);
+            let got_scan: Vec<(Vec<u8>, Vec<u8>)> = db
+                .scan_at(snap, b"model-key-000", b"model-key-999")
+                .unwrap()
+                .into_iter()
+                .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                .collect();
+            assert_eq!(
+                got_scan, expected_scan,
+                "snapshot scan diverged after {action:?}"
+            );
         }
     }
 
@@ -236,6 +316,63 @@ fn regression_l0_page_drop_must_not_hide_chain_head() {
 }
 
 #[test]
+fn regression_key_range_delete_survives_flush_compact_reopen() {
+    // A sort-key range tombstone must keep erasing covered keys through
+    // every persistence transition: memtable, SSTable meta block after
+    // flush, merged output after full compaction, and recovery.
+    let actions = vec![
+        Action::Put { key: 3, value: 30 },
+        Action::Put { key: 5, value: 50 },
+        Action::Put { key: 20, value: 99 },
+        Action::RangeDeleteKeys { lo: 2, width: 6 },
+        Action::Flush,
+        Action::Put { key: 4, value: 40 }, // newer than the range: visible
+        Action::CompactAll,
+        Action::Reopen,
+        Action::RangeDeleteKeys { lo: 0, width: 23 },
+        Action::CompactAll,
+    ];
+    run_scenario(&actions, 1, None);
+    run_scenario(&actions, 4, None);
+    run_scenario(&actions, 1, Some(100));
+}
+
+#[test]
+fn regression_snapshot_must_not_resurrect_deleted_key() {
+    // Found by the property sweep: a snapshot pinning the *pre-delete*
+    // version of a key blocked the bottommost tombstone drop's stratum
+    // dedup from removing it — but the tombstone itself (invisible to
+    // the snapshot) was still dropped, promoting the pinned put back to
+    // chain head for live readers.
+    let actions = vec![
+        Action::Put { key: 5, value: 140 },
+        Action::Snapshot,
+        Action::Delete { key: 5 },
+        Action::CompactAll,
+    ];
+    run_scenario(&actions, 1, None);
+    run_scenario(&actions, 4, None);
+    run_scenario(&actions, 1, Some(100));
+}
+
+#[test]
+fn regression_snapshot_pins_keys_across_key_range_delete() {
+    // A snapshot taken before a sort-key range delete must keep seeing
+    // the erased keys, even after the live view flushes and compacts.
+    let actions = vec![
+        Action::Put { key: 1, value: 11 },
+        Action::Put { key: 2, value: 22 },
+        Action::Snapshot,
+        Action::RangeDeleteKeys { lo: 0, width: 10 },
+        Action::Flush,
+        Action::Put { key: 1, value: 33 },
+        Action::CompactAll,
+    ];
+    run_scenario(&actions, 1, None);
+    run_scenario(&actions, 8, Some(200));
+}
+
+#[test]
 fn regression_delete_then_flush_then_range_delete() {
     let actions = vec![
         Action::Put { key: 0, value: 1 },
@@ -248,4 +385,40 @@ fn regression_delete_then_flush_then_range_delete() {
     ];
     run_scenario(&actions, 1, None);
     run_scenario(&actions, 4, None);
+}
+
+#[test]
+#[ignore]
+fn debug_find_failing_case() {
+    let mut rng =
+        proptest::TestRng::from_label("engine_model::engine_matches_model_classic_layout");
+    let strat = prop::collection::vec(action_strategy(), 1..120);
+    for case in 0..48 {
+        let actions = strat.generate(&mut rng);
+        let run = |a: &[Action]| {
+            let a = a.to_vec();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                run_scenario(&a, 1, None)
+            }))
+            .is_err()
+        };
+        if run(&actions) {
+            let mut min = actions.clone();
+            let mut i = 0;
+            while i < min.len() {
+                let mut cand = min.clone();
+                cand.remove(i);
+                if run(&cand) {
+                    min = cand;
+                } else {
+                    i += 1;
+                }
+            }
+            eprintln!("case {case}: minimized to {} actions:", min.len());
+            for a in &min {
+                eprintln!("  {a:?}");
+            }
+            panic!("found failing case");
+        }
+    }
 }

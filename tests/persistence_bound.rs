@@ -97,6 +97,76 @@ fn check_bound(seed: u64, d_th: u64, alloc: TtlAllocation, idle_bursts: bool) {
     );
 }
 
+/// The same bound for *sort-key range tombstones*: every range delete
+/// must be physically purged (its carrier rewritten at the bottommost
+/// level) within `D_th` ticks, under a workload that keeps issuing
+/// overlapping ranges while puts re-populate the erased keyspace.
+fn check_range_bound(seed: u64, d_th: u64, alloc: TtlAllocation) {
+    let db = Db::open(Arc::new(MemFs::new()), "db", opts(d_th, alloc)).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for step in 0..900u32 {
+        let k: u32 = rng.gen_range(0..300);
+        let roll: f64 = rng.gen();
+        if roll < 0.08 {
+            let hi = (k + rng.gen_range(1..40)).min(299);
+            db.range_delete_keys(
+                format!("key{k:04}").as_bytes(),
+                format!("key{hi:04}").as_bytes(),
+            )
+            .unwrap();
+        } else if roll < 0.25 {
+            db.delete(format!("key{k:04}").as_bytes()).unwrap();
+        } else {
+            db.put(format!("key{k:04}").as_bytes(), &[b'v'; 24])
+                .unwrap();
+        }
+        if step % 300 == 299 {
+            // Idle time in sub-margin steps (see check_bound).
+            let total = rng.gen_range(1..=2 * d_th);
+            let step_size = (d_th / 32).max(1);
+            let mut advanced = 0;
+            while advanced < total {
+                let inc = step_size.min(total - advanced);
+                db.advance_clock(inc);
+                advanced += inc;
+                db.maintain().unwrap();
+            }
+        }
+        if step % 100 == 0 {
+            if let Some(age) = db.oldest_live_key_range_tombstone_age() {
+                assert!(
+                    age <= d_th,
+                    "live range tombstone aged {age} > D_th {d_th} at step {step}"
+                );
+            }
+        }
+    }
+    // Final settle: every range tombstone must reach its purge.
+    let step_size = (d_th / 32).max(1);
+    let mut advanced = 0;
+    while advanced < 3 * d_th {
+        db.advance_clock(step_size);
+        advanced += step_size;
+        db.maintain().unwrap();
+    }
+    assert_eq!(
+        db.live_key_range_tombstones(),
+        0,
+        "all range tombstones must eventually purge"
+    );
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(
+        db.stats().persistence_violations.load(Relaxed),
+        0,
+        "no purge may exceed the threshold"
+    );
+    assert!(
+        db.stats().persistence_latency.max() <= d_th,
+        "max purge latency {} > D_th {d_th}",
+        db.stats().persistence_latency.max()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -109,6 +179,25 @@ proptest! {
     fn fade_bound_holds_uniform(seed in any::<u64>(), d_th in 500u64..20_000) {
         check_bound(seed, d_th, TtlAllocation::Uniform, true);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fade_range_bound_holds_exponential(seed in any::<u64>(), d_th in 500u64..20_000) {
+        check_range_bound(seed, d_th, TtlAllocation::Exponential);
+    }
+
+    #[test]
+    fn fade_range_bound_holds_uniform(seed in any::<u64>(), d_th in 500u64..20_000) {
+        check_range_bound(seed, d_th, TtlAllocation::Uniform);
+    }
+}
+
+#[test]
+fn fade_range_bound_with_tiny_threshold() {
+    check_range_bound(9, 600, TtlAllocation::Uniform);
 }
 
 #[test]

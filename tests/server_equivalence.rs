@@ -234,6 +234,87 @@ fn malformed_frames_cannot_panic_or_wedge_the_server() {
     server.shutdown();
 }
 
+/// The sort-key range-delete frame: erases a prefix over the wire with
+/// one request, and its malformed variants (missing bounds, lying
+/// varint lengths, trailing bytes) can neither panic nor wedge the
+/// server.
+#[test]
+fn range_delete_frame_round_trips_and_survives_malformed_payloads() {
+    let db = open_db(DbOptions::small());
+    let mut server = start(&db);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    for i in 0..40u32 {
+        client.put(format!("user:{i:04}").as_bytes(), b"v").unwrap();
+    }
+    client.put(b"zz-survivor", b"v").unwrap();
+    client.range_delete_keys(b"user:", b"user:\xff").unwrap();
+    for i in 0..40u32 {
+        assert_eq!(
+            client.get(format!("user:{i:04}").as_bytes()).unwrap(),
+            None,
+            "user:{i:04} must be erased by the wire range delete"
+        );
+    }
+    assert_eq!(
+        client.scan(b"", &[0xff; 16]).unwrap(),
+        vec![(b"zz-survivor".to_vec(), b"v".to_vec())],
+        "only the key outside the range survives"
+    );
+
+    // Malformed REQ_KRDEL payloads, each inside a well-formed frame: a
+    // broken payload must close that connection (a protocol error), not
+    // panic the decoder or wedge the accept loop.
+    const REQ_KRDEL: u8 = 10;
+    let malformed: Vec<Vec<u8>> = vec![
+        vec![REQ_KRDEL],       // no bounds at all
+        vec![REQ_KRDEL, 0x05], // lo claims 5 bytes, has none
+        vec![
+            REQ_KRDEL, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
+        ], // absurd varint length
+        {
+            let mut p = vec![REQ_KRDEL];
+            p.extend_from_slice(&[0x02, b'l', b'o']); // valid lo...
+            p.push(0x09); // ...hi claims 9 bytes, has none
+            p
+        },
+        {
+            let mut p = vec![REQ_KRDEL];
+            p.extend_from_slice(&[0x02, b'l', b'o', 0x02, b'h', b'i']);
+            p.push(0xAA); // trailing byte after a complete message
+            p
+        },
+    ];
+    for payload in &malformed {
+        let mut framed = Vec::new();
+        encode_frame(payload, &mut framed);
+        poke_raw(addr, &framed);
+    }
+
+    // The server still answers a well-formed client afterwards, and the
+    // poisoned connections were counted.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    assert_eq!(
+        client.get(b"zz-survivor").unwrap().as_deref(),
+        Some(&b"v"[..])
+    );
+    let stats = client.stats().unwrap();
+    let proto_errors = stats
+        .iter()
+        .find(|(n, _)| n == "server_protocol_errors")
+        .map(|(_, v)| *v)
+        .unwrap();
+    assert!(
+        proto_errors >= malformed.len() as u64,
+        "expected {} poisoned connections counted, got {proto_errors}",
+        malformed.len()
+    );
+    server.shutdown();
+    db.verify_integrity().unwrap();
+}
+
 #[test]
 fn stalled_engine_sheds_writes_with_busy_then_recovers() {
     // Background mode with a tiny write buffer and a one-deep sealed
