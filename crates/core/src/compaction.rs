@@ -42,6 +42,12 @@ pub struct CompactionOutcome {
     pub bytes_in: u64,
     /// Bytes written to output tables.
     pub bytes_out: u64,
+    /// `(segment, bytes, stamp tick)` per value-log extent whose last
+    /// tree reference this compaction dropped — the caller folds these
+    /// into the vlog's dead-byte accounting. Entries that vanish via
+    /// whole-page drops are not itemized here (the page is never read);
+    /// their bytes surface when GC rewrites the segment.
+    pub vlog_dead: Vec<(u64, u64, Tick)>,
 }
 
 impl CompactionOutcome {
@@ -136,6 +142,7 @@ pub fn run_compaction(
             pages_dropped: 0,
             bytes_in: 0,
             bytes_out: 0,
+            vlog_dead: Vec::new(),
         });
     }
 
@@ -218,7 +225,8 @@ pub fn run_compaction(
     }
 
     let merge = MergeIterator::new(sources);
-    let mut stream = CompactionStream::new(merge, &version.range_tombstones, snapshots, bottommost);
+    let mut stream =
+        CompactionStream::new(merge, &version.range_tombstones, snapshots, bottommost, now);
 
     let table_opts = TableOptions {
         page_size: opts.page_size,
@@ -260,6 +268,7 @@ pub fn run_compaction(
     };
 
     let mut pending_krts = (!surviving_krts.is_empty()).then_some(surviving_krts);
+    let mut krt_vlog_dead: Vec<(u64, u64, Tick)> = Vec::new();
     while let Some(entry) = stream.next_surviving()? {
         if let Some(idx) = krt_drop_index {
             if idx
@@ -267,6 +276,11 @@ pub fn run_compaction(
                 .is_some_and(|cover| entry.seqno < cover)
             {
                 key_range_purged += 1;
+                if entry.kind == acheron_types::ValueKind::ValuePointer {
+                    if let Some(ptr) = acheron_types::ValuePointer::decode(&entry.value) {
+                        krt_vlog_dead.push((ptr.segment, u64::from(ptr.len), now));
+                    }
+                }
                 continue;
             }
         }
@@ -308,6 +322,9 @@ pub fn run_compaction(
     }
     pages_dropped = pages_dropped.saturating_sub(dropped_before);
 
+    let mut vlog_dead = stream.vlog_dead;
+    vlog_dead.extend(krt_vlog_dead);
+
     Ok(CompactionOutcome {
         added,
         deleted_ids,
@@ -320,6 +337,7 @@ pub fn run_compaction(
         pages_dropped,
         bytes_in,
         bytes_out,
+        vlog_dead,
     })
 }
 

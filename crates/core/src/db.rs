@@ -52,15 +52,17 @@ use std::time::{Duration, Instant};
 
 use acheron_memtable::Memtable;
 use acheron_types::{
-    Clock, DeleteKeyRange, Entry, Error, RangeTombstone, Result, SeqNo, Tick, MAX_SEQNO,
+    Clock, DeleteKeyRange, Entry, Error, RangeTombstone, Result, SeqNo, Tick, ValuePointer,
+    MAX_SEQNO,
 };
 use acheron_vfs::Vfs;
+use acheron_vlog::{VlogReader, VlogWriter};
 use acheron_wal::{recover_records, LogWriter, WalBatch, WalOp};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::compaction::{run_compaction, write_l0_table};
-use crate::filenames::{manifest_name, parse_file_name, sst_path, wal_path, FileKind};
+use crate::filenames::{manifest_name, parse_file_name, sst_path, vlog_path, wal_path, FileKind};
 use crate::manifest::{
     read_current, read_manifest, write_current, EditBatch, ManifestWriter, VersionEdit,
 };
@@ -106,6 +108,79 @@ struct Bootstrap {
     /// Recovery-time events, buffered because `recover` runs before the
     /// [`EventLog`] exists; `open` replays them into the ring.
     events: Vec<Event>,
+    /// Per-segment value-log accounting rebuilt from table metadata and
+    /// WAL replay.
+    vlog_segments: BTreeMap<u64, VlogSegmentAcct>,
+    /// GC-deleted vlog segments some live table or WAL record still
+    /// (stalely) points into — see [`VlogState::dropped`].
+    vlog_dropped: BTreeSet<u64>,
+    /// One past the highest vlog segment on disk (the id a lazily
+    /// created writer starts at).
+    vlog_next_segment: u64,
+}
+
+/// Per-segment byte accounting for the value log.
+#[derive(Debug, Default, Clone, Copy)]
+struct VlogSegmentAcct {
+    /// Frame bytes whose tree reference is still live (or still pending
+    /// in the write buffer / WAL).
+    live_bytes: u64,
+    /// Frame bytes whose last tree reference has been dropped.
+    dead_bytes: u64,
+    /// Stamp of the earliest dead extent: the covering tombstone's
+    /// delete tick when a delete forced the drop, else the compaction
+    /// tick. Vlog GC must reclaim the extent within `D_th` of this.
+    oldest_dead_tick: Option<Tick>,
+    /// Fully rewritten by GC but kept on disk because registered
+    /// snapshots may still dereference into it; deleted once the
+    /// snapshot set drains.
+    retired: bool,
+}
+
+/// Value-log accounting across segments. Guarded by a leaf mutex: taken
+/// after any other lock, never held across I/O.
+#[derive(Default)]
+struct VlogState {
+    segments: BTreeMap<u64, VlogSegmentAcct>,
+    /// Segments GC deleted whose (shadowed) pointers may still sit in
+    /// live tables until compaction rewrites them. Mirrored into the
+    /// manifest as [`VersionEdit::DropVlogSegment`] so recovery and
+    /// `doctor` can tell expected-stale references from dangling ones;
+    /// pruned at recovery once no table or WAL names the segment.
+    dropped: BTreeSet<u64>,
+}
+
+impl VlogState {
+    fn add_live(&mut self, segment: u64, bytes: u64) {
+        self.segments.entry(segment).or_default().live_bytes += bytes;
+    }
+
+    /// Move `bytes` of `segment` from live to dead, stamped `stamp`.
+    /// A segment GC already deleted is silently ignored — the drop that
+    /// reports it is an older shadowed version whose bytes were already
+    /// reclaimed wholesale.
+    fn mark_dead(&mut self, segment: u64, bytes: u64, stamp: Tick) {
+        if let Some(acct) = self.segments.get_mut(&segment) {
+            acct.live_bytes = acct.live_bytes.saturating_sub(bytes);
+            acct.dead_bytes += bytes;
+            acct.oldest_dead_tick = Some(acct.oldest_dead_tick.map_or(stamp, |t| t.min(stamp)));
+        }
+    }
+}
+
+/// File length covering the first `records` intact records of a WAL
+/// segment — the truncation point when replay rejects a later record
+/// (an unreadable vlog frame behind one of its pointers).
+fn wal_record_prefix_len(data: &Bytes, records: usize) -> u64 {
+    let mut reader = acheron_wal::LogReader::new(data.clone());
+    let mut len = 0u64;
+    for _ in 0..records {
+        match reader.next_record() {
+            acheron_wal::ReadOutcome::Record(_) => len = reader.offset(),
+            _ => break,
+        }
+    }
+    len
 }
 
 struct State {
@@ -268,6 +343,19 @@ struct DbCore {
     /// point). A leaf mutex: only ever held for a pointer store/load,
     /// never while any other lock is taken.
     gauges: Mutex<Arc<TombstoneGauges>>,
+    /// Value-log append head, created lazily on the first separated
+    /// value so separation-off databases (and restarts that never write
+    /// a large value) never churn empty segments. Touched only inside
+    /// the WAL critical section of a commit leader or by vlog GC; lock
+    /// order is `wal` before `vlog`.
+    vlog: Mutex<Option<VlogWriter>>,
+    /// The segment id a lazily created writer starts at; recovery
+    /// bounds it past every segment on disk.
+    vlog_next_segment: AtomicU64,
+    /// Shared pointer-dereference path with a per-segment fd cache.
+    vlog_reader: Arc<VlogReader>,
+    /// Per-segment value-log live/dead accounting (leaf mutex).
+    vlog_state: Mutex<VlogState>,
 }
 
 struct DbInner {
@@ -421,6 +509,7 @@ pub struct RangeIter {
     rts: Vec<RangeTombstone>,
     krts: Arc<acheron_types::FragmentedRangeTombstones>,
     decided_key: Option<Bytes>,
+    core: Arc<DbCore>,
 }
 
 impl RangeIter {
@@ -443,7 +532,7 @@ impl RangeIter {
             // value; anything else hides the key. The sort-key check is
             // one binary search over the pre-fragmented index.
             self.decided_key = Some(e.key.clone());
-            let live = e.kind == acheron_types::ValueKind::Put
+            let live = e.kind.is_put_like()
                 && !self.rts.iter().any(|rt| rt.shadows(e.seqno, e.dkey))
                 && self
                     .krts
@@ -451,6 +540,12 @@ impl RangeIter {
                     .is_none_or(|cover| e.seqno >= cover);
             self.merge.advance()?;
             if live {
+                // Separated values are dereferenced lazily, at yield
+                // time: skipped keys never touch the vlog.
+                if e.kind == acheron_types::ValueKind::ValuePointer {
+                    let value = self.core.deref_value_pointer(&e)?;
+                    return Ok(Some((e.key, value)));
+                }
                 return Ok(Some((e.key, e.value)));
             }
         }
@@ -509,6 +604,9 @@ impl Db {
             last_seqno,
             next_file_id,
             events: boot_events,
+            vlog_segments,
+            vlog_dropped,
+            vlog_next_segment,
         } = boot;
         let view = Arc::new(ReadView {
             mem: Arc::clone(&state.mem),
@@ -521,6 +619,13 @@ impl Db {
             picker: Picker::new(&opts),
             obs: EventLog::new(opts.event_log_capacity),
             gauges: Mutex::new(gauges),
+            vlog: Mutex::new(None),
+            vlog_next_segment: AtomicU64::new(vlog_next_segment),
+            vlog_reader: Arc::new(VlogReader::new(Arc::clone(&fs), dir)),
+            vlog_state: Mutex::new(VlogState {
+                segments: vlog_segments,
+                dropped: vlog_dropped,
+            }),
             fs,
             dir: dir.to_string(),
             opts,
@@ -609,6 +714,9 @@ impl Db {
             last_seqno: 0,
             next_file_id,
             events: Vec::new(),
+            vlog_segments: BTreeMap::new(),
+            vlog_dropped: BTreeSet::new(),
+            vlog_next_segment: 1,
         })
     }
 
@@ -636,6 +744,7 @@ impl Db {
         let mut persisted_seqno = 0u64;
         let mut log_number = 0u64;
         let mut next_file_id = 1u64;
+        let mut vlog_dropped: BTreeSet<u64> = BTreeSet::new();
         for batch in &batches {
             for edit in &batch.edits {
                 match edit {
@@ -673,6 +782,9 @@ impl Db {
                     }
                     VersionEdit::LogNumber { number } => log_number = log_number.max(*number),
                     VersionEdit::NextFileId { id } => next_file_id = next_file_id.max(*id),
+                    VersionEdit::DropVlogSegment { segment } => {
+                        vlog_dropped.insert(*segment);
+                    }
                 }
             }
         }
@@ -701,8 +813,10 @@ impl Db {
         }
         version = version.apply(metas, &[], &rts, &[]);
 
-        // Scan the directory for WALs to replay and to bound file ids.
+        // Scan the directory for WALs to replay, vlog segments to
+        // re-account, and to bound file ids.
         let mut wal_numbers: Vec<u64> = Vec::new();
+        let mut vlog_on_disk: Vec<u64> = Vec::new();
         for name in fs.list(dir)? {
             match parse_file_name(&name) {
                 FileKind::Wal(n) => {
@@ -714,6 +828,7 @@ impl Db {
                 FileKind::Table(n) | FileKind::Manifest(n) => {
                     next_file_id = next_file_id.max(n + 1);
                 }
+                FileKind::Vlog(n) => vlog_on_disk.push(n),
                 _ => {}
             }
         }
@@ -733,18 +848,58 @@ impl Db {
         let mut replayed: Vec<u64> = Vec::new();
         let mut dropped_wals: Vec<u64> = Vec::new();
         let mut tear: Option<(u64, u64)> = None; // (segment, valid prefix length)
+                                                 // Pointer probes during replay. The commit path appends and
+                                                 // syncs vlog frames *before* the WAL record that references
+                                                 // them, so a replayed pointer whose frame does not read back is
+                                                 // a commit that never finished — treated exactly like a torn
+                                                 // WAL tail at that record.
+        let vlog_probe = VlogReader::new(Arc::clone(fs), dir);
+        let mut vlog_wal_live: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut vlog_wal_refs: BTreeSet<u64> = BTreeSet::new();
         for n in wal_numbers {
             if tear.is_some() {
                 dropped_wals.push(n);
                 continue;
             }
-            let recovered = recover_records(fs.read_all(&wal_path(dir, n))?);
-            for rec in &recovered.records {
+            let data = fs.read_all(&wal_path(dir, n))?;
+            let recovered = recover_records(data.clone());
+            let mut applied = 0usize;
+            let mut ptr_torn = false;
+            'records: for rec in &recovered.records {
                 let batch = WalBatch::decode(rec)?;
                 let (entries, _ranges, key_ranges) = batch.entries();
+                // Validate every pointer the record references before
+                // any of its entries become visible — a record is an
+                // atomic unit, so one unreadable frame voids it whole.
+                for e in &entries {
+                    if e.kind == acheron_types::ValueKind::ValuePointer && e.seqno > persisted_seqno
+                    {
+                        // A pointer into a GC-dropped segment is not a
+                        // tear: the drop record's durability ordering
+                        // guarantees the rewrite that shadows this
+                        // entry is later in the WAL.
+                        let ok = ValuePointer::decode(&e.value).is_some_and(|ptr| {
+                            vlog_dropped.contains(&ptr.segment)
+                                || vlog_probe.get(&ptr, &e.key).is_ok()
+                        });
+                        if !ok {
+                            ptr_torn = true;
+                            break 'records;
+                        }
+                    }
+                }
                 for e in entries {
                     if e.seqno > persisted_seqno {
                         last_seqno = last_seqno.max(e.seqno);
+                        if e.kind == acheron_types::ValueKind::ValuePointer {
+                            if let Some(ptr) = ValuePointer::decode(&e.value) {
+                                vlog_wal_refs.insert(ptr.segment);
+                                if !vlog_dropped.contains(&ptr.segment) {
+                                    *vlog_wal_live.entry(ptr.segment).or_default() +=
+                                        u64::from(ptr.len);
+                                }
+                            }
+                        }
                         mem.insert(e);
                     }
                 }
@@ -754,13 +909,16 @@ impl Db {
                         mem.add_range_tombstone(krt);
                     }
                 }
+                applied += 1;
             }
             replayed.push(n);
             events.push(Event::RecoveryStep {
                 step: RecoveryStepKind::WalSegmentReplayed,
-                detail: recovered.records.len() as u64,
+                detail: applied as u64,
             });
-            if recovered.is_torn() {
+            if ptr_torn {
+                tear = Some((n, wal_record_prefix_len(&data, applied)));
+            } else if recovered.is_torn() {
                 tear = Some((n, recovered.valid_len));
             }
         }
@@ -827,6 +985,25 @@ impl Db {
         }
         let wal_numbers = replayed;
 
+        // A dropped-segment marker only matters while some live table
+        // or surviving WAL record still names the segment; once
+        // compaction has rewritten the last stale pointer the marker is
+        // garbage and stops being carried forward. The next-segment
+        // high-water is taken before pruning so a fully forgotten
+        // segment's id is never reused under old pointers.
+        let vlog_next_segment = vlog_on_disk
+            .iter()
+            .chain(vlog_dropped.iter())
+            .max()
+            .map_or(1, |m| m + 1);
+        let mut vlog_referenced = vlog_wal_refs;
+        for f in version.all_files() {
+            for r in &f.stats.vlog_refs {
+                vlog_referenced.insert(r.segment);
+            }
+        }
+        vlog_dropped.retain(|seg| vlog_referenced.contains(seg));
+
         // Start a new manifest containing a snapshot of the recovered
         // state (keeps manifests from growing without bound and lets the
         // old one be collected).
@@ -864,6 +1041,9 @@ impl Db {
                 range: rt.range,
             });
         }
+        for seg in &vlog_dropped {
+            snapshot_edits.push(VersionEdit::DropVlogSegment { segment: *seg });
+        }
         manifest.append(&EditBatch {
             edits: snapshot_edits,
         })?;
@@ -879,16 +1059,78 @@ impl Db {
             detail: manifest_number,
         });
 
+        // Rebuild value-log accounting. Live bytes are whatever the
+        // recovered tree (per-table vlog refs) and the replayed WAL
+        // still reference; every other byte inside a referenced segment
+        // is dead with an unknown stamp, so it is conservatively
+        // treated as already overdue (stamp 0) — `D_th` must hold even
+        // across a crash that lost the in-memory stamps. Segments no
+        // pointer references at all are deleted outright below.
+        let mut vlog_segments: BTreeMap<u64, VlogSegmentAcct> = BTreeMap::new();
+        for f in version.all_files() {
+            for r in &f.stats.vlog_refs {
+                // References into GC-dropped segments are stale and
+                // shadowed — they hold no bytes live.
+                if !vlog_dropped.contains(&r.segment) {
+                    vlog_segments.entry(r.segment).or_default().live_bytes += r.bytes;
+                }
+            }
+        }
+        for (seg, bytes) in vlog_wal_live {
+            vlog_segments.entry(seg).or_default().live_bytes += bytes;
+        }
+        // Referenced-but-missing segments stay out of the accounting:
+        // reads through such a pointer fail loudly (and `doctor` flags
+        // them); GC must not try to rewrite a file that is not there.
+        vlog_segments.retain(|seg, _| vlog_on_disk.contains(seg));
+        let mut vlog_healed = false;
+        for seg in &vlog_on_disk {
+            if let Some(acct) = vlog_segments.get_mut(seg) {
+                let path = vlog_path(dir, *seg);
+                let data = fs.read_all(&path)?;
+                let scan = acheron_vlog::scan_segment(&data);
+                let mut size = data.len() as u64;
+                if scan.torn {
+                    // Trim crash debris past the last intact frame, the
+                    // same write-temp-then-rename heal as a torn WAL
+                    // tail (an in-place rewrite would risk the intact
+                    // prefix, whose frames live pointers reference).
+                    // No record is lost: a pointer into the torn region
+                    // already ended WAL replay at its record.
+                    let tmp = format!("{path}.tmp");
+                    let mut healed = fs.create(&tmp)?;
+                    healed.append(&data[..scan.valid_len as usize])?;
+                    healed.sync()?;
+                    healed.finish()?;
+                    drop(healed);
+                    fs.rename(&tmp, &path)?;
+                    vlog_healed = true;
+                    size = scan.valid_len;
+                }
+                let dead = size.saturating_sub(acct.live_bytes);
+                if dead > 0 {
+                    acct.dead_bytes = dead;
+                    acct.oldest_dead_tick = Some(0);
+                }
+            }
+        }
+        if vlog_healed {
+            fs.sync_dir(dir)?;
+        }
+
         // Garbage-collect everything the snapshot manifest does not
         // reference: tables orphaned by a crash between a manifest
         // append and its physical deletes (or mid-build), WAL segments
         // older than the log number (post-tear segments were already
         // durably removed above), superseded manifests, temp-file
-        // debris from an interrupted heal or CURRENT update, and — in
-        // torn-tail crashes — partially persisted junk. Safe now that
-        // CURRENT durably points at the snapshot; best-effort because
-        // everything deleted here is unreferenced, so leftover garbage
-        // is a space leak, not a correctness problem.
+        // debris from an interrupted heal or CURRENT update, vlog
+        // segments no surviving pointer names (an unreferenced head
+        // left by a crash before its WAL record landed, or one emptied
+        // by compaction), and — in torn-tail crashes — partially
+        // persisted junk. Safe now that CURRENT durably points at the
+        // snapshot; best-effort because everything deleted here is
+        // unreferenced, so leftover garbage is a space leak, not a
+        // correctness problem.
         let live_tables: BTreeSet<u64> = version.all_files().map(|f| f.id).collect();
         for fname in fs.list(dir)? {
             let dead = match parse_file_name(&fname) {
@@ -900,6 +1142,9 @@ impl Db {
                 }
                 FileKind::Manifest(m) if manifest_name(m) != name => {
                     Some((GcKind::StaleManifest, m))
+                }
+                FileKind::Vlog(seg) if !vlog_segments.contains_key(&seg) => {
+                    Some((GcKind::VlogSegment, seg))
                 }
                 FileKind::Temp => Some((GcKind::TempFile, 0)),
                 _ => None,
@@ -943,6 +1188,9 @@ impl Db {
             last_seqno,
             next_file_id,
             events,
+            vlog_segments,
+            vlog_dropped,
+            vlog_next_segment,
         })
     }
 
@@ -1263,15 +1511,21 @@ impl Db {
         let core = self.core();
         let _pause = core.paused();
         core.check_background_error()?;
-        let _excl = core.commit_exclusive();
-        let mut st = core.state.write();
-        if let Some(ttl) = core.picker.ttl_schedule() {
-            if ttl.buffer_expired(&st.mem, core.opts.clock.now()) {
-                core.seal_memtable_locked(&mut st)?;
+        {
+            let _excl = core.commit_exclusive();
+            let mut st = core.state.write();
+            if let Some(ttl) = core.picker.ttl_schedule() {
+                if ttl.buffer_expired(&st.mem, core.opts.clock.now()) {
+                    core.seal_memtable_locked(&mut st)?;
+                }
             }
+            core.flush_imms_locked(&mut st)?;
+            core.maintain_locked(&mut st)?;
         }
-        core.flush_imms_locked(&mut st)?;
-        core.maintain_locked(&mut st)
+        // Vlog GC runs after the tree is quiescent — compaction installs
+        // above are what turn frames dead — and outside the locks, since
+        // each rewrite re-enters the commit path.
+        core.run_vlog_gc_until_quiet()
     }
 
     /// Block until background maintenance has nothing left to do: no
@@ -1345,74 +1599,12 @@ impl Db {
     fn get_in_view(&self, view: &ReadView, key: &[u8], snapshot: SeqNo) -> Result<Option<Bytes>> {
         let core = self.core();
         core.stats.gets.fetch_add(1, Ordering::Relaxed);
-
-        let mut best: Option<Entry> = view.mem.newest_visible(key, snapshot);
-
-        // Sealed memtables, newest first: their ceilings are strictly
-        // decreasing, so once the best beats one it beats the rest.
-        for imm in &view.imms {
-            let ceiling = imm.max_seqno().unwrap_or(0);
-            if best.as_ref().is_some_and(|b| b.seqno >= ceiling) {
-                break;
-            }
-            if let Some(e) = imm.newest_visible(key, snapshot) {
-                if best.as_ref().is_none_or(|b| e.seqno > b.seqno) {
-                    best = Some(e);
-                }
-            }
-        }
-
-        // L0 files in reverse install order (newest flush last), then
-        // deeper levels. `Table::get` passes no range tombstones (`&[]`)
-        // deliberately: the newest version must be seen even when
-        // range-erased, because it is what decides the key's visibility.
-        let l0 = view.version.levels[0].iter().rev();
-        let deeper = view.version.levels[1..].iter().flatten();
-        for f in l0.chain(deeper) {
-            if f.stats.min_seqno > snapshot
-                || best.as_ref().is_some_and(|b| b.seqno >= f.stats.max_seqno)
-                || !f.contains_key(key)
-            {
-                continue;
-            }
-            if let Some(e) = f.table.get(key, snapshot, &[])? {
-                if best.as_ref().is_none_or(|b| e.seqno > b.seqno) {
-                    best = Some(e);
-                }
-            }
-        }
-
-        // Newest-version-decides: the single newest visible version
-        // determines the outcome. The range-tombstone shadow check runs
-        // in place over the view's shared slice — no per-get allocation.
-        let Some(newest) = best else {
+        let Some(newest) = core.newest_live_in_view(view, key, snapshot)? else {
             return Ok(None);
         };
-        if view
-            .rts
-            .iter()
-            .any(|rt| rt.seqno <= snapshot && rt.shadows(newest.seqno, newest.dkey))
-        {
-            return Ok(None); // range-erased
-        }
-        // Sort-key range tombstones: the newest visible cover across the
-        // buffers and the tree hides any older best. Each probe is a
-        // binary search over a fragment index (empty-index fast path
-        // short-circuits without taking a lock).
-        let cover = std::iter::once(&view.mem)
-            .chain(view.imms.iter())
-            .filter_map(|m| m.range_cover(key, snapshot))
-            .chain(
-                view.version
-                    .key_range_tombstones
-                    .max_seqno_covering(key, snapshot),
-            )
-            .max();
-        if cover.is_some_and(|c| newest.seqno < c) {
-            return Ok(None); // inside a deleted sort-key range
-        }
         Ok(match newest.kind {
             acheron_types::ValueKind::Put => Some(newest.value),
+            acheron_types::ValueKind::ValuePointer => Some(core.deref_value_pointer(&newest)?),
             _ => None,
         })
     }
@@ -1553,6 +1745,7 @@ impl Db {
             rts: visible_rts,
             krts,
             decided_key: None,
+            core: Arc::clone(&self.inner.core),
         })
     }
 
@@ -1731,6 +1924,17 @@ impl Db {
         gauges.buffer_key_range_tombstones = buffered_krts;
         gauges.buffer_oldest_key_range_tick = oldest_krt;
         gauges.range_tombstones = view.rts.len() as u64;
+        {
+            let vs = core.vlog_state.lock();
+            for acct in vs.segments.values() {
+                gauges.vlog_live_bytes += acct.live_bytes;
+                gauges.vlog_dead_bytes += acct.dead_bytes;
+                if let Some(t0) = acct.oldest_dead_tick {
+                    gauges.vlog_oldest_dead_tick =
+                        Some(gauges.vlog_oldest_dead_tick.map_or(t0, |cur| cur.min(t0)));
+                }
+            }
+        }
         gauges
     }
 
@@ -1797,6 +2001,102 @@ impl DbCore {
 
     /// The current read view (an O(1) `Arc` clone; the lock is only ever
     /// write-held for a pointer store).
+    /// The newest visible version of `key` at `snapshot` that is not
+    /// erased by either range-tombstone flavor — the version that
+    /// decides the key. `None` when no version is visible or the newest
+    /// one is range-erased; the caller maps the surviving entry's kind
+    /// (a point tombstone here still means "deleted").
+    fn newest_live_in_view(
+        &self,
+        view: &ReadView,
+        key: &[u8],
+        snapshot: SeqNo,
+    ) -> Result<Option<Entry>> {
+        let mut best: Option<Entry> = view.mem.newest_visible(key, snapshot);
+
+        // Sealed memtables, newest first: their ceilings are strictly
+        // decreasing, so once the best beats one it beats the rest.
+        for imm in &view.imms {
+            let ceiling = imm.max_seqno().unwrap_or(0);
+            if best.as_ref().is_some_and(|b| b.seqno >= ceiling) {
+                break;
+            }
+            if let Some(e) = imm.newest_visible(key, snapshot) {
+                if best.as_ref().is_none_or(|b| e.seqno > b.seqno) {
+                    best = Some(e);
+                }
+            }
+        }
+
+        // L0 files in reverse install order (newest flush last), then
+        // deeper levels. `Table::get` passes no range tombstones (`&[]`)
+        // deliberately: the newest version must be seen even when
+        // range-erased, because it is what decides the key's visibility.
+        let l0 = view.version.levels[0].iter().rev();
+        let deeper = view.version.levels[1..].iter().flatten();
+        for f in l0.chain(deeper) {
+            if f.stats.min_seqno > snapshot
+                || best.as_ref().is_some_and(|b| b.seqno >= f.stats.max_seqno)
+                || !f.contains_key(key)
+            {
+                continue;
+            }
+            if let Some(e) = f.table.get(key, snapshot, &[])? {
+                if best.as_ref().is_none_or(|b| e.seqno > b.seqno) {
+                    best = Some(e);
+                }
+            }
+        }
+
+        // Newest-version-decides: the single newest visible version
+        // determines the outcome. The range-tombstone shadow check runs
+        // in place over the view's shared slice — no per-get allocation.
+        let Some(newest) = best else {
+            return Ok(None);
+        };
+        if view
+            .rts
+            .iter()
+            .any(|rt| rt.seqno <= snapshot && rt.shadows(newest.seqno, newest.dkey))
+        {
+            return Ok(None); // range-erased
+        }
+        // Sort-key range tombstones: the newest visible cover across the
+        // buffers and the tree hides any older best. Each probe is a
+        // binary search over a fragment index (empty-index fast path
+        // short-circuits without taking a lock).
+        let cover = std::iter::once(&view.mem)
+            .chain(view.imms.iter())
+            .filter_map(|m| m.range_cover(key, snapshot))
+            .chain(
+                view.version
+                    .key_range_tombstones
+                    .max_seqno_covering(key, snapshot),
+            )
+            .max();
+        if cover.is_some_and(|c| newest.seqno < c) {
+            return Ok(None); // inside a deleted sort-key range
+        }
+        Ok(Some(newest))
+    }
+
+    /// Resolve a `ValuePointer` entry to the user value it references.
+    ///
+    /// Fails loudly (never returns wrong data) on a malformed pointer,
+    /// a missing segment, or a frame whose embedded key does not match:
+    /// every frame carries its key precisely so a stale pointer can be
+    /// detected at read time.
+    fn deref_value_pointer(&self, entry: &Entry) -> Result<Bytes> {
+        let Some(ptr) = ValuePointer::decode(&entry.value) else {
+            return Err(Error::Corruption(format!(
+                "malformed value pointer for key {:?}",
+                entry.key
+            )));
+        };
+        self.stats.vlog_reads.fetch_add(1, Ordering::Relaxed);
+        self.vlog_reader.get(&ptr, &entry.key)
+    }
+
     fn current_view(&self) -> Arc<ReadView> {
         Arc::clone(&self.view.read())
     }
@@ -1870,9 +2170,50 @@ impl DbCore {
         // Phase 1: durability. WAL append + one group fsync under the
         // WAL mutex only — readers and background installs proceed.
         let mut batches: Vec<WalBatch> = Vec::with_capacity(group.len());
+        let separation = self.opts.value_separation_threshold;
+        // (segment, frame bytes) per value separated in this group,
+        // folded into the live accounting once the WAL section ends.
+        let mut separated: Vec<(u64, u64)> = Vec::new();
         {
             let mut wal = self.wal.lock();
-            for ops in group {
+            let mut vlog = self.vlog.lock();
+            for mut ops in group {
+                // Key-value separation: a large put moves its value into
+                // the vlog *before* the WAL record referencing it is
+                // appended (and the vlog head is synced before the WAL
+                // sync below), so a durable pointer always has durable
+                // bytes behind it. Recovery relies on this ordering.
+                if separation > 0 {
+                    for op in ops.iter_mut() {
+                        let WalOp::Put { key, value, dkey } = op else {
+                            continue;
+                        };
+                        if value.len() < separation {
+                            continue;
+                        }
+                        if vlog.is_none() {
+                            let seg = self.vlog_next_segment.load(Ordering::Relaxed);
+                            *vlog = Some(VlogWriter::create(
+                                Arc::clone(&self.fs),
+                                &self.dir,
+                                seg,
+                                self.opts.vlog_segment_bytes,
+                            )?);
+                        }
+                        let writer = vlog.as_mut().expect("writer just created");
+                        let ptr = writer.append(key, value)?;
+                        separated.push((ptr.segment, u64::from(ptr.len)));
+                        self.stats.vlog_appends.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .vlog_bytes_written
+                            .fetch_add(u64::from(ptr.len), Ordering::Relaxed);
+                        *op = WalOp::PutPtr {
+                            key: std::mem::take(key),
+                            ptr,
+                            dkey: *dkey,
+                        };
+                    }
+                }
                 let base = self.seq_alloc.load(Ordering::Relaxed) + 1;
                 if base > MAX_SEQNO {
                     return Err(Error::Internal("sequence number space exhausted".into()));
@@ -1889,12 +2230,27 @@ impl DbCore {
                 wal.add_record(&batch.encode())?;
                 batches.push(batch);
             }
+            if let Some(w) = vlog.as_mut() {
+                self.vlog_next_segment
+                    .store(w.segment() + 1, Ordering::Relaxed);
+            }
             if self.opts.wal_sync {
+                // Vlog before WAL: a synced WAL record must never
+                // reference unsynced frames.
+                if let Some(w) = vlog.as_mut() {
+                    w.sync()?;
+                }
                 wal.sync()?;
                 self.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
                 self.stats
                     .wal_syncs_saved
                     .fetch_add(batches.len() as u64 - 1, Ordering::Relaxed);
+            }
+        }
+        if !separated.is_empty() {
+            let mut vs = self.vlog_state.lock();
+            for (segment, bytes) in &separated {
+                vs.add_live(*segment, *bytes);
             }
         }
         self.stats.commit_groups.fetch_add(1, Ordering::Relaxed);
@@ -1912,9 +2268,19 @@ impl DbCore {
         for batch in &batches {
             let (entries, _ranges, key_ranges) = batch.entries();
             for e in entries {
+                let mut payload_len = e.value.len();
                 match e.kind {
                     acheron_types::ValueKind::Put => {
                         self.stats.puts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    acheron_types::ValueKind::ValuePointer => {
+                        // Separated put: account the user's original value
+                        // length, not the 20-byte pointer the tree stores.
+                        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+                        if let Some(ptr) = ValuePointer::decode(&e.value) {
+                            payload_len = (ptr.len as usize)
+                                .saturating_sub(acheron_vlog::FRAME_HEADER + 4 + e.key.len());
+                        }
                     }
                     acheron_types::ValueKind::Tombstone => {
                         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
@@ -1924,7 +2290,7 @@ impl DbCore {
                 }
                 self.stats
                     .user_bytes
-                    .fetch_add((e.key.len() + e.value.len()) as u64, Ordering::Relaxed);
+                    .fetch_add((e.key.len() + payload_len) as u64, Ordering::Relaxed);
                 st.mem.insert(e);
             }
             for krt in key_ranges {
@@ -2427,6 +2793,15 @@ impl DbCore {
             self.stats.key_range_tombstones_purged.fetch_add(1, Relaxed);
             self.stats.record_tombstone_purge(*delete_tick, now, d_th);
         }
+        // Pointers dropped by this compaction (shadowed or purged) turn
+        // their vlog frames dead; the stamp is the tombstone's dkey (or
+        // `now` for overwrites), which is what the GC deadline rule ages.
+        if !outcome.vlog_dead.is_empty() {
+            let mut vs = self.vlog_state.lock();
+            for (segment, bytes, stamp) in &outcome.vlog_dead {
+                vs.mark_dead(*segment, *bytes, *stamp);
+            }
+        }
         *self.stats.last_compaction_reason.lock() = Some(format!("{:?}", task.reason));
         self.obs.log(Event::CompactionEnd {
             level: task.level as u64,
@@ -2440,6 +2815,209 @@ impl DbCore {
         });
         self.recompute_ttl_deadline(st);
         self.publish_view_locked(st);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Value-log garbage collection
+    // ------------------------------------------------------------------
+
+    /// Pick one vlog segment worth rewriting, or `None` when the value
+    /// log is quiescent.
+    ///
+    /// Two triggers, mirroring FADE's deadline semantics for the tree:
+    /// a segment whose oldest dead extent has aged past `D_th` MUST be
+    /// rewritten now (the deleted bytes are overdue for physical
+    /// reclamation), and a segment whose dead fraction passed the
+    /// configured ratio is rewritten opportunistically to bound space
+    /// amplification. The head segment (still being appended) is never
+    /// picked, and a retired segment — already rewritten, kept only for
+    /// snapshot readers — becomes eligible for deletion once the last
+    /// snapshot drops.
+    fn vlog_gc_candidate(&self, now: Tick) -> Option<u64> {
+        let head = self.vlog.lock().as_ref().map(|w| w.segment());
+        let d_th = self
+            .opts
+            .fade
+            .as_ref()
+            .map(|f| f.delete_persistence_threshold);
+        let ratio = u64::from(self.opts.vlog_gc_dead_ratio_percent);
+        let snapshots_empty = self.snapshots.lock().is_empty();
+        let vs = self.vlog_state.lock();
+        for (seg, acct) in vs.segments.iter() {
+            if acct.dead_bytes == 0 {
+                continue;
+            }
+            if acct.retired {
+                if snapshots_empty {
+                    return Some(*seg);
+                }
+                continue;
+            }
+            let overdue = d_th
+                .zip(acct.oldest_dead_tick)
+                .is_some_and(|(d, t0)| now.saturating_sub(t0) >= d);
+            if Some(*seg) == head {
+                // The segment still being appended is only rewritten
+                // when D_th forces it (run_vlog_gc rolls the writer
+                // first); the ratio trigger waits for the roll.
+                if overdue {
+                    return Some(*seg);
+                }
+                continue;
+            }
+            let ratio_hit =
+                ratio > 0 && acct.dead_bytes * 100 >= (acct.live_bytes + acct.dead_bytes) * ratio;
+            if overdue || ratio_hit {
+                return Some(*seg);
+            }
+        }
+        None
+    }
+
+    /// Rewrite one vlog segment: re-commit its still-live values (they
+    /// re-separate through the normal write path, landing at the vlog
+    /// head with fresh pointers), then physically delete the file — or
+    /// mark it retired when snapshot readers may still hold pointers
+    /// into it, deferring the delete until the last snapshot drops.
+    ///
+    /// Liveness is decided under commit exclusion: the visible seqno is
+    /// frozen while we compare each frame against the newest live
+    /// version of its key, so a frame judged dead cannot be resurrected
+    /// and a frame judged live cannot be superseded before our own
+    /// rewrite batch commits. A frame is live iff the deciding version
+    /// is a pointer to exactly this frame.
+    fn run_vlog_gc(&self, segment: u64) -> Result<()> {
+        let started = Instant::now();
+        // A deadline-forced rewrite of the head segment first retires
+        // the writer (synced, then dropped): the segment is immutable
+        // from here on, so the scan below cannot miss late appends —
+        // new separated values open a fresh segment.
+        {
+            let mut vlog = self.vlog.lock();
+            if vlog.as_ref().is_some_and(|w| w.segment() == segment) {
+                if let Some(w) = vlog.as_mut() {
+                    w.sync()?;
+                }
+                *vlog = None;
+                self.vlog_next_segment.store(segment + 1, Ordering::Relaxed);
+            }
+        }
+        let path = vlog_path(&self.dir, segment);
+        if !self.fs.exists(&path) {
+            // A concurrent pass already reclaimed it.
+            return Ok(());
+        }
+        let data = self.fs.read_all(&path)?;
+        let scan = acheron_vlog::scan_segment(&data);
+
+        let _excl = self.commit_exclusive();
+        let snapshot = self.visible_seqno.load(Ordering::Acquire);
+        let view = self.current_view();
+        let mut ops: Vec<WalOp> = Vec::new();
+        let mut rewritten = 0u64;
+        for frame in &scan.frames {
+            let Some(entry) = self.newest_live_in_view(&view, &frame.key, snapshot)? else {
+                continue;
+            };
+            if entry.kind != acheron_types::ValueKind::ValuePointer {
+                continue;
+            }
+            let Some(ptr) = ValuePointer::decode(&entry.value) else {
+                continue;
+            };
+            if ptr.segment != segment || ptr.offset != frame.offset || ptr.len != frame.len {
+                continue; // superseded pointer: this frame is dead
+            }
+            let frame_bytes =
+                data.slice(frame.offset as usize..(frame.offset + u64::from(frame.len)) as usize);
+            let (_key, value) = acheron_vlog::decode_frame(&frame_bytes)?;
+            rewritten += u64::from(frame.len);
+            ops.push(WalOp::Put {
+                key: frame.key.clone(),
+                value,
+                dkey: entry.dkey,
+            });
+        }
+        if !ops.is_empty() {
+            // Safe under the held exclusion: the commit path takes only
+            // the WAL/vlog/state locks, never the exclusion itself.
+            self.commit_group_inner(vec![ops])?;
+        }
+
+        let reclaimed;
+        if self.snapshots.lock().is_empty() {
+            // No reader can hold a pointer into this segment any more:
+            // every live value was just re-pointed at the head, and dead
+            // frames are invisible at the frozen seqno.
+            self.vlog_reader.invalidate(segment);
+            if self.fs.exists(&path) {
+                // Durability order for the delete: the rewrite batch
+                // must be stable before the drop record, and the drop
+                // record (manifest appends sync) before the file
+                // vanishes. Live tables keep shadowed pointers into the
+                // segment until compaction rewrites them; the manifest
+                // record is what tells recovery and `doctor` those
+                // references are expected-stale, not dangling.
+                if !self.opts.wal_sync {
+                    let mut wal = self.wal.lock();
+                    if let Some(w) = self.vlog.lock().as_mut() {
+                        w.sync()?;
+                    }
+                    wal.sync()?;
+                }
+                self.state.write().manifest.append(&EditBatch {
+                    edits: vec![VersionEdit::DropVlogSegment { segment }],
+                })?;
+                self.fs.delete(&path)?;
+                self.fs.sync_dir(&self.dir)?;
+            }
+            let mut vs = self.vlog_state.lock();
+            vs.segments.remove(&segment);
+            vs.dropped.insert(segment);
+            drop(vs);
+            reclaimed = data.len() as u64;
+            self.stats
+                .vlog_segments_deleted
+                .fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .vlog_gc_reclaimed_bytes
+                .fetch_add(reclaimed, Ordering::Relaxed);
+        } else {
+            // A registered snapshot predates the rewrite and may still
+            // dereference into this file. Keep the bytes; the segment is
+            // now all-dead and is deleted on a later pass once the
+            // snapshot count drains to zero.
+            let mut vs = self.vlog_state.lock();
+            let acct = vs.segments.entry(segment).or_default();
+            acct.live_bytes = 0;
+            acct.dead_bytes = data.len() as u64;
+            acct.retired = true;
+            reclaimed = 0;
+        }
+        self.stats.vlog_gc_rewrites.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .vlog_gc_rewritten_bytes
+            .fetch_add(rewritten, Ordering::Relaxed);
+        self.obs.log(Event::VlogGc {
+            segment,
+            rewritten_bytes: rewritten,
+            reclaimed_bytes: reclaimed,
+            micros: started.elapsed().as_micros() as u64,
+        });
+        Ok(())
+    }
+
+    /// Run vlog GC until no candidate remains (bounded, like
+    /// `maintain_locked`, against pathological configurations).
+    fn run_vlog_gc_until_quiet(&self) -> Result<()> {
+        for _ in 0..MAX_COMPACTIONS_PER_PASS {
+            let now = self.opts.clock.now();
+            let Some(segment) = self.vlog_gc_candidate(now) else {
+                return Ok(());
+            };
+            self.run_vlog_gc(segment)?;
+        }
         Ok(())
     }
 
@@ -2541,6 +3119,12 @@ impl DbCore {
             let result = self.run_claimed_compaction(&version, &task);
             self.picker.release(claim);
             result?;
+            return Ok(true);
+        }
+        // 4. Vlog GC: rewrite one segment whose dead bytes are overdue
+        //    under D_th or past the dead-ratio trigger.
+        if let Some(segment) = self.vlog_gc_candidate(self.opts.clock.now()) {
+            self.run_vlog_gc(segment)?;
             return Ok(true);
         }
         Ok(false)
@@ -2687,7 +3271,10 @@ impl DbCore {
                 return true;
             }
         }
-        self.picker.pick(&view.version, now).is_some()
+        if self.picker.pick(&view.version, now).is_some() {
+            return true;
+        }
+        self.vlog_gc_candidate(now).is_some()
     }
 }
 
@@ -3538,5 +4125,289 @@ mod tests {
         db.compact_all().unwrap();
         db.verify_integrity().unwrap();
         assert_eq!(db.live_tombstones(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Key-value separation (value log)
+    // ------------------------------------------------------------------
+
+    use std::sync::atomic::Ordering::Relaxed;
+
+    fn vlog_opts() -> DbOptions {
+        let mut opts = small().with_value_separation(64);
+        // Small segments so workloads span several files and the GC has
+        // non-head segments to work on.
+        opts.vlog_segment_bytes = 2048;
+        opts
+    }
+
+    fn big_value(i: u32) -> Vec<u8> {
+        format!("value-{i:04}-")
+            .into_bytes()
+            .into_iter()
+            .cycle()
+            .take(300)
+            .collect()
+    }
+
+    #[test]
+    fn separated_values_round_trip_everywhere() {
+        let (_fs, db) = open_mem(vlog_opts());
+        db.put(b"small", b"tiny").unwrap();
+        for i in 0..200u32 {
+            db.put(format!("big{i:04}").as_bytes(), &big_value(i))
+                .unwrap();
+        }
+        assert!(db.stats().vlog_appends.load(Relaxed) >= 200);
+        // Memtable read resolves through the pointer.
+        assert_eq!(db.get(b"big0000").unwrap().unwrap(), big_value(0));
+        db.flush().unwrap();
+        db.compact_all().unwrap();
+        // Table read resolves through the pointer.
+        assert_eq!(db.get(b"big0123").unwrap().unwrap(), big_value(123));
+        // Scans dereference at yield time.
+        let got = db.scan(b"big0000", b"big0003").unwrap();
+        assert_eq!(got.len(), 4);
+        for (idx, (k, v)) in got.iter().enumerate() {
+            assert_eq!(k.as_ref(), format!("big{idx:04}").as_bytes());
+            assert_eq!(v, &big_value(idx as u32));
+        }
+        // Small values stay inline.
+        assert_eq!(db.get(b"small").unwrap().unwrap().as_ref(), b"tiny");
+        let gauges = db.tombstone_gauges();
+        assert!(gauges.vlog_live_bytes > 0);
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn separated_values_survive_crash_and_reopen() {
+        let fs = Arc::new(MemFs::new());
+        {
+            let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", vlog_opts()).unwrap();
+            for i in 0..120u32 {
+                db.put(format!("big{i:04}").as_bytes(), &big_value(i))
+                    .unwrap();
+            }
+            db.flush().unwrap();
+            // These stay in the WAL: recovery must re-validate their
+            // vlog frames before replaying the pointers.
+            for i in 120..160u32 {
+                db.put(format!("big{i:04}").as_bytes(), &big_value(i))
+                    .unwrap();
+            }
+            // No clean shutdown: just drop the handle.
+        }
+        let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", vlog_opts()).unwrap();
+        for i in 0..160u32 {
+            assert_eq!(
+                db.get(format!("big{i:04}").as_bytes()).unwrap().unwrap(),
+                big_value(i),
+                "big{i:04} lost across reopen"
+            );
+        }
+        assert!(db.tombstone_gauges().vlog_live_bytes > 0);
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn recovery_drops_orphan_vlog_segments() {
+        let fs = Arc::new(MemFs::new());
+        {
+            let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", vlog_opts()).unwrap();
+            for i in 0..50u32 {
+                db.put(format!("big{i:04}").as_bytes(), &big_value(i))
+                    .unwrap();
+            }
+            db.flush().unwrap();
+        }
+        // A segment no pointer references (e.g. GC finished rewriting it
+        // but crashed before deleting the file).
+        let stray = "db/vlog-000099.vlg";
+        (fs.clone() as Arc<dyn Vfs>)
+            .write_all(stray, b"leftover bytes")
+            .unwrap();
+        let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", vlog_opts()).unwrap();
+        assert!(
+            !(fs.clone() as Arc<dyn Vfs>).exists(stray),
+            "orphan segment should be removed by recovery GC"
+        );
+        assert_eq!(db.get(b"big0001").unwrap().unwrap(), big_value(1));
+    }
+
+    #[test]
+    fn vlog_gc_drains_dead_extents_within_deadline() {
+        let d_th = 2_000u64;
+        let mut opts = vlog_opts().with_fade(d_th);
+        // Disable the ratio trigger so only the deadline can drive GC.
+        opts.vlog_gc_dead_ratio_percent = 0;
+        let (_fs, db) = open_mem(opts);
+        for i in 0..150u32 {
+            db.put(format!("big{i:04}").as_bytes(), &big_value(i))
+                .unwrap();
+        }
+        db.flush().unwrap();
+        for i in 0..150u32 {
+            db.delete(format!("big{i:04}").as_bytes()).unwrap();
+        }
+        // Compaction drops the shadowed pointers, turning their frames
+        // dead (stamped with the tombstone's dkey).
+        db.compact_all().unwrap();
+        assert!(
+            db.tombstone_gauges().vlog_dead_bytes > 0,
+            "purged pointers must surface as dead vlog bytes"
+        );
+        db.advance_clock(2 * d_th);
+        db.maintain().unwrap();
+        let gauges = db.tombstone_gauges();
+        assert_eq!(gauges.vlog_dead_bytes, 0, "overdue dead extents must drain");
+        assert_eq!(gauges.vlog_oldest_dead_tick, None);
+        assert!(db.stats().vlog_segments_deleted.load(Relaxed) > 0);
+        for i in 0..150u32 {
+            assert_eq!(db.get(format!("big{i:04}").as_bytes()).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn vlog_gc_rewrites_live_values_and_preserves_reads() {
+        let (_fs, db) = open_mem(vlog_opts());
+        for i in 0..150u32 {
+            db.put(format!("big{i:04}").as_bytes(), &big_value(i))
+                .unwrap();
+        }
+        db.flush().unwrap();
+        // Kill most values so the dead ratio fires; survivors must be
+        // carried to the vlog head by the rewrite.
+        for i in 0..150u32 {
+            if i % 5 != 0 {
+                db.delete(format!("big{i:04}").as_bytes()).unwrap();
+            }
+        }
+        db.compact_all().unwrap();
+        db.maintain().unwrap();
+        assert!(db.stats().vlog_gc_rewrites.load(Relaxed) > 0);
+        assert!(db.stats().vlog_segments_deleted.load(Relaxed) > 0);
+        for i in 0..150u32 {
+            let got = db.get(format!("big{i:04}").as_bytes()).unwrap();
+            if i % 5 == 0 {
+                assert_eq!(got.unwrap(), big_value(i), "survivor big{i:04} lost by GC");
+            } else {
+                assert_eq!(got, None);
+            }
+        }
+        db.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn vlog_gc_defers_deletion_while_snapshot_reads_old_pointers() {
+        let (_fs, db) = open_mem(vlog_opts());
+        for i in 0..100u32 {
+            db.put(format!("big{i:04}").as_bytes(), &big_value(i))
+                .unwrap();
+        }
+        db.flush().unwrap();
+        for i in 0..100u32 {
+            if i % 4 != 0 {
+                db.delete(format!("big{i:04}").as_bytes()).unwrap();
+            }
+        }
+        db.compact_all().unwrap();
+        // The snapshot's pointers into the rewritten segments must stay
+        // dereferenceable until it is dropped.
+        let snap = db.snapshot();
+        db.maintain().unwrap();
+        assert!(db.stats().vlog_gc_rewrites.load(Relaxed) > 0);
+        assert_eq!(
+            db.stats().vlog_segments_deleted.load(Relaxed),
+            0,
+            "no segment may be deleted while a snapshot is registered"
+        );
+        for i in 0..100u32 {
+            if i % 4 == 0 {
+                assert_eq!(
+                    db.get_at(&snap, format!("big{i:04}").as_bytes())
+                        .unwrap()
+                        .unwrap(),
+                    big_value(i),
+                    "snapshot read of big{i:04} through retired segment"
+                );
+            }
+        }
+        drop(snap);
+        db.maintain().unwrap();
+        assert!(
+            db.stats().vlog_segments_deleted.load(Relaxed) > 0,
+            "retired segments must be reclaimed once the snapshot drops"
+        );
+        for i in (0..100u32).step_by(4) {
+            assert_eq!(
+                db.get(format!("big{i:04}").as_bytes()).unwrap().unwrap(),
+                big_value(i)
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_rebuilds_vlog_accounting() {
+        let fs = Arc::new(MemFs::new());
+        {
+            let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", vlog_opts()).unwrap();
+            for i in 0..100u32 {
+                db.put(format!("big{i:04}").as_bytes(), &big_value(i))
+                    .unwrap();
+            }
+            db.flush().unwrap();
+            for i in 0..40u32 {
+                db.delete(format!("big{i:04}").as_bytes()).unwrap();
+            }
+            // Drop the pointers but leave GC to the next incarnation.
+            let _pause = db.pause_maintenance();
+            db.compact_all().unwrap();
+        }
+        let db = Db::open(fs.clone() as Arc<dyn Vfs>, "db", vlog_opts()).unwrap();
+        let gauges = db.tombstone_gauges();
+        assert!(
+            gauges.vlog_live_bytes > 0,
+            "live bytes rebuilt from table refs"
+        );
+        for i in 40..100u32 {
+            assert_eq!(
+                db.get(format!("big{i:04}").as_bytes()).unwrap().unwrap(),
+                big_value(i)
+            );
+        }
+        for i in 0..40u32 {
+            assert_eq!(db.get(format!("big{i:04}").as_bytes()).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn separation_on_and_off_agree() {
+        let run = |threshold: usize| -> Vec<(Bytes, Bytes)> {
+            let mut opts = small();
+            if threshold > 0 {
+                opts = opts.with_value_separation(threshold);
+                opts.vlog_segment_bytes = 2048;
+            }
+            let (_fs, db) = open_mem(opts);
+            for i in 0..120u32 {
+                db.put(format!("key{i:04}").as_bytes(), &big_value(i))
+                    .unwrap();
+            }
+            for i in 0..120u32 {
+                if i % 3 == 0 {
+                    db.delete(format!("key{i:04}").as_bytes()).unwrap();
+                }
+            }
+            for i in 0..120u32 {
+                if i % 4 == 0 {
+                    db.put(format!("key{i:04}").as_bytes(), &big_value(i + 1000))
+                        .unwrap();
+                }
+            }
+            db.compact_all().unwrap();
+            db.maintain().unwrap();
+            db.scan(b"key0000", b"key9999").unwrap()
+        };
+        assert_eq!(run(0), run(64), "separation must not change results");
     }
 }

@@ -15,15 +15,22 @@
 //!   `Version::check_invariants` on the recovered layout);
 //! * WAL segments newer than the manifest's log number replay to a
 //!   clean EOF or a torn tail (never mid-file corruption followed by
-//!   more records).
+//!   more records);
+//! * value-log segments: every segment referenced by a live table
+//!   exists and is frame-intact through the highest referenced offset
+//!   (the dangling-pointer scan); live/dead byte accounting is
+//!   recomputed from the table references so it can be cross-checked
+//!   against the engine's gauges; with `--d-th`, dead extents — whose
+//!   on-disk age is unknowable offline — are conservatively flagged as
+//!   overdue, mirroring how recovery stamps them.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use acheron_sstable::Table;
 use acheron_types::key::compare_internal;
 use acheron_types::{Error, Result, Tick};
 use acheron_vfs::Vfs;
-use acheron_wal::{LogReader, ReadOutcome, WalBatch};
+use acheron_wal::{LogReader, ReadOutcome, WalBatch, WalOp};
 
 use crate::filenames::{parse_file_name, sst_path, wal_path, FileKind};
 use crate::manifest::{read_current, read_manifest, VersionEdit};
@@ -69,6 +76,15 @@ pub struct DoctorReport {
     pub wals_checked: usize,
     /// WAL records that decoded cleanly.
     pub wal_records: u64,
+    /// Value-log segments scanned.
+    pub vlog_segments_checked: usize,
+    /// Vlog bytes referenced by live tables or replayable WAL records —
+    /// computed exactly as recovery rebuilds the engine's accounting,
+    /// so it must equal the `db_vlog_live_bytes` gauge.
+    pub vlog_live_bytes: u64,
+    /// Vlog bytes no live pointer references (segment sizes minus
+    /// `vlog_live_bytes`) — the counterpart of `db_vlog_dead_bytes`.
+    pub vlog_dead_bytes: u64,
     /// Per-level live-tombstone populations (levels holding none are
     /// omitted).
     pub level_tombstones: Vec<LevelTombstoneSummary>,
@@ -101,6 +117,10 @@ pub fn check_db_with_threshold(
     let mut files: BTreeMap<u64, u64> = BTreeMap::new(); // id -> level
     let mut log_number = 0u64;
     let mut rt_count = 0usize;
+    // Vlog segments GC deleted. Live tables may still carry shadowed
+    // pointers into them until compaction rewrites the entries; those
+    // references are expected-stale, not dangling.
+    let mut vlog_dropped: BTreeSet<u64> = BTreeSet::new();
     for batch in &batches {
         for edit in &batch.edits {
             match edit {
@@ -119,6 +139,9 @@ pub fn check_db_with_threshold(
                 VersionEdit::AddRangeTombstone { .. } => rt_count += 1,
                 VersionEdit::DropRangeTombstone { .. } => rt_count = rt_count.saturating_sub(1),
                 VersionEdit::LogNumber { number } => log_number = log_number.max(*number),
+                VersionEdit::DropVlogSegment { segment } => {
+                    vlog_dropped.insert(*segment);
+                }
                 _ => {}
             }
         }
@@ -129,6 +152,9 @@ pub fn check_db_with_threshold(
     type KeyRange = (Vec<u8>, Vec<u8>, u64);
     let mut per_level: BTreeMap<u64, Vec<KeyRange>> = BTreeMap::new();
     let mut tomb_levels: BTreeMap<u64, LevelTombstoneSummary> = BTreeMap::new();
+    // Vlog references folded across the live tables:
+    // segment -> (referenced bytes, highest referenced frame end).
+    let mut vlog_refs: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
     for (&id, &level) in &files {
         let path = sst_path(dir, id);
         if !fs.exists(&path) {
@@ -162,6 +188,11 @@ pub fn check_db_with_threshold(
                 summary.oldest_key_range_tick =
                     Some(summary.oldest_key_range_tick.map_or(t0, |cur| cur.min(t0)));
             }
+        }
+        for r in &stats.vlog_refs {
+            let slot = vlog_refs.entry(r.segment).or_insert((0, 0));
+            slot.0 += r.bytes;
+            slot.1 = slot.1.max(r.max_end);
         }
         if stats.entry_count > 0 {
             per_level.entry(level).or_default().push((
@@ -242,6 +273,10 @@ pub fn check_db_with_threshold(
     }
     live_wals.sort();
     let final_wal = live_wals.last().map(|(n, _)| *n);
+    // Pointers carried by replayable WAL records keep their segments
+    // live too (recovery re-inserts them), so fold them into the same
+    // reference map before judging segments orphaned or dead.
+    let mut wal_vlog_refs: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
     for (n, name) in live_wals {
         let data = fs.read_all(&wal_path(dir, n))?;
         let mut reader = LogReader::new(data);
@@ -249,7 +284,14 @@ pub fn check_db_with_threshold(
         loop {
             match reader.next_record() {
                 ReadOutcome::Record(rec) => {
-                    WalBatch::decode(&rec)?;
+                    let batch = WalBatch::decode(&rec)?;
+                    for op in &batch.ops {
+                        if let WalOp::PutPtr { ptr, .. } = op {
+                            let slot = wal_vlog_refs.entry(ptr.segment).or_insert((0, 0));
+                            slot.0 += u64::from(ptr.len);
+                            slot.1 = slot.1.max(ptr.end());
+                        }
+                    }
                     report.wal_records += 1;
                 }
                 ReadOutcome::Eof => break,
@@ -269,6 +311,88 @@ pub fn check_db_with_threshold(
                     break;
                 }
             }
+        }
+    }
+
+    // Value-log segments. Table-held pointers into a missing or
+    // frame-torn region are hard corruption (reads through them fail);
+    // WAL-held pointers into one are crash debris (recovery truncates
+    // the WAL at the first such record) and only warn. Dead bytes are
+    // whatever no live pointer covers; their birth ticks are not on
+    // disk, so with a threshold they are conservatively reported as
+    // overdue — exactly how recovery stamps them before the engine's
+    // first GC pass drains them.
+    let mut vlog_on_disk: BTreeMap<u64, String> = BTreeMap::new();
+    for name in fs.list(dir)? {
+        if let FileKind::Vlog(seg) = parse_file_name(&name) {
+            vlog_on_disk.insert(seg, name);
+        }
+    }
+    // References into GC-dropped segments hold nothing live: the drop
+    // record's durability ordering guarantees a newer shadowing version
+    // exists, so they are neither dangling (the manifest explains the
+    // missing file) nor bytes to keep.
+    vlog_refs.retain(|seg, _| !vlog_dropped.contains(seg));
+    wal_vlog_refs.retain(|seg, _| !vlog_dropped.contains(seg));
+    for (seg, (bytes, max_end)) in &vlog_refs {
+        if !vlog_on_disk.contains_key(seg) {
+            return Err(Error::corruption(format!(
+                "live tables hold pointers into missing vlog segment {seg:06} — \
+                 dangling values"
+            )));
+        }
+        report.vlog_live_bytes += bytes;
+        let data = fs.read_all(&crate::filenames::vlog_path(dir, *seg))?;
+        let scan = acheron_vlog::scan_segment(&data);
+        report.vlog_segments_checked += 1;
+        if *max_end > scan.valid_len {
+            return Err(Error::corruption(format!(
+                "vlog segment {seg:06}: live pointers reach offset {max_end} but the \
+                 intact frame prefix ends at {} — dangling values",
+                scan.valid_len
+            )));
+        }
+        if scan.torn {
+            report.warnings.push(format!(
+                "vlog segment {seg:06}: torn tail past the last intact frame \
+                 (crash debris; reclaimed when the segment is rewritten)"
+            ));
+        }
+    }
+    for (seg, (bytes, max_end)) in &wal_vlog_refs {
+        let intact = vlog_on_disk.contains_key(seg) && {
+            let data = fs.read_all(&crate::filenames::vlog_path(dir, *seg))?;
+            *max_end <= acheron_vlog::scan_segment(&data).valid_len
+        };
+        if intact {
+            // Double counting with the table refs is impossible: a
+            // seqno lives in the tables or in the WAL, never both.
+            report.vlog_live_bytes += bytes;
+        } else {
+            report.warnings.push(format!(
+                "WAL records reference vlog segment {seg:06} beyond its intact \
+                 frames (or the segment is missing); recovery will truncate the \
+                 WAL at the first such record"
+            ));
+        }
+    }
+    for (seg, name) in &vlog_on_disk {
+        let size = fs.file_size(&crate::filenames::vlog_path(dir, *seg))?;
+        let referenced = vlog_refs.get(seg).map_or(0, |(b, _)| *b)
+            + wal_vlog_refs.get(seg).map_or(0, |(b, _)| *b);
+        let dead = size.saturating_sub(referenced);
+        report.vlog_dead_bytes += dead;
+        if referenced == 0 {
+            report.warnings.push(format!(
+                "orphan vlog segment {name} (no live table or WAL pointer \
+                 references it) not yet collected"
+            ));
+        } else if let (Some(d), true) = (d_th, dead > 0) {
+            report.warnings.push(format!(
+                "vlog segment {name}: {dead} dead bytes of unknown age — \
+                 conservatively overdue under the delete persistence threshold {d}; \
+                 the engine's next GC pass must rewrite this segment"
+            ));
         }
     }
 
@@ -632,6 +756,171 @@ mod tests {
         fs.write_all("db/999999.sst", b"junk").unwrap();
         let report = check_db(fs.as_ref(), "db").unwrap();
         assert!(report.warnings.iter().any(|w| w.contains("orphan")));
+    }
+
+    // --------------------------------------------------------------
+    // Value-log checks
+    // --------------------------------------------------------------
+
+    fn vlog_populated_fs(delete_some: bool) -> Arc<MemFs> {
+        let fs = Arc::new(MemFs::new());
+        let mut opts = DbOptions::small().with_value_separation(64);
+        opts.vlog_segment_bytes = 2048;
+        let db = Db::open(fs.clone(), "db", opts).unwrap();
+        for i in 0..80u32 {
+            db.put(format!("big{i:04}").as_bytes(), &[b'V'; 300])
+                .unwrap();
+        }
+        db.flush().unwrap();
+        if delete_some {
+            for i in 0..30u32 {
+                db.delete(format!("big{i:04}").as_bytes()).unwrap();
+            }
+            // Drop the pointers but keep GC from rewriting the segments,
+            // so the image retains dead bytes for the doctor to find.
+            let _pause = db.pause_maintenance();
+            db.compact_all().unwrap();
+        }
+        fs
+    }
+
+    fn some_vlog_segment(fs: &MemFs) -> String {
+        fs.list("db")
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.ends_with(".vlg"))
+            .min()
+            .expect("a vlog segment exists")
+    }
+
+    #[test]
+    fn healthy_vlog_db_is_warning_free() {
+        let fs = vlog_populated_fs(false);
+        let report = check_db_with_threshold(fs.as_ref(), "db", Some(1)).unwrap();
+        assert!(report.vlog_segments_checked > 0);
+        assert!(report.vlog_live_bytes > 0);
+        assert_eq!(report.vlog_dead_bytes, 0);
+        for w in &report.warnings {
+            assert!(
+                w.contains("obsolete WAL"),
+                "unexpected warning on healthy vlog db: {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn wal_held_pointers_keep_segments_live() {
+        let fs = Arc::new(MemFs::new());
+        {
+            let mut opts = DbOptions::small().with_value_separation(64);
+            opts.vlog_segment_bytes = 2048;
+            let db = Db::open(fs.clone(), "db", opts).unwrap();
+            // Never flushed: the only references live in the WAL.
+            for i in 0..10u32 {
+                db.put(format!("big{i:04}").as_bytes(), &[b'V'; 300])
+                    .unwrap();
+            }
+        }
+        let report = check_db(fs.as_ref(), "db").unwrap();
+        assert!(report.vlog_live_bytes > 0);
+        assert!(
+            !report.warnings.iter().any(|w| w.contains("orphan vlog")),
+            "WAL-referenced segments are not orphans: {:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn vlog_accounting_matches_engine_gauges() {
+        let fs = Arc::new(MemFs::new());
+        let (live, dead) = {
+            let mut opts = DbOptions::small().with_value_separation(64);
+            opts.vlog_segment_bytes = 2048;
+            let db = Db::open(fs.clone(), "db", opts).unwrap();
+            for i in 0..80u32 {
+                db.put(format!("big{i:04}").as_bytes(), &[b'V'; 300])
+                    .unwrap();
+            }
+            db.flush().unwrap();
+            for i in 0..30u32 {
+                db.delete(format!("big{i:04}").as_bytes()).unwrap();
+            }
+            let _pause = db.pause_maintenance();
+            db.compact_all().unwrap();
+            let g = db.tombstone_gauges();
+            (g.vlog_live_bytes, g.vlog_dead_bytes)
+        };
+        let report = check_db(fs.as_ref(), "db").unwrap();
+        assert!(dead > 0, "the deletes must have produced dead extents");
+        assert_eq!(report.vlog_live_bytes, live, "live-byte accounting drifted");
+        assert_eq!(report.vlog_dead_bytes, dead, "dead-byte accounting drifted");
+    }
+
+    #[test]
+    fn detects_dangling_vlog_pointers() {
+        let fs = vlog_populated_fs(false);
+        let seg = some_vlog_segment(fs.as_ref());
+        fs.delete(&acheron_vfs::join("db", &seg)).unwrap();
+        let err = check_db(fs.as_ref(), "db").expect_err("dangling pointers must fail");
+        assert!(err.is_corruption(), "{err}");
+        assert!(
+            err.to_string().contains("missing vlog segment"),
+            "error should name the class: {err}"
+        );
+    }
+
+    #[test]
+    fn detects_truncated_vlog_segment() {
+        let fs = vlog_populated_fs(false);
+        let seg = some_vlog_segment(fs.as_ref());
+        let path = acheron_vfs::join("db", &seg);
+        let data = fs.read_all(&path).unwrap();
+        fs.write_all(&path, &data[..data.len() / 2]).unwrap();
+        let err = check_db(fs.as_ref(), "db").expect_err("pointers past the tear must fail");
+        assert!(err.is_corruption(), "{err}");
+        assert!(
+            err.to_string().contains("intact frame prefix"),
+            "error should name the class: {err}"
+        );
+    }
+
+    #[test]
+    fn flags_orphan_vlog_segments() {
+        let fs = vlog_populated_fs(false);
+        fs.write_all("db/vlog-000077.vlg", b"junk no pointer references")
+            .unwrap();
+        let report = check_db(fs.as_ref(), "db").unwrap();
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("orphan vlog segment vlog-000077.vlg")),
+            "{:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn threshold_flags_dead_vlog_extents_as_overdue() {
+        let fs = vlog_populated_fs(true);
+        // Without a threshold: dead bytes reported, no overdue warning.
+        let report = check_db(fs.as_ref(), "db").unwrap();
+        assert!(report.vlog_dead_bytes > 0);
+        assert!(
+            !report.warnings.iter().any(|w| w.contains("dead bytes")),
+            "{:?}",
+            report.warnings
+        );
+        // With one: the same extents are conservatively overdue.
+        let report = check_db_with_threshold(fs.as_ref(), "db", Some(1_000)).unwrap();
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("dead bytes") && w.contains("overdue")),
+            "{:?}",
+            report.warnings
+        );
     }
 
     #[test]

@@ -12,6 +12,12 @@ pub fn wal_path(dir: &str, number: u64) -> String {
     join(dir, &format!("{number:06}.log"))
 }
 
+/// Path of value-log segment `segment` (naming delegated to the vlog
+/// crate so the two can never drift).
+pub fn vlog_path(dir: &str, segment: u64) -> String {
+    join(dir, &acheron_vlog::segment_file_name(segment))
+}
+
 /// Name (not path) of manifest `number`.
 pub fn manifest_name(number: u64) -> String {
     format!("MANIFEST-{number:06}")
@@ -26,6 +32,8 @@ pub enum FileKind {
     Wal(u64),
     /// `MANIFEST-NNNNNN`
     Manifest(u64),
+    /// `vlog-NNNNNN.vlg`
+    Vlog(u64),
     /// `CURRENT`
     Current,
     /// `*.tmp` — scratch half of a write-temp-then-rename sequence
@@ -59,6 +67,9 @@ pub fn parse_file_name(name: &str) -> FileKind {
             return FileKind::Wal(n);
         }
     }
+    if let Some(seg) = acheron_vlog::parse_segment_file_name(name) {
+        return FileKind::Vlog(seg);
+    }
     FileKind::Unknown
 }
 
@@ -81,6 +92,10 @@ mod tests {
         assert_eq!(parse_file_name("CURRENT"), FileKind::Current);
         assert_eq!(parse_file_name("CURRENT.tmp"), FileKind::Temp);
         assert_eq!(parse_file_name("000042.log.tmp"), FileKind::Temp);
+        assert_eq!(parse_file_name("vlog-000004.vlg"), FileKind::Vlog(4));
+        assert_eq!(parse_file_name("vlog-000004.vlg.tmp"), FileKind::Temp);
+        assert_eq!(parse_file_name("vlog-x.vlg"), FileKind::Unknown);
+        assert_eq!(vlog_path("db", 4), "db/vlog-000004.vlg");
         assert_eq!(parse_file_name("junk.sst2"), FileKind::Unknown);
         assert_eq!(parse_file_name("abc.sst"), FileKind::Unknown);
         assert_eq!(parse_file_name("MANIFEST-xyz"), FileKind::Unknown);

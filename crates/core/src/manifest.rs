@@ -61,6 +61,16 @@ pub enum VersionEdit {
         /// Next free file id.
         id: u64,
     },
+    /// A value-log segment was garbage-collected and its file deleted.
+    ///
+    /// Live tables may still carry (shadowed) pointers into the segment
+    /// until compaction rewrites them; this record is how recovery and
+    /// `doctor` distinguish those expected-stale references from a
+    /// genuinely missing segment.
+    DropVlogSegment {
+        /// Id of the collected vlog segment.
+        segment: u64,
+    },
 }
 
 const TAG_ADD_FILE: u8 = 1;
@@ -70,6 +80,7 @@ const TAG_DROP_RT: u8 = 4;
 const TAG_PERSISTED_SEQNO: u8 = 5;
 const TAG_LOG_NUMBER: u8 = 6;
 const TAG_NEXT_FILE_ID: u8 = 7;
+const TAG_DROP_VLOG: u8 = 8;
 
 /// An atomic group of edits (one manifest record).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -121,6 +132,10 @@ impl EditBatch {
                 VersionEdit::NextFileId { id } => {
                     out.push(TAG_NEXT_FILE_ID);
                     put_varint64(&mut out, *id);
+                }
+                VersionEdit::DropVlogSegment { segment } => {
+                    out.push(TAG_DROP_VLOG);
+                    put_varint64(&mut out, *segment);
                 }
             }
         }
@@ -182,6 +197,9 @@ impl EditBatch {
                 },
                 TAG_NEXT_FILE_ID => VersionEdit::NextFileId {
                     id: next("next file id")?,
+                },
+                TAG_DROP_VLOG => VersionEdit::DropVlogSegment {
+                    segment: next("drop-vlog segment")?,
                 },
                 other => {
                     return Err(Error::corruption(format!(
@@ -312,6 +330,7 @@ mod tests {
                 VersionEdit::PersistedSeqno { seqno: 1234 },
                 VersionEdit::LogNumber { number: 7 },
                 VersionEdit::NextFileId { id: 18 },
+                VersionEdit::DropVlogSegment { segment: 2 },
             ],
         }
     }

@@ -7,7 +7,7 @@
 
 use acheron_sstable::TableIterator;
 use acheron_types::key::compare_internal;
-use acheron_types::{Entry, RangeTombstone, Result, SeqNo, ValueKind};
+use acheron_types::{Entry, RangeTombstone, Result, SeqNo, Tick, ValueKind, ValuePointer};
 use bytes::Bytes;
 
 /// A positioned stream of entries in internal-key order.
@@ -187,6 +187,9 @@ pub struct CompactionStream<'a> {
     rts: &'a [RangeTombstone],
     snapshots: &'a [SeqNo],
     bottommost: bool,
+    /// The compaction's clock reading, stamped onto dead vlog extents
+    /// whose covering mutation carries no delete tick of its own.
+    now: Tick,
     /// Survivors of the current user key's chain not yet handed out
     /// (non-empty only while snapshots force multiple versions).
     pending: std::collections::VecDeque<Entry>,
@@ -196,6 +199,11 @@ pub struct CompactionStream<'a> {
     pub range_purged: u64,
     /// `(delete tick, seqno)` of each point tombstone physically dropped.
     pub tombstones_dropped: Vec<(u64, SeqNo)>,
+    /// `(segment, bytes, stamp tick)` of each value-log extent whose
+    /// last tree reference this compaction dropped. When the covering
+    /// head is a tombstone the stamp is the tombstone's delete tick —
+    /// the FADE-correct age seed — otherwise the compaction's `now`.
+    pub vlog_dead: Vec<(u64, u64, Tick)>,
 }
 
 impl<'a> CompactionStream<'a> {
@@ -205,16 +213,30 @@ impl<'a> CompactionStream<'a> {
         rts: &'a [RangeTombstone],
         snapshots: &'a [SeqNo],
         bottommost: bool,
+        now: Tick,
     ) -> CompactionStream<'a> {
         CompactionStream {
             merge,
             rts,
             snapshots,
             bottommost,
+            now,
             pending: std::collections::VecDeque::new(),
             shadowed: 0,
             range_purged: 0,
             tombstones_dropped: Vec::new(),
+            vlog_dead: Vec::new(),
+        }
+    }
+
+    /// Record the vlog extent behind a dropped value-pointer entry.
+    fn note_dead_pointer(&mut self, dropped: &Entry, stamp: Tick) {
+        if dropped.kind != ValueKind::ValuePointer {
+            return;
+        }
+        if let Some(ptr) = ValuePointer::decode(&dropped.value) {
+            self.vlog_dead
+                .push((ptr.segment, u64::from(ptr.len), stamp));
         }
     }
 
@@ -284,18 +306,25 @@ impl<'a> CompactionStream<'a> {
                 })
                 .collect();
 
-            // `last_head` = seqno of the newest candidate that survived
-            // stratum dedup (whether emitted, purged, or dropped): the
-            // version that *decides* reads in its stratum.
-            let mut last_head: Option<SeqNo> = None;
+            // `last_head` = the newest candidate that survived stratum
+            // dedup (whether emitted, purged, or dropped): the version
+            // that *decides* reads in its stratum. `(seqno, is_tombstone,
+            // dkey)` — the extra fields stamp dead vlog extents.
+            let mut last_head: Option<(SeqNo, bool, u64)> = None;
             for (i, candidate) in chain.into_iter().enumerate() {
-                if let Some(head) = last_head {
-                    if self.same_stratum(head, candidate.seqno) {
+                if let Some((head_seqno, head_is_del, head_dkey)) = last_head {
+                    if self.same_stratum(head_seqno, candidate.seqno) {
                         self.shadowed += 1;
+                        // A separated value shadowed by a tombstone dies
+                        // *because of that delete*: seed its dead-extent
+                        // age from the delete's own tick so the vlog GC
+                        // deadline measures delete-to-reclaim end to end.
+                        let stamp = if head_is_del { head_dkey } else { self.now };
+                        self.note_dead_pointer(&candidate, stamp);
                         continue;
                     }
                 }
-                last_head = Some(candidate.seqno);
+                last_head = Some((candidate.seqno, candidate.is_tombstone(), candidate.dkey));
                 let droppable = self.bottommost
                     && !self.visible_to_snapshot(candidate.seqno)
                     && !older_pinned[i];
@@ -305,6 +334,8 @@ impl<'a> CompactionStream<'a> {
                     .any(|rt| rt.shadows(candidate.seqno, candidate.dkey));
                 if rt_shadow && droppable {
                     self.range_purged += 1;
+                    let stamp = self.now;
+                    self.note_dead_pointer(&candidate, stamp);
                     continue;
                 }
                 if candidate.is_tombstone() && droppable {
@@ -405,7 +436,7 @@ mod tests {
             vec![put("k", 1, 0), put("k", 5, 0)],
             vec![put("k", 3, 0), put("other", 2, 0)],
         ]);
-        let s = CompactionStream::new(m, &[], &[], false);
+        let s = CompactionStream::new(m, &[], &[], false, 0);
         let (out, shadowed, _, _) = drain_stream(s);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].seqno, 5);
@@ -418,12 +449,12 @@ mod tests {
         let make = || merge_of(vec![vec![del("k", 9, 42), put("k", 3, 0)]]);
         // Above the bottom the tombstone must survive (something below
         // may still hold an older version).
-        let s = CompactionStream::new(make(), &[], &[], false);
+        let s = CompactionStream::new(make(), &[], &[], false, 0);
         let (out, ..) = drain_stream(s);
         assert_eq!(out.len(), 1);
         assert!(out[0].is_tombstone());
         // At the bottom it is dropped and reported.
-        let s = CompactionStream::new(make(), &[], &[], true);
+        let s = CompactionStream::new(make(), &[], &[], true, 0);
         let (out, _, _, dropped) = drain_stream(s);
         assert!(out.is_empty());
         assert_eq!(dropped, 1);
@@ -433,7 +464,7 @@ mod tests {
     fn snapshot_preserves_older_version() {
         let m = merge_of(vec![vec![put("k", 2, 0), put("k", 8, 0)]]);
         let snaps = [5u64];
-        let s = CompactionStream::new(m, &[], &snaps, false);
+        let s = CompactionStream::new(m, &[], &snaps, false, 0);
         let (out, ..) = drain_stream(s);
         // Both versions survive: seqno 8 is newest, seqno 2 is what
         // snapshot 5 sees.
@@ -446,7 +477,7 @@ mod tests {
     fn snapshot_protects_tombstone_at_bottom() {
         let m = merge_of(vec![vec![del("k", 9, 0)]]);
         let snaps = [10u64];
-        let s = CompactionStream::new(m, &[], &snaps, true);
+        let s = CompactionStream::new(m, &[], &snaps, true, 0);
         let (out, _, _, dropped) = drain_stream(s);
         assert_eq!(out.len(), 1, "tombstone visible to snapshot must survive");
         assert_eq!(dropped, 0);
@@ -460,7 +491,7 @@ mod tests {
         // readers. Both must survive.
         let m = merge_of(vec![vec![del("k", 9, 42), put("k", 3, 0)]]);
         let snaps = [5u64];
-        let s = CompactionStream::new(m, &[], &snaps, true);
+        let s = CompactionStream::new(m, &[], &snaps, true, 0);
         let (out, _, _, dropped) = drain_stream(s);
         assert_eq!(dropped, 0);
         assert_eq!(out.len(), 2);
@@ -480,7 +511,7 @@ mod tests {
         }];
         let m = merge_of(vec![vec![put("k", 9, 15), put("k", 3, 30)]]);
         let snaps = [5u64];
-        let s = CompactionStream::new(m, &rts, &snaps, true);
+        let s = CompactionStream::new(m, &rts, &snaps, true, 0);
         let (out, _, range_purged, _) = drain_stream(s);
         assert_eq!(range_purged, 0);
         assert_eq!(out.len(), 2, "covered head and pinned older put survive");
@@ -500,14 +531,14 @@ mod tests {
             ]])
         };
         // At the bottom, the covered entry is purged.
-        let s = CompactionStream::new(make(), &rts, &[], true);
+        let s = CompactionStream::new(make(), &rts, &[], true, 0);
         let (out, _, purged, _) = drain_stream(s);
         let keys: Vec<Vec<u8>> = out.iter().map(|e| e.key.to_vec()).collect();
         assert_eq!(keys, vec![b"b".to_vec(), b"c".to_vec()]);
         assert_eq!(purged, 1);
         // Above the bottom it must survive (an older version of "a" may
         // exist deeper, and the covered head decides reads).
-        let s = CompactionStream::new(make(), &rts, &[], false);
+        let s = CompactionStream::new(make(), &rts, &[], false, 0);
         let (out, _, purged, _) = drain_stream(s);
         assert_eq!(out.len(), 3);
         assert_eq!(purged, 0);
@@ -522,7 +553,7 @@ mod tests {
             range: DeleteKeyRange::new(10, 20),
         }];
         let m = merge_of(vec![vec![put("k", 9, 15), put("k", 3, 99)]]);
-        let s = CompactionStream::new(m, &rts, &[], true);
+        let s = CompactionStream::new(m, &rts, &[], true, 0);
         let (out, shadowed, purged, _) = drain_stream(s);
         assert!(
             out.is_empty(),
@@ -539,7 +570,7 @@ mod tests {
             range: DeleteKeyRange::all(),
         }];
         let m = merge_of(vec![vec![put("k", 5, 1), put("k", 7, 2)]]);
-        let s = CompactionStream::new(m, &rts, &[], true);
+        let s = CompactionStream::new(m, &rts, &[], true, 0);
         let (out, ..) = drain_stream(s);
         assert!(out.is_empty());
     }

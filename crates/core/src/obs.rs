@@ -100,6 +100,8 @@ pub enum GcKind {
     StaleManifest,
     /// Crash debris from an interrupted rename.
     TempFile,
+    /// A value-log segment no surviving pointer references.
+    VlogSegment,
 }
 
 impl GcKind {
@@ -109,6 +111,7 @@ impl GcKind {
             GcKind::DeadWal => 1,
             GcKind::StaleManifest => 2,
             GcKind::TempFile => 3,
+            GcKind::VlogSegment => 4,
         }
     }
 
@@ -118,6 +121,7 @@ impl GcKind {
             1 => GcKind::DeadWal,
             2 => GcKind::StaleManifest,
             3 => GcKind::TempFile,
+            4 => GcKind::VlogSegment,
             _ => return None,
         })
     }
@@ -129,6 +133,7 @@ impl GcKind {
             GcKind::DeadWal => "dead_wal",
             GcKind::StaleManifest => "stale_manifest",
             GcKind::TempFile => "temp_file",
+            GcKind::VlogSegment => "vlog_segment",
         }
     }
 }
@@ -245,6 +250,19 @@ pub enum Event {
         /// Whether this append fsynced the segment.
         synced: bool,
     },
+    /// Value-log GC processed one segment: surviving values were
+    /// re-appended to the head and the segment reclaimed (or retired
+    /// pending snapshot drain, in which case `reclaimed_bytes` is 0).
+    VlogGc {
+        /// The segment processed.
+        segment: u64,
+        /// Live frame bytes re-appended to the log head.
+        rewritten_bytes: u64,
+        /// Bytes freed by deleting the segment file.
+        reclaimed_bytes: u64,
+        /// Wall time of the pass.
+        micros: u64,
+    },
 }
 
 /// Ring-slot payload width: one tag word plus up to seven fields.
@@ -266,6 +284,7 @@ impl Event {
             Event::RecoveryStep { .. } => "recovery_step",
             Event::GcDropped { .. } => "gc_dropped",
             Event::WalGroupCommit { .. } => "wal_group_commit",
+            Event::VlogGc { .. } => "vlog_gc",
         }
     }
 
@@ -330,6 +349,15 @@ impl Event {
                 commits,
                 synced,
             } => format!("ops={ops} commits={commits} synced={}", u64::from(synced)),
+            Event::VlogGc {
+                segment,
+                rewritten_bytes,
+                reclaimed_bytes,
+                micros,
+            } => format!(
+                "segment={segment} rewritten_bytes={rewritten_bytes} \
+                 reclaimed_bytes={reclaimed_bytes} micros={micros}"
+            ),
         }
     }
 
@@ -439,6 +467,18 @@ impl Event {
                 w[2] = commits;
                 w[3] = u64::from(synced);
             }
+            Event::VlogGc {
+                segment,
+                rewritten_bytes,
+                reclaimed_bytes,
+                micros,
+            } => {
+                w[0] = 12;
+                w[1] = segment;
+                w[2] = rewritten_bytes;
+                w[3] = reclaimed_bytes;
+                w[4] = micros;
+            }
         }
         w
     }
@@ -499,6 +539,12 @@ impl Event {
                 ops: w[1],
                 commits: w[2],
                 synced: w[3] != 0,
+            },
+            12 => Event::VlogGc {
+                segment: w[1],
+                rewritten_bytes: w[2],
+                reclaimed_bytes: w[3],
+                micros: w[4],
             },
             _ => return None,
         })
@@ -681,6 +727,17 @@ pub struct TombstoneGauges {
     /// *oldest* tombstone age (per-sstable metadata has no finer
     /// resolution), a conservative over-estimate of ages.
     pub file_populations: Vec<(u64, Tick)>,
+    /// Value-log bytes still referenced by the tree. Filled from the
+    /// vlog accounting when the gauge is read (the vlog changes without
+    /// a version install).
+    pub vlog_live_bytes: u64,
+    /// Value-log bytes whose covering put/delete has been purged and
+    /// that now await GC.
+    pub vlog_dead_bytes: u64,
+    /// Stamp tick of the oldest dead value-log extent — the vlog
+    /// counterpart of the oldest live tombstone: its age bounds how far
+    /// deleted value bytes have outlived their delete.
+    pub vlog_oldest_dead_tick: Option<Tick>,
 }
 
 impl TombstoneGauges {
@@ -723,12 +780,9 @@ impl TombstoneGauges {
         }
         TombstoneGauges {
             levels,
-            buffer_tombstones: 0,
-            buffer_oldest_tick: None,
-            buffer_key_range_tombstones: 0,
-            buffer_oldest_key_range_tick: None,
             range_tombstones: version.range_tombstones.len() as u64,
             file_populations,
+            ..TombstoneGauges::default()
         }
     }
 
@@ -815,6 +869,12 @@ impl TombstoneGauges {
             },
             range_tombstones: self.range_tombstones + other.range_tombstones,
             file_populations,
+            vlog_live_bytes: self.vlog_live_bytes + other.vlog_live_bytes,
+            vlog_dead_bytes: self.vlog_dead_bytes + other.vlog_dead_bytes,
+            vlog_oldest_dead_tick: match (self.vlog_oldest_dead_tick, other.vlog_oldest_dead_tick) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
         }
     }
 
@@ -969,6 +1029,14 @@ pub fn render_prometheus(
         "db_live_tombstones {}\n",
         gauges.live_tombstones()
     ));
+    out.push_str(&format!("db_vlog_live_bytes {}\n", gauges.vlog_live_bytes));
+    out.push_str(&format!("db_vlog_dead_bytes {}\n", gauges.vlog_dead_bytes));
+    if let Some(t0) = gauges.vlog_oldest_dead_tick {
+        out.push_str(&format!(
+            "db_vlog_oldest_dead_extent_age_ticks {}\n",
+            now.saturating_sub(t0)
+        ));
+    }
     let hist = gauges.age_histogram(now, d_th);
     for (le, count) in hist.bounds.iter().zip(&hist.counts) {
         out.push_str(&format!(
@@ -1071,6 +1139,12 @@ mod tests {
                 ops: 8,
                 commits: 3,
                 synced: true,
+            },
+            Event::VlogGc {
+                segment: 6,
+                rewritten_bytes: 2048,
+                reclaimed_bytes: 8192,
+                micros: 91,
             },
         ]
     }
@@ -1232,6 +1306,9 @@ mod tests {
             buffer_oldest_key_range_tick: Some(60),
             range_tombstones: 1,
             file_populations: vec![(2, 40)],
+            vlog_live_bytes: 100,
+            vlog_dead_bytes: 20,
+            vlog_oldest_dead_tick: Some(33),
         };
         let b = TombstoneGauges {
             levels: vec![LevelGauge {
@@ -1250,6 +1327,9 @@ mod tests {
             buffer_oldest_key_range_tick: None,
             range_tombstones: 3,
             file_populations: vec![(4, 10)],
+            vlog_live_bytes: 50,
+            vlog_dead_bytes: 5,
+            vlog_oldest_dead_tick: Some(12),
         };
         let m = a.merge(&b);
         assert_eq!(m.levels.len(), 2);
@@ -1277,6 +1357,9 @@ mod tests {
             a.live_tombstones() + b.live_tombstones()
         );
         assert_eq!(m.oldest_live_tick(), Some(5), "range tick is oldest");
+        assert_eq!(m.vlog_live_bytes, 150);
+        assert_eq!(m.vlog_dead_bytes, 25);
+        assert_eq!(m.vlog_oldest_dead_tick, Some(12), "min of the shards");
         // The merged age histogram sees every shard's files plus both
         // buffered populations (point and sort-key range).
         assert_eq!(m.age_histogram(100, None).total, 11);
@@ -1311,6 +1394,9 @@ mod tests {
             buffer_oldest_key_range_tick: Some(70),
             range_tombstones: 2,
             file_populations: vec![(7, 50)],
+            vlog_live_bytes: 1234,
+            vlog_dead_bytes: 56,
+            vlog_oldest_dead_tick: Some(80),
         };
         let text = render_prometheus(&[("puts".into(), 42)], &g, 100, Some(1_000));
         assert!(text.contains("puts 42\n"), "{text}");
@@ -1339,6 +1425,12 @@ mod tests {
         );
         assert!(
             text.contains("db_tombstone_age_ticks_bucket{le=\"+Inf\"} 9"),
+            "{text}"
+        );
+        assert!(text.contains("db_vlog_live_bytes 1234"), "{text}");
+        assert!(text.contains("db_vlog_dead_bytes 56"), "{text}");
+        assert!(
+            text.contains("db_vlog_oldest_dead_extent_age_ticks 20"),
             "{text}"
         );
         assert!(text.contains("db_delete_persistence_threshold_ticks 1000"));

@@ -130,6 +130,18 @@ pub struct DbOptions {
     /// the `events` command. Must be >= 1; emission cost is
     /// capacity-independent.
     pub event_log_capacity: usize,
+    /// Key-value separation threshold in bytes: a put whose value is at
+    /// least this long has the value appended to the value log and only
+    /// a fixed-size pointer stored in the tree. `0` disables separation
+    /// (the default; every value stays inline and on-disk layouts are
+    /// byte-identical to pre-vlog builds).
+    pub value_separation_threshold: usize,
+    /// Target size of one value-log segment file; the writer rolls to a
+    /// fresh segment once the head reaches this size.
+    pub vlog_segment_bytes: u64,
+    /// Dead-byte fraction (percent, 0-100) at which vlog GC rewrites a
+    /// segment even before any dead extent's FADE deadline is due.
+    pub vlog_gc_dead_ratio_percent: u8,
     /// Clock used for tombstone aging; defaults to a logical clock that
     /// the engine advances once per write operation.
     pub clock: Arc<dyn Clock>,
@@ -149,6 +161,10 @@ impl std::fmt::Debug for DbOptions {
             .field("fade", &self.fade)
             .field("pages_per_tile", &self.pages_per_tile)
             .field("background_threads", &self.background_threads)
+            .field(
+                "value_separation_threshold",
+                &self.value_separation_threshold,
+            )
             .finish_non_exhaustive()
     }
 }
@@ -176,6 +192,9 @@ impl Default for DbOptions {
             l0_stall_files: 16,
             max_imm_memtables: 2,
             event_log_capacity: 4096,
+            value_separation_threshold: 0,
+            vlog_segment_bytes: 8 << 20,
+            vlog_gc_dead_ratio_percent: 50,
             clock: Arc::new(LogicalClock::new()),
             auto_advance_clock: true,
         }
@@ -210,6 +229,13 @@ impl DbOptions {
     /// Set the KiWi tile granularity.
     pub fn with_tile(mut self, h: usize) -> DbOptions {
         self.pages_per_tile = h;
+        self
+    }
+
+    /// Enable key-value separation for values of `threshold` bytes or
+    /// more.
+    pub fn with_value_separation(mut self, threshold: usize) -> DbOptions {
+        self.value_separation_threshold = threshold;
         self
     }
 
@@ -261,6 +287,14 @@ impl DbOptions {
         }
         if self.event_log_capacity == 0 {
             return Err(Error::invalid_argument("event_log_capacity must be >= 1"));
+        }
+        if self.value_separation_threshold > 0 && self.vlog_segment_bytes == 0 {
+            return Err(Error::invalid_argument("vlog_segment_bytes must be >= 1"));
+        }
+        if self.vlog_gc_dead_ratio_percent > 100 {
+            return Err(Error::invalid_argument(
+                "vlog_gc_dead_ratio_percent must be <= 100",
+            ));
         }
         Ok(())
     }
@@ -358,6 +392,25 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(DbOptions {
+            vlog_segment_bytes: 0,
+            ..DbOptions::default().with_value_separation(256)
+        }
+        .validate()
+        .is_err());
+        assert!(DbOptions {
+            vlog_gc_dead_ratio_percent: 101,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_err());
+        // Separation off tolerates a zero segment size.
+        assert!(DbOptions {
+            vlog_segment_bytes: 0,
+            ..DbOptions::default()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

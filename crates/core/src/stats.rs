@@ -223,6 +223,20 @@ pub struct DbStats {
     /// Read-view publications (memtable seal, flush install, compaction
     /// install, range delete, and one per commit group's seqno bump).
     pub read_view_swaps: AtomicU64,
+    /// Values separated into the value log at commit time.
+    pub vlog_appends: AtomicU64,
+    /// Framed bytes appended to the value log (commit + GC rewrites).
+    pub vlog_bytes_written: AtomicU64,
+    /// Value-pointer dereferences served by reads and scans.
+    pub vlog_reads: AtomicU64,
+    /// Value-log GC passes that rewrote a segment's survivors.
+    pub vlog_gc_rewrites: AtomicU64,
+    /// Live bytes re-appended to the vlog head by GC rewrites.
+    pub vlog_gc_rewritten_bytes: AtomicU64,
+    /// Dead bytes reclaimed by deleting GC'd segments.
+    pub vlog_gc_reclaimed_bytes: AtomicU64,
+    /// Value-log segment files deleted (GC and recovery orphan sweep).
+    pub vlog_segments_deleted: AtomicU64,
 }
 
 impl DbStats {
@@ -285,6 +299,13 @@ impl DbStats {
             wal_syncs: self.wal_syncs.load(Relaxed),
             wal_syncs_saved: self.wal_syncs_saved.load(Relaxed),
             read_view_swaps: self.read_view_swaps.load(Relaxed),
+            vlog_appends: self.vlog_appends.load(Relaxed),
+            vlog_bytes_written: self.vlog_bytes_written.load(Relaxed),
+            vlog_reads: self.vlog_reads.load(Relaxed),
+            vlog_gc_rewrites: self.vlog_gc_rewrites.load(Relaxed),
+            vlog_gc_rewritten_bytes: self.vlog_gc_rewritten_bytes.load(Relaxed),
+            vlog_gc_reclaimed_bytes: self.vlog_gc_reclaimed_bytes.load(Relaxed),
+            vlog_segments_deleted: self.vlog_segments_deleted.load(Relaxed),
         }
     }
 }
@@ -327,6 +348,13 @@ pub struct StatsSnapshot {
     pub wal_syncs: u64,
     pub wal_syncs_saved: u64,
     pub read_view_swaps: u64,
+    pub vlog_appends: u64,
+    pub vlog_bytes_written: u64,
+    pub vlog_reads: u64,
+    pub vlog_gc_rewrites: u64,
+    pub vlog_gc_rewritten_bytes: u64,
+    pub vlog_gc_reclaimed_bytes: u64,
+    pub vlog_segments_deleted: u64,
 }
 
 impl StatsSnapshot {
@@ -371,6 +399,13 @@ impl StatsSnapshot {
             wal_syncs: self.wal_syncs + other.wal_syncs,
             wal_syncs_saved: self.wal_syncs_saved + other.wal_syncs_saved,
             read_view_swaps: self.read_view_swaps + other.read_view_swaps,
+            vlog_appends: self.vlog_appends + other.vlog_appends,
+            vlog_bytes_written: self.vlog_bytes_written + other.vlog_bytes_written,
+            vlog_reads: self.vlog_reads + other.vlog_reads,
+            vlog_gc_rewrites: self.vlog_gc_rewrites + other.vlog_gc_rewrites,
+            vlog_gc_rewritten_bytes: self.vlog_gc_rewritten_bytes + other.vlog_gc_rewritten_bytes,
+            vlog_gc_reclaimed_bytes: self.vlog_gc_reclaimed_bytes + other.vlog_gc_reclaimed_bytes,
+            vlog_segments_deleted: self.vlog_segments_deleted + other.vlog_segments_deleted,
         }
     }
 
@@ -412,6 +447,19 @@ impl StatsSnapshot {
             ("wal_syncs".into(), self.wal_syncs),
             ("wal_syncs_saved".into(), self.wal_syncs_saved),
             ("read_view_swaps".into(), self.read_view_swaps),
+            ("vlog_appends".into(), self.vlog_appends),
+            ("vlog_bytes_written".into(), self.vlog_bytes_written),
+            ("vlog_reads".into(), self.vlog_reads),
+            ("vlog_gc_rewrites".into(), self.vlog_gc_rewrites),
+            (
+                "vlog_gc_rewritten_bytes".into(),
+                self.vlog_gc_rewritten_bytes,
+            ),
+            (
+                "vlog_gc_reclaimed_bytes".into(),
+                self.vlog_gc_reclaimed_bytes,
+            ),
+            ("vlog_segments_deleted".into(), self.vlog_segments_deleted),
         ];
         for (name, h) in [
             ("persistence_latency", &self.persistence_latency),
@@ -548,6 +596,13 @@ mod tests {
             wal_syncs: 22,
             wal_syncs_saved: 23,
             read_view_swaps: 24,
+            vlog_appends: 28,
+            vlog_bytes_written: 29,
+            vlog_reads: 30,
+            vlog_gc_rewrites: 31,
+            vlog_gc_rewritten_bytes: 32,
+            vlog_gc_reclaimed_bytes: 33,
+            vlog_segments_deleted: 34,
         };
         // Destructure with no `..`: adding a field to StatsSnapshot
         // without deciding how it exports breaks this test at compile
@@ -585,6 +640,13 @@ mod tests {
             wal_syncs,
             wal_syncs_saved,
             read_view_swaps,
+            vlog_appends,
+            vlog_bytes_written,
+            vlog_reads,
+            vlog_gc_rewrites,
+            vlog_gc_rewritten_bytes,
+            vlog_gc_reclaimed_bytes,
+            vlog_segments_deleted,
         } = snap;
         let pairs = snap.to_pairs();
         let get = |n: &str| pairs.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
@@ -616,6 +678,13 @@ mod tests {
             ("wal_syncs", wal_syncs),
             ("wal_syncs_saved", wal_syncs_saved),
             ("read_view_swaps", read_view_swaps),
+            ("vlog_appends", vlog_appends),
+            ("vlog_bytes_written", vlog_bytes_written),
+            ("vlog_reads", vlog_reads),
+            ("vlog_gc_rewrites", vlog_gc_rewrites),
+            ("vlog_gc_rewritten_bytes", vlog_gc_rewritten_bytes),
+            ("vlog_gc_reclaimed_bytes", vlog_gc_reclaimed_bytes),
+            ("vlog_segments_deleted", vlog_segments_deleted),
         ];
         for (name, value) in scalars {
             assert_eq!(

@@ -116,6 +116,10 @@ pub enum WorkloadOp {
         key: u32,
         /// Op index at generation time, recoverable from the value.
         stamp: u64,
+        /// Whether the value is padded past the campaign's
+        /// value-separation threshold, so it travels through the value
+        /// log as a pointer instead of inline.
+        large: bool,
     },
     /// Point-delete `key`.
     Delete {
@@ -163,6 +167,10 @@ pub struct CrashWorkload {
     /// Percentage of operations that are sort-key range deletes
     /// (carved out of the delete share, spanning up to 8 keys).
     pub range_delete_percent: u64,
+    /// Percentage of puts whose value is padded past the campaign's
+    /// value-separation threshold (see [`CrashConfig::db_options`]), so
+    /// every sweep also exercises vlog pointers and their recovery.
+    pub large_value_percent: u64,
 }
 
 impl Default for CrashWorkload {
@@ -173,6 +181,7 @@ impl Default for CrashWorkload {
             key_space: 64,
             delete_percent: 30,
             range_delete_percent: 5,
+            large_value_percent: 15,
         }
     }
 }
@@ -207,6 +216,7 @@ impl CrashWorkload {
                     WorkloadOp::Put {
                         key,
                         stamp: i as u64,
+                        large: (r >> 33) % 100 < self.large_value_percent,
                     }
                 }
             })
@@ -220,7 +230,7 @@ pub fn model_after(ops: &[WorkloadOp], n: usize) -> BTreeMap<u32, Option<u64>> {
     let mut m = BTreeMap::new();
     for op in &ops[..n] {
         match op {
-            WorkloadOp::Put { key, stamp } => {
+            WorkloadOp::Put { key, stamp, .. } => {
                 m.insert(*key, Some(*stamp));
             }
             WorkloadOp::Delete { key } => {
@@ -240,14 +250,28 @@ fn key_bytes(k: u32) -> Vec<u8> {
     format!("key{k:06}").into_bytes()
 }
 
-fn value_bytes(stamp: u64) -> Vec<u8> {
-    format!("stamp{stamp:010}").into_bytes()
+/// Bytes every large value is padded to — past
+/// [`CrashConfig::db_options`]'s separation threshold, so the value
+/// travels through the value log.
+pub const LARGE_VALUE_BYTES: usize = 480;
+
+fn value_bytes(stamp: u64, large: bool) -> Vec<u8> {
+    let mut v = format!("stamp{stamp:010}").into_bytes();
+    if large {
+        while v.len() < LARGE_VALUE_BYTES {
+            v.push(b'#');
+        }
+    }
+    v
 }
 
 fn parse_stamp(v: &[u8]) -> Option<u64> {
+    // Fixed-width prefix: the stamp parses identically whether the
+    // value is inline or padded out for value separation.
     std::str::from_utf8(v)
         .ok()?
         .strip_prefix("stamp")?
+        .get(..10)?
         .parse()
         .ok()
 }
@@ -255,7 +279,9 @@ fn parse_stamp(v: &[u8]) -> Option<u64> {
 /// Apply one workload op to a live database.
 pub fn apply_op(db: &Db, op: &WorkloadOp) -> Result<()> {
     match op {
-        WorkloadOp::Put { key, stamp } => db.put(&key_bytes(*key), &value_bytes(*stamp)),
+        WorkloadOp::Put { key, stamp, large } => {
+            db.put(&key_bytes(*key), &value_bytes(*stamp, *large))
+        }
         WorkloadOp::Delete { key } => db.delete(&key_bytes(*key)),
         WorkloadOp::RangeDeleteKeys { lo, hi } => {
             db.range_delete_keys(&key_bytes(*lo), &key_bytes(*hi))
@@ -303,6 +329,10 @@ impl CrashConfig {
             max_levels: 4,
             wal_sync: true,
             background_threads: self.background_threads,
+            // Below LARGE_VALUE_BYTES, above the small inline values:
+            // every sweep drives both value paths through each crash.
+            value_separation_threshold: 256,
+            vlog_segment_bytes: 4 << 10,
             ..DbOptions::default()
         }
         .with_fade(self.delete_persistence_threshold)
@@ -554,6 +584,13 @@ pub fn check_recovered_state(
     let expect = model_after(ops, acked);
     let next = (in_flight && acked < ops.len()).then(|| (ops[acked], model_after(ops, acked + 1)));
     let keys: std::collections::BTreeSet<u32> = ops.iter().flat_map(|op| op.keys()).collect();
+    let large_of: BTreeMap<u64, bool> = ops
+        .iter()
+        .filter_map(|op| match op {
+            WorkloadOp::Put { stamp, large, .. } => Some((*stamp, *large)),
+            _ => None,
+        })
+        .collect();
     let mut violations = Vec::new();
     for key in keys {
         let got = match db.get(&key_bytes(key)) {
@@ -573,6 +610,21 @@ pub fn check_recovered_state(
             },
             None => None,
         };
+        // Byte-exact recovery: a value that parses but mismatches its
+        // stamp's expected bytes means the payload behind a (possibly
+        // separated) value was corrupted, not merely lost.
+        if let (Some(v), Some(s)) = (&got, got_stamp) {
+            let want_bytes = value_bytes(s, large_of.get(&s).copied().unwrap_or(false));
+            if v[..] != want_bytes[..] {
+                violations.push(format!(
+                    "key {key}: recovered value for stamp {s} corrupted \
+                     ({} bytes, expected {})",
+                    v.len(),
+                    want_bytes.len()
+                ));
+                continue;
+            }
+        }
         let want = expect.get(&key).copied().flatten();
         if got_stamp == want {
             continue;
@@ -652,10 +704,17 @@ pub fn demonstrate_delete_before_manifest(cfg: &CrashConfig) -> Vec<String> {
     // A deterministic tail that cannot all be flushed: the final update
     // and delete live only in the WAL at shutdown.
     let stamp = ops.len() as u64;
-    ops.push(WorkloadOp::Put { key: 0, stamp });
+    ops.push(WorkloadOp::Put {
+        key: 0,
+        stamp,
+        large: false,
+    });
     ops.push(WorkloadOp::Put {
         key: 1,
         stamp: stamp + 1,
+        // A separated value in the unflushed tail: its pointer dies
+        // with the deleted WAL, which the state check must report.
+        large: true,
     });
     ops.push(WorkloadOp::Delete { key: 2 });
 

@@ -210,7 +210,7 @@ impl Memtable {
         }
         debug_assert!(entry.seqno <= snapshot);
         match entry.kind {
-            ValueKind::Put => LookupResult::Found(entry.value.clone()),
+            ValueKind::Put | ValueKind::ValuePointer => LookupResult::Found(entry.value.clone()),
             ValueKind::Tombstone => LookupResult::Deleted,
             ValueKind::RangeTombstone | ValueKind::KeyRangeTombstone => LookupResult::NotFound,
         }

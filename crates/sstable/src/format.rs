@@ -8,8 +8,15 @@ use acheron_types::{Error, Result};
 pub const TABLE_MAGIC: u64 = u64::from_le_bytes(*b"ACHERON1");
 
 /// Current format version, stored in the footer. Version 2 appended
-/// sort-key range tombstones to the stats block.
-pub const FORMAT_VERSION: u32 = 2;
+/// sort-key range tombstones to the stats block; version 3 added the
+/// value-pointer entry kind and per-segment vlog references to the
+/// stats block.
+pub const FORMAT_VERSION: u32 = 3;
+
+/// Oldest format version this build still reads. Version-2 tables
+/// (pre-value-separation) remain readable; new tables are always
+/// written at [`FORMAT_VERSION`].
+pub const MIN_FORMAT_VERSION: u32 = 2;
 
 /// Fixed footer size: three 16-byte handle slots + version (4) + magic (8).
 pub const FOOTER_SIZE: usize = 3 * 16 + 4 + 8;
@@ -101,7 +108,7 @@ impl Footer {
             )));
         }
         let version = u32::from_le_bytes(src[48..52].try_into().unwrap());
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(Error::corruption(format!(
                 "unsupported table format version {version}"
             )));
@@ -239,6 +246,23 @@ mod tests {
         let mut enc = f.encode();
         enc[48] = 99;
         assert!(Footer::decode(&enc).is_err());
+        // Versions below the compatibility floor are refused too.
+        enc[48] = MIN_FORMAT_VERSION as u8 - 1;
+        assert!(Footer::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn footer_accepts_previous_version() {
+        // Version-2 tables (written before value separation) must still
+        // open.
+        let f = Footer {
+            filter: BlockHandle::default(),
+            tile_meta: BlockHandle::default(),
+            stats: BlockHandle::default(),
+            version: MIN_FORMAT_VERSION,
+        };
+        let decoded = Footer::decode(&f.encode()).unwrap();
+        assert_eq!(decoded.version, MIN_FORMAT_VERSION);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use acheron_types::codec::{
 use acheron_types::{Error, KeyRangeTombstone, Result, SeqNo, Tick};
 use bytes::Bytes;
 
-use crate::format::BlockHandle;
+use crate::format::{BlockHandle, FORMAT_VERSION};
 
 /// Descriptor of one page (data block) inside a tile.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,6 +145,21 @@ pub fn decode_tiles(mut src: &[u8]) -> Result<Vec<TileMeta>> {
     Ok(tiles)
 }
 
+/// Per-segment summary of the value-log pointers a table holds — the
+/// Lethe-style per-file delete metadata applied to the vlog: enough to
+/// rebuild live-byte accounting per segment at recovery (sum the refs
+/// of every live table) without scanning any data block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlogRef {
+    /// The referenced value-log segment.
+    pub segment: u64,
+    /// Total framed bytes this table's pointers cover in the segment.
+    pub bytes: u64,
+    /// Largest frame end offset referenced (bounds check seed for
+    /// doctor's dangling-pointer scan).
+    pub max_end: u64,
+}
+
 /// Table-wide statistics, persisted in the stats block and mirrored into
 /// the engine's manifest. These are the O(1)-per-file metadata
 /// Acheron/Lethe attach to make compaction delete-aware.
@@ -181,6 +196,10 @@ pub struct TableStats {
     /// entries in lower runs and are purged by bottommost compactions;
     /// a table may hold range tombstones and zero entries (a "carrier").
     pub range_tombstones: Vec<KeyRangeTombstone>,
+    /// Value-log segments referenced by this table's value pointers,
+    /// sorted by segment id. Format v3+; always empty when decoding a
+    /// v2 table.
+    pub vlog_refs: Vec<VlogRef>,
 }
 
 impl TableStats {
@@ -236,11 +255,24 @@ impl TableStats {
         for krt in &self.range_tombstones {
             krt.encode(&mut out);
         }
+        put_varint64(&mut out, self.vlog_refs.len() as u64);
+        for r in &self.vlog_refs {
+            put_varint64(&mut out, r.segment);
+            put_varint64(&mut out, r.bytes);
+            put_varint64(&mut out, r.max_end);
+        }
         out
     }
 
-    /// Deserialize the stats block.
-    pub fn decode(mut src: &[u8]) -> Result<TableStats> {
+    /// Deserialize a stats block written at the current format version.
+    pub fn decode(src: &[u8]) -> Result<TableStats> {
+        Self::decode_versioned(src, FORMAT_VERSION)
+    }
+
+    /// Deserialize a stats block written at table format `version`.
+    /// Version 2 blocks end at the range-tombstone section; version 3
+    /// blocks must carry the vlog-ref section (possibly with zero refs).
+    pub fn decode_versioned(mut src: &[u8], version: u32) -> Result<TableStats> {
         let mut next = |what: &str| -> Result<u64> {
             let (v, rest) = require_varint64(src, what)?;
             src = rest;
@@ -291,6 +323,26 @@ impl TableStats {
             src = rest;
             range_tombstones.push(krt);
         }
+        let mut vlog_refs = Vec::new();
+        if version >= 3 {
+            let mut next = |what: &str| -> Result<u64> {
+                let (v, rest) = require_varint64(src, what)?;
+                src = rest;
+                Ok(v)
+            };
+            let ref_count = next("stats: vlog ref count")?;
+            vlog_refs.reserve(ref_count.min(1 << 16) as usize);
+            for _ in 0..ref_count {
+                let segment = next("stats: vlog ref segment")?;
+                let bytes = next("stats: vlog ref bytes")?;
+                let max_end = next("stats: vlog ref max end")?;
+                vlog_refs.push(VlogRef {
+                    segment,
+                    bytes,
+                    max_end,
+                });
+            }
+        }
         if !src.is_empty() {
             return Err(Error::corruption("stats: trailing bytes"));
         }
@@ -309,6 +361,7 @@ impl TableStats {
             page_count,
             tile_count,
             range_tombstones,
+            vlog_refs,
         })
     }
 }
@@ -437,6 +490,18 @@ mod tests {
                     dkey: 12_500,
                 },
             ],
+            vlog_refs: vec![
+                VlogRef {
+                    segment: 1,
+                    bytes: 9000,
+                    max_end: 32_768,
+                },
+                VlogRef {
+                    segment: 4,
+                    bytes: 512,
+                    max_end: 4096,
+                },
+            ],
         }
     }
 
@@ -465,6 +530,48 @@ mod tests {
         let mut padded = enc;
         padded.push(7);
         assert!(TableStats::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn stats_without_vlog_refs_round_trip() {
+        let s = TableStats {
+            vlog_refs: Vec::new(),
+            ..sample_stats()
+        };
+        assert_eq!(TableStats::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn stats_v2_block_decodes_without_refs_section() {
+        // A version-2 block is exactly the v3 encoding minus the vlog-ref
+        // section; with zero refs that section is a single 0x00 count.
+        let expect = TableStats {
+            vlog_refs: Vec::new(),
+            ..sample_stats()
+        };
+        let enc = expect.encode();
+        let v2 = &enc[..enc.len() - 1];
+        assert_eq!(TableStats::decode_versioned(v2, 2).unwrap(), expect);
+        // The same bytes are a truncated v3 block...
+        assert!(TableStats::decode_versioned(v2, 3).is_err());
+        // ...and a v3 block read as v2 has trailing bytes.
+        assert!(TableStats::decode_versioned(&enc, 2).is_err());
+    }
+
+    #[test]
+    fn stats_v2_rejects_truncation_and_trailing() {
+        let base = TableStats {
+            vlog_refs: Vec::new(),
+            ..sample_stats()
+        };
+        let enc = base.encode();
+        let v2 = &enc[..enc.len() - 1];
+        for cut in 0..v2.len() {
+            assert!(
+                TableStats::decode_versioned(&v2[..cut], 2).is_err(),
+                "cut={cut}"
+            );
+        }
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl Table {
         let tile_meta_raw = read_block_raw(file.as_ref(), footer.tile_meta)?;
         let tiles = decode_tiles(&tile_meta_raw)?;
         let stats_raw = read_block_raw(file.as_ref(), footer.stats)?;
-        let stats = TableStats::decode(&stats_raw)?;
+        let stats = TableStats::decode_versioned(&stats_raw, footer.version)?;
         let filter_data = read_block_raw(file.as_ref(), footer.filter)?;
         Ok(Arc::new(Table {
             file,

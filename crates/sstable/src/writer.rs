@@ -10,16 +10,20 @@
 //! `pages_per_tile == 1` the weave is the identity and the output is a
 //! classic SSTable.
 
+use std::collections::BTreeMap;
+
 use acheron_types::checksum;
 use acheron_types::key::compare_internal;
-use acheron_types::{Entry, Error, InternalKey, KeyRangeTombstone, Result};
+use acheron_types::{
+    Entry, Error, InternalKey, KeyRangeTombstone, Result, ValueKind, ValuePointer,
+};
 use acheron_vfs::WritableFile;
 use bytes::Bytes;
 
 use crate::block::BlockBuilder;
 use crate::bloom::BloomFilter;
 use crate::format::{BlockHandle, Footer, TableOptions, FORMAT_VERSION};
-use crate::meta::{encode_tiles, PageMeta, TableStats, TileMeta};
+use crate::meta::{encode_tiles, PageMeta, TableStats, TileMeta, VlogRef};
 
 struct PendingEntry {
     ikey: Vec<u8>,
@@ -43,6 +47,9 @@ pub struct TableBuilder {
     tiles: Vec<TileMeta>,
     filter_buf: Vec<u8>,
     stats: TableStats,
+    /// Per-segment (bytes, max frame end) accumulated from value
+    /// pointers; folded into `stats.vlog_refs` at finish.
+    vlog_refs: BTreeMap<u64, (u64, u64)>,
     last_ikey: Vec<u8>,
     offset: u64,
     finished: bool,
@@ -67,6 +74,7 @@ impl TableBuilder {
             tiles: Vec::new(),
             filter_buf: Vec::new(),
             stats,
+            vlog_refs: BTreeMap::new(),
             last_ikey: Vec::new(),
             offset: 0,
             finished: false,
@@ -107,6 +115,18 @@ impl TableBuilder {
         self.stats.user_bytes += (entry.key.len() + entry.value.len()) as u64;
         self.stats.max_seqno = self.stats.max_seqno.max(entry.seqno);
         self.stats.min_seqno = self.stats.min_seqno.min(entry.seqno);
+        if entry.kind == ValueKind::ValuePointer {
+            let ptr = ValuePointer::decode(&entry.value).ok_or_else(|| {
+                Error::invalid_argument(format!(
+                    "value-pointer entry for key {:?} has a malformed {}-byte pointer",
+                    entry.key,
+                    entry.value.len()
+                ))
+            })?;
+            let slot = self.vlog_refs.entry(ptr.segment).or_insert((0, 0));
+            slot.0 += u64::from(ptr.len);
+            slot.1 = slot.1.max(ptr.end());
+        }
 
         let pending = PendingEntry {
             ikey,
@@ -290,6 +310,14 @@ impl TableBuilder {
             // Normalize sentinel fences for an empty table.
             self.stats.min_dkey = 0;
         }
+        self.stats.vlog_refs = std::mem::take(&mut self.vlog_refs)
+            .into_iter()
+            .map(|(segment, (bytes, max_end))| VlogRef {
+                segment,
+                bytes,
+                max_end,
+            })
+            .collect();
         let filter = std::mem::take(&mut self.filter_buf);
         let filter_handle = self.write_block(&filter)?;
         let tile_meta = encode_tiles(&self.tiles);
@@ -460,6 +488,74 @@ mod tests {
         let reopened = crate::reader::Table::open(fs.open("t.sst").unwrap()).unwrap();
         assert_eq!(reopened.stats().range_tombstones.len(), 1);
         assert_eq!(reopened.stats().entry_count, 0);
+    }
+
+    #[test]
+    fn vlog_refs_accumulate_per_segment() {
+        let fs = MemFs::new();
+        let file = fs.create("t.sst").unwrap();
+        let mut b = TableBuilder::new(file, TableOptions::default()).unwrap();
+        let ptrs = [
+            ValuePointer {
+                segment: 1,
+                offset: 0,
+                len: 100,
+            },
+            ValuePointer {
+                segment: 1,
+                offset: 100,
+                len: 50,
+            },
+            ValuePointer {
+                segment: 3,
+                offset: 4096,
+                len: 200,
+            },
+        ];
+        for (i, ptr) in ptrs.iter().enumerate() {
+            b.add(&Entry::value_pointer(
+                format!("k{i}").into_bytes(),
+                *ptr,
+                (i + 1) as u64,
+                0,
+            ))
+            .unwrap();
+        }
+        b.add(&Entry::put(&b"zz"[..], &b"inline"[..], 9, 0))
+            .unwrap();
+        let stats = b.finish().unwrap();
+        assert_eq!(
+            stats.vlog_refs,
+            vec![
+                crate::meta::VlogRef {
+                    segment: 1,
+                    bytes: 150,
+                    max_end: 150,
+                },
+                crate::meta::VlogRef {
+                    segment: 3,
+                    bytes: 200,
+                    max_end: 4296,
+                },
+            ]
+        );
+        let reopened = crate::reader::Table::open(fs.open("t.sst").unwrap()).unwrap();
+        assert_eq!(reopened.stats().vlog_refs, stats.vlog_refs);
+    }
+
+    #[test]
+    fn malformed_value_pointer_rejected() {
+        let fs = MemFs::new();
+        let file = fs.create("t.sst").unwrap();
+        let mut b = TableBuilder::new(file, TableOptions::default()).unwrap();
+        let bogus = Entry {
+            key: Bytes::from_static(b"k"),
+            seqno: 1,
+            kind: acheron_types::ValueKind::ValuePointer,
+            dkey: 0,
+            value: Bytes::from_static(b"short"),
+        };
+        assert!(b.add(&bogus).is_err());
     }
 
     #[test]

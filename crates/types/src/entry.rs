@@ -46,6 +46,23 @@ impl Entry {
         }
     }
 
+    /// Build a value-pointer entry: the value lives in the value log and
+    /// `value` holds the 20-byte [`crate::ValuePointer`] encoding.
+    pub fn value_pointer(
+        key: impl Into<UserKey>,
+        ptr: crate::ValuePointer,
+        seqno: SeqNo,
+        dkey: u64,
+    ) -> Entry {
+        Entry {
+            key: key.into(),
+            seqno,
+            kind: ValueKind::ValuePointer,
+            dkey,
+            value: Bytes::copy_from_slice(&ptr.encode()),
+        }
+    }
+
     /// Build a point tombstone. `dkey` is the tick the delete was issued
     /// at, used by FADE to age the tombstone.
     pub fn tombstone(key: impl Into<UserKey>, seqno: SeqNo, dkey: u64) -> Entry {

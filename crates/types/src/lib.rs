@@ -20,6 +20,7 @@ pub mod error;
 pub mod key;
 pub mod krange;
 pub mod seq;
+pub mod vptr;
 
 pub use clock::{Clock, LogicalClock, SystemClock, Tick};
 pub use entry::{DeleteKeyRange, Entry, RangeTombstone, DELETE_KEY_NONE};
@@ -27,3 +28,4 @@ pub use error::{Error, Result};
 pub use key::{InternalKey, InternalKeyRef, UserKey};
 pub use krange::{FragmentedRangeTombstones, KeyRangeTombstone, RangeFragment};
 pub use seq::{SeqNo, ValueKind, MAX_SEQNO};
+pub use vptr::{ValuePointer, VALUE_POINTER_SIZE};

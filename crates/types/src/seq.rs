@@ -31,6 +31,11 @@ pub enum ValueKind {
     /// key in `[start, end]`. Appears in the WAL and in SSTable meta
     /// blocks but is never woven into SSTable data blocks as an entry.
     KeyRangeTombstone = 3,
+    /// A put whose value lives in the value log: the entry's payload is
+    /// the fixed-size [`crate::vptr::ValuePointer`] encoding, not the
+    /// value itself. Read paths dereference it; compactions carry it
+    /// through unchanged.
+    ValuePointer = 4,
 }
 
 impl ValueKind {
@@ -41,6 +46,7 @@ impl ValueKind {
             1 => Some(ValueKind::Put),
             2 => Some(ValueKind::RangeTombstone),
             3 => Some(ValueKind::KeyRangeTombstone),
+            4 => Some(ValueKind::ValuePointer),
             _ => None,
         }
     }
@@ -49,6 +55,15 @@ impl ValueKind {
     #[inline]
     pub fn is_tombstone(self) -> bool {
         matches!(self, ValueKind::Tombstone)
+    }
+
+    /// True for entries that carry (or point at) a user value — an
+    /// inline [`ValueKind::Put`] or a separated
+    /// [`ValueKind::ValuePointer`]. The liveness test read paths use:
+    /// anything else hides the key.
+    #[inline]
+    pub fn is_put_like(self) -> bool {
+        matches!(self, ValueKind::Put | ValueKind::ValuePointer)
     }
 }
 
@@ -93,8 +108,18 @@ mod tests {
     #[test]
     fn kind_from_u8_rejects_unknown() {
         assert_eq!(ValueKind::from_u8(3), Some(ValueKind::KeyRangeTombstone));
-        assert_eq!(ValueKind::from_u8(4), None);
+        assert_eq!(ValueKind::from_u8(4), Some(ValueKind::ValuePointer));
+        assert_eq!(ValueKind::from_u8(5), None);
         assert_eq!(ValueKind::from_u8(0xff), None);
+    }
+
+    #[test]
+    fn put_like_classification() {
+        assert!(ValueKind::Put.is_put_like());
+        assert!(ValueKind::ValuePointer.is_put_like());
+        assert!(!ValueKind::Tombstone.is_put_like());
+        assert!(!ValueKind::RangeTombstone.is_put_like());
+        assert!(!ValueKind::KeyRangeTombstone.is_put_like());
     }
 
     #[test]

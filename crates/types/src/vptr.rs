@@ -1,0 +1,103 @@
+//! The fixed-size value-log pointer stored in the tree in place of a
+//! separated value.
+//!
+//! When key-value separation is enabled, values above the configured
+//! threshold are appended to a segmented value log at commit time and
+//! the tree stores a [`ValuePointer`] (tagged [`ValueKind::ValuePointer`])
+//! instead of the value bytes. The pointer names the whole CRC-framed
+//! vlog record — segment id, byte offset, and framed length — so a
+//! dereference is one positioned read plus a checksum, and dead-byte
+//! accounting can charge the exact frame size when the pointer is
+//! dropped.
+//!
+//! [`ValueKind::ValuePointer`]: crate::seq::ValueKind::ValuePointer
+
+/// Size of the wire encoding: segment (8) + offset (8) + length (4).
+pub const VALUE_POINTER_SIZE: usize = 20;
+
+/// A reference to one framed record in the value log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValuePointer {
+    /// Value-log segment id (the `{seq:06}` in `vlog-{seq:06}.vlg`).
+    pub segment: u64,
+    /// Byte offset of the frame within the segment.
+    pub offset: u64,
+    /// Length of the whole frame (header + key + value), in bytes.
+    pub len: u32,
+}
+
+impl ValuePointer {
+    /// Encode as 20 little-endian bytes.
+    pub fn encode(&self) -> [u8; VALUE_POINTER_SIZE] {
+        let mut out = [0u8; VALUE_POINTER_SIZE];
+        out[..8].copy_from_slice(&self.segment.to_le_bytes());
+        out[8..16].copy_from_slice(&self.offset.to_le_bytes());
+        out[16..].copy_from_slice(&self.len.to_le_bytes());
+        out
+    }
+
+    /// Decode from the exact 20-byte encoding; `None` on any other
+    /// length (a pointer payload is fixed-size by construction, so a
+    /// mismatch is corruption, not framing slack).
+    pub fn decode(src: &[u8]) -> Option<ValuePointer> {
+        if src.len() != VALUE_POINTER_SIZE {
+            return None;
+        }
+        Some(ValuePointer {
+            segment: u64::from_le_bytes(src[..8].try_into().unwrap()),
+            offset: u64::from_le_bytes(src[8..16].try_into().unwrap()),
+            len: u32::from_le_bytes(src[16..].try_into().unwrap()),
+        })
+    }
+
+    /// End offset of the frame within its segment (`offset + len`).
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.offset + u64::from(self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for p in [
+            ValuePointer {
+                segment: 0,
+                offset: 0,
+                len: 0,
+            },
+            ValuePointer {
+                segment: 7,
+                offset: 4096,
+                len: 1031,
+            },
+            ValuePointer {
+                segment: u64::MAX,
+                offset: u64::MAX,
+                len: u32::MAX,
+            },
+        ] {
+            assert_eq!(ValuePointer::decode(&p.encode()), Some(p));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_sizes() {
+        assert_eq!(ValuePointer::decode(&[0u8; 19]), None);
+        assert_eq!(ValuePointer::decode(&[0u8; 21]), None);
+        assert_eq!(ValuePointer::decode(&[]), None);
+    }
+
+    #[test]
+    fn end_offset() {
+        let p = ValuePointer {
+            segment: 1,
+            offset: 100,
+            len: 32,
+        };
+        assert_eq!(p.end(), 132);
+    }
+}

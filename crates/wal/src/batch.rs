@@ -16,7 +16,9 @@ use acheron_types::codec::{
     get_u64_le, put_length_prefixed, put_u64_le, put_varint32, put_varint64,
     require_length_prefixed, require_varint64,
 };
-use acheron_types::{DeleteKeyRange, Entry, Error, KeyRangeTombstone, Result, SeqNo, ValueKind};
+use acheron_types::{
+    DeleteKeyRange, Entry, Error, KeyRangeTombstone, Result, SeqNo, ValueKind, ValuePointer,
+};
 use bytes::Bytes;
 
 /// One mutation inside a batch.
@@ -24,6 +26,18 @@ use bytes::Bytes;
 pub enum WalOp {
     /// Insert/update `key` with `value`; `dkey` is the secondary delete key.
     Put { key: Bytes, value: Bytes, dkey: u64 },
+    /// Insert/update `key` with a value already appended to the value
+    /// log; the op carries the pointer, not the value. Commit leaders
+    /// append the vlog frame *before* logging this record, so a decoded
+    /// `PutPtr` always names bytes written earlier in the same commit.
+    PutPtr {
+        /// The sort key.
+        key: Bytes,
+        /// Where the separated value lives.
+        ptr: ValuePointer,
+        /// The secondary delete key.
+        dkey: u64,
+    },
     /// Point-delete `key`; `tick` is the issue tick (FADE's age seed).
     Delete { key: Bytes, tick: u64 },
     /// Secondary range delete over the delete-key domain.
@@ -37,6 +51,7 @@ impl WalOp {
     fn kind(&self) -> ValueKind {
         match self {
             WalOp::Put { .. } => ValueKind::Put,
+            WalOp::PutPtr { .. } => ValueKind::ValuePointer,
             WalOp::Delete { .. } => ValueKind::Tombstone,
             WalOp::RangeDelete { .. } => ValueKind::RangeTombstone,
             WalOp::RangeDeleteKeys { .. } => ValueKind::KeyRangeTombstone,
@@ -82,6 +97,11 @@ impl WalBatch {
                     put_length_prefixed(&mut out, key);
                     put_length_prefixed(&mut out, value);
                 }
+                WalOp::PutPtr { key, ptr, dkey } => {
+                    put_varint64(&mut out, *dkey);
+                    put_length_prefixed(&mut out, key);
+                    put_length_prefixed(&mut out, &ptr.encode());
+                }
                 WalOp::Delete { key, tick } => {
                     put_varint64(&mut out, *tick);
                     put_length_prefixed(&mut out, key);
@@ -125,6 +145,15 @@ impl WalBatch {
                     value: Bytes::copy_from_slice(payload),
                     dkey,
                 },
+                ValueKind::ValuePointer => {
+                    let ptr = ValuePointer::decode(payload)
+                        .ok_or_else(|| Error::corruption("wal put-ptr op: bad pointer encoding"))?;
+                    WalOp::PutPtr {
+                        key: Bytes::copy_from_slice(key),
+                        ptr,
+                        dkey,
+                    }
+                }
                 ValueKind::Tombstone => {
                     if !payload.is_empty() {
                         return Err(Error::corruption("wal delete op carries a payload"));
@@ -183,6 +212,15 @@ impl WalBatch {
                 WalOp::Put { key, value, dkey } => {
                     entries.push(Entry::put(key.clone(), value.clone(), seqno, *dkey));
                 }
+                WalOp::PutPtr { key, ptr, dkey } => {
+                    entries.push(Entry {
+                        key: key.clone(),
+                        seqno,
+                        kind: ValueKind::ValuePointer,
+                        dkey: *dkey,
+                        value: Bytes::copy_from_slice(&ptr.encode()),
+                    });
+                }
                 WalOp::Delete { key, tick } => {
                     entries.push(Entry::tombstone(key.clone(), seqno, *tick));
                 }
@@ -231,6 +269,15 @@ mod tests {
                     end: Bytes::from_static(b"m"),
                     tick: 42,
                 },
+                WalOp::PutPtr {
+                    key: Bytes::from_static(b"k3"),
+                    ptr: ValuePointer {
+                        segment: 2,
+                        offset: 8192,
+                        len: 517,
+                    },
+                    dkey: 9,
+                },
             ],
         }
     }
@@ -250,18 +297,28 @@ mod tests {
 
     #[test]
     fn last_seqno() {
-        assert_eq!(sample().last_seqno(), 104);
+        assert_eq!(sample().last_seqno(), 105);
     }
 
     #[test]
     fn entries_assign_consecutive_seqnos() {
         let (entries, ranges, key_ranges) = sample().entries();
-        assert_eq!(entries.len(), 3);
+        assert_eq!(entries.len(), 4);
         assert_eq!(entries[0].seqno, 100);
         assert_eq!(entries[1].seqno, 101);
         assert!(entries[1].is_tombstone());
         assert_eq!(entries[1].dkey, 55);
         assert_eq!(entries[2].seqno, 103);
+        assert_eq!(entries[3].seqno, 105);
+        assert_eq!(entries[3].kind, ValueKind::ValuePointer);
+        assert_eq!(
+            ValuePointer::decode(&entries[3].value),
+            Some(ValuePointer {
+                segment: 2,
+                offset: 8192,
+                len: 517,
+            })
+        );
         assert_eq!(ranges, vec![(102, DeleteKeyRange::new(10, 20))]);
         assert_eq!(
             key_ranges,
@@ -319,6 +376,25 @@ mod tests {
         // kind byte is right after the 8-byte seqno + 1-byte count.
         data[9] = 9;
         assert!(WalBatch::decode(&data).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_put_ptr_with_bad_pointer() {
+        // A value-pointer op whose payload is not the exact fixed-size
+        // pointer encoding must be refused.
+        for bad_len in [0usize, 19, 21] {
+            let mut data = Vec::new();
+            put_u64_le(&mut data, 1);
+            put_varint32(&mut data, 1);
+            data.push(ValueKind::ValuePointer as u8);
+            put_varint64(&mut data, 0);
+            put_length_prefixed(&mut data, b"k");
+            put_length_prefixed(&mut data, &vec![0u8; bad_len]);
+            assert!(
+                WalBatch::decode(&data).is_err(),
+                "pointer payload of {bad_len} bytes must not decode"
+            );
+        }
     }
 
     #[test]

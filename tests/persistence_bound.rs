@@ -167,6 +167,73 @@ fn check_range_bound(seed: u64, d_th: u64, alloc: TtlAllocation) {
     );
 }
 
+/// The same deadline for the *value log*: a delete (or overwrite) that
+/// kills a separated value turns its vlog frame dead once compaction
+/// purges the pointer, and the dead extent must be physically
+/// reclaimed — its segment rewritten or deleted — within `D_th` of the
+/// covering tombstone's tick. The ratio trigger is disabled so only the
+/// deadline rule can drive GC; a drained log proves the rule works.
+fn check_vlog_bound(seed: u64, d_th: u64, separation_threshold: usize) {
+    let mut o = opts(d_th, TtlAllocation::Uniform);
+    o.value_separation_threshold = separation_threshold;
+    o.vlog_segment_bytes = 4 << 10;
+    o.vlog_gc_dead_ratio_percent = 0;
+    let db = Db::open(Arc::new(MemFs::new()), "db", o).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut now = 0u64;
+    for step in 0..1_200u32 {
+        let k: u32 = rng.gen_range(0..200);
+        if rng.gen_bool(0.35) {
+            db.delete(format!("key{k:04}").as_bytes()).unwrap();
+        } else {
+            // Comfortably above every threshold this test runs with.
+            db.put(format!("key{k:04}").as_bytes(), &[b'v'; 160])
+                .unwrap();
+        }
+        if step % 300 == 299 {
+            // Idle time in sub-margin steps (see check_bound).
+            let total = rng.gen_range(1..=2 * d_th);
+            let step_size = (d_th / 32).max(1);
+            let mut advanced = 0;
+            while advanced < total {
+                let inc = step_size.min(total - advanced);
+                db.advance_clock(inc);
+                now += inc;
+                advanced += inc;
+                db.maintain().unwrap();
+            }
+        }
+        if step % 100 == 0 {
+            if let Some(t0) = db.tombstone_gauges().vlog_oldest_dead_tick {
+                assert!(
+                    now.saturating_sub(t0) <= d_th,
+                    "dead vlog extent aged {} > D_th {d_th} at step {step}",
+                    now.saturating_sub(t0)
+                );
+            }
+        }
+    }
+    // Final settle: every dead extent must drain to zero.
+    let step_size = (d_th / 32).max(1);
+    let mut advanced = 0;
+    while advanced < 3 * d_th {
+        db.advance_clock(step_size);
+        advanced += step_size;
+        db.maintain().unwrap();
+    }
+    use std::sync::atomic::Ordering::Relaxed;
+    assert!(
+        db.stats().vlog_appends.load(Relaxed) > 0,
+        "workload must actually exercise value separation"
+    );
+    let gauges = db.tombstone_gauges();
+    assert_eq!(
+        gauges.vlog_dead_bytes, 0,
+        "dead vlog extents must drain within D_th"
+    );
+    assert_eq!(gauges.vlog_oldest_dead_tick, None);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -193,6 +260,19 @@ proptest! {
     fn fade_range_bound_holds_uniform(seed in any::<u64>(), d_th in 500u64..20_000) {
         check_range_bound(seed, d_th, TtlAllocation::Uniform);
     }
+
+    #[test]
+    fn vlog_dead_extents_drain_within_deadline(seed in any::<u64>(), d_th in 500u64..20_000) {
+        check_vlog_bound(seed, d_th, 64);
+    }
+}
+
+#[test]
+fn vlog_bound_with_tiny_threshold() {
+    // Separate *every* value (threshold 1) under an aggressive D_th:
+    // the log churns through segments quickly and the deadline must
+    // still drain each one.
+    check_vlog_bound(11, 600, 1);
 }
 
 #[test]

@@ -90,6 +90,7 @@ fn sharded_range_deletes_match_single_shard_embedded() {
         key_space: 512,
         delete_percent: 20,
         range_delete_percent: 12,
+        large_value_percent: 15,
     }
     .generate();
     let range_ops = ops
@@ -113,9 +114,9 @@ fn sharded_range_deletes_match_single_shard_embedded() {
     let mut client = Client::connect(server.local_addr()).unwrap();
     for op in &ops {
         match op {
-            WorkloadOp::Put { key, stamp } => {
-                client.put(&key_bytes(*key), &value_bytes(*stamp)).unwrap()
-            }
+            WorkloadOp::Put { key, stamp, large } => client
+                .put(&key_bytes(*key), &value_bytes(*stamp, *large))
+                .unwrap(),
             WorkloadOp::Delete { key } => client.delete(&key_bytes(*key)).unwrap(),
             WorkloadOp::RangeDeleteKeys { lo, hi } => client
                 .range_delete_keys(&key_bytes(*lo), &key_bytes(*hi))
@@ -158,21 +159,32 @@ fn key_bytes(k: u32) -> Vec<u8> {
     format!("key{k:06}").into_bytes()
 }
 
-fn value_bytes(stamp: u64) -> Vec<u8> {
-    format!("stamp{stamp:010}").into_bytes()
+fn value_bytes(stamp: u64, large: bool) -> Vec<u8> {
+    // Must mirror testutil's encoding byte for byte: the embedded
+    // engine writes through `apply_op`, the served fleet through here.
+    let mut v = format!("stamp{stamp:010}").into_bytes();
+    if large {
+        while v.len() < acheron::testutil::LARGE_VALUE_BYTES {
+            v.push(b'#');
+        }
+    }
+    v
 }
 
 fn parse_stamp(v: &[u8]) -> Option<u64> {
     std::str::from_utf8(v)
         .ok()?
         .strip_prefix("stamp")?
+        .get(..10)?
         .parse()
         .ok()
 }
 
 fn apply(db: &ShardedDb, op: &WorkloadOp) -> acheron_types::Result<()> {
     match op {
-        WorkloadOp::Put { key, stamp } => db.put(&key_bytes(*key), &value_bytes(*stamp)),
+        WorkloadOp::Put { key, stamp, large } => {
+            db.put(&key_bytes(*key), &value_bytes(*stamp, *large))
+        }
         WorkloadOp::Delete { key } => db.delete(&key_bytes(*key)),
         WorkloadOp::RangeDeleteKeys { lo, hi } => {
             db.range_delete_keys(&key_bytes(*lo), &key_bytes(*hi))
@@ -447,6 +459,66 @@ fn sharded_server_exposes_fleet_and_per_shard_metrics() {
         let header = format!("== shard {shard} ==");
         assert!(events.contains(&header), "missing {header}:\n{events}");
     }
+
+    server.shutdown();
+    db.verify_integrity().unwrap();
+}
+
+/// Value separation composes with sharding: each shard runs its own
+/// value log, and the wire-level stats and metrics merge them into one
+/// fleet-wide view.
+#[test]
+fn sharded_server_merges_vlog_stats_across_shards() {
+    let mut opts = DbOptions::small().with_value_separation(64);
+    opts.vlog_segment_bytes = 4 << 10;
+    let db = Arc::new(ShardedDb::open(Arc::new(MemFs::new()), "db", opts, 4).unwrap());
+    let mut server =
+        Server::start(Arc::clone(&db), "127.0.0.1:0", ServerOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Every value clears the threshold, so every put is a vlog append
+    // on whichever shard owns the key.
+    for i in 0..200u32 {
+        client
+            .put(format!("key{i:06}").as_bytes(), &[b'v'; 300])
+            .unwrap();
+    }
+
+    let stats = client.stats().unwrap();
+    let lookup = |name: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("{name} missing from stats"))
+    };
+    assert_eq!(
+        lookup("vlog_appends"),
+        200,
+        "every separated put must be counted fleet-wide"
+    );
+    assert!(lookup("vlog_bytes_written") > 200 * 300);
+
+    // Every shard took part (the keyspace is wide enough to hit all
+    // four), so the fleet numbers are a genuine merge, not one shard.
+    assert!(db.shard_stats().iter().all(|s| s.vlog_appends > 0));
+    let merged = db.stats_snapshot();
+    assert_eq!(
+        merged.vlog_appends,
+        db.shard_stats().iter().map(|s| s.vlog_appends).sum::<u64>()
+    );
+
+    // The fleet gauge view merges per-shard value-log liveness.
+    let live: u64 = client
+        .metrics()
+        .unwrap()
+        .lines()
+        .find_map(|l| l.strip_prefix("db_vlog_live_bytes "))
+        .expect("db_vlog_live_bytes metric present")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(live > 0, "live separated values must surface in the gauge");
 
     server.shutdown();
     db.verify_integrity().unwrap();
