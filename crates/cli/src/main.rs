@@ -45,7 +45,8 @@ fn main() {
             Err(e) => {
                 eprintln!("{e}");
                 eprintln!(
-                    "usage: acheron serve [addr] [--shards N] [--rate-limit OPS] [--burst B]"
+                    "usage: acheron serve [addr] [--shards N] [--memory-budget BYTES] \
+                     [--rate-limit OPS] [--burst B]"
                 );
                 std::process::exit(2);
             }
@@ -118,7 +119,7 @@ fn expose(cmd: &str, target: &str) {
             Ok(None) => Db::open(fs, target, DbOptions::default())
                 .map(|db| match cmd {
                     "stats" => acheron::obs::render_prometheus(
-                        &db.stats().snapshot().to_pairs(),
+                        &db.stats_snapshot().to_pairs(),
                         &db.tombstone_gauges(),
                         db.now(),
                         db.options()
@@ -148,16 +149,22 @@ fn expose(cmd: &str, target: &str) {
 struct ServeArgs {
     addr: String,
     shards: usize,
+    /// One unified byte budget across memtables, the shared block
+    /// cache, and pinned filters (`DbOptions::memory_budget_bytes`);
+    /// 0 keeps the preset's static sizing.
+    memory_budget: usize,
     rate_limit: Option<RateLimitConfig>,
 }
 
 impl ServeArgs {
-    /// Parse `[addr] [--shards N] [--rate-limit OPS] [--burst B]`.
-    /// `--burst` without `--rate-limit` is rejected (a burst cap is
-    /// meaningless with no sustained rate to refill at).
+    /// Parse `[addr] [--shards N] [--memory-budget BYTES]
+    /// [--rate-limit OPS] [--burst B]`. `--burst` without
+    /// `--rate-limit` is rejected (a burst cap is meaningless with no
+    /// sustained rate to refill at).
     fn parse(args: &[String]) -> Result<ServeArgs, String> {
         let mut addr = None;
         let mut shards = 1usize;
+        let mut memory_budget = 0usize;
         let mut rate: Option<u64> = None;
         let mut burst: Option<u64> = None;
         let mut it = args.iter();
@@ -171,6 +178,14 @@ impl ServeArgs {
                         .map_err(|_| "--shards must be a positive integer".to_string())?;
                     if shards == 0 {
                         return Err("--shards must be at least 1".into());
+                    }
+                }
+                "--memory-budget" => {
+                    memory_budget = flag_value("--memory-budget")?
+                        .parse()
+                        .map_err(|_| "--memory-budget must be an integer (bytes)".to_string())?;
+                    if memory_budget > 0 && memory_budget < 64 * 1024 {
+                        return Err("--memory-budget must be 0 or at least 65536 bytes".into());
                     }
                 }
                 "--rate-limit" => {
@@ -207,6 +222,7 @@ impl ServeArgs {
         Ok(ServeArgs {
             addr: addr.unwrap_or_else(|| "127.0.0.1:7878".into()),
             shards,
+            memory_budget,
             rate_limit,
         })
     }
@@ -215,10 +231,15 @@ impl ServeArgs {
 /// Serve an in-memory demo database until stdin closes or says `quit`.
 /// Any other input line prints the server status line, so an operator
 /// can watch connections, throughput, and backpressure state live.
-/// `--shards N` partitions the keyspace across N engines; `--rate-limit`
-/// adds per-connection token-bucket admission control.
+/// `--shards N` partitions the keyspace across N engines;
+/// `--memory-budget BYTES` puts memtables, the block cache, and pinned
+/// filters under one adaptively split budget; `--rate-limit` adds
+/// per-connection token-bucket admission control.
 fn serve(args: &ServeArgs) {
-    let opts = DbOptions::small().with_fade(50_000);
+    let mut opts = DbOptions::small().with_fade(50_000);
+    if args.memory_budget > 0 {
+        opts = opts.with_memory_budget(args.memory_budget);
+    }
     let engine: Engine = if args.shards > 1 {
         match ShardedDb::open(Arc::new(MemFs::new()), "serve-db", opts, args.shards) {
             Ok(db) => Arc::new(db).into(),

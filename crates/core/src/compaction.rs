@@ -219,7 +219,10 @@ pub fn run_compaction(
         } else {
             Vec::new()
         };
-        let mut it = f.table.iter(rts_for_file);
+        // Compaction inputs are read once and rewritten: bypass the
+        // block cache so the merge neither evicts the read path's
+        // working set nor inflates the memory arbiter's fill signal.
+        let mut it = f.table.iter_nofill(rts_for_file);
         it.seek_to_first()?;
         sources.push(Box::new(it));
     }

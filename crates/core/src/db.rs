@@ -46,7 +46,7 @@
 //! pages without reading them.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -66,6 +66,7 @@ use crate::filenames::{manifest_name, parse_file_name, sst_path, vlog_path, wal_
 use crate::manifest::{
     read_current, read_manifest, write_current, EditBatch, ManifestWriter, VersionEdit,
 };
+use crate::memory::{MemoryBudget, TunerSample};
 use crate::obs::{Event, EventLog, EventSnapshot, GcKind, RecoveryStepKind, TombstoneGauges};
 use crate::options::DbOptions;
 use crate::picker::{CompactionReason, CompactionTask, Picker};
@@ -301,6 +302,19 @@ struct DbCore {
     picker: Picker,
     stats: DbStats,
     cache: Option<Arc<acheron_sstable::BlockCache>>,
+    /// Unified memory arbiter, present when
+    /// [`DbOptions::memory_budget_bytes`] is non-zero or a sharded
+    /// fleet injected a shared budget. Owns the memtable/cache split;
+    /// `cache` is resized to its cache share when the tuner moves.
+    memory: Option<Arc<MemoryBudget>>,
+    /// Whether `cache`/`memory` are shared with sibling engines (one
+    /// fleet-wide instance). Shared-scope cache and budget stats are
+    /// then reported once by the fleet router, not per shard.
+    cache_is_shared: bool,
+    /// This engine's last-reported pinned-bytes contribution (filters +
+    /// tile metadata of its open tables) to the memory budget. The view
+    /// publish path reports deltas against it.
+    pinned_contrib: AtomicUsize,
     snapshots: Mutex<BTreeMap<SeqNo, usize>>,
     state: RwLock<State>,
     /// The active WAL writer. Its own mutex (not part of `state`) so a
@@ -590,10 +604,45 @@ pub struct LevelInfo {
 impl Db {
     /// Open (creating or recovering) a database under `dir`.
     pub fn open(fs: Arc<dyn Vfs>, dir: &str, opts: DbOptions) -> Result<Db> {
+        Self::open_with_shared(fs, dir, opts, None, None)
+    }
+
+    /// Open with an optionally injected fleet-shared block cache and
+    /// memory budget (how [`crate::ShardedDb`] gives every shard one
+    /// cache instance and one arbiter instead of N private copies).
+    ///
+    /// Resolution order for the cache/budget pair:
+    /// 1. injected shared instances (the caller owns their sizing);
+    /// 2. `opts.memory_budget_bytes > 0`: a private budget plus a cache
+    ///    sized to its cache share (even if `block_cache_bytes` is 0);
+    /// 3. legacy: a private cache of `block_cache_bytes` if non-zero,
+    ///    no budget.
+    pub(crate) fn open_with_shared(
+        fs: Arc<dyn Vfs>,
+        dir: &str,
+        opts: DbOptions,
+        shared_cache: Option<Arc<acheron_sstable::BlockCache>>,
+        shared_budget: Option<Arc<MemoryBudget>>,
+    ) -> Result<Db> {
         opts.validate()?;
         fs.mkdir_all(dir)?;
-        let cache = (opts.block_cache_bytes > 0)
-            .then(|| Arc::new(acheron_sstable::BlockCache::new(opts.block_cache_bytes)));
+        let cache_is_shared = shared_cache.is_some();
+        let (cache, memory) = match (shared_cache, shared_budget) {
+            (Some(c), budget) => (Some(c), budget),
+            (None, _) if opts.memory_budget_bytes > 0 => {
+                let budget = Arc::new(MemoryBudget::new(opts.memory_budget_bytes));
+                let cache = Arc::new(acheron_sstable::BlockCache::new(budget.cache_share_bytes()));
+                (Some(cache), Some(budget))
+            }
+            (None, _) => (
+                (opts.block_cache_bytes > 0)
+                    .then(|| Arc::new(acheron_sstable::BlockCache::new(opts.block_cache_bytes))),
+                None,
+            ),
+        };
+        if let Some(m) = &memory {
+            m.register_writer();
+        }
         let boot = match read_current(fs.as_ref(), dir)? {
             None => Self::initialize(&fs, dir, &opts)?,
             Some(manifest) => Self::recover(&fs, dir, &opts, &manifest, cache.as_ref())?,
@@ -631,6 +680,9 @@ impl Db {
             opts,
             stats: DbStats::default(),
             cache,
+            memory,
+            cache_is_shared,
+            pinned_contrib: AtomicUsize::new(0),
             snapshots: Mutex::new(BTreeMap::new()),
             state: RwLock::new(state),
             wal: Mutex::new(wal),
@@ -650,6 +702,9 @@ impl Db {
         for ev in boot_events {
             core.obs.log(ev);
         }
+        // Report the recovered table set's pinned bytes before any
+        // traffic: a freshly opened tree already taxes the budget.
+        core.refresh_pinned(&core.state.read());
         let mut workers = Vec::with_capacity(core.opts.background_threads);
         for i in 0..core.opts.background_threads {
             let c = Arc::clone(&core);
@@ -1522,6 +1577,9 @@ impl Db {
             core.flush_imms_locked(&mut st)?;
             core.maintain_locked(&mut st)?;
         }
+        // One arbiter sample per quiescent pass: this is the inline
+        // analogue of the background workers' per-step tick.
+        core.memory_tick();
         // Vlog GC runs after the tree is quiescent — compaction installs
         // above are what turn frames dead — and outside the locks, since
         // each rewrite re-enters the commit path.
@@ -1794,6 +1852,43 @@ impl Db {
         self.core().cache.as_ref().map(|c| (c.hits(), c.misses()))
     }
 
+    /// A snapshot of the engine's counters with the cache and
+    /// memory-budget gauges filled in.
+    ///
+    /// Shared-scope fields (cache counters, total budget) are left zero
+    /// when the cache is fleet-shared — the router reports the single
+    /// shared instance once, so summing shard snapshots stays correct.
+    /// Per-engine fields (memtable allowance, pinned bytes) are always
+    /// filled.
+    pub fn stats_snapshot(&self) -> crate::stats::StatsSnapshot {
+        let core = self.core();
+        let mut s = core.stats.snapshot();
+        if !core.cache_is_shared {
+            if let Some(c) = &core.cache {
+                s.cache_hits = c.hits();
+                s.cache_misses = c.misses();
+                s.cache_evictions = c.evictions();
+                s.cache_inserted_bytes = c.inserted_bytes();
+                s.cache_used_bytes = c.used_bytes() as u64;
+                s.cache_capacity_bytes = c.capacity_bytes() as u64;
+            }
+            if let Some(m) = &core.memory {
+                s.memory_budget_bytes = m.total_bytes() as u64;
+                s.memory_adjustments = m.adjustments();
+            }
+        }
+        s.memtable_budget_bytes = core.write_buffer_limit() as u64;
+        s.pinned_bytes = core.pinned_contrib.load(Ordering::Relaxed) as u64;
+        s
+    }
+
+    /// The engine's memory arbiter, when one is configured (either via
+    /// [`DbOptions::memory_budget_bytes`] or injected by a sharded
+    /// fleet). Exposed for observability and experiments.
+    pub fn memory_budget(&self) -> Option<Arc<MemoryBudget>> {
+        self.core().memory.clone()
+    }
+
     /// Per-level summary of the current tree.
     pub fn level_summary(&self) -> Vec<LevelInfo> {
         let view = self.core().current_view();
@@ -1944,7 +2039,8 @@ impl Db {
         let view = self.core().current_view();
         view.version.check_invariants()?;
         for f in view.version.all_files() {
-            let mut it = f.table.iter(vec![]);
+            // A one-pass integrity scan must not wipe out the cache.
+            let mut it = f.table.iter_nofill(vec![]);
             it.seek_to_first()?;
             let mut entries = 0u64;
             let mut tombstones = 0u64;
@@ -2121,6 +2217,56 @@ impl DbCore {
         // here (O(files) over metadata only) keeps reads free and the
         // gauges incapable of drifting from the tree.
         *self.gauges.lock() = Arc::new(TombstoneGauges::from_version(&st.version));
+        self.refresh_pinned(st);
+    }
+
+    /// The active memtable's seal threshold: the arbiter's per-writer
+    /// allowance when a memory budget is configured, else the static
+    /// [`DbOptions::write_buffer_bytes`].
+    fn write_buffer_limit(&self) -> usize {
+        self.memory
+            .as_ref()
+            .map(|m| m.memtable_bytes_per_writer())
+            .unwrap_or(self.opts.write_buffer_bytes)
+    }
+
+    /// Recompute this engine's pinned filter/tile-metadata bytes (same
+    /// install points as the gauges: the file set only changes here).
+    /// The gauge is maintained whether or not a budget is configured —
+    /// it is exported as `db_memory_pinned_bytes` either way. Under a
+    /// budget, pinned growth additionally squeezes the arbitrated
+    /// pool, so a material change re-applies the cache share too.
+    fn refresh_pinned(&self, st: &State) {
+        let pinned: usize = st.version.all_files().map(|f| f.table.pinned_bytes()).sum();
+        let old = self.pinned_contrib.swap(pinned, Ordering::Relaxed);
+        if old == pinned {
+            return;
+        }
+        if let Some(m) = &self.memory {
+            m.adjust_pinned(old, pinned);
+            if let Some(c) = &self.cache {
+                m.apply_cache_share(c);
+            }
+        }
+    }
+
+    /// Feed one cumulative sample to the memory arbiter and re-apply
+    /// the cache share if the split moved. Cheap when idle (the tuner
+    /// differences its inputs, so an unchanged window classifies as
+    /// hold); called from both the inline and background maintenance
+    /// paths.
+    fn memory_tick(&self) {
+        let (Some(m), Some(c)) = (&self.memory, &self.cache) else {
+            return;
+        };
+        let sample = TunerSample {
+            cache_fill_bytes: c.inserted_bytes(),
+            write_bytes: self.stats.user_bytes.load(Ordering::Relaxed),
+            write_stalls: self.stats.write_stalls.load(Ordering::Relaxed),
+        };
+        if m.tick(sample) {
+            m.apply_cache_share(c);
+        }
     }
 
     /// Enter the commit-exclusion domain: wait out any commit leader or
@@ -2327,7 +2473,7 @@ impl DbCore {
             }
         }
         let mut kick = false;
-        if st.mem.approximate_bytes() >= self.opts.write_buffer_bytes {
+        if st.mem.approximate_bytes() >= self.write_buffer_limit() {
             // The leader already owns the commit-exclusion domain, so it
             // may seal (swap the WAL writer) directly.
             self.seal_memtable_locked(&mut st)?;
@@ -3046,6 +3192,9 @@ impl DbCore {
             drop(maint);
 
             let outcome = core.run_one_maintenance_step();
+            // Sample the arbiter once per worker step; differencing in
+            // the tuner makes redundant calls classify as hold.
+            core.memory_tick();
 
             let mut maint = core.maint.lock();
             maint.in_flight -= 1;

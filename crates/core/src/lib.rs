@@ -50,6 +50,7 @@ pub mod doctor;
 pub mod fade;
 pub mod filenames;
 pub mod manifest;
+pub mod memory;
 pub mod merge;
 pub mod obs;
 pub mod options;
@@ -61,6 +62,7 @@ pub mod version;
 
 pub use db::{Db, LevelInfo, MaintenancePause, RangeIter, Snapshot, WriteBatch, WritePressure};
 pub use doctor::{check_db, check_db_with_threshold, DoctorReport, LevelTombstoneSummary};
+pub use memory::{MemoryBudget, TunerSample};
 pub use obs::{
     AgeHistogram, Event, EventLog, EventSnapshot, GcKind, LevelGauge, RecoveryStepKind,
     StampedEvent, TombstoneGauges,

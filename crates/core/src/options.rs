@@ -106,6 +106,22 @@ pub struct DbOptions {
     /// Experiments default to 0 so measured I/O reflects the layout, not
     /// cache luck.
     pub block_cache_bytes: usize,
+    /// Unified memory budget in bytes, arbitrated adaptively across the
+    /// write buffer, the block cache, and pinned table metadata by a
+    /// [`crate::memory::MemoryBudget`].
+    ///
+    /// **Precedence rule:** when this is non-zero it *overrides* the
+    /// static sizing knobs — the memtable seal threshold comes from the
+    /// budget's current write-buffer share (not `write_buffer_bytes`)
+    /// and the page cache is created at the budget's cache share and
+    /// resized by the tuner (`block_cache_bytes` is ignored, and a
+    /// cache exists even when it is 0). When this is zero (the
+    /// default), behavior is exactly legacy: `write_buffer_bytes` seals
+    /// memtables, `block_cache_bytes` sizes the optional cache, and no
+    /// tuner runs. On a sharded fleet one budget spans every shard:
+    /// each shard's memtable allowance is the write-buffer share
+    /// divided by the shard count, and all shards share one cache.
+    pub memory_budget_bytes: usize,
     /// Sync the WAL on every commit.
     pub wal_sync: bool,
     /// Background maintenance threads owning flushes and compactions.
@@ -185,6 +201,7 @@ impl Default for DbOptions {
             pages_per_tile: 1,
             bloom_bits_per_key: 10,
             block_cache_bytes: 0,
+            memory_budget_bytes: 0,
             wal_sync: false,
             background_threads: std::thread::available_parallelism()
                 .map_or(1, |n| n.get().saturating_sub(1)),
@@ -236,6 +253,13 @@ impl DbOptions {
     /// more.
     pub fn with_value_separation(mut self, threshold: usize) -> DbOptions {
         self.value_separation_threshold = threshold;
+        self
+    }
+
+    /// Enable the unified adaptive memory budget (see
+    /// [`DbOptions::memory_budget_bytes`] for the precedence rule).
+    pub fn with_memory_budget(mut self, total_bytes: usize) -> DbOptions {
+        self.memory_budget_bytes = total_bytes;
         self
     }
 
@@ -294,6 +318,11 @@ impl DbOptions {
         if self.vlog_gc_dead_ratio_percent > 100 {
             return Err(Error::invalid_argument(
                 "vlog_gc_dead_ratio_percent must be <= 100",
+            ));
+        }
+        if self.memory_budget_bytes > 0 && self.memory_budget_bytes < 64 << 10 {
+            return Err(Error::invalid_argument(
+                "memory_budget_bytes must be 0 (disabled) or >= 64 KiB",
             ));
         }
         Ok(())
@@ -411,6 +440,20 @@ mod tests {
         }
         .validate()
         .is_ok());
+        // A memory budget too small to split is rejected; zero (off)
+        // and a real budget are fine.
+        assert!(DbOptions::default()
+            .with_memory_budget(1024)
+            .validate()
+            .is_err());
+        assert!(DbOptions::default()
+            .with_memory_budget(8 << 20)
+            .validate()
+            .is_ok());
+        assert!(DbOptions::default()
+            .with_memory_budget(0)
+            .validate()
+            .is_ok());
     }
 
     #[test]

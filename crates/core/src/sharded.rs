@@ -71,6 +71,7 @@ use parking_lot::RwLock;
 
 use crate::db::{Db, Snapshot, WritePressure};
 use crate::doctor::{self, DoctorReport};
+use crate::memory::MemoryBudget;
 use crate::obs::{EventSnapshot, TombstoneGauges};
 use crate::options::DbOptions;
 use crate::stats::StatsSnapshot;
@@ -191,6 +192,14 @@ pub struct ShardedDb {
     /// Admission barrier: writes hold `read` across their commit,
     /// [`ShardedDb::snapshot`] holds `write` while capturing the cut.
     barrier: RwLock<()>,
+    /// The single fleet-wide block cache every shard shares (present
+    /// when caching is enabled at all). One instance, one budget —
+    /// never N private copies of `block_cache_bytes` each.
+    cache: Option<Arc<acheron_sstable::BlockCache>>,
+    /// The fleet-wide memory arbiter, present when
+    /// [`DbOptions::memory_budget_bytes`] is non-zero. Every shard is a
+    /// registered writer on it.
+    memory: Option<Arc<MemoryBudget>>,
     opts: DbOptions,
 }
 
@@ -240,6 +249,19 @@ impl ShardedDb {
         }
         let auto_advance = opts.auto_advance_clock;
         let clock = Arc::clone(&opts.clock);
+        // One cache and one arbiter for the whole fleet: the configured
+        // bytes are a *total*, so N shards must share a single instance
+        // rather than each allocating a private copy (which would
+        // multiply the footprint by the shard count).
+        let memory = (opts.memory_budget_bytes > 0)
+            .then(|| Arc::new(MemoryBudget::new(opts.memory_budget_bytes)));
+        let cache = match &memory {
+            Some(m) => Some(Arc::new(acheron_sstable::BlockCache::new(
+                m.cache_share_bytes(),
+            ))),
+            None => (opts.block_cache_bytes > 0)
+                .then(|| Arc::new(acheron_sstable::BlockCache::new(opts.block_cache_bytes))),
+        };
         let mut dbs = Vec::with_capacity(shards);
         for i in 0..shards {
             // Shards share the router's clock but never advance it
@@ -249,7 +271,13 @@ impl ShardedDb {
                 auto_advance_clock: false,
                 ..opts.clone()
             };
-            dbs.push(Db::open(Arc::clone(&fs), &shard_dir(dir, i), shard_opts)?);
+            dbs.push(Db::open_with_shared(
+                Arc::clone(&fs),
+                &shard_dir(dir, i),
+                shard_opts,
+                cache.clone(),
+                memory.clone(),
+            )?);
         }
         if existing.is_none() {
             // Every shard's CURRENT is durable; only now may the map
@@ -261,6 +289,8 @@ impl ShardedDb {
             clock,
             auto_advance,
             barrier: RwLock::new(()),
+            cache,
+            memory,
             opts,
         })
     }
@@ -434,17 +464,46 @@ impl ShardedDb {
     }
 
     /// Fleet-wide stats: every shard's [`StatsSnapshot`] merged (sums,
-    /// maxima, and conservatively merged histogram summaries).
+    /// maxima, and conservatively merged histogram summaries), with the
+    /// shared cache and memory-budget gauges filled in exactly once —
+    /// shard snapshots leave shared-scope fields zero precisely so this
+    /// sum cannot count the single shared instance N times.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
-        self.shards
+        let mut s = self
+            .shards
             .iter()
-            .map(|d| d.stats().snapshot())
-            .fold(StatsSnapshot::default(), |acc, s| acc.merge(&s))
+            .map(|d| d.stats_snapshot())
+            .fold(StatsSnapshot::default(), |acc, s| acc.merge(&s));
+        if let Some(c) = &self.cache {
+            s.cache_hits = c.hits();
+            s.cache_misses = c.misses();
+            s.cache_evictions = c.evictions();
+            s.cache_inserted_bytes = c.inserted_bytes();
+            s.cache_used_bytes = c.used_bytes() as u64;
+            s.cache_capacity_bytes = c.capacity_bytes() as u64;
+        }
+        if let Some(m) = &self.memory {
+            s.memory_budget_bytes = m.total_bytes() as u64;
+            s.memory_adjustments = m.adjustments();
+        }
+        s
     }
 
-    /// Per-shard stats snapshots, in shard order.
+    /// Per-shard stats snapshots, in shard order. Shared-scope cache
+    /// and budget fields are zero here (the cache is fleet-wide); see
+    /// [`ShardedDb::stats_snapshot`] for the filled fleet view.
     pub fn shard_stats(&self) -> Vec<StatsSnapshot> {
-        self.shards.iter().map(|d| d.stats().snapshot()).collect()
+        self.shards.iter().map(|d| d.stats_snapshot()).collect()
+    }
+
+    /// The fleet-wide block cache, when caching is enabled.
+    pub fn block_cache(&self) -> Option<Arc<acheron_sstable::BlockCache>> {
+        self.cache.clone()
+    }
+
+    /// The fleet-wide memory arbiter, when a budget is configured.
+    pub fn memory_budget(&self) -> Option<Arc<MemoryBudget>> {
+        self.memory.clone()
     }
 
     /// Fleet-wide tombstone gauges: per-level populations summed across

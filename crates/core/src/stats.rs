@@ -306,6 +306,20 @@ impl DbStats {
             vlog_gc_rewritten_bytes: self.vlog_gc_rewritten_bytes.load(Relaxed),
             vlog_gc_reclaimed_bytes: self.vlog_gc_reclaimed_bytes.load(Relaxed),
             vlog_segments_deleted: self.vlog_segments_deleted.load(Relaxed),
+            // Cache and memory-budget fields live on the BlockCache /
+            // MemoryBudget, not in DbStats; `Db::stats_snapshot` fills
+            // them (and the fleet router fills them once for a shared
+            // cache, so shard merges cannot multiply a global gauge).
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+            cache_inserted_bytes: 0,
+            cache_used_bytes: 0,
+            cache_capacity_bytes: 0,
+            memory_budget_bytes: 0,
+            memtable_budget_bytes: 0,
+            pinned_bytes: 0,
+            memory_adjustments: 0,
         }
     }
 }
@@ -355,6 +369,16 @@ pub struct StatsSnapshot {
     pub vlog_gc_rewritten_bytes: u64,
     pub vlog_gc_reclaimed_bytes: u64,
     pub vlog_segments_deleted: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub cache_inserted_bytes: u64,
+    pub cache_used_bytes: u64,
+    pub cache_capacity_bytes: u64,
+    pub memory_budget_bytes: u64,
+    pub memtable_budget_bytes: u64,
+    pub pinned_bytes: u64,
+    pub memory_adjustments: u64,
 }
 
 impl StatsSnapshot {
@@ -406,6 +430,16 @@ impl StatsSnapshot {
             vlog_gc_rewritten_bytes: self.vlog_gc_rewritten_bytes + other.vlog_gc_rewritten_bytes,
             vlog_gc_reclaimed_bytes: self.vlog_gc_reclaimed_bytes + other.vlog_gc_reclaimed_bytes,
             vlog_segments_deleted: self.vlog_segments_deleted + other.vlog_segments_deleted,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
+            cache_inserted_bytes: self.cache_inserted_bytes + other.cache_inserted_bytes,
+            cache_used_bytes: self.cache_used_bytes + other.cache_used_bytes,
+            cache_capacity_bytes: self.cache_capacity_bytes + other.cache_capacity_bytes,
+            memory_budget_bytes: self.memory_budget_bytes + other.memory_budget_bytes,
+            memtable_budget_bytes: self.memtable_budget_bytes + other.memtable_budget_bytes,
+            pinned_bytes: self.pinned_bytes + other.pinned_bytes,
+            memory_adjustments: self.memory_adjustments + other.memory_adjustments,
         }
     }
 
@@ -460,6 +494,26 @@ impl StatsSnapshot {
                 self.vlog_gc_reclaimed_bytes,
             ),
             ("vlog_segments_deleted".into(), self.vlog_segments_deleted),
+            // Cache/memory names carry the exposition prefix directly so
+            // the Prometheus rendering (which prints pair names
+            // verbatim) emits the documented db_cache_* / db_memory_*
+            // series.
+            ("db_cache_hits".into(), self.cache_hits),
+            ("db_cache_misses".into(), self.cache_misses),
+            ("db_cache_evictions".into(), self.cache_evictions),
+            ("db_cache_inserted_bytes".into(), self.cache_inserted_bytes),
+            ("db_cache_used_bytes".into(), self.cache_used_bytes),
+            ("db_cache_capacity_bytes".into(), self.cache_capacity_bytes),
+            ("db_memory_budget_bytes".into(), self.memory_budget_bytes),
+            (
+                "db_memory_memtable_budget_bytes".into(),
+                self.memtable_budget_bytes,
+            ),
+            ("db_memory_pinned_bytes".into(), self.pinned_bytes),
+            (
+                "db_memory_budget_adjustments".into(),
+                self.memory_adjustments,
+            ),
         ];
         for (name, h) in [
             ("persistence_latency", &self.persistence_latency),
@@ -603,6 +657,16 @@ mod tests {
             vlog_gc_rewritten_bytes: 32,
             vlog_gc_reclaimed_bytes: 33,
             vlog_segments_deleted: 34,
+            cache_hits: 35,
+            cache_misses: 36,
+            cache_evictions: 37,
+            cache_inserted_bytes: 38,
+            cache_used_bytes: 39,
+            cache_capacity_bytes: 40,
+            memory_budget_bytes: 41,
+            memtable_budget_bytes: 42,
+            pinned_bytes: 43,
+            memory_adjustments: 44,
         };
         // Destructure with no `..`: adding a field to StatsSnapshot
         // without deciding how it exports breaks this test at compile
@@ -647,6 +711,16 @@ mod tests {
             vlog_gc_rewritten_bytes,
             vlog_gc_reclaimed_bytes,
             vlog_segments_deleted,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_inserted_bytes,
+            cache_used_bytes,
+            cache_capacity_bytes,
+            memory_budget_bytes,
+            memtable_budget_bytes,
+            pinned_bytes,
+            memory_adjustments,
         } = snap;
         let pairs = snap.to_pairs();
         let get = |n: &str| pairs.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
@@ -685,6 +759,16 @@ mod tests {
             ("vlog_gc_rewritten_bytes", vlog_gc_rewritten_bytes),
             ("vlog_gc_reclaimed_bytes", vlog_gc_reclaimed_bytes),
             ("vlog_segments_deleted", vlog_segments_deleted),
+            ("db_cache_hits", cache_hits),
+            ("db_cache_misses", cache_misses),
+            ("db_cache_evictions", cache_evictions),
+            ("db_cache_inserted_bytes", cache_inserted_bytes),
+            ("db_cache_used_bytes", cache_used_bytes),
+            ("db_cache_capacity_bytes", cache_capacity_bytes),
+            ("db_memory_budget_bytes", memory_budget_bytes),
+            ("db_memory_memtable_budget_bytes", memtable_budget_bytes),
+            ("db_memory_pinned_bytes", pinned_bytes),
+            ("db_memory_budget_adjustments", memory_adjustments),
         ];
         for (name, value) in scalars {
             assert_eq!(

@@ -302,6 +302,11 @@ pub struct CrashConfig {
     pub delete_persistence_threshold: u64,
     /// What a power cut does to unsynced file suffixes.
     pub cut: CutDurability,
+    /// Unified memory budget (0 = disabled). Non-zero runs the whole
+    /// campaign with the block cache and adaptive arbiter live, so the
+    /// sweep proves recovery is cache-oblivious: the cache is purely
+    /// in-memory state and must not change any recovered answer.
+    pub memory_budget_bytes: usize,
 }
 
 impl Default for CrashConfig {
@@ -311,6 +316,7 @@ impl Default for CrashConfig {
             background_threads: 0,
             delete_persistence_threshold: 2_000,
             cut: CutDurability::DropUnsynced,
+            memory_budget_bytes: 0,
         }
     }
 }
@@ -333,6 +339,7 @@ impl CrashConfig {
             // every sweep drives both value paths through each crash.
             value_separation_threshold: 256,
             vlog_segment_bytes: 4 << 10,
+            memory_budget_bytes: self.memory_budget_bytes,
             ..DbOptions::default()
         }
         .with_fade(self.delete_persistence_threshold)

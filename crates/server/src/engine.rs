@@ -130,10 +130,12 @@ impl Engine {
         }
     }
 
-    /// Merged engine counters (per-shard sums for a fleet).
+    /// Merged engine counters (per-shard sums for a fleet), including
+    /// block-cache counters and memory-budget gauges. On a fleet the
+    /// shared cache is reported exactly once, not once per shard.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         match self {
-            Engine::Single(db) => db.stats().snapshot(),
+            Engine::Single(db) => db.stats_snapshot(),
             Engine::Sharded(db) => db.stats_snapshot(),
         }
     }
@@ -193,6 +195,20 @@ impl Engine {
             out.push_str(&format!(
                 "db_shard_stall{{shard=\"{i}\"}} {}\n",
                 u64::from(pressure.stall)
+            ));
+        }
+        // Per-shard memory-split gauges: each shard's write-buffer
+        // allowance under the shared arbiter, and its pinned
+        // filter/metadata contribution. The fleet-level totals are in
+        // the merged snapshot (`db_memory_*`).
+        for (i, stats) in db.shard_stats().iter().enumerate() {
+            out.push_str(&format!(
+                "db_shard_memtable_budget_bytes{{shard=\"{i}\"}} {}\n",
+                stats.memtable_budget_bytes
+            ));
+            out.push_str(&format!(
+                "db_shard_pinned_bytes{{shard=\"{i}\"}} {}\n",
+                stats.pinned_bytes
             ));
         }
         out.push_str(&format!(

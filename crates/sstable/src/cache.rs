@@ -1,20 +1,47 @@
-//! A sharded LRU cache for decoded data pages.
+//! A sharded, scan-resistant page cache for decoded data pages.
 //!
 //! Keyed by `(table cache-id, page offset)`. Tables get a process-unique
 //! cache id at open, so reusing file numbers across databases cannot
 //! alias. Sharding (16 ways by key hash) keeps lock contention off the
-//! read path; within a shard, recency is tracked with a monotone
-//! generation counter and a `BTreeMap<generation, key>` index — O(log n)
-//! per touch, no unsafe linked lists.
+//! read path; within a shard, recency is an intrusive doubly-linked
+//! list over a slab of nodes (indices, no unsafe) — O(1) per touch,
+//! insert, and eviction.
+//!
+//! # Scan resistance
+//!
+//! Each shard runs a segmented LRU: new pages enter a *probation*
+//! segment and are promoted to the *protected* segment (capped at
+//! `PROTECTED_NUM`/`PROTECTED_DEN` of the shard) only on a repeat
+//! hit. Evictions drain probation first, so a one-pass scan or a cold
+//! compaction read stream churns through probation without displacing
+//! the hot set that has proven itself with re-references. Overflowing
+//! the protected cap demotes its tail back to probation rather than
+//! evicting outright, preserving a second chance.
+//!
+//! # Dynamic resize
+//!
+//! [`BlockCache::resize`] retargets the byte budget at runtime and
+//! evicts to fit immediately. The memory arbiter in `acheron-core`
+//! uses this to shift budget between the write buffer and the cache
+//! while the database is serving traffic; concurrent gets and inserts
+//! see only a per-shard lock, never a global pause.
 
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::block::Block;
 
 const SHARDS: usize = 16;
+
+/// Numerator of the protected segment's share of a shard's capacity.
+const PROTECTED_NUM: usize = 4;
+/// Denominator of the protected segment's share of a shard's capacity.
+const PROTECTED_DEN: usize = 5;
+
+/// Sentinel index terminating an intrusive list.
+const NIL: u32 = u32::MAX;
 
 /// Key of one cached page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,59 +52,265 @@ pub struct PageKey {
     pub offset: u64,
 }
 
-struct Shard {
-    map: HashMap<PageKey, (Block, u64, usize)>,
-    lru: BTreeMap<u64, PageKey>,
+/// Which recency segment a node currently lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Probation,
+    Protected,
+}
+
+/// One slab slot: a cached page threaded into its segment's list.
+struct Node {
+    key: PageKey,
+    /// `None` while the slot sits on the free list.
+    block: Option<Block>,
+    size: usize,
+    prev: u32,
+    next: u32,
+    seg: Segment,
+}
+
+/// Head/tail of one intrusive list plus its byte accounting.
+struct List {
+    head: u32,
+    tail: u32,
     bytes: usize,
+}
+
+impl List {
+    fn new() -> List {
+        List {
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+}
+
+/// Eviction work done inside one shard call, reported back so the
+/// cache-wide counters can be bumped outside the shard lock.
+#[derive(Default, Clone, Copy)]
+struct Evicted {
+    count: u64,
+    bytes: u64,
+}
+
+struct Shard {
+    map: HashMap<PageKey, u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    probation: List,
+    protected: List,
     capacity: usize,
 }
 
 impl Shard {
-    fn get(&mut self, key: &PageKey, generation: u64) -> Option<Block> {
-        let (block, gen_slot, _) = self.map.get_mut(key)?;
-        let old = *gen_slot;
-        *gen_slot = generation;
-        let block = block.clone();
-        self.lru.remove(&old);
-        self.lru.insert(generation, *key);
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            probation: List::new(),
+            protected: List::new(),
+            capacity,
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.probation.bytes + self.protected.bytes
+    }
+
+    fn protected_cap(&self) -> usize {
+        self.capacity / PROTECTED_DEN * PROTECTED_NUM
+    }
+
+    fn list_mut(&mut self, seg: Segment) -> &mut List {
+        match seg {
+            Segment::Probation => &mut self.probation,
+            Segment::Protected => &mut self.protected,
+        }
+    }
+
+    /// Detach `idx` from whichever list holds it.
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next, seg, size) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next, n.seg, n.size)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.list_mut(seg).head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.list_mut(seg).tail = prev;
+        }
+        self.list_mut(seg).bytes -= size;
+    }
+
+    /// Attach `idx` at the MRU end of `seg`.
+    fn push_front(&mut self, idx: u32, seg: Segment) {
+        let size = self.nodes[idx as usize].size;
+        let old_head = self.list_mut(seg).head;
+        {
+            let n = &mut self.nodes[idx as usize];
+            n.seg = seg;
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = idx;
+        }
+        let list = self.list_mut(seg);
+        list.head = idx;
+        if list.tail == NIL {
+            list.tail = idx;
+        }
+        list.bytes += size;
+    }
+
+    /// Return `idx` to the free list.
+    fn release(&mut self, idx: u32) {
+        let n = &mut self.nodes[idx as usize];
+        n.block = None;
+        n.size = 0;
+        self.free.push(idx);
+    }
+
+    /// Evict one page — probation tail first, protected tail only when
+    /// probation is empty. Returns the bytes freed (0 means empty).
+    fn evict_one(&mut self) -> usize {
+        let victim = if self.probation.tail != NIL {
+            self.probation.tail
+        } else if self.protected.tail != NIL {
+            self.protected.tail
+        } else {
+            return 0;
+        };
+        let (key, size) = {
+            let n = &self.nodes[victim as usize];
+            (n.key, n.size)
+        };
+        self.unlink(victim);
+        self.map.remove(&key);
+        self.release(victim);
+        size
+    }
+
+    /// Evict until the shard fits its capacity (plus `incoming` bytes
+    /// about to be inserted).
+    fn evict_to_fit(&mut self, incoming: usize) -> Evicted {
+        let mut ev = Evicted::default();
+        while self.bytes() + incoming > self.capacity {
+            let freed = self.evict_one();
+            if freed == 0 {
+                break;
+            }
+            ev.count += 1;
+            ev.bytes += freed as u64;
+        }
+        ev
+    }
+
+    fn get(&mut self, key: &PageKey) -> Option<Block> {
+        let idx = *self.map.get(key)?;
+        let block = self.nodes[idx as usize]
+            .block
+            .clone()
+            .expect("mapped node holds a block");
+        // A repeat reference earns protection; a protected hit just
+        // refreshes recency. Either way the touch is O(1) list surgery.
+        self.unlink(idx);
+        self.push_front(idx, Segment::Protected);
+        // Keep the protected segment inside its cap by demoting its
+        // tail — a second chance in probation, not an eviction.
+        while self.protected.bytes > self.protected_cap()
+            && self.protected.tail != self.protected.head
+        {
+            let tail = self.protected.tail;
+            self.unlink(tail);
+            self.push_front(tail, Segment::Probation);
+        }
         Some(block)
     }
 
-    fn insert(&mut self, key: PageKey, block: Block, size: usize, generation: u64) {
+    fn insert(&mut self, key: PageKey, block: Block, size: usize) -> Evicted {
         if size > self.capacity {
-            return; // larger than the whole shard: not cacheable
+            return Evicted::default(); // larger than the whole shard: not cacheable
         }
-        if let Some((_, old_gen, old_size)) = self.map.remove(&key) {
-            self.lru.remove(&old_gen);
-            self.bytes -= old_size;
+        if let Some(&old) = self.map.get(&key) {
+            self.unlink(old);
+            self.map.remove(&key);
+            self.release(old);
         }
-        self.map.insert(key, (block, generation, size));
-        self.lru.insert(generation, key);
-        self.bytes += size;
-        while self.bytes > self.capacity {
-            let (&victim_gen, &victim_key) =
-                self.lru.iter().next().expect("bytes > 0 implies entries");
-            self.lru.remove(&victim_gen);
-            let (_, _, victim_size) = self.map.remove(&victim_key).expect("lru and map in sync");
-            self.bytes -= victim_size;
+        let ev = self.evict_to_fit(size);
+        let idx = match self.free.pop() {
+            Some(i) => {
+                let n = &mut self.nodes[i as usize];
+                n.key = key;
+                n.block = Some(block);
+                n.size = size;
+                i
+            }
+            None => {
+                let i = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    key,
+                    block: Some(block),
+                    size,
+                    prev: NIL,
+                    next: NIL,
+                    seg: Segment::Probation,
+                });
+                i
+            }
+        };
+        self.map.insert(key, idx);
+        // New pages start on probation; only a repeat hit promotes.
+        self.push_front(idx, Segment::Probation);
+        ev
+    }
+
+    fn resize(&mut self, capacity: usize) -> Evicted {
+        self.capacity = capacity;
+        let mut ev = self.evict_to_fit(0);
+        // Entries that fit the old shard but exceed the new one linger
+        // until evicted; a too-small protected cap self-corrects on the
+        // next hit. Nothing else to do eagerly.
+        if self.bytes() > self.capacity {
+            // Capacity below the smallest resident entry: drop all.
+            while self.bytes() > 0 {
+                let freed = self.evict_one();
+                ev.count += 1;
+                ev.bytes += freed as u64;
+            }
         }
+        ev
     }
 }
 
-/// A byte-bounded LRU over decoded pages, shared by all tables of a
-/// database.
+/// A byte-bounded, scan-resistant page cache shared by all tables of a
+/// database — or, under sharded deployments, by the whole fleet (the
+/// budget is global, not per shard-database).
 pub struct BlockCache {
     shards: Vec<Mutex<Shard>>,
-    generation: AtomicU64,
+    capacity: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+    inserted_bytes: AtomicU64,
 }
 
 impl std::fmt::Debug for BlockCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BlockCache")
+            .field("capacity", &self.capacity.load(Ordering::Relaxed))
             .field("hits", &self.hits.load(Ordering::Relaxed))
             .field("misses", &self.misses.load(Ordering::Relaxed))
+            .field("evictions", &self.evictions.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
 }
@@ -88,18 +321,14 @@ impl BlockCache {
         let per_shard = (capacity_bytes / SHARDS).max(1);
         BlockCache {
             shards: (0..SHARDS)
-                .map(|_| {
-                    Mutex::new(Shard {
-                        map: HashMap::new(),
-                        lru: BTreeMap::new(),
-                        bytes: 0,
-                        capacity: per_shard,
-                    })
-                })
+                .map(|_| Mutex::new(Shard::new(per_shard)))
                 .collect(),
-            generation: AtomicU64::new(0),
+            capacity: AtomicUsize::new(capacity_bytes),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+            inserted_bytes: AtomicU64::new(0),
         }
     }
 
@@ -113,10 +342,16 @@ impl BlockCache {
         &self.shards[(h as usize) % SHARDS]
     }
 
+    fn record_evicted(&self, ev: Evicted) {
+        if ev.count > 0 {
+            self.evictions.fetch_add(ev.count, Ordering::Relaxed);
+            self.evicted_bytes.fetch_add(ev.bytes, Ordering::Relaxed);
+        }
+    }
+
     /// Look up a page.
     pub fn get(&self, key: &PageKey) -> Option<Block> {
-        let generation = self.generation.fetch_add(1, Ordering::Relaxed);
-        let got = self.shard_of(key).lock().get(key, generation);
+        let got = self.shard_of(key).lock().get(key);
         if got.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -127,10 +362,27 @@ impl BlockCache {
 
     /// Insert a page of `size` bytes.
     pub fn insert(&self, key: PageKey, block: Block, size: usize) {
-        let generation = self.generation.fetch_add(1, Ordering::Relaxed);
-        self.shard_of(&key)
-            .lock()
-            .insert(key, block, size, generation);
+        let ev = self.shard_of(&key).lock().insert(key, block, size);
+        self.inserted_bytes
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.record_evicted(ev);
+    }
+
+    /// Retarget the total byte budget and evict to fit. Safe to call
+    /// while the cache is serving traffic: each shard resizes under its
+    /// own lock, so readers at most wait one shard's eviction sweep.
+    pub fn resize(&self, capacity_bytes: usize) {
+        self.capacity.store(capacity_bytes, Ordering::Relaxed);
+        let per_shard = (capacity_bytes / SHARDS).max(1);
+        for shard in &self.shards {
+            let ev = shard.lock().resize(per_shard);
+            self.record_evicted(ev);
+        }
+    }
+
+    /// The current total byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
     }
 
     /// Cache hits so far.
@@ -143,9 +395,25 @@ impl BlockCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Pages evicted so far (capacity pressure, not replacement).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Bytes evicted so far.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.evicted_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes inserted so far (admitted or not; oversized pages count as
+    /// offered work on the fill path).
+    pub fn inserted_bytes(&self) -> u64 {
+        self.inserted_bytes.load(Ordering::Relaxed)
+    }
+
     /// Total cached bytes (approximate across shards).
     pub fn used_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().bytes).sum()
+        self.shards.iter().map(|s| s.lock().bytes()).sum()
     }
 }
 
@@ -171,6 +439,15 @@ mod tests {
         (Block::new(Bytes::from(raw)).unwrap(), size)
     }
 
+    /// Keys guaranteed to land in one shard: same table, offsets strided
+    /// by `64 * SHARDS` so the shard index is identical.
+    fn same_shard_key(table: u64, i: u64) -> PageKey {
+        PageKey {
+            table,
+            offset: i * 64 * (SHARDS as u64),
+        }
+    }
+
     #[test]
     fn hit_and_miss() {
         let cache = BlockCache::new(1 << 20);
@@ -184,6 +461,7 @@ mod tests {
         assert!(cache.get(&key).is_some());
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.inserted_bytes(), size as u64);
     }
 
     #[test]
@@ -213,26 +491,18 @@ mod tests {
     }
 
     #[test]
-    fn eviction_is_lru() {
+    fn eviction_prefers_cold_entries() {
         // Single-shard-sized cache: keep it deterministic by using keys
-        // that land in the same shard (same table, offsets multiple of
-        // 64 * SHARDS so the shard index matches).
+        // that land in the same shard.
         let cache = BlockCache::new(16 * 200); // per-shard capacity 200
-        let base = PageKey {
-            table: 3,
-            offset: 0,
-        };
-        let stride = 64 * (SHARDS as u64); // same shard for all keys
+        let base = same_shard_key(3, 0);
         let (b, size) = block(0);
         assert!(
             size > 100 && size < 200,
             "one block fits, two must overflow a shard: {size}"
         );
         cache.insert(base, b, size);
-        let second = PageKey {
-            table: 3,
-            offset: stride,
-        };
+        let second = same_shard_key(3, 1);
         let (b2, s2) = block(1);
         // Touch the first so it is most-recent, then insert a second
         // that overflows the shard; only one of them can remain.
@@ -242,6 +512,57 @@ mod tests {
             cache.get(&base).is_some() ^ cache.get(&second).is_some(),
             "exactly one of the two blocks fits"
         );
+        assert!(cache.evictions() >= 1);
+        assert!(cache.evicted_bytes() >= size.min(s2) as u64);
+    }
+
+    #[test]
+    fn repeat_hits_survive_a_cold_scan() {
+        // Scan resistance: a page with repeat hits sits in the protected
+        // segment, and a one-pass stream of cold pages (each inserted
+        // and never touched again) churns probation without displacing
+        // it.
+        let (b, size) = block(0);
+        let cache = BlockCache::new(16 * (size * 4)); // shard holds ~4 blocks
+        let hot = same_shard_key(5, 0);
+        cache.insert(hot, b, size);
+        assert!(cache.get(&hot).is_some(), "promote to protected");
+        for i in 1..50u64 {
+            let (cold, s) = block((i % 250) as u8);
+            cache.insert(same_shard_key(5, i), cold, s);
+        }
+        assert!(
+            cache.get(&hot).is_some(),
+            "a 50-block cold scan must not evict the re-referenced page"
+        );
+    }
+
+    #[test]
+    fn resize_evicts_to_fit() {
+        let (_b, size) = block(0);
+        let cache = BlockCache::new(16 * (size * 8));
+        for i in 0..8u64 {
+            let (blk, s) = block(i as u8);
+            cache.insert(same_shard_key(7, i), blk, s);
+        }
+        let before = cache.used_bytes();
+        assert!(before >= size * 8);
+        cache.resize(16 * (size * 2));
+        assert!(
+            cache.used_bytes() <= cache.capacity_bytes(),
+            "resize must evict to fit: {} used vs {} capacity",
+            cache.used_bytes(),
+            cache.capacity_bytes()
+        );
+        assert!(cache.evictions() >= 6);
+        // Growing back does not resurrect evicted pages.
+        cache.resize(16 * (size * 8));
+        assert!(cache.used_bytes() <= size * 2 * 16);
+        // And the cache still works.
+        let (blk, s) = block(42);
+        let key = same_shard_key(7, 99);
+        cache.insert(key, blk, s);
+        assert!(cache.get(&key).is_some());
     }
 
     #[test]
@@ -273,6 +594,31 @@ mod tests {
         let mut it = got.iter();
         it.seek_to_first().unwrap();
         assert_eq!(&it.value()[..], &[2u8; 100][..]);
+    }
+
+    #[test]
+    fn accounting_stays_exact_under_churn() {
+        // Slab reuse, promotion, demotion, and eviction must keep the
+        // byte ledger exact: at quiescence, used == sum of live sizes.
+        let (probe, size) = block(0);
+        drop(probe);
+        let cache = BlockCache::new(16 * (size * 3));
+        for round in 0..20u64 {
+            for i in 0..6u64 {
+                let (blk, s) = block(((round * 6 + i) % 250) as u8);
+                cache.insert(same_shard_key(9, i), blk, s);
+                cache.get(&same_shard_key(9, (i + round) % 6));
+            }
+        }
+        assert!(cache.used_bytes() <= cache.capacity_bytes());
+        // Every resident key must still be readable.
+        let mut live = 0;
+        for i in 0..6u64 {
+            if cache.get(&same_shard_key(9, i)).is_some() {
+                live += 1;
+            }
+        }
+        assert!(live >= 1, "churn must not empty the shard");
     }
 
     #[test]

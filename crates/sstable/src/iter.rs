@@ -26,16 +26,25 @@ pub struct TableIterator {
     active: Vec<BlockIter>,
     /// Index into `active` of the smallest current key.
     current: Option<usize>,
+    /// Admit pages read by this iterator to the block cache. One-pass
+    /// readers (compaction) iterate with `false` so a bulk merge never
+    /// evicts the point-read working set.
+    fill_cache: bool,
 }
 
 impl TableIterator {
-    pub(crate) fn new(table: Arc<Table>, rts: Vec<RangeTombstone>) -> TableIterator {
+    pub(crate) fn new(
+        table: Arc<Table>,
+        rts: Vec<RangeTombstone>,
+        fill_cache: bool,
+    ) -> TableIterator {
         TableIterator {
             table,
             rts,
             tile_idx: 0,
             active: Vec::new(),
             current: None,
+            fill_cache,
         }
     }
 
@@ -169,7 +178,7 @@ impl TableIterator {
                     .fetch_add(1, AtomicOrdering::Relaxed);
                 continue;
             }
-            let block = self.table.read_page(page.handle)?;
+            let block = self.table.read_page_opts(page.handle, self.fill_cache)?;
             let mut it = block.iter();
             match target {
                 Some(t) => it.seek(t)?,

@@ -96,6 +96,20 @@ impl Table {
         &self.stats
     }
 
+    /// Bytes this open table pins in memory for its lifetime: the
+    /// filter block plus the decoded tile and page metadata. These
+    /// bytes exist whether or not a page cache is configured, so the
+    /// engine's memory arbiter charges them against the shared budget
+    /// rather than pretending table opens are free.
+    pub fn pinned_bytes(&self) -> usize {
+        let tile_meta: usize = self
+            .tiles
+            .iter()
+            .map(|t| t.last_ikey.len() + t.pages.len() * std::mem::size_of::<PageMeta>())
+            .sum();
+        self.filter_data.len() + tile_meta + self.tiles.len() * std::mem::size_of::<TileMeta>()
+    }
+
     /// The tile descriptors.
     pub fn tiles(&self) -> &[TileMeta] {
         &self.tiles
@@ -103,6 +117,22 @@ impl Table {
 
     /// Read and verify a data page (through the cache, if configured).
     pub(crate) fn read_page(&self, handle: BlockHandle) -> Result<Block> {
+        self.read_page_opts(handle, true)
+    }
+
+    /// Read and verify a data page. With `fill_cache = false` the cache
+    /// is bypassed entirely: one-pass readers (compaction, integrity
+    /// scans) would otherwise flood the cache with bytes that will never
+    /// be read again — and, worse, pollute the fill-traffic signal the
+    /// memory arbiter uses to size the cache against the write buffer.
+    pub(crate) fn read_page_opts(&self, handle: BlockHandle, fill_cache: bool) -> Result<Block> {
+        if !fill_cache {
+            let raw = read_block_raw(self.file.as_ref(), handle)?;
+            self.counters
+                .pages_read
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            return Block::new(raw);
+        }
         if let Some(cache) = &self.cache {
             let key = PageKey {
                 table: self.cache_id,
@@ -280,7 +310,15 @@ impl Table {
     /// An iterator over the whole table, skipping pages droppable under
     /// `rts`.
     pub fn iter(self: &Arc<Self>, rts: Vec<RangeTombstone>) -> TableIterator {
-        TableIterator::new(Arc::clone(self), rts)
+        TableIterator::new(Arc::clone(self), rts, true)
+    }
+
+    /// Like [`Table::iter`], but pages read are never admitted to the
+    /// block cache. For one-pass consumers (compaction inputs,
+    /// integrity verification) whose reads carry no reuse: bypassing
+    /// keeps a bulk merge from evicting the read path's working set.
+    pub fn iter_nofill(self: &Arc<Self>, rts: Vec<RangeTombstone>) -> TableIterator {
+        TableIterator::new(Arc::clone(self), rts, false)
     }
 }
 
@@ -541,6 +579,19 @@ mod tests {
         fs.write_all("t.sst", &[0u8; 200]).unwrap();
         let err = Table::open(fs.open("t.sst").unwrap()).expect_err("must fail");
         assert!(err.is_corruption());
+    }
+
+    #[test]
+    fn pinned_bytes_track_filters_and_meta() {
+        let (_fs, small) = build(&dataset(100), TableOptions::default());
+        let (_fs2, large) = build(&dataset(2000), TableOptions::default());
+        assert!(small.pinned_bytes() > 0, "filters and tile meta are pinned");
+        assert!(
+            large.pinned_bytes() > small.pinned_bytes(),
+            "pinned footprint grows with the table: {} vs {}",
+            large.pinned_bytes(),
+            small.pinned_bytes()
+        );
     }
 
     #[test]

@@ -173,6 +173,35 @@ fn separated_values_survive_crashes_under_both_cut_models() {
     }
 }
 
+/// The whole sync-mode sweep again with the unified memory budget (and
+/// therefore the block cache and adaptive arbiter) live. The cache is
+/// purely in-memory state, so every recovery invariant must hold
+/// unchanged: a crash point whose answers differ from the cache-off
+/// sweep would mean cached blocks leaked into recovered state.
+#[test]
+fn crashes_with_memory_budget_and_cache_recover_identically() {
+    let cfg = CrashConfig {
+        // Big enough that the cache share actually caches table pages;
+        // the memtable share (~half) still seals several times over the
+        // workload, so flush/compaction crash points stay covered.
+        memory_budget_bytes: 256 << 10,
+        workload: CrashWorkload {
+            seed: 0xCAC4_0031,
+            ..CrashWorkload::default()
+        },
+        ..sync_cfg()
+    };
+    let total = count_crash_points(&cfg);
+    let stride = (total / 15).max(1);
+    let report = run_crash_suite(&cfg, (0..total).step_by(stride as usize));
+    assert!(
+        report.violations().is_empty(),
+        "cache-enabled crash violations:\n{}",
+        report.violations().join("\n")
+    );
+    assert!(report.crashes() >= 12);
+}
+
 /// Background mode: crash points land wherever worker timing puts the
 /// n-th sync — every landing is still a valid crash and every invariant
 /// still has to hold.
