@@ -1,15 +1,23 @@
 //! E17 — Observability overhead: the flight recorder must be cheap
-//! enough to leave always-on.
+//! enough to leave always-on, and the per-op tracer must be free when
+//! off.
 //!
-//! Claim checked: the event ring costs one atomic `fetch_add` plus one
-//! slot write per event and the gauges are recomputed only at version
-//! install, so put/get throughput with the default 4096-slot ring is
-//! within **3%** of a 1-slot ring (the smallest the ring can shrink to
-//! — emission cost is identical, so the pair isolates ring-size and
-//! cache effects; there is no "off" configuration to compare against,
-//! by design).
+//! Claims checked:
 //!
-//! Both configurations run the same deterministic write+delete+lookup
+//! 1. The event ring costs one atomic `fetch_add` plus one slot write
+//!    per event and the gauges are recomputed only at version install,
+//!    so put/get throughput with the default 4096-slot ring is within
+//!    **3%** of a 1-slot ring (the smallest the ring can shrink to —
+//!    emission cost is identical, so the pair isolates ring-size and
+//!    cache effects; there is no "off" configuration to compare
+//!    against, by design).
+//! 2. With tracing disabled (the default), the sampler is one untaken
+//!    branch per op — throughput stays within the same 3% of the
+//!    baseline. Sampled tracing at 1/64 pays one relaxed `fetch_add`
+//!    per op plus a trace allocation on the sampled sliver, and must
+//!    also hold the bound.
+//!
+//! All configurations run the same deterministic write+delete+lookup
 //! workload several times alternating A/B, and the best run per side is
 //! compared (min-over-runs damps scheduler noise).
 
@@ -26,11 +34,14 @@ struct Run {
     put_ops_per_sec: f64,
     get_ops_per_sec: f64,
     events_emitted: u64,
+    traces_sampled: u64,
 }
 
-fn run(event_log_capacity: usize) -> Run {
+fn run(event_log_capacity: usize, trace_sample_every: u64) -> Run {
     let opts = {
-        let mut o = base_opts().with_fade(10_000);
+        let mut o = base_opts()
+            .with_fade(10_000)
+            .with_trace_sampling(trace_sample_every);
         o.event_log_capacity = event_log_capacity;
         o
     };
@@ -65,13 +76,14 @@ fn run(event_log_capacity: usize) -> Run {
         put_ops_per_sec: write_ops as f64 / put_secs,
         get_ops_per_sec: LOOKUPS as f64 / get_secs,
         events_emitted: db.events().emitted,
+        traces_sampled: db.stats().snapshot().traces_sampled,
     }
 }
 
-fn best(capacity: usize) -> Run {
+fn best(capacity: usize, trace_sample_every: u64) -> Run {
     let mut best: Option<Run> = None;
     for _ in 0..ROUNDS {
-        let r = run(capacity);
+        let r = run(capacity, trace_sample_every);
         let better = best.as_ref().is_none_or(|b| {
             r.put_ops_per_sec + r.get_ops_per_sec > b.put_ops_per_sec + b.get_ops_per_sec
         });
@@ -85,31 +97,47 @@ fn best(capacity: usize) -> Run {
 fn main() {
     // Alternate measurement order A/B by interleaving rounds inside
     // `best`, then compare best-vs-best.
-    let full = best(4096);
-    let tiny = best(1);
+    let full = best(4096, 0);
+    let tiny = best(1, 0);
+    let sampled = best(4096, 64);
     let row = |name: &str, r: &Run| {
         vec![
             name.to_string(),
             grouped(r.put_ops_per_sec as u64),
             grouped(r.get_ops_per_sec as u64),
             grouped(r.events_emitted),
+            grouped(r.traces_sampled),
         ]
     };
     print_table(
-        "E17: flight-recorder overhead (ring 4096 slots vs 1 slot)",
-        &["ring", "writes/s", "gets/s", "events emitted"],
-        &[row("4096 slots", &full), row("1 slot", &tiny)],
+        "E17: flight-recorder + tracer overhead",
+        &["config", "writes/s", "gets/s", "events emitted", "traces"],
+        &[
+            row("ring 4096, tracing off", &full),
+            row("ring 1, tracing off", &tiny),
+            row("ring 4096, trace 1/64", &sampled),
+        ],
     );
     let put_ratio = full.put_ops_per_sec / tiny.put_ops_per_sec;
     let get_ratio = full.get_ops_per_sec / tiny.get_ops_per_sec;
     println!(
-        "\nthroughput ratio (4096-slot / 1-slot): writes {}x, gets {}x",
+        "\nthroughput ratio (4096-slot / 1-slot, tracing off): writes {}x, gets {}x",
         f2(put_ratio),
         f2(get_ratio)
     );
+    let tput_ratio = sampled.put_ops_per_sec / full.put_ops_per_sec;
+    let tget_ratio = sampled.get_ops_per_sec / full.get_ops_per_sec;
     println!(
-        "Expected shape: both ratios >= 0.97 — the ring is a fixed per-event cost\n\
-         (one fetch_add + one slot write) regardless of capacity, so the full-size\n\
-         recorder stays within the 3% always-on budget (ratios above 1.0 are noise)."
+        "throughput ratio (trace 1/64 / tracing off, same ring): writes {}x, gets {}x",
+        f2(tput_ratio),
+        f2(tget_ratio)
+    );
+    assert_eq!(full.traces_sampled, 0, "tracing off must sample nothing");
+    assert!(sampled.traces_sampled > 0, "1/64 sampling must fire");
+    println!(
+        "Expected shape: all four ratios >= 0.97 — the ring is a fixed per-event cost\n\
+         (one fetch_add + one slot write) regardless of capacity, tracing-off is one\n\
+         untaken branch per op, and 1/64 sampling adds one relaxed fetch_add per op —\n\
+         all inside the 3% always-on budget (ratios above 1.0 are noise)."
     );
 }

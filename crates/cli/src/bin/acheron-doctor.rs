@@ -59,13 +59,7 @@ fn main() {
                 for (i, report) in reports.iter().enumerate() {
                     println!("== shard {i} ==");
                     print_report(report, d_th);
-                    let shard_max = report
-                        .level_tombstones
-                        .iter()
-                        .flat_map(|l| [l.max_unresolved_age, l.max_unresolved_key_range_age])
-                        .flatten()
-                        .max();
-                    fleet_max_age = fleet_max_age.max(shard_max);
+                    fleet_max_age = fleet_max_age.max(report.worst_unresolved_delete_age());
                 }
                 println!(
                     "fleet: {} shards, max unresolved tombstone age {} ticks{}",
@@ -130,6 +124,27 @@ fn print_report(report: &DoctorReport, d_th: Option<u64>) {
             );
         }
     }
+    // The one-line `D_th` judgment: every delete family folded into a
+    // single worst age. Point and key-range tombstones carry birth
+    // ticks on disk; dead vlog extents do not, so they are listed as
+    // pending rather than aged.
+    let mut fold = format!(
+        "worst unresolved delete age: {} ticks (point + key-range",
+        report.worst_unresolved_delete_age().unwrap_or(0)
+    );
+    if report.vlog_dead_bytes > 0 {
+        fold.push_str(&format!(
+            "; {} dead vlog bytes awaiting GC",
+            report.vlog_dead_bytes
+        ));
+    }
+    fold.push(')');
+    match (d_th, report.worst_unresolved_delete_age()) {
+        (Some(d), Some(age)) if age > d => fold.push_str(&format!(" — EXCEEDS D_th {d}")),
+        (Some(d), _) => fold.push_str(&format!(" — within D_th {d}")),
+        (None, _) => {}
+    }
+    println!("{fold}");
     if report.warnings.is_empty() {
         println!("warnings: none");
     } else {

@@ -18,6 +18,9 @@ use acheron_workload::{run_ops, KeyDistribution, OpMix, WorkloadGen, WorkloadSpe
 pub struct Session {
     db: Db,
     opts: DbOptions,
+    /// When on, every `put`/`get`/`del` runs force-traced and prints
+    /// its span breakdown after the ordinary output.
+    tracing: bool,
 }
 
 /// What the interpreter did with a line.
@@ -48,6 +51,9 @@ commands:
   stats                        show engine counters
   metrics                      Prometheus-style metrics exposition
   events                       recent engine events (flight recorder)
+  trace on|off                 trace every data op and print its spans
+  traces                       recently sampled per-op traces
+  audit                        delete-lifecycle audit (D_th compliance)
   reopen [fade <D_th>] [tile <h>] [tiering|leveling|lazy]
                                restart with fresh options (data is kept)
   help                         this text
@@ -59,7 +65,11 @@ impl Session {
     /// A fresh in-memory session with the given options.
     pub fn new(opts: DbOptions) -> Session {
         let db = Db::open(Arc::new(MemFs::new()), "demo", opts.clone()).expect("open demo db");
-        Session { db, opts }
+        Session {
+            db,
+            opts,
+            tracing: false,
+        }
     }
 
     /// A session with demo-friendly defaults (small buffers, FADE on).
@@ -110,6 +120,11 @@ impl Session {
             "stats" => Ok(self.render_stats()),
             "metrics" => Ok(self.render_metrics()),
             "events" => Ok(self.render_events()),
+            "trace" => self.cmd_trace(&args),
+            "traces" => Ok(acheron::render_traces(&self.db.recent_traces())
+                .trim_end()
+                .to_string()),
+            "audit" => Ok(self.db.delete_audit().render().trim_end().to_string()),
             "reopen" => self.cmd_reopen(&args),
             other => Err(format!("unknown command {other:?}; try `help`")),
         };
@@ -119,8 +134,29 @@ impl Session {
         })
     }
 
+    fn cmd_trace(&mut self, args: &[&str]) -> Result<String, String> {
+        match args {
+            ["on"] => {
+                self.tracing = true;
+                Ok("tracing on: data ops print their span breakdown".into())
+            }
+            ["off"] => {
+                self.tracing = false;
+                Ok("tracing off".into())
+            }
+            _ => Err("usage: trace on|off".into()),
+        }
+    }
+
     fn cmd_put(&mut self, args: &[&str]) -> Result<String, String> {
         match args {
+            [key, value] if self.tracing => {
+                let trace = self
+                    .db
+                    .put_traced(key.as_bytes(), value.as_bytes(), None)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("ok\n{}", trace.render().trim_end()))
+            }
             [key, value] => {
                 self.db
                     .put(key.as_bytes(), value.as_bytes())
@@ -144,6 +180,17 @@ impl Session {
         let [key] = args else {
             return Err("usage: get <key>".into());
         };
+        if self.tracing {
+            let (value, trace) = self
+                .db
+                .get_traced(key.as_bytes(), None)
+                .map_err(|e| e.to_string())?;
+            let shown = match value {
+                Some(v) => String::from_utf8_lossy(&v).into_owned(),
+                None => "(not found)".into(),
+            };
+            return Ok(format!("{shown}\n{}", trace.render().trim_end()));
+        }
         match self.db.get(key.as_bytes()).map_err(|e| e.to_string())? {
             Some(v) => Ok(String::from_utf8_lossy(&v).into_owned()),
             None => Ok("(not found)".into()),
@@ -154,6 +201,17 @@ impl Session {
         let [key] = args else {
             return Err("usage: del <key>".into());
         };
+        if self.tracing {
+            let trace = self
+                .db
+                .delete_traced(key.as_bytes(), None)
+                .map_err(|e| e.to_string())?;
+            return Ok(format!(
+                "tombstone inserted at tick {}\n{}",
+                self.db.now(),
+                trace.render().trim_end()
+            ));
+        }
         self.db.delete(key.as_bytes()).map_err(|e| e.to_string())?;
         Ok(format!("tombstone inserted at tick {}", self.db.now()))
     }
@@ -419,6 +477,9 @@ remote commands:
   stats                        engine + server counters
   metrics                      Prometheus-style metrics exposition
   events                       recent engine events (flight recorder)
+  trace on|off                 force-trace data ops and print their spans
+  traces                       server's recently sampled per-op traces
+  audit                        delete-lifecycle audit (D_th compliance)
   ping                         liveness probe
   help                         this text
   quit                         close the connection and exit"
@@ -430,18 +491,42 @@ remote commands:
 /// executed through the wire protocol via [`acheron_server::Client`].
 pub struct RemoteSession {
     client: Client,
+    /// When on, `put`/`get`/`del` ride the wire force-traced and print
+    /// the server-side span breakdown.
+    tracing: bool,
+    /// Client-chosen trace ids for forced traces, so the printed spans
+    /// can be matched against the server's `traces` listing.
+    next_trace_id: u64,
 }
 
 impl RemoteSession {
     /// Connect to a running `acheron serve` instance.
     pub fn connect(addr: &str) -> Result<RemoteSession, String> {
         let client = Client::connect(addr).map_err(|e| e.to_string())?;
-        Ok(RemoteSession { client })
+        Ok(RemoteSession::from_client(client))
     }
 
     /// Wrap an already-connected client (tests).
     pub fn from_client(client: Client) -> RemoteSession {
-        RemoteSession { client }
+        RemoteSession {
+            client,
+            tracing: false,
+            next_trace_id: 1,
+        }
+    }
+
+    fn take_trace_id(&mut self) -> u64 {
+        let id = self.next_trace_id;
+        self.next_trace_id += 1;
+        id
+    }
+
+    fn render_wire_trace(result: &acheron_server::TracedResult) -> String {
+        let mut out = format!("trace {} {}", result.trace_id, result.op);
+        for (name, value) in &result.spans {
+            out.push_str(&format!("\n  {name:<28} {value}"));
+        }
+        out
     }
 
     /// Execute one command line against the server.
@@ -476,6 +561,24 @@ impl RemoteSession {
                 .events()
                 .map(|t| t.trim_end().to_string())
                 .map_err(|e| e.to_string()),
+            "trace" => self.cmd_trace(&args),
+            "traces" => self
+                .client
+                .traces()
+                .map(|t| t.trim_end().to_string())
+                .map_err(|e| e.to_string()),
+            "audit" => self
+                .client
+                .audit()
+                .map(|(violation, text)| {
+                    let text = text.trim_end().to_string();
+                    if violation {
+                        format!("{text}\nAUDIT VIOLATION")
+                    } else {
+                        text
+                    }
+                })
+                .map_err(|e| e.to_string()),
             other => Err(format!("unknown command {other:?}; try `help`")),
         };
         Outcome::Text(match result {
@@ -484,8 +587,30 @@ impl RemoteSession {
         })
     }
 
+    fn cmd_trace(&mut self, args: &[&str]) -> Result<String, String> {
+        match args {
+            ["on"] => {
+                self.tracing = true;
+                Ok("tracing on: data ops print the server-side span breakdown".into())
+            }
+            ["off"] => {
+                self.tracing = false;
+                Ok("tracing off".into())
+            }
+            _ => Err("usage: trace on|off".into()),
+        }
+    }
+
     fn cmd_put(&mut self, args: &[&str]) -> Result<String, String> {
         match args {
+            [key, value] if self.tracing => {
+                let id = self.take_trace_id();
+                let traced = self
+                    .client
+                    .put_traced(key.as_bytes(), value.as_bytes(), id)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("ok\n{}", Self::render_wire_trace(&traced)))
+            }
             [key, value] => {
                 self.client
                     .put(key.as_bytes(), value.as_bytes())
@@ -509,6 +634,18 @@ impl RemoteSession {
         let [key] = args else {
             return Err("usage: get <key>".into());
         };
+        if self.tracing {
+            let id = self.take_trace_id();
+            let traced = self
+                .client
+                .get_traced(key.as_bytes(), id)
+                .map_err(|e| e.to_string())?;
+            let shown = match &traced.value {
+                Some(v) => String::from_utf8_lossy(v).into_owned(),
+                None => "(not found)".into(),
+            };
+            return Ok(format!("{shown}\n{}", Self::render_wire_trace(&traced)));
+        }
         match self.client.get(key.as_bytes()).map_err(|e| e.to_string())? {
             Some(v) => Ok(String::from_utf8_lossy(&v).into_owned()),
             None => Ok("(not found)".into()),
@@ -519,6 +656,14 @@ impl RemoteSession {
         let [key] = args else {
             return Err("usage: del <key>".into());
         };
+        if self.tracing {
+            let id = self.take_trace_id();
+            let traced = self
+                .client
+                .delete_traced(key.as_bytes(), id)
+                .map_err(|e| e.to_string())?;
+            return Ok(format!("ok\n{}", Self::render_wire_trace(&traced)));
+        }
         self.client
             .delete(key.as_bytes())
             .map_err(|e| e.to_string())?;
@@ -733,6 +878,19 @@ mod tests {
         assert!(metrics.contains("server_requests"), "{metrics}");
         let events = text(s.execute("events"));
         assert!(events.contains("wal_group_commit"), "{events}");
+        assert!(text(s.execute("trace on")).contains("tracing on"));
+        let traced_put = text(s.execute("put traced:1 v"));
+        assert!(traced_put.contains("trace 1 put"), "{traced_put}");
+        assert!(traced_put.contains("total_micros"), "{traced_put}");
+        let traced_get = text(s.execute("get traced:1"));
+        assert!(traced_get.starts_with("v\n"), "{traced_get}");
+        assert!(traced_get.contains("memtable_probe_micros"), "{traced_get}");
+        assert!(text(s.execute("trace off")).contains("tracing off"));
+        let traces = text(s.execute("traces"));
+        assert!(traces.contains("put"), "{traces}");
+        let audit = text(s.execute("audit"));
+        assert!(audit.contains("D_th"), "{audit}");
+        assert!(!audit.contains("AUDIT VIOLATION"), "{audit}");
         assert!(text(s.execute("bogus")).contains("unknown command"));
         assert_eq!(s.execute("quit"), Outcome::Quit);
         server.shutdown();
@@ -743,10 +901,57 @@ mod tests {
         let mut s = Session::demo();
         let h = text(s.execute("help"));
         for cmd in [
-            "put", "get", "del", "rdel", "delrange", "scan", "workload", "tick", "tree", "stats",
-            "metrics", "events",
+            "put",
+            "get",
+            "del",
+            "rdel",
+            "delrange",
+            "scan",
+            "workload",
+            "tick",
+            "tree",
+            "stats",
+            "metrics",
+            "events",
+            "trace on|off",
+            "traces",
+            "audit",
         ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    #[test]
+    fn trace_mode_prints_span_breakdowns() {
+        let mut s = Session::demo();
+        assert!(text(s.execute("trace on")).contains("tracing on"));
+        let put = text(s.execute("put k hello"));
+        assert!(put.starts_with("ok\n"), "{put}");
+        assert!(put.contains("total_micros"), "{put}");
+        assert!(put.contains("memtable_insert_micros"), "{put}");
+        let get = text(s.execute("get k"));
+        assert!(get.starts_with("hello\n"), "{get}");
+        assert!(get.contains("memtable_probe_micros"), "{get}");
+        let del = text(s.execute("del k"));
+        assert!(del.contains("tombstone inserted"), "{del}");
+        assert!(del.contains("total_micros"), "{del}");
+        // Forced traces land in the recent ring.
+        let traces = text(s.execute("traces"));
+        assert!(traces.contains("put"), "{traces}");
+        assert!(traces.contains("get"), "{traces}");
+        assert!(text(s.execute("trace off")).contains("tracing off"));
+        assert_eq!(text(s.execute("put k2 v2")), "ok");
+        assert!(text(s.execute("trace sideways")).contains("usage"));
+    }
+
+    #[test]
+    fn audit_reports_cohort_compliance() {
+        let mut s = Session::demo();
+        s.execute("put a 1");
+        s.execute("del a");
+        s.execute("flush");
+        let audit = text(s.execute("audit"));
+        assert!(audit.contains("D_th"), "{audit}");
+        assert!(audit.contains("cohort"), "{audit}");
     }
 }

@@ -25,7 +25,12 @@
 //! ```text
 //! $ cargo run -p acheron-cli -- stats 127.0.0.1:7878     # metrics text
 //! $ cargo run -p acheron-cli -- events /path/to/db      # event ring
+//! $ cargo run -p acheron-cli -- trace 127.0.0.1:7878    # sampled op traces
+//! $ cargo run -p acheron-cli -- audit /path/to/db       # D_th compliance
 //! ```
+//!
+//! `audit` exits 0 when every delete family is within `D_th` and 1 on
+//! a violation, so it can gate a deployment pipeline directly.
 //!
 //! Also scriptable: `echo "put a 1\nget a" | cargo run -p acheron-cli`.
 
@@ -71,6 +76,21 @@ fn main() {
             };
             expose(cmd, target);
         }
+        Some("trace") => {
+            let Some(target) = args.get(2) else {
+                eprintln!("usage: acheron trace <host:port>");
+                std::process::exit(2);
+            };
+            trace_listing(target);
+        }
+        Some("audit") => match AuditArgs::parse(&args[2..]) {
+            Ok(audit_args) => audit(&audit_args),
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!("usage: acheron audit <host:port | db-directory> [--d-th TICKS]");
+                std::process::exit(2);
+            }
+        },
         _ => repl(
             Session::demo(),
             "acheron demo (FADE D_th=50000, in-memory). `help` for commands.",
@@ -138,6 +158,112 @@ fn expose(cmd: &str, target: &str) {
     };
     match result {
         Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One-shot trace listing: print the server's recently sampled per-op
+/// traces. Traces are runtime state held in the engine's retention
+/// ring, so only a live server can answer — a directory has none.
+fn trace_listing(target: &str) {
+    if !target.contains(':') {
+        eprintln!("traces are runtime state; `acheron trace` needs a running server (host:port)");
+        std::process::exit(2);
+    }
+    match Client::connect(target).and_then(|mut client| client.traces()) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("query {target}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parsed `audit` subcommand arguments.
+struct AuditArgs {
+    target: String,
+    d_th: Option<u64>,
+}
+
+impl AuditArgs {
+    fn parse(args: &[String]) -> Result<AuditArgs, String> {
+        let mut target = None;
+        let mut d_th = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--d-th" => {
+                    let v = it.next().ok_or("--d-th requires a value")?;
+                    d_th = Some(
+                        v.parse()
+                            .map_err(|_| "--d-th must be an integer (ticks)".to_string())?,
+                    );
+                }
+                other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+                other => {
+                    if target.replace(other.to_string()).is_some() {
+                        return Err(format!("unexpected extra argument {other}"));
+                    }
+                }
+            }
+        }
+        Ok(AuditArgs {
+            target: target.ok_or("audit needs a target")?,
+            d_th,
+        })
+    }
+}
+
+/// One-shot delete-lifecycle audit. Prints the per-cohort report and
+/// exits 0 when every delete family is within `D_th`, 1 on a
+/// violation. A `host:port` target asks a running server (which judges
+/// by its own configured threshold); a directory is opened offline —
+/// the cohort ledger is runtime state, so an offline audit judges by
+/// the persistent gauges alone. `--d-th` overrides the threshold for
+/// directory targets.
+fn audit(args: &AuditArgs) {
+    let target = args.target.as_str();
+    if target.contains(':') {
+        if args.d_th.is_some() {
+            eprintln!("--d-th applies to directory targets; a server judges by its own threshold");
+            std::process::exit(2);
+        }
+        match Client::connect(target).and_then(|mut client| client.audit()) {
+            Ok((violation, text)) => {
+                print!("{text}");
+                std::process::exit(i32::from(violation));
+            }
+            Err(e) => {
+                eprintln!("query {target}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !std::path::Path::new(target).is_dir() {
+        eprintln!("{target} is neither a host:port address nor a database directory");
+        std::process::exit(2);
+    }
+    let fs = Arc::new(StdFs::new(false));
+    let report = match acheron::read_shard_map(fs.as_ref(), target) {
+        Err(e) => Err(format!("open {target}: {e}")),
+        Ok(Some(n)) => ShardedDb::open(fs, target, DbOptions::default(), n as usize)
+            .map(|db| db.delete_audit())
+            .map_err(|e| format!("open {target}: {e}")),
+        Ok(None) => Db::open(fs, target, DbOptions::default())
+            .map(|db| db.delete_audit())
+            .map_err(|e| format!("open {target}: {e}")),
+    };
+    match report {
+        Ok(mut report) => {
+            if args.d_th.is_some() {
+                report.d_th = args.d_th;
+            }
+            print!("{}", report.render());
+            std::process::exit(i32::from(!report.ok()));
+        }
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(1);

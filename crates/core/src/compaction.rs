@@ -36,6 +36,12 @@ pub struct CompactionOutcome {
     /// `(delete tick, seqno)` of each sort-key range tombstone purged
     /// (resolved at the last level, exactly like point tombstones).
     pub key_range_tombstones_dropped: Vec<(Tick, SeqNo)>,
+    /// Seqnos of tombstones that exited the tree without a bottommost
+    /// purge: shadowed by a newer same-key version, swallowed by a
+    /// secondary range tombstone, or dropped under a sort-key range
+    /// tombstone. The delete ledger counts these as resolved so every
+    /// tombstone has exactly one exit from the cohort accounting.
+    pub tombstones_superseded: Vec<SeqNo>,
     /// KiWi pages dropped without being read.
     pub pages_dropped: u64,
     /// Bytes read from input tables.
@@ -139,6 +145,7 @@ pub fn run_compaction(
             key_range_purged: 0,
             tombstones_dropped: Vec::new(),
             key_range_tombstones_dropped: Vec::new(),
+            tombstones_superseded: Vec::new(),
             pages_dropped: 0,
             bytes_in: 0,
             bytes_out: 0,
@@ -272,6 +279,7 @@ pub fn run_compaction(
 
     let mut pending_krts = (!surviving_krts.is_empty()).then_some(surviving_krts);
     let mut krt_vlog_dead: Vec<(u64, u64, Tick)> = Vec::new();
+    let mut krt_superseded: Vec<SeqNo> = Vec::new();
     while let Some(entry) = stream.next_surviving()? {
         if let Some(idx) = krt_drop_index {
             if idx
@@ -279,6 +287,9 @@ pub fn run_compaction(
                 .is_some_and(|cover| entry.seqno < cover)
             {
                 key_range_purged += 1;
+                if entry.is_tombstone() {
+                    krt_superseded.push(entry.seqno);
+                }
                 if entry.kind == acheron_types::ValueKind::ValuePointer {
                     if let Some(ptr) = acheron_types::ValuePointer::decode(&entry.value) {
                         krt_vlog_dead.push((ptr.segment, u64::from(ptr.len), now));
@@ -327,6 +338,8 @@ pub fn run_compaction(
 
     let mut vlog_dead = stream.vlog_dead;
     vlog_dead.extend(krt_vlog_dead);
+    let mut tombstones_superseded = stream.tombstones_superseded;
+    tombstones_superseded.extend(krt_superseded);
 
     Ok(CompactionOutcome {
         added,
@@ -337,6 +350,7 @@ pub fn run_compaction(
         key_range_purged,
         tombstones_dropped: stream.tombstones_dropped,
         key_range_tombstones_dropped,
+        tombstones_superseded,
         pages_dropped,
         bytes_in,
         bytes_out,

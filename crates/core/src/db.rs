@@ -67,6 +67,9 @@ use crate::manifest::{
     read_current, read_manifest, write_current, EditBatch, ManifestWriter, VersionEdit,
 };
 use crate::memory::{MemoryBudget, TunerSample};
+use crate::obs::trace::{
+    CohortStage, DeleteAudit, DeleteLedger, OpTrace, TraceBuf, TraceOp, TraceStage, Tracer,
+};
 use crate::obs::{Event, EventLog, EventSnapshot, GcKind, RecoveryStepKind, TombstoneGauges};
 use crate::options::DbOptions;
 use crate::picker::{CompactionReason, CompactionTask, Picker};
@@ -370,6 +373,13 @@ struct DbCore {
     vlog_reader: Arc<VlogReader>,
     /// Per-segment value-log live/dead accounting (leaf mutex).
     vlog_state: Mutex<VlogState>,
+    /// Per-op trace sampler + retention buffer. With sampling off its
+    /// entire cost is one untaken branch per operation.
+    tracer: Tracer,
+    /// Delete-lifecycle cohort ledger. Every mutation site already runs
+    /// serialized (commit leader, state-lock installs), so this leaf
+    /// mutex is uncontended; it is never held across another lock.
+    ledger: Mutex<DeleteLedger>,
 }
 
 struct DbInner {
@@ -604,7 +614,7 @@ pub struct LevelInfo {
 impl Db {
     /// Open (creating or recovering) a database under `dir`.
     pub fn open(fs: Arc<dyn Vfs>, dir: &str, opts: DbOptions) -> Result<Db> {
-        Self::open_with_shared(fs, dir, opts, None, None)
+        Self::open_with_shared(fs, dir, opts, None, None, None)
     }
 
     /// Open with an optionally injected fleet-shared block cache and
@@ -623,8 +633,13 @@ impl Db {
         opts: DbOptions,
         shared_cache: Option<Arc<acheron_sstable::BlockCache>>,
         shared_budget: Option<Arc<MemoryBudget>>,
+        shard_identity: Option<(usize, Arc<AtomicU64>)>,
     ) -> Result<Db> {
         opts.validate()?;
+        // A sharded fleet names each engine's ledger shard and shares
+        // one trace-id allocator so ids stay fleet-unique; a standalone
+        // engine is shard 0 with a private allocator.
+        let (shard, trace_ids) = shard_identity.unwrap_or_else(|| (0, Arc::new(AtomicU64::new(1))));
         fs.mkdir_all(dir)?;
         let cache_is_shared = shared_cache.is_some();
         let (cache, memory) = match (shared_cache, shared_budget) {
@@ -668,6 +683,8 @@ impl Db {
             picker: Picker::new(&opts),
             obs: EventLog::new(opts.event_log_capacity),
             gauges: Mutex::new(gauges),
+            tracer: Tracer::new(opts.trace_sample_every, trace_ids),
+            ledger: Mutex::new(DeleteLedger::new(shard)),
             vlog: Mutex::new(None),
             vlog_next_segment: AtomicU64::new(vlog_next_segment),
             vlog_reader: Arc::new(VlogReader::new(Arc::clone(&fs), dir)),
@@ -1327,18 +1344,40 @@ impl Db {
     /// WAL once outside the state lock, publishes the group) or parks
     /// until a leader hands it the group's result.
     fn write_ops(&self, ops: Vec<WalOp>) -> Result<()> {
+        let trace = self.core().tracer.sample(trace_op_for(&ops));
+        self.write_ops_traced(ops, trace).map(|_| ())
+    }
+
+    /// [`Db::write_ops`] with an optional in-flight trace; returns the
+    /// finished trace when one was supplied. A rider (a thread whose
+    /// batch a leader committed for it) attributes only its queue wait
+    /// — the leader's trace owns the WAL/vlog/memtable spans.
+    fn write_ops_traced(
+        &self,
+        ops: Vec<WalOp>,
+        mut trace: Option<TraceBuf>,
+    ) -> Result<Option<OpTrace>> {
         let core = self.core();
         // Backpressure first, before any lock: stalled writers hold
         // nothing, so workers, readers, and commit leaders proceed
         // freely.
-        core.throttle_writes()?;
+        if let Some(t) = trace.as_mut() {
+            let started = Instant::now();
+            core.throttle_writes()?;
+            t.add(
+                TraceStage::ThrottleWait,
+                started.elapsed().as_micros() as u64,
+            );
+        } else {
+            core.throttle_writes()?;
+        }
         let mut q = core.commit.lock();
         if !q.exclusive && q.queue.is_empty() {
             // Uncontended fast path: commit alone as a group of one,
             // with no request allocation or result round-trip.
             q.exclusive = true;
             drop(q);
-            let outcome = core.commit_group_inner(vec![ops]);
+            let outcome = core.commit_group_inner(vec![ops], trace.as_mut());
             let mut q = core.commit.lock();
             q.exclusive = false;
             core.commit_cv.notify_all();
@@ -1348,7 +1387,7 @@ impl Db {
                     if kick {
                         core.kick_workers();
                     }
-                    Ok(())
+                    Ok(trace.map(|t| core.finish_trace(t)))
                 }
                 Err(e) => Err(e),
             };
@@ -1358,18 +1397,26 @@ impl Db {
             req: Arc::clone(&req),
             ops,
         });
+        let queued_at = trace.as_ref().map(|_| Instant::now());
         loop {
             // A previous leader may have committed us while we waited
             // for the queue lock or the condvar.
             if let Some(res) = req.result.lock().take() {
-                return res.map_err(Error::Internal);
+                if let (Some(t), Some(at)) = (trace.as_mut(), queued_at) {
+                    t.add(TraceStage::CommitQueueWait, at.elapsed().as_micros() as u64);
+                }
+                res.map_err(Error::Internal)?;
+                return Ok(trace.map(|t| core.finish_trace(t)));
             }
             if !q.exclusive {
                 // Become the leader for everything queued so far.
+                if let (Some(t), Some(at)) = (trace.as_mut(), queued_at) {
+                    t.add(TraceStage::CommitQueueWait, at.elapsed().as_micros() as u64);
+                }
                 q.exclusive = true;
                 let group = std::mem::take(&mut q.queue);
                 drop(q);
-                let kick = core.commit_group(group);
+                let kick = core.commit_group(group, trace.as_mut());
                 let mut q = core.commit.lock();
                 q.exclusive = false;
                 core.commit_cv.notify_all();
@@ -1378,7 +1425,8 @@ impl Db {
                     core.kick_workers();
                 }
                 let res = req.result.lock().take().expect("leader result is set");
-                return res.map_err(Error::Internal);
+                res.map_err(Error::Internal)?;
+                return Ok(trace.map(|t| core.finish_trace(t)));
             }
             core.commit_cv.wait(&mut q);
         }
@@ -1634,15 +1682,24 @@ impl Db {
     /// loaded before the view — see the ordering rule on `ReadView`.
     pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>> {
         let core = self.core();
+        let mut trace = core.tracer.sample(TraceOp::Get);
+        let view_started = trace.as_ref().map(|_| Instant::now());
         let snapshot = core.visible_seqno.load(Ordering::Acquire);
         let view = core.current_view();
-        self.get_in_view(&view, key, snapshot)
+        if let (Some(t), Some(s)) = (trace.as_mut(), view_started) {
+            t.add(TraceStage::ViewClone, s.elapsed().as_micros() as u64);
+        }
+        let res = self.get_in_view(&view, key, snapshot, trace.as_mut());
+        if let Some(t) = trace {
+            core.finish_trace(t);
+        }
+        res
     }
 
     /// Point lookup at a snapshot.
     pub fn get_at(&self, snap: &Snapshot, key: &[u8]) -> Result<Option<Bytes>> {
         let view = self.core().current_view();
-        self.get_in_view(&view, key, snap.seqno)
+        self.get_in_view(&view, key, snap.seqno, None)
     }
 
     /// Early-exit newest-wins lookup. Sources are probed in recency
@@ -1654,15 +1711,29 @@ impl Db {
     /// stays sound when FADE's TTL descents sink newer versions below
     /// older runs. Table probes consult the per-page bloom filters
     /// internally before any block read.
-    fn get_in_view(&self, view: &ReadView, key: &[u8], snapshot: SeqNo) -> Result<Option<Bytes>> {
+    fn get_in_view(
+        &self,
+        view: &ReadView,
+        key: &[u8],
+        snapshot: SeqNo,
+        mut trace: Option<&mut TraceBuf>,
+    ) -> Result<Option<Bytes>> {
         let core = self.core();
         core.stats.gets.fetch_add(1, Ordering::Relaxed);
-        let Some(newest) = core.newest_live_in_view(view, key, snapshot)? else {
+        let Some(newest) = core.newest_live_in_view(view, key, snapshot, trace.as_deref_mut())?
+        else {
             return Ok(None);
         };
         Ok(match newest.kind {
             acheron_types::ValueKind::Put => Some(newest.value),
-            acheron_types::ValueKind::ValuePointer => Some(core.deref_value_pointer(&newest)?),
+            acheron_types::ValueKind::ValuePointer => {
+                let started = trace.as_ref().map(|_| Instant::now());
+                let value = core.deref_value_pointer(&newest)?;
+                if let (Some(t), Some(s)) = (trace, started) {
+                    t.add(TraceStage::VlogDeref, s.elapsed().as_micros() as u64);
+                }
+                Some(value)
+            }
             _ => None,
         })
     }
@@ -1991,6 +2062,107 @@ impl Db {
         self.core().obs.snapshot()
     }
 
+    /// Put with an unconditional trace (bypasses the sampler; used by
+    /// the wire `traced` command). `trace_id` overrides the allocated
+    /// id so a client-chosen id survives the round trip.
+    pub fn put_traced(&self, key: &[u8], value: &[u8], trace_id: Option<u64>) -> Result<OpTrace> {
+        let core = self.core();
+        let dkey = core.opts.clock.now();
+        let mut buf = core.tracer.begin(TraceOp::Put);
+        if let Some(id) = trace_id {
+            buf.trace_id = id;
+        }
+        let trace = self.write_ops_traced(
+            vec![WalOp::Put {
+                key: Bytes::copy_from_slice(key),
+                value: Bytes::copy_from_slice(value),
+                dkey,
+            }],
+            Some(buf),
+        )?;
+        Ok(trace.expect("trace supplied"))
+    }
+
+    /// Point delete with an unconditional trace.
+    pub fn delete_traced(&self, key: &[u8], trace_id: Option<u64>) -> Result<OpTrace> {
+        let core = self.core();
+        let tick = core.opts.clock.now();
+        let mut buf = core.tracer.begin(TraceOp::Delete);
+        if let Some(id) = trace_id {
+            buf.trace_id = id;
+        }
+        let trace = self.write_ops_traced(
+            vec![WalOp::Delete {
+                key: Bytes::copy_from_slice(key),
+                tick,
+            }],
+            Some(buf),
+        )?;
+        Ok(trace.expect("trace supplied"))
+    }
+
+    /// Point lookup with an unconditional trace.
+    pub fn get_traced(
+        &self,
+        key: &[u8],
+        trace_id: Option<u64>,
+    ) -> Result<(Option<Bytes>, OpTrace)> {
+        let core = self.core();
+        let mut buf = core.tracer.begin(TraceOp::Get);
+        if let Some(id) = trace_id {
+            buf.trace_id = id;
+        }
+        let started = Instant::now();
+        let snapshot = core.visible_seqno.load(Ordering::Acquire);
+        let view = core.current_view();
+        buf.add(TraceStage::ViewClone, started.elapsed().as_micros() as u64);
+        let value = self.get_in_view(&view, key, snapshot, Some(&mut buf))?;
+        Ok((value, core.finish_trace(buf)))
+    }
+
+    /// Traces retained by the sampler and by wire-traced ops, oldest
+    /// first (bounded buffer, newest win).
+    pub fn recent_traces(&self) -> Vec<OpTrace> {
+        self.core().tracer.recent()
+    }
+
+    /// The delete-lifecycle compliance report: the ledger's cohorts
+    /// plus the live gauges' unresolved delete-family ages (which also
+    /// cover state predating this process), judged against the
+    /// configured `D_th`.
+    pub fn delete_audit(&self) -> DeleteAudit {
+        let core = self.core();
+        let now = core.opts.clock.now();
+        let d_th = core
+            .opts
+            .fade
+            .as_ref()
+            .map(|f| f.delete_persistence_threshold);
+        // Fold point + sort-key-range families into one oldest birth
+        // tick (ages come from the same clock, so the max age is the
+        // min tick).
+        let oldest_live = self
+            .oldest_live_tombstone_age()
+            .into_iter()
+            .chain(self.oldest_live_key_range_tombstone_age())
+            .max()
+            .map(|age| now.saturating_sub(age));
+        let oldest_vlog = {
+            let vs = core.vlog_state.lock();
+            vs.segments
+                .values()
+                .filter_map(|a| a.oldest_dead_tick)
+                .min()
+        };
+        DeleteAudit {
+            now,
+            d_th,
+            cohorts: core.ledger.lock().snapshot(),
+            oldest_live_tombstone_tick: oldest_live,
+            oldest_vlog_dead_tick: oldest_vlog,
+        }
+    }
+
     /// Live delete-persistence gauges. Disk-level state is the copy
     /// recomputed at the last version install; the write-buffer and
     /// range-tombstone fields are filled here from the current read
@@ -2107,16 +2279,23 @@ impl DbCore {
         view: &ReadView,
         key: &[u8],
         snapshot: SeqNo,
+        mut trace: Option<&mut TraceBuf>,
     ) -> Result<Option<Entry>> {
+        let mem_started = trace.as_ref().map(|_| Instant::now());
         let mut best: Option<Entry> = view.mem.newest_visible(key, snapshot);
+        if let (Some(t), Some(s)) = (trace.as_deref_mut(), mem_started) {
+            t.add(TraceStage::MemtableProbe, s.elapsed().as_micros() as u64);
+        }
 
         // Sealed memtables, newest first: their ceilings are strictly
         // decreasing, so once the best beats one it beats the rest.
+        let mut imm_probes = 0u64;
         for imm in &view.imms {
             let ceiling = imm.max_seqno().unwrap_or(0);
             if best.as_ref().is_some_and(|b| b.seqno >= ceiling) {
                 break;
             }
+            imm_probes += 1;
             if let Some(e) = imm.newest_visible(key, snapshot) {
                 if best.as_ref().is_none_or(|b| e.seqno > b.seqno) {
                     best = Some(e);
@@ -2128,19 +2307,49 @@ impl DbCore {
         // deeper levels. `Table::get` passes no range tombstones (`&[]`)
         // deliberately: the newest version must be seen even when
         // range-erased, because it is what decides the key's visibility.
+        let cache_before = match (&trace, &self.cache) {
+            (Some(_), Some(c)) => Some((c.hits(), c.misses())),
+            _ => None,
+        };
+        let mut seqno_skips = 0u64;
+        let mut bloom_skips = 0u64;
+        let mut table_probes = 0u64;
         let l0 = view.version.levels[0].iter().rev();
         let deeper = view.version.levels[1..].iter().flatten();
         for f in l0.chain(deeper) {
             if f.stats.min_seqno > snapshot
                 || best.as_ref().is_some_and(|b| b.seqno >= f.stats.max_seqno)
-                || !f.contains_key(key)
             {
+                seqno_skips += 1;
                 continue;
             }
+            if !f.contains_key(key) {
+                bloom_skips += 1;
+                continue;
+            }
+            table_probes += 1;
             if let Some(e) = f.table.get(key, snapshot, &[])? {
                 if best.as_ref().is_none_or(|b| e.seqno > b.seqno) {
                     best = Some(e);
                 }
+            }
+        }
+        if let Some(t) = trace {
+            if imm_probes > 0 {
+                t.add(TraceStage::ImmProbes, imm_probes);
+            }
+            if seqno_skips > 0 {
+                t.add(TraceStage::SeqnoSkips, seqno_skips);
+            }
+            if bloom_skips > 0 {
+                t.add(TraceStage::BloomPrescreenSkips, bloom_skips);
+            }
+            t.add(TraceStage::TableProbes, table_probes);
+            if let (Some(c), Some((h0, m0))) = (&self.cache, cache_before) {
+                // Global counter deltas: concurrent readers can bleed
+                // in, so these are attribution hints, not exact counts.
+                t.add(TraceStage::CacheHitPages, c.hits().saturating_sub(h0));
+                t.add(TraceStage::CacheMissPages, c.misses().saturating_sub(m0));
             }
         }
 
@@ -2269,6 +2478,23 @@ impl DbCore {
         }
     }
 
+    /// Close a trace: emit each span into the event ring, count it, and
+    /// retain the whole trace for the `traces` command.
+    fn finish_trace(&self, buf: TraceBuf) -> OpTrace {
+        let trace = buf.finish();
+        for (stage, value) in &trace.spans {
+            self.obs.log(Event::TraceSpan {
+                trace_id: trace.trace_id,
+                op: trace.op,
+                stage: *stage,
+                value: *value,
+            });
+        }
+        self.stats.traces_sampled.fetch_add(1, Ordering::Relaxed);
+        self.tracer.record(trace.clone());
+        trace
+    }
+
     /// Enter the commit-exclusion domain: wait out any commit leader or
     /// other exclusive section, then own the WAL writer + seqno
     /// allocator until the token drops. Must be acquired *before* the
@@ -2288,14 +2514,14 @@ impl DbCore {
     /// publish the memtable inserts, seqnos, and a fresh read view under
     /// a short state critical section. Distributes the result to every
     /// request; returns whether workers need a kick.
-    fn commit_group(&self, group: Vec<PendingCommit>) -> bool {
+    fn commit_group(&self, group: Vec<PendingCommit>, trace: Option<&mut TraceBuf>) -> bool {
         let mut reqs = Vec::with_capacity(group.len());
         let mut op_lists = Vec::with_capacity(group.len());
         for p in group {
             reqs.push(p.req);
             op_lists.push(p.ops);
         }
-        match self.commit_group_inner(op_lists) {
+        match self.commit_group_inner(op_lists, trace) {
             Ok(kick) => {
                 for req in &reqs {
                     *req.result.lock() = Some(Ok(()));
@@ -2312,7 +2538,11 @@ impl DbCore {
         }
     }
 
-    fn commit_group_inner(&self, group: Vec<Vec<WalOp>>) -> Result<bool> {
+    fn commit_group_inner(
+        &self,
+        group: Vec<Vec<WalOp>>,
+        mut trace: Option<&mut TraceBuf>,
+    ) -> Result<bool> {
         // Phase 1: durability. WAL append + one group fsync under the
         // WAL mutex only — readers and background installs proceed.
         let mut batches: Vec<WalBatch> = Vec::with_capacity(group.len());
@@ -2320,6 +2550,8 @@ impl DbCore {
         // (segment, frame bytes) per value separated in this group,
         // folded into the live accounting once the WAL section ends.
         let mut separated: Vec<(u64, u64)> = Vec::new();
+        let wal_started = trace.as_ref().map(|_| Instant::now());
+        let mut vlog_micros = 0u64;
         {
             let mut wal = self.wal.lock();
             let mut vlog = self.vlog.lock();
@@ -2330,6 +2562,7 @@ impl DbCore {
                 // sync below), so a durable pointer always has durable
                 // bytes behind it. Recovery relies on this ordering.
                 if separation > 0 {
+                    let sep_started = trace.as_ref().map(|_| Instant::now());
                     for op in ops.iter_mut() {
                         let WalOp::Put { key, value, dkey } = op else {
                             continue;
@@ -2358,6 +2591,9 @@ impl DbCore {
                             ptr,
                             dkey: *dkey,
                         };
+                    }
+                    if let Some(s) = sep_started {
+                        vlog_micros += s.elapsed().as_micros() as u64;
                     }
                 }
                 let base = self.seq_alloc.load(Ordering::Relaxed) + 1;
@@ -2393,6 +2629,23 @@ impl DbCore {
                     .fetch_add(batches.len() as u64 - 1, Ordering::Relaxed);
             }
         }
+        if let Some(t) = trace.as_deref_mut() {
+            // The vlog appends happen inside the WAL critical section;
+            // report them as their own stage and the remainder as the
+            // WAL append + fsync.
+            let section = wal_started
+                .expect("timed when traced")
+                .elapsed()
+                .as_micros() as u64;
+            t.add(
+                TraceStage::WalAppendFsync,
+                section.saturating_sub(vlog_micros),
+            );
+            if !separated.is_empty() {
+                t.add(TraceStage::VlogAppend, vlog_micros);
+                t.add(TraceStage::VlogFramesAppended, separated.len() as u64);
+            }
+        }
         if !separated.is_empty() {
             let mut vs = self.vlog_state.lock();
             for (segment, bytes) in &separated {
@@ -2410,7 +2663,13 @@ impl DbCore {
 
         // Phase 2: visibility. Publish the whole group's inserts and the
         // new visible seqno, then swap the read view.
+        let mem_started = trace.as_ref().map(|_| Instant::now());
         let mut st = self.state.write();
+        // Delete-lifecycle ledger inputs, gathered while the entries
+        // stream by so the ledger lock is taken at most once per group.
+        let mut point_deletes = 0u64;
+        let mut krt_deletes = 0u64;
+        let mut first_delete_tick: Option<Tick> = None;
         for batch in &batches {
             let (entries, _ranges, key_ranges) = batch.entries();
             for e in entries {
@@ -2430,6 +2689,9 @@ impl DbCore {
                     }
                     acheron_types::ValueKind::Tombstone => {
                         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+                        point_deletes += 1;
+                        first_delete_tick =
+                            Some(first_delete_tick.map_or(e.dkey, |t| t.min(e.dkey)));
                     }
                     acheron_types::ValueKind::RangeTombstone
                     | acheron_types::ValueKind::KeyRangeTombstone => {}
@@ -2446,11 +2708,22 @@ impl DbCore {
                 self.stats
                     .user_bytes
                     .fetch_add((krt.start.len() + krt.end.len()) as u64, Ordering::Relaxed);
+                krt_deletes += 1;
+                first_delete_tick = Some(first_delete_tick.map_or(krt.dkey, |t| t.min(krt.dkey)));
                 st.mem.add_range_tombstone(krt);
             }
             if self.opts.auto_advance_clock {
                 self.opts.clock_advance(batch.ops.len() as u64);
             }
+        }
+        if point_deletes > 0 || krt_deletes > 0 {
+            // Fold this group's deletes into the open cohort; the tick
+            // is each delete's own stamp (its FADE age already runs).
+            self.ledger.lock().note_deletes(
+                point_deletes,
+                krt_deletes,
+                first_delete_tick.expect("deletes carry ticks"),
+            );
         }
         let last = batches.last().expect("non-empty group").last_seqno();
         // This store is the entire visibility publish for a plain
@@ -2459,6 +2732,14 @@ impl DbCore {
         // paired with the readers' Acquire load) makes them readable
         // without rebuilding the view.
         self.visible_seqno.store(last, Ordering::Release);
+        if let Some(t) = trace.as_deref_mut() {
+            let started = mem_started.expect("timed when traced");
+            t.add(
+                TraceStage::MemtableInsert,
+                started.elapsed().as_micros() as u64,
+            );
+        }
+        let maint_started = trace.as_ref().map(|_| Instant::now());
 
         // Tighten the cached TTL deadline when a tombstone — point or
         // sort-key range — enters the buffer (the buffer's oldest
@@ -2498,6 +2779,17 @@ impl DbCore {
                     }
                     self.maintain_locked(&mut st)?;
                 }
+            }
+        }
+        if let Some(t) = trace {
+            // Nonzero only in synchronous mode, where the seal/flush/
+            // compaction this commit triggered ran inside the op.
+            let micros = maint_started
+                .expect("timed when traced")
+                .elapsed()
+                .as_micros() as u64;
+            if micros > 0 {
+                t.add(TraceStage::InlineMaintenance, micros);
             }
         }
         Ok(kick)
@@ -2560,6 +2852,24 @@ impl DbCore {
             bytes: sealed_bytes,
             sealed_behind: st.imms.len() as u64,
         });
+        // Ledger: the open cohort's generation just sealed. Delete-free
+        // seals still advance the epoch so flush completions (FIFO over
+        // the sealed queue) stay aligned with their epochs.
+        {
+            let sealed_ref = &st.imms.back().expect("just pushed").mem;
+            let min_seqno = sealed_ref.min_seqno().unwrap_or(0);
+            let tombstones = sealed_ref.stats().tombstones as u64;
+            let now = self.opts.clock.now();
+            if let Some(epoch) = self.ledger.lock().seal(min_seqno, max_seqno, now) {
+                self.obs.log(Event::CohortAdvanced {
+                    epoch,
+                    stage: CohortStage::Sealed,
+                    level: 0,
+                    tombstones,
+                    tick: now,
+                });
+            }
+        }
         self.recompute_ttl_deadline(st);
         // Readers (and the write throttle's gauges) must see the sealed
         // queue grow promptly.
@@ -2603,6 +2913,20 @@ impl DbCore {
         micros: u64,
     ) -> Result<()> {
         let imm = st.imms.pop_front().expect("a sealed memtable is queued");
+        // Ledger: the oldest sealed epoch finished flushing (flushes
+        // pop the queue FIFO, matching the ledger's pending order).
+        {
+            let now = self.opts.clock.now();
+            if let Some(epoch) = self.ledger.lock().flushed(now) {
+                self.obs.log(Event::CohortAdvanced {
+                    epoch,
+                    stage: CohortStage::Flushed,
+                    level: 0,
+                    tombstones: imm.mem.stats().tombstones as u64,
+                    tick: now,
+                });
+            }
+        }
         // WAL segments strictly older than the next live one (the next
         // queued memtable's segment, or the active segment) are covered
         // by this install's PersistedSeqno and can be retired.
@@ -2948,6 +3272,46 @@ impl DbCore {
                 vs.mark_dead(*segment, *bytes, *stamp);
             }
         }
+        // Ledger: stamp cohort descent and member-tombstone resolution.
+        // Every tombstone leaves a compaction exactly one way — purged,
+        // superseded by a newer version, or krt-purged — and each way
+        // reports its seqno here, so cohorts can account members out.
+        {
+            let mut ledger = self.ledger.lock();
+            let windows: Vec<(SeqNo, SeqNo)> = task
+                .all_inputs()
+                .map(|f| (f.stats.min_seqno, f.stats.max_seqno))
+                .collect();
+            for epoch in ledger.entered_level(&windows, task.output_level as u64, now) {
+                self.obs.log(Event::CohortAdvanced {
+                    epoch,
+                    stage: CohortStage::EnteredLevel,
+                    level: task.output_level as u64,
+                    tombstones: 0,
+                    tick: now,
+                });
+            }
+            let resolved = outcome
+                .tombstones_dropped
+                .iter()
+                .chain(outcome.key_range_tombstones_dropped.iter())
+                .map(|(_, seqno)| *seqno)
+                .chain(outcome.tombstones_superseded.iter().copied());
+            for seqno in resolved {
+                if let Some(epoch) = ledger.tombstone_resolved(seqno, now) {
+                    self.obs.log(Event::CohortAdvanced {
+                        epoch,
+                        stage: CohortStage::Purged,
+                        level: task.output_level as u64,
+                        tombstones: 0,
+                        tick: now,
+                    });
+                }
+            }
+            for (segment, _bytes, stamp) in &outcome.vlog_dead {
+                ledger.vlog_dead(*segment, *stamp);
+            }
+        }
         *self.stats.last_compaction_reason.lock() = Some(format!("{:?}", task.reason));
         self.obs.log(Event::CompactionEnd {
             level: task.level as u64,
@@ -3063,7 +3427,7 @@ impl DbCore {
         let mut ops: Vec<WalOp> = Vec::new();
         let mut rewritten = 0u64;
         for frame in &scan.frames {
-            let Some(entry) = self.newest_live_in_view(&view, &frame.key, snapshot)? else {
+            let Some(entry) = self.newest_live_in_view(&view, &frame.key, snapshot, None)? else {
                 continue;
             };
             if entry.kind != acheron_types::ValueKind::ValuePointer {
@@ -3088,7 +3452,7 @@ impl DbCore {
         if !ops.is_empty() {
             // Safe under the held exclusion: the commit path takes only
             // the WAL/vlog/state locks, never the exclusion itself.
-            self.commit_group_inner(vec![ops])?;
+            self.commit_group_inner(vec![ops], None)?;
         }
 
         let reclaimed;
@@ -3122,6 +3486,20 @@ impl DbCore {
             vs.segments.remove(&segment);
             vs.dropped.insert(segment);
             drop(vs);
+            // Ledger: cohorts waiting on this segment's dead extents
+            // are released — their deletes are now physically gone.
+            {
+                let now = self.opts.clock.now();
+                for epoch in self.ledger.lock().vlog_reclaimed(segment, now) {
+                    self.obs.log(Event::CohortAdvanced {
+                        epoch,
+                        stage: CohortStage::VlogReclaimed,
+                        level: 0,
+                        tombstones: 0,
+                        tick: now,
+                    });
+                }
+            }
             reclaimed = data.len() as u64;
             self.stats
                 .vlog_segments_deleted
@@ -3424,6 +3802,16 @@ impl DbCore {
             return true;
         }
         self.vlog_gc_candidate(now).is_some()
+    }
+}
+
+/// The trace-op classification of a WAL op list: a lone put or delete
+/// keeps its identity, anything else is a batch write.
+fn trace_op_for(ops: &[WalOp]) -> TraceOp {
+    match ops {
+        [WalOp::Put { .. }] | [WalOp::PutPtr { .. }] => TraceOp::Put,
+        [WalOp::Delete { .. }] => TraceOp::Delete,
+        _ => TraceOp::Write,
     }
 }
 

@@ -95,6 +95,21 @@ pub struct DoctorReport {
     pub warnings: Vec<String>,
 }
 
+impl DoctorReport {
+    /// The single number an offline `--d-th` judgment folds down to:
+    /// the maximum unresolved delete age across the point and
+    /// sort-key-range tombstone families of every level. Dead vlog
+    /// extents carry no persistent birth tick, so they cannot extend
+    /// this age — `vlog_dead_bytes` reports them separately.
+    pub fn worst_unresolved_delete_age(&self) -> Option<Tick> {
+        self.level_tombstones
+            .iter()
+            .flat_map(|l| [l.max_unresolved_age, l.max_unresolved_key_range_age])
+            .flatten()
+            .max()
+    }
+}
+
 /// Check the database under `dir` read-only.
 pub fn check_db(fs: &dyn Vfs, dir: &str) -> Result<DoctorReport> {
     check_db_with_threshold(fs, dir, None)

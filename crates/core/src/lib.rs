@@ -63,6 +63,10 @@ pub mod version;
 pub use db::{Db, LevelInfo, MaintenancePause, RangeIter, Snapshot, WriteBatch, WritePressure};
 pub use doctor::{check_db, check_db_with_threshold, DoctorReport, LevelTombstoneSummary};
 pub use memory::{MemoryBudget, TunerSample};
+pub use obs::trace::{
+    render_traces, CohortRecord, CohortStage, DeleteAudit, DeleteLedger, OpTrace, TraceOp,
+    TraceStage,
+};
 pub use obs::{
     AgeHistogram, Event, EventLog, EventSnapshot, GcKind, LevelGauge, RecoveryStepKind,
     StampedEvent, TombstoneGauges,

@@ -199,6 +199,12 @@ pub struct CompactionStream<'a> {
     pub range_purged: u64,
     /// `(delete tick, seqno)` of each point tombstone physically dropped.
     pub tombstones_dropped: Vec<(u64, SeqNo)>,
+    /// Seqnos of tombstones that exited the tree *without* reaching a
+    /// bottommost purge: shadowed by a newer version of the same key or
+    /// swallowed by a secondary range tombstone. The delete-lifecycle
+    /// ledger treats these as resolved too — the obligation passed to
+    /// the newer mutation — so every tombstone has exactly one exit.
+    pub tombstones_superseded: Vec<SeqNo>,
     /// `(segment, bytes, stamp tick)` of each value-log extent whose
     /// last tree reference this compaction dropped. When the covering
     /// head is a tombstone the stamp is the tombstone's delete tick —
@@ -225,6 +231,7 @@ impl<'a> CompactionStream<'a> {
             shadowed: 0,
             range_purged: 0,
             tombstones_dropped: Vec::new(),
+            tombstones_superseded: Vec::new(),
             vlog_dead: Vec::new(),
         }
     }
@@ -315,6 +322,9 @@ impl<'a> CompactionStream<'a> {
                 if let Some((head_seqno, head_is_del, head_dkey)) = last_head {
                     if self.same_stratum(head_seqno, candidate.seqno) {
                         self.shadowed += 1;
+                        if candidate.is_tombstone() {
+                            self.tombstones_superseded.push(candidate.seqno);
+                        }
                         // A separated value shadowed by a tombstone dies
                         // *because of that delete*: seed its dead-extent
                         // age from the delete's own tick so the vlog GC
@@ -334,6 +344,9 @@ impl<'a> CompactionStream<'a> {
                     .any(|rt| rt.shadows(candidate.seqno, candidate.dkey));
                 if rt_shadow && droppable {
                     self.range_purged += 1;
+                    if candidate.is_tombstone() {
+                        self.tombstones_superseded.push(candidate.seqno);
+                    }
                     let stamp = self.now;
                     self.note_dead_pointer(&candidate, stamp);
                     continue;

@@ -39,6 +39,10 @@ use acheron_types::Tick;
 use crate::picker::CompactionReason;
 use crate::version::Version;
 
+pub mod trace;
+
+use trace::{CohortStage, TraceOp, TraceStage};
+
 /// A recovery milestone carried by [`Event::RecoveryStep`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecoveryStepKind {
@@ -263,6 +267,31 @@ pub enum Event {
         /// Wall time of the pass.
         micros: u64,
     },
+    /// One stage of a sampled per-op trace (see [`trace`]).
+    TraceSpan {
+        /// Fleet-unique trace id.
+        trace_id: u64,
+        /// The traced operation.
+        op: TraceOp,
+        /// Which stage.
+        stage: TraceStage,
+        /// Stage value: wall micros for `_micros` stages, else a count.
+        value: u64,
+    },
+    /// A tombstone cohort advanced a delete-lifecycle stage (see
+    /// [`trace::DeleteLedger`]).
+    CohortAdvanced {
+        /// The cohort's flush epoch (shard-local).
+        epoch: u64,
+        /// Which lifecycle stage.
+        stage: CohortStage,
+        /// Output level for `entered_level` advances, else 0.
+        level: u64,
+        /// Member deletes in the cohort.
+        tombstones: u64,
+        /// Clock tick of the advance.
+        tick: Tick,
+    },
 }
 
 /// Ring-slot payload width: one tag word plus up to seven fields.
@@ -285,6 +314,8 @@ impl Event {
             Event::GcDropped { .. } => "gc_dropped",
             Event::WalGroupCommit { .. } => "wal_group_commit",
             Event::VlogGc { .. } => "vlog_gc",
+            Event::TraceSpan { .. } => "trace_span",
+            Event::CohortAdvanced { .. } => "cohort_advanced",
         }
     }
 
@@ -357,6 +388,26 @@ impl Event {
             } => format!(
                 "segment={segment} rewritten_bytes={rewritten_bytes} \
                  reclaimed_bytes={reclaimed_bytes} micros={micros}"
+            ),
+            Event::TraceSpan {
+                trace_id,
+                op,
+                stage,
+                value,
+            } => format!(
+                "trace={trace_id} op={} stage={} value={value}",
+                op.name(),
+                stage.name()
+            ),
+            Event::CohortAdvanced {
+                epoch,
+                stage,
+                level,
+                tombstones,
+                tick,
+            } => format!(
+                "epoch={epoch} stage={} level={level} tombstones={tombstones} tick={tick}",
+                stage.name()
             ),
         }
     }
@@ -479,6 +530,32 @@ impl Event {
                 w[3] = reclaimed_bytes;
                 w[4] = micros;
             }
+            Event::TraceSpan {
+                trace_id,
+                op,
+                stage,
+                value,
+            } => {
+                w[0] = 13;
+                w[1] = trace_id;
+                w[2] = op.code();
+                w[3] = stage.code();
+                w[4] = value;
+            }
+            Event::CohortAdvanced {
+                epoch,
+                stage,
+                level,
+                tombstones,
+                tick,
+            } => {
+                w[0] = 14;
+                w[1] = epoch;
+                w[2] = stage.code();
+                w[3] = level;
+                w[4] = tombstones;
+                w[5] = tick;
+            }
         }
         w
     }
@@ -545,6 +622,19 @@ impl Event {
                 rewritten_bytes: w[2],
                 reclaimed_bytes: w[3],
                 micros: w[4],
+            },
+            13 => Event::TraceSpan {
+                trace_id: w[1],
+                op: TraceOp::from_code(w[2])?,
+                stage: TraceStage::from_code(w[3])?,
+                value: w[4],
+            },
+            14 => Event::CohortAdvanced {
+                epoch: w[1],
+                stage: CohortStage::from_code(w[2])?,
+                level: w[3],
+                tombstones: w[4],
+                tick: w[5],
             },
             _ => return None,
         })
@@ -957,7 +1047,9 @@ pub struct AgeHistogram {
 /// text exposition (`name{label} value` lines). `pairs` is any flat
 /// counter list (`StatsSnapshot::to_pairs`, server metrics, pressure
 /// gauges); the tombstone gauges and age histogram are rendered with
-/// per-level / per-bucket labels.
+/// per-level / per-bucket labels. Every metric family gets a `# TYPE`
+/// line before its first sample; flat counters are exposed as gauges
+/// because a scrape reports their point-in-time value.
 pub fn render_prometheus(
     pairs: &[(String, u64)],
     gauges: &TombstoneGauges,
@@ -965,91 +1057,220 @@ pub fn render_prometheus(
     d_th: Option<Tick>,
 ) -> String {
     let mut out = String::new();
-    for (name, value) in pairs {
-        out.push_str(&format!("{name} {value}\n"));
+    let mut typed = std::collections::BTreeSet::new();
+    // Stamp the family's `# TYPE` line before its first sample.
+    fn emit(
+        out: &mut String,
+        typed: &mut std::collections::BTreeSet<String>,
+        family: &str,
+        kind: &str,
+        line: String,
+    ) {
+        if typed.insert(family.to_string()) {
+            out.push_str(&format!("# TYPE {family} {kind}\n"));
+        }
+        out.push_str(&line);
     }
-    out.push_str(&format!("db_clock_tick {now}\n"));
+    for (name, value) in pairs {
+        emit(
+            &mut out,
+            &mut typed,
+            name,
+            "gauge",
+            format!("{name} {value}\n"),
+        );
+    }
+    emit(
+        &mut out,
+        &mut typed,
+        "db_clock_tick",
+        "gauge",
+        format!("db_clock_tick {now}\n"),
+    );
     if let Some(d) = d_th {
-        out.push_str(&format!("db_delete_persistence_threshold_ticks {d}\n"));
+        emit(
+            &mut out,
+            &mut typed,
+            "db_delete_persistence_threshold_ticks",
+            "gauge",
+            format!("db_delete_persistence_threshold_ticks {d}\n"),
+        );
     }
     for g in &gauges.levels {
         let l = g.level;
-        out.push_str(&format!("db_level_files{{level=\"{l}\"}} {}\n", g.files));
-        out.push_str(&format!("db_level_bytes{{level=\"{l}\"}} {}\n", g.bytes));
-        out.push_str(&format!(
-            "db_level_entries{{level=\"{l}\"}} {}\n",
-            g.entries
-        ));
-        out.push_str(&format!(
-            "db_level_tombstones{{level=\"{l}\"}} {}\n",
-            g.tombstones
-        ));
+        emit(
+            &mut out,
+            &mut typed,
+            "db_level_files",
+            "gauge",
+            format!("db_level_files{{level=\"{l}\"}} {}\n", g.files),
+        );
+        emit(
+            &mut out,
+            &mut typed,
+            "db_level_bytes",
+            "gauge",
+            format!("db_level_bytes{{level=\"{l}\"}} {}\n", g.bytes),
+        );
+        emit(
+            &mut out,
+            &mut typed,
+            "db_level_entries",
+            "gauge",
+            format!("db_level_entries{{level=\"{l}\"}} {}\n", g.entries),
+        );
+        emit(
+            &mut out,
+            &mut typed,
+            "db_level_tombstones",
+            "gauge",
+            format!("db_level_tombstones{{level=\"{l}\"}} {}\n", g.tombstones),
+        );
         if let Some(t0) = g.oldest_tombstone_tick {
-            out.push_str(&format!(
-                "db_level_oldest_tombstone_age_ticks{{level=\"{l}\"}} {}\n",
-                now.saturating_sub(t0)
-            ));
+            emit(
+                &mut out,
+                &mut typed,
+                "db_level_oldest_tombstone_age_ticks",
+                "gauge",
+                format!(
+                    "db_level_oldest_tombstone_age_ticks{{level=\"{l}\"}} {}\n",
+                    now.saturating_sub(t0)
+                ),
+            );
         }
         if g.key_range_tombstones > 0 {
-            out.push_str(&format!(
-                "db_level_key_range_tombstones{{level=\"{l}\"}} {}\n",
-                g.key_range_tombstones
-            ));
+            emit(
+                &mut out,
+                &mut typed,
+                "db_level_key_range_tombstones",
+                "gauge",
+                format!(
+                    "db_level_key_range_tombstones{{level=\"{l}\"}} {}\n",
+                    g.key_range_tombstones
+                ),
+            );
         }
         if let Some(t0) = g.oldest_key_range_tick {
-            out.push_str(&format!(
-                "db_level_oldest_key_range_tombstone_age_ticks{{level=\"{l}\"}} {}\n",
-                now.saturating_sub(t0)
-            ));
+            emit(
+                &mut out,
+                &mut typed,
+                "db_level_oldest_key_range_tombstone_age_ticks",
+                "gauge",
+                format!(
+                    "db_level_oldest_key_range_tombstone_age_ticks{{level=\"{l}\"}} {}\n",
+                    now.saturating_sub(t0)
+                ),
+            );
         }
     }
-    out.push_str(&format!(
-        "db_buffer_tombstones {}\n",
-        gauges.buffer_tombstones
-    ));
-    out.push_str(&format!(
-        "db_live_range_tombstones {}\n",
-        gauges.range_tombstones
-    ));
-    out.push_str(&format!(
-        "db_buffer_key_range_tombstones {}\n",
-        gauges.buffer_key_range_tombstones
-    ));
-    out.push_str(&format!(
-        "db_live_key_range_tombstones {}\n",
-        gauges.live_key_range_tombstones()
-    ));
+    emit(
+        &mut out,
+        &mut typed,
+        "db_buffer_tombstones",
+        "gauge",
+        format!("db_buffer_tombstones {}\n", gauges.buffer_tombstones),
+    );
+    emit(
+        &mut out,
+        &mut typed,
+        "db_live_range_tombstones",
+        "gauge",
+        format!("db_live_range_tombstones {}\n", gauges.range_tombstones),
+    );
+    emit(
+        &mut out,
+        &mut typed,
+        "db_buffer_key_range_tombstones",
+        "gauge",
+        format!(
+            "db_buffer_key_range_tombstones {}\n",
+            gauges.buffer_key_range_tombstones
+        ),
+    );
+    emit(
+        &mut out,
+        &mut typed,
+        "db_live_key_range_tombstones",
+        "gauge",
+        format!(
+            "db_live_key_range_tombstones {}\n",
+            gauges.live_key_range_tombstones()
+        ),
+    );
     if let Some(t0) = gauges.oldest_live_key_range_tick() {
-        out.push_str(&format!(
-            "db_key_range_tombstone_oldest_age_ticks {}\n",
-            now.saturating_sub(t0)
-        ));
+        emit(
+            &mut out,
+            &mut typed,
+            "db_key_range_tombstone_oldest_age_ticks",
+            "gauge",
+            format!(
+                "db_key_range_tombstone_oldest_age_ticks {}\n",
+                now.saturating_sub(t0)
+            ),
+        );
     }
-    out.push_str(&format!(
-        "db_live_tombstones {}\n",
-        gauges.live_tombstones()
-    ));
-    out.push_str(&format!("db_vlog_live_bytes {}\n", gauges.vlog_live_bytes));
-    out.push_str(&format!("db_vlog_dead_bytes {}\n", gauges.vlog_dead_bytes));
+    emit(
+        &mut out,
+        &mut typed,
+        "db_live_tombstones",
+        "gauge",
+        format!("db_live_tombstones {}\n", gauges.live_tombstones()),
+    );
+    emit(
+        &mut out,
+        &mut typed,
+        "db_vlog_live_bytes",
+        "gauge",
+        format!("db_vlog_live_bytes {}\n", gauges.vlog_live_bytes),
+    );
+    emit(
+        &mut out,
+        &mut typed,
+        "db_vlog_dead_bytes",
+        "gauge",
+        format!("db_vlog_dead_bytes {}\n", gauges.vlog_dead_bytes),
+    );
     if let Some(t0) = gauges.vlog_oldest_dead_tick {
-        out.push_str(&format!(
-            "db_vlog_oldest_dead_extent_age_ticks {}\n",
-            now.saturating_sub(t0)
-        ));
+        emit(
+            &mut out,
+            &mut typed,
+            "db_vlog_oldest_dead_extent_age_ticks",
+            "gauge",
+            format!(
+                "db_vlog_oldest_dead_extent_age_ticks {}\n",
+                now.saturating_sub(t0)
+            ),
+        );
     }
     let hist = gauges.age_histogram(now, d_th);
     for (le, count) in hist.bounds.iter().zip(&hist.counts) {
-        out.push_str(&format!(
-            "db_tombstone_age_ticks_bucket{{le=\"{le}\"}} {count}\n"
-        ));
+        emit(
+            &mut out,
+            &mut typed,
+            "db_tombstone_age_ticks",
+            "histogram",
+            format!("db_tombstone_age_ticks_bucket{{le=\"{le}\"}} {count}\n"),
+        );
     }
-    out.push_str(&format!(
-        "db_tombstone_age_ticks_bucket{{le=\"+Inf\"}} {}\n",
-        hist.total
-    ));
+    emit(
+        &mut out,
+        &mut typed,
+        "db_tombstone_age_ticks",
+        "histogram",
+        format!(
+            "db_tombstone_age_ticks_bucket{{le=\"+Inf\"}} {}\n",
+            hist.total
+        ),
+    );
     out.push_str(&format!("db_tombstone_age_ticks_count {}\n", hist.total));
     if let Some(age) = hist.oldest_age {
-        out.push_str(&format!("db_tombstone_age_ticks_max {age}\n"));
+        emit(
+            &mut out,
+            &mut typed,
+            "db_tombstone_age_ticks_max",
+            "gauge",
+            format!("db_tombstone_age_ticks_max {age}\n"),
+        );
     }
     out
 }
@@ -1145,6 +1366,19 @@ mod tests {
                 rewritten_bytes: 2048,
                 reclaimed_bytes: 8192,
                 micros: 91,
+            },
+            Event::TraceSpan {
+                trace_id: 17,
+                op: TraceOp::Get,
+                stage: TraceStage::BloomPrescreenSkips,
+                value: 3,
+            },
+            Event::CohortAdvanced {
+                epoch: 5,
+                stage: CohortStage::EnteredLevel,
+                level: 2,
+                tombstones: 40,
+                tick: 1234,
             },
         ]
     }

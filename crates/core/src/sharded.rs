@@ -63,6 +63,7 @@
 //! shards' keyspaces are disjoint, so sorting the concatenated rows by
 //! key *is* the merge.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use acheron_types::{checksum, Clock, Error, Result, Tick};
@@ -72,6 +73,7 @@ use parking_lot::RwLock;
 use crate::db::{Db, Snapshot, WritePressure};
 use crate::doctor::{self, DoctorReport};
 use crate::memory::MemoryBudget;
+use crate::obs::trace::{DeleteAudit, OpTrace};
 use crate::obs::{EventSnapshot, TombstoneGauges};
 use crate::options::DbOptions;
 use crate::stats::StatsSnapshot;
@@ -262,6 +264,10 @@ impl ShardedDb {
             None => (opts.block_cache_bytes > 0)
                 .then(|| Arc::new(acheron_sstable::BlockCache::new(opts.block_cache_bytes))),
         };
+        // One trace-id allocator for the fleet: trace ids must stay
+        // unique across shards so a wire-propagated id names exactly
+        // one operation.
+        let trace_ids = Arc::new(AtomicU64::new(1));
         let mut dbs = Vec::with_capacity(shards);
         for i in 0..shards {
             // Shards share the router's clock but never advance it
@@ -277,6 +283,7 @@ impl ShardedDb {
                 shard_opts,
                 cache.clone(),
                 memory.clone(),
+                Some((i, Arc::clone(&trace_ids))),
             )?);
         }
         if existing.is_none() {
@@ -370,6 +377,35 @@ impl ShardedDb {
     /// coordination needed.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         Ok(self.shard_for(key).get(key)?.map(|v| v.to_vec()))
+    }
+
+    /// [`ShardedDb::put`] with a forced trace: routed like a normal
+    /// put (admission barrier, owning shard, one fleet tick), returning
+    /// the owning shard's span breakdown.
+    pub fn put_traced(&self, key: &[u8], value: &[u8], trace_id: Option<u64>) -> Result<OpTrace> {
+        let _admit = self.barrier.read();
+        let trace = self.shard_for(key).put_traced(key, value, trace_id)?;
+        self.tick(1);
+        Ok(trace)
+    }
+
+    /// [`ShardedDb::delete`] with a forced trace.
+    pub fn delete_traced(&self, key: &[u8], trace_id: Option<u64>) -> Result<OpTrace> {
+        let _admit = self.barrier.read();
+        let trace = self.shard_for(key).delete_traced(key, trace_id)?;
+        self.tick(1);
+        Ok(trace)
+    }
+
+    /// [`ShardedDb::get`] with a forced trace: the owning shard's read
+    /// path is timed and the span breakdown returned with the value.
+    pub fn get_traced(
+        &self,
+        key: &[u8],
+        trace_id: Option<u64>,
+    ) -> Result<(Option<Vec<u8>>, OpTrace)> {
+        let (value, trace) = self.shard_for(key).get_traced(key, trace_id)?;
+        Ok((value.map(|v| v.to_vec()), trace))
     }
 
     /// Capture a consistent cross-shard cut. Holds the admission
@@ -569,6 +605,50 @@ impl ShardedDb {
             .iter()
             .filter_map(Db::oldest_live_tombstone_age)
             .max()
+    }
+
+    /// Fleet-wide delete-lifecycle audit: the union of every shard's
+    /// cohort ledger, judged against the fleet clock and the shared
+    /// `D_th`. Cohort records carry their shard index, so the union is
+    /// a plain concatenation — no cross-shard merging is needed, and a
+    /// violation names the exact (shard, epoch) cohort responsible.
+    pub fn delete_audit(&self) -> DeleteAudit {
+        let audits: Vec<DeleteAudit> = self.shards.iter().map(Db::delete_audit).collect();
+        let mut fleet = DeleteAudit {
+            now: self.clock.now(),
+            d_th: self
+                .opts
+                .fade
+                .as_ref()
+                .map(|f| f.delete_persistence_threshold),
+            cohorts: Vec::new(),
+            oldest_live_tombstone_tick: None,
+            oldest_vlog_dead_tick: None,
+        };
+        for a in audits {
+            fleet.cohorts.extend(a.cohorts);
+            fleet.oldest_live_tombstone_tick = match (
+                fleet.oldest_live_tombstone_tick,
+                a.oldest_live_tombstone_tick,
+            ) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            };
+            fleet.oldest_vlog_dead_tick =
+                match (fleet.oldest_vlog_dead_tick, a.oldest_vlog_dead_tick) {
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                    (x, y) => x.or(y),
+                };
+        }
+        fleet.cohorts.sort_by_key(|c| (c.shard, c.epoch));
+        fleet
+    }
+
+    /// Recently sampled op traces across the fleet, newest last within
+    /// each shard. Trace ids are fleet-unique (the shards share one
+    /// allocator), so the concatenation is unambiguous.
+    pub fn recent_traces(&self) -> Vec<OpTrace> {
+        self.shards.iter().flat_map(Db::recent_traces).collect()
     }
 
     /// Verify every shard's in-memory invariants.

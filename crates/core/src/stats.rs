@@ -237,6 +237,9 @@ pub struct DbStats {
     pub vlog_gc_reclaimed_bytes: AtomicU64,
     /// Value-log segment files deleted (GC and recovery orphan sweep).
     pub vlog_segments_deleted: AtomicU64,
+    /// Operations that received a full per-op trace (sampler hits plus
+    /// wire-requested traces).
+    pub traces_sampled: AtomicU64,
 }
 
 impl DbStats {
@@ -306,6 +309,7 @@ impl DbStats {
             vlog_gc_rewritten_bytes: self.vlog_gc_rewritten_bytes.load(Relaxed),
             vlog_gc_reclaimed_bytes: self.vlog_gc_reclaimed_bytes.load(Relaxed),
             vlog_segments_deleted: self.vlog_segments_deleted.load(Relaxed),
+            traces_sampled: self.traces_sampled.load(Relaxed),
             // Cache and memory-budget fields live on the BlockCache /
             // MemoryBudget, not in DbStats; `Db::stats_snapshot` fills
             // them (and the fleet router fills them once for a shared
@@ -369,6 +373,7 @@ pub struct StatsSnapshot {
     pub vlog_gc_rewritten_bytes: u64,
     pub vlog_gc_reclaimed_bytes: u64,
     pub vlog_segments_deleted: u64,
+    pub traces_sampled: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_evictions: u64,
@@ -430,6 +435,7 @@ impl StatsSnapshot {
             vlog_gc_rewritten_bytes: self.vlog_gc_rewritten_bytes + other.vlog_gc_rewritten_bytes,
             vlog_gc_reclaimed_bytes: self.vlog_gc_reclaimed_bytes + other.vlog_gc_reclaimed_bytes,
             vlog_segments_deleted: self.vlog_segments_deleted + other.vlog_segments_deleted,
+            traces_sampled: self.traces_sampled + other.traces_sampled,
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             cache_evictions: self.cache_evictions + other.cache_evictions,
@@ -494,6 +500,7 @@ impl StatsSnapshot {
                 self.vlog_gc_reclaimed_bytes,
             ),
             ("vlog_segments_deleted".into(), self.vlog_segments_deleted),
+            ("traces_sampled".into(), self.traces_sampled),
             // Cache/memory names carry the exposition prefix directly so
             // the Prometheus rendering (which prints pair names
             // verbatim) emits the documented db_cache_* / db_memory_*
@@ -657,6 +664,7 @@ mod tests {
             vlog_gc_rewritten_bytes: 32,
             vlog_gc_reclaimed_bytes: 33,
             vlog_segments_deleted: 34,
+            traces_sampled: 45,
             cache_hits: 35,
             cache_misses: 36,
             cache_evictions: 37,
@@ -711,6 +719,7 @@ mod tests {
             vlog_gc_rewritten_bytes,
             vlog_gc_reclaimed_bytes,
             vlog_segments_deleted,
+            traces_sampled,
             cache_hits,
             cache_misses,
             cache_evictions,
@@ -759,6 +768,7 @@ mod tests {
             ("vlog_gc_rewritten_bytes", vlog_gc_rewritten_bytes),
             ("vlog_gc_reclaimed_bytes", vlog_gc_reclaimed_bytes),
             ("vlog_segments_deleted", vlog_segments_deleted),
+            ("traces_sampled", traces_sampled),
             ("db_cache_hits", cache_hits),
             ("db_cache_misses", cache_misses),
             ("db_cache_evictions", cache_evictions),

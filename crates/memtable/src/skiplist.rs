@@ -168,11 +168,19 @@ impl SkipList {
         compare_internal(&self.node(idx).ikey, key)
     }
 
-    /// Find, for every level, the rightmost node strictly less than `key`.
+    /// Find, for every level, the rightmost node strictly less than
+    /// `key`, plus the level-0 successor *observed during the walk*
+    /// (NIL or the first node `>= key`). Lower-bound callers must use
+    /// that observed successor rather than re-loading `preds[0]`'s
+    /// link: between the walk and a second load, a concurrent insert
+    /// can splice in a node that sorts before `key` (a newer version
+    /// of the same user key — seqno-descending order), and the re-load
+    /// would return it, breaking the `>= key` contract.
     #[allow(clippy::needless_range_loop)] // descending level walk carries state between levels
-    fn find_predecessors(&self, key: &[u8]) -> [u32; MAX_HEIGHT] {
+    fn find_predecessors(&self, key: &[u8]) -> ([u32; MAX_HEIGHT], u32) {
         let mut preds = [HEAD; MAX_HEIGHT];
         let mut current = HEAD;
+        let mut succ0 = NIL;
         let height = self.height.load(Ordering::Relaxed).max(1);
         for level in (0..height).rev() {
             loop {
@@ -180,12 +188,15 @@ impl SkipList {
                 if next != NIL && self.cmp_node(next, key) == CmpOrdering::Less {
                     current = next;
                 } else {
+                    if level == 0 {
+                        succ0 = next;
+                    }
                     break;
                 }
             }
             preds[level] = current;
         }
-        preds
+        (preds, succ0)
     }
 
     /// Insert an entry.
@@ -199,7 +210,7 @@ impl SkipList {
     /// is already present (sequence numbers must be unique).
     pub fn insert(&self, entry: Entry) {
         let ikey = entry.internal_key().encoded().to_vec();
-        let preds = self.find_predecessors(&ikey);
+        let (preds, _) = self.find_predecessors(&ikey);
         debug_assert!(
             {
                 let next = self.node(preds[0]).tower[0].load(Ordering::Acquire);
@@ -245,10 +256,12 @@ impl SkipList {
         self.len.fetch_add(1, Ordering::Release);
     }
 
-    /// The first node whose internal key is `>= key`, as an arena index.
+    /// The first node whose internal key is `>= key`, as an arena
+    /// index. This is the successor observed during the predecessor
+    /// walk — never a re-load, which could race a concurrent insert of
+    /// a smaller key (see [`SkipList::find_predecessors`]).
     fn lower_bound(&self, key: &[u8]) -> u32 {
-        let preds = self.find_predecessors(key);
-        self.node(preds[0]).tower[0].load(Ordering::Acquire)
+        self.find_predecessors(key).1
     }
 
     /// An iterator positioned before the first entry.
@@ -518,6 +531,44 @@ mod tests {
             stop.store(true, Ordering::Relaxed);
         });
         assert_eq!(l.len(), 20_000);
+    }
+
+    #[test]
+    fn concurrent_seeks_never_see_past_their_snapshot() {
+        // Regression: `lower_bound` used to re-load `preds[0]`'s level-0
+        // link after the predecessor walk. A writer stacking newer
+        // versions of the same key could splice one in between the walk
+        // and the re-load, handing the seek a node *before* its target —
+        // an entry newer than the reader's snapshot.
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        let l = SkipList::new();
+        l.insert(put("hot", 1));
+        let published = AtomicU64::new(1);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        let snapshot = published.load(Ordering::Acquire);
+                        let mut it = l.iter();
+                        it.seek(InternalKey::for_seek(b"hot", snapshot).encoded());
+                        assert!(it.valid());
+                        let e = it.entry();
+                        assert_eq!(&e.key[..], b"hot");
+                        assert!(
+                            e.seqno <= snapshot,
+                            "seek at snapshot {snapshot} returned seqno {}",
+                            e.seqno
+                        );
+                    }
+                });
+            }
+            for seq in 2..40_000u64 {
+                l.insert(put("hot", seq));
+                published.store(seq, Ordering::Release);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 
     #[test]

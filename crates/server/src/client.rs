@@ -296,6 +296,96 @@ impl Client {
             other => Err(unexpected("events", &other)),
         }
     }
+
+    /// Recently sampled per-op traces, rendered one span per line.
+    pub fn traces(&mut self) -> Result<String> {
+        match self.request(&Request::Traces)? {
+            Response::Text(text) => Ok(text),
+            other => Err(unexpected("traces", &other)),
+        }
+    }
+
+    /// The delete-lifecycle audit: `(violation, rendered report)`.
+    /// `violation` is true when some cohort or live delete family has
+    /// already overrun the server's `D_th`.
+    pub fn audit(&mut self) -> Result<(bool, String)> {
+        match self.request(&Request::Audit)? {
+            Response::Audit { violation, text } => Ok((violation, text)),
+            other => Err(unexpected("audit", &other)),
+        }
+    }
+
+    /// Force-traced put: executes like [`Client::put`] but returns the
+    /// server-side span breakdown.
+    pub fn put_traced(&mut self, key: &[u8], value: &[u8], trace_id: u64) -> Result<TracedResult> {
+        let req = Request::Traced {
+            trace_id,
+            inner: Box::new(Request::Put {
+                key: key.to_vec(),
+                value: value.to_vec(),
+                dkey: None,
+            }),
+        };
+        traced_result("traced put", self.request_retrying_busy(&req)?)
+    }
+
+    /// Force-traced point delete.
+    pub fn delete_traced(&mut self, key: &[u8], trace_id: u64) -> Result<TracedResult> {
+        let req = Request::Traced {
+            trace_id,
+            inner: Box::new(Request::Delete { key: key.to_vec() }),
+        };
+        traced_result("traced delete", self.request_retrying_busy(&req)?)
+    }
+
+    /// Force-traced point lookup; the looked-up value rides in
+    /// [`TracedResult::value`].
+    pub fn get_traced(&mut self, key: &[u8], trace_id: u64) -> Result<TracedResult> {
+        let req = Request::Traced {
+            trace_id,
+            inner: Box::new(Request::Get { key: key.to_vec() }),
+        };
+        traced_result("traced get", self.request(&req)?)
+    }
+}
+
+/// A force-traced operation's result: the server-side span breakdown
+/// plus the wrapped operation's own payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedResult {
+    /// The trace id (echoed from the request).
+    pub trace_id: u64,
+    /// Operation name (`put`, `delete`, `get`).
+    pub op: String,
+    /// `(stage name, value)` pairs — microseconds for `_micros`
+    /// stages, counts otherwise.
+    pub spans: Vec<(String, u64)>,
+    /// The wrapped get's value; `None` for writes and missing keys.
+    pub value: Option<Vec<u8>>,
+}
+
+fn traced_result(what: &str, resp: Response) -> Result<TracedResult> {
+    match resp {
+        Response::Trace {
+            trace_id,
+            op,
+            spans,
+            inner,
+        } => {
+            let value = match *inner {
+                Response::Unit => None,
+                Response::Value(v) => v,
+                other => return Err(unexpected(what, &other)),
+            };
+            Ok(TracedResult {
+                trace_id,
+                op,
+                spans,
+                value,
+            })
+        }
+        other => Err(unexpected(what, &other)),
+    }
 }
 
 /// A remote connection is a workload sink, so the same seeded op

@@ -137,7 +137,12 @@ fn handle_group(
         metrics.requests.fetch_add(1, Ordering::Relaxed);
         let is_data_op = !matches!(
             req,
-            Request::Ping | Request::Stats | Request::Metrics | Request::Events
+            Request::Ping
+                | Request::Stats
+                | Request::Metrics
+                | Request::Events
+                | Request::Traces
+                | Request::Audit
         );
         if is_data_op {
             if let Some(bucket) = bucket.as_deref_mut() {
@@ -234,6 +239,26 @@ fn handle_group(
                 Response::Text(text)
             }
             Request::Events => Response::Text(engine.events_text()),
+            Request::Traces => Response::Text(engine.traces_text()),
+            Request::Audit => {
+                let audit = engine.delete_audit();
+                Response::Audit {
+                    violation: !audit.ok(),
+                    text: audit.render(),
+                }
+            }
+            Request::Traced { trace_id, inner } => {
+                committed_writes |= inner.is_write();
+                let latency = if inner.is_write() {
+                    &metrics.write_latency
+                } else {
+                    &metrics.read_latency
+                };
+                let started = Instant::now();
+                let resp = handle_traced(engine, *trace_id, inner, metrics);
+                latency.record(started.elapsed().as_micros() as u64);
+                resp
+            }
         };
         responses.push(resp);
     }
@@ -245,6 +270,48 @@ fn handle_group(
     }
 
     responses
+}
+
+/// Execute a force-traced data op: run `inner` with tracing on and
+/// wrap its ordinary result in [`Response::Trace`]. Failures drop the
+/// trace wrapper and surface the plain `Busy`/`Err` — the caller's
+/// retry logic should see exactly what an untraced op would produce.
+fn handle_traced(
+    engine: &Engine,
+    trace_id: u64,
+    inner: &Request,
+    metrics: &crate::metrics::ServerMetrics,
+) -> Response {
+    let wrap = |trace: acheron::OpTrace, inner: Response| Response::Trace {
+        trace_id: trace.trace_id,
+        op: trace.op.name().to_string(),
+        spans: trace.named_spans(),
+        inner: Box::new(inner),
+    };
+    match inner {
+        Request::Put { key, value, dkey } => {
+            // The traced path always stamps the engine tick; an explicit
+            // dkey falls back to the untraced put so the stamp is honored.
+            if let Some(d) = dkey {
+                return to_response(engine.put_with_dkey(key, value, *d), metrics);
+            }
+            match engine.put_traced(key, value, trace_id) {
+                Ok(trace) => wrap(trace, Response::Unit),
+                Err(e) => err_response(e, metrics),
+            }
+        }
+        Request::Delete { key } => match engine.delete_traced(key, trace_id) {
+            Ok(trace) => wrap(trace, Response::Unit),
+            Err(e) => err_response(e, metrics),
+        },
+        Request::Get { key } => match engine.get_traced(key, trace_id) {
+            Ok((value, trace)) => wrap(trace, Response::Value(value)),
+            Err(e) => err_response(e, metrics),
+        },
+        // The decoder rejects every other inner tag; keep the handler
+        // total anyway.
+        other => Response::Err(format!("cannot trace a {} request", other.op_name())),
+    }
 }
 
 fn to_response(result: Result<()>, metrics: &crate::metrics::ServerMetrics) -> Response {

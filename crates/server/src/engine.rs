@@ -167,54 +167,86 @@ impl Engine {
             return String::new();
         };
         let now = db.now();
-        let mut out = format!("db_shards {}\n", db.shard_count());
-        for (i, (gauges, pressure)) in db
-            .shard_gauges()
-            .iter()
-            .zip(db.shard_pressure())
-            .enumerate()
-        {
-            out.push_str(&format!(
-                "db_shard_live_tombstones{{shard=\"{i}\"}} {}\n",
-                gauges.live_tombstones()
-            ));
-            out.push_str(&format!(
-                "db_shard_oldest_tombstone_age_ticks{{shard=\"{i}\"}} {}\n",
-                gauges
-                    .oldest_live_tick()
-                    .map_or(0, |t0| now.saturating_sub(t0))
-            ));
-            out.push_str(&format!(
-                "db_shard_l0_files{{shard=\"{i}\"}} {}\n",
-                pressure.l0_files
-            ));
-            out.push_str(&format!(
-                "db_shard_slowdown{{shard=\"{i}\"}} {}\n",
-                u64::from(pressure.slowdown)
-            ));
-            out.push_str(&format!(
-                "db_shard_stall{{shard=\"{i}\"}} {}\n",
-                u64::from(pressure.stall)
-            ));
-        }
+        // Group samples by family so each family gets exactly one
+        // `# TYPE` line before its first sample — the per-shard series
+        // repeat the family name once per shard.
+        let mut out = String::new();
+        let family = |out: &mut String, name: &str, lines: &[String]| {
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            for line in lines {
+                out.push_str(line);
+            }
+        };
+        family(
+            &mut out,
+            "db_shards",
+            &[format!("db_shards {}\n", db.shard_count())],
+        );
+        let gauges = db.shard_gauges();
+        let pressure = db.shard_pressure();
+        let per_shard = |f: &dyn Fn(usize) -> u64, name: &str| -> Vec<String> {
+            (0..db.shard_count())
+                .map(|i| format!("{name}{{shard=\"{i}\"}} {}\n", f(i)))
+                .collect()
+        };
+        family(
+            &mut out,
+            "db_shard_live_tombstones",
+            &per_shard(&|i| gauges[i].live_tombstones(), "db_shard_live_tombstones"),
+        );
+        family(
+            &mut out,
+            "db_shard_oldest_tombstone_age_ticks",
+            &per_shard(
+                &|i| {
+                    gauges[i]
+                        .oldest_live_tick()
+                        .map_or(0, |t0| now.saturating_sub(t0))
+                },
+                "db_shard_oldest_tombstone_age_ticks",
+            ),
+        );
+        family(
+            &mut out,
+            "db_shard_l0_files",
+            &per_shard(&|i| pressure[i].l0_files as u64, "db_shard_l0_files"),
+        );
+        family(
+            &mut out,
+            "db_shard_slowdown",
+            &per_shard(&|i| u64::from(pressure[i].slowdown), "db_shard_slowdown"),
+        );
+        family(
+            &mut out,
+            "db_shard_stall",
+            &per_shard(&|i| u64::from(pressure[i].stall), "db_shard_stall"),
+        );
         // Per-shard memory-split gauges: each shard's write-buffer
         // allowance under the shared arbiter, and its pinned
         // filter/metadata contribution. The fleet-level totals are in
         // the merged snapshot (`db_memory_*`).
-        for (i, stats) in db.shard_stats().iter().enumerate() {
-            out.push_str(&format!(
-                "db_shard_memtable_budget_bytes{{shard=\"{i}\"}} {}\n",
-                stats.memtable_budget_bytes
-            ));
-            out.push_str(&format!(
-                "db_shard_pinned_bytes{{shard=\"{i}\"}} {}\n",
-                stats.pinned_bytes
-            ));
-        }
-        out.push_str(&format!(
-            "db_fleet_max_tombstone_age_ticks {}\n",
-            db.fleet_max_tombstone_age().unwrap_or(0)
-        ));
+        let stats = db.shard_stats();
+        family(
+            &mut out,
+            "db_shard_memtable_budget_bytes",
+            &per_shard(
+                &|i| stats[i].memtable_budget_bytes,
+                "db_shard_memtable_budget_bytes",
+            ),
+        );
+        family(
+            &mut out,
+            "db_shard_pinned_bytes",
+            &per_shard(&|i| stats[i].pinned_bytes, "db_shard_pinned_bytes"),
+        );
+        family(
+            &mut out,
+            "db_fleet_max_tombstone_age_ticks",
+            &[format!(
+                "db_fleet_max_tombstone_age_ticks {}\n",
+                db.fleet_max_tombstone_age().unwrap_or(0)
+            )],
+        );
         out
     }
 
@@ -224,6 +256,55 @@ impl Engine {
         match self {
             Engine::Single(db) => acheron::obs::render_events(&db.events()),
             Engine::Sharded(db) => acheron::obs::render_sharded_events(&db.shard_events()),
+        }
+    }
+
+    /// The `traces` command body: recently sampled op traces (the
+    /// fleet-wide concatenation for a sharded engine).
+    pub fn traces_text(&self) -> String {
+        match self {
+            Engine::Single(db) => acheron::render_traces(&db.recent_traces()),
+            Engine::Sharded(db) => acheron::render_traces(&db.recent_traces()),
+        }
+    }
+
+    /// The delete-lifecycle audit (per-shard cohort union for a fleet).
+    pub fn delete_audit(&self) -> acheron::DeleteAudit {
+        match self {
+            Engine::Single(db) => db.delete_audit(),
+            Engine::Sharded(db) => db.delete_audit(),
+        }
+    }
+
+    /// Force-traced put (the server stamps the engine's current tick as
+    /// the delete key, like an untraced wire put).
+    pub fn put_traced(&self, key: &[u8], value: &[u8], trace_id: u64) -> Result<acheron::OpTrace> {
+        match self {
+            Engine::Single(db) => db.put_traced(key, value, Some(trace_id)),
+            Engine::Sharded(db) => db.put_traced(key, value, Some(trace_id)),
+        }
+    }
+
+    /// Force-traced point delete.
+    pub fn delete_traced(&self, key: &[u8], trace_id: u64) -> Result<acheron::OpTrace> {
+        match self {
+            Engine::Single(db) => db.delete_traced(key, Some(trace_id)),
+            Engine::Sharded(db) => db.delete_traced(key, Some(trace_id)),
+        }
+    }
+
+    /// Force-traced point lookup.
+    pub fn get_traced(
+        &self,
+        key: &[u8],
+        trace_id: u64,
+    ) -> Result<(Option<Vec<u8>>, acheron::OpTrace)> {
+        match self {
+            Engine::Single(db) => {
+                let (value, trace) = db.get_traced(key, Some(trace_id))?;
+                Ok((value.map(|v| v.to_vec()), trace))
+            }
+            Engine::Sharded(db) => db.get_traced(key, Some(trace_id)),
         }
     }
 

@@ -49,7 +49,7 @@ pub mod rate_limit;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientOptions};
+pub use client::{Client, ClientOptions, TracedResult};
 pub use engine::Engine;
 pub use metrics::ServerMetrics;
 pub use rate_limit::{RateLimitConfig, TokenBucket};

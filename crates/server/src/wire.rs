@@ -93,6 +93,24 @@ pub enum Request {
     /// The engine's flight-recorder ring, rendered one event per line;
     /// answered with [`Response::Text`].
     Events,
+    /// Recently sampled per-op traces, rendered one span per line;
+    /// answered with [`Response::Text`].
+    Traces,
+    /// The delete-lifecycle audit: per-cohort `D_th` slack plus the
+    /// live unresolved-delete ages; answered with [`Response::Audit`].
+    Audit,
+    /// Force-trace one data operation: the server executes `inner`
+    /// with tracing on (regardless of its sampling rate) and answers
+    /// with [`Response::Trace`] carrying the span breakdown. Only
+    /// `Put`, `Delete`, and `Get` may be wrapped — nesting is a
+    /// protocol error.
+    Traced {
+        /// Client-chosen trace id, echoed back so a caller can stitch
+        /// its own timeline onto the server-side spans.
+        trace_id: u64,
+        /// The wrapped data operation.
+        inner: Box<Request>,
+    },
 }
 
 const REQ_PING: u8 = 1;
@@ -105,18 +123,22 @@ const REQ_STATS: u8 = 7;
 const REQ_METRICS: u8 = 8;
 const REQ_EVENTS: u8 = 9;
 const REQ_KRDEL: u8 = 10;
+const REQ_TRACES: u8 = 11;
+const REQ_AUDIT: u8 = 12;
+const REQ_TRACED: u8 = 13;
 
 impl Request {
     /// True for operations that mutate the database (the ones the
     /// server sheds with [`Response::Busy`] under stall pressure).
     pub fn is_write(&self) -> bool {
-        matches!(
-            self,
+        match self {
             Request::Put { .. }
-                | Request::Delete { .. }
-                | Request::RangeDeleteSecondary { .. }
-                | Request::RangeDeleteKeys { .. }
-        )
+            | Request::Delete { .. }
+            | Request::RangeDeleteSecondary { .. }
+            | Request::RangeDeleteKeys { .. } => true,
+            Request::Traced { inner, .. } => inner.is_write(),
+            _ => false,
+        }
     }
 
     /// The primary key a keyed request routes by (`None` for keyless
@@ -128,6 +150,7 @@ impl Request {
             Request::Put { key, .. } | Request::Delete { key } | Request::Get { key } => {
                 Some(key.as_slice())
             }
+            Request::Traced { inner, .. } => inner.key(),
             _ => None,
         }
     }
@@ -145,6 +168,9 @@ impl Request {
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Events => "events",
+            Request::Traces => "traces",
+            Request::Audit => "audit",
+            Request::Traced { .. } => "traced",
         }
     }
 
@@ -191,6 +217,13 @@ impl Request {
             Request::Stats => out.push(REQ_STATS),
             Request::Metrics => out.push(REQ_METRICS),
             Request::Events => out.push(REQ_EVENTS),
+            Request::Traces => out.push(REQ_TRACES),
+            Request::Audit => out.push(REQ_AUDIT),
+            Request::Traced { trace_id, inner } => {
+                out.push(REQ_TRACED);
+                put_varint64(&mut out, *trace_id);
+                out.extend_from_slice(&inner.encode());
+            }
         }
         out
     }
@@ -273,6 +306,35 @@ impl Request {
                 expect_empty(rest, "events")?;
                 Ok(Request::Events)
             }
+            REQ_TRACES => {
+                expect_empty(rest, "traces")?;
+                Ok(Request::Traces)
+            }
+            REQ_AUDIT => {
+                expect_empty(rest, "audit")?;
+                Ok(Request::Audit)
+            }
+            REQ_TRACED => {
+                let (trace_id, rest) = require_varint64(rest, "traced id")?;
+                // Only flat data ops may be wrapped. Checking the tag
+                // *before* recursing keeps decode depth constant — a
+                // frame of nested REQ_TRACED tags must not be able to
+                // recurse the stack away.
+                match rest.first() {
+                    Some(&t) if t == REQ_PUT || t == REQ_DELETE || t == REQ_GET => {}
+                    Some(&t) => {
+                        return Err(Error::corruption(format!(
+                            "request tag {t} cannot be traced"
+                        )))
+                    }
+                    None => return Err(Error::corruption("traced request without an inner op")),
+                }
+                let inner = Request::decode(rest)?;
+                Ok(Request::Traced {
+                    trace_id,
+                    inner: Box::new(inner),
+                })
+            }
             other => Err(Error::corruption(format!("unknown request tag {other}"))),
         }
     }
@@ -298,6 +360,27 @@ pub enum Response {
     Err(String),
     /// A rendered text document (metrics exposition, event listing).
     Text(String),
+    /// The span breakdown of a force-traced data op, wrapping the
+    /// operation's ordinary result. `spans` are `(stage name, value)`
+    /// pairs — microseconds for `_micros` stages, counts otherwise.
+    Trace {
+        /// The trace id (client-chosen or server-allocated).
+        trace_id: u64,
+        /// Operation name (`put`, `delete`, `get`).
+        op: String,
+        /// Named stage measurements, in recording order.
+        spans: Vec<(String, u64)>,
+        /// The wrapped operation's own response (`Unit` or `Value`).
+        inner: Box<Response>,
+    },
+    /// The delete-lifecycle audit report.
+    Audit {
+        /// True when some cohort or live gauge has already overrun
+        /// `D_th` — the CLI exits nonzero on this flag.
+        violation: bool,
+        /// The rendered per-cohort report.
+        text: String,
+    },
 }
 
 const RESP_UNIT: u8 = 1;
@@ -308,6 +391,8 @@ const RESP_STATS: u8 = 5;
 const RESP_BUSY: u8 = 6;
 const RESP_ERR: u8 = 7;
 const RESP_TEXT: u8 = 8;
+const RESP_TRACE: u8 = 9;
+const RESP_AUDIT: u8 = 10;
 
 impl Response {
     /// Encode into a message payload (no frame header).
@@ -343,6 +428,27 @@ impl Response {
             }
             Response::Text(text) => {
                 out.push(RESP_TEXT);
+                put_slice(&mut out, text.as_bytes());
+            }
+            Response::Trace {
+                trace_id,
+                op,
+                spans,
+                inner,
+            } => {
+                out.push(RESP_TRACE);
+                put_varint64(&mut out, *trace_id);
+                put_slice(&mut out, op.as_bytes());
+                put_varint64(&mut out, spans.len() as u64);
+                for (name, value) in spans {
+                    put_slice(&mut out, name.as_bytes());
+                    put_varint64(&mut out, *value);
+                }
+                out.extend_from_slice(&inner.encode());
+            }
+            Response::Audit { violation, text } => {
+                out.push(RESP_AUDIT);
+                out.push(u8::from(*violation));
                 put_slice(&mut out, text.as_bytes());
             }
         }
@@ -427,6 +533,64 @@ impl Response {
                 let (text, rest) = require_length_prefixed(rest, "text body")?;
                 expect_empty(rest, "text")?;
                 Ok(Response::Text(String::from_utf8_lossy(text).into_owned()))
+            }
+            RESP_TRACE => {
+                let (trace_id, rest) = require_varint64(rest, "trace id")?;
+                let (op, rest) = require_length_prefixed(rest, "trace op")?;
+                let op = String::from_utf8(op.to_vec())
+                    .map_err(|_| Error::corruption("trace op is not utf-8"))?;
+                let (n, mut rest) = require_varint64(rest, "trace span count")?;
+                let n = usize::try_from(n)
+                    .map_err(|_| Error::corruption("trace span count overflows usize"))?;
+                if n > rest.len() / 2 + 1 {
+                    return Err(Error::corruption(format!(
+                        "trace span count {n} impossible for {}-byte body",
+                        rest.len()
+                    )));
+                }
+                let mut spans = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (name, r) = require_length_prefixed(rest, "trace span name")?;
+                    let (value, r) = require_varint64(r, "trace span value")?;
+                    let name = String::from_utf8(name.to_vec())
+                        .map_err(|_| Error::corruption("trace span name is not utf-8"))?;
+                    spans.push((name, value));
+                    rest = r;
+                }
+                // The wrapped result is a flat tag; refusing anything
+                // else before recursing keeps decode depth constant.
+                match rest.first() {
+                    Some(&t) if t == RESP_UNIT || t == RESP_VALUE || t == RESP_NO_VALUE => {}
+                    Some(&t) => {
+                        return Err(Error::corruption(format!(
+                            "response tag {t} cannot be trace-wrapped"
+                        )))
+                    }
+                    None => return Err(Error::corruption("trace without an inner response")),
+                }
+                let inner = Response::decode(rest)?;
+                Ok(Response::Trace {
+                    trace_id,
+                    op,
+                    spans,
+                    inner: Box::new(inner),
+                })
+            }
+            RESP_AUDIT => {
+                let (&flag, rest) = rest
+                    .split_first()
+                    .ok_or_else(|| Error::corruption("truncated audit flag"))?;
+                let violation = match flag {
+                    0 => false,
+                    1 => true,
+                    other => return Err(Error::corruption(format!("bad audit flag byte {other}"))),
+                };
+                let (text, rest) = require_length_prefixed(rest, "audit body")?;
+                expect_empty(rest, "audit")?;
+                Ok(Response::Audit {
+                    violation,
+                    text: String::from_utf8_lossy(text).into_owned(),
+                })
             }
             other => Err(Error::corruption(format!("unknown response tag {other}"))),
         }
@@ -563,6 +727,26 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Events,
+            Request::Traces,
+            Request::Audit,
+            Request::Traced {
+                trace_id: 7,
+                inner: Box::new(Request::Put {
+                    key: b"k".to_vec(),
+                    value: b"v".to_vec(),
+                    dkey: None,
+                }),
+            },
+            Request::Traced {
+                trace_id: u64::MAX,
+                inner: Box::new(Request::Get { key: b"k".to_vec() }),
+            },
+            Request::Traced {
+                trace_id: 0,
+                inner: Box::new(Request::Delete {
+                    key: b"gone".to_vec(),
+                }),
+            },
         ]
     }
 
@@ -581,6 +765,30 @@ mod tests {
             Response::Err("it broke".into()),
             Response::Text("db_live_tombstones 7\n".into()),
             Response::Text(String::new()),
+            Response::Trace {
+                trace_id: 42,
+                op: "put".into(),
+                spans: vec![
+                    ("wal_append_fsync_micros".into(), 120),
+                    ("memtable_insert_micros".into(), 3),
+                    ("total_micros".into(), 130),
+                ],
+                inner: Box::new(Response::Unit),
+            },
+            Response::Trace {
+                trace_id: 43,
+                op: "get".into(),
+                spans: vec![],
+                inner: Box::new(Response::Value(Some(b"v".to_vec()))),
+            },
+            Response::Audit {
+                violation: false,
+                text: "all cohorts resolved\n".into(),
+            },
+            Response::Audit {
+                violation: true,
+                text: "cohort shard=0 epoch=3 overdue\n".into(),
+            },
         ]
     }
 
@@ -676,5 +884,33 @@ mod tests {
         let mut payload = vec![RESP_ROWS];
         put_varint64(&mut payload, u64::MAX);
         assert!(Response::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn traced_rejects_nesting_and_non_data_ops() {
+        // A deep stack of nested REQ_TRACED tags must fail on the first
+        // level, not recurse once per byte.
+        let mut nested = Vec::new();
+        for _ in 0..100_000 {
+            nested.push(REQ_TRACED);
+            nested.push(0); // varint trace id 0
+        }
+        assert!(Request::decode(&nested).is_err());
+
+        // Control-plane ops cannot be wrapped.
+        let mut payload = vec![REQ_TRACED, 1, REQ_STATS];
+        assert!(Request::decode(&payload).is_err());
+        payload = vec![REQ_TRACED, 1];
+        assert!(Request::decode(&payload).is_err(), "missing inner op");
+
+        // Same constant-depth guarantee on the response side.
+        let mut resp = Vec::new();
+        for _ in 0..100_000 {
+            resp.push(RESP_TRACE);
+            resp.push(0); // trace id
+            resp.push(0); // empty op name
+            resp.push(0); // zero spans
+        }
+        assert!(Response::decode(&resp).is_err());
     }
 }

@@ -1,0 +1,68 @@
+//! Delete-lifecycle audit, end to end: age a database with a
+//! delete-heavy workload on a real directory, force maintenance so
+//! FADE resolves every cohort, then print the audit `acheron audit`
+//! would render — and leave the directory behind so the CLI can judge
+//! it offline:
+//!
+//! ```text
+//! cargo run --example audit_demo -- /tmp/audit-demo-db
+//! acheron audit /tmp/audit-demo-db --d-th 20000   # exits 0
+//! ```
+//!
+//! Run with: `cargo run --example audit_demo -- [db-directory]`
+
+use std::sync::Arc;
+
+use acheron::{Db, DbOptions};
+use acheron_vfs::StdFs;
+
+/// The delete persistence threshold (`D_th`), in engine ticks.
+const D_TH: u64 = 20_000;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "audit-demo-db".to_string());
+    std::fs::create_dir_all(&dir).expect("create db directory");
+
+    let opts = DbOptions {
+        write_buffer_bytes: 64 << 10,
+        level1_target_bytes: 256 << 10,
+        target_file_bytes: 64 << 10,
+        ..DbOptions::default()
+    }
+    .with_fade(D_TH);
+    let db = Db::open(Arc::new(StdFs::new(false)), &dir, opts).unwrap();
+
+    // A delete-heavy tenant: 40% of written keys are later erased.
+    for i in 0..5_000u64 {
+        db.put(
+            format!("user:{i:06}").as_bytes(),
+            format!("profile-record-{i}").as_bytes(),
+        )
+        .unwrap();
+    }
+    for i in 0..2_000u64 {
+        db.delete(format!("user:{i:06}").as_bytes()).unwrap();
+    }
+
+    // The service keeps running well past the deadline; routine
+    // maintenance lets FADE schedule the purging compactions.
+    for i in 0..(3 * D_TH) {
+        if i % 4_096 == 0 {
+            db.maintain().unwrap();
+        }
+        db.put(format!("event:{i:08}").as_bytes(), b"telemetry")
+            .unwrap();
+    }
+    db.maintain().unwrap();
+    db.wait_idle().unwrap();
+
+    let audit = db.delete_audit();
+    print!("{}", audit.render());
+    if !audit.ok() {
+        eprintln!("audit failed — D_th was violated");
+        std::process::exit(1);
+    }
+    println!("(database left in {dir} — try: acheron audit {dir} --d-th {D_TH})");
+}

@@ -1,0 +1,241 @@
+//! Delete-lifecycle audit tests: the cohort ledger, the compliance
+//! report behind `acheron audit`, and its fleet aggregation.
+//!
+//! * an aged, delete-heavy workload (40% deletes, forced maintenance)
+//!   resolves every tombstone cohort within `D_th` — the audit passes
+//!   and maps to exit code 0;
+//! * an injected overdue cohort fails the audit, naming the offending
+//!   shard and epoch, and maps to a nonzero exit;
+//! * a four-shard fleet's audit is the union of the per-shard ledgers
+//!   judged against the shared clock;
+//! * the audit round-trips the wire (`acheron audit <host:port>`)
+//!   carrying the violation verdict out-of-band of the text.
+
+use std::sync::Arc;
+
+use acheron::{Db, DbOptions, DeleteAudit, DeleteLedger, ShardedDb};
+use acheron_server::{Client, Server, ServerOptions};
+use acheron_vfs::MemFs;
+
+fn small() -> DbOptions {
+    DbOptions::small()
+}
+
+/// Age a database the way the acceptance scenario prescribes: a
+/// delete-heavy mix (40% of written keys deleted), then the clock
+/// driven well past `D_th` with unrelated writes and maintenance
+/// forced so FADE purges everything due.
+fn age(db: &Db, d_th: u64) {
+    for i in 0..800u32 {
+        db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32])
+            .unwrap();
+    }
+    for i in 0..320u32 {
+        db.delete(format!("key{i:04}").as_bytes()).unwrap();
+    }
+    for i in 0..(3 * d_th as u32) {
+        db.put(format!("other{i:05}").as_bytes(), &[b'w'; 32])
+            .unwrap();
+    }
+    db.maintain().unwrap();
+    db.wait_idle().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: aged workload passes, injected violation fails
+// ---------------------------------------------------------------------
+
+/// Every cohort of the aged workload resolves within `D_th`: the audit
+/// passes, renders `status: OK`, and maps to exit code 0.
+#[test]
+fn aged_workload_resolves_every_cohort_within_d_th() {
+    let d_th = 2_000u64;
+    let db = Db::open(Arc::new(MemFs::new()), "db", small().with_fade(d_th)).unwrap();
+    age(&db, d_th);
+
+    let audit = db.delete_audit();
+    assert_eq!(audit.d_th, Some(d_th));
+    assert!(
+        !audit.cohorts.is_empty(),
+        "a delete-heavy run must leave cohort records"
+    );
+    for c in &audit.cohorts {
+        assert!(
+            c.is_resolved(),
+            "cohort shard={} epoch={} still unresolved after forced maintenance:\n{}",
+            c.shard,
+            c.epoch,
+            c.render(audit.now, audit.d_th)
+        );
+        assert!(
+            c.age(audit.now) <= d_th,
+            "cohort shard={} epoch={} resolved too late: age {} > D_th {}",
+            c.shard,
+            c.epoch,
+            c.age(audit.now),
+            d_th
+        );
+    }
+    assert!(audit.ok(), "audit must pass:\n{}", audit.render());
+    let text = audit.render();
+    assert!(
+        text.contains("status: OK"),
+        "render must conclude OK:\n{text}"
+    );
+    assert!(text.contains(&format!("D_th = {d_th}")));
+    // The CLI exit code is derived exactly this way.
+    assert_eq!(i32::from(!audit.ok()), 0);
+}
+
+/// An overdue cohort injected into the ledger fails the audit; the
+/// report names the offending shard and epoch, and the exit mapping is
+/// nonzero.
+#[test]
+fn injected_overdue_cohort_fails_audit_naming_the_cohort() {
+    let mut ledger = DeleteLedger::new(3);
+    ledger.note_deletes(12, 2, 100);
+    ledger.seal(1, 99, 150);
+    ledger.flushed(160);
+
+    let audit = DeleteAudit {
+        now: 10_000,
+        d_th: Some(500),
+        cohorts: ledger.snapshot(),
+        oldest_live_tombstone_tick: Some(100),
+        oldest_vlog_dead_tick: None,
+    };
+    assert!(!audit.ok());
+    let violators = audit.violating_cohorts();
+    assert_eq!(violators.len(), 1);
+    assert_eq!((violators[0].shard, violators[0].epoch), (3, 0));
+
+    let text = audit.render();
+    assert!(
+        text.contains("status: VIOLATION — cohort shard=3 epoch=0"),
+        "violation must name the cohort:\n{text}"
+    );
+    assert!(text.contains("VIOLATION (> D_th 500)"), "{text}");
+    assert_eq!(
+        i32::from(!audit.ok()),
+        1,
+        "violation must map to a nonzero exit"
+    );
+}
+
+/// Without a configured threshold the audit is a report, never a
+/// judgment: the same overdue cohort passes.
+#[test]
+fn audit_without_threshold_always_passes() {
+    let mut ledger = DeleteLedger::new(0);
+    ledger.note_deletes(1, 0, 5);
+    let audit = DeleteAudit {
+        now: 1_000_000,
+        d_th: None,
+        cohorts: ledger.snapshot(),
+        oldest_live_tombstone_tick: Some(5),
+        oldest_vlog_dead_tick: None,
+    };
+    assert!(audit.ok());
+    assert!(audit.violating_cohorts().is_empty());
+    assert!(audit.render().contains("(no D_th set)"));
+}
+
+/// A gauge-level breach (state predating the process, no cohort
+/// tracked) still fails the audit.
+#[test]
+fn gauge_only_breach_fails_audit() {
+    let audit = DeleteAudit {
+        now: 10_000,
+        d_th: Some(100),
+        cohorts: Vec::new(),
+        oldest_live_tombstone_tick: Some(1),
+        oldest_vlog_dead_tick: None,
+    };
+    assert!(!audit.ok());
+    assert!(
+        audit
+            .render()
+            .contains("status: VIOLATION — unresolved delete age"),
+        "{}",
+        audit.render()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fleet aggregation (satellite d)
+// ---------------------------------------------------------------------
+
+/// The four-shard fleet audit is exactly the union of the per-shard
+/// ledgers: same cohorts, shard-tagged, ordered by (shard, epoch),
+/// judged against the shared clock.
+#[test]
+fn fleet_audit_is_union_of_per_shard_ledgers() {
+    let d_th = 2_000u64;
+    let db = ShardedDb::open(Arc::new(MemFs::new()), "db", small().with_fade(d_th), 4).unwrap();
+    for i in 0..1200u32 {
+        db.put(format!("key{i:04}").as_bytes(), &[b'v'; 32])
+            .unwrap();
+        if i % 5 < 2 {
+            db.delete(format!("key{i:04}").as_bytes()).unwrap();
+        }
+    }
+    for i in 0..(3 * d_th as u32) {
+        db.put(format!("other{i:05}").as_bytes(), &[b'w'; 32])
+            .unwrap();
+    }
+    db.maintain().unwrap();
+    db.wait_idle().unwrap();
+
+    let fleet = db.delete_audit();
+    assert_eq!(fleet.d_th, Some(d_th));
+
+    // Union: the fleet report holds exactly each shard's own cohorts.
+    let mut expected = Vec::new();
+    for i in 0..4 {
+        let shard = db.shard(i).delete_audit();
+        for c in &shard.cohorts {
+            assert_eq!(c.shard, i, "shard ledger must tag its own index");
+        }
+        expected.extend(shard.cohorts);
+    }
+    expected.sort_by_key(|c| (c.shard, c.epoch));
+    assert_eq!(fleet.cohorts, expected);
+
+    // Hash partitioning spread the deletes: more than one shard
+    // contributed cohorts.
+    let shards_seen: std::collections::BTreeSet<usize> =
+        fleet.cohorts.iter().map(|c| c.shard).collect();
+    assert!(
+        shards_seen.len() > 1,
+        "expected cohorts from multiple shards, got {shards_seen:?}"
+    );
+
+    assert!(fleet.ok(), "fleet audit must pass:\n{}", fleet.render());
+    assert!(fleet.render().contains("status: OK"));
+}
+
+// ---------------------------------------------------------------------
+// Wire round trip
+// ---------------------------------------------------------------------
+
+/// `acheron audit <host:port>` semantics: the verdict travels as a
+/// flag beside the text, and a healthy server reports no violation.
+#[test]
+fn audit_round_trips_the_wire() {
+    let d_th = 2_000u64;
+    let db = Arc::new(Db::open(Arc::new(MemFs::new()), "db", small().with_fade(d_th)).unwrap());
+    age(&db, d_th);
+    let mut server =
+        Server::start(Arc::clone(&db), "127.0.0.1:0", ServerOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let (violation, text) = client.audit().unwrap();
+    assert!(
+        !violation,
+        "healthy server must not report a violation:\n{text}"
+    );
+    assert_eq!(text, db.delete_audit().render());
+    assert!(text.contains("status: OK"));
+    assert!(text.contains(&format!("D_th = {d_th}")));
+    server.shutdown();
+}

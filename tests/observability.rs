@@ -291,3 +291,158 @@ fn malformed_metrics_and_events_frames_do_not_panic_server() {
     assert!(events.contains("events emitted"), "{events}");
     server.shutdown();
 }
+
+/// Lint the Prometheus text exposition of a live sharded server: every
+/// sample line parses, metric and label names are spec-valid, each
+/// family declares exactly one `# TYPE` before its first sample, and no
+/// series (name + label set) appears twice. A 4-shard engine is the
+/// hard case — per-shard and per-level labels are where duplicate
+/// series would sneak in.
+#[test]
+fn prometheus_exposition_is_lint_clean() {
+    let db = Arc::new(
+        acheron::ShardedDb::open(
+            Arc::new(MemFs::new()),
+            "db",
+            DbOptions::small().with_fade(5_000),
+            4,
+        )
+        .unwrap(),
+    );
+    for k in 0..2000u64 {
+        db.put(format!("key{k:05}").as_bytes(), b"value-payload-0123456789")
+            .unwrap();
+        if k % 3 == 0 {
+            db.delete(format!("key{k:05}").as_bytes()).unwrap();
+        }
+    }
+    db.flush().unwrap();
+    let mut server = Server::start(Arc::clone(&db), "127.0.0.1:0", ServerOptions::default())
+        .expect("bind server");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = client.metrics().unwrap();
+    server.shutdown();
+
+    let valid_metric = |name: &str| {
+        let mut chars = name.chars();
+        chars
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let valid_label = |name: &str| {
+        let mut chars = name.chars();
+        chars
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    };
+    // A sample's candidate families: itself (flat counters may end in
+    // `_count`/`_sum` as literal names) or, for histogram samples, the
+    // name with the per-sample suffix stripped.
+    let families_of = |name: &str| {
+        let mut out = vec![name.to_string()];
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(stripped) = name.strip_suffix(suffix) {
+                out.push(stripped.to_string());
+            }
+        }
+        out
+    };
+
+    let mut typed: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut series = std::collections::HashSet::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let family = parts.next().unwrap_or_default();
+            let kind = parts.next().unwrap_or_default();
+            assert!(
+                valid_metric(family),
+                "line {lineno}: bad family name {family:?}"
+            );
+            assert!(
+                matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ),
+                "line {lineno}: bad TYPE kind {kind:?}"
+            );
+            assert!(
+                parts.next().is_none(),
+                "line {lineno}: trailing TYPE tokens"
+            );
+            assert!(
+                typed.insert(family.to_string(), kind.to_string()).is_none(),
+                "line {lineno}: duplicate # TYPE for {family}"
+            );
+            continue;
+        }
+        assert!(
+            !line.starts_with('#'),
+            "line {lineno}: unexpected comment {line:?}"
+        );
+
+        // Sample line: name[{labels}] value
+        let (series_part, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("line {lineno}: no value separator in {line:?}"));
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "line {lineno}: non-numeric value {value:?}"
+        );
+        let (name, labels) = match series_part.split_once('{') {
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("line {lineno}: unterminated label set in {line:?}"));
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (lname, lvalue) = pair
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("line {lineno}: bad label pair {pair:?}"));
+                    assert!(
+                        valid_label(lname),
+                        "line {lineno}: bad label name {lname:?}"
+                    );
+                    assert!(
+                        lvalue.starts_with('"') && lvalue.ends_with('"') && lvalue.len() >= 2,
+                        "line {lineno}: unquoted label value {lvalue:?}"
+                    );
+                }
+                (name, body)
+            }
+            None => (series_part, ""),
+        };
+        assert!(
+            valid_metric(name),
+            "line {lineno}: bad metric name {name:?}"
+        );
+        assert!(
+            families_of(name).iter().any(|f| typed.contains_key(f)),
+            "line {lineno}: sample {name} has no preceding # TYPE for its family"
+        );
+        assert!(
+            series.insert((name.to_string(), labels.to_string())),
+            "line {lineno}: duplicate series {name}{{{labels}}}"
+        );
+        samples += 1;
+    }
+    assert!(
+        samples > 20,
+        "suspiciously small exposition ({samples} samples)"
+    );
+    // The families this PR leans on are present.
+    for family in [
+        "db_live_tombstones",
+        "db_tombstone_age_ticks",
+        "db_clock_tick",
+    ] {
+        assert!(typed.contains_key(family), "missing family {family}");
+    }
+}
